@@ -1,0 +1,530 @@
+(* xomatiq — command-line front end to the Data Hounds + XomatiQ system.
+
+   The GUI of the paper (Figs. 7, 10, 12) is a thin layer over: showing
+   collection DTDs as trees, formulating FLWR queries, and rendering
+   results as a table or XML. This CLI exposes the same operations over a
+   WAL-backed warehouse file so sessions persist across invocations.
+
+     xomatiq gen --out /tmp/data --enzymes 200 --embl 300 --sprot 300
+     xomatiq harvest --db wh.wal --source enzyme /tmp/data/enzyme.dat
+     xomatiq collections --db wh.wal
+     xomatiq dtd --db wh.wal hlx_enzyme.DEFAULT
+     xomatiq query --db wh.wal 'FOR $a IN ... RETURN ...'
+     xomatiq explain --db wh.wal 'FOR $a IN ... RETURN ...'
+     xomatiq sync --db wh.wal --source enzyme /tmp/data/enzyme-v2.dat
+     xomatiq sql --db wh.wal 'SELECT COUNT(1) FROM xml_node'  *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let with_warehouse db_path f =
+  let wh = Datahounds.Warehouse.create ~wal:db_path () in
+  Fun.protect ~finally:(fun () -> Datahounds.Warehouse.close wh) (fun () -> f wh)
+
+let source_of_name name division =
+  match String.lowercase_ascii name with
+  | "enzyme" -> Ok Datahounds.Warehouse.enzyme_source
+  | "embl" -> Ok (Datahounds.Warehouse.embl_source ~division)
+  | "swissprot" | "sprot" -> Ok Datahounds.Warehouse.swissprot_source
+  | "genbank" -> Ok Datahounds.Warehouse.genbank_source
+  | "medline" -> Ok Datahounds.Warehouse.medline_source
+  | other -> Error (Printf.sprintf "unknown source %S (enzyme | embl | swissprot | genbank | medline)" other)
+
+(* ---------------- common arguments ---------------- *)
+
+let db_arg =
+  let doc = "Warehouse WAL file (created if absent; state persists)." in
+  Arg.(required & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
+
+let division_arg =
+  let doc = "EMBL division for the embl source (default inv)." in
+  Arg.(value & opt string "inv" & info [ "division" ] ~doc)
+
+let source_arg =
+  let doc = "Source kind: enzyme, embl, swissprot, genbank or medline." in
+  Arg.(required & opt (some string) None & info [ "source" ] ~doc)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Flat file to load.")
+
+(* ---------------- commands ---------------- *)
+
+let harvest_cmd =
+  let run db source division file =
+    match source_of_name source division with
+    | Error m -> `Error (false, m)
+    | Ok src ->
+      with_warehouse db @@ fun wh ->
+      Datahounds.Warehouse.register_source wh src;
+      (match Datahounds.Warehouse.harvest wh src (read_file file) with
+       | Ok n ->
+         Printf.printf "Loaded %d document(s) into %s (%d nodes total).\n" n
+           src.source_collection
+           (Datahounds.Warehouse.node_count wh);
+         `Ok ()
+       | Error m -> `Error (false, m))
+  in
+  let doc = "Harvest a flat file into the warehouse (Data Hounds pipeline)." in
+  Cmd.v (Cmd.info "harvest" ~doc)
+    Term.(ret (const run $ db_arg $ source_arg $ division_arg $ file_arg))
+
+let sync_cmd =
+  let run db source division remove_missing file =
+    match source_of_name source division with
+    | Error m -> `Error (false, m)
+    | Ok src ->
+      with_warehouse db @@ fun wh ->
+      Datahounds.Warehouse.register_source wh src;
+      let trigger ev = Format.printf "trigger: %a@." Datahounds.Sync.pp_event ev in
+      (match
+         Datahounds.Sync.sync_source ~remove_missing ~triggers:[ trigger ] wh src
+           (read_file file)
+       with
+       | Ok r ->
+         Printf.printf "sync: %d added, %d updated, %d removed, %d unchanged.\n"
+           r.added r.updated r.removed r.unchanged;
+         `Ok ()
+       | Error m -> `Error (false, m))
+  in
+  let remove_arg =
+    Arg.(value & flag & info [ "remove-missing" ]
+           ~doc:"Delete warehoused documents absent from the new snapshot.")
+  in
+  let doc = "Incrementally refresh the warehouse from a new source snapshot." in
+  Cmd.v (Cmd.info "sync" ~doc)
+    Term.(ret (const run $ db_arg $ source_arg $ division_arg $ remove_arg $ file_arg))
+
+let collections_cmd =
+  let run db =
+    with_warehouse db @@ fun wh ->
+    List.iter
+      (fun c ->
+        Printf.printf "%-24s %5d documents\n" c
+          (Datahounds.Warehouse.document_count wh ~collection:c))
+      (Datahounds.Warehouse.collections wh)
+  in
+  let doc = "List warehoused collections." in
+  Cmd.v (Cmd.info "collections" ~doc) Term.(const run $ db_arg)
+
+(* Render a DTD as the indented element tree the GUI's left panel shows. *)
+let dtd_tree (dtd : Gxml.Dtd.t) =
+  let buf = Buffer.create 512 in
+  let rec particle_children = function
+    | Gxml.Dtd.Elem n -> [ n ]
+    | Gxml.Dtd.Seq ps | Gxml.Dtd.Choice ps -> List.concat_map particle_children ps
+    | Gxml.Dtd.Opt p | Gxml.Dtd.Star p | Gxml.Dtd.Plus p -> particle_children p
+  in
+  let children name =
+    match Gxml.Dtd.element_model dtd name with
+    | Some (Gxml.Dtd.Children p) -> particle_children p
+    | Some (Gxml.Dtd.Mixed names) -> names
+    | _ -> []
+  in
+  let rec emit depth seen name =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf name;
+    let attrs = Gxml.Dtd.element_attrs dtd name in
+    if attrs <> [] then begin
+      Buffer.add_string buf "  [";
+      Buffer.add_string buf
+        (String.concat ", " (List.map (fun (a : Gxml.Dtd.attr_decl) -> "@" ^ a.attr_name) attrs));
+      Buffer.add_char buf ']'
+    end;
+    Buffer.add_char buf '\n';
+    if not (List.mem name seen) then
+      List.iter (emit (depth + 1) (name :: seen)) (children name)
+  in
+  (match dtd.root_name with
+   | Some root -> emit 0 [] root
+   | None -> ());
+  Buffer.contents buf
+
+let dtd_cmd =
+  let run db collection =
+    with_warehouse db @@ fun wh ->
+    match Datahounds.Warehouse.dtd_of wh ~collection with
+    | Some dtd ->
+      print_string (dtd_tree dtd);
+      print_newline ();
+      print_string (Gxml.Dtd.to_string dtd);
+      `Ok ()
+    | None -> `Error (false, Printf.sprintf "no DTD registered for %S" collection)
+  in
+  let coll_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"COLLECTION"
+           ~doc:"Collection name, e.g. hlx_enzyme.DEFAULT.")
+  in
+  let doc = "Show a collection's DTD as the GUI element tree plus declarations." in
+  Cmd.v (Cmd.info "dtd" ~doc) Term.(ret (const run $ db_arg $ coll_arg))
+
+let query_cmd =
+  let run db format from_file query_text =
+    with_warehouse db @@ fun wh ->
+    let text =
+      match from_file with
+      | Some path -> read_file path
+      | None -> query_text
+    in
+    if String.trim text = "" then `Error (true, "empty query")
+    else
+      match Xomatiq.Engine.run_text wh text with
+      | result ->
+        (* surface likely typos: paths the collection DTDs cannot produce *)
+        (match Xomatiq.Parser.parse text with
+         | ast ->
+           List.iter
+             (fun w ->
+               Format.eprintf "warning: %a@." Xomatiq.Lint.pp_warning w)
+             (Xomatiq.Lint.check wh ast)
+         | exception _ -> ());
+        (match format with
+         | "xml" ->
+           print_string
+             (Gxml.Printer.document_to_string ~pretty:true
+                (Xomatiq.Engine.result_to_xml result))
+         | _ -> print_string (Xomatiq.Engine.result_to_table result));
+        `Ok ()
+      | exception Xomatiq.Engine.Query_error m -> `Error (false, m)
+  in
+  let format_arg =
+    Arg.(value & opt string "table" & info [ "f"; "format" ]
+           ~doc:"Output format: table or xml.")
+  in
+  let from_file_arg =
+    Arg.(value & opt (some file) None & info [ "file" ] ~doc:"Read the query from a file.")
+  in
+  let text_arg =
+    Arg.(value & pos 0 string "" & info [] ~docv:"QUERY" ~doc:"FLWR query text.")
+  in
+  let doc = "Run a XomatiQ FLWR query against the warehouse." in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(ret (const run $ db_arg $ format_arg $ from_file_arg $ text_arg))
+
+let explain_cmd =
+  let run db query_text =
+    with_warehouse db @@ fun wh ->
+    match Xomatiq.Parser.parse query_text with
+    | q ->
+      (match Xomatiq.Engine.explain wh q with
+       | s -> print_endline s; `Ok ()
+       | exception Xomatiq.Engine.Query_error m -> `Error (false, m))
+    | exception e -> `Error (false, Xomatiq.Parser.error_to_string e)
+  in
+  let text_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"FLWR query text.")
+  in
+  let doc = "Show the SQL translation and the relational physical plan." in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(ret (const run $ db_arg $ text_arg))
+
+let sql_cmd =
+  let run db statement =
+    with_warehouse db @@ fun wh ->
+    let database = Datahounds.Warehouse.db wh in
+    match Rdb.Database.exec database statement with
+    | Ok (Rdb.Database.Rows { columns; rows }) ->
+      let string_rows =
+        List.map (fun r -> Array.to_list (Array.map Rdb.Value.to_string r)) rows
+      in
+      print_string (Xomatiq.Tagger.to_table ~labels:columns string_rows);
+      `Ok ()
+    | Ok (Rdb.Database.Affected n) ->
+      Printf.printf "%d row(s) affected\n" n;
+      `Ok ()
+    | Ok (Rdb.Database.Explained plan) ->
+      print_string plan;
+      `Ok ()
+    | Ok (Rdb.Database.Done msg) ->
+      print_endline msg;
+      `Ok ()
+    | Error m -> `Error (false, m)
+  in
+  let stmt_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"SQL statement.")
+  in
+  let doc = "Run raw SQL against the underlying relational engine." in
+  Cmd.v (Cmd.info "sql" ~doc) Term.(ret (const run $ db_arg $ stmt_arg))
+
+let mirror_cmd =
+  (* last-integrated release versions live next to the WAL file *)
+  let state_path db = db ^ ".releases" in
+  let load_state db =
+    if Sys.file_exists (state_path db) then
+      read_file (state_path db)
+      |> String.split_on_char '\n'
+      |> List.filter_map (fun line ->
+          match String.index_opt line ' ' with
+          | Some i ->
+            Some
+              ( String.sub line 0 i,
+                String.sub line (i + 1) (String.length line - i - 1) )
+          | None -> None)
+    else []
+  in
+  let save_state db state =
+    let oc = open_out (state_path db) in
+    List.iter (fun (s, v) -> Printf.fprintf oc "%s %s\n" s v) state;
+    close_out oc
+  in
+  let run db source division remote_root =
+    match source_of_name source division with
+    | Error m -> `Error (false, m)
+    | Ok src ->
+      with_warehouse db @@ fun wh ->
+      Datahounds.Warehouse.register_source wh src;
+      let remote = Datahounds.Remote.create ~root:remote_root in
+      let state = load_state db in
+      let last_seen = List.assoc_opt src.source_name state in
+      let trigger ev = Format.printf "trigger: %a@." Datahounds.Sync.pp_event ev in
+      (match Datahounds.Remote.mirror ~triggers:[ trigger ] remote wh src ~last_seen with
+       | Ok `Unchanged ->
+         Printf.printf "%s: up to date%s.\n" src.source_name
+           (match last_seen with Some v -> " (release " ^ v ^ ")" | None -> "");
+         `Ok ()
+       | Ok (`Synced (version, r)) ->
+         Printf.printf
+           "%s: integrated release %s — %d added, %d updated, %d unchanged.\n"
+           src.source_name version r.added r.updated r.unchanged;
+         save_state db
+           ((src.source_name, version)
+            :: List.remove_assoc src.source_name state);
+         `Ok ()
+       | Error m -> `Error (false, m))
+  in
+  let remote_arg =
+    Arg.(required & opt (some dir) None & info [ "remote" ] ~docv:"DIR"
+           ~doc:"Remote release directory (releases/*.dat + CURRENT pointer).")
+  in
+  let doc =
+    "One Data Hound cycle: poll a remote for a new release and integrate it."
+  in
+  Cmd.v (Cmd.info "mirror" ~doc)
+    Term.(ret (const run $ db_arg $ source_arg $ division_arg $ remote_arg))
+
+let documents_cmd =
+  let run db collection =
+    with_warehouse db @@ fun wh ->
+    List.iter print_endline (Datahounds.Warehouse.documents wh ~collection)
+  in
+  let coll_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"COLLECTION"
+           ~doc:"Collection name.")
+  in
+  let doc = "List the documents warehoused in a collection." in
+  Cmd.v (Cmd.info "documents" ~doc) Term.(const run $ db_arg $ coll_arg)
+
+let reconstruct_cmd =
+  let run db collection name =
+    with_warehouse db @@ fun wh ->
+    match Datahounds.Warehouse.get_document wh ~collection ~name with
+    | Some doc ->
+      print_string (Gxml.Printer.document_to_string ~pretty:true doc);
+      `Ok ()
+    | None ->
+      `Error (false, Printf.sprintf "no document %S in collection %S" name collection)
+  in
+  let coll_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"COLLECTION"
+           ~doc:"Collection name.")
+  in
+  let name_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Document name (e.g. an accession number).")
+  in
+  let doc =
+    "Rebuild a warehoused document from its relational tuples (Relation2XML)."
+  in
+  Cmd.v (Cmd.info "reconstruct" ~doc) Term.(ret (const run $ db_arg $ coll_arg $ name_arg))
+
+let gen_cmd =
+  let run out seed enzymes embl sprot =
+    let cfg =
+      { Workload.Genbio.default_config with
+        seed; n_enzymes = enzymes; n_embl = embl; n_sprot = sprot }
+    in
+    let u = Workload.Genbio.generate cfg in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let write name text =
+      let oc = open_out_bin (Filename.concat out name) in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n" (Filename.concat out name)
+    in
+    write "enzyme.dat" (Workload.Genbio.enzyme_flat u);
+    write "embl.dat" (Workload.Genbio.embl_flat u);
+    write "swissprot.dat" (Workload.Genbio.swissprot_flat u)
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Output directory for the generated flat files.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
+  let enz_arg = Arg.(value & opt int 200 & info [ "enzymes" ] ~doc:"ENZYME entry count.") in
+  let embl_arg = Arg.(value & opt int 300 & info [ "embl" ] ~doc:"EMBL entry count.") in
+  let sprot_arg = Arg.(value & opt int 300 & info [ "sprot" ] ~doc:"Swiss-Prot entry count.") in
+  let doc = "Generate synthetic format-faithful flat files for experiments." in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(const run $ out_arg $ seed_arg $ enz_arg $ embl_arg $ sprot_arg)
+
+let stats_cmd =
+  let run db =
+    with_warehouse db @@ fun wh ->
+    let database = Datahounds.Warehouse.db wh in
+    let count sql =
+      match Rdb.Database.query database sql with
+      | Ok (_, [ [| Rdb.Value.Int n |] ]) -> n
+      | _ -> 0
+    in
+    print_endline "collections:";
+    List.iter
+      (fun c ->
+        Printf.printf "  %-24s %6d documents\n" c
+          (Datahounds.Warehouse.document_count wh ~collection:c))
+      (Datahounds.Warehouse.collections wh);
+    Printf.printf "totals:\n";
+    Printf.printf "  %-24s %6d\n" "node tuples" (count "SELECT COUNT(1) FROM xml_node");
+    Printf.printf "  %-24s %6d\n" "keyword postings"
+      (count "SELECT COUNT(1) FROM xml_keyword");
+    Printf.printf "  %-24s %6d\n" "distinct keywords"
+      (count "SELECT COUNT(DISTINCT word) FROM xml_keyword");
+    Printf.printf "  %-24s %6d\n" "element paths"
+      (count "SELECT COUNT(1) FROM xml_path");
+    print_endline "indexes:";
+    let cat = Rdb.Database.catalog database in
+    List.iter
+      (fun tname ->
+        match Rdb.Catalog.find_table cat tname with
+        | None -> ()
+        | Some tbl ->
+          List.iter
+            (fun idx ->
+              Printf.printf "  %-28s %9s  %7d keys %8d entries\n"
+                (Rdb.Index.name idx)
+                (match Rdb.Index.kind idx with
+                 | Rdb.Index.Hash -> "hash"
+                 | Rdb.Index.Btree -> "b+tree")
+                (Rdb.Index.cardinality idx)
+                (Rdb.Index.entry_count idx))
+            (Rdb.Table.indexes tbl))
+      [ "xml_doc"; "xml_path"; "xml_node"; "xml_keyword" ]
+  in
+  let doc = "Warehouse statistics: collections, tuple counts, index cardinalities." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ db_arg)
+
+let shell_cmd =
+  let run db =
+    with_warehouse db @@ fun wh ->
+    let format = ref "table" in
+    let print_result result =
+      match !format with
+      | "xml" ->
+        print_string
+          (Gxml.Printer.document_to_string ~pretty:true
+             (Xomatiq.Engine.result_to_xml result))
+      | _ -> print_string (Xomatiq.Engine.result_to_table result)
+    in
+    let help () =
+      print_string
+        "Enter a FLWR query terminated by ';'. Commands:\n\
+        \  :collections          list warehoused collections\n\
+        \  :documents NAME       list documents of a collection\n\
+        \  :dtd NAME             show a collection's DTD tree\n\
+        \  :sql STATEMENT;       run raw SQL\n\
+        \  :explain QUERY;       show translation + physical plan\n\
+        \  :format table|xml     choose result rendering\n\
+        \  :quit                 leave\n"
+    in
+    let run_query text =
+      match Xomatiq.Engine.run_text wh text with
+      | result -> print_result result
+      | exception Xomatiq.Engine.Query_error m -> Printf.printf "error: %s\n" m
+    in
+    let run_sql text =
+      match Rdb.Database.exec (Datahounds.Warehouse.db wh) text with
+      | Ok (Rdb.Database.Rows { columns; rows }) ->
+        print_string
+          (Xomatiq.Tagger.to_table ~labels:columns
+             (List.map (fun r -> Array.to_list (Array.map Rdb.Value.to_string r)) rows))
+      | Ok (Rdb.Database.Affected n) -> Printf.printf "%d row(s) affected\n" n
+      | Ok (Rdb.Database.Explained p) -> print_string p
+      | Ok (Rdb.Database.Done m) -> print_endline m
+      | Error m -> Printf.printf "error: %s\n" m
+    in
+    let run_explain text =
+      match Xomatiq.Parser.parse text with
+      | q ->
+        (try print_endline (Xomatiq.Engine.explain wh q)
+         with Xomatiq.Engine.Query_error m -> Printf.printf "error: %s\n" m)
+      | exception e -> Printf.printf "error: %s\n" (Xomatiq.Parser.error_to_string e)
+    in
+    help ();
+    let buffer = Buffer.create 256 in
+    let rec loop () =
+      if Buffer.length buffer = 0 then print_string "xomatiq> "
+      else print_string "      -> ";
+      flush stdout;
+      match input_line stdin with
+      | exception End_of_file -> ()
+      | line ->
+        let trimmed = String.trim line in
+        let continue_loop = ref true in
+        if Buffer.length buffer = 0 && String.length trimmed > 0 && trimmed.[0] = ':'
+        then begin
+          (* single-line command unless it needs a ';' *)
+          match String.split_on_char ' ' trimmed with
+          | ":quit" :: _ | ":q" :: _ -> continue_loop := false
+          | ":help" :: _ -> help ()
+          | ":collections" :: _ ->
+            List.iter print_endline (Datahounds.Warehouse.collections wh)
+          | ":documents" :: name :: _ ->
+            List.iter print_endline (Datahounds.Warehouse.documents wh ~collection:name)
+          | ":dtd" :: name :: _ ->
+            (match Datahounds.Warehouse.dtd_of wh ~collection:name with
+             | Some dtd -> print_string (dtd_tree dtd)
+             | None -> Printf.printf "no DTD for %S\n" name)
+          | ":format" :: f :: _ ->
+            if f = "table" || f = "xml" then format := f
+            else print_endline "format is 'table' or 'xml'"
+          | cmd :: _ when cmd = ":sql" || cmd = ":explain" ->
+            Buffer.add_string buffer trimmed;
+            Buffer.add_char buffer '\n'
+          | _ -> print_endline "unknown command; :help lists them"
+        end
+        else begin
+          Buffer.add_string buffer line;
+          Buffer.add_char buffer '\n'
+        end;
+        (* a ';' anywhere in the buffered text completes a statement *)
+        let text = Buffer.contents buffer in
+        (match String.index_opt text ';' with
+         | Some i when !continue_loop ->
+           let stmt = String.trim (String.sub text 0 i) in
+           Buffer.clear buffer;
+           if stmt <> "" then begin
+             if String.length stmt > 4 && String.sub stmt 0 4 = ":sql" then
+               run_sql (String.trim (String.sub stmt 4 (String.length stmt - 4)))
+             else if String.length stmt > 8 && String.sub stmt 0 8 = ":explain" then
+               run_explain (String.trim (String.sub stmt 8 (String.length stmt - 8)))
+             else run_query stmt
+           end
+         | _ -> ());
+        if !continue_loop then loop ()
+    in
+    loop ()
+  in
+  let doc = "Interactive query shell over a warehouse ('; ' terminates queries)." in
+  Cmd.v (Cmd.info "shell" ~doc) Term.(const run $ db_arg)
+
+let () =
+  let doc = "warehouse and query biological data the XomatiQ way" in
+  let info = Cmd.info "xomatiq" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; harvest_cmd; sync_cmd; mirror_cmd; collections_cmd; documents_cmd;
+            reconstruct_cmd; dtd_cmd; query_cmd; explain_cmd; sql_cmd; stats_cmd; shell_cmd ]))

@@ -1,0 +1,1 @@
+examples/join_query.ml: Datahounds Gxml List Printf Workload Xomatiq

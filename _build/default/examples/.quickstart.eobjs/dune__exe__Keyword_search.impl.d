@@ -1,0 +1,1 @@
+examples/keyword_search.ml: Datahounds Gxml List Printf Workload Xomatiq

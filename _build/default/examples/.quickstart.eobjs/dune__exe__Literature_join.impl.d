@@ -1,0 +1,1 @@
+examples/literature_join.ml: Datahounds List Printf String Workload Xomatiq

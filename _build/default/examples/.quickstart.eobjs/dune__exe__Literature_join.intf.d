@@ -1,0 +1,1 @@
+examples/literature_join.mli:

@@ -1,0 +1,1 @@
+examples/order_and_ranges.ml: Datahounds List Printf Workload Xomatiq

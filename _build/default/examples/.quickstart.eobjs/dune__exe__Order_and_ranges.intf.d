@@ -1,0 +1,1 @@
+examples/order_and_ranges.mli:

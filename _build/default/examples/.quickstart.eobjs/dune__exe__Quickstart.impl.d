@@ -1,0 +1,1 @@
+examples/quickstart.ml: Datahounds Gxml List Printf Xomatiq

@@ -1,0 +1,1 @@
+examples/standing_query.ml: Datahounds List Printf Workload Xomatiq

@@ -1,0 +1,1 @@
+examples/subtree_query.ml: Datahounds Printf Workload Xomatiq

@@ -1,0 +1,1 @@
+examples/subtree_query.mli:

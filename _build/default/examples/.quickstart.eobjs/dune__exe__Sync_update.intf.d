@@ -1,0 +1,1 @@
+examples/sync_update.mli:

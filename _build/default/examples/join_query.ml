@@ -1,0 +1,60 @@
+(* Join query mode (paper Figs. 10-12): correlate EMBL entries with the
+   E NZYME database through EC-number qualifiers — "all the EMBL entries
+   from the division invertebrates that have a direct link to enzymes
+   characterized in the ENZYME database".
+
+     dune exec examples/join_query.exe  *)
+
+let () =
+  let cfg =
+    { Workload.Genbio.default_config with
+      seed = 11; n_enzymes = 300; n_embl = 400; n_sprot = 100; ec_link_rate = 0.5 }
+  in
+  let universe = Workload.Genbio.generate cfg in
+  let wh = Datahounds.Warehouse.create () in
+  (match Workload.Genbio.load_universe wh universe with
+   | Ok () -> ()
+   | Error m -> failwith m);
+  Printf.printf "Warehouse: %d EMBL + %d ENZYME + %d Swiss-Prot documents.\n\n"
+    (Datahounds.Warehouse.document_count wh ~collection:"hlx_embl.inv")
+    (Datahounds.Warehouse.document_count wh ~collection:"hlx_enzyme.DEFAULT")
+    (Datahounds.Warehouse.document_count wh ~collection:"hlx_sprot.all");
+
+  (* the textual form (Fig. 11) *)
+  let query =
+    {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number,
+       $Accession_Description = $a//description|}
+  in
+  print_endline "Query (paper Fig. 11):";
+  print_endline query;
+  print_newline ();
+
+  let result = Xomatiq.Engine.run_text wh query in
+  Printf.printf "SQL produced by the XQ2SQL-transformer:\n%s\n\n" result.sql;
+
+  (* show only the first rows, like the Fig. 12 result pane *)
+  let first_rows =
+    List.filteri (fun i _ -> i < 10) result.rows
+  in
+  print_endline "First 10 rows (Fig. 12 result pane):";
+  print_string (Xomatiq.Tagger.to_table ~labels:result.labels first_rows);
+  Printf.printf "\nTotal joined entries: %d\n\n" (List.length result.rows);
+
+  (* the same query built through the GUI's join mode *)
+  let gui_query =
+    Xomatiq.Modes.join_query
+      ~left:("hlx_embl.inv", Gxml.Path.parse "hlx_n_sequence/db_entry")
+      ~right:("hlx_enzyme.DEFAULT", Gxml.Path.parse "hlx_enzyme/db_entry")
+      ~on:
+        ( Gxml.Path.parse {|//qualifier[@qualifier_type = "EC number"]|},
+          Gxml.Path.parse "enzyme_id" )
+      ~return_items:
+        [ (Some "Accession_Number", `Left, Gxml.Path.parse "//embl_accession_number");
+          (Some "Accession_Description", `Left, Gxml.Path.parse "//description") ]
+  in
+  let gui_result = Xomatiq.Engine.run wh gui_query in
+  Printf.printf "Join mode (visual builder) gives identical rows: %b\n"
+    (gui_result.rows = result.rows)

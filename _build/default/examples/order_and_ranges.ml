@@ -1,0 +1,66 @@
+(* Order-based and numeric functionality (paper Section 2.2): document
+   order is stored as a data value precisely so that the BEFORE/AFTER
+   operators and numeric range predicates of XQuery can be evaluated by
+   the relational engine.
+
+     dune exec examples/order_and_ranges.exe  *)
+
+let () =
+  let cfg =
+    { Workload.Genbio.default_config with
+      seed = 17; n_enzymes = 60; n_embl = 120; n_sprot = 0; seq_length = 150 }
+  in
+  let universe = Workload.Genbio.generate cfg in
+  let wh = Datahounds.Warehouse.create () in
+  (match Workload.Genbio.load_universe wh universe with
+   | Ok () -> ()
+   | Error m -> failwith m);
+
+  (* 1. numeric range predicate: nval is the numeric shadow of every value *)
+  let range_query =
+    {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+WHERE $a//sequence_length > 200 AND $a//sequence_length <= 260
+RETURN $a//embl_accession_number, $a//sequence_length|}
+  in
+  print_endline "Numeric range predicate (lengths stored both as text and number):";
+  print_endline range_query;
+  let r = Xomatiq.Engine.run_text wh range_query in
+  Printf.printf "\n%d entries in range; first 5:\n" (List.length r.rows);
+  print_string
+    (Xomatiq.Tagger.to_table ~labels:r.labels (List.filteri (fun i _ -> i < 5) r.rows));
+
+  (* 2. BEFORE: the DTD guarantees alternate names precede catalytic
+     activities, so this returns every enzyme that has both *)
+  let before_query =
+    {|FOR $e IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE $e//alternate_name BEFORE $e//catalytic_activity
+RETURN $e//enzyme_id|}
+  in
+  print_endline "\nBEFORE over document order (alternate_name precedes activity):";
+  print_endline before_query;
+  let b = Xomatiq.Engine.run_text wh before_query in
+  Printf.printf "\n%d enzymes have an alternate name before an activity.\n"
+    (List.length b.rows);
+
+  (* the translation is two integer comparisons on the preorder rank *)
+  print_endline "\nTranslated SQL (note the node_id order comparison):";
+  print_endline b.sql;
+
+  (* 3. AFTER never holds for this pair: order is fixed by the DTD *)
+  let after_query =
+    {|FOR $e IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE $e//alternate_name AFTER $e//catalytic_activity
+RETURN $e//enzyme_id|}
+  in
+  let a = Xomatiq.Engine.run_text wh after_query in
+  Printf.printf "\nAFTER for the same pair: %d rows (the DTD fixes the order).\n"
+    (List.length a.rows);
+
+  (* agreement with the reference evaluator on all three *)
+  List.iter
+    (fun q ->
+      let rel = Xomatiq.Engine.run_text wh q in
+      let reference = Xomatiq.Engine.run_text ~mode:`Reference wh q in
+      assert (rel.rows = reference.rows))
+    [ range_query; before_query; after_query ];
+  print_endline "Reference evaluator agrees on all three queries."

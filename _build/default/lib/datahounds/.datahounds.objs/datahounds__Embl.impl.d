@@ -1,0 +1,1 @@
+lib/datahounds/embl.ml: Buffer Char Line_format List Option Printf String

@@ -1,0 +1,1 @@
+lib/datahounds/embl.mli: Line_format

@@ -1,0 +1,1 @@
+lib/datahounds/embl_xml.ml: Embl Gxml List

@@ -1,0 +1,1 @@
+lib/datahounds/enzyme.ml: Buffer Line_format List Printf String

@@ -1,0 +1,1 @@
+lib/datahounds/enzyme.mli: Line_format

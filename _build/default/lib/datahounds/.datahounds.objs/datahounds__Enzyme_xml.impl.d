@@ -1,0 +1,1 @@
+lib/datahounds/enzyme_xml.ml: Enzyme Gxml List

@@ -1,0 +1,1 @@
+lib/datahounds/enzyme_xml.mli: Enzyme Gxml

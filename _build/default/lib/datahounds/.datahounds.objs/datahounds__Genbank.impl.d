@@ -1,0 +1,1 @@
+lib/datahounds/genbank.ml: Buffer Char Embl List Printf String

@@ -1,0 +1,1 @@
+lib/datahounds/genbank.mli: Embl

@@ -1,0 +1,1 @@
+lib/datahounds/genbank_xml.ml: Embl Genbank Gxml List

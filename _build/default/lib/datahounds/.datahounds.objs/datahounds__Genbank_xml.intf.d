@@ -1,0 +1,1 @@
+lib/datahounds/genbank_xml.mli: Genbank Gxml

@@ -1,0 +1,1 @@
+lib/datahounds/line_format.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/datahounds/line_format.mli:

@@ -1,0 +1,1 @@
+lib/datahounds/medline.ml: Buffer List Option Printf String

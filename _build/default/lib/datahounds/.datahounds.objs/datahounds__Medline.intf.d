@@ -1,0 +1,1 @@
+lib/datahounds/medline.mli:

@@ -1,0 +1,1 @@
+lib/datahounds/medline_xml.ml: Gxml List Medline

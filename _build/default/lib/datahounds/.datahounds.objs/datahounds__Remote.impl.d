@@ -1,0 +1,1 @@
+lib/datahounds/remote.ml: Filename Printf String Sync Sys Warehouse

@@ -1,0 +1,1 @@
+lib/datahounds/remote.mli: Sync Warehouse

@@ -1,0 +1,1 @@
+lib/datahounds/shred.ml: Array Buffer Char Float Gxml Hashtbl List Option Printf Rdb String

@@ -1,0 +1,1 @@
+lib/datahounds/shred.mli: Gxml Rdb

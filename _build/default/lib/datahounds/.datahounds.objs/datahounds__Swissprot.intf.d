@@ -1,0 +1,1 @@
+lib/datahounds/swissprot.mli: Line_format

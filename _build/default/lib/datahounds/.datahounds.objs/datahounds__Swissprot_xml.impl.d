@@ -1,0 +1,1 @@
+lib/datahounds/swissprot_xml.ml: Gxml List Option Swissprot

@@ -1,0 +1,1 @@
+lib/datahounds/swissprot_xml.mli: Gxml Swissprot

@@ -1,0 +1,1 @@
+lib/datahounds/sync.ml: Embl Enzyme Fmt Genbank Gxml Line_format List Medline Printf Rdb Shred String Swissprot Warehouse

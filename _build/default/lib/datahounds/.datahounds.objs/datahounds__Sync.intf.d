@@ -1,0 +1,1 @@
+lib/datahounds/sync.mli: Format Gxml Warehouse

@@ -1,0 +1,1 @@
+lib/datahounds/warehouse.ml: Embl Embl_xml Enzyme Enzyme_xml Format Genbank Genbank_xml Gxml Hashtbl Line_format List Medline Medline_xml Option Printf Rdb Shred String Swissprot Swissprot_xml

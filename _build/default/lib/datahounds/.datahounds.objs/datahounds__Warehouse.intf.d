@@ -1,0 +1,1 @@
+lib/datahounds/warehouse.mli: Gxml Rdb

@@ -1,0 +1,210 @@
+type qualifier = {
+  qualifier_type : string;
+  qualifier_value : string;
+}
+
+type feature = {
+  feature_key : string;
+  location : string;
+  qualifiers : qualifier list;
+}
+
+type t = {
+  accession : string;
+  division : string;
+  sequence_length : int;
+  description : string;
+  keywords : string list;
+  organism : string;
+  db_refs : (string * string) list;
+  features : feature list;
+  sequence : string;
+}
+
+exception Bad_entry of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_entry m)) fmt
+
+let strip_dot s =
+  let s = String.trim s in
+  if String.length s > 0 && s.[String.length s - 1] = '.' then
+    String.trim (String.sub s 0 (String.length s - 1))
+  else s
+
+let split_semis s =
+  String.split_on_char ';' s
+  |> List.filter_map (fun p ->
+      let p = String.trim p in
+      if p = "" then None else Some p)
+
+(* ID   AB000001; SV 1; linear; genomic DNA; STD; INV; 1234 BP. *)
+let parse_id_line line =
+  match split_semis (strip_dot line) with
+  | parts when List.length parts >= 3 ->
+    let accession = List.nth parts 0 in
+    let rev = List.rev parts in
+    let bp = List.nth rev 0 and division = List.nth rev 1 in
+    let sequence_length =
+      match String.split_on_char ' ' (String.trim bp) with
+      | n :: _ ->
+        (match int_of_string_opt n with
+         | Some v -> v
+         | None -> bad "bad BP count in ID line %S" line)
+      | [] -> bad "bad ID line %S" line
+    in
+    (accession, division, sequence_length)
+  | _ -> bad "malformed ID line %S" line
+
+(* FT feature starts: "CDS             1..1234"; qualifier lines begin '/'. *)
+let parse_features ft_lines =
+  let features = ref [] and current = ref None in
+  let flush () =
+    match !current with
+    | Some (key, loc, quals) ->
+      features := { feature_key = key; location = loc; qualifiers = List.rev quals }
+                  :: !features;
+      current := None
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" then ()
+      else if line.[0] = '/' then begin
+        (* /name="value" or /name=value *)
+        let body = String.sub line 1 (String.length line - 1) in
+        match String.index_opt body '=' with
+        | None -> bad "malformed qualifier %S" line
+        | Some i ->
+          let name = String.sub body 0 i in
+          let value = String.sub body (i + 1) (String.length body - i - 1) in
+          let value =
+            let v = String.trim value in
+            if String.length v >= 2 && v.[0] = '"' && v.[String.length v - 1] = '"' then
+              String.sub v 1 (String.length v - 2)
+            else v
+          in
+          (* underscores in qualifier names denote spaces (EC_number) *)
+          let qualifier_type = String.map (fun c -> if c = '_' then ' ' else c) name in
+          (match !current with
+           | Some (key, loc, quals) ->
+             current := Some (key, loc, { qualifier_type; qualifier_value = value } :: quals)
+           | None -> bad "qualifier before any feature: %S" line)
+      end
+      else begin
+        flush ();
+        match String.index_opt line ' ' with
+        | None -> current := Some (line, "", [])
+        | Some i ->
+          let key = String.sub line 0 i in
+          let loc = String.trim (String.sub line i (String.length line - i)) in
+          current := Some (key, loc, [])
+      end)
+    ft_lines;
+  flush ();
+  List.rev !features
+
+let clean_sequence lines =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun line ->
+      String.iter
+        (fun c ->
+          if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') then
+            Buffer.add_char buf (Char.lowercase_ascii c))
+        line)
+    lines;
+  Buffer.contents buf
+
+let parse_entry (entry : Line_format.entry) =
+  let accession, division, sequence_length =
+    match Line_format.field_opt entry "ID" with
+    | Some line -> parse_id_line line
+    | None -> bad "entry has no ID line"
+  in
+  let description =
+    match Line_format.joined entry "DE" with
+    | Some d -> strip_dot d
+    | None -> bad "entry %s has no DE line" accession
+  in
+  let keywords =
+    List.concat_map (fun l -> split_semis (strip_dot l)) (Line_format.fields entry "KW")
+  in
+  let organism =
+    Option.value ~default:"" (Line_format.joined entry "OS")
+  in
+  let db_refs =
+    List.map
+      (fun line ->
+        match split_semis (strip_dot line) with
+        | [ db; id ] -> (db, id)
+        | _ -> bad "malformed DR line %S" line)
+      (Line_format.fields entry "DR")
+  in
+  let features = parse_features (Line_format.fields entry "FT") in
+  (* sequence lines have a blank line code *)
+  let sequence = clean_sequence (Line_format.fields entry "  ") in
+  { accession; division; sequence_length; description; keywords; organism;
+    db_refs; features; sequence }
+
+let parse_many text = List.map parse_entry (Line_format.split_entries text)
+
+let to_entry t : Line_format.entry =
+  let line code content = { Line_format.code; content } in
+  let quote_qualifier q =
+    let name = String.map (fun c -> if c = ' ' then '_' else c) q.qualifier_type in
+    Printf.sprintf "/%s=\"%s\"" name q.qualifier_value
+  in
+  let seq_lines =
+    let rec chunks i acc =
+      if i >= String.length t.sequence then List.rev acc
+      else begin
+        let len = min 60 (String.length t.sequence - i) in
+        chunks (i + len) (line "  " (String.sub t.sequence i len) :: acc)
+      end
+    in
+    chunks 0 []
+  in
+  List.concat
+    [ [ line "ID"
+          (Printf.sprintf "%s; SV 1; linear; genomic DNA; STD; %s; %d BP."
+             t.accession t.division t.sequence_length) ];
+      [ line "AC" (t.accession ^ ";") ];
+      [ line "DE" (t.description ^ ".") ];
+      (match t.keywords with
+       | [] -> []
+       | ks -> [ line "KW" (String.concat "; " ks ^ ".") ]);
+      (if t.organism = "" then [] else [ line "OS" t.organism ]);
+      List.map (fun (db, id) -> line "DR" (Printf.sprintf "%s; %s." db id)) t.db_refs;
+      List.concat_map
+        (fun f ->
+          line "FT" (Printf.sprintf "%-15s %s" f.feature_key f.location)
+          :: List.map (fun q -> line "FT" ("                " ^ quote_qualifier q))
+               f.qualifiers)
+        t.features;
+      [ line "SQ" (Printf.sprintf "Sequence %d BP;" t.sequence_length) ];
+      seq_lines ]
+
+let render ts = Line_format.render (List.map to_entry ts)
+
+let collection_of t = "hlx_embl." ^ String.lowercase_ascii t.division
+
+let sample_entry =
+  String.concat "\n"
+    [ "ID   AB000101; SV 1; linear; genomic DNA; STD; INV; 180 BP.";
+      "AC   AB000101;";
+      "DE   Drosophila melanogaster cell division control protein cdc6 gene.";
+      "KW   cdc6; cell cycle; replication licensing.";
+      "OS   Drosophila melanogaster";
+      "DR   ENZYME; 1.14.17.3.";
+      "FT   source          1..180";
+      "FT                   /organism=\"Drosophila melanogaster\"";
+      "FT   CDS             12..170";
+      "FT                   /gene=\"cdc6\"";
+      "FT                   /EC_number=\"1.14.17.3\"";
+      "SQ   Sequence 180 BP;";
+      "     atgcgtacgt tagcatcgat cgatcgatta gcatgcatgc atcgatcgta gctagctagc";
+      "     aatgcgtacg ttagcatcga tcgatcgatt agcatgcatg catcgatcgt agctagctag";
+      "     gatcgtacgt tagcatcgat cgatcgatta gcatgcatgc atcgatcgta gctagctagc";
+      "//";
+      "" ]

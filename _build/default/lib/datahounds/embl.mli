@@ -1,0 +1,43 @@
+(** EMBL nucleotide database flat-file format (simplified but faithful
+    line grammar: ID/AC/DE/KW/OS/DR/FT/SQ + sequence lines + "//").
+
+    The feature table carries the qualifiers the paper's join query
+    correlates with E NZYME: a CDS feature may hold an
+    ["EC number"] qualifier whose value is an EC number. *)
+
+type qualifier = {
+  qualifier_type : string;   (** e.g. "gene", "EC number" *)
+  qualifier_value : string;
+}
+
+type feature = {
+  feature_key : string;      (** e.g. "CDS", "source" *)
+  location : string;        (** e.g. "1..1234" *)
+  qualifiers : qualifier list;
+}
+
+type t = {
+  accession : string;        (** e.g. "AB000001" *)
+  division : string;         (** three-letter division, e.g. "INV" *)
+  sequence_length : int;
+  description : string;
+  keywords : string list;
+  organism : string;
+  db_refs : (string * string) list;  (** (database, primary id) from DR *)
+  features : feature list;
+  sequence : string;         (** concatenated residues, lowercase *)
+}
+
+exception Bad_entry of string
+
+val parse_entry : Line_format.entry -> t
+val parse_many : string -> t list
+val to_entry : t -> Line_format.entry
+val render : t list -> string
+
+val collection_of : t -> string
+(** Warehouse collection by division: ["hlx_embl.inv"] for INV etc. *)
+
+val sample_entry : string
+(** A representative invertebrate entry carrying a cdc6 gene qualifier and
+    an EC-number qualifier. *)

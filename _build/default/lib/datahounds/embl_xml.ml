@@ -1,0 +1,132 @@
+let dtd_source =
+  {|<!ELEMENT hlx_n_sequence (db_entry)>
+<!ELEMENT db_entry (embl_accession_number, description, division,
+  sequence_length, keyword_list, organism, db_reference_list,
+  feature_list, sequence)>
+<!ELEMENT embl_accession_number (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT division (#PCDATA)>
+<!ELEMENT sequence_length (#PCDATA)>
+<!ELEMENT keyword_list (keyword*)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT organism (#PCDATA)>
+<!ELEMENT db_reference_list (db_reference*)>
+<!ELEMENT db_reference EMPTY>
+<!ATTLIST db_reference
+  db CDATA #REQUIRED
+  primary_id CDATA #REQUIRED>
+<!ELEMENT feature_list (feature*)>
+<!ELEMENT feature (qualifier*)>
+<!ATTLIST feature
+  feature_key CDATA #REQUIRED
+  location CDATA #REQUIRED>
+<!ELEMENT qualifier (#PCDATA)>
+<!ATTLIST qualifier
+  qualifier_type CDATA #REQUIRED>
+<!ELEMENT sequence (#PCDATA)>|}
+
+let dtd = Gxml.Dtd.parse dtd_source
+
+let sequence_elements = [ "sequence" ]
+
+let elem = Gxml.Tree.element
+let text = Gxml.Tree.text
+let leaf tag s = Gxml.Tree.Element (elem tag [ text s ])
+
+let to_document (e : Embl.t) =
+  let root =
+    elem "hlx_n_sequence"
+      [ Gxml.Tree.Element
+          (elem "db_entry"
+             [ leaf "embl_accession_number" e.accession;
+               leaf "description" e.description;
+               leaf "division" e.division;
+               leaf "sequence_length" (string_of_int e.sequence_length);
+               Gxml.Tree.Element
+                 (elem "keyword_list" (List.map (leaf "keyword") e.keywords));
+               leaf "organism" e.organism;
+               Gxml.Tree.Element
+                 (elem "db_reference_list"
+                    (List.map
+                       (fun (db, id) ->
+                         Gxml.Tree.Element
+                           (elem "db_reference"
+                              ~attrs:[ ("db", db); ("primary_id", id) ] []))
+                       e.db_refs));
+               Gxml.Tree.Element
+                 (elem "feature_list"
+                    (List.map
+                       (fun (f : Embl.feature) ->
+                         Gxml.Tree.Element
+                           (elem "feature"
+                              ~attrs:
+                                [ ("feature_key", f.feature_key);
+                                  ("location", f.location) ]
+                              (List.map
+                                 (fun (q : Embl.qualifier) ->
+                                   Gxml.Tree.Element
+                                     (elem "qualifier"
+                                        ~attrs:[ ("qualifier_type", q.qualifier_type) ]
+                                        [ text q.qualifier_value ]))
+                                 f.qualifiers)))
+                       e.features));
+               leaf "sequence" e.sequence ])
+      ]
+  in
+  Gxml.Tree.document root
+
+let document_name (e : Embl.t) = e.accession
+
+let of_document (doc : Gxml.Tree.document) =
+  let open Gxml.Tree in
+  try
+    if doc.root.tag <> "hlx_n_sequence" then failwith "root is not hlx_n_sequence";
+    let entry =
+      match child_named doc.root "db_entry" with
+      | Some e -> e
+      | None -> failwith "missing db_entry"
+    in
+    let required name =
+      match child_named entry name with
+      | Some e -> text_content e
+      | None -> failwith ("missing " ^ name)
+    in
+    Ok
+      { Embl.accession = required "embl_accession_number";
+        description = required "description";
+        division = required "division";
+        sequence_length =
+          (match int_of_string_opt (required "sequence_length") with
+           | Some n -> n
+           | None -> failwith "bad sequence_length");
+        keywords =
+          (match child_named entry "keyword_list" with
+           | None -> []
+           | Some l -> List.map text_content (children_named l "keyword"));
+        organism = required "organism";
+        db_refs =
+          (match child_named entry "db_reference_list" with
+           | None -> []
+           | Some l ->
+             List.map
+               (fun r -> (attr_exn r "db", attr_exn r "primary_id"))
+               (children_named l "db_reference"));
+        features =
+          (match child_named entry "feature_list" with
+           | None -> []
+           | Some l ->
+             List.map
+               (fun f ->
+                 { Embl.feature_key = attr_exn f "feature_key";
+                   location = attr_exn f "location";
+                   qualifiers =
+                     List.map
+                       (fun q ->
+                         { Embl.qualifier_type = attr_exn q "qualifier_type";
+                           qualifier_value = text_content q })
+                       (children_named f "qualifier") })
+               (children_named l "feature"));
+        sequence = required "sequence" }
+  with
+  | Failure m -> Error m
+  | Not_found -> Error "missing required attribute"

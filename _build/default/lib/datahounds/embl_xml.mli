@@ -1,0 +1,18 @@
+(** XML-Transformer for EMBL entries.
+
+    The root element is [hlx_n_sequence], matching the paper's queries
+    (Figs. 8 and 11 address EMBL documents as
+    [document("hlx_embl.inv")/hlx_n_sequence]). Feature qualifiers become
+    [qualifier] elements with a [qualifier_type] attribute, which is what
+    the join query correlates with E NZYME ids. *)
+
+val dtd_source : string
+val dtd : Gxml.Dtd.t
+
+val sequence_elements : string list
+(** Element names whose content is sequence data (excluded from the
+    keyword index when shredding). *)
+
+val to_document : Embl.t -> Gxml.Tree.document
+val of_document : Gxml.Tree.document -> (Embl.t, string) result
+val document_name : Embl.t -> string

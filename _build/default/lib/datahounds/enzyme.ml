@@ -1,0 +1,201 @@
+type swissprot_ref = {
+  accession : string;
+  entry_name : string;
+}
+
+type disease = {
+  disease_description : string;
+  mim_id : string;
+}
+
+type t = {
+  ec_number : string;
+  description : string;
+  alternate_names : string list;
+  catalytic_activities : string list;
+  cofactors : string list;
+  comments : string list;
+  prosite_refs : string list;
+  swissprot_refs : swissprot_ref list;
+  diseases : disease list;
+}
+
+exception Bad_entry of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_entry m)) fmt
+
+let strip_dot s =
+  let s = String.trim s in
+  if String.length s > 0 && s.[String.length s - 1] = '.' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+(* CC blocks: lines starting with "-!-" open a comment; subsequent CC
+   lines without the marker continue it. *)
+let parse_comments cc_lines =
+  let blocks = ref [] and current = ref None in
+  let flush () =
+    match !current with
+    | Some buf -> blocks := Buffer.contents buf :: !blocks; current := None
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if String.length line >= 3 && String.sub line 0 3 = "-!-" then begin
+        flush ();
+        let buf = Buffer.create 64 in
+        Buffer.add_string buf (String.trim (String.sub line 3 (String.length line - 3)));
+        current := Some buf
+      end
+      else
+        match !current with
+        | Some buf ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf line
+        | None ->
+          let buf = Buffer.create 64 in
+          Buffer.add_string buf line;
+          current := Some buf)
+    cc_lines;
+  flush ();
+  List.rev !blocks
+
+(* DR lines carry pairs "ACC, NAME ;" — several per line. *)
+let parse_dr_line line =
+  String.split_on_char ';' line
+  |> List.filter_map (fun chunk ->
+      let chunk = String.trim chunk in
+      if chunk = "" then None
+      else
+        match String.index_opt chunk ',' with
+        | None -> bad "malformed DR chunk %S" chunk
+        | Some i ->
+          let accession = String.trim (String.sub chunk 0 i) in
+          let entry_name =
+            String.trim (String.sub chunk (i + 1) (String.length chunk - i - 1))
+          in
+          if accession = "" || entry_name = "" then bad "malformed DR chunk %S" chunk;
+          Some { accession; entry_name })
+
+(* DI line: "<description>; MIM:<id>." *)
+let parse_di_line line =
+  let line = strip_dot line in
+  match String.index_opt line ';' with
+  | None -> bad "malformed DI line %S" line
+  | Some i ->
+    let disease_description = String.trim (String.sub line 0 i) in
+    let rest = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+    (match String.index_opt rest ':' with
+     | Some j when String.sub rest 0 j = "MIM" ->
+       { disease_description;
+         mim_id = String.trim (String.sub rest (j + 1) (String.length rest - j - 1)) }
+     | _ -> bad "DI line missing MIM id: %S" line)
+
+(* PR line: "PROSITE; PDOC00080;" *)
+let parse_pr_line line =
+  match String.split_on_char ';' line with
+  | db :: acc :: _ when String.trim db = "PROSITE" && String.trim acc <> "" ->
+    String.trim acc
+  | _ -> bad "malformed PR line %S" line
+
+(* CA lines: a reaction may continue across lines; a new reaction starts
+   when the previous line ended with a "." — mirroring Fig. 2 where the
+   multi-line reaction is a single catalytic_activity. *)
+let parse_ca_lines ca_lines =
+  let acts = ref [] and current = ref None in
+  let flush () =
+    match !current with
+    | Some buf -> acts := Buffer.contents buf :: !acts; current := None
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      (match !current with
+       | Some buf ->
+         Buffer.add_char buf ' ';
+         Buffer.add_string buf line
+       | None ->
+         let buf = Buffer.create 64 in
+         Buffer.add_string buf line;
+         current := Some buf);
+      (* a line ending in "." closes the reaction *)
+      if String.length line > 0 && line.[String.length line - 1] = '.' then flush ())
+    ca_lines;
+  flush ();
+  List.rev !acts
+
+let parse_entry (entry : Line_format.entry) =
+  let ec_number =
+    match Line_format.field_opt entry "ID" with
+    | Some id -> String.trim id
+    | None -> bad "entry has no ID line"
+  in
+  let description =
+    match Line_format.joined entry "DE" with
+    | Some d -> strip_dot d
+    | None -> bad "entry %s has no DE line" ec_number
+  in
+  let alternate_names = List.map strip_dot (Line_format.fields entry "AN") in
+  let catalytic_activities = parse_ca_lines (Line_format.fields entry "CA") in
+  let cofactors =
+    List.concat_map
+      (fun line ->
+        String.split_on_char ';' (strip_dot line)
+        |> List.filter_map (fun c ->
+            let c = String.trim c in
+            if c = "" then None else Some c))
+      (Line_format.fields entry "CF")
+  in
+  let comments = parse_comments (Line_format.fields entry "CC") in
+  let prosite_refs = List.map parse_pr_line (Line_format.fields entry "PR") in
+  let swissprot_refs =
+    List.concat_map parse_dr_line (Line_format.fields entry "DR")
+  in
+  let diseases = List.map parse_di_line (Line_format.fields entry "DI") in
+  { ec_number; description; alternate_names; catalytic_activities; cofactors;
+    comments; prosite_refs; swissprot_refs; diseases }
+
+let parse_many text =
+  List.map parse_entry (Line_format.split_entries text)
+
+let to_entry t : Line_format.entry =
+  let line code content = { Line_format.code; content } in
+  let ensure_dot s = if s = "" || s.[String.length s - 1] = '.' then s else s ^ "." in
+  List.concat
+    [ [ line "ID" t.ec_number ];
+      [ line "DE" (ensure_dot t.description) ];
+      List.map (fun n -> line "AN" (ensure_dot n)) t.alternate_names;
+      List.map (fun a -> line "CA" (ensure_dot a)) t.catalytic_activities;
+      (match t.cofactors with
+       | [] -> []
+       | cs -> [ line "CF" (String.concat "; " cs ^ ".") ]);
+      List.map (fun c -> line "CC" ("-!- " ^ c)) t.comments;
+      List.map (fun d -> line "DI" (Printf.sprintf "%s; MIM:%s." d.disease_description d.mim_id))
+        t.diseases;
+      List.map (fun p -> line "PR" (Printf.sprintf "PROSITE; %s;" p)) t.prosite_refs;
+      List.map
+        (fun r -> line "DR" (Printf.sprintf "%s, %s ;" r.accession r.entry_name))
+        t.swissprot_refs ]
+
+let render ts = Line_format.render (List.map to_entry ts)
+
+let sample_entry =
+  String.concat "\n"
+    [ "ID   1.14.17.3";
+      "DE   Peptidylglycine monooxygenase.";
+      "AN   Peptidyl alpha-amidating enzyme.";
+      "AN   Peptidylglycine 2-hydroxylase.";
+      "CA   Peptidylglycine + ascorbate + O(2) = peptidyl(2-hydroxyglycine) +";
+      "CA   dehydroascorbate + H(2)O.";
+      "CF   Copper.";
+      "CC   -!- Peptidylglycines with a neutral amino acid residue in the";
+      "CC       penultimate position are the best substrates for the enzyme.";
+      "CC   -!- The enzyme also catalyzes the dismutation of the product to";
+      "CC       glyoxylate and the corresponding desglycine peptide amide.";
+      "PR   PROSITE; PDOC00080;";
+      "DR   P10731, AMD_BOVIN ; P19021, AMD_HUMAN ; P14925, AMD_RAT ;";
+      "DR   P08478, AMD1_XENLA; P12890, AMD2_XENLA;";
+      "//";
+      "" ]

@@ -1,0 +1,46 @@
+(** The E NZYME repository flat-file format (ExPASy / SIB), per the paper's
+    Section 2.1 and Figures 2-4.
+
+    Line codes: ID (1 per entry), DE (>=1), AN, CA, CF, CC, DI, PR, DR
+    (all >=0), terminated by "//". *)
+
+type swissprot_ref = {
+  accession : string;   (** e.g. "P10731" *)
+  entry_name : string;  (** e.g. "AMD_BOVIN" *)
+}
+
+type disease = {
+  disease_description : string;
+  mim_id : string;  (** MIM catalogue number *)
+}
+
+type t = {
+  ec_number : string;
+  description : string;
+  alternate_names : string list;
+  catalytic_activities : string list;  (** one per CA line, as in Fig. 6 *)
+  cofactors : string list;
+  comments : string list;              (** one per "-!-" block *)
+  prosite_refs : string list;          (** PDOC accession numbers *)
+  swissprot_refs : swissprot_ref list;
+  diseases : disease list;
+}
+
+exception Bad_entry of string
+
+val parse_entry : Line_format.entry -> t
+(** @raise Bad_entry when ID or DE is missing or a reference line is
+    malformed. *)
+
+val parse_many : string -> t list
+(** Parse a whole flat file. *)
+
+val to_entry : t -> Line_format.entry
+(** Inverse of {!parse_entry} (up to line-continuation layout). *)
+
+val render : t list -> string
+(** Render records as flat-file text. *)
+
+val sample_entry : string
+(** The paper's Figure 2 entry (EC 1.14.17.3, peptidylglycine
+    monooxygenase), embedded as a fixture. *)

@@ -1,0 +1,137 @@
+let dtd_source =
+  {|<!ELEMENT hlx_enzyme (db_entry)>
+<!ELEMENT db_entry (enzyme_id, enzyme_description+, alternate_name_list,
+  catalytic_activity*, cofactor_list, comment_list, prosite_reference*,
+  swissprot_reference_list, disease_list)>
+<!ELEMENT enzyme_id (#PCDATA)>
+<!ELEMENT enzyme_description (#PCDATA)>
+<!ELEMENT alternate_name_list (alternate_name*)>
+<!ELEMENT alternate_name (#PCDATA)>
+<!ELEMENT catalytic_activity (#PCDATA)>
+<!ELEMENT cofactor_list (cofactor*)>
+<!ELEMENT cofactor (#PCDATA)>
+<!ELEMENT comment_list (comment*)>
+<!ELEMENT comment (#PCDATA)>
+<!ELEMENT prosite_reference (#PCDATA)>
+<!ATTLIST prosite_reference
+  prosite_accession_number NMTOKEN #REQUIRED>
+<!ELEMENT swissprot_reference_list (reference*)>
+<!ELEMENT reference (#PCDATA)>
+<!ATTLIST reference
+  name CDATA #REQUIRED
+  swissprot_accession_number NMTOKEN #REQUIRED>
+<!ELEMENT disease_list (disease*)>
+<!ELEMENT disease (#PCDATA)>
+<!ATTLIST disease
+  mim_id CDATA #REQUIRED>|}
+
+let dtd = Gxml.Dtd.parse dtd_source
+
+let collection = "hlx_enzyme.DEFAULT"
+
+let elem = Gxml.Tree.element
+let text s = Gxml.Tree.text s
+let leaf tag s = Gxml.Tree.Element (elem tag [ text s ])
+
+let to_document (e : Enzyme.t) =
+  let root =
+    elem "hlx_enzyme"
+      [ Gxml.Tree.Element
+          (elem "db_entry"
+             (List.concat
+                [ [ leaf "enzyme_id" e.ec_number ];
+                  [ leaf "enzyme_description" e.description ];
+                  [ Gxml.Tree.Element
+                      (elem "alternate_name_list"
+                         (List.map (leaf "alternate_name") e.alternate_names)) ];
+                  List.map
+                    (fun a -> leaf "catalytic_activity" a)
+                    e.catalytic_activities;
+                  [ Gxml.Tree.Element
+                      (elem "cofactor_list" (List.map (leaf "cofactor") e.cofactors)) ];
+                  [ Gxml.Tree.Element
+                      (elem "comment_list" (List.map (leaf "comment") e.comments)) ];
+                  List.map
+                    (fun p ->
+                      Gxml.Tree.Element
+                        (elem "prosite_reference"
+                           ~attrs:[ ("prosite_accession_number", p) ]
+                           [ text p ]))
+                    e.prosite_refs;
+                  [ Gxml.Tree.Element
+                      (elem "swissprot_reference_list"
+                         (List.map
+                            (fun (r : Enzyme.swissprot_ref) ->
+                              Gxml.Tree.Element
+                                (elem "reference"
+                                   ~attrs:
+                                     [ ("name", r.entry_name);
+                                       ("swissprot_accession_number", r.accession) ]
+                                   [ text r.entry_name ]))
+                            e.swissprot_refs)) ];
+                  [ Gxml.Tree.Element
+                      (elem "disease_list"
+                         (List.map
+                            (fun (d : Enzyme.disease) ->
+                              Gxml.Tree.Element
+                                (elem "disease" ~attrs:[ ("mim_id", d.mim_id) ]
+                                   [ text d.disease_description ]))
+                            e.diseases)) ] ]))
+      ]
+  in
+  Gxml.Tree.document root
+
+let document_name (e : Enzyme.t) = e.ec_number
+
+let of_document (doc : Gxml.Tree.document) =
+  let open Gxml.Tree in
+  try
+    if doc.root.tag <> "hlx_enzyme" then failwith "root is not hlx_enzyme";
+    let entry =
+      match child_named doc.root "db_entry" with
+      | Some e -> e
+      | None -> failwith "missing db_entry"
+    in
+    let required name =
+      match child_named entry name with
+      | Some e -> text_content e
+      | None -> failwith ("missing " ^ name)
+    in
+    let list_of container item =
+      match child_named entry container with
+      | None -> []
+      | Some c -> List.map text_content (children_named c item)
+    in
+    Ok
+      { Enzyme.ec_number = required "enzyme_id";
+        description = required "enzyme_description";
+        alternate_names = list_of "alternate_name_list" "alternate_name";
+        catalytic_activities =
+          List.map text_content (children_named entry "catalytic_activity");
+        cofactors = list_of "cofactor_list" "cofactor";
+        comments = list_of "comment_list" "comment";
+        prosite_refs =
+          List.map
+            (fun p -> attr_exn p "prosite_accession_number")
+            (children_named entry "prosite_reference");
+        swissprot_refs =
+          (match child_named entry "swissprot_reference_list" with
+           | None -> []
+           | Some l ->
+             List.map
+               (fun r ->
+                 { Enzyme.accession = attr_exn r "swissprot_accession_number";
+                   entry_name = attr_exn r "name" })
+               (children_named l "reference"));
+        diseases =
+          (match child_named entry "disease_list" with
+           | None -> []
+           | Some l ->
+             List.map
+               (fun d ->
+                 { Enzyme.mim_id = attr_exn d "mim_id";
+                   disease_description = text_content d })
+               (children_named l "disease")) }
+  with
+  | Failure m -> Error m
+  | Not_found -> Error "missing required attribute"

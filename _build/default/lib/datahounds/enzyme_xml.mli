@@ -1,0 +1,20 @@
+(** XML-Transformer for the E NZYME database: the DTD of the paper's
+    Figure 5 and the document shape of Figure 6. One XML document is
+    produced per entry ([hlx_enzyme] has a single [db_entry]). *)
+
+val dtd_source : string
+(** The DTD declaration text (Fig. 5, element names use underscores). *)
+
+val dtd : Gxml.Dtd.t
+
+val collection : string
+(** Default warehouse collection name: ["hlx_enzyme.DEFAULT"]. *)
+
+val to_document : Enzyme.t -> Gxml.Tree.document
+(** Valid with respect to {!dtd}. *)
+
+val of_document : Gxml.Tree.document -> (Enzyme.t, string) result
+(** Inverse of {!to_document}. *)
+
+val document_name : Enzyme.t -> string
+(** Warehouse document name: the EC number. *)

@@ -1,0 +1,296 @@
+type t = {
+  accession : string;
+  definition : string;
+  molecule : string;
+  sequence_length : int;
+  keywords : string list;
+  organism : string;
+  features : Embl.feature list;
+  sequence : string;
+}
+
+exception Bad_entry of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_entry m)) fmt
+
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') s
+
+(* The keyword occupies columns 0-11; continuation lines leave it blank. *)
+let split_keyword line =
+  let n = String.length line in
+  let kw_field = if n >= 12 then String.sub line 0 12 else line ^ String.make (12 - n) ' ' in
+  let content = if n > 12 then String.sub line 12 (n - 12) else "" in
+  (String.trim kw_field, content)
+
+let strip_dot s =
+  let s = String.trim s in
+  if String.length s > 0 && s.[String.length s - 1] = '.' then
+    String.trim (String.sub s 0 (String.length s - 1))
+  else s
+
+let split_semis s =
+  String.split_on_char ';' s
+  |> List.filter_map (fun p ->
+      let p = String.trim p in
+      if p = "" then None else Some p)
+
+(* LOCUS       AB000001     180 bp    DNA     linear   INV 01-JAN-2002 *)
+let parse_locus content =
+  match
+    String.split_on_char ' ' content |> List.filter (fun s -> s <> "")
+  with
+  | name :: len :: "bp" :: molecule :: _ ->
+    (match int_of_string_opt len with
+     | Some n -> (name, n, molecule)
+     | None -> bad "bad length in LOCUS line %S" content)
+  | _ -> bad "malformed LOCUS line %S" content
+
+(* Feature table: keys at column 5 (content column 5-20), qualifiers at
+   column 21 starting with '/'. We receive the content *after* column 12
+   stripping won't work here — features keep their own layout, so parse
+   from the raw line. *)
+let parse_features raw_lines =
+  let features = ref [] and current = ref None in
+  let flush () =
+    match !current with
+    | Some (key, loc, quals) ->
+      features :=
+        { Embl.feature_key = key; location = loc; qualifiers = List.rev quals }
+        :: !features;
+      current := None
+    | None -> ()
+  in
+  List.iter
+    (fun raw ->
+      let body = String.trim raw in
+      if body = "" then ()
+      else if body.[0] = '/' then begin
+        let body = String.sub body 1 (String.length body - 1) in
+        match String.index_opt body '=' with
+        | None -> bad "malformed qualifier %S" raw
+        | Some i ->
+          let name = String.sub body 0 i in
+          let value = String.sub body (i + 1) (String.length body - i - 1) in
+          let value =
+            let v = String.trim value in
+            if String.length v >= 2 && v.[0] = '"' && v.[String.length v - 1] = '"'
+            then String.sub v 1 (String.length v - 2)
+            else v
+          in
+          let qualifier_type = String.map (fun c -> if c = '_' then ' ' else c) name in
+          (match !current with
+           | Some (key, loc, quals) ->
+             current :=
+               Some (key, loc, { Embl.qualifier_type; qualifier_value = value } :: quals)
+           | None -> bad "qualifier before any feature: %S" raw)
+      end
+      else begin
+        flush ();
+        match String.index_opt body ' ' with
+        | None -> current := Some (body, "", [])
+        | Some i ->
+          let key = String.sub body 0 i in
+          let loc = String.trim (String.sub body i (String.length body - i)) in
+          current := Some (key, loc, [])
+      end)
+    raw_lines;
+  flush ();
+  List.rev !features
+
+let clean_sequence lines =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun line ->
+      String.iter
+        (fun c ->
+          if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') then
+            Buffer.add_char buf (Char.lowercase_ascii c))
+        line)
+    lines;
+  Buffer.contents buf
+
+(* A section header has its (uppercase) keyword within the first four
+   columns: LOCUS/DEFINITION/... at column 0, ORGANISM at column 2.
+   Feature lines (column 5) and sequence lines (digits) are continuation
+   lines of the preceding section. *)
+let is_section_start raw =
+  let n = String.length raw in
+  let rec first_nonspace i =
+    if i >= n then None else if raw.[i] <> ' ' then Some i else first_nonspace (i + 1)
+  in
+  match first_nonspace 0 with
+  | Some i when i <= 3 -> raw.[i] >= 'A' && raw.[i] <= 'Z'
+  | _ -> false
+
+let parse_entry lines =
+  (* sections keep their header content (columns 12+) plus raw
+     continuation lines, whose layout matters for FEATURES *)
+  let sections = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some (kw, header, rest) ->
+      sections := (kw, header :: List.rev rest) :: !sections;
+      current := None
+    | None -> ()
+  in
+  List.iter
+    (fun raw ->
+      if is_blank raw then ()
+      else if is_section_start raw then begin
+        flush ();
+        let kw, content = split_keyword raw in
+        current := Some (kw, content, [])
+      end
+      else
+        match !current with
+        | Some (kw, header, rest) -> current := Some (kw, header, raw :: rest)
+        | None -> bad "continuation line before any section: %S" raw)
+    lines;
+  flush ();
+  let sections = List.rev !sections in
+  let find kw = List.assoc_opt kw sections in
+  let accession, sequence_length, molecule =
+    match find "LOCUS" with
+    | Some (first :: _) -> parse_locus first
+    | _ -> bad "entry has no LOCUS line"
+  in
+  let definition =
+    match find "DEFINITION" with
+    | Some lines -> strip_dot (String.concat " " (List.map String.trim lines))
+    | None -> bad "entry %s has no DEFINITION" accession
+  in
+  let accession =
+    match find "ACCESSION" with
+    | Some (first :: _) -> String.trim first
+    | _ -> accession
+  in
+  let keywords =
+    match find "KEYWORDS" with
+    | Some lines -> split_semis (strip_dot (String.concat " " lines))
+    | None -> []
+  in
+  let organism =
+    match find "ORGANISM" with
+    | Some (first :: _) -> String.trim first
+    | _ ->
+      (match find "SOURCE" with
+       | Some (first :: _) -> String.trim first
+       | _ -> "")
+  in
+  let features =
+    match find "FEATURES" with
+    | Some (_header :: rest) -> parse_features rest
+    | _ -> []
+  in
+  let sequence =
+    match find "ORIGIN" with
+    | Some lines -> clean_sequence lines
+    | None -> ""
+  in
+  { accession; definition; molecule; sequence_length; keywords; organism;
+    features; sequence }
+
+let parse_many text =
+  let lines = String.split_on_char '\n' text in
+  let entries = ref [] and current = ref [] in
+  List.iter
+    (fun raw ->
+      let raw =
+        if String.length raw > 0 && raw.[String.length raw - 1] = '\r' then
+          String.sub raw 0 (String.length raw - 1)
+        else raw
+      in
+      if String.trim raw = "//" then begin
+        if !current <> [] then entries := List.rev !current :: !entries;
+        current := []
+      end
+      else if not (is_blank raw && !current = []) then current := raw :: !current)
+    lines;
+  if !current <> [] && not (List.for_all is_blank !current) then
+    bad "final entry is not terminated by //";
+  List.map parse_entry (List.rev !entries)
+
+let render entries =
+  let buf = Buffer.create 4096 in
+  let section kw content = Printf.bprintf buf "%-12s%s\n" kw content in
+  List.iter
+    (fun t ->
+      section "LOCUS"
+        (Printf.sprintf "%s     %d bp    %s     linear" t.accession
+           t.sequence_length t.molecule);
+      section "DEFINITION" (t.definition ^ ".");
+      section "ACCESSION" t.accession;
+      if t.keywords <> [] then section "KEYWORDS" (String.concat "; " t.keywords ^ ".");
+      if t.organism <> "" then begin
+        section "SOURCE" t.organism;
+        section "  ORGANISM" t.organism
+      end;
+      if t.features <> [] then begin
+        section "FEATURES" "             Location/Qualifiers";
+        List.iter
+          (fun (f : Embl.feature) ->
+            Printf.bprintf buf "     %-16s%s\n" f.feature_key f.location;
+            List.iter
+              (fun (q : Embl.qualifier) ->
+                let name =
+                  String.map (fun c -> if c = ' ' then '_' else c) q.qualifier_type
+                in
+                Printf.bprintf buf "                     /%s=\"%s\"\n" name
+                  q.qualifier_value)
+              f.qualifiers)
+          t.features
+      end;
+      if t.sequence <> "" then begin
+        section "ORIGIN" "";
+        let n = String.length t.sequence in
+        let rec chunks i =
+          if i < n then begin
+            let len = min 60 (n - i) in
+            let chunk = String.sub t.sequence i len in
+            (* groups of 10, offset label *)
+            let grouped = Buffer.create 72 in
+            String.iteri
+              (fun j c ->
+                if j > 0 && j mod 10 = 0 then Buffer.add_char grouped ' ';
+                Buffer.add_char grouped c)
+              chunk;
+            Printf.bprintf buf "%9d %s\n" (i + 1) (Buffer.contents grouped);
+            chunks (i + len)
+          end
+        in
+        chunks 0
+      end;
+      Buffer.add_string buf "//\n")
+    entries;
+  Buffer.contents buf
+
+let of_embl (e : Embl.t) =
+  { accession = e.accession;
+    definition = e.description;
+    molecule = "DNA";
+    sequence_length = e.sequence_length;
+    keywords = e.keywords;
+    organism = e.organism;
+    features = e.features;
+    sequence = e.sequence }
+
+let sample_entry =
+  String.concat "\n"
+    [ "LOCUS       AB000102     120 bp    DNA     linear";
+      "DEFINITION  Caenorhabditis elegans mcm2 gene, partial sequence.";
+      "ACCESSION   AB000102";
+      "KEYWORDS    mcm2; replication licensing.";
+      "SOURCE      Caenorhabditis elegans";
+      "  ORGANISM  Caenorhabditis elegans";
+      "FEATURES             Location/Qualifiers";
+      "     source          1..120";
+      "                     /organism=\"Caenorhabditis elegans\"";
+      "     CDS             10..110";
+      "                     /gene=\"mcm2\"";
+      "                     /EC_number=\"3.6.4.12\"";
+      "ORIGIN      ";
+      "        1 atgcgtacgt tagcatcgat cgatcgatta gcatgcatgc atcgatcgta gctagctagc";
+      "       61 aatgcgtacg ttagcatcga tcgatcgatt agcatgcatg catcgatcgt agctagctag";
+      "//";
+      "" ]

@@ -1,0 +1,38 @@
+(** GenBank flat-file format (NCBI).
+
+    The paper names GenBank as the archetypal "large and frequently
+    updated" source (Section 4). Its grammar differs from the
+    EMBL/ENZYME line-code family: keywords occupy a fixed 12-column
+    field (LOCUS, DEFINITION, ACCESSION, KEYWORDS, SOURCE, ORGANISM,
+    FEATURES, ORIGIN), continuation lines are indented, the feature
+    table indents keys to column 6 and qualifiers to column 22, and the
+    sequence follows ORIGIN with decimal offsets. *)
+
+type t = {
+  accession : string;
+  definition : string;
+  molecule : string;       (** e.g. "DNA" *)
+  sequence_length : int;
+  keywords : string list;
+  organism : string;
+  features : Embl.feature list;  (** same structure as EMBL features *)
+  sequence : string;       (** lowercase residues *)
+}
+
+exception Bad_entry of string
+
+val parse_entry : string list -> t
+(** Parse one entry given as its raw lines (without the terminating "//").
+    @raise Bad_entry on malformed input. *)
+
+val parse_many : string -> t list
+(** Split on "//" terminator lines and parse each entry. *)
+
+val render : t list -> string
+(** Serialise records back to GenBank format (inverse of {!parse_many}). *)
+
+val of_embl : Embl.t -> t
+(** The same biological entry viewed through the GenBank lens (used by
+    the workload generator: one logical universe, two source formats). *)
+
+val sample_entry : string

@@ -1,0 +1,111 @@
+let dtd_source =
+  {|<!ELEMENT hlx_n_sequence (db_entry)>
+<!ELEMENT db_entry (genbank_accession_number, definition, molecule,
+  sequence_length, keyword_list, organism, feature_list, sequence)>
+<!ELEMENT genbank_accession_number (#PCDATA)>
+<!ELEMENT definition (#PCDATA)>
+<!ELEMENT molecule (#PCDATA)>
+<!ELEMENT sequence_length (#PCDATA)>
+<!ELEMENT keyword_list (keyword*)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT organism (#PCDATA)>
+<!ELEMENT feature_list (feature*)>
+<!ELEMENT feature (qualifier*)>
+<!ATTLIST feature
+  feature_key CDATA #REQUIRED
+  location CDATA #REQUIRED>
+<!ELEMENT qualifier (#PCDATA)>
+<!ATTLIST qualifier
+  qualifier_type CDATA #REQUIRED>
+<!ELEMENT sequence (#PCDATA)>|}
+
+let dtd = Gxml.Dtd.parse dtd_source
+
+let sequence_elements = [ "sequence" ]
+
+let collection = "hlx_genbank.all"
+
+let elem = Gxml.Tree.element
+let text = Gxml.Tree.text
+let leaf tag s = Gxml.Tree.Element (elem tag [ text s ])
+
+let feature_elements features =
+  List.map
+    (fun (f : Embl.feature) ->
+      Gxml.Tree.Element
+        (elem "feature"
+           ~attrs:[ ("feature_key", f.feature_key); ("location", f.location) ]
+           (List.map
+              (fun (q : Embl.qualifier) ->
+                Gxml.Tree.Element
+                  (elem "qualifier" ~attrs:[ ("qualifier_type", q.qualifier_type) ]
+                     [ text q.qualifier_value ]))
+              f.qualifiers)))
+    features
+
+let to_document (g : Genbank.t) =
+  let root =
+    elem "hlx_n_sequence"
+      [ Gxml.Tree.Element
+          (elem "db_entry"
+             [ leaf "genbank_accession_number" g.accession;
+               leaf "definition" g.definition;
+               leaf "molecule" g.molecule;
+               leaf "sequence_length" (string_of_int g.sequence_length);
+               Gxml.Tree.Element
+                 (elem "keyword_list" (List.map (leaf "keyword") g.keywords));
+               leaf "organism" g.organism;
+               Gxml.Tree.Element (elem "feature_list" (feature_elements g.features));
+               leaf "sequence" g.sequence ])
+      ]
+  in
+  Gxml.Tree.document root
+
+let document_name (g : Genbank.t) = g.accession
+
+let of_document (doc : Gxml.Tree.document) =
+  let open Gxml.Tree in
+  try
+    if doc.root.tag <> "hlx_n_sequence" then failwith "root is not hlx_n_sequence";
+    let entry =
+      match child_named doc.root "db_entry" with
+      | Some e -> e
+      | None -> failwith "missing db_entry"
+    in
+    let required name =
+      match child_named entry name with
+      | Some e -> text_content e
+      | None -> failwith ("missing " ^ name)
+    in
+    Ok
+      { Genbank.accession = required "genbank_accession_number";
+        definition = required "definition";
+        molecule = required "molecule";
+        sequence_length =
+          (match int_of_string_opt (required "sequence_length") with
+           | Some n -> n
+           | None -> failwith "bad sequence_length");
+        keywords =
+          (match child_named entry "keyword_list" with
+           | None -> []
+           | Some l -> List.map text_content (children_named l "keyword"));
+        organism = required "organism";
+        features =
+          (match child_named entry "feature_list" with
+           | None -> []
+           | Some l ->
+             List.map
+               (fun f ->
+                 { Embl.feature_key = attr_exn f "feature_key";
+                   location = attr_exn f "location";
+                   qualifiers =
+                     List.map
+                       (fun q ->
+                         { Embl.qualifier_type = attr_exn q "qualifier_type";
+                           qualifier_value = text_content q })
+                       (children_named f "qualifier") })
+               (children_named l "feature"));
+        sequence = required "sequence" }
+  with
+  | Failure m -> Error m
+  | Not_found -> Error "missing required attribute"

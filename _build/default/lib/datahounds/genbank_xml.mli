@@ -1,0 +1,11 @@
+(** XML-Transformer for GenBank entries (root [hlx_n_sequence], same
+    query vocabulary as the EMBL transformer so the GUI's queries span
+    both nucleotide warehouses). *)
+
+val dtd_source : string
+val dtd : Gxml.Dtd.t
+val sequence_elements : string list
+val to_document : Genbank.t -> Gxml.Tree.document
+val of_document : Gxml.Tree.document -> (Genbank.t, string) result
+val document_name : Genbank.t -> string
+val collection : string

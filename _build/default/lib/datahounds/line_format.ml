@@ -1,0 +1,99 @@
+type line = {
+  code : string;
+  content : string;
+}
+
+type entry = line list
+
+exception Format_error of { entry_index : int; line : int; message : string }
+
+let fail ~entry_index ~line fmt =
+  Printf.ksprintf
+    (fun message -> raise (Format_error { entry_index; line; message }))
+    fmt
+
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') s
+
+let parse_line ~entry_index ~lineno raw =
+  let raw =
+    if String.length raw > 0 && raw.[String.length raw - 1] = '\r' then
+      String.sub raw 0 (String.length raw - 1)
+    else raw
+  in
+  if String.length raw < 2 then
+    fail ~entry_index ~line:lineno "line too short for a line code: %S" raw
+  else begin
+    let code = String.sub raw 0 2 in
+    let rest =
+      if String.length raw <= 2 then ""
+      else begin
+        (* characters 3..5 are blank separators; tolerate shorter padding *)
+        let body = String.sub raw 2 (String.length raw - 2) in
+        let i = ref 0 in
+        while !i < String.length body && !i < 3 && body.[!i] = ' ' do incr i done;
+        String.sub body !i (String.length body - !i)
+      end
+    in
+    { code; content = rest }
+  end
+
+let split_entries text =
+  let lines = String.split_on_char '\n' text in
+  let entries = ref [] and current = ref [] and entry_index = ref 0 in
+  List.iteri
+    (fun lineno raw ->
+      let lineno = lineno + 1 in
+      let raw' =
+        if String.length raw > 0 && raw.[String.length raw - 1] = '\r' then
+          String.sub raw 0 (String.length raw - 1)
+        else raw
+      in
+      if is_blank raw' && !current = [] then ()
+      else if raw' = "//" then begin
+        if !current = [] then
+          fail ~entry_index:!entry_index ~line:lineno "empty entry before //"
+        else begin
+          entries := List.rev !current :: !entries;
+          current := [];
+          incr entry_index
+        end
+      end
+      else if is_blank raw' then ()
+      else current := parse_line ~entry_index:!entry_index ~lineno raw' :: !current)
+    lines;
+  if !current <> [] then
+    fail ~entry_index:!entry_index ~line:(List.length lines)
+      "final entry is not terminated by //";
+  List.rev !entries
+
+let fields entry code =
+  List.filter_map
+    (fun l -> if String.equal l.code code then Some l.content else None)
+    entry
+
+let field_opt entry code =
+  match fields entry code with
+  | [] -> None
+  | c :: _ -> Some c
+
+let joined ?(sep = " ") entry code =
+  match fields entry code with
+  | [] -> None
+  | parts -> Some (String.concat sep parts)
+
+let render entries =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun entry ->
+      List.iter
+        (fun l ->
+          Buffer.add_string buf l.code;
+          if l.content <> "" then begin
+            Buffer.add_string buf "   ";
+            Buffer.add_string buf l.content
+          end;
+          Buffer.add_char buf '\n')
+        entry;
+      Buffer.add_string buf "//\n")
+    entries;
+  Buffer.contents buf

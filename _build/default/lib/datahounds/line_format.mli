@@ -1,0 +1,37 @@
+(** Line-coded flat files.
+
+    The biological databases Data Hounds harvests (ENZYME, EMBL,
+    Swiss-Prot) share a line-oriented structure, described in the paper's
+    Figure 3: characters 1-2 are a line code, characters 3-5 are blank,
+    data starts at character 6; entries are terminated by a "//" line.
+    This module splits raw flat-file text into entries of (code, content)
+    lines for the per-source parsers. *)
+
+type line = {
+  code : string;     (** two-character line code, e.g. "ID", "DE" *)
+  content : string;  (** data portion, leading separator blanks stripped *)
+}
+
+type entry = line list
+
+exception Format_error of { entry_index : int; line : int; message : string }
+
+val split_entries : string -> entry list
+(** Split raw text into "//"-terminated entries. Blank lines between
+    entries are skipped; a final entry without "//" raises
+    [Format_error]; a malformed line (no code) raises too. *)
+
+val fields : entry -> string -> string list
+(** [fields e "AN"] is the content of every AN line, in order. *)
+
+val field_opt : entry -> string -> string option
+(** First line with the given code, if any. *)
+
+val joined : ?sep:string -> entry -> string -> string option
+(** Concatenate the content of all lines with the code (continuation
+    lines), separated by [sep] (default a single space); [None] if the
+    code does not occur. *)
+
+val render : entry list -> string
+(** Render entries back to flat-file text: each line as
+    [code ^ "   " ^ content], each entry terminated by "//". *)

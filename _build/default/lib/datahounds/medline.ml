@@ -1,0 +1,143 @@
+type t = {
+  pmid : string;
+  title : string;
+  abstract : string;
+  authors : string list;
+  journal : string;
+  year : int;
+  mesh_terms : string list;
+  ec_refs : string list;
+}
+
+exception Bad_entry of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_entry m)) fmt
+
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') s
+
+(* "TAG - content"; tags are 1-4 chars padded to 4, then "- ". A line
+   starting with six spaces continues the previous field. *)
+let parse_fields lines =
+  let fields = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some (tag, buf) ->
+      fields := (tag, Buffer.contents buf) :: !fields;
+      current := None
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      if is_blank line then ()
+      else if String.length line >= 6 && String.sub line 0 6 = "      " then begin
+        match !current with
+        | Some (_, buf) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (String.trim line)
+        | None -> bad "continuation line before any tag: %S" line
+      end
+      else if String.length line >= 6 && String.sub line 4 2 = "- " then begin
+        flush ();
+        let tag = String.trim (String.sub line 0 4) in
+        let buf = Buffer.create 32 in
+        Buffer.add_string buf (String.sub line 6 (String.length line - 6));
+        current := Some (tag, buf)
+      end
+      else bad "malformed MEDLINE line: %S" line)
+    lines;
+  flush ();
+  List.rev !fields
+
+let field_all fields tag =
+  List.filter_map (fun (t, v) -> if t = tag then Some v else None) fields
+
+let field_one fields tag =
+  match field_all fields tag with
+  | v :: _ -> Some v
+  | [] -> None
+
+let parse_entry lines =
+  let fields = parse_fields lines in
+  let pmid =
+    match field_one fields "PMID" with
+    | Some p -> String.trim p
+    | None -> bad "citation has no PMID"
+  in
+  let title = Option.value ~default:"" (field_one fields "TI") in
+  let abstract = Option.value ~default:"" (field_one fields "AB") in
+  let journal = Option.value ~default:"" (field_one fields "JT") in
+  let year =
+    match field_one fields "DP" with
+    | Some dp ->
+      (match int_of_string_opt (String.trim (String.sub dp 0 (min 4 (String.length dp)))) with
+       | Some y -> y
+       | None -> 0)
+    | None -> 0
+  in
+  let ec_refs =
+    List.filter_map
+      (fun rn ->
+        let rn = String.trim rn in
+        if String.length rn > 3 && String.sub rn 0 3 = "EC " then
+          Some (String.sub rn 3 (String.length rn - 3))
+        else None)
+      (field_all fields "RN")
+  in
+  { pmid; title; abstract; journal; year;
+    authors = field_all fields "AU";
+    mesh_terms = field_all fields "MH";
+    ec_refs }
+
+let parse_many text =
+  let lines = String.split_on_char '\n' text in
+  let entries = ref [] and current = ref [] in
+  List.iter
+    (fun raw ->
+      let raw =
+        if String.length raw > 0 && raw.[String.length raw - 1] = '\r' then
+          String.sub raw 0 (String.length raw - 1)
+        else raw
+      in
+      if is_blank raw then begin
+        if !current <> [] then begin
+          entries := List.rev !current :: !entries;
+          current := []
+        end
+      end
+      else current := raw :: !current)
+    lines;
+  if !current <> [] then entries := List.rev !current :: !entries;
+  List.map parse_entry (List.rev !entries)
+
+let render entries =
+  let buf = Buffer.create 4096 in
+  let field tag v = Printf.bprintf buf "%-4s- %s\n" tag v in
+  List.iteri
+    (fun i t ->
+      if i > 0 then Buffer.add_char buf '\n';
+      field "PMID" t.pmid;
+      if t.title <> "" then field "TI" t.title;
+      if t.abstract <> "" then field "AB" t.abstract;
+      List.iter (field "AU") t.authors;
+      if t.journal <> "" then field "JT" t.journal;
+      if t.year > 0 then field "DP" (string_of_int t.year);
+      List.iter (fun m -> field "MH" m) t.mesh_terms;
+      List.iter (fun ec -> field "RN" ("EC " ^ ec)) t.ec_refs)
+    entries;
+  Buffer.contents buf
+
+let sample_entry =
+  String.concat "\n"
+    [ "PMID- 11972062";
+      "TI  - Crystal structure of peptidylglycine monooxygenase at 2.1 A.";
+      "AB  - We report the structure of the copper-dependent enzyme and its";
+      "      ketone-stabilised reaction intermediate.";
+      "AU  - Prigge ST";
+      "AU  - Amzel LM";
+      "JT  - Nature Structural Biology";
+      "DP  - 2002";
+      "MH  - Enzymes";
+      "MH  - Crystallography";
+      "RN  - EC 1.14.17.3";
+      "" ]

@@ -1,0 +1,27 @@
+(** MEDLINE citation format (PubMed nbib).
+
+    The paper's introduction motivates correlating sequence warehouses
+    with "databases on references to literature" (its citation [7] is
+    Medline). Tags occupy four columns followed by "- "; continuation
+    lines are indented six columns. RN lines carry EC numbers
+    ("RN  - EC 1.14.17.3"), which is the join key back to E NZYME. *)
+
+type t = {
+  pmid : string;
+  title : string;
+  abstract : string;
+  authors : string list;
+  journal : string;
+  year : int;
+  mesh_terms : string list;
+  ec_refs : string list;   (** EC numbers from RN lines *)
+}
+
+exception Bad_entry of string
+
+val parse_many : string -> t list
+(** Entries are separated by blank lines. *)
+
+val render : t list -> string
+
+val sample_entry : string

@@ -1,0 +1,77 @@
+let dtd_source =
+  {|<!ELEMENT hlx_citation (db_entry)>
+<!ELEMENT db_entry (pmid, title, abstract, author_list, journal, year,
+  mesh_term_list, ec_reference_list)>
+<!ELEMENT pmid (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT abstract (#PCDATA)>
+<!ELEMENT author_list (author*)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT journal (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT mesh_term_list (mesh_term*)>
+<!ELEMENT mesh_term (#PCDATA)>
+<!ELEMENT ec_reference_list (ec_reference*)>
+<!ELEMENT ec_reference (#PCDATA)>|}
+
+let dtd = Gxml.Dtd.parse dtd_source
+
+let collection = "hlx_medline.all"
+
+let elem = Gxml.Tree.element
+let text = Gxml.Tree.text
+let leaf tag s = Gxml.Tree.Element (elem tag [ text s ])
+
+let to_document (m : Medline.t) =
+  let root =
+    elem "hlx_citation"
+      [ Gxml.Tree.Element
+          (elem "db_entry"
+             [ leaf "pmid" m.pmid;
+               leaf "title" m.title;
+               leaf "abstract" m.abstract;
+               Gxml.Tree.Element (elem "author_list" (List.map (leaf "author") m.authors));
+               leaf "journal" m.journal;
+               leaf "year" (string_of_int m.year);
+               Gxml.Tree.Element
+                 (elem "mesh_term_list" (List.map (leaf "mesh_term") m.mesh_terms));
+               Gxml.Tree.Element
+                 (elem "ec_reference_list" (List.map (leaf "ec_reference") m.ec_refs)) ])
+      ]
+  in
+  Gxml.Tree.document root
+
+let document_name (m : Medline.t) = m.pmid
+
+let of_document (doc : Gxml.Tree.document) =
+  let open Gxml.Tree in
+  try
+    if doc.root.tag <> "hlx_citation" then failwith "root is not hlx_citation";
+    let entry =
+      match child_named doc.root "db_entry" with
+      | Some e -> e
+      | None -> failwith "missing db_entry"
+    in
+    let required name =
+      match child_named entry name with
+      | Some e -> text_content e
+      | None -> failwith ("missing " ^ name)
+    in
+    let list_of container item =
+      match child_named entry container with
+      | None -> []
+      | Some c -> List.map text_content (children_named c item)
+    in
+    Ok
+      { Medline.pmid = required "pmid";
+        title = required "title";
+        abstract = required "abstract";
+        authors = list_of "author_list" "author";
+        journal = required "journal";
+        year =
+          (match int_of_string_opt (required "year") with
+           | Some y -> y
+           | None -> failwith "bad year");
+        mesh_terms = list_of "mesh_term_list" "mesh_term";
+        ec_refs = list_of "ec_reference_list" "ec_reference" }
+  with Failure m -> Error m

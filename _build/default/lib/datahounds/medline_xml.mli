@@ -1,0 +1,10 @@
+(** XML-Transformer for MEDLINE citations (root [hlx_citation]).
+    The [ec_reference] elements carry the EC numbers joined against
+    E NZYME ids in cross-domain queries. *)
+
+val dtd_source : string
+val dtd : Gxml.Dtd.t
+val to_document : Medline.t -> Gxml.Tree.document
+val of_document : Gxml.Tree.document -> (Medline.t, string) result
+val document_name : Medline.t -> string
+val collection : string

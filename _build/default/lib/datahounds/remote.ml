@@ -1,0 +1,70 @@
+type t = { root : string }
+
+let releases_dir t = Filename.concat t.root "releases"
+let current_file t = Filename.concat t.root "CURRENT"
+
+let mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    let parent = Filename.dirname path in
+    if parent <> path && not (Sys.file_exists parent) then
+      (* one level is enough for our fixed layout *)
+      Sys.mkdir parent 0o755;
+    Sys.mkdir path 0o755
+  end
+
+let create ~root =
+  let t = { root } in
+  mkdir_p root;
+  mkdir_p (releases_dir t);
+  t
+
+let release_path t version = Filename.concat (releases_dir t) (version ^ ".dat")
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let publish t ~version payload =
+  write_file (release_path t version) payload;
+  (* atomic-enough pointer switch: write then rename *)
+  let tmp = current_file t ^ ".tmp" in
+  write_file tmp version;
+  Sys.rename tmp (current_file t)
+
+let current_version t =
+  if Sys.file_exists (current_file t) then
+    Some (String.trim (read_file (current_file t)))
+  else None
+
+let fetch t =
+  match current_version t with
+  | None -> Error "remote has no published release"
+  | Some version ->
+    let path = release_path t version in
+    if Sys.file_exists path then Ok (version, read_file path)
+    else Error (Printf.sprintf "CURRENT points to missing release %S" version)
+
+let poll t ~last_seen =
+  match current_version t, last_seen with
+  | None, _ -> `Unchanged
+  | Some v, Some seen when v = seen -> `Unchanged
+  | Some v, _ -> `New_release v
+
+let mirror ?triggers t wh (source : Warehouse.source) ~last_seen =
+  match poll t ~last_seen with
+  | `Unchanged -> Ok `Unchanged
+  | `New_release _ ->
+    (match fetch t with
+     | Error _ as e -> e
+     | Ok (v, payload) ->
+       (match Sync.sync_source ?triggers wh source payload with
+        | Ok report -> Ok (`Synced (v, report))
+        | Error _ as e -> e))

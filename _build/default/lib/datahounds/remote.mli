@@ -1,0 +1,40 @@
+(** Simulated remote repositories.
+
+    "Most of the publicly accessible databases of interest are accessible
+    through internet protocols such as FTP and HTTP. Typically, updates
+    to these databases are also provided through pre-designated locations"
+    (paper, Section 2.1). Offline, we model such a source as a directory
+    of versioned release files plus a designated "current release"
+    pointer — the same contract an FTP mirror offers: fetch the current
+    dump, and poll cheaply whether a newer release has been published.
+
+    Layout on disk:
+    {v
+    <root>/releases/<version>.dat   release payloads (flat-file text)
+    <root>/CURRENT                  name of the current version
+    v} *)
+
+type t
+
+val create : root:string -> t
+(** Prepare (and mkdir) a remote rooted at [root]. *)
+
+val publish : t -> version:string -> string -> unit
+(** Publish a release and move the CURRENT pointer to it. *)
+
+val current_version : t -> string option
+
+val fetch : t -> (string * string, string) result
+(** Download the current release: (version, payload). *)
+
+val poll : t -> last_seen:string option -> [ `Unchanged | `New_release of string ]
+(** The cheap update check a Data Hound runs on its schedule: compares
+    the CURRENT pointer against the last version it integrated. *)
+
+val mirror :
+  ?triggers:Sync.trigger list ->
+  t -> Warehouse.t -> Warehouse.source -> last_seen:string option ->
+  ([ `Unchanged | `Synced of string * Sync.report ], string) result
+(** One Data Hound cycle: poll, and if a new release is out, fetch it and
+    sync it into the warehouse through the source's transformer. Returns
+    the new version to remember. *)

@@ -1,0 +1,416 @@
+let schema_ddl =
+  [ "CREATE TABLE xml_doc (doc_id INTEGER PRIMARY KEY, collection TEXT NOT NULL, \
+     name TEXT NOT NULL, root_tag TEXT NOT NULL)";
+    "CREATE TABLE xml_path (path_id INTEGER PRIMARY KEY, path TEXT NOT NULL)";
+    "CREATE TABLE xml_node (doc_id INTEGER NOT NULL, node_id INTEGER NOT NULL, \
+     parent_id INTEGER, ord INTEGER NOT NULL, kind TEXT NOT NULL, name TEXT, \
+     path_id INTEGER NOT NULL, sval TEXT, nval REAL, is_seq INTEGER NOT NULL, \
+     last_desc INTEGER NOT NULL, PRIMARY KEY (doc_id, node_id))";
+    "CREATE TABLE xml_keyword (doc_id INTEGER NOT NULL, node_id INTEGER NOT NULL, \
+     word TEXT NOT NULL)" ]
+
+let index_ddl =
+  [ "CREATE HASH INDEX xml_doc_collection ON xml_doc (collection)";
+    "CREATE HASH INDEX xml_node_path ON xml_node (path_id)";
+    "CREATE HASH INDEX xml_node_parent ON xml_node (doc_id, parent_id)";
+    "CREATE INDEX xml_node_sval ON xml_node (sval)";
+    "CREATE INDEX xml_node_nval ON xml_node (nval)";
+    "CREATE HASH INDEX xml_keyword_word ON xml_keyword (word)";
+    "CREATE HASH INDEX xml_path_path ON xml_path (path)";
+    (* composite probes used by correlated EXISTS translations *)
+    "CREATE HASH INDEX xml_node_doc_path ON xml_node (doc_id, path_id)";
+    "CREATE HASH INDEX xml_keyword_doc_word ON xml_keyword (doc_id, word)";
+    (* per-document access: reconstruction and document deletion *)
+    "CREATE HASH INDEX xml_node_doc ON xml_node (doc_id)";
+    "CREATE HASH INDEX xml_keyword_doc ON xml_keyword (doc_id)" ]
+
+let install db =
+  let have_tables =
+    match Rdb.Database.query db "SELECT COUNT(*) FROM xml_doc" with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  if not have_tables then begin
+    List.iter (fun sql -> ignore (Rdb.Database.exec_exn db sql)) schema_ddl;
+    List.iter (fun sql -> ignore (Rdb.Database.exec_exn db sql)) index_ddl
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Keyword tokenisation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tokenize s =
+  let n = String.length s in
+  let words = ref [] and seen = Hashtbl.create 8 in
+  let buf = Buffer.create 16 in
+  let flush_word () =
+    if Buffer.length buf >= 2 then begin
+      let w = Buffer.contents buf in
+      if not (Hashtbl.mem seen w) then begin
+        Hashtbl.add seen w ();
+        words := w :: !words
+      end
+    end;
+    Buffer.clear buf
+  in
+  for i = 0 to n - 1 do
+    let c = s.[i] in
+    if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then Buffer.add_char buf c
+    else if c >= 'A' && c <= 'Z' then Buffer.add_char buf (Char.lowercase_ascii c)
+    else flush_word ()
+  done;
+  flush_word ();
+  List.rev !words
+
+(* ------------------------------------------------------------------ *)
+(* Shredding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  nodes : int;
+  keywords : int;
+  new_paths : int;
+}
+
+let scalar_int db sql =
+  match Rdb.Database.query db sql with
+  | Ok (_, [ [| Rdb.Value.Int i |] ]) -> Some i
+  | Ok (_, [ [| Rdb.Value.Null |] ]) -> None
+  | Ok _ -> None
+  | Error m -> failwith m
+
+let load_path_table db =
+  let tbl = Hashtbl.create 64 in
+  (match Rdb.Database.query db "SELECT path_id, path FROM xml_path" with
+   | Ok (_, rows) ->
+     List.iter
+       (fun row ->
+         match row.(0), row.(1) with
+         | Rdb.Value.Int id, Rdb.Value.Text p -> Hashtbl.replace tbl p id
+         | _ -> ())
+       rows
+   | Error m -> failwith m);
+  tbl
+
+let numeric_of s =
+  let s = String.trim s in
+  if s = "" then None
+  else
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f -> Some f
+    | _ -> None
+
+let document_id db ~collection ~name =
+  match
+    Rdb.Database.query db
+      (Printf.sprintf "SELECT doc_id FROM xml_doc WHERE collection = %s AND name = %s"
+         (Rdb.Value.to_literal (Text collection))
+         (Rdb.Value.to_literal (Text name)))
+  with
+  | Ok (_, [ [| Rdb.Value.Int id |] ]) -> Some id
+  | Ok _ -> None
+  | Error m -> failwith m
+
+let shred ?(sequence_elements = []) db ~collection ~name (doc : Gxml.Tree.document) =
+  if document_id db ~collection ~name <> None then
+    Error (Printf.sprintf "document %S already exists in collection %S" name collection)
+  else begin
+    let doc_id =
+      1 + Option.value ~default:0 (scalar_int db "SELECT MAX(doc_id) FROM xml_doc")
+    in
+    let paths = load_path_table db in
+    let new_paths = ref [] in
+    let next_path_id =
+      ref (1 + Option.value ~default:0 (scalar_int db "SELECT MAX(path_id) FROM xml_path"))
+    in
+    let path_id path =
+      match Hashtbl.find_opt paths path with
+      | Some id -> id
+      | None ->
+        let id = !next_path_id in
+        incr next_path_id;
+        Hashtbl.add paths path id;
+        new_paths := (id, path) :: !new_paths;
+        id
+    in
+    let node_rows = ref [] and kw_rows = ref [] in
+    let next_node = ref 0 in
+    let fresh_node () =
+      let id = !next_node in
+      incr next_node;
+      id
+    in
+    let is_seq_elem tag = List.mem tag sequence_elements in
+    let emit_keywords node_id sval =
+      List.iter
+        (fun w ->
+          kw_rows :=
+            [| Rdb.Value.Int doc_id; Int node_id; Text w |] :: !kw_rows)
+        (tokenize sval)
+    in
+    let emit_node ~node_id ~parent ~ord ~kind ~name:nm ~path ~sval ~is_seq ~last_desc =
+      let nval =
+        match sval with
+        | Some s when not is_seq ->
+          (match numeric_of s with Some f -> Rdb.Value.Float f | None -> Rdb.Value.Null)
+        | _ -> Rdb.Value.Null
+      in
+      node_rows :=
+        [| Rdb.Value.Int doc_id; Int node_id;
+           (match parent with Some p -> Int p | None -> Null);
+           Int ord; Text kind;
+           (match nm with Some n -> Text n | None -> Null);
+           Int (path_id path);
+           (match sval with Some s -> Text s | None -> Null);
+           nval;
+           Int (if is_seq then 1 else 0);
+           Int last_desc |]
+        :: !node_rows;
+      (match sval with
+       | Some s when not is_seq -> emit_keywords node_id s
+       | _ -> ())
+    in
+    (* Walk the tree in preorder. Returns the preorder rank of the last
+       node in the subtree. *)
+    let rec walk_element ~parent ~ord ~parent_path ~parent_seq (e : Gxml.Tree.element) =
+      let node_id = fresh_node () in
+      let path = parent_path ^ "/" ^ e.tag in
+      let is_seq = parent_seq || is_seq_elem e.tag in
+      (* attributes come right after their element in preorder *)
+      let attr_ids =
+        List.mapi
+          (fun i (a : Gxml.Tree.attribute) ->
+            let aid = fresh_node () in
+            (aid, i, a))
+          e.attrs
+      in
+      let inline_text =
+        match e.children with
+        | [ Gxml.Tree.Text t ] -> Some t
+        | _ -> None
+      in
+      let child_last = ref (match attr_ids with [] -> node_id | _ -> fst3_last attr_ids) in
+      (* children *)
+      (match inline_text with
+       | Some _ -> ()
+       | None ->
+         List.iteri
+           (fun i child ->
+             match child with
+             | Gxml.Tree.Element c ->
+               child_last := walk_element ~parent:(Some node_id) ~ord:i
+                   ~parent_path:path ~parent_seq:is_seq c
+             | Gxml.Tree.Text t ->
+               let tid = fresh_node () in
+               emit_node ~node_id:tid ~parent:(Some node_id) ~ord:i ~kind:"text"
+                 ~name:None ~path:(path ^ "/#text") ~sval:(Some t) ~is_seq
+                 ~last_desc:tid;
+               child_last := tid)
+           e.children);
+      let last_desc = !child_last in
+      emit_node ~node_id ~parent ~ord ~kind:"elem" ~name:(Some e.tag) ~path
+        ~sval:inline_text ~is_seq ~last_desc;
+      List.iter
+        (fun (aid, i, (a : Gxml.Tree.attribute)) ->
+          emit_node ~node_id:aid ~parent:(Some node_id) ~ord:i ~kind:"attr"
+            ~name:(Some a.attr_name) ~path:(path ^ "/@" ^ a.attr_name)
+            ~sval:(Some a.attr_value) ~is_seq ~last_desc:aid)
+        attr_ids;
+      last_desc
+    and fst3_last l =
+      match List.rev l with
+      | (id, _, _) :: _ -> id
+      | [] -> assert false
+    in
+    ignore (walk_element ~parent:None ~ord:0 ~parent_path:"" ~parent_seq:false doc.root);
+    (* write everything in one transaction *)
+    let started_txn = not (Rdb.Database.in_transaction db) in
+    if started_txn then ignore (Rdb.Database.exec_exn db "BEGIN");
+    let rollback m =
+      if started_txn then ignore (Rdb.Database.exec db "ROLLBACK");
+      Error m
+    in
+    let doc_row =
+      [| Rdb.Value.Int doc_id; Text collection; Text name; Text doc.root.tag |]
+    in
+    let path_rows =
+      List.rev_map (fun (id, p) -> [| Rdb.Value.Int id; Text p |]) !new_paths
+    in
+    match Rdb.Database.insert_rows db ~table:"xml_doc" [ doc_row ] with
+    | Error m -> rollback m
+    | Ok _ ->
+      (match Rdb.Database.insert_rows db ~table:"xml_path" path_rows with
+       | Error m -> rollback m
+       | Ok _ ->
+         (match Rdb.Database.insert_rows db ~table:"xml_node" (List.rev !node_rows) with
+          | Error m -> rollback m
+          | Ok nodes ->
+            (match Rdb.Database.insert_rows db ~table:"xml_keyword" (List.rev !kw_rows) with
+             | Error m -> rollback m
+             | Ok keywords ->
+               if started_txn then ignore (Rdb.Database.exec_exn db "COMMIT");
+               Ok (doc_id, { nodes; keywords; new_paths = List.length path_rows }))))
+  end
+
+let delete_document db ~collection ~name =
+  match document_id db ~collection ~name with
+  | None -> false
+  | Some doc_id ->
+    let started_txn = not (Rdb.Database.in_transaction db) in
+    if started_txn then ignore (Rdb.Database.exec_exn db "BEGIN");
+    List.iter
+      (fun table ->
+        ignore
+          (Rdb.Database.exec_exn db
+             (Printf.sprintf "DELETE FROM %s WHERE doc_id = %d" table doc_id)))
+      [ "xml_keyword"; "xml_node"; "xml_doc" ];
+    if started_txn then ignore (Rdb.Database.exec_exn db "COMMIT");
+    true
+
+let document_names db ~collection =
+  match
+    Rdb.Database.query db
+      (Printf.sprintf "SELECT name FROM xml_doc WHERE collection = %s ORDER BY name"
+         (Rdb.Value.to_literal (Text collection)))
+  with
+  | Ok (_, rows) ->
+    List.filter_map
+      (fun row -> match row.(0) with Rdb.Value.Text s -> Some s | _ -> None)
+      rows
+  | Error m -> failwith m
+
+let collections db =
+  match Rdb.Database.query db "SELECT DISTINCT collection FROM xml_doc ORDER BY collection" with
+  | Ok (_, rows) ->
+    List.filter_map
+      (fun row -> match row.(0) with Rdb.Value.Text s -> Some s | _ -> None)
+      rows
+  | Error m -> failwith m
+
+(* ------------------------------------------------------------------ *)
+(* Path pattern matching                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Match a structural Gxml.Path.t against a stored path string such as
+   "/hlx_enzyme/db_entry/enzyme_id" or ".../@name". *)
+let path_matches (pattern : Gxml.Path.t) (stored : string) =
+  let segments =
+    match String.split_on_char '/' stored with
+    | "" :: rest -> rest
+    | rest -> rest
+  in
+  let test_ok (step : Gxml.Path.step) seg =
+    match step.test with
+    | Gxml.Path.Name n -> String.equal seg n
+    | Gxml.Path.Any_element -> String.length seg > 0 && seg.[0] <> '@' && seg.[0] <> '#'
+    | Gxml.Path.Attribute a -> String.equal seg ("@" ^ a)
+    | Gxml.Path.Text_test -> String.equal seg "#text"
+  in
+  (* A Child step consumes exactly the next segment; a Descendant step
+     skips zero or more segments before matching one. The whole stored
+     path must be consumed (the pattern addresses the node itself). *)
+  let rec match_steps (steps : Gxml.Path.step list) segs =
+    match steps with
+    | [] -> segs = []
+    | step :: rest ->
+      (match step.axis with
+       | Gxml.Path.Child ->
+         (match segs with
+          | seg :: tl when test_ok step seg -> match_steps rest tl
+          | _ -> false)
+       | Gxml.Path.Descendant ->
+         let rec try_from segs =
+           match segs with
+           | [] -> false
+           | seg :: tl -> (test_ok step seg && match_steps rest tl) || try_from tl
+         in
+         try_from segs)
+  in
+  match_steps pattern segments
+
+let path_ids_matching db (pattern : Gxml.Path.t) =
+  match Rdb.Database.query db "SELECT path_id, path FROM xml_path" with
+  | Error m -> failwith m
+  | Ok (_, rows) ->
+    List.filter_map
+      (fun row ->
+        match row.(0), row.(1) with
+        | Rdb.Value.Int id, Rdb.Value.Text p ->
+          if path_matches pattern p then Some id else None
+        | _ -> None)
+      rows
+    |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Reconstruction (Relation2XML for whole documents)                   *)
+(* ------------------------------------------------------------------ *)
+
+let reconstruct db ~doc_id =
+  match
+    Rdb.Database.query db
+      (Printf.sprintf
+         "SELECT node_id, parent_id, ord, kind, name, sval FROM xml_node \
+          WHERE doc_id = %d ORDER BY node_id"
+         doc_id)
+  with
+  | Error m -> Error m
+  | Ok (_, []) -> Error (Printf.sprintf "no such document %d" doc_id)
+  | Ok (_, rows) ->
+    let open Rdb.Value in
+    (* parent -> (ord, node row) children, separated by kind *)
+    let nodes = Hashtbl.create 256 in
+    let attrs_of = Hashtbl.create 64 and kids_of = Hashtbl.create 64 in
+    let root = ref None in
+    List.iter
+      (fun row ->
+        match row with
+        | [| Int node_id; parent; Int ord; Text kind; name; sval |] ->
+          Hashtbl.replace nodes node_id (kind, name, sval);
+          (match parent with
+           | Int p ->
+             let tbl = if kind = "attr" then attrs_of else kids_of in
+             Hashtbl.replace tbl p
+               ((ord, node_id)
+                :: (match Hashtbl.find_opt tbl p with Some l -> l | None -> []))
+           | Null -> root := Some node_id
+           | _ -> ())
+        | _ -> ())
+      rows;
+    let sorted tbl p =
+      match Hashtbl.find_opt tbl p with
+      | None -> []
+      | Some l -> List.sort compare l |> List.map snd
+    in
+    let rec build node_id : Gxml.Tree.node =
+      match Hashtbl.find_opt nodes node_id with
+      | None -> failwith "reconstruct: dangling node"
+      | Some (kind, name, sval) ->
+        (match kind with
+         | "text" ->
+           Gxml.Tree.Text (match sval with Text s -> s | _ -> "")
+         | "elem" ->
+           let tag = match name with Text t -> t | _ -> failwith "unnamed element" in
+           let attrs =
+             List.map
+               (fun aid ->
+                 match Hashtbl.find_opt nodes aid with
+                 | Some ("attr", Text an, Text av) ->
+                   { Gxml.Tree.attr_name = an; attr_value = av }
+                 | _ -> failwith "reconstruct: bad attribute row")
+               (sorted attrs_of node_id)
+           in
+           let children =
+             match sval with
+             | Text inline -> [ Gxml.Tree.Text inline ]
+             | _ -> List.map build (sorted kids_of node_id)
+           in
+           Gxml.Tree.Element { tag; attrs; children }
+         | k -> failwith ("reconstruct: unexpected kind " ^ k))
+    in
+    (match !root with
+     | None -> Error "no root node"
+     | Some r ->
+       (match build r with
+        | Gxml.Tree.Element e -> Ok (Gxml.Tree.document e)
+        | Gxml.Tree.Text _ -> Error "root is a text node"
+        | exception Failure m -> Error m))

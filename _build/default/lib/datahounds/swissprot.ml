@@ -1,0 +1,156 @@
+type t = {
+  entry_name : string;
+  accession : string;
+  protein_name : string;
+  gene : string option;
+  organism : string;
+  keywords : string list;
+  db_refs : (string * string) list;
+  seq_length : int;
+  sequence : string;
+}
+
+exception Bad_entry of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_entry m)) fmt
+
+let strip_dot s =
+  let s = String.trim s in
+  if String.length s > 0 && s.[String.length s - 1] = '.' then
+    String.trim (String.sub s 0 (String.length s - 1))
+  else s
+
+let split_semis s =
+  String.split_on_char ';' s
+  |> List.filter_map (fun p ->
+      let p = String.trim p in
+      if p = "" then None else Some p)
+
+(* ID   AMD_BOVIN   Reviewed;   972 AA. *)
+let parse_id_line line =
+  match String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun s -> s <> "") with
+  | name :: rest ->
+    let seq_length =
+      let rec find = function
+        | n :: unit :: _ when String.length unit >= 2 && String.sub unit 0 2 = "AA" ->
+          (match int_of_string_opt n with Some v -> Some v | None -> None)
+        | _ :: tl -> find tl
+        | [] -> None
+      in
+      match find rest with
+      | Some v -> v
+      | None -> bad "no AA count in ID line %S" line
+    in
+    (name, seq_length)
+  | [] -> bad "empty ID line"
+
+let clean_sequence lines =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun line ->
+      String.iter
+        (fun c ->
+          if (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') then
+            Buffer.add_char buf (Char.uppercase_ascii c))
+        line)
+    lines;
+  Buffer.contents buf
+
+let parse_entry (entry : Line_format.entry) =
+  let entry_name, seq_length =
+    match Line_format.field_opt entry "ID" with
+    | Some line -> parse_id_line line
+    | None -> bad "entry has no ID line"
+  in
+  let accession =
+    match Line_format.field_opt entry "AC" with
+    | Some line ->
+      (match split_semis (strip_dot line) with
+       | acc :: _ -> acc
+       | [] -> bad "empty AC line in %s" entry_name)
+    | None -> bad "entry %s has no AC line" entry_name
+  in
+  let protein_name =
+    match Line_format.joined entry "DE" with
+    | Some d -> strip_dot d
+    | None -> bad "entry %s has no DE line" entry_name
+  in
+  let gene =
+    Option.map
+      (fun g ->
+        let g = strip_dot g in
+        (* GN   Name=cdc6; *)
+        match String.index_opt g '=' with
+        | Some i ->
+          let v = String.sub g (i + 1) (String.length g - i - 1) in
+          (match String.index_opt v ';' with
+           | Some j -> String.trim (String.sub v 0 j)
+           | None -> String.trim v)
+        | None -> g)
+      (Line_format.field_opt entry "GN")
+  in
+  let organism = Option.value ~default:"" (Line_format.joined entry "OS") in
+  let keywords =
+    List.concat_map (fun l -> split_semis (strip_dot l)) (Line_format.fields entry "KW")
+  in
+  let db_refs =
+    List.map
+      (fun line ->
+        match split_semis (strip_dot line) with
+        | db :: id :: _ -> (db, id)
+        | _ -> bad "malformed DR line %S" line)
+      (Line_format.fields entry "DR")
+  in
+  let sequence = clean_sequence (Line_format.fields entry "  ") in
+  { entry_name; accession; protein_name; gene; organism; keywords; db_refs;
+    seq_length; sequence }
+
+let parse_many text = List.map parse_entry (Line_format.split_entries text)
+
+let to_entry t : Line_format.entry =
+  let line code content = { Line_format.code; content } in
+  let seq_lines =
+    let rec chunks i acc =
+      if i >= String.length t.sequence then List.rev acc
+      else begin
+        let len = min 60 (String.length t.sequence - i) in
+        chunks (i + len) (line "  " (String.sub t.sequence i len) :: acc)
+      end
+    in
+    chunks 0 []
+  in
+  List.concat
+    [ [ line "ID" (Printf.sprintf "%s   Reviewed;   %d AA." t.entry_name t.seq_length) ];
+      [ line "AC" (t.accession ^ ";") ];
+      [ line "DE" (t.protein_name ^ ".") ];
+      (match t.gene with
+       | Some g -> [ line "GN" (Printf.sprintf "Name=%s;" g) ]
+       | None -> []);
+      (if t.organism = "" then [] else [ line "OS" t.organism ]);
+      (match t.keywords with
+       | [] -> []
+       | ks -> [ line "KW" (String.concat "; " ks ^ ".") ]);
+      List.map (fun (db, id) -> line "DR" (Printf.sprintf "%s; %s." db id)) t.db_refs;
+      [ line "SQ" (Printf.sprintf "SEQUENCE   %d AA;" t.seq_length) ];
+      seq_lines ]
+
+let render ts = Line_format.render (List.map to_entry ts)
+
+let collection = "hlx_sprot.all"
+
+let sample_entry =
+  String.concat "\n"
+    [ "ID   AMD_BOVIN   Reviewed;   108 AA.";
+      "AC   P10731;";
+      "DE   Peptidyl-glycine alpha-amidating monooxygenase.";
+      "GN   Name=cdc6;";
+      "OS   Bos taurus";
+      "KW   cdc6; monooxygenase; copper.";
+      "DR   EMBL; AB000101.";
+      "DR   PROSITE; PDOC00080.";
+      "SQ   SEQUENCE   108 AA;";
+      "     MKLSTVLAGL LLVALPLLSN AHHSMREEEL MLREILGPGR RSLVSNSPFM NRRDLGGGHH";
+      "     APHGAMAREI LGPGRRSLVS NSPFMNRRDL GGGHHAPHGA MAREILGG";
+      "//";
+      "" ]

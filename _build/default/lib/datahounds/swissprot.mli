@@ -1,0 +1,26 @@
+(** Swiss-Prot protein knowledge base flat-file format (simplified line
+    grammar: ID/AC/DE/GN/OS/KW/DR/SQ + sequence lines + "//"). *)
+
+type t = {
+  entry_name : string;   (** e.g. "AMD_BOVIN" *)
+  accession : string;    (** e.g. "P10731" *)
+  protein_name : string;
+  gene : string option;
+  organism : string;
+  keywords : string list;
+  db_refs : (string * string) list;  (** (database, primary id) *)
+  seq_length : int;
+  sequence : string;     (** residues, uppercase single-letter *)
+}
+
+exception Bad_entry of string
+
+val parse_entry : Line_format.entry -> t
+val parse_many : string -> t list
+val to_entry : t -> Line_format.entry
+val render : t list -> string
+
+val collection : string
+(** ["hlx_sprot.all"], as addressed by the paper's Figure 8 query. *)
+
+val sample_entry : string

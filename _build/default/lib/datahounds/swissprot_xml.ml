@@ -1,0 +1,96 @@
+let dtd_source =
+  {|<!ELEMENT hlx_n_sequence (db_entry)>
+<!ELEMENT db_entry (sprot_accession_number, entry_name, protein_name,
+  gene?, organism, keyword_list, db_reference_list, sequence_length,
+  sequence)>
+<!ELEMENT sprot_accession_number (#PCDATA)>
+<!ELEMENT entry_name (#PCDATA)>
+<!ELEMENT protein_name (#PCDATA)>
+<!ELEMENT gene (#PCDATA)>
+<!ELEMENT organism (#PCDATA)>
+<!ELEMENT keyword_list (keyword*)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT db_reference_list (db_reference*)>
+<!ELEMENT db_reference EMPTY>
+<!ATTLIST db_reference
+  db CDATA #REQUIRED
+  primary_id CDATA #REQUIRED>
+<!ELEMENT sequence_length (#PCDATA)>
+<!ELEMENT sequence (#PCDATA)>|}
+
+let dtd = Gxml.Dtd.parse dtd_source
+
+let sequence_elements = [ "sequence" ]
+
+let elem = Gxml.Tree.element
+let text = Gxml.Tree.text
+let leaf tag s = Gxml.Tree.Element (elem tag [ text s ])
+
+let to_document (p : Swissprot.t) =
+  let root =
+    elem "hlx_n_sequence"
+      [ Gxml.Tree.Element
+          (elem "db_entry"
+             (List.concat
+                [ [ leaf "sprot_accession_number" p.accession;
+                    leaf "entry_name" p.entry_name;
+                    leaf "protein_name" p.protein_name ];
+                  (match p.gene with Some g -> [ leaf "gene" g ] | None -> []);
+                  [ leaf "organism" p.organism;
+                    Gxml.Tree.Element
+                      (elem "keyword_list" (List.map (leaf "keyword") p.keywords));
+                    Gxml.Tree.Element
+                      (elem "db_reference_list"
+                         (List.map
+                            (fun (db, id) ->
+                              Gxml.Tree.Element
+                                (elem "db_reference"
+                                   ~attrs:[ ("db", db); ("primary_id", id) ] []))
+                            p.db_refs));
+                    leaf "sequence_length" (string_of_int p.seq_length);
+                    leaf "sequence" p.sequence ] ]))
+      ]
+  in
+  Gxml.Tree.document root
+
+let document_name (p : Swissprot.t) = p.accession
+
+let of_document (doc : Gxml.Tree.document) =
+  let open Gxml.Tree in
+  try
+    if doc.root.tag <> "hlx_n_sequence" then failwith "root is not hlx_n_sequence";
+    let entry =
+      match child_named doc.root "db_entry" with
+      | Some e -> e
+      | None -> failwith "missing db_entry"
+    in
+    let required name =
+      match child_named entry name with
+      | Some e -> text_content e
+      | None -> failwith ("missing " ^ name)
+    in
+    Ok
+      { Swissprot.accession = required "sprot_accession_number";
+        entry_name = required "entry_name";
+        protein_name = required "protein_name";
+        gene = Option.map text_content (child_named entry "gene");
+        organism = required "organism";
+        keywords =
+          (match child_named entry "keyword_list" with
+           | None -> []
+           | Some l -> List.map text_content (children_named l "keyword"));
+        db_refs =
+          (match child_named entry "db_reference_list" with
+           | None -> []
+           | Some l ->
+             List.map
+               (fun r -> (attr_exn r "db", attr_exn r "primary_id"))
+               (children_named l "db_reference"));
+        seq_length =
+          (match int_of_string_opt (required "sequence_length") with
+           | Some n -> n
+           | None -> failwith "bad sequence_length");
+        sequence = required "sequence" }
+  with
+  | Failure m -> Error m
+  | Not_found -> Error "missing required attribute"

@@ -1,0 +1,12 @@
+(** XML-Transformer for Swiss-Prot entries. The root is [hlx_n_sequence]
+    — the paper's Figure 8 keyword query addresses both EMBL and
+    Swiss-Prot warehouses through that root element
+    ([document("hlx_sprot.all")/hlx_n_sequence]); each collection carries
+    its own DTD. *)
+
+val dtd_source : string
+val dtd : Gxml.Dtd.t
+val sequence_elements : string list
+val to_document : Swissprot.t -> Gxml.Tree.document
+val of_document : Gxml.Tree.document -> (Swissprot.t, string) result
+val document_name : Swissprot.t -> string

@@ -1,0 +1,48 @@
+(** Incremental warehouse refresh.
+
+    The paper requires updates to be integrated "without any information
+    being left out or added twice" and that, once changes are committed,
+    Data Hounds "sends out triggers to related applications" (Section 2).
+
+    [sync] diffs a freshly harvested snapshot of a source against the
+    warehoused documents: unchanged documents are untouched, changed ones
+    replaced, new ones added and (optionally) missing ones removed — all
+    inside one transaction. Registered triggers fire once per changed
+    document after commit. Syncing the same snapshot twice is a no-op. *)
+
+type action =
+  | Added
+  | Updated of Gxml.Diff.change list
+  | Removed
+
+type event = {
+  event_collection : string;
+  document : string;
+  action : action;
+}
+
+type report = {
+  added : int;
+  updated : int;
+  removed : int;
+  unchanged : int;
+}
+
+type trigger = event -> unit
+
+val sync_documents :
+  ?remove_missing:bool ->
+  ?triggers:trigger list ->
+  Warehouse.t -> collection:string ->
+  (string * Gxml.Tree.document) list ->
+  (report, string) result
+(** [remove_missing] defaults to false (a partial refresh never deletes). *)
+
+val sync_source :
+  ?remove_missing:bool ->
+  ?triggers:trigger list ->
+  Warehouse.t -> Warehouse.source -> string ->
+  (report, string) result
+(** Harvest flat-file text through the source's transformer and sync. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,206 @@
+type t = {
+  database : Rdb.Database.t;
+  (* cache of parsed DTDs keyed by collection *)
+  dtd_cache : (string, Gxml.Dtd.t) Hashtbl.t;
+}
+
+type source = {
+  source_name : string;
+  source_collection : string;
+  source_dtd : string;
+  source_sequence_elements : string list;
+  transform : string -> (string * Gxml.Tree.document) list;
+}
+
+let registry_ddl =
+  "CREATE TABLE xml_dtd (collection TEXT PRIMARY KEY, dtd TEXT NOT NULL, \
+   sequence_elements TEXT NOT NULL)"
+
+let create ?wal () =
+  let database =
+    match wal with
+    | Some path -> Rdb.Database.open_with_wal path
+    | None -> Rdb.Database.open_in_memory ()
+  in
+  Shred.install database;
+  (match Rdb.Database.query database "SELECT COUNT(*) FROM xml_dtd" with
+   | Ok _ -> ()
+   | Error _ -> ignore (Rdb.Database.exec_exn database registry_ddl));
+  { database; dtd_cache = Hashtbl.create 8 }
+
+let db t = t.database
+let close t = Rdb.Database.close t.database
+
+let lit s = Rdb.Value.to_literal (Rdb.Value.Text s)
+
+let register_source t (s : source) =
+  (* validate the DTD text eagerly *)
+  let parsed = Gxml.Dtd.parse s.source_dtd in
+  ignore
+    (Rdb.Database.exec_exn t.database
+       (Printf.sprintf "DELETE FROM xml_dtd WHERE collection = %s"
+          (lit s.source_collection)));
+  ignore
+    (Rdb.Database.exec_exn t.database
+       (Printf.sprintf "INSERT INTO xml_dtd VALUES (%s, %s, %s)"
+          (lit s.source_collection) (lit s.source_dtd)
+          (lit (String.concat "," s.source_sequence_elements))));
+  Hashtbl.replace t.dtd_cache s.source_collection parsed
+
+let dtd_of t ~collection =
+  match Hashtbl.find_opt t.dtd_cache collection with
+  | Some dtd -> Some dtd
+  | None ->
+    (match
+       Rdb.Database.query t.database
+         (Printf.sprintf "SELECT dtd FROM xml_dtd WHERE collection = %s" (lit collection))
+     with
+     | Ok (_, [ [| Rdb.Value.Text src |] ]) ->
+       let dtd = Gxml.Dtd.parse src in
+       Hashtbl.replace t.dtd_cache collection dtd;
+       Some dtd
+     | Ok _ -> None
+     | Error m -> failwith m)
+
+let sequence_elements_of t ~collection =
+  match
+    Rdb.Database.query t.database
+      (Printf.sprintf "SELECT sequence_elements FROM xml_dtd WHERE collection = %s"
+         (lit collection))
+  with
+  | Ok (_, [ [| Rdb.Value.Text s |] ]) ->
+    if s = "" then [] else String.split_on_char ',' s
+  | Ok _ -> []
+  | Error m -> failwith m
+
+let load_document ?validate t ~collection ~name doc =
+  let dtd = dtd_of t ~collection in
+  let validate = Option.value validate ~default:(dtd <> None) in
+  let check =
+    if not validate then Ok ()
+    else
+      match dtd with
+      | None -> Error (Printf.sprintf "collection %S has no registered DTD" collection)
+      | Some dtd ->
+        (match Gxml.Dtd.validate dtd doc.Gxml.Tree.root with
+         | [] -> Ok ()
+         | v :: _ ->
+           Error
+             (Printf.sprintf "document %S is invalid: %s" name
+                (Format.asprintf "%a" Gxml.Dtd.pp_violation v)))
+  in
+  match check with
+  | Error _ as e -> e
+  | Ok () ->
+    ignore (Shred.delete_document t.database ~collection ~name);
+    let sequence_elements = sequence_elements_of t ~collection in
+    (match Shred.shred ~sequence_elements t.database ~collection ~name doc with
+     | Ok _ -> Ok ()
+     | Error _ as e -> e)
+
+let harvest t (s : source) flat_text =
+  match s.transform flat_text with
+  | docs ->
+    let rec load n = function
+      | [] -> Ok n
+      | (name, doc) :: rest ->
+        (match load_document t ~collection:s.source_collection ~name doc with
+         | Ok () -> load (n + 1) rest
+         | Error _ as e -> e)
+    in
+    load 0 docs
+  | exception Line_format.Format_error { entry_index; line; message } ->
+    Error
+      (Printf.sprintf "flat-file error in entry %d (line %d): %s" entry_index line
+         message)
+  | exception Enzyme.Bad_entry m -> Error ("bad ENZYME entry: " ^ m)
+  | exception Embl.Bad_entry m -> Error ("bad EMBL entry: " ^ m)
+  | exception Swissprot.Bad_entry m -> Error ("bad Swiss-Prot entry: " ^ m)
+  | exception Genbank.Bad_entry m -> Error ("bad GenBank entry: " ^ m)
+  | exception Medline.Bad_entry m -> Error ("bad MEDLINE entry: " ^ m)
+
+let collections t = Shred.collections t.database
+
+let documents t ~collection = Shred.document_names t.database ~collection
+
+let get_document t ~collection ~name =
+  match Shred.document_id t.database ~collection ~name with
+  | None -> None
+  | Some doc_id ->
+    (match Shred.reconstruct t.database ~doc_id with
+     | Ok doc -> Some doc
+     | Error m -> failwith m)
+
+let document_count t ~collection =
+  match
+    Rdb.Database.query t.database
+      (Printf.sprintf "SELECT COUNT(*) FROM xml_doc WHERE collection = %s"
+         (lit collection))
+  with
+  | Ok (_, [ [| Rdb.Value.Int n |] ]) -> n
+  | Ok _ -> 0
+  | Error m -> failwith m
+
+let node_count t =
+  match Rdb.Database.query t.database "SELECT COUNT(*) FROM xml_node" with
+  | Ok (_, [ [| Rdb.Value.Int n |] ]) -> n
+  | Ok _ -> 0
+  | Error m -> failwith m
+
+(* ---------------- built-in sources ---------------- *)
+
+let enzyme_source =
+  { source_name = "enzyme";
+    source_collection = Enzyme_xml.collection;
+    source_dtd = Enzyme_xml.dtd_source;
+    source_sequence_elements = [];
+    transform =
+      (fun text ->
+        List.map
+          (fun e -> (Enzyme_xml.document_name e, Enzyme_xml.to_document e))
+          (Enzyme.parse_many text)) }
+
+let embl_source ~division =
+  { source_name = "embl-" ^ String.lowercase_ascii division;
+    source_collection = "hlx_embl." ^ String.lowercase_ascii division;
+    source_dtd = Embl_xml.dtd_source;
+    source_sequence_elements = Embl_xml.sequence_elements;
+    transform =
+      (fun text ->
+        Embl.parse_many text
+        |> List.filter (fun (e : Embl.t) ->
+            String.lowercase_ascii e.division = String.lowercase_ascii division)
+        |> List.map (fun e -> (Embl_xml.document_name e, Embl_xml.to_document e))) }
+
+let swissprot_source =
+  { source_name = "swissprot";
+    source_collection = Swissprot.collection;
+    source_dtd = Swissprot_xml.dtd_source;
+    source_sequence_elements = Swissprot_xml.sequence_elements;
+    transform =
+      (fun text ->
+        List.map
+          (fun p -> (Swissprot_xml.document_name p, Swissprot_xml.to_document p))
+          (Swissprot.parse_many text)) }
+
+let genbank_source =
+  { source_name = "genbank";
+    source_collection = Genbank_xml.collection;
+    source_dtd = Genbank_xml.dtd_source;
+    source_sequence_elements = Genbank_xml.sequence_elements;
+    transform =
+      (fun text ->
+        List.map
+          (fun g -> (Genbank_xml.document_name g, Genbank_xml.to_document g))
+          (Genbank.parse_many text)) }
+
+let medline_source =
+  { source_name = "medline";
+    source_collection = Medline_xml.collection;
+    source_dtd = Medline_xml.dtd_source;
+    source_sequence_elements = [];
+    transform =
+      (fun text ->
+        List.map
+          (fun m -> (Medline_xml.document_name m, Medline_xml.to_document m))
+          (Medline.parse_many text)) }

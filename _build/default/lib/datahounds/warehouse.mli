@@ -1,0 +1,65 @@
+(** The local warehouse: a relational database holding shredded XML
+    documents organised into named collections, each governed by the DTD
+    its XML-Transformer declared (displayed by the XomatiQ GUI and used
+    by query translation).
+
+    DTDs are persisted in the database itself (table [xml_dtd]) so a
+    WAL-recovered warehouse keeps its registry. *)
+
+type t
+
+(** A registered remote source: how flat-file text harvested from the
+    source becomes named XML documents of a collection. *)
+type source = {
+  source_name : string;            (** e.g. "enzyme" *)
+  source_collection : string;      (** e.g. "hlx_enzyme.DEFAULT" *)
+  source_dtd : string;             (** DTD declaration text *)
+  source_sequence_elements : string list;
+  transform : string -> (string * Gxml.Tree.document) list;
+      (** flat text -> (document name, document) pairs; raises on
+          malformed input *)
+}
+
+val create : ?wal:string -> unit -> t
+(** Fresh warehouse; with [wal], durable and crash-recoverable. *)
+
+val db : t -> Rdb.Database.t
+val close : t -> unit
+
+val register_source : t -> source -> unit
+(** Records the collection's DTD (idempotent; replaces a previous DTD). *)
+
+val enzyme_source : source
+val embl_source : division:string -> source
+val swissprot_source : source
+val genbank_source : source
+val medline_source : source
+
+val harvest : t -> source -> string -> (int, string) result
+(** The Data Hounds pipeline of Figure 1: transform flat-file text to XML
+    (validating each document against the source DTD) and shred into the
+    warehouse. Returns the number of documents loaded. Existing documents
+    with the same name are replaced. *)
+
+val load_document :
+  ?validate:bool -> t -> collection:string -> name:string ->
+  Gxml.Tree.document -> (unit, string) result
+(** Load one document (replacing any previous version). [validate]
+    defaults to true when the collection has a registered DTD. *)
+
+val dtd_of : t -> collection:string -> Gxml.Dtd.t option
+
+val sequence_elements_of : t -> collection:string -> string list
+
+val collections : t -> string list
+
+val documents : t -> collection:string -> string list
+
+val get_document :
+  t -> collection:string -> name:string -> Gxml.Tree.document option
+(** Reconstructed from tuples (Relation2XML). *)
+
+val document_count : t -> collection:string -> int
+
+val node_count : t -> int
+(** Total xml_node rows across the warehouse. *)

@@ -1,0 +1,1 @@
+lib/relational/catalog.ml: Hashtbl Index List Printf Schema String Table

@@ -1,0 +1,1 @@
+lib/relational/catalog.mli: Index Table

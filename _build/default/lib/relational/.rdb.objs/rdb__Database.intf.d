@@ -1,0 +1,1 @@
+lib/relational/database.mli: Catalog Planner Sql_ast Stdlib Value

@@ -1,0 +1,1 @@
+lib/relational/executor.mli: Catalog Plan Seq Value

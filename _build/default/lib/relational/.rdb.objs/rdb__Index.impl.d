@@ -1,0 +1,1 @@
+lib/relational/index.ml: Array Btree Hashtbl List Printf Seq String Value

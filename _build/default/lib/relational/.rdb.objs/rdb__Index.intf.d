@@ -1,0 +1,1 @@
+lib/relational/index.mli: Seq Value

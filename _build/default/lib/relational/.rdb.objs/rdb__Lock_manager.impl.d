@@ -1,0 +1,1 @@
+lib/relational/lock_manager.ml: Hashtbl List

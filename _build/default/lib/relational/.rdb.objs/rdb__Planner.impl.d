@@ -1,0 +1,1 @@
+lib/relational/planner.ml: Array Catalog Hashtbl Index List Option Plan Printf Schema Sql_ast String Table Value

@@ -1,0 +1,1 @@
+lib/relational/planner.mli: Catalog Plan Schema Sql_ast

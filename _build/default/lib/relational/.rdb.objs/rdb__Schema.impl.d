@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array List Printf String Value

@@ -1,0 +1,1 @@
+lib/relational/schema.mli: Value

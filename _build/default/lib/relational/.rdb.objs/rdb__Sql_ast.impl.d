@@ -1,0 +1,1 @@
+lib/relational/sql_ast.ml: Buffer List Printf String Value

@@ -1,0 +1,1 @@
+lib/relational/sql_lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/relational/table.ml: Index List Printf Schema Seq Value Vector

@@ -1,0 +1,1 @@
+lib/relational/table.mli: Index Schema Seq Value

@@ -1,0 +1,1 @@
+lib/relational/value.ml: Bool Buffer Float Fmt Hashtbl Int Printf String

@@ -1,0 +1,1 @@
+lib/relational/vector.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/relational/vector.mli:

@@ -1,0 +1,1 @@
+lib/relational/wal.mli: Value

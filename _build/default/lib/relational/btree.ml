@@ -1,0 +1,298 @@
+type key = Value.t array
+
+let compare_key (a : key) (b : key) =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare_total a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* Nodes keep keys in sorted OCaml lists-as-arrays. A leaf stores postings;
+   an internal node with keys [k1..kn] has children [c0..cn] where subtree
+   ci holds keys k with k(i) <= k < k(i+1) (separators are copies of the
+   smallest key of the right subtree). *)
+type 'a node =
+  | Leaf of 'a leaf
+  | Internal of 'a internal
+
+and 'a leaf = {
+  mutable lkeys : key array;
+  mutable lvals : 'a list array;    (* reversed insertion order *)
+  mutable next : 'a leaf option;
+}
+
+and 'a internal = {
+  mutable ikeys : key array;        (* separators, length = nchildren - 1 *)
+  mutable children : 'a node array;
+}
+
+type 'a t = {
+  fanout : int;
+  mutable root : 'a node;
+  mutable distinct : int;
+  mutable entries : int;
+}
+
+let create ?(fanout = 32) () =
+  let fanout = max 4 fanout in
+  { fanout; root = Leaf { lkeys = [||]; lvals = [||]; next = None }; distinct = 0; entries = 0 }
+
+(* Binary search: index of first key >= k, in a sorted key array. *)
+let lower_bound keys k =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_key keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child index to follow for key k in an internal node: first separator
+   strictly greater than k. *)
+let child_slot ikeys k =
+  let lo = ref 0 and hi = ref (Array.length ikeys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_key ikeys.(mid) k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr i out (i + 1) (n - i);
+  out
+
+let array_remove arr i =
+  let n = Array.length arr in
+  let out = Array.sub arr 0 (n - 1) in
+  Array.blit arr (i + 1) out i (n - 1 - i);
+  out
+
+(* Result of inserting into a subtree: either done in place, or the node
+   split and we bubble up (separator, new right sibling). *)
+type 'a split = No_split | Split of key * 'a node
+
+let rec insert_node t node k v : 'a split =
+  match node with
+  | Leaf leaf ->
+    let i = lower_bound leaf.lkeys k in
+    if i < Array.length leaf.lkeys && compare_key leaf.lkeys.(i) k = 0 then begin
+      leaf.lvals.(i) <- v :: leaf.lvals.(i);
+      t.entries <- t.entries + 1;
+      No_split
+    end
+    else begin
+      leaf.lkeys <- array_insert leaf.lkeys i k;
+      leaf.lvals <- array_insert leaf.lvals i [ v ];
+      t.distinct <- t.distinct + 1;
+      t.entries <- t.entries + 1;
+      if Array.length leaf.lkeys <= t.fanout then No_split
+      else begin
+        let n = Array.length leaf.lkeys in
+        let mid = n / 2 in
+        let right =
+          { lkeys = Array.sub leaf.lkeys mid (n - mid);
+            lvals = Array.sub leaf.lvals mid (n - mid);
+            next = leaf.next }
+        in
+        leaf.lkeys <- Array.sub leaf.lkeys 0 mid;
+        leaf.lvals <- Array.sub leaf.lvals 0 mid;
+        leaf.next <- Some right;
+        Split (right.lkeys.(0), Leaf right)
+      end
+    end
+  | Internal node ->
+    let slot = child_slot node.ikeys k in
+    (match insert_node t node.children.(slot) k v with
+     | No_split -> No_split
+     | Split (sep, right) ->
+       node.ikeys <- array_insert node.ikeys slot sep;
+       node.children <- array_insert node.children (slot + 1) right;
+       if Array.length node.children <= t.fanout then No_split
+       else begin
+         let nk = Array.length node.ikeys in
+         let mid = nk / 2 in
+         let sep_up = node.ikeys.(mid) in
+         let right_node =
+           { ikeys = Array.sub node.ikeys (mid + 1) (nk - mid - 1);
+             children = Array.sub node.children (mid + 1) (Array.length node.children - mid - 1) }
+         in
+         node.ikeys <- Array.sub node.ikeys 0 mid;
+         node.children <- Array.sub node.children 0 (mid + 1);
+         Split (sep_up, Internal right_node)
+       end)
+
+let insert t k v =
+  match insert_node t t.root k v with
+  | No_split -> ()
+  | Split (sep, right) ->
+    t.root <- Internal { ikeys = [| sep |]; children = [| t.root; right |] }
+
+let rec find_leaf node k =
+  match node with
+  | Leaf leaf -> leaf
+  | Internal n -> find_leaf n.children.(child_slot n.ikeys k) k
+
+let find t k =
+  let leaf = find_leaf t.root k in
+  let i = lower_bound leaf.lkeys k in
+  if i < Array.length leaf.lkeys && compare_key leaf.lkeys.(i) k = 0 then
+    List.rev leaf.lvals.(i)
+  else []
+
+let mem t k =
+  let leaf = find_leaf t.root k in
+  let i = lower_bound leaf.lkeys k in
+  i < Array.length leaf.lkeys && compare_key leaf.lkeys.(i) k = 0
+
+let remove t k pred =
+  let leaf = find_leaf t.root k in
+  let i = lower_bound leaf.lkeys k in
+  if i < Array.length leaf.lkeys && compare_key leaf.lkeys.(i) k = 0 then begin
+    let before = List.length leaf.lvals.(i) in
+    let kept = List.filter (fun v -> not (pred v)) leaf.lvals.(i) in
+    t.entries <- t.entries - (before - List.length kept);
+    if kept = [] then begin
+      leaf.lkeys <- array_remove leaf.lkeys i;
+      leaf.lvals <- array_remove leaf.lvals i;
+      t.distinct <- t.distinct - 1
+    end
+    else leaf.lvals.(i) <- kept
+  end
+
+let rec leftmost_leaf = function
+  | Leaf leaf -> leaf
+  | Internal n -> leftmost_leaf n.children.(0)
+
+let range ?lo ?hi t =
+  let start_leaf, start_idx =
+    match lo with
+    | None -> leftmost_leaf t.root, 0
+    | Some (k, _inclusive) ->
+      let leaf = find_leaf t.root k in
+      leaf, lower_bound leaf.lkeys k
+  in
+  let above_lo k =
+    match lo with
+    | None -> true
+    | Some (lk, incl) ->
+      let c = compare_key k lk in
+      if incl then c >= 0 else c > 0
+  in
+  let below_hi k =
+    match hi with
+    | None -> true
+    | Some (hk, incl) ->
+      let c = compare_key k hk in
+      if incl then c <= 0 else c < 0
+  in
+  (* Walk leaves from the start position, stopping at the high bound. *)
+  let rec entries leaf idx () =
+    if idx >= Array.length leaf.lkeys then
+      match leaf.next with
+      | None -> Seq.Nil
+      | Some next -> entries next 0 ()
+    else
+      let k = leaf.lkeys.(idx) in
+      if not (below_hi k) then Seq.Nil
+      else if not (above_lo k) then entries leaf (idx + 1) ()
+      else
+        let postings = List.rev leaf.lvals.(idx) in
+        let rec emit = function
+          | [] -> entries leaf (idx + 1) ()
+          | v :: rest -> Seq.Cons ((k, v), fun () -> emit rest)
+        in
+        emit postings
+  in
+  entries start_leaf start_idx
+
+let iter f t =
+  let rec go leaf =
+    Array.iteri (fun i k -> f k (List.rev leaf.lvals.(i))) leaf.lkeys;
+    match leaf.next with None -> () | Some next -> go next
+  in
+  go (leftmost_leaf t.root)
+
+let cardinal t = t.distinct
+let entry_count t = t.entries
+
+let height t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Internal n -> 1 + go n.children.(0)
+  in
+  go t.root
+
+let check_invariants t =
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let check_sorted keys where =
+    for i = 0 to Array.length keys - 2 do
+      if compare_key keys.(i) keys.(i + 1) >= 0 then
+        fail "%s: keys not strictly increasing at %d" where i
+    done
+  in
+  (* returns (depth, min_key option, max_key option) *)
+  let rec walk node lo hi =
+    match node with
+    | Leaf leaf ->
+      check_sorted leaf.lkeys "leaf";
+      Array.iter
+        (fun k ->
+          (match lo with
+           | Some l when compare_key k l < 0 -> fail "leaf key below separator bound"
+           | _ -> ());
+          (match hi with
+           | Some h when compare_key k h >= 0 -> fail "leaf key not below separator bound"
+           | _ -> ()))
+        leaf.lkeys;
+      Array.iter (fun vs -> if vs = [] then fail "empty posting list") leaf.lvals;
+      1
+    | Internal n ->
+      if Array.length n.children <> Array.length n.ikeys + 1 then
+        fail "internal node: %d children for %d separators"
+          (Array.length n.children) (Array.length n.ikeys);
+      if Array.length n.children < 2 then fail "internal node with < 2 children";
+      check_sorted n.ikeys "internal";
+      let depth = ref None in
+      Array.iteri
+        (fun i child ->
+          let lo' = if i = 0 then lo else Some n.ikeys.(i - 1) in
+          let hi' = if i = Array.length n.ikeys then hi else Some n.ikeys.(i) in
+          let d = walk child lo' hi' in
+          match !depth with
+          | None -> depth := Some d
+          | Some d0 -> if d <> d0 then fail "leaves at unequal depth")
+        n.children;
+      (match !depth with Some d -> d + 1 | None -> fail "internal node without children")
+  in
+  let check_chain () =
+    (* The leaf chain must enumerate exactly the keys in sorted order. *)
+    let collected = ref [] in
+    let rec go leaf =
+      Array.iter (fun k -> collected := k :: !collected) leaf.lkeys;
+      match leaf.next with None -> () | Some next -> go next
+    in
+    go (leftmost_leaf t.root);
+    let keys = List.rev !collected in
+    let rec sorted = function
+      | a :: (b :: _ as rest) ->
+        if compare_key a b >= 0 then fail "leaf chain out of order" else sorted rest
+      | _ -> ()
+    in
+    sorted keys;
+    if List.length keys <> t.distinct then
+      fail "leaf chain has %d keys, expected %d" (List.length keys) t.distinct
+  in
+  match
+    ignore (walk t.root None None);
+    check_chain ()
+  with
+  | () -> Ok ()
+  | exception Bad m -> Error m

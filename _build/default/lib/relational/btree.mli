@@ -1,0 +1,52 @@
+(** B+tree over composite SQL keys.
+
+    Ordered secondary indexes use this structure: keys are tuples of
+    {!Value.t} compared lexicographically with {!Value.compare_total};
+    each key holds a posting list of payloads (row ids). Leaves are
+    chained for range scans, which back the numeric range predicates the
+    paper calls out for annotation data (sequence length, chromosome
+    location, homology scores).
+
+    Deletion is by posting-list removal; a key whose posting list empties
+    is dropped from its leaf without rebalancing (standard lazy deletion),
+    so occupancy invariants apply to insert-only trees while ordering
+    invariants always hold. *)
+
+type key = Value.t array
+
+type 'a t
+
+val create : ?fanout:int -> unit -> 'a t
+(** [fanout] is the maximum number of keys per node (default 32, min 4). *)
+
+val insert : 'a t -> key -> 'a -> unit
+(** Append a payload to the key's posting list (duplicates allowed). *)
+
+val remove : 'a t -> key -> ('a -> bool) -> unit
+(** Remove all payloads satisfying the predicate from the key's postings. *)
+
+val find : 'a t -> key -> 'a list
+(** Postings for an exact key, in insertion order; [[]] if absent. *)
+
+val mem : 'a t -> key -> bool
+(** Key presence, without materialising the posting list. *)
+
+val range :
+  ?lo:key * bool -> ?hi:key * bool -> 'a t -> (key * 'a) Seq.t
+(** All entries with [lo <= k <= hi] (bounds optional; booleans select
+    inclusive), in ascending key order. *)
+
+val iter : (key -> 'a list -> unit) -> 'a t -> unit
+(** In ascending key order. *)
+
+val cardinal : 'a t -> int
+(** Number of distinct keys. *)
+
+val entry_count : 'a t -> int
+(** Total number of payloads. *)
+
+val height : 'a t -> int
+
+val check_invariants : 'a t -> (unit, string) result
+(** Verifies key ordering within and across nodes, parent/child separator
+    consistency, uniform leaf depth, and leaf chaining. *)

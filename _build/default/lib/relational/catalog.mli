@@ -1,0 +1,19 @@
+(** System catalog: the registry of tables and indexes in a database.
+    Identifiers are case-insensitive (folded to lowercase). *)
+
+type t
+
+val create : unit -> t
+
+val add_table : t -> Table.t -> (unit, string) result
+val drop_table : t -> string -> bool
+val find_table : t -> string -> Table.t option
+val table_names : t -> string list
+
+val add_index : t -> table:string -> Index.t -> (unit, string) result
+(** Registers and builds the index on the owning table. *)
+
+val drop_index : t -> string -> bool
+val find_index : t -> string -> (Table.t * Index.t) option
+
+val normalize : string -> string

@@ -1,0 +1,527 @@
+type undo =
+  | Undo_insert of { table : Table.t; rowid : int }
+  | Undo_delete of { table : Table.t; rowid : int; row : Value.t array }
+  | Undo_update of { table : Table.t; rowid : int; old_row : Value.t array }
+
+type txn = {
+  txn_id : int;
+  mutable undo_ops : undo list;  (* most recent first *)
+}
+
+type t = {
+  cat : Catalog.t;
+  wal : Wal.t option;
+  mutable current : txn option;
+  mutable next_txid : int;
+  mutable replaying : bool;
+}
+
+type result =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Affected of int
+  | Explained of string
+  | Done of string
+
+exception Db_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Db_error m)) fmt
+
+let catalog t = t.cat
+
+let in_transaction t = t.current <> None
+
+let log t op =
+  if not t.replaying then
+    match t.wal with
+    | Some wal -> Wal.append wal op
+    | None -> ()
+
+let log_flush t =
+  if not t.replaying then Option.iter Wal.flush t.wal
+
+(* Obtain the transaction to charge an operation to: the open one, or a
+   fresh single-statement transaction (auto-commit). Returns the txn and
+   whether it must be committed at statement end. *)
+let charge t =
+  match t.current with
+  | Some txn -> (txn, false)
+  | None ->
+    let txn = { txn_id = t.next_txid; undo_ops = [] } in
+    t.next_txid <- t.next_txid + 1;
+    log t (Wal.Begin txn.txn_id);
+    (txn, true)
+
+let commit_txn t txn =
+  log t (Wal.Commit txn.txn_id);
+  log_flush t
+
+let rollback_txn _t txn =
+  List.iter
+    (fun u ->
+      match u with
+      | Undo_insert { table; rowid } -> ignore (Table.delete table rowid)
+      | Undo_delete { table; rowid; row } -> begin
+          (* restore the tombstoned slot *)
+          match Table.update table rowid row with
+          | Ok () -> ()
+          | Error _ ->
+            (* the slot is a tombstone: Table.update refuses; re-apply by
+               direct undelete below *)
+            ignore (Table.undelete table rowid row)
+        end
+      | Undo_update { table; rowid; old_row } ->
+        (match Table.update table rowid old_row with
+         | Ok () -> ()
+         | Error m -> failwith ("rollback failed: " ^ m)))
+    txn.undo_ops
+
+(* ---------------- statement execution ---------------- *)
+
+let find_table t name =
+  match Catalog.find_table t.cat name with
+  | Some tbl -> tbl
+  | None -> error "no such table %S" name
+
+let eval_const t e =
+  let c = Planner.compile_scalar t.cat e in
+  Executor.eval_expr t.cat [||] c
+
+let do_insert t txn ~table ~columns ~rows =
+  let tbl = find_table t table in
+  let schema = Table.schema tbl in
+  let arity = Schema.arity schema in
+  let positions =
+    match columns with
+    | None -> List.init arity (fun i -> i)
+    | Some cols ->
+      List.map
+        (fun c ->
+          match Schema.column_index_opt schema c with
+          | Some i -> i
+          | None -> error "no column %S in table %S" c table)
+        cols
+  in
+  let count = ref 0 in
+  List.iter
+    (fun value_exprs ->
+      if List.length value_exprs <> List.length positions then
+        error "INSERT arity mismatch for table %S" table;
+      let row = Array.make arity Value.Null in
+      List.iteri
+        (fun i e -> row.(List.nth positions i) <- eval_const t e)
+        value_exprs;
+      match Table.insert tbl row with
+      | Ok rowid ->
+        txn.undo_ops <- Undo_insert { table = tbl; rowid } :: txn.undo_ops;
+        log t (Wal.Insert { txid = txn.txn_id; table = Catalog.normalize table; row });
+        incr count
+      | Error m -> error "%s" m)
+    rows;
+  !count
+
+(* UPDATE/DELETE row selection. When the WHERE clause has equality
+   conjuncts covering all columns of some index, probe it instead of
+   scanning the heap. *)
+let matching_rowids t tbl where =
+  let schema = Table.schema tbl in
+  let pred =
+    Option.map (fun e -> Planner.compile_row_predicate t.cat schema e) where
+  in
+  let keep (rowid, row) =
+    match pred with
+    | None -> Some (rowid, row)
+    | Some p ->
+      if Value.is_truthy (Executor.eval_expr t.cat row p) then Some (rowid, row)
+      else None
+  in
+  let eq_literals =
+    let rec conjuncts = function
+      | Sql_ast.Binop (Sql_ast.And, a, b) -> conjuncts a @ conjuncts b
+      | e -> [ e ]
+    in
+    match where with
+    | None -> []
+    | Some e ->
+      List.filter_map
+        (function
+          | Sql_ast.Binop (Sql_ast.Eq, Sql_ast.Col { column; _ }, Sql_ast.Lit v)
+          | Sql_ast.Binop (Sql_ast.Eq, Sql_ast.Lit v, Sql_ast.Col { column; _ }) ->
+            Some (String.lowercase_ascii column, v)
+          | _ -> None)
+        (conjuncts e)
+  in
+  let probe =
+    List.find_map
+      (fun idx ->
+        let cols = List.map String.lowercase_ascii (Index.columns idx) in
+        let rec key acc = function
+          | [] -> Some (Array.of_list (List.rev acc))
+          | c :: rest ->
+            (match List.assoc_opt c eq_literals with
+             | Some v -> key (v :: acc) rest
+             | None -> None)
+        in
+        Option.map (fun k -> (idx, k)) (key [] cols))
+      (Table.indexes tbl)
+  in
+  match probe with
+  | Some (idx, key) ->
+    List.filter_map
+      (fun rowid ->
+        match Table.get tbl rowid with
+        | Some row -> keep (rowid, row)
+        | None -> None)
+      (Index.lookup idx key)
+  | None -> List.of_seq (Seq.filter_map keep (Table.scan tbl))
+
+let do_delete t txn ~table ~where =
+  let tbl = find_table t table in
+  let victims = matching_rowids t tbl where in
+  List.iter
+    (fun (rowid, row) ->
+      if Table.delete tbl rowid then begin
+        txn.undo_ops <- Undo_delete { table = tbl; rowid; row } :: txn.undo_ops;
+        log t (Wal.Delete { txid = txn.txn_id; table = Catalog.normalize table; rowid })
+      end)
+    victims;
+  List.length victims
+
+let do_update t txn ~table ~assignments ~where =
+  let tbl = find_table t table in
+  let schema = Table.schema tbl in
+  let compiled =
+    List.map
+      (fun (col, e) ->
+        match Schema.column_index_opt schema col with
+        | Some i -> (i, Planner.compile_row_predicate t.cat schema e)
+        | None -> error "no column %S in table %S" col table)
+      assignments
+  in
+  let victims = matching_rowids t tbl where in
+  List.iter
+    (fun (rowid, old_row) ->
+      let new_row = Array.copy old_row in
+      List.iter
+        (fun (i, ce) -> new_row.(i) <- Executor.eval_expr t.cat old_row ce)
+        compiled;
+      match Table.update tbl rowid new_row with
+      | Ok () ->
+        txn.undo_ops <- Undo_update { table = tbl; rowid; old_row } :: txn.undo_ops;
+        log t
+          (Wal.Update { txid = txn.txn_id; table = Catalog.normalize table; rowid;
+                        row = new_row })
+      | Error m -> error "%s" m)
+    victims;
+  List.length victims
+
+let do_create_table t ~ddl_sql (ct : Sql_ast.stmt) =
+  match ct with
+  | Sql_ast.Create_table { name; if_not_exists; columns; primary_key } ->
+    if Catalog.find_table t.cat name <> None then begin
+      if if_not_exists then Done "table exists, skipped"
+      else error "table %S already exists" name
+    end
+    else begin
+      let inline_pk =
+        List.filter_map
+          (fun (c : Sql_ast.column_def) ->
+            if c.cd_primary_key then Some c.cd_name else None)
+          columns
+      in
+      let pk =
+        match primary_key, inline_pk with
+        | [], pk -> pk
+        | pk, [] -> pk
+        | _ -> error "duplicate PRIMARY KEY specification"
+      in
+      let schema =
+        Schema.make ~primary_key:pk (Catalog.normalize name)
+          (List.map
+             (fun (c : Sql_ast.column_def) ->
+               (c.cd_name, c.cd_type, not c.cd_not_null))
+             columns)
+      in
+      (match Catalog.add_table t.cat (Table.create schema) with
+       | Ok () ->
+         log t (Wal.Ddl ddl_sql);
+         log_flush t;
+         Done (Printf.sprintf "table %s created" name)
+       | Error m -> error "%s" m)
+    end
+  | _ -> assert false
+
+let do_create_index t ~ddl_sql ~name ~table ~columns ~unique ~kind =
+  let tbl = find_table t table in
+  let schema = Table.schema tbl in
+  let positions =
+    List.map
+      (fun c ->
+        match Schema.column_index_opt schema c with
+        | Some i -> i
+        | None -> error "no column %S in table %S" c table)
+      columns
+  in
+  let ikind =
+    match kind with
+    | Sql_ast.Hash_index -> Index.Hash
+    | Sql_ast.Btree_index -> Index.Btree
+  in
+  let idx =
+    Index.create ~name:(Catalog.normalize name) ~table:(Catalog.normalize table)
+      ~columns:(List.map String.lowercase_ascii columns)
+      ~column_positions:positions ~unique ikind
+  in
+  match Catalog.add_index t.cat ~table idx with
+  | Ok () ->
+    log t (Wal.Ddl ddl_sql);
+    log_flush t;
+    Done (Printf.sprintf "index %s created" name)
+  | Error m -> error "%s" m
+
+let rec execute t (stmt : Sql_ast.stmt) : result =
+  match stmt with
+  | Select_stmt sel ->
+    let planned = Planner.plan_select t.cat sel in
+    let rows = List.of_seq (Executor.run t.cat planned.plan) in
+    Rows { columns = planned.column_names; rows }
+  | Query_stmt q ->
+    let planned = Planner.plan_query t.cat q in
+    let rows = List.of_seq (Executor.run t.cat planned.plan) in
+    Rows { columns = planned.column_names; rows }
+  | Insert { table; columns; rows } ->
+    let txn, auto = charge t in
+    (try
+       let n = do_insert t txn ~table ~columns ~rows in
+       if auto then begin
+         commit_txn t txn;
+         t.current <- None
+       end;
+       Affected n
+     with e ->
+       if auto then begin
+         rollback_txn t txn;
+         log t (Wal.Rollback txn.txn_id)
+       end;
+       raise e)
+  | Delete { table; where } ->
+    let txn, auto = charge t in
+    (try
+       let n = do_delete t txn ~table ~where in
+       if auto then commit_txn t txn;
+       Affected n
+     with e ->
+       if auto then begin
+         rollback_txn t txn;
+         log t (Wal.Rollback txn.txn_id)
+       end;
+       raise e)
+  | Update { table; assignments; where } ->
+    let txn, auto = charge t in
+    (try
+       let n = do_update t txn ~table ~assignments ~where in
+       if auto then commit_txn t txn;
+       Affected n
+     with e ->
+       if auto then begin
+         rollback_txn t txn;
+         log t (Wal.Rollback txn.txn_id)
+       end;
+       raise e)
+  | Create_table _ as ct ->
+    if in_transaction t then error "DDL inside a transaction is not supported";
+    do_create_table t ~ddl_sql:(Sql_ast.stmt_to_string ct) ct
+  | Create_index { name; table; columns; unique; kind } as ci ->
+    if in_transaction t then error "DDL inside a transaction is not supported";
+    do_create_index t ~ddl_sql:(Sql_ast.stmt_to_string ci) ~name ~table ~columns
+      ~unique ~kind
+  | Drop_table { name; if_exists } as dt ->
+    if in_transaction t then error "DDL inside a transaction is not supported";
+    if Catalog.drop_table t.cat name then begin
+      log t (Wal.Ddl (Sql_ast.stmt_to_string dt));
+      log_flush t;
+      Done (Printf.sprintf "table %s dropped" name)
+    end
+    else if if_exists then Done "no such table, skipped"
+    else error "no such table %S" name
+  | Drop_index { name; if_exists } as di ->
+    if in_transaction t then error "DDL inside a transaction is not supported";
+    if Catalog.drop_index t.cat name then begin
+      log t (Wal.Ddl (Sql_ast.stmt_to_string di));
+      log_flush t;
+      Done (Printf.sprintf "index %s dropped" name)
+    end
+    else if if_exists then Done "no such index, skipped"
+    else error "no such index %S" name
+  | Begin_txn ->
+    if in_transaction t then error "already in a transaction";
+    let txn = { txn_id = t.next_txid; undo_ops = [] } in
+    t.next_txid <- t.next_txid + 1;
+    log t (Wal.Begin txn.txn_id);
+    t.current <- Some txn;
+    Done "transaction started"
+  | Commit_txn ->
+    (match t.current with
+     | None -> error "no transaction in progress"
+     | Some txn ->
+       commit_txn t txn;
+       t.current <- None;
+       Done "committed")
+  | Rollback_txn ->
+    (match t.current with
+     | None -> error "no transaction in progress"
+     | Some txn ->
+       rollback_txn t txn;
+       log t (Wal.Rollback txn.txn_id);
+       t.current <- None;
+       Done "rolled back")
+  | Explain inner ->
+    (match inner with
+     | Select_stmt sel ->
+       let planned = Planner.plan_select t.cat sel in
+       Explained (Plan.to_string planned.plan)
+     | Query_stmt q ->
+       let planned = Planner.plan_query t.cat q in
+       Explained (Plan.to_string planned.plan)
+     | _ -> Explained (Sql_ast.stmt_to_string inner ^ "\n"))
+
+(* ---------------- recovery ---------------- *)
+
+and replay t ops =
+  t.replaying <- true;
+  Fun.protect ~finally:(fun () -> t.replaying <- false) @@ fun () ->
+  List.iter
+    (fun (op : Wal.op) ->
+      match op with
+      | Wal.Ddl sql ->
+        (match Sql_parser.parse sql with
+         | stmt -> ignore (execute t stmt)
+         | exception e -> failwith ("recovery: bad DDL in WAL: " ^ Printexc.to_string e))
+      | Wal.Insert { table; row; _ } ->
+        let tbl = find_table t table in
+        (match Table.insert tbl row with
+         | Ok _ -> ()
+         | Error m -> failwith ("recovery: " ^ m))
+      | Wal.Delete { table; rowid; _ } ->
+        let tbl = find_table t table in
+        ignore (Table.delete tbl rowid)
+      | Wal.Update { table; rowid; row; _ } ->
+        let tbl = find_table t table in
+        (match Table.update tbl rowid row with
+         | Ok () -> ()
+         | Error m -> failwith ("recovery: " ^ m))
+      | Wal.Begin txid | Wal.Commit txid | Wal.Rollback txid ->
+        if txid >= t.next_txid then t.next_txid <- txid + 1)
+    ops
+
+let open_in_memory () =
+  { cat = Catalog.create (); wal = None; current = None; next_txid = 1;
+    replaying = false }
+
+let open_with_wal path =
+  let ops = Wal.committed_ops (Wal.read_ops path) in
+  let t =
+    { cat = Catalog.create (); wal = None; current = None; next_txid = 1;
+      replaying = false }
+  in
+  replay t ops;
+  let wal = Wal.open_log path in
+  { t with wal = Some wal }
+
+let close t =
+  (match t.current with
+   | Some txn ->
+     rollback_txn t txn;
+     log t (Wal.Rollback txn.txn_id);
+     t.current <- None
+   | None -> ());
+  Option.iter Wal.close t.wal
+
+(* ---------------- public API ---------------- *)
+
+let exec t sql =
+  match Sql_parser.parse sql with
+  | stmt ->
+    (try Ok (execute t stmt) with
+     | Db_error m -> Error m
+     | Planner.Plan_error m -> Error ("planning: " ^ m)
+     | Executor.Runtime_error m -> Error ("execution: " ^ m)
+     | Failure m -> Error m)
+  | exception ((Sql_parser.Parse_error _ | Sql_lexer.Lex_error _) as e) ->
+    Error (Sql_parser.error_to_string e)
+
+let exec_exn t sql =
+  match exec t sql with
+  | Ok r -> r
+  | Error m -> failwith (Printf.sprintf "SQL failed (%s): %s" sql m)
+
+let query t sql =
+  match exec t sql with
+  | Ok (Rows { columns; rows }) -> Ok (columns, rows)
+  | Ok _ -> Error "statement did not return rows"
+  | Error _ as e -> e
+
+let query_exn t sql =
+  match query t sql with
+  | Ok r -> r
+  | Error m -> failwith (Printf.sprintf "SQL query failed (%s): %s" sql m)
+
+let insert_rows t ~table rows =
+  try
+    let tbl = find_table t table in
+    let txn, auto = charge t in
+    (try
+       let count = ref 0 in
+       List.iter
+         (fun row ->
+           match Table.insert tbl row with
+           | Ok rowid ->
+             txn.undo_ops <- Undo_insert { table = tbl; rowid } :: txn.undo_ops;
+             log t (Wal.Insert { txid = txn.txn_id; table = Catalog.normalize table; row });
+             incr count
+           | Error m -> error "%s" m)
+         rows;
+       if auto then begin
+         commit_txn t txn;
+         t.current <- None
+       end;
+       Ok !count
+     with e ->
+       if auto then begin
+         rollback_txn t txn;
+         log t (Wal.Rollback txn.txn_id)
+       end;
+       raise e)
+  with
+  | Db_error m -> Error m
+  | Failure m -> Error m
+
+let exec_script t script =
+  match Sql_parser.parse_many script with
+  | stmts ->
+    let rec go n = function
+      | [] -> Ok n
+      | stmt :: rest ->
+        (match
+           try Ok (execute t stmt) with
+           | Db_error m -> Error m
+           | Planner.Plan_error m -> Error ("planning: " ^ m)
+           | Executor.Runtime_error m -> Error ("execution: " ^ m)
+           | Failure m -> Error m
+         with
+         | Ok _ -> go (n + 1) rest
+         | Error m -> Error m)
+    in
+    go 0 stmts
+  | exception ((Sql_parser.Parse_error _ | Sql_lexer.Lex_error _) as e) ->
+    Error (Sql_parser.error_to_string e)
+
+let explain t sql =
+  match exec t ("EXPLAIN " ^ sql) with
+  | Ok (Explained s) -> Ok s
+  | Ok _ -> Error "not an explainable statement"
+  | Error _ as e -> e
+
+let plan_select t sel = Planner.plan_select t.cat sel
+
+let run_planned t (planned : Planner.planned) =
+  (planned.column_names, List.of_seq (Executor.run t.cat planned.plan))

@@ -1,0 +1,55 @@
+(** The database facade: the SQL entry point the XQ2SQL transformer talks
+    to, standing in for the commercial RDBMS (Oracle 9i) of the paper.
+
+    Supports in-memory operation or WAL-backed durability with crash
+    recovery, explicit transactions with rollback, DDL, DML, queries and
+    EXPLAIN. *)
+
+type t
+
+type result =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Affected of int
+  | Explained of string
+  | Done of string   (** DDL / transaction control acknowledgement *)
+
+val open_in_memory : unit -> t
+
+val open_with_wal : string -> t
+(** Open a database durably backed by the WAL at [path]. If the file
+    exists, committed history is replayed (crash recovery). *)
+
+val close : t -> unit
+
+val catalog : t -> Catalog.t
+
+val exec : t -> string -> (result, string) Stdlib.result
+(** Execute one SQL statement. *)
+
+val exec_exn : t -> string -> result
+(** @raise Failure with the error message. *)
+
+val query : t -> string -> (string list * Value.t array list, string) Stdlib.result
+(** Run a SELECT; returns (column names, rows). *)
+
+val query_exn : t -> string -> string list * Value.t array list
+
+val insert_rows :
+  t -> table:string -> Value.t array list -> (int, string) Stdlib.result
+(** Bulk insert of pre-built rows (the prepared-statement fast path used
+    by the XML2Relational loader). Transactional and WAL-logged exactly
+    like an INSERT statement; returns the number of rows inserted. *)
+
+val exec_script : t -> string -> (int, string) Stdlib.result
+(** Run a [;]-separated script, stopping at the first error; returns the
+    number of statements executed. *)
+
+val explain : t -> string -> (string, string) Stdlib.result
+(** Plan a SELECT and render the physical plan. *)
+
+val in_transaction : t -> bool
+
+val plan_select : t -> Sql_ast.select -> Planner.planned
+(** Plan without executing (used by tests and the XQ2SQL layer). *)
+
+val run_planned : t -> Planner.planned -> string list * Value.t array list

@@ -1,0 +1,547 @@
+exception Runtime_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+type ctx = {
+  catalog : Catalog.t;
+  params : Value.t array;
+}
+
+module Key = struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    && (let ok = ref true in
+        Array.iteri (fun i x -> if not (Value.equal x b.(i)) then ok := false) a;
+        !ok)
+
+  let hash k = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 k
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+(* SQL LIKE: % = any run, _ = any single char. *)
+let like_match ~pattern s =
+  let pn = String.length pattern and sn = String.length s in
+  (* memoized recursion over (pi, si) *)
+  let memo = Hashtbl.create 16 in
+  let rec go pi si =
+    match Hashtbl.find_opt memo (pi, si) with
+    | Some r -> r
+    | None ->
+      let r =
+        if pi >= pn then si >= sn
+        else
+          match pattern.[pi] with
+          | '%' -> go (pi + 1) si || (si < sn && go pi (si + 1))
+          | '_' -> si < sn && go (pi + 1) (si + 1)
+          | c -> si < sn && s.[si] = c && go (pi + 1) (si + 1)
+      in
+      Hashtbl.add memo (pi, si) r;
+      r
+  in
+  go 0 0
+
+(* ---------------- scalar semantics ---------------- *)
+
+let numeric_binop op a b =
+  let open Value in
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y ->
+    (match op with
+     | Sql_ast.Add -> Int (x + y)
+     | Sql_ast.Sub -> Int (x - y)
+     | Sql_ast.Mul -> Int (x * y)
+     | Sql_ast.Div -> if y = 0 then Null else Int (x / y)
+     | Sql_ast.Mod -> if y = 0 then Null else Int (x mod y)
+     | _ -> assert false)
+  | (Int _ | Float _), (Int _ | Float _) ->
+    let f = function Int i -> float_of_int i | Float f -> f | _ -> assert false in
+    let x = f a and y = f b in
+    (match op with
+     | Sql_ast.Add -> Float (x +. y)
+     | Sql_ast.Sub -> Float (x -. y)
+     | Sql_ast.Mul -> Float (x *. y)
+     | Sql_ast.Div -> if y = 0. then Null else Float (x /. y)
+     | Sql_ast.Mod -> if y = 0. then Null else Float (Float.rem x y)
+     | _ -> assert false)
+  | _ -> error "arithmetic on non-numeric values (%s, %s)"
+           (Value.to_literal a) (Value.to_literal b)
+
+let comparison_binop op a b =
+  match Value.sql_compare a b with
+  | None -> Value.Null
+  | Some c ->
+    let r = match op with
+      | Sql_ast.Eq -> c = 0
+      | Sql_ast.Neq -> c <> 0
+      | Sql_ast.Lt -> c < 0
+      | Sql_ast.Le -> c <= 0
+      | Sql_ast.Gt -> c > 0
+      | Sql_ast.Ge -> c >= 0
+      | _ -> assert false
+    in
+    Value.Bool r
+
+(* Kleene 3VL *)
+let and3 a b =
+  match a, b with
+  | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+  | Value.Bool true, Value.Bool true -> Value.Bool true
+  | _ -> Value.Null
+
+let or3 a b =
+  match a, b with
+  | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+  | Value.Bool false, Value.Bool false -> Value.Bool false
+  | _ -> Value.Null
+
+let not3 = function
+  | Value.Bool b -> Value.Bool (not b)
+  | _ -> Value.Null
+
+let as_string = function
+  | Value.Null -> None
+  | v -> Some (Value.to_string v)
+
+let as_int name = function
+  | Value.Int i -> i
+  | Value.Float f when Float.is_integer f -> int_of_float f
+  | v -> error "%s expects an integer, got %s" name (Value.to_literal v)
+
+let scalar_fn name (args : Value.t list) =
+  let str1 f =
+    match args with
+    | [ v ] -> (match as_string v with None -> Value.Null | Some s -> f s)
+    | _ -> error "%s expects 1 argument" name
+  in
+  match name, args with
+  | "LOWER", _ -> str1 (fun s -> Value.Text (String.lowercase_ascii s))
+  | "UPPER", _ -> str1 (fun s -> Value.Text (String.uppercase_ascii s))
+  | "LENGTH", _ -> str1 (fun s -> Value.Int (String.length s))
+  | "TRIM", _ -> str1 (fun s -> Value.Text (String.trim s))
+  | "LTRIM", _ ->
+    str1 (fun s ->
+        let i = ref 0 in
+        while !i < String.length s && (s.[!i] = ' ' || s.[!i] = '\t') do incr i done;
+        Value.Text (String.sub s !i (String.length s - !i)))
+  | "RTRIM", _ ->
+    str1 (fun s ->
+        let i = ref (String.length s) in
+        while !i > 0 && (s.[!i - 1] = ' ' || s.[!i - 1] = '\t') do decr i done;
+        Value.Text (String.sub s 0 !i))
+  | "ABS", [ Value.Int i ] -> Value.Int (abs i)
+  | "ABS", [ Value.Float f ] -> Value.Float (Float.abs f)
+  | "ABS", [ Value.Null ] -> Value.Null
+  | "ROUND", [ Value.Float f ] -> Value.Float (Float.round f)
+  | "ROUND", [ Value.Int i ] -> Value.Int i
+  | "ROUND", [ Value.Null ] -> Value.Null
+  | "FLOOR", [ Value.Float f ] -> Value.Int (int_of_float (Float.floor f))
+  | "FLOOR", [ Value.Int i ] -> Value.Int i
+  | "CEIL", [ Value.Float f ] -> Value.Int (int_of_float (Float.ceil f))
+  | "CEIL", [ Value.Int i ] -> Value.Int i
+  | "SUBSTR", (subject :: start :: rest) ->
+    (match as_string subject with
+     | None -> Value.Null
+     | Some s ->
+       let n = String.length s in
+       let start = as_int "SUBSTR" start in
+       let start0 = if start > 0 then start - 1 else max 0 (n + start) in
+       let len =
+         match rest with
+         | [] -> n - start0
+         | [ l ] -> as_int "SUBSTR" l
+         | _ -> error "SUBSTR expects 2 or 3 arguments"
+       in
+       let start0 = min (max start0 0) n in
+       let len = min (max len 0) (n - start0) in
+       Value.Text (String.sub s start0 len))
+  | "INSTR", [ hay; needle ] ->
+    (match as_string hay, as_string needle with
+     | Some h, Some nd ->
+       let hl = String.length h and nl = String.length nd in
+       let rec find i =
+         if i + nl > hl then 0
+         else if String.sub h i nl = nd then i + 1
+         else find (i + 1)
+       in
+       Value.Int (find 0)
+     | _ -> Value.Null)
+  | "REPLACE", [ subject; from_; to_ ] ->
+    (match as_string subject, as_string from_, as_string to_ with
+     | Some s, Some f, Some t when f <> "" ->
+       let buf = Buffer.create (String.length s) in
+       let fl = String.length f in
+       let rec go i =
+         if i >= String.length s then ()
+         else if i + fl <= String.length s && String.sub s i fl = f then begin
+           Buffer.add_string buf t;
+           go (i + fl)
+         end
+         else begin
+           Buffer.add_char buf s.[i];
+           go (i + 1)
+         end
+       in
+       go 0;
+       Value.Text (Buffer.contents buf)
+     | Some s, Some _, Some _ -> Value.Text s
+     | _ -> Value.Null)
+  | "COALESCE", args ->
+    (try List.find (fun v -> v <> Value.Null) args with Not_found -> Value.Null)
+  | "NULLIF", [ a; b ] -> if Value.equal a b then Value.Null else a
+  | "TONUM", [ v ] ->
+    (match v with
+     | Value.Null -> Value.Null
+     | Value.Int _ | Value.Float _ -> v
+     | Value.Text s ->
+       (match int_of_string_opt (String.trim s) with
+        | Some i -> Value.Int i
+        | None ->
+          (match float_of_string_opt (String.trim s) with
+           | Some f -> Value.Float f
+           | None -> Value.Null))
+     | Value.Bool b -> Value.Int (if b then 1 else 0))
+  | "TOSTR", [ v ] ->
+    (match v with Value.Null -> Value.Null | v -> Value.Text (Value.to_string v))
+  | _, args -> error "unknown function %s/%d" name (List.length args)
+
+(* ---------------- plans ---------------- *)
+
+let rec eval ctx row (e : Plan.cexpr) : Value.t =
+  match e with
+  | CLit v -> v
+  | CCol i ->
+    if i < 0 || i >= Array.length row then error "column slot %d out of range" i
+    else row.(i)
+  | CParam i ->
+    if i < 0 || i >= Array.length ctx.params then error "parameter slot %d out of range" i
+    else ctx.params.(i)
+  | CBinop (op, a, b) ->
+    (match op with
+     | Add | Sub | Mul | Div | Mod -> numeric_binop op (eval ctx row a) (eval ctx row b)
+     | Concat ->
+       (match eval ctx row a, eval ctx row b with
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> Value.Text (Value.to_string va ^ Value.to_string vb))
+     | And -> and3 (eval ctx row a) (eval ctx row b)
+     | Or -> or3 (eval ctx row a) (eval ctx row b)
+     | Eq | Neq | Lt | Le | Gt | Ge ->
+       comparison_binop op (eval ctx row a) (eval ctx row b))
+  | CUnop (Neg, e) ->
+    (match eval ctx row e with
+     | Value.Int i -> Value.Int (-i)
+     | Value.Float f -> Value.Float (-.f)
+     | Value.Null -> Value.Null
+     | v -> error "cannot negate %s" (Value.to_literal v))
+  | CUnop (Not, e) -> not3 (eval ctx row e)
+  | CFn (name, args) -> scalar_fn name (List.map (eval ctx row) args)
+  | CLike { subject; pattern; negated } ->
+    (match eval ctx row subject, eval ctx row pattern with
+     | Value.Null, _ | _, Value.Null -> Value.Null
+     | s, p ->
+       let r = like_match ~pattern:(Value.to_string p) (Value.to_string s) in
+       Value.Bool (if negated then not r else r))
+  | CIn_list { subject; candidates; negated } ->
+    let v = eval ctx row subject in
+    if v = Value.Null then Value.Null
+    else begin
+      let found = ref false and saw_null = ref false in
+      List.iter
+        (fun c ->
+          let cv = eval ctx row c in
+          if cv = Value.Null then saw_null := true
+          else if Value.equal v cv then found := true)
+        candidates;
+      if !found then Value.Bool (not negated)
+      else if !saw_null then Value.Null
+      else Value.Bool negated
+    end
+  | CIs_null { subject; negated } ->
+    let isnull = eval ctx row subject = Value.Null in
+    Value.Bool (if negated then not isnull else isnull)
+  | CBetween { subject; low; high; negated } ->
+    let v = eval ctx row subject in
+    let lo = comparison_binop Sql_ast.Ge v (eval ctx row low) in
+    let hi = comparison_binop Sql_ast.Le v (eval ctx row high) in
+    let r = and3 lo hi in
+    if negated then not3 r else r
+  | CCase { branches; else_ } ->
+    let rec pick = function
+      | [] -> (match else_ with Some e -> eval ctx row e | None -> Value.Null)
+      | (cond, result) :: rest ->
+        if Value.is_truthy (eval ctx row cond) then eval ctx row result else pick rest
+    in
+    pick branches
+  | CIn_plan { subject; plan; negated } ->
+    let v = eval ctx row subject in
+    if v = Value.Null then Value.Null
+    else begin
+      let found = ref false and saw_null = ref false in
+      Seq.iter
+        (fun r ->
+          let cv = if Array.length r = 0 then Value.Null else r.(0) in
+          if cv = Value.Null then saw_null := true
+          else if Value.equal v cv then found := true)
+        (run_sub ctx row plan);
+      if !found then Value.Bool (not negated)
+      else if !saw_null then Value.Null
+      else Value.Bool negated
+    end
+  | CExists_plan { plan; negated } ->
+    let nonempty = not (Seq.is_empty (run_sub ctx row plan)) in
+    Value.Bool (if negated then not nonempty else nonempty)
+  | CScalar_plan plan ->
+    (match (run_sub ctx row plan) () with
+     | Seq.Nil -> Value.Null
+     | Seq.Cons (r, rest) ->
+       (match rest () with
+        | Seq.Nil -> if Array.length r = 0 then Value.Null else r.(0)
+        | Seq.Cons _ -> error "scalar subquery returned more than one row"))
+
+(* A subplan sees the current outer row as its parameter vector, appended
+   after the parameters already in scope (for doubly-nested correlation the
+   planner numbers slots accordingly). *)
+and run_sub ctx outer_row plan =
+  run_plan { ctx with params = Array.append ctx.params outer_row } plan
+
+and truthy ctx row = function
+  | None -> true
+  | Some f -> Value.is_truthy (eval ctx row f)
+
+and scan_table ctx name =
+  match Catalog.find_table ctx.catalog name with
+  | Some t -> t
+  | None -> error "no such table %S" name
+
+and run_plan ctx (plan : Plan.t) : Value.t array Seq.t =
+  match plan with
+  | Single_row -> Seq.return [||]
+  | Seq_scan { table; filter } ->
+    let t = scan_table ctx table in
+    let rows = Seq.map snd (Table.scan t) in
+    (match filter with
+     | None -> rows
+     | Some f -> Seq.filter (fun row -> Value.is_truthy (eval ctx row f)) rows)
+  | Index_lookup { table; index; key; filter } ->
+    let t = scan_table ctx table in
+    let idx =
+      match Table.find_index t index with
+      | Some i -> i
+      | None -> error "no such index %S on table %S" index table
+    in
+    fun () ->
+      let keyv = Array.map (eval ctx [||]) key in
+      let ids = Index.lookup idx keyv in
+      let rows =
+        List.filter_map
+          (fun id ->
+            match Table.get t id with
+            | Some row when truthy ctx row filter -> Some row
+            | _ -> None)
+          ids
+      in
+      (List.to_seq rows) ()
+  | Index_range { table; index; lo; hi; filter } ->
+    let t = scan_table ctx table in
+    let idx =
+      match Table.find_index t index with
+      | Some i -> i
+      | None -> error "no such index %S on table %S" index table
+    in
+    fun () ->
+      let bound = Option.map (fun (k, incl) -> (Array.map (eval ctx [||]) k, incl)) in
+      let ids = Index.range ?lo:(bound lo) ?hi:(bound hi) idx in
+      (Seq.filter_map
+         (fun id ->
+           match Table.get t id with
+           | Some row when truthy ctx row filter -> Some row
+           | _ -> None)
+         ids)
+        ()
+  | Filter (f, input) ->
+    Seq.filter (fun row -> Value.is_truthy (eval ctx row f)) (run_plan ctx input)
+  | Project (exprs, input) ->
+    Seq.map (fun row -> Array.map (eval ctx row) exprs) (run_plan ctx input)
+  | Nested_loop_join { left; right; cond; left_outer; right_arity } ->
+    let nulls = Array.make right_arity Value.Null in
+    Seq.concat_map
+      (fun lrow ->
+        let matches =
+          Seq.filter_map
+            (fun rrow ->
+              let joined = Array.append lrow rrow in
+              if truthy ctx joined cond then Some joined else None)
+            (run_plan ctx right)
+        in
+        if left_outer then (
+          fun () ->
+            match matches () with
+            | Seq.Nil -> Seq.Cons (Array.append lrow nulls, Seq.empty)
+            | cons -> cons)
+        else matches)
+      (run_plan ctx left)
+  | Hash_join { left; right; left_keys; right_keys; cond; left_outer; right_arity } ->
+    let nulls = Array.make right_arity Value.Null in
+    fun () ->
+      (* build on the right *)
+      let tbl = KeyTbl.create 256 in
+      Seq.iter
+        (fun rrow ->
+          let k = Array.map (eval ctx rrow) right_keys in
+          if not (Array.exists (fun v -> v = Value.Null) k) then
+            KeyTbl.replace tbl k
+              (rrow :: (match KeyTbl.find_opt tbl k with Some l -> l | None -> [])))
+        (run_plan ctx right);
+      (Seq.concat_map
+         (fun lrow ->
+           let k = Array.map (eval ctx lrow) left_keys in
+           let matches =
+             if Array.exists (fun v -> v = Value.Null) k then []
+             else match KeyTbl.find_opt tbl k with
+               | Some l ->
+                 List.filter_map
+                   (fun rrow ->
+                     let joined = Array.append lrow rrow in
+                     if truthy ctx joined cond then Some joined else None)
+                   (List.rev l)
+               | None -> []
+           in
+           match matches, left_outer with
+           | [], true -> Seq.return (Array.append lrow nulls)
+           | ms, _ -> List.to_seq ms)
+         (run_plan ctx left))
+        ()
+  | Sort (keys, input) ->
+    fun () ->
+      let rows = List.of_seq (run_plan ctx input) in
+      let cmp a b =
+        let rec go i =
+          if i >= Array.length keys then 0
+          else
+            let e, dir = keys.(i) in
+            let c = Value.compare_total (eval ctx a e) (eval ctx b e) in
+            let c = match dir with Sql_ast.Asc -> c | Sql_ast.Desc -> -c in
+            if c <> 0 then c else go (i + 1)
+        in
+        go 0
+      in
+      (List.to_seq (List.stable_sort cmp rows)) ()
+  | Aggregate { group_by; aggs; input } ->
+    fun () -> (run_aggregate ctx group_by aggs input) ()
+  | Distinct input ->
+    fun () ->
+      let seen = KeyTbl.create 256 in
+      (Seq.filter
+         (fun row ->
+           if KeyTbl.mem seen row then false
+           else begin
+             KeyTbl.add seen row ();
+             true
+           end)
+         (run_plan ctx input))
+        ()
+  | Union_all inputs ->
+    Seq.concat_map (fun input -> run_plan ctx input) (List.to_seq inputs)
+  | Limit { limit; offset; input } ->
+    let rows = run_plan ctx input in
+    let rows = match offset with Some n -> Seq.drop n rows | None -> rows in
+    (match limit with Some n -> Seq.take n rows | None -> rows)
+
+and run_aggregate ctx group_by aggs input =
+  let module Acc = struct
+    type t = {
+      mutable count : int;              (* rows where arg is non-null (or all rows for COUNT star) *)
+      mutable sum_i : int;
+      mutable sum_f : float;
+      mutable saw_float : bool;
+      mutable min_v : Value.t;
+      mutable max_v : Value.t;
+      mutable distinct_seen : unit KeyTbl.t option;
+    }
+  end in
+  let make_acc (spec : Plan.agg_spec) =
+    { Acc.count = 0; sum_i = 0; sum_f = 0.; saw_float = false;
+      min_v = Value.Null; max_v = Value.Null;
+      distinct_seen = if spec.agg_distinct then Some (KeyTbl.create 16) else None }
+  in
+  let update (spec : Plan.agg_spec) (acc : Acc.t) row =
+    let v = match spec.agg_arg with
+      | None -> Value.Bool true  (* COUNT star counts every row *)
+      | Some e -> eval ctx row e
+    in
+    let count_it =
+      match spec.agg_arg with
+      | None -> true
+      | Some _ ->
+        if v = Value.Null then false
+        else begin
+          match acc.distinct_seen with
+          | Some seen ->
+            let k = [| v |] in
+            if KeyTbl.mem seen k then false
+            else begin
+              KeyTbl.add seen k ();
+              true
+            end
+          | None -> true
+        end
+    in
+    if count_it then begin
+      acc.count <- acc.count + 1;
+      (match v with
+       | Value.Int i ->
+         acc.sum_i <- acc.sum_i + i;
+         acc.sum_f <- acc.sum_f +. float_of_int i
+       | Value.Float f ->
+         acc.saw_float <- true;
+         acc.sum_f <- acc.sum_f +. f
+       | _ -> ());
+      if acc.min_v = Value.Null || Value.compare_total v acc.min_v < 0 then acc.min_v <- v;
+      if acc.max_v = Value.Null || Value.compare_total v acc.max_v > 0 then acc.max_v <- v
+    end
+  in
+  let finish (spec : Plan.agg_spec) (acc : Acc.t) =
+    match spec.agg_fn with
+    | Sql_ast.Count -> Value.Int acc.count
+    | Sql_ast.Sum ->
+      if acc.count = 0 then Value.Null
+      else if acc.saw_float then Value.Float acc.sum_f
+      else Value.Int acc.sum_i
+    | Sql_ast.Avg ->
+      if acc.count = 0 then Value.Null
+      else Value.Float (acc.sum_f /. float_of_int acc.count)
+    | Sql_ast.Min -> acc.min_v
+    | Sql_ast.Max -> acc.max_v
+  in
+  let groups : (Value.t array * Acc.t array) KeyTbl.t = KeyTbl.create 64 in
+  let order = ref [] in
+  Seq.iter
+    (fun row ->
+      let key = Array.map (eval ctx row) group_by in
+      let _, accs =
+        match KeyTbl.find_opt groups key with
+        | Some entry -> entry
+        | None ->
+          let entry = (key, Array.map make_acc aggs) in
+          KeyTbl.add groups key entry;
+          order := key :: !order;
+          entry
+      in
+      Array.iteri (fun i spec -> update spec accs.(i) row) aggs)
+    (run_plan ctx input);
+  let keys_in_order = List.rev !order in
+  let emit key =
+    let key_vals, accs = KeyTbl.find groups key in
+    Array.append key_vals (Array.mapi (fun i spec -> finish spec accs.(i)) aggs)
+  in
+  if group_by = [||] && keys_in_order = [] then
+    (* global aggregate over an empty input still yields one row *)
+    Seq.return (Array.map (fun spec -> finish spec (make_acc spec)) aggs)
+  else List.to_seq (List.map emit keys_in_order)
+
+let run catalog ?(params = [||]) plan = run_plan { catalog; params } plan
+
+let eval_expr catalog ?(params = [||]) row e = eval { catalog; params } row e

@@ -1,0 +1,20 @@
+(** Volcano-style plan execution.
+
+    Plans are compiled by {!Planner}; this module evaluates them lazily as
+    row sequences. Blocking operators (sort, aggregate, distinct, hash-join
+    build side) materialise internally. *)
+
+exception Runtime_error of string
+
+val run : Catalog.t -> ?params:Value.t array -> Plan.t -> Value.t array Seq.t
+(** Evaluate a plan. [params] fills [CParam] slots of correlated
+    subplans (the top level normally passes none).
+    @raise Runtime_error on evaluation failures (unknown table at run
+    time, bad function arity, etc.). *)
+
+val eval_expr :
+  Catalog.t -> ?params:Value.t array -> Value.t array -> Plan.cexpr -> Value.t
+(** Evaluate a compiled scalar expression against a row. *)
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE with [%] and [_] wildcards (case-sensitive). *)

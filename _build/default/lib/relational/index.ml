@@ -1,0 +1,115 @@
+type kind = Hash | Btree
+
+module Key = struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    && (let ok = ref true in
+        Array.iteri (fun i x -> if not (Value.equal x b.(i)) then ok := false) a;
+        !ok)
+
+  let hash k =
+    Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 k
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+type impl =
+  | Hash_impl of int list KeyTbl.t  (* reversed insertion order *)
+  | Btree_impl of int Btree.t
+
+type t = {
+  idx_name : string;
+  idx_table : string;
+  idx_columns : string list;
+  idx_positions : int list;
+  idx_unique : bool;
+  idx_kind : kind;
+  impl : impl;
+  mutable distinct : int;
+  mutable entries : int;
+}
+
+let create ~name ~table ~columns ~column_positions ~unique kind =
+  let impl =
+    match kind with
+    | Hash -> Hash_impl (KeyTbl.create 256)
+    | Btree -> Btree_impl (Btree.create ())
+  in
+  { idx_name = name; idx_table = table; idx_columns = columns;
+    idx_positions = column_positions; idx_unique = unique; idx_kind = kind;
+    impl; distinct = 0; entries = 0 }
+
+let name t = t.idx_name
+let table t = t.idx_table
+let columns t = t.idx_columns
+let column_positions t = t.idx_positions
+let is_unique t = t.idx_unique
+let kind t = t.idx_kind
+
+let key_of_row t row =
+  Array.of_list (List.map (fun i -> row.(i)) t.idx_positions)
+
+let lookup t key =
+  match t.impl with
+  | Hash_impl tbl -> (match KeyTbl.find_opt tbl key with Some l -> List.rev l | None -> [])
+  | Btree_impl bt -> Btree.find bt key
+
+let insert t row rowid =
+  let key = key_of_row t row in
+  (* key existence, without materialising the posting list (posting lists
+     can be long; bulk loads must stay linear) *)
+  let key_exists =
+    match t.impl with
+    | Hash_impl tbl -> KeyTbl.mem tbl key
+    | Btree_impl bt -> Btree.mem bt key
+  in
+  if t.idx_unique && key_exists then
+    Error
+      (Printf.sprintf "unique index %S violated by key (%s)" t.idx_name
+         (String.concat ", "
+            (List.map Value.to_literal (Array.to_list key))))
+  else begin
+    (match t.impl with
+     | Hash_impl tbl ->
+       (match KeyTbl.find_opt tbl key with
+        | Some l -> KeyTbl.replace tbl key (rowid :: l)
+        | None ->
+          KeyTbl.add tbl key [ rowid ];
+          t.distinct <- t.distinct + 1)
+     | Btree_impl bt ->
+       if not key_exists then t.distinct <- t.distinct + 1;
+       Btree.insert bt key rowid);
+    t.entries <- t.entries + 1;
+    Ok ()
+  end
+
+let remove t row rowid =
+  let key = key_of_row t row in
+  match t.impl with
+  | Hash_impl tbl ->
+    (match KeyTbl.find_opt tbl key with
+     | None -> ()
+     | Some l ->
+       let kept = List.filter (fun id -> id <> rowid) l in
+       t.entries <- t.entries - (List.length l - List.length kept);
+       if kept = [] then begin
+         KeyTbl.remove tbl key;
+         t.distinct <- t.distinct - 1
+       end
+       else KeyTbl.replace tbl key kept)
+  | Btree_impl bt ->
+    let before = Btree.entry_count bt and dbefore = Btree.cardinal bt in
+    Btree.remove bt key (fun id -> id = rowid);
+    t.entries <- t.entries - (before - Btree.entry_count bt);
+    t.distinct <- t.distinct - (dbefore - Btree.cardinal bt)
+
+let range ?lo ?hi t =
+  match t.impl with
+  | Hash_impl _ ->
+    invalid_arg (Printf.sprintf "index %S is a hash index: no range scans" t.idx_name)
+  | Btree_impl bt -> Seq.map snd (Btree.range ?lo ?hi bt)
+
+let cardinality t = t.distinct
+let entry_count t = t.entries

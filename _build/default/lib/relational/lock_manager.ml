@@ -1,0 +1,124 @@
+type mode =
+  | Shared
+  | Exclusive
+
+type outcome =
+  | Granted
+  | Would_block
+  | Deadlock
+
+type entry = {
+  mutable lock_holders : (int * mode) list;  (* grant order *)
+  mutable queue : (int * mode) list;         (* arrival order *)
+}
+
+type t = {
+  tables : (string, entry) Hashtbl.t;
+}
+
+let create () = { tables = Hashtbl.create 16 }
+
+let entry_of t table =
+  match Hashtbl.find_opt t.tables table with
+  | Some e -> e
+  | None ->
+    let e = { lock_holders = []; queue = [] } in
+    Hashtbl.add t.tables table e;
+    e
+
+let holds t ~owner ~table =
+  match Hashtbl.find_opt t.tables table with
+  | None -> None
+  | Some e -> List.assoc_opt owner e.lock_holders
+
+let holders t ~table =
+  match Hashtbl.find_opt t.tables table with
+  | None -> []
+  | Some e -> e.lock_holders
+
+let waiting t ~table =
+  match Hashtbl.find_opt t.tables table with
+  | None -> []
+  | Some e -> List.map fst e.queue
+
+(* wait-for edge: [w] waits on table [tbl] => w -> every holder of tbl.
+   Deadlock iff some conflicting holder can already reach the requester. *)
+let reaches t ~src ~dst =
+  let visited = Hashtbl.create 16 in
+  let rec go owner =
+    owner = dst
+    || (not (Hashtbl.mem visited owner))
+       && begin
+         Hashtbl.add visited owner ();
+         (* owners this one waits for: holders of any table it queues on *)
+         Hashtbl.fold
+           (fun _ e acc ->
+             acc
+             || (List.mem_assoc owner e.queue
+                 && List.exists (fun (h, _) -> h <> owner && go h) e.lock_holders))
+           t.tables false
+       end
+  in
+  go src
+
+let compatible entry ~owner mode =
+  match mode with
+  | Shared ->
+    List.for_all (fun (h, m) -> h = owner || m = Shared) entry.lock_holders
+  | Exclusive ->
+    List.for_all (fun (h, _) -> h = owner) entry.lock_holders
+
+let acquire t ~owner ~table mode =
+  let e = entry_of t table in
+  match List.assoc_opt owner e.lock_holders with
+  | Some Exclusive ->
+    (* exclusive subsumes everything; drop any stale queue entry *)
+    e.queue <- List.filter (fun (w, _) -> w <> owner) e.queue;
+    Granted
+  | Some Shared when mode = Shared ->
+    e.queue <- List.filter (fun (w, _) -> w <> owner) e.queue;
+    Granted
+  | held ->
+    (* fairness: an earlier waiter (other than us) keeps us queued even if
+       the request is otherwise compatible *)
+    let earlier_waiter =
+      (* only waiters queued before us (or anyone, if we are not queued
+         yet) may hold us back *)
+      let ahead = function
+        | [] -> false
+        | (w, _) :: _ when w = owner -> false
+        | _ :: _ -> true
+      in
+      ahead e.queue
+    in
+    if (not earlier_waiter) && compatible e ~owner mode then begin
+      e.queue <- List.filter (fun (w, _) -> w <> owner) e.queue;
+      (match held with
+       | Some Shared ->
+         (* upgrade in place, keeping grant order *)
+         e.lock_holders <-
+           List.map (fun (h, m) -> if h = owner then (h, Exclusive) else (h, m))
+             e.lock_holders
+       | _ -> e.lock_holders <- e.lock_holders @ [ (owner, mode) ]);
+      Granted
+    end
+    else begin
+      (* would wait for the conflicting holders: deadlock if any of them
+         (transitively) waits for us already *)
+      let conflicting =
+        List.filter (fun (h, _) -> h <> owner) e.lock_holders
+      in
+      let cyclic = List.exists (fun (h, _) -> reaches t ~src:h ~dst:owner) conflicting in
+      if cyclic then Deadlock
+      else begin
+        if not (List.mem_assoc owner e.queue) then e.queue <- e.queue @ [ (owner, mode) ];
+        Would_block
+      end
+    end
+
+let release_all t ~owner =
+  Hashtbl.iter
+    (fun _ e ->
+      e.lock_holders <- List.filter (fun (h, _) -> h <> owner) e.lock_holders;
+      e.queue <- List.filter (fun (w, _) -> w <> owner) e.queue)
+    t.tables

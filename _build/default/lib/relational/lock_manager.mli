@@ -1,0 +1,45 @@
+(** Table-level lock manager with deadlock detection.
+
+    The paper's final justification for the relational substrate is "the
+    concurrency access and crash recovery features of an RDBMS"
+    (Section 2.2). {!Wal} provides recovery; this module provides the
+    concurrency-control half: strict two-phase locking at table
+    granularity with shared/exclusive modes, lock upgrade, FIFO-fair
+    waiting, and deadlock detection by cycle search in the wait-for
+    graph.
+
+    The API is non-blocking and single-threaded-deterministic: a denied
+    request registers the requester in the table's wait queue and
+    returns [`Would_block]; the caller retries after other transactions
+    release. This makes lock schedules fully scriptable in tests (and in
+    a server loop, pollable). *)
+
+type t
+
+type mode =
+  | Shared
+  | Exclusive
+
+type outcome =
+  | Granted
+  | Would_block   (** queued; retry after a release *)
+  | Deadlock      (** granting the wait would close a cycle; request NOT queued *)
+
+val create : unit -> t
+
+val acquire : t -> owner:int -> table:string -> mode -> outcome
+(** Re-acquiring a held lock is idempotent; requesting [Exclusive] while
+    holding [Shared] attempts an upgrade (granted only when the caller is
+    the sole holder). Fairness: a grantable request still blocks if an
+    earlier waiter is queued for the same table (no starvation). *)
+
+val release_all : t -> owner:int -> unit
+(** Strict 2PL release: drop every lock and wait-queue entry of [owner]. *)
+
+val holders : t -> table:string -> (int * mode) list
+(** Current lock holders for a table, in grant order. *)
+
+val waiting : t -> table:string -> int list
+(** Queued owners for a table, in arrival order. *)
+
+val holds : t -> owner:int -> table:string -> mode option

@@ -1,0 +1,209 @@
+(* Physical query plans.
+
+   The planner compiles every column reference to a positional slot in the
+   operator's input row, so execution never resolves names. Subqueries are
+   compiled to nested plans; correlated references become [CParam] slots
+   filled from the outer row at evaluation time. *)
+
+type cexpr =
+  | CLit of Value.t
+  | CCol of int
+  | CParam of int             (* correlated outer-column parameter *)
+  | CBinop of Sql_ast.binop * cexpr * cexpr
+  | CUnop of Sql_ast.unop * cexpr
+  | CFn of string * cexpr list
+  | CLike of { subject : cexpr; pattern : cexpr; negated : bool }
+  | CIn_list of { subject : cexpr; candidates : cexpr list; negated : bool }
+  | CIs_null of { subject : cexpr; negated : bool }
+  | CBetween of { subject : cexpr; low : cexpr; high : cexpr; negated : bool }
+  | CCase of { branches : (cexpr * cexpr) list; else_ : cexpr option }
+  | CIn_plan of { subject : cexpr; plan : t; negated : bool }
+  | CExists_plan of { plan : t; negated : bool }
+  | CScalar_plan of t
+
+and agg_spec = {
+  agg_fn : Sql_ast.agg_fn;
+  agg_arg : cexpr option;     (* None = COUNT star *)
+  agg_distinct : bool;
+}
+
+and t =
+  | Single_row   (* produces exactly one zero-column row: SELECT without FROM *)
+  | Seq_scan of { table : string; filter : cexpr option }
+  | Index_lookup of { table : string; index : string; key : cexpr array; filter : cexpr option }
+  | Index_range of {
+      table : string;
+      index : string;
+      lo : (cexpr array * bool) option;
+      hi : (cexpr array * bool) option;
+      filter : cexpr option;
+    }
+  | Filter of cexpr * t
+  | Project of cexpr array * t
+  | Nested_loop_join of { left : t; right : t; cond : cexpr option; left_outer : bool; right_arity : int }
+  | Hash_join of {
+      left : t;
+      right : t;
+      left_keys : cexpr array;   (* over the left row *)
+      right_keys : cexpr array;  (* over the right row *)
+      cond : cexpr option;       (* residual, over the concatenated row *)
+      left_outer : bool;
+      right_arity : int;
+    }
+  | Sort of (cexpr * Sql_ast.order_dir) array * t
+  | Aggregate of { group_by : cexpr array; aggs : agg_spec array; input : t }
+      (* output row = group key values followed by aggregate values *)
+  | Distinct of t
+  | Union_all of t list   (* bag concatenation; UNION = Distinct over it *)
+  | Limit of { limit : int option; offset : int option; input : t }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering for EXPLAIN                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec cexpr_to_string = function
+  | CLit v -> Value.to_literal v
+  | CCol i -> Printf.sprintf "#%d" i
+  | CParam i -> Printf.sprintf "$%d" i
+  | CBinop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (cexpr_to_string a) (Sql_ast.binop_to_string op)
+      (cexpr_to_string b)
+  | CUnop (Sql_ast.Neg, e) -> Printf.sprintf "(-%s)" (cexpr_to_string e)
+  | CUnop (Sql_ast.Not, e) -> Printf.sprintf "(NOT %s)" (cexpr_to_string e)
+  | CFn (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map cexpr_to_string args))
+  | CLike { subject; pattern; negated } ->
+    Printf.sprintf "(%s %sLIKE %s)" (cexpr_to_string subject)
+      (if negated then "NOT " else "") (cexpr_to_string pattern)
+  | CIn_list { subject; candidates; negated } ->
+    Printf.sprintf "(%s %sIN (%s))" (cexpr_to_string subject)
+      (if negated then "NOT " else "")
+      (String.concat ", " (List.map cexpr_to_string candidates))
+  | CIs_null { subject; negated } ->
+    Printf.sprintf "(%s IS %sNULL)" (cexpr_to_string subject)
+      (if negated then "NOT " else "")
+  | CBetween { subject; low; high; negated } ->
+    Printf.sprintf "(%s %sBETWEEN %s AND %s)" (cexpr_to_string subject)
+      (if negated then "NOT " else "") (cexpr_to_string low) (cexpr_to_string high)
+  | CCase _ -> "CASE ... END"
+  | CIn_plan { subject; negated; _ } ->
+    Printf.sprintf "(%s %sIN <subplan>)" (cexpr_to_string subject)
+      (if negated then "NOT " else "")
+  | CExists_plan { negated; _ } ->
+    Printf.sprintf "(%sEXISTS <subplan>)" (if negated then "NOT " else "")
+  | CScalar_plan _ -> "<scalar subplan>"
+
+(* subplans referenced by an expression, for EXPLAIN rendering *)
+let rec subplans_of (e : cexpr) : t list =
+  match e with
+  | CLit _ | CCol _ | CParam _ -> []
+  | CBinop (_, a, b) -> subplans_of a @ subplans_of b
+  | CUnop (_, a) -> subplans_of a
+  | CFn (_, args) -> List.concat_map subplans_of args
+  | CLike { subject; pattern; _ } -> subplans_of subject @ subplans_of pattern
+  | CIn_list { subject; candidates; _ } ->
+    subplans_of subject @ List.concat_map subplans_of candidates
+  | CIs_null { subject; _ } -> subplans_of subject
+  | CBetween { subject; low; high; _ } ->
+    subplans_of subject @ subplans_of low @ subplans_of high
+  | CCase { branches; else_ } ->
+    List.concat_map (fun (c, r) -> subplans_of c @ subplans_of r) branches
+    @ (match else_ with Some e -> subplans_of e | None -> [])
+  | CIn_plan { subject; plan; _ } -> subplans_of subject @ [ plan ]
+  | CExists_plan { plan; _ } -> [ plan ]
+  | CScalar_plan plan -> [ plan ]
+
+let to_string plan =
+  let buf = Buffer.create 256 in
+  let line indent s =
+    Buffer.add_string buf (String.make (indent * 2) ' ');
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  let opt_filter = function
+    | None -> ""
+    | Some f -> Printf.sprintf " filter=%s" (cexpr_to_string f)
+  in
+  let rec go indent = function
+    | Single_row -> line indent "SingleRow"
+    | Seq_scan { table; filter } ->
+      line indent (Printf.sprintf "SeqScan %s%s" table (opt_filter filter))
+    | Index_lookup { table; index; key; filter } ->
+      line indent
+        (Printf.sprintf "IndexLookup %s using %s key=(%s)%s" table index
+           (String.concat ", " (Array.to_list (Array.map cexpr_to_string key)))
+           (opt_filter filter))
+    | Index_range { table; index; lo; hi; filter } ->
+      let bound name = function
+        | None -> ""
+        | Some (k, incl) ->
+          Printf.sprintf " %s%s(%s)" name (if incl then "=" else "")
+            (String.concat ", " (Array.to_list (Array.map cexpr_to_string k)))
+      in
+      line indent
+        (Printf.sprintf "IndexRange %s using %s%s%s%s" table index
+           (bound "lo" lo) (bound "hi" hi) (opt_filter filter))
+    | Filter (f, input) ->
+      line indent (Printf.sprintf "Filter %s" (cexpr_to_string f));
+      List.iter
+        (fun sub ->
+          line (indent + 1) "SubPlan:";
+          go (indent + 2) sub)
+        (subplans_of f);
+      go (indent + 1) input
+    | Project (exprs, input) ->
+      line indent
+        (Printf.sprintf "Project [%s]"
+           (String.concat ", " (Array.to_list (Array.map cexpr_to_string exprs))));
+      go (indent + 1) input
+    | Nested_loop_join { left; right; cond; left_outer; _ } ->
+      line indent
+        (Printf.sprintf "NestedLoopJoin%s%s"
+           (if left_outer then " (left outer)" else "")
+           (match cond with None -> "" | Some c -> " on " ^ cexpr_to_string c));
+      go (indent + 1) left;
+      go (indent + 1) right
+    | Hash_join { left; right; left_keys; right_keys; cond; left_outer; _ } ->
+      line indent
+        (Printf.sprintf "HashJoin%s (%s) = (%s)%s"
+           (if left_outer then " (left outer)" else "")
+           (String.concat ", " (Array.to_list (Array.map cexpr_to_string left_keys)))
+           (String.concat ", " (Array.to_list (Array.map cexpr_to_string right_keys)))
+           (match cond with None -> "" | Some c -> " residual " ^ cexpr_to_string c));
+      go (indent + 1) left;
+      go (indent + 1) right
+    | Sort (keys, input) ->
+      let key (e, d) =
+        cexpr_to_string e ^ (match d with Sql_ast.Asc -> " ASC" | Sql_ast.Desc -> " DESC")
+      in
+      line indent
+        (Printf.sprintf "Sort [%s]"
+           (String.concat ", " (Array.to_list (Array.map key keys))));
+      go (indent + 1) input
+    | Aggregate { group_by; aggs; input } ->
+      let agg a =
+        Printf.sprintf "%s(%s%s)"
+          (Sql_ast.agg_fn_to_string a.agg_fn)
+          (if a.agg_distinct then "DISTINCT " else "")
+          (match a.agg_arg with None -> "*" | Some e -> cexpr_to_string e)
+      in
+      line indent
+        (Printf.sprintf "Aggregate group=[%s] aggs=[%s]"
+           (String.concat ", " (Array.to_list (Array.map cexpr_to_string group_by)))
+           (String.concat ", " (Array.to_list (Array.map agg aggs))));
+      go (indent + 1) input
+    | Distinct input ->
+      line indent "Distinct";
+      go (indent + 1) input
+    | Union_all inputs ->
+      line indent "UnionAll";
+      List.iter (go (indent + 1)) inputs
+    | Limit { limit; offset; input } ->
+      line indent
+        (Printf.sprintf "Limit%s%s"
+           (match limit with Some n -> Printf.sprintf " limit=%d" n | None -> "")
+           (match offset with Some n -> Printf.sprintf " offset=%d" n | None -> ""));
+      go (indent + 1) input
+  in
+  go 0 plan;
+  Buffer.contents buf

@@ -1,0 +1,889 @@
+open Sql_ast
+
+exception Plan_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Plan_error m)) fmt
+
+type planned = {
+  plan : Plan.t;
+  column_names : string list;
+}
+
+(* A scope maps (qualifier, column) pairs to row slots. Qualifiers are
+   table aliases, normalized to lowercase. *)
+type scope_entry = { qualifier : string option; name : string }
+
+type scope = scope_entry array
+
+let norm = String.lowercase_ascii
+
+type env = {
+  catalog : Catalog.t;
+  scope : scope;
+  outer : scope list;  (* enclosing query scopes, outermost first *)
+}
+
+let scope_find (scope : scope) ~table ~column =
+  let column = norm column in
+  let matches =
+    List.filter
+      (fun (i, e) ->
+        ignore i;
+        norm e.name = column
+        && (match table with
+            | None -> true
+            | Some t -> e.qualifier = Some (norm t)))
+      (Array.to_list (Array.mapi (fun i e -> (i, e)) scope))
+  in
+  match matches with
+  | [] -> None
+  | [ (i, _) ] -> Some i
+  | _ :: _ ->
+    error "ambiguous column reference %s%s"
+      (match table with Some t -> t ^ "." | None -> "")
+      column
+
+(* Resolve a column: current scope first, then enclosing scopes (giving a
+   parameter slot: at runtime the outer rows are concatenated outermost
+   first). *)
+let resolve env ~table ~column : Plan.cexpr =
+  match scope_find env.scope ~table ~column with
+  | Some i -> Plan.CCol i
+  | None ->
+    (* search outer frames innermost-first; offsets are outermost-first *)
+    let frames = Array.of_list env.outer in
+    let nframes = Array.length frames in
+    let rec search k =
+      if k < 0 then
+        error "unknown column %s%s"
+          (match table with Some t -> t ^ "." | None -> "")
+          column
+      else
+        match scope_find frames.(k) ~table ~column with
+        | Some i ->
+          let offset = ref 0 in
+          for j = 0 to k - 1 do offset := !offset + Array.length frames.(j) done;
+          Plan.CParam (!offset + i)
+        | None -> search (k - 1)
+    in
+    search (nframes - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile env (e : expr) : Plan.cexpr =
+  match e with
+  | Lit v -> CLit v
+  | Col { table; column } -> resolve env ~table ~column
+  | Binop (op, a, b) -> CBinop (op, compile env a, compile env b)
+  | Unop (op, a) -> CUnop (op, compile env a)
+  | Fn (name, args) -> CFn (name, List.map (compile env) args)
+  | Like { subject; pattern; negated } ->
+    CLike { subject = compile env subject; pattern = compile env pattern; negated }
+  | In_list { subject; candidates; negated } ->
+    CIn_list
+      { subject = compile env subject;
+        candidates = List.map (compile env) candidates;
+        negated }
+  | Is_null { subject; negated } -> CIs_null { subject = compile env subject; negated }
+  | Between { subject; low; high; negated } ->
+    CBetween
+      { subject = compile env subject; low = compile env low;
+        high = compile env high; negated }
+  | Case { branches; else_ } ->
+    CCase
+      { branches = List.map (fun (c, r) -> (compile env c, compile env r)) branches;
+        else_ = Option.map (compile env) else_ }
+  | In_select { subject; select; negated } ->
+    let sub = plan_subquery env select in
+    CIn_plan { subject = compile env subject; plan = sub.plan; negated }
+  | Exists { select; negated } ->
+    let sub = plan_subquery env select in
+    CExists_plan { plan = sub.plan; negated }
+  | Scalar_subquery select ->
+    let sub = plan_subquery env select in
+    CScalar_plan sub.plan
+  | Agg _ -> error "aggregate function in an invalid position"
+
+and plan_subquery env select =
+  plan_select_in env.catalog ~outer:(env.outer @ [ env.scope ]) select
+
+(* ------------------------------------------------------------------ *)
+(* Conjunct analysis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+and conjuncts_of = function
+  | Binop (And, a, b) -> conjuncts_of a @ conjuncts_of b
+  | e -> [ e ]
+
+and has_subquery (e : expr) =
+  let rec go = function
+    | In_select _ | Exists _ | Scalar_subquery _ -> true
+    | Lit _ | Col _ -> false
+    | Binop (_, a, b) -> go a || go b
+    | Unop (_, a) -> go a
+    | Fn (_, args) -> List.exists go args
+    | Like { subject; pattern; _ } -> go subject || go pattern
+    | In_list { subject; candidates; _ } -> go subject || List.exists go candidates
+    | Is_null { subject; _ } -> go subject
+    | Between { subject; low; high; _ } -> go subject || go low || go high
+    | Case { branches; else_ } ->
+      List.exists (fun (c, r) -> go c || go r) branches
+      || (match else_ with Some e -> go e | None -> false)
+    | Agg { arg; _ } -> (match arg with Some a -> go a | None -> false)
+  in
+  go e
+
+(* Which units does an expression's column references touch?
+   [unit_scopes] are the scopes of each unit; refs that resolve in an
+   enclosing scope count as constants (empty set). *)
+and referenced_units ~unit_scopes ~outer (e : expr) : int list =
+  let hits = ref [] in
+  let note i = if not (List.mem i !hits) then hits := i :: !hits in
+  let resolve_col table column =
+    let candidates =
+      List.filteri
+        (fun _ scope -> scope_find scope ~table ~column <> None)
+        unit_scopes
+    in
+    ignore candidates;
+    let matching =
+      List.concat
+        (List.mapi
+           (fun i scope ->
+             match scope_find scope ~table ~column with
+             | Some _ -> [ i ]
+             | None -> [])
+           unit_scopes)
+    in
+    match matching with
+    | [ i ] -> note i
+    | [] ->
+      (* must resolve in an outer scope, otherwise it is an error that
+         compilation will report with a good message *)
+      let found =
+        List.exists (fun scope -> scope_find scope ~table ~column <> None) outer
+      in
+      if not found then
+        error "unknown column %s%s"
+          (match table with Some t -> t ^ "." | None -> "")
+          column
+    | _ :: _ :: _ ->
+      error "ambiguous column reference %s%s"
+        (match table with Some t -> t ^ "." | None -> "")
+        column
+  in
+  let rec go = function
+    | Lit _ -> ()
+    | Col { table; column } -> resolve_col table column
+    | Binop (_, a, b) -> go a; go b
+    | Unop (_, a) -> go a
+    | Fn (_, args) -> List.iter go args
+    | Like { subject; pattern; _ } -> go subject; go pattern
+    | In_list { subject; candidates; _ } -> go subject; List.iter go candidates
+    | Is_null { subject; _ } -> go subject
+    | Between { subject; low; high; _ } -> go subject; go low; go high
+    | Case { branches; else_ } ->
+      List.iter (fun (c, r) -> go c; go r) branches;
+      Option.iter go else_
+    | In_select _ | Exists _ | Scalar_subquery _ ->
+      (* handled by the has_subquery residual rule *) ()
+    | Agg { arg; _ } -> Option.iter go arg
+  in
+  go e;
+  List.sort compare !hits
+
+(* ------------------------------------------------------------------ *)
+(* Access-path selection for a base table                              *)
+(* ------------------------------------------------------------------ *)
+
+and split_conjunction compiled =
+  match compiled with
+  | [] -> None
+  | first :: rest ->
+    Some (List.fold_left (fun acc c -> Plan.CBinop (And, acc, c)) first rest)
+
+(* preds reference only this unit (or constants / outer scopes). *)
+and access_path catalog ~outer ~table_name ~scope preds =
+  let table =
+    match Catalog.find_table catalog table_name with
+    | Some t -> t
+    | None -> error "no such table %S" table_name
+  in
+  let const_env = { catalog; scope = [||]; outer } in
+  let unit_env = { catalog; scope; outer } in
+  let is_const e =
+    match referenced_units ~unit_scopes:[ scope ] ~outer e with
+    | [] -> not (has_subquery e)
+    | _ -> false
+  in
+  let col_of = function
+    | Col { table = _; column } ->
+      (match scope_find scope ~table:None ~column with
+       | Some _ -> Some (norm column)
+       | None -> None)
+    | _ -> None
+  in
+  (* candidate equality and range bounds per column *)
+  let eqs : (string * expr * expr) list ref = ref [] in  (* col, const, original pred *)
+  let ranges : (string * ([ `Lo of bool | `Hi of bool ] * expr) * expr) list ref =
+    ref []
+  in
+  let classify pred =
+    match pred with
+    | Binop (Eq, a, b) ->
+      (match col_of a, is_const b with
+       | Some c, true -> eqs := (c, b, pred) :: !eqs
+       | _ ->
+         (match col_of b, is_const a with
+          | Some c, true -> eqs := (c, a, pred) :: !eqs
+          | _ -> ()))
+    | Binop ((Lt | Le | Gt | Ge) as op, a, b) ->
+      let dir_of op flipped =
+        match op, flipped with
+        | Lt, false -> `Hi false | Le, false -> `Hi true
+        | Gt, false -> `Lo false | Ge, false -> `Lo true
+        | Lt, true -> `Lo false | Le, true -> `Lo true
+        | Gt, true -> `Hi false | Ge, true -> `Hi true
+        | _ -> assert false
+      in
+      (match col_of a, is_const b with
+       | Some c, true -> ranges := (c, (dir_of op false, b), pred) :: !ranges
+       | _ ->
+         (match col_of b, is_const a with
+          | Some c, true -> ranges := (c, (dir_of op true, a), pred) :: !ranges
+          | _ -> ()))
+    | Between { subject; low; high; negated = false } ->
+      (match col_of subject, is_const low && is_const high with
+       | Some c, true ->
+         ranges := (c, (`Lo true, low), pred) :: !ranges;
+         ranges := (c, (`Hi true, high), pred) :: !ranges
+       | _ -> ())
+    | _ -> ()
+  in
+  List.iter classify preds;
+  let indexes = Table.indexes table in
+  (* full-key equality match: every index column has an eq candidate *)
+  let eq_match idx =
+    let cols = List.map norm (Index.columns idx) in
+    let rec collect acc = function
+      | [] -> Some (List.rev acc)
+      | c :: rest ->
+        (match List.find_opt (fun (c', _, _) -> c' = c) !eqs with
+         | Some (_, const, pred) -> collect ((const, pred) :: acc) rest
+         | None -> None)
+    in
+    collect [] cols
+  in
+  let lookup_choice =
+    let candidates =
+      List.filter_map
+        (fun idx -> match eq_match idx with Some keys -> Some (idx, keys) | None -> None)
+        indexes
+    in
+    (* prefer unique indexes, then wider keys *)
+    let score (idx, keys) =
+      (if Index.is_unique idx then 1000 else 0) + List.length keys
+    in
+    match List.sort (fun a b -> compare (score b) (score a)) candidates with
+    | c :: _ -> Some c
+    | [] -> None
+  in
+  let range_choice =
+    match lookup_choice with
+    | Some _ -> None
+    | None ->
+      List.find_map
+        (fun idx ->
+          if Index.kind idx <> Index.Btree then None
+          else
+            match Index.columns idx with
+            | [ col ] ->
+              let col = norm col in
+              let bounds = List.filter (fun (c, _, _) -> c = col) !ranges in
+              if bounds = [] then None
+              else begin
+                let lo =
+                  List.find_map
+                    (fun (_, (d, e), p) ->
+                      match d with `Lo incl -> Some (e, incl, p) | `Hi _ -> None)
+                    bounds
+                in
+                let hi =
+                  List.find_map
+                    (fun (_, (d, e), p) ->
+                      match d with `Hi incl -> Some (e, incl, p) | `Lo _ -> None)
+                    bounds
+                in
+                Some (idx, lo, hi)
+              end
+            | _ -> None)
+        indexes
+  in
+  let rows = float_of_int (max 1 (Table.row_count table)) in
+  match lookup_choice with
+  | Some (idx, keys) ->
+    let used_preds = List.map snd keys in
+    let key = Array.of_list (List.map (fun (c, _) -> compile const_env c) keys) in
+    let rest = List.filter (fun p -> not (List.memq p used_preds)) preds in
+    let filter = split_conjunction (List.map (compile unit_env) rest) in
+    let est =
+      if Index.is_unique idx then 1.0
+      else rows /. float_of_int (max 1 (Index.cardinality idx))
+    in
+    let est = est *. (0.5 ** float_of_int (List.length rest)) in
+    (Plan.Index_lookup { table = Catalog.normalize table_name; index = Index.name idx; key; filter },
+     est)
+  | None ->
+    (match range_choice with
+     | Some (idx, lo, hi) ->
+       let used =
+         (match lo with Some (_, _, p) -> [ p ] | None -> [])
+         @ (match hi with Some (_, _, p) -> [ p ] | None -> [])
+       in
+       let bound = Option.map (fun (e, incl, _) -> ([| compile const_env e |], incl)) in
+       let rest = List.filter (fun p -> not (List.memq p used)) preds in
+       let filter = split_conjunction (List.map (compile unit_env) rest) in
+       let est = rows *. 0.25 *. (0.5 ** float_of_int (List.length rest)) in
+       (Plan.Index_range
+          { table = Catalog.normalize table_name; index = Index.name idx;
+            lo = bound lo; hi = bound hi; filter },
+        est)
+     | None ->
+       let filter = split_conjunction (List.map (compile unit_env) preds) in
+       let selectivity p =
+         match p with
+         | Binop (Eq, _, _) -> 0.05
+         | Binop ((Lt | Le | Gt | Ge), _, _) | Between _ -> 0.25
+         | Like _ -> 0.25
+         | _ -> 0.5
+       in
+       let est = List.fold_left (fun acc p -> acc *. selectivity p) rows preds in
+       (Plan.Seq_scan { table = Catalog.normalize table_name; filter }, max est 0.01))
+
+(* ------------------------------------------------------------------ *)
+(* FROM planning                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A unit is one relation participating in join ordering. *)
+and plan_from catalog ~outer (from : table_ref list) (where : expr option) :
+  Plan.t * scope * expr list =
+  (* returns (plan, scope, leftover conjuncts not yet applied) *)
+  let has_left_join =
+    let rec check = function
+      | Table _ | Derived _ -> false
+      | Join { kind = Left_outer; _ } -> true
+      | Join { left; right; _ } -> check left || check right
+    in
+    List.exists check from
+  in
+  if has_left_join then plan_from_structural catalog ~outer from where
+  else begin
+    (* flatten into units + conjuncts *)
+    let units : (string * scope * Plan.t option * string option) list ref = ref [] in
+    (* (alias, scope, derived plan, base table name) *)
+    let conds = ref [] in
+    let add_unit alias scope dplan base =
+      let alias = norm alias in
+      if List.exists (fun (a, _, _, _) -> a = alias) !units then
+        error "duplicate table alias %S" alias;
+      units := !units @ [ (alias, scope, dplan, base) ]
+    in
+    let rec walk = function
+      | Table { name; alias } ->
+        let table =
+          match Catalog.find_table catalog name with
+          | Some t -> t
+          | None -> error "no such table %S" name
+        in
+        let alias = Option.value alias ~default:name in
+        let scope =
+          Array.of_list
+            (List.map
+               (fun c -> { qualifier = Some (norm alias); name = c })
+               (Schema.column_names (Table.schema table)))
+        in
+        add_unit alias scope None (Some name)
+      | Derived { select; alias } ->
+        let sub = plan_select_in catalog ~outer select in
+        let scope =
+          Array.of_list
+            (List.map
+               (fun n -> { qualifier = Some (norm alias); name = n })
+               sub.column_names)
+        in
+        add_unit alias scope (Some sub.plan) None
+      | Join { left; kind; right; on } ->
+        walk left;
+        walk right;
+        (match kind with
+         | Cross -> ()
+         | Inner -> Option.iter (fun e -> conds := !conds @ conjuncts_of e) on
+         | Left_outer -> assert false)
+    in
+    List.iter walk from;
+    let conds = !conds @ (match where with Some w -> conjuncts_of w | None -> []) in
+    let units = Array.of_list !units in
+    let unit_scopes = List.map (fun (_, s, _, _) -> s) (Array.to_list units) in
+    (* classify conjuncts *)
+    let single : (int, expr list) Hashtbl.t = Hashtbl.create 8 in
+    let multi = ref [] and residual = ref [] in
+    List.iter
+      (fun c ->
+        if has_subquery c then residual := c :: !residual
+        else
+          match referenced_units ~unit_scopes ~outer c with
+          | [] -> residual := c :: !residual  (* constant predicate *)
+          | [ i ] ->
+            Hashtbl.replace single i
+              (c :: (match Hashtbl.find_opt single i with Some l -> l | None -> []))
+          | refs -> multi := (refs, c) :: !multi)
+      conds;
+    (* access path per unit *)
+    let planned =
+      Array.mapi
+        (fun i (alias, scope, dplan, base) ->
+          ignore alias;
+          let preds = match Hashtbl.find_opt single i with Some l -> List.rev l | None -> [] in
+          match dplan, base with
+          | Some p, _ ->
+            (* derived table: apply its predicates as a filter *)
+            let env = { catalog; scope; outer } in
+            let filter = split_conjunction (List.map (compile env) preds) in
+            let p = match filter with Some f -> Plan.Filter (f, p) | None -> p in
+            (p, scope, 1000.0 *. (0.5 ** float_of_int (List.length preds)))
+          | None, Some table_name ->
+            let p, est = access_path catalog ~outer ~table_name ~scope preds in
+            (p, scope, est)
+          | None, None -> assert false)
+        units
+    in
+    let n = Array.length planned in
+    if n = 0 then
+      (Plan.Single_row, [||], List.rev !residual)
+    else begin
+      (* greedy join ordering *)
+      let in_set = Array.make n false in
+      let order = ref [] in
+      let remaining_multi = ref (List.map snd !multi) in
+      (* equi-join detection between the current set and a candidate unit *)
+      let is_equi_between set_scopes unit_idx c =
+        match c with
+        | Binop (Eq, a, b) ->
+          let side e =
+            match referenced_units ~unit_scopes ~outer e with
+            | [] -> `Const
+            | [ i ] when i = unit_idx -> `Unit
+            | refs when List.for_all (fun r -> List.mem r set_scopes) refs -> `Set
+            | _ -> `Other
+          in
+          (match side a, side b with
+           | `Set, `Unit -> Some (a, b)
+           | `Unit, `Set -> Some (b, a)
+           | _ -> None)
+        | _ -> None
+      in
+      (* pick the starting unit: smallest estimate *)
+      let start = ref 0 in
+      Array.iteri
+        (fun i (_, _, est) ->
+          let _, _, best = planned.(!start) in
+          if est < best then start := i)
+        planned;
+      in_set.(!start) <- true;
+      order := [ !start ];
+      let current_plan = ref (let p, _, _ = planned.(!start) in p) in
+      let current_scope = ref (let _, s, _ = planned.(!start) in s) in
+      let current_members = ref [ !start ] in
+      for _ = 2 to n do
+        (* candidates with an equi join to the set *)
+        let best = ref None in
+        Array.iteri
+          (fun i (_, _, est) ->
+            if not in_set.(i) then begin
+              let joins =
+                List.filter_map (is_equi_between !current_members i) !remaining_multi
+              in
+              let has_equi = joins <> [] in
+              match !best with
+              | None -> best := Some (i, est, has_equi)
+              | Some (_, best_est, best_equi) ->
+                if (has_equi && not best_equi)
+                   || (has_equi = best_equi && est < best_est) then
+                  best := Some (i, est, has_equi)
+            end)
+          planned;
+        match !best with
+        | None -> ()
+        | Some (i, _, has_equi) ->
+          let unit_plan, unit_scope, _ = planned.(i) in
+          let joined_scope = Array.append !current_scope unit_scope in
+          let set_env = { catalog; scope = !current_scope; outer } in
+          let unit_env = { catalog; scope = unit_scope; outer } in
+          let joined_env = { catalog; scope = joined_scope; outer } in
+          if has_equi then begin
+            let equi, rest_multi =
+              List.partition
+                (fun c -> is_equi_between !current_members i c <> None)
+                !remaining_multi
+            in
+            remaining_multi := rest_multi;
+            let keys =
+              List.map
+                (fun c -> Option.get (is_equi_between !current_members i c))
+                equi
+            in
+            let left_keys = Array.of_list (List.map (fun (s, _) -> compile set_env s) keys) in
+            let right_keys = Array.of_list (List.map (fun (_, u) -> compile unit_env u) keys) in
+            current_plan :=
+              Plan.Hash_join
+                { left = !current_plan; right = unit_plan; left_keys; right_keys;
+                  cond = None; left_outer = false;
+                  right_arity = Array.length unit_scope }
+          end
+          else
+            current_plan :=
+              Plan.Nested_loop_join
+                { left = !current_plan; right = unit_plan; cond = None;
+                  left_outer = false; right_arity = Array.length unit_scope };
+          in_set.(i) <- true;
+          current_members := i :: !current_members;
+          current_scope := joined_scope;
+          (* apply multi-unit predicates that are now fully contained *)
+          let apply, keep =
+            List.partition
+              (fun c ->
+                let refs = referenced_units ~unit_scopes ~outer c in
+                List.for_all (fun r -> List.mem r !current_members) refs)
+              !remaining_multi
+          in
+          remaining_multi := keep;
+          (match split_conjunction (List.map (compile joined_env) apply) with
+           | Some f -> current_plan := Plan.Filter (f, !current_plan)
+           | None -> ())
+      done;
+      if !remaining_multi <> [] then
+        error "internal: unplaced join predicates";
+      (!current_plan, !current_scope, List.rev !residual)
+    end
+  end
+
+(* Structural (no-reorder) planning used when LEFT JOIN is present. *)
+and plan_from_structural catalog ~outer from where =
+  let rec plan_ref = function
+    | Table { name; alias } ->
+      let table =
+        match Catalog.find_table catalog name with
+        | Some t -> t
+        | None -> error "no such table %S" name
+      in
+      let alias = norm (Option.value alias ~default:name) in
+      let scope =
+        Array.of_list
+          (List.map
+             (fun c -> { qualifier = Some alias; name = c })
+             (Schema.column_names (Table.schema table)))
+      in
+      (Plan.Seq_scan { table = Catalog.normalize name; filter = None }, scope)
+    | Derived { select; alias } ->
+      let sub = plan_select_in catalog ~outer select in
+      let scope =
+        Array.of_list
+          (List.map (fun n -> { qualifier = Some (norm alias); name = n }) sub.column_names)
+      in
+      (sub.plan, scope)
+    | Join { left; kind; right; on } ->
+      let lp, ls = plan_ref left in
+      let rp, rs = plan_ref right in
+      let joined = Array.append ls rs in
+      let env = { catalog; scope = joined; outer } in
+      let cond = Option.map (compile env) on in
+      let left_outer = kind = Left_outer in
+      (Plan.Nested_loop_join
+         { left = lp; right = rp; cond; left_outer; right_arity = Array.length rs },
+       joined)
+  in
+  let plan, scope =
+    match from with
+    | [] -> (Plan.Single_row, [||])
+    | first :: rest ->
+      List.fold_left
+        (fun (p, s) r ->
+          let rp, rs = plan_ref r in
+          (Plan.Nested_loop_join
+             { left = p; right = rp; cond = None; left_outer = false;
+               right_arity = Array.length rs },
+           Array.append s rs))
+        (plan_ref first) rest
+  in
+  (plan, scope, match where with Some w -> conjuncts_of w | None -> [])
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+and collect_aggs (e : expr) acc =
+  match e with
+  | Agg _ -> if List.exists (fun a -> a = e) acc then acc else acc @ [ e ]
+  | Lit _ | Col _ -> acc
+  | Binop (_, a, b) -> collect_aggs b (collect_aggs a acc)
+  | Unop (_, a) -> collect_aggs a acc
+  | Fn (_, args) -> List.fold_left (fun acc a -> collect_aggs a acc) acc args
+  | Like { subject; pattern; _ } -> collect_aggs pattern (collect_aggs subject acc)
+  | In_list { subject; candidates; _ } ->
+    List.fold_left (fun acc a -> collect_aggs a acc) (collect_aggs subject acc) candidates
+  | Is_null { subject; _ } -> collect_aggs subject acc
+  | Between { subject; low; high; _ } ->
+    collect_aggs high (collect_aggs low (collect_aggs subject acc))
+  | Case { branches; else_ } ->
+    let acc =
+      List.fold_left (fun acc (c, r) -> collect_aggs r (collect_aggs c acc)) acc branches
+    in
+    (match else_ with Some e -> collect_aggs e acc | None -> acc)
+  | In_select { subject; _ } -> collect_aggs subject acc
+  | Exists _ | Scalar_subquery _ -> acc
+
+(* Compile an expression in the post-aggregation scope: group-by
+   expressions and aggregate calls become column slots. *)
+and compile_post_agg env ~group_exprs ~agg_exprs (e : expr) : Plan.cexpr =
+  let find_slot lst x =
+    let rec go i = function
+      | [] -> None
+      | y :: rest -> if y = x then Some i else go (i + 1) rest
+    in
+    go 0 lst
+  in
+  match find_slot group_exprs e with
+  | Some i -> Plan.CCol i
+  | None ->
+    (match find_slot agg_exprs e with
+     | Some j -> Plan.CCol (List.length group_exprs + j)
+     | None ->
+       (match e with
+        | Lit v -> CLit v
+        | Col { table; column } ->
+          (* a bare column not in GROUP BY: maybe an outer reference *)
+          (match scope_find env.scope ~table ~column with
+           | Some _ ->
+             error "column %s must appear in GROUP BY or an aggregate" column
+           | None -> resolve env ~table ~column)
+        | Binop (op, a, b) ->
+          CBinop (op, compile_post_agg env ~group_exprs ~agg_exprs a,
+                  compile_post_agg env ~group_exprs ~agg_exprs b)
+        | Unop (op, a) -> CUnop (op, compile_post_agg env ~group_exprs ~agg_exprs a)
+        | Fn (name, args) ->
+          CFn (name, List.map (compile_post_agg env ~group_exprs ~agg_exprs) args)
+        | Like { subject; pattern; negated } ->
+          CLike { subject = compile_post_agg env ~group_exprs ~agg_exprs subject;
+                  pattern = compile_post_agg env ~group_exprs ~agg_exprs pattern;
+                  negated }
+        | In_list { subject; candidates; negated } ->
+          CIn_list
+            { subject = compile_post_agg env ~group_exprs ~agg_exprs subject;
+              candidates = List.map (compile_post_agg env ~group_exprs ~agg_exprs) candidates;
+              negated }
+        | Is_null { subject; negated } ->
+          CIs_null { subject = compile_post_agg env ~group_exprs ~agg_exprs subject; negated }
+        | Between { subject; low; high; negated } ->
+          CBetween
+            { subject = compile_post_agg env ~group_exprs ~agg_exprs subject;
+              low = compile_post_agg env ~group_exprs ~agg_exprs low;
+              high = compile_post_agg env ~group_exprs ~agg_exprs high;
+              negated }
+        | Case { branches; else_ } ->
+          CCase
+            { branches =
+                List.map
+                  (fun (c, r) ->
+                    (compile_post_agg env ~group_exprs ~agg_exprs c,
+                     compile_post_agg env ~group_exprs ~agg_exprs r))
+                  branches;
+              else_ = Option.map (compile_post_agg env ~group_exprs ~agg_exprs) else_ }
+        | Agg _ -> assert false (* caught by find_slot agg_exprs *)
+        | In_select _ | Exists _ | Scalar_subquery _ ->
+          error "subqueries combined with aggregation are not supported"))
+
+(* ------------------------------------------------------------------ *)
+(* SELECT                                                              *)
+(* ------------------------------------------------------------------ *)
+
+and output_name i = function
+  | Proj (_, Some alias) -> alias
+  | Proj (Col { column; _ }, None) -> column
+  | Proj (Agg { fn; _ }, None) -> String.lowercase_ascii (agg_fn_to_string fn)
+  | Proj (_, None) -> Printf.sprintf "col%d" (i + 1)
+  | Star | Table_star _ -> assert false (* expanded before naming *)
+
+and plan_select_in catalog ~outer (sel : select) : planned =
+  let base_plan, scope, leftover = plan_from catalog ~outer sel.from sel.where in
+  let env = { catalog; scope; outer } in
+  (* residual WHERE conjuncts *)
+  let base_plan =
+    match split_conjunction (List.map (compile env) leftover) with
+    | Some f -> Plan.Filter (f, base_plan)
+    | None -> base_plan
+  in
+  (* expand stars *)
+  let projections =
+    List.concat_map
+      (function
+        | Star ->
+          if Array.length scope = 0 then error "SELECT * with no FROM clause";
+          Array.to_list
+            (Array.map
+               (fun e ->
+                 Proj (Col { table = e.qualifier; column = e.name }, Some e.name))
+               scope)
+        | Table_star t ->
+          let t = norm t in
+          let cols =
+            List.filter (fun e -> e.qualifier = Some t) (Array.to_list scope)
+          in
+          if cols = [] then error "unknown table %S in %s.*" t t;
+          List.map
+            (fun e -> Proj (Col { table = e.qualifier; column = e.name }, Some e.name))
+            cols
+        | Proj _ as p -> [ p ])
+      sel.projections
+  in
+  let proj_exprs = List.map (function Proj (e, _) -> e | _ -> assert false) projections in
+  let column_names = List.mapi output_name projections in
+  (* aggregation? *)
+  let agg_sources =
+    proj_exprs
+    @ (match sel.having with Some h -> [ h ] | None -> [])
+    @ List.map fst sel.order_by
+  in
+  let aggs = List.fold_left (fun acc e -> collect_aggs e acc) [] agg_sources in
+  let is_aggregate = sel.group_by <> [] || aggs <> [] in
+  if is_aggregate then begin
+    let group_exprs = sel.group_by in
+    let cgroups = Array.of_list (List.map (compile env) group_exprs) in
+    let cspecs =
+      Array.of_list
+        (List.map
+           (function
+             | Agg { fn; arg; distinct } ->
+               { Plan.agg_fn = fn; agg_arg = Option.map (compile env) arg;
+                 agg_distinct = distinct }
+             | _ -> assert false)
+           aggs)
+    in
+    let agg_plan = Plan.Aggregate { group_by = cgroups; aggs = cspecs; input = base_plan } in
+    let post env_expr = compile_post_agg env ~group_exprs ~agg_exprs:aggs env_expr in
+    let agg_plan =
+      match sel.having with
+      | Some h -> Plan.Filter (post h, agg_plan)
+      | None -> agg_plan
+    in
+    let cproj = List.map post proj_exprs in
+    finalize sel ~column_names ~proj_asts:proj_exprs
+      ~compile_output:post
+      ~proj:(Array.of_list cproj) ~input:agg_plan
+  end
+  else begin
+    (match sel.having with
+     | Some _ -> error "HAVING requires GROUP BY or aggregates"
+     | None -> ());
+    let cproj = List.map (compile env) proj_exprs in
+    finalize sel ~column_names ~proj_asts:proj_exprs
+      ~compile_output:(compile env)
+      ~proj:(Array.of_list cproj) ~input:base_plan
+  end
+
+(* Shared tail: projection, DISTINCT, ORDER BY (with hidden columns),
+   LIMIT/OFFSET. [compile_output] compiles an AST expression against the
+   pre-projection row. *)
+and finalize sel ~column_names ~proj_asts ~compile_output ~proj ~input =
+  let nvisible = Array.length proj in
+  let out_scope =
+    Array.of_list (List.map (fun n -> { qualifier = None; name = n }) column_names)
+  in
+  (* compile ORDER BY keys: prefer output aliases, else hidden input columns *)
+  let hidden = ref [] in
+  let sort_keys =
+    List.map
+      (fun (e, dir) ->
+        let against_output () =
+          match e with
+          | Col { table = None; column } ->
+            (match scope_find out_scope ~table:None ~column with
+             | Some i -> Some (Plan.CCol i)
+             | None -> None)
+          | Lit (Value.Int k) when k >= 1 && k <= nvisible ->
+            (* ORDER BY ordinal *)
+            Some (Plan.CCol (k - 1))
+          | _ ->
+            (* structural match against a projected expression *)
+            let rec find i = function
+              | [] -> None
+              | pe :: rest -> if pe = e then Some (Plan.CCol i) else find (i + 1) rest
+            in
+            find 0 proj_asts
+        in
+        match against_output () with
+        | Some c -> (c, dir)
+        | None ->
+          (* hidden column: compile against the pre-projection row *)
+          let c = compile_output e in
+          let slot = nvisible + List.length !hidden in
+          hidden := !hidden @ [ c ];
+          (Plan.CCol slot, dir))
+      sel.order_by
+  in
+  let needs_hidden = !hidden <> [] in
+  if needs_hidden && sel.distinct then
+    error "ORDER BY on a non-projected expression is not allowed with DISTINCT";
+  let full_proj = Array.append proj (Array.of_list !hidden) in
+  let plan = Plan.Project (full_proj, input) in
+  let plan = if sel.distinct then Plan.Distinct plan else plan in
+  let plan =
+    if sort_keys = [] then plan
+    else Plan.Sort (Array.of_list sort_keys, plan)
+  in
+  (* strip hidden sort columns *)
+  let plan =
+    if needs_hidden then
+      Plan.Project (Array.init nvisible (fun i -> Plan.CCol i), plan)
+    else plan
+  in
+  let plan =
+    match sel.limit, sel.offset with
+    | None, None -> plan
+    | limit, offset -> Plan.Limit { limit; offset; input = plan }
+  in
+  { plan; column_names }
+
+let plan_select catalog sel = plan_select_in catalog ~outer:[] sel
+
+let plan_query catalog (q : Sql_ast.query) =
+  let first = plan_select_in catalog ~outer:[] q.first in
+  let arity = List.length first.column_names in
+  let branches =
+    List.map
+      (fun (all, sel) ->
+        let p = plan_select_in catalog ~outer:[] sel in
+        if List.length p.column_names <> arity then
+          error "UNION branches have different arities (%d vs %d)" arity
+            (List.length p.column_names);
+        (all, p.plan))
+      q.unions
+  in
+  let all_bag = List.for_all fst branches in
+  let plan = Plan.Union_all (first.plan :: List.map snd branches) in
+  (* plain UNION anywhere in the chain means set semantics for the result *)
+  let plan = if all_bag then plan else Plan.Distinct plan in
+  { plan; column_names = first.column_names }
+
+let compile_scalar catalog e =
+  compile { catalog; scope = [||]; outer = [] } e
+
+let compile_row_predicate catalog schema e =
+  let scope =
+    Array.of_list
+      (List.map
+         (fun c -> { qualifier = Some (norm schema.Schema.table_name); name = c })
+         (Schema.column_names schema))
+  in
+  compile { catalog; scope; outer = [] } e

@@ -1,0 +1,35 @@
+(** Query planning: name resolution, predicate pushdown, index selection
+    and greedy join ordering.
+
+    The planner mirrors the behaviour the paper relies on from Oracle's
+    optimizer: WHERE conjuncts are pushed to their base relations, equality
+    conjuncts against indexed columns become index lookups, range
+    conjuncts on B+tree indexes become index range scans, and equi-join
+    conjuncts drive hash joins ordered greedily by estimated cardinality.
+    Correlated outer references in subqueries compile to parameter slots
+    and can feed index probes. *)
+
+exception Plan_error of string
+
+type planned = {
+  plan : Plan.t;
+  column_names : string list;  (** output column headers, in order *)
+}
+
+val plan_select : Catalog.t -> Sql_ast.select -> planned
+(** @raise Plan_error on unknown tables/columns, ambiguous references,
+    or misuse of aggregates. *)
+
+val plan_query : Catalog.t -> Sql_ast.query -> planned
+(** Plan a UNION chain. Column names come from the first branch; a plain
+    UNION anywhere makes the whole result set-semantic (distinct). *)
+
+val compile_scalar :
+  Catalog.t -> Sql_ast.expr -> Plan.cexpr
+(** Compile an expression with no column references (INSERT values,
+    DEFAULTs). @raise Plan_error if it mentions a column. *)
+
+val compile_row_predicate :
+  Catalog.t -> Schema.t -> Sql_ast.expr -> Plan.cexpr
+(** Compile an expression against a single table's schema (UPDATE/DELETE
+    WHERE clauses); column slots index into the table row. *)

@@ -1,0 +1,82 @@
+type column = {
+  col_name : string;
+  col_type : Value.ty;
+  col_nullable : bool;
+}
+
+type t = {
+  table_name : string;
+  columns : column list;
+  primary_key : string list;
+}
+
+let make ?(primary_key = []) table_name cols =
+  let columns =
+    List.map (fun (n, t, nullable) -> { col_name = n; col_type = t; col_nullable = nullable }) cols
+  in
+  let names = List.map (fun c -> c.col_name) columns in
+  let rec dup = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else dup rest
+  in
+  (match dup names with
+   | Some n -> failwith (Printf.sprintf "duplicate column %S in table %S" n table_name)
+   | None -> ());
+  List.iter
+    (fun k ->
+      if not (List.mem k names) then
+        failwith (Printf.sprintf "primary key column %S not in table %S" k table_name))
+    primary_key;
+  { table_name; columns; primary_key }
+
+let arity s = List.length s.columns
+
+let column_index s name =
+  let rec go i = function
+    | [] -> raise Not_found
+    | c :: rest -> if String.equal c.col_name name then i else go (i + 1) rest
+  in
+  go 0 s.columns
+
+let column_index_opt s name =
+  match column_index s name with
+  | i -> Some i
+  | exception Not_found -> None
+
+let column s i = List.nth s.columns i
+
+let column_names s = List.map (fun c -> c.col_name) s.columns
+
+let check_row s row =
+  if Array.length row <> arity s then
+    Error (Printf.sprintf "row arity %d does not match table %S arity %d"
+             (Array.length row) s.table_name (arity s))
+  else begin
+    let problem = ref None in
+    List.iteri
+      (fun i c ->
+        if !problem = None then begin
+          let v = row.(i) in
+          if v = Value.Null && not c.col_nullable then
+            problem := Some (Printf.sprintf "column %S is NOT NULL" c.col_name)
+          else if not (Value.conforms v c.col_type) then
+            problem :=
+              Some (Printf.sprintf "value %s does not conform to %s for column %S"
+                      (Value.to_literal v) (Value.ty_to_string c.col_type) c.col_name)
+        end)
+      s.columns;
+    match !problem with None -> Ok () | Some m -> Error m
+  end
+
+let to_string s =
+  let col_to_string c =
+    Printf.sprintf "%s %s%s" c.col_name (Value.ty_to_string c.col_type)
+      (if c.col_nullable then "" else " NOT NULL")
+  in
+  let pk =
+    match s.primary_key with
+    | [] -> ""
+    | ks -> Printf.sprintf ", PRIMARY KEY (%s)" (String.concat ", " ks)
+  in
+  Printf.sprintf "CREATE TABLE %s (%s%s)" s.table_name
+    (String.concat ", " (List.map col_to_string s.columns)) pk

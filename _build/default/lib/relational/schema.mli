@@ -1,0 +1,34 @@
+(** Table schemas: ordered, named, typed columns. *)
+
+type column = {
+  col_name : string;
+  col_type : Value.ty;
+  col_nullable : bool;
+}
+
+type t = {
+  table_name : string;
+  columns : column list;
+  primary_key : string list;  (** empty when no declared key *)
+}
+
+val make : ?primary_key:string list -> string -> (string * Value.ty * bool) list -> t
+(** [make name cols] where each column is (name, type, nullable).
+    @raise Failure on duplicate column names or an unknown PK column. *)
+
+val arity : t -> int
+
+val column_index : t -> string -> int
+(** @raise Not_found if absent. *)
+
+val column_index_opt : t -> string -> int option
+
+val column : t -> int -> column
+
+val column_names : t -> string list
+
+val check_row : t -> Value.t array -> (unit, string) result
+(** Arity, type conformance and NOT NULL checks. *)
+
+val to_string : t -> string
+(** CREATE TABLE rendering. *)

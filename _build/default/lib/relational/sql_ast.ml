@@ -1,0 +1,272 @@
+(* Abstract syntax of the SQL dialect understood by the engine.
+
+   The dialect covers what the XQ2SQL transformer emits plus conventional
+   DDL/DML: SELECT with joins, subqueries (IN / EXISTS / scalar), GROUP BY
+   with HAVING, ORDER BY, LIMIT/OFFSET, LIKE, CASE; INSERT/UPDATE/DELETE;
+   CREATE/DROP TABLE and INDEX; transactions; EXPLAIN. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Concat                       (* || *)
+  | And | Or
+  | Eq | Neq | Lt | Le | Gt | Ge
+
+type unop = Neg | Not
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type order_dir = Asc | Desc
+
+type expr =
+  | Lit of Value.t
+  | Col of { table : string option; column : string }
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Fn of string * expr list     (* scalar functions, name uppercased *)
+  | Like of { subject : expr; pattern : expr; negated : bool }
+  | In_list of { subject : expr; candidates : expr list; negated : bool }
+  | In_select of { subject : expr; select : select; negated : bool }
+  | Exists of { select : select; negated : bool }
+  | Is_null of { subject : expr; negated : bool }
+  | Between of { subject : expr; low : expr; high : expr; negated : bool }
+  | Case of { branches : (expr * expr) list; else_ : expr option }
+  | Agg of { fn : agg_fn; arg : expr option; distinct : bool }
+      (* [arg = None] only for COUNT star *)
+  | Scalar_subquery of select
+
+and projection =
+  | Star
+  | Table_star of string
+  | Proj of expr * string option   (* expression AS alias *)
+
+and table_ref =
+  | Table of { name : string; alias : string option }
+  | Join of { left : table_ref; kind : join_kind; right : table_ref; on : expr option }
+  | Derived of { select : select; alias : string }
+
+and join_kind = Inner | Left_outer | Cross
+
+and select = {
+  distinct : bool;
+  projections : projection list;
+  from : table_ref list;           (* comma list: implicit cross join *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * order_dir) list;
+  limit : int option;
+  offset : int option;
+}
+
+type column_def = {
+  cd_name : string;
+  cd_type : Value.ty;
+  cd_not_null : bool;
+  cd_primary_key : bool;
+}
+
+type index_kind = Hash_index | Btree_index
+
+(* A query expression: one or more SELECT cores combined with UNION
+   [ALL]. Plain UNION applies set semantics (duplicates removed). *)
+type query = {
+  first : select;
+  unions : (bool (* all? *) * select) list;
+}
+
+type stmt =
+  | Select_stmt of select
+  | Query_stmt of query
+  | Insert of { table : string; columns : string list option; rows : expr list list }
+  | Update of { table : string; assignments : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Create_table of {
+      name : string;
+      if_not_exists : bool;
+      columns : column_def list;
+      primary_key : string list;  (* table-level constraint, may be empty *)
+    }
+  | Create_index of {
+      name : string;
+      table : string;
+      columns : string list;
+      unique : bool;
+      kind : index_kind;
+    }
+  | Drop_table of { name : string; if_exists : bool }
+  | Drop_index of { name : string; if_exists : bool }
+  | Begin_txn
+  | Commit_txn
+  | Rollback_txn
+  | Explain of stmt
+
+(* ------------------------------------------------------------------ *)
+(* Printing (round-trips through the parser)                           *)
+(* ------------------------------------------------------------------ *)
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Concat -> "||"
+  | And -> "AND" | Or -> "OR"
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let agg_fn_to_string = function
+  | Count -> "COUNT" | Sum -> "SUM" | Avg -> "AVG" | Min -> "MIN" | Max -> "MAX"
+
+let rec expr_to_string = function
+  | Lit v -> Value.to_literal v
+  | Col { table = None; column } -> column
+  | Col { table = Some t; column } -> t ^ "." ^ column
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op) (expr_to_string b)
+  | Unop (Neg, e) -> Printf.sprintf "(-%s)" (expr_to_string e)
+  | Unop (Not, e) -> Printf.sprintf "(NOT %s)" (expr_to_string e)
+  | Fn (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr_to_string args))
+  | Like { subject; pattern; negated } ->
+    Printf.sprintf "(%s %sLIKE %s)" (expr_to_string subject)
+      (if negated then "NOT " else "") (expr_to_string pattern)
+  | In_list { subject; candidates; negated } ->
+    Printf.sprintf "(%s %sIN (%s))" (expr_to_string subject)
+      (if negated then "NOT " else "")
+      (String.concat ", " (List.map expr_to_string candidates))
+  | In_select { subject; select; negated } ->
+    Printf.sprintf "(%s %sIN (%s))" (expr_to_string subject)
+      (if negated then "NOT " else "") (select_to_string select)
+  | Exists { select; negated } ->
+    Printf.sprintf "(%sEXISTS (%s))" (if negated then "NOT " else "")
+      (select_to_string select)
+  | Is_null { subject; negated } ->
+    Printf.sprintf "(%s IS %sNULL)" (expr_to_string subject) (if negated then "NOT " else "")
+  | Between { subject; low; high; negated } ->
+    Printf.sprintf "(%s %sBETWEEN %s AND %s)" (expr_to_string subject)
+      (if negated then "NOT " else "") (expr_to_string low) (expr_to_string high)
+  | Case { branches; else_ } ->
+    let b =
+      String.concat " "
+        (List.map
+           (fun (c, r) ->
+             Printf.sprintf "WHEN %s THEN %s" (expr_to_string c) (expr_to_string r))
+           branches)
+    in
+    let e = match else_ with
+      | Some e -> " ELSE " ^ expr_to_string e
+      | None -> ""
+    in
+    Printf.sprintf "(CASE %s%s END)" b e
+  | Agg { fn; arg = None; distinct = _ } ->
+    Printf.sprintf "%s(*)" (agg_fn_to_string fn)
+  | Agg { fn; arg = Some e; distinct } ->
+    Printf.sprintf "%s(%s%s)" (agg_fn_to_string fn)
+      (if distinct then "DISTINCT " else "") (expr_to_string e)
+  | Scalar_subquery s -> Printf.sprintf "(%s)" (select_to_string s)
+
+and projection_to_string = function
+  | Star -> "*"
+  | Table_star t -> t ^ ".*"
+  | Proj (e, None) -> expr_to_string e
+  | Proj (e, Some a) -> Printf.sprintf "%s AS %s" (expr_to_string e) a
+
+and table_ref_to_string = function
+  | Table { name; alias = None } -> name
+  | Table { name; alias = Some a } -> Printf.sprintf "%s AS %s" name a
+  | Join { left; kind; right; on } ->
+    let k = match kind with
+      | Inner -> "JOIN"
+      | Left_outer -> "LEFT JOIN"
+      | Cross -> "CROSS JOIN"
+    in
+    let on_s = match on with
+      | Some e -> " ON " ^ expr_to_string e
+      | None -> ""
+    in
+    Printf.sprintf "%s %s %s%s" (table_ref_to_string left) k (table_ref_to_string right) on_s
+  | Derived { select; alias } ->
+    Printf.sprintf "(%s) AS %s" (select_to_string select) alias
+
+and select_to_string s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if s.distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf
+    (String.concat ", " (List.map projection_to_string s.projections));
+  if s.from <> [] then begin
+    Buffer.add_string buf " FROM ";
+    Buffer.add_string buf (String.concat ", " (List.map table_ref_to_string s.from))
+  end;
+  (match s.where with
+   | Some e -> Buffer.add_string buf (" WHERE " ^ expr_to_string e)
+   | None -> ());
+  if s.group_by <> [] then
+    Buffer.add_string buf
+      (" GROUP BY " ^ String.concat ", " (List.map expr_to_string s.group_by));
+  (match s.having with
+   | Some e -> Buffer.add_string buf (" HAVING " ^ expr_to_string e)
+   | None -> ());
+  if s.order_by <> [] then begin
+    let item (e, d) =
+      expr_to_string e ^ (match d with Asc -> " ASC" | Desc -> " DESC")
+    in
+    Buffer.add_string buf (" ORDER BY " ^ String.concat ", " (List.map item s.order_by))
+  end;
+  (match s.limit with
+   | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n)
+   | None -> ());
+  (match s.offset with
+   | Some n -> Buffer.add_string buf (Printf.sprintf " OFFSET %d" n)
+   | None -> ());
+  Buffer.contents buf
+
+let query_to_string q =
+  select_to_string q.first
+  ^ String.concat ""
+      (List.map
+         (fun (all, s) ->
+           (if all then " UNION ALL " else " UNION ") ^ select_to_string s)
+         q.unions)
+
+let rec stmt_to_string = function
+  | Select_stmt s -> select_to_string s
+  | Query_stmt q -> query_to_string q
+  | Insert { table; columns; rows } ->
+    let cols = match columns with
+      | Some cs -> Printf.sprintf " (%s)" (String.concat ", " cs)
+      | None -> ""
+    in
+    let row r = "(" ^ String.concat ", " (List.map expr_to_string r) ^ ")" in
+    Printf.sprintf "INSERT INTO %s%s VALUES %s" table cols
+      (String.concat ", " (List.map row rows))
+  | Update { table; assignments; where } ->
+    let assign (c, e) = Printf.sprintf "%s = %s" c (expr_to_string e) in
+    let w = match where with Some e -> " WHERE " ^ expr_to_string e | None -> "" in
+    Printf.sprintf "UPDATE %s SET %s%s" table
+      (String.concat ", " (List.map assign assignments)) w
+  | Delete { table; where } ->
+    let w = match where with Some e -> " WHERE " ^ expr_to_string e | None -> "" in
+    Printf.sprintf "DELETE FROM %s%s" table w
+  | Create_table { name; if_not_exists; columns; primary_key } ->
+    let col c =
+      Printf.sprintf "%s %s%s%s" c.cd_name (Value.ty_to_string c.cd_type)
+        (if c.cd_not_null then " NOT NULL" else "")
+        (if c.cd_primary_key then " PRIMARY KEY" else "")
+    in
+    let pk = match primary_key with
+      | [] -> ""
+      | ks -> Printf.sprintf ", PRIMARY KEY (%s)" (String.concat ", " ks)
+    in
+    Printf.sprintf "CREATE TABLE %s%s (%s%s)"
+      (if if_not_exists then "IF NOT EXISTS " else "") name
+      (String.concat ", " (List.map col columns)) pk
+  | Create_index { name; table; columns; unique; kind } ->
+    Printf.sprintf "CREATE %s%sINDEX %s ON %s (%s)"
+      (if unique then "UNIQUE " else "")
+      (match kind with Hash_index -> "HASH " | Btree_index -> "")
+      name table (String.concat ", " columns)
+  | Drop_table { name; if_exists } ->
+    Printf.sprintf "DROP TABLE %s%s" (if if_exists then "IF EXISTS " else "") name
+  | Drop_index { name; if_exists } ->
+    Printf.sprintf "DROP INDEX %s%s" (if if_exists then "IF EXISTS " else "") name
+  | Begin_txn -> "BEGIN"
+  | Commit_txn -> "COMMIT"
+  | Rollback_txn -> "ROLLBACK"
+  | Explain s -> "EXPLAIN " ^ stmt_to_string s

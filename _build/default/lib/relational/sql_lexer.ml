@@ -1,0 +1,150 @@
+type token =
+  | Ident of string
+  | Keyword of string
+  | String_lit of string
+  | Int_lit of int
+  | Float_lit of float
+  | Symbol of string
+  | Eof
+
+type located = { token : token; offset : int }
+
+exception Lex_error of { offset : int; message : string }
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "AS"; "JOIN"; "INNER";
+    "LEFT"; "OUTER"; "CROSS"; "ON"; "GROUP"; "BY"; "HAVING"; "ORDER"; "ASC";
+    "DESC"; "LIMIT"; "OFFSET"; "DISTINCT"; "INSERT"; "INTO"; "VALUES";
+    "UPDATE"; "SET"; "DELETE"; "CREATE"; "TABLE"; "INDEX"; "UNIQUE"; "HASH";
+    "DROP"; "IF"; "EXISTS"; "PRIMARY"; "KEY"; "NULL"; "IS"; "IN"; "LIKE";
+    "BETWEEN"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "TRUE"; "FALSE";
+    "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "BEGIN"; "COMMIT"; "ROLLBACK";
+    "EXPLAIN"; "INTEGER"; "INT"; "BIGINT"; "SMALLINT"; "REAL"; "FLOAT";
+    "DOUBLE"; "NUMERIC"; "DECIMAL"; "TEXT"; "VARCHAR"; "CHAR"; "BOOLEAN";
+    "BOOL"; "UNION"; "ALL" ]
+
+let keyword_set = List.fold_left (fun s k -> k :: s) [] keywords
+
+let is_keyword w = List.mem w keyword_set
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let emit offset token = out := { token; offset } :: !out in
+  let rec go i =
+    if i >= n then emit n Eof
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if c = '-' && i + 1 < n && src.[i + 1] = '-' then begin
+        (* line comment *)
+        let rec skip j = if j >= n || src.[j] = '\n' then j else skip (j + 1) in
+        go (skip (i + 2))
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        let word = String.sub src i (!j - i) in
+        let upper = String.uppercase_ascii word in
+        if is_keyword upper then emit i (Keyword upper) else emit i (Ident word);
+        go !j
+      end
+      else if is_digit c || (c = '.' && i + 1 < n && is_digit src.[i + 1]) then begin
+        let j = ref i in
+        let saw_dot = ref false and saw_exp = ref false in
+        let continue = ref true in
+        while !continue && !j < n do
+          let ch = src.[!j] in
+          if is_digit ch then incr j
+          else if ch = '.' && not !saw_dot && not !saw_exp then begin
+            saw_dot := true; incr j
+          end
+          else if (ch = 'e' || ch = 'E') && not !saw_exp
+                  && !j + 1 < n
+                  && (is_digit src.[!j + 1]
+                      || ((src.[!j + 1] = '+' || src.[!j + 1] = '-')
+                          && !j + 2 < n && is_digit src.[!j + 2])) then begin
+            saw_exp := true;
+            incr j;
+            if src.[!j] = '+' || src.[!j] = '-' then incr j
+          end
+          else continue := false
+        done;
+        let text = String.sub src i (!j - i) in
+        if !saw_dot || !saw_exp then
+          (match float_of_string_opt text with
+           | Some f -> emit i (Float_lit f)
+           | None -> raise (Lex_error { offset = i; message = "malformed number " ^ text }))
+        else
+          (match int_of_string_opt text with
+           | Some v -> emit i (Int_lit v)
+           | None ->
+             match float_of_string_opt text with
+             | Some f -> emit i (Float_lit f)
+             | None -> raise (Lex_error { offset = i; message = "malformed number " ^ text }));
+        go !j
+      end
+      else if c = '\'' then begin
+        (* SQL string: '' escapes a quote *)
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then raise (Lex_error { offset = i; message = "unterminated string" })
+          else if src.[j] = '\'' then
+            if j + 1 < n && src.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              scan (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            scan (j + 1)
+          end
+        in
+        let next = scan (i + 1) in
+        emit i (String_lit (Buffer.contents buf));
+        go next
+      end
+      else if c = '"' then begin
+        (* quoted identifier *)
+        let rec scan j =
+          if j >= n then raise (Lex_error { offset = i; message = "unterminated identifier" })
+          else if src.[j] = '"' then j
+          else scan (j + 1)
+        in
+        let close = scan (i + 1) in
+        emit i (Ident (String.sub src (i + 1) (close - i - 1)));
+        go (close + 1)
+      end
+      else begin
+        let two = if i + 1 < n then String.sub src i 2 else "" in
+        match two with
+        | "<>" | "<=" | ">=" | "!=" | "||" ->
+          emit i (Symbol (if two = "!=" then "<>" else two));
+          go (i + 2)
+        | _ ->
+          (match c with
+           | '(' | ')' | ',' | '.' | '*' | '=' | '<' | '>' | '+' | '-' | '/' | '%' | ';' ->
+             emit i (Symbol (String.make 1 c));
+             go (i + 1)
+           | _ ->
+             raise (Lex_error { offset = i; message = Printf.sprintf "unexpected character %C" c }))
+      end
+  in
+  go 0;
+  List.rev !out
+
+let token_to_string = function
+  | Ident s -> s
+  | Keyword k -> k
+  | String_lit s -> Printf.sprintf "'%s'" s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Symbol s -> s
+  | Eof -> "<eof>"

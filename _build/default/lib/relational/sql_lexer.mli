@@ -1,0 +1,22 @@
+(** Tokeniser for the SQL dialect. *)
+
+type token =
+  | Ident of string        (** bare or double-quoted identifier *)
+  | Keyword of string      (** uppercased reserved word *)
+  | String_lit of string
+  | Int_lit of int
+  | Float_lit of float
+  | Symbol of string       (** punctuation / operators: ( ) , . * = <> etc. *)
+  | Eof
+
+type located = { token : token; offset : int }
+
+exception Lex_error of { offset : int; message : string }
+
+val tokenize : string -> located list
+(** @raise Lex_error on unrecognised input. *)
+
+val is_keyword : string -> bool
+(** Whether an (uppercased) word is reserved. *)
+
+val token_to_string : token -> string

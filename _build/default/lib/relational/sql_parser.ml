@@ -1,0 +1,624 @@
+open Sql_ast
+
+exception Parse_error of { offset : int; message : string }
+
+type parser_state = {
+  toks : Sql_lexer.located array;
+  mutable pos : int;
+}
+
+let error st message =
+  let offset =
+    if st.pos < Array.length st.toks then st.toks.(st.pos).offset else 0
+  in
+  raise (Parse_error { offset; message })
+
+let peek st = st.toks.(st.pos).token
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).token
+  else Sql_lexer.Eof
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let accept_kw st kw =
+  match peek st with
+  | Sql_lexer.Keyword k when k = kw -> advance st; true
+  | _ -> false
+
+let expect_kw st kw =
+  if not (accept_kw st kw) then
+    error st (Printf.sprintf "expected %s, found %s" kw
+                (Sql_lexer.token_to_string (peek st)))
+
+let accept_sym st sym =
+  match peek st with
+  | Sql_lexer.Symbol s when s = sym -> advance st; true
+  | _ -> false
+
+let expect_sym st sym =
+  if not (accept_sym st sym) then
+    error st (Printf.sprintf "expected %S, found %s" sym
+                (Sql_lexer.token_to_string (peek st)))
+
+let parse_ident st =
+  match peek st with
+  | Sql_lexer.Ident name -> advance st; name
+  | t -> error st (Printf.sprintf "expected identifier, found %s" (Sql_lexer.token_to_string t))
+
+(* Type names are keywords in the lexer. *)
+let parse_type st =
+  match peek st with
+  | Sql_lexer.Keyword k ->
+    (match Value.ty_of_string k with
+     | Some ty ->
+       advance st;
+       (* swallow optional (n) or (p, s) size annotations *)
+       if accept_sym st "(" then begin
+         let rec skip depth =
+           match peek st with
+           | Sql_lexer.Symbol "(" -> advance st; skip (depth + 1)
+           | Sql_lexer.Symbol ")" ->
+             advance st;
+             if depth > 1 then skip (depth - 1)
+           | Sql_lexer.Eof -> error st "unterminated type annotation"
+           | _ -> advance st; skip depth
+         in
+         skip 1
+       end;
+       ty
+     | None -> error st (Printf.sprintf "unknown type %s" k))
+  | t -> error st (Printf.sprintf "expected a type, found %s" (Sql_lexer.token_to_string t))
+
+let agg_of_kw = function
+  | "COUNT" -> Some Count
+  | "SUM" -> Some Sum
+  | "AVG" -> Some Avg
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | _ -> None
+
+(* ---------------- expressions ---------------- *)
+
+let rec parse_expr_or st =
+  let left = parse_expr_and st in
+  if accept_kw st "OR" then Binop (Or, left, parse_expr_or st) else left
+
+and parse_expr_and st =
+  let left = parse_expr_not st in
+  if accept_kw st "AND" then Binop (And, left, parse_expr_and st) else left
+
+and parse_expr_not st =
+  if accept_kw st "NOT" then Unop (Not, parse_expr_not st)
+  else parse_predicate st
+
+and parse_predicate st =
+  let subject = parse_concat st in
+  match peek st with
+  | Sql_lexer.Symbol ("=" | "<>" | "<" | "<=" | ">" | ">=" as op) ->
+    advance st;
+    let rhs = parse_concat st in
+    let binop = match op with
+      | "=" -> Eq | "<>" -> Neq | "<" -> Lt | "<=" -> Le | ">" -> Gt | _ -> Ge
+    in
+    Binop (binop, subject, rhs)
+  | Sql_lexer.Keyword "IS" ->
+    advance st;
+    let negated = accept_kw st "NOT" in
+    expect_kw st "NULL";
+    Is_null { subject; negated }
+  | Sql_lexer.Keyword "NOT" ->
+    advance st;
+    parse_negatable st subject true
+  | Sql_lexer.Keyword ("IN" | "LIKE" | "BETWEEN") ->
+    parse_negatable st subject false
+  | _ -> subject
+
+and parse_negatable st subject negated =
+  if accept_kw st "IN" then begin
+    expect_sym st "(";
+    if (match peek st with Sql_lexer.Keyword "SELECT" -> true | _ -> false) then begin
+      let select = parse_select st in
+      expect_sym st ")";
+      In_select { subject; select; negated }
+    end
+    else begin
+      let rec items acc =
+        let e = parse_expr_or st in
+        if accept_sym st "," then items (e :: acc) else List.rev (e :: acc)
+      in
+      let candidates = items [] in
+      expect_sym st ")";
+      In_list { subject; candidates; negated }
+    end
+  end
+  else if accept_kw st "LIKE" then begin
+    let pattern = parse_concat st in
+    Like { subject; pattern; negated }
+  end
+  else if accept_kw st "BETWEEN" then begin
+    let low = parse_concat st in
+    expect_kw st "AND";
+    let high = parse_concat st in
+    Between { subject; low; high; negated }
+  end
+  else error st "expected IN, LIKE or BETWEEN after NOT"
+
+and parse_concat st =
+  let left = parse_additive st in
+  if accept_sym st "||" then Binop (Concat, left, parse_concat st) else left
+
+and parse_additive st =
+  let rec go left =
+    if accept_sym st "+" then go (Binop (Add, left, parse_multiplicative st))
+    else if accept_sym st "-" then go (Binop (Sub, left, parse_multiplicative st))
+    else left
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go left =
+    if accept_sym st "*" then go (Binop (Mul, left, parse_unary st))
+    else if accept_sym st "/" then go (Binop (Div, left, parse_unary st))
+    else if accept_sym st "%" then go (Binop (Mod, left, parse_unary st))
+    else left
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  if accept_sym st "-" then Unop (Neg, parse_unary st)
+  else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Sql_lexer.Int_lit i -> advance st; Lit (Value.Int i)
+  | Sql_lexer.Float_lit f -> advance st; Lit (Value.Float f)
+  | Sql_lexer.String_lit s -> advance st; Lit (Value.Text s)
+  | Sql_lexer.Keyword "NULL" -> advance st; Lit Value.Null
+  | Sql_lexer.Keyword "TRUE" -> advance st; Lit (Value.Bool true)
+  | Sql_lexer.Keyword "FALSE" -> advance st; Lit (Value.Bool false)
+  | Sql_lexer.Keyword "CASE" ->
+    advance st;
+    let rec branches acc =
+      if accept_kw st "WHEN" then begin
+        let cond = parse_expr_or st in
+        expect_kw st "THEN";
+        let result = parse_expr_or st in
+        branches ((cond, result) :: acc)
+      end
+      else List.rev acc
+    in
+    let branches = branches [] in
+    if branches = [] then error st "CASE requires at least one WHEN branch";
+    let else_ = if accept_kw st "ELSE" then Some (parse_expr_or st) else None in
+    expect_kw st "END";
+    Case { branches; else_ }
+  | Sql_lexer.Keyword "EXISTS" ->
+    advance st;
+    expect_sym st "(";
+    let select = parse_select st in
+    expect_sym st ")";
+    Exists { select; negated = false }
+  | Sql_lexer.Keyword kw when agg_of_kw kw <> None ->
+    let fn = Option.get (agg_of_kw kw) in
+    advance st;
+    expect_sym st "(";
+    if accept_sym st "*" then begin
+      if fn <> Count then error st "only COUNT accepts *";
+      expect_sym st ")";
+      Agg { fn; arg = None; distinct = false }
+    end
+    else begin
+      let distinct = accept_kw st "DISTINCT" in
+      let arg = parse_expr_or st in
+      expect_sym st ")";
+      Agg { fn; arg = Some arg; distinct }
+    end
+  | Sql_lexer.Symbol "(" ->
+    advance st;
+    if (match peek st with Sql_lexer.Keyword "SELECT" -> true | _ -> false) then begin
+      let s = parse_select st in
+      expect_sym st ")";
+      Scalar_subquery s
+    end
+    else begin
+      let e = parse_expr_or st in
+      expect_sym st ")";
+      e
+    end
+  | Sql_lexer.Ident name ->
+    advance st;
+    if accept_sym st "(" then begin
+      (* scalar function call *)
+      let rec args acc =
+        if accept_sym st ")" then List.rev acc
+        else begin
+          let e = parse_expr_or st in
+          if accept_sym st "," then args (e :: acc)
+          else begin
+            expect_sym st ")";
+            List.rev (e :: acc)
+          end
+        end
+      in
+      Fn (String.uppercase_ascii name, args [])
+    end
+    else if accept_sym st "." then begin
+      match peek st with
+      | Sql_lexer.Symbol "*" -> error st "t.* is only valid in a projection list"
+      | _ ->
+        let column = parse_ident st in
+        Col { table = Some name; column }
+    end
+    else Col { table = None; column = name }
+  | t -> error st (Printf.sprintf "unexpected token %s in expression" (Sql_lexer.token_to_string t))
+
+(* ---------------- SELECT ---------------- *)
+
+and parse_projection st =
+  match peek st, peek2 st with
+  | Sql_lexer.Symbol "*", _ -> advance st; Star
+  | Sql_lexer.Ident t, Sql_lexer.Symbol "." when
+      (match st.toks.(st.pos + 2).token with Sql_lexer.Symbol "*" -> true | _ -> false) ->
+    advance st; advance st; advance st;
+    Table_star t
+  | _ ->
+    let e = parse_expr_or st in
+    if accept_kw st "AS" then Proj (e, Some (parse_ident st))
+    else
+      (match peek st with
+       | Sql_lexer.Ident alias -> advance st; Proj (e, Some alias)
+       | _ -> Proj (e, None))
+
+and parse_table_ref st =
+  let base =
+    if accept_sym st "(" then begin
+      if (match peek st with Sql_lexer.Keyword "SELECT" -> true | _ -> false) then begin
+        let select = parse_select st in
+        expect_sym st ")";
+        ignore (accept_kw st "AS");
+        let alias = parse_ident st in
+        Derived { select; alias }
+      end
+      else begin
+        let t = parse_table_ref st in
+        expect_sym st ")";
+        t
+      end
+    end
+    else begin
+      let name = parse_ident st in
+      if accept_kw st "AS" then Table { name; alias = Some (parse_ident st) }
+      else
+        match peek st with
+        | Sql_lexer.Ident alias -> advance st; Table { name; alias = Some alias }
+        | _ -> Table { name; alias = None }
+    end
+  in
+  parse_joins st base
+
+and parse_joins st left =
+  if accept_kw st "JOIN" then join_tail st left Inner
+  else if accept_kw st "INNER" then begin
+    expect_kw st "JOIN";
+    join_tail st left Inner
+  end
+  else if accept_kw st "LEFT" then begin
+    ignore (accept_kw st "OUTER");
+    expect_kw st "JOIN";
+    join_tail st left Left_outer
+  end
+  else if accept_kw st "CROSS" then begin
+    expect_kw st "JOIN";
+    join_tail st left Cross
+  end
+  else left
+
+and join_tail st left kind =
+  let right =
+    if accept_sym st "(" then begin
+      if (match peek st with Sql_lexer.Keyword "SELECT" -> true | _ -> false) then begin
+        let select = parse_select st in
+        expect_sym st ")";
+        ignore (accept_kw st "AS");
+        let alias = parse_ident st in
+        Derived { select; alias }
+      end
+      else begin
+        let t = parse_table_ref st in
+        expect_sym st ")";
+        t
+      end
+    end
+    else begin
+      let name = parse_ident st in
+      if accept_kw st "AS" then Table { name; alias = Some (parse_ident st) }
+      else
+        match peek st with
+        | Sql_lexer.Ident alias -> advance st; Table { name; alias = Some alias }
+        | _ -> Table { name; alias = None }
+    end
+  in
+  let on =
+    if kind = Cross then None
+    else begin
+      expect_kw st "ON";
+      Some (parse_expr_or st)
+    end
+  in
+  parse_joins st (Join { left; kind; right; on })
+
+and parse_select st =
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let rec projections acc =
+    let p = parse_projection st in
+    if accept_sym st "," then projections (p :: acc) else List.rev (p :: acc)
+  in
+  let projections = projections [] in
+  let from =
+    if accept_kw st "FROM" then begin
+      let rec refs acc =
+        let r = parse_table_ref st in
+        if accept_sym st "," then refs (r :: acc) else List.rev (r :: acc)
+      in
+      refs []
+    end
+    else []
+  in
+  let where = if accept_kw st "WHERE" then Some (parse_expr_or st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let rec exprs acc =
+        let e = parse_expr_or st in
+        if accept_sym st "," then exprs (e :: acc) else List.rev (e :: acc)
+      in
+      exprs []
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_expr_or st) else None in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let rec items acc =
+        let e = parse_expr_or st in
+        let dir =
+          if accept_kw st "DESC" then Desc
+          else begin
+            ignore (accept_kw st "ASC");
+            Asc
+          end
+        in
+        if accept_sym st "," then items ((e, dir) :: acc) else List.rev ((e, dir) :: acc)
+      in
+      items []
+    end
+    else []
+  in
+  let parse_nat what =
+    match peek st with
+    | Sql_lexer.Int_lit n when n >= 0 -> advance st; n
+    | _ -> error st (Printf.sprintf "expected a non-negative integer after %s" what)
+  in
+  let limit = if accept_kw st "LIMIT" then Some (parse_nat "LIMIT") else None in
+  let offset = if accept_kw st "OFFSET" then Some (parse_nat "OFFSET") else None in
+  { distinct; projections; from; where; group_by; having; order_by; limit; offset }
+
+(* ---------------- other statements ---------------- *)
+
+let parse_insert st =
+  expect_kw st "INSERT";
+  expect_kw st "INTO";
+  let table = parse_ident st in
+  let columns =
+    if (match peek st with Sql_lexer.Symbol "(" -> true | _ -> false) then begin
+      advance st;
+      let rec cols acc =
+        let c = parse_ident st in
+        if accept_sym st "," then cols (c :: acc)
+        else begin
+          expect_sym st ")";
+          List.rev (c :: acc)
+        end
+      in
+      Some (cols [])
+    end
+    else None
+  in
+  expect_kw st "VALUES";
+  let parse_row () =
+    expect_sym st "(";
+    let rec vals acc =
+      let e = parse_expr_or st in
+      if accept_sym st "," then vals (e :: acc)
+      else begin
+        expect_sym st ")";
+        List.rev (e :: acc)
+      end
+    in
+    vals []
+  in
+  let rec rows acc =
+    let r = parse_row () in
+    if accept_sym st "," then rows (r :: acc) else List.rev (r :: acc)
+  in
+  Insert { table; columns; rows = rows [] }
+
+let parse_update st =
+  expect_kw st "UPDATE";
+  let table = parse_ident st in
+  expect_kw st "SET";
+  let rec assigns acc =
+    let c = parse_ident st in
+    expect_sym st "=";
+    let e = parse_expr_or st in
+    if accept_sym st "," then assigns ((c, e) :: acc) else List.rev ((c, e) :: acc)
+  in
+  let assignments = assigns [] in
+  let where = if accept_kw st "WHERE" then Some (parse_expr_or st) else None in
+  Update { table; assignments; where }
+
+let parse_delete st =
+  expect_kw st "DELETE";
+  expect_kw st "FROM";
+  let table = parse_ident st in
+  let where = if accept_kw st "WHERE" then Some (parse_expr_or st) else None in
+  Delete { table; where }
+
+let parse_if_clause st kw1 kw2 =
+  (* IF NOT EXISTS / IF EXISTS *)
+  if accept_kw st "IF" then begin
+    (match kw1 with Some k -> expect_kw st k | None -> ());
+    expect_kw st kw2;
+    true
+  end
+  else false
+
+let parse_create st =
+  expect_kw st "CREATE";
+  if accept_kw st "TABLE" then begin
+    let if_not_exists = parse_if_clause st (Some "NOT") "EXISTS" in
+    let name = parse_ident st in
+    expect_sym st "(";
+    let columns = ref [] and primary_key = ref [] in
+    let rec items () =
+      if accept_kw st "PRIMARY" then begin
+        expect_kw st "KEY";
+        expect_sym st "(";
+        let rec keys acc =
+          let k = parse_ident st in
+          if accept_sym st "," then keys (k :: acc)
+          else begin
+            expect_sym st ")";
+            List.rev (k :: acc)
+          end
+        in
+        primary_key := keys []
+      end
+      else begin
+        let cd_name = parse_ident st in
+        let cd_type = parse_type st in
+        let cd_not_null = ref false and cd_primary_key = ref false in
+        let rec constraints () =
+          if accept_kw st "NOT" then begin
+            expect_kw st "NULL";
+            cd_not_null := true;
+            constraints ()
+          end
+          else if accept_kw st "PRIMARY" then begin
+            expect_kw st "KEY";
+            cd_primary_key := true;
+            cd_not_null := true;
+            constraints ()
+          end
+        in
+        constraints ();
+        columns := { cd_name; cd_type; cd_not_null = !cd_not_null;
+                     cd_primary_key = !cd_primary_key } :: !columns
+      end;
+      if accept_sym st "," then items () else expect_sym st ")"
+    in
+    items ();
+    Create_table { name; if_not_exists; columns = List.rev !columns;
+                   primary_key = !primary_key }
+  end
+  else begin
+    let unique = accept_kw st "UNIQUE" in
+    let kind = if accept_kw st "HASH" then Hash_index else Btree_index in
+    expect_kw st "INDEX";
+    let name = parse_ident st in
+    expect_kw st "ON";
+    let table = parse_ident st in
+    expect_sym st "(";
+    let rec cols acc =
+      let c = parse_ident st in
+      if accept_sym st "," then cols (c :: acc)
+      else begin
+        expect_sym st ")";
+        List.rev (c :: acc)
+      end
+    in
+    Create_index { name; table; columns = cols []; unique; kind }
+  end
+
+let parse_drop st =
+  expect_kw st "DROP";
+  if accept_kw st "TABLE" then begin
+    let if_exists = parse_if_clause st None "EXISTS" in
+    Drop_table { name = parse_ident st; if_exists }
+  end
+  else begin
+    expect_kw st "INDEX";
+    let if_exists = parse_if_clause st None "EXISTS" in
+    Drop_index { name = parse_ident st; if_exists }
+  end
+
+let parse_query st =
+  let first = parse_select st in
+  let rec unions acc =
+    if accept_kw st "UNION" then begin
+      let all = accept_kw st "ALL" in
+      let s = parse_select st in
+      unions ((all, s) :: acc)
+    end
+    else List.rev acc
+  in
+  match unions [] with
+  | [] -> Select_stmt first
+  | us -> Query_stmt { first; unions = us }
+
+let rec parse_stmt st =
+  match peek st with
+  | Sql_lexer.Keyword "SELECT" -> parse_query st
+  | Sql_lexer.Keyword "INSERT" -> parse_insert st
+  | Sql_lexer.Keyword "UPDATE" -> parse_update st
+  | Sql_lexer.Keyword "DELETE" -> parse_delete st
+  | Sql_lexer.Keyword "CREATE" -> parse_create st
+  | Sql_lexer.Keyword "DROP" -> parse_drop st
+  | Sql_lexer.Keyword "BEGIN" -> advance st; Begin_txn
+  | Sql_lexer.Keyword "COMMIT" -> advance st; Commit_txn
+  | Sql_lexer.Keyword "ROLLBACK" -> advance st; Rollback_txn
+  | Sql_lexer.Keyword "EXPLAIN" -> advance st; Explain (parse_stmt st)
+  | t -> error st (Printf.sprintf "expected a statement, found %s" (Sql_lexer.token_to_string t))
+
+let make_state src =
+  let toks = Array.of_list (Sql_lexer.tokenize src) in
+  { toks; pos = 0 }
+
+let parse src =
+  let st = make_state src in
+  let stmt = parse_stmt st in
+  ignore (accept_sym st ";");
+  (match peek st with
+   | Sql_lexer.Eof -> ()
+   | t -> error st (Printf.sprintf "trailing input: %s" (Sql_lexer.token_to_string t)));
+  stmt
+
+let parse_many src =
+  let st = make_state src in
+  let rec go acc =
+    match peek st with
+    | Sql_lexer.Eof -> List.rev acc
+    | _ ->
+      let stmt = parse_stmt st in
+      ignore (accept_sym st ";");
+      go (stmt :: acc)
+  in
+  go []
+
+let parse_expr src =
+  let st = make_state src in
+  let e = parse_expr_or st in
+  (match peek st with
+   | Sql_lexer.Eof -> ()
+   | t -> error st (Printf.sprintf "trailing input: %s" (Sql_lexer.token_to_string t)));
+  e
+
+let error_to_string = function
+  | Parse_error { offset; message } ->
+    Printf.sprintf "SQL parse error at offset %d: %s" offset message
+  | Sql_lexer.Lex_error { offset; message } ->
+    Printf.sprintf "SQL lex error at offset %d: %s" offset message
+  | e -> raise e

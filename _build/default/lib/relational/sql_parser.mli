@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the SQL dialect.
+
+    Grammar highlights: SELECT [DISTINCT] projections FROM table-refs
+    (comma lists and explicit [JOIN]/[LEFT JOIN]/[CROSS JOIN] with ON),
+    WHERE, GROUP BY/HAVING, ORDER BY, LIMIT/OFFSET; scalar, IN and EXISTS
+    subqueries; INSERT/UPDATE/DELETE; CREATE TABLE/INDEX (with the
+    [HASH] index modifier); DROP; BEGIN/COMMIT/ROLLBACK; EXPLAIN. *)
+
+exception Parse_error of { offset : int; message : string }
+
+val parse : string -> Sql_ast.stmt
+(** Parse a single statement (an optional trailing [;] is allowed). *)
+
+val parse_many : string -> Sql_ast.stmt list
+(** Parse a [;]-separated script. *)
+
+val parse_expr : string -> Sql_ast.expr
+(** Parse a standalone expression (used by tests). *)
+
+val error_to_string : exn -> string

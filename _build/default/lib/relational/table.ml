@@ -1,0 +1,154 @@
+type t = {
+  schema : Schema.t;
+  rows : Value.t array option Vector.t;
+  mutable live : int;
+  mutable indexes : Index.t list;
+}
+
+let pkey_index (schema : Schema.t) =
+  match schema.primary_key with
+  | [] -> None
+  | keys ->
+    let positions = List.map (Schema.column_index schema) keys in
+    Some
+      (Index.create
+         ~name:(schema.table_name ^ "_pkey")
+         ~table:schema.table_name ~columns:keys ~column_positions:positions
+         ~unique:true Index.Btree)
+
+let create schema =
+  let indexes = match pkey_index schema with Some i -> [ i ] | None -> [] in
+  { schema; rows = Vector.create (); live = 0; indexes }
+
+let schema t = t.schema
+let row_count t = t.live
+
+let insert t row =
+  match Schema.check_row t.schema row with
+  | Error _ as e -> e
+  | Ok () ->
+    let rowid = Vector.length t.rows in
+    (* Try all indexes; roll back the ones already updated on failure. *)
+    let rec add_all done_ = function
+      | [] -> Ok ()
+      | idx :: rest ->
+        (match Index.insert idx row rowid with
+         | Ok () -> add_all (idx :: done_) rest
+         | Error m ->
+           List.iter (fun i -> Index.remove i row rowid) done_;
+           Error m)
+    in
+    (match add_all [] t.indexes with
+     | Error _ as e -> e
+     | Ok () ->
+       ignore (Vector.push t.rows (Some row));
+       t.live <- t.live + 1;
+       Ok rowid)
+
+let get t rowid =
+  if rowid < 0 || rowid >= Vector.length t.rows then None
+  else Vector.get t.rows rowid
+
+let delete t rowid =
+  match get t rowid with
+  | None -> false
+  | Some row ->
+    List.iter (fun idx -> Index.remove idx row rowid) t.indexes;
+    Vector.set t.rows rowid None;
+    t.live <- t.live - 1;
+    true
+
+let undelete t rowid row =
+  if rowid < 0 || rowid >= Vector.length t.rows then false
+  else
+    match Vector.get t.rows rowid with
+    | Some _ -> false
+    | None ->
+      List.iter
+        (fun idx ->
+          match Index.insert idx row rowid with
+          | Ok () -> ()
+          | Error _ -> assert false (* the pre-delete state was consistent *))
+        t.indexes;
+      Vector.set t.rows rowid (Some row);
+      t.live <- t.live + 1;
+      true
+
+let update t rowid new_row =
+  match get t rowid with
+  | None -> Error (Printf.sprintf "row %d does not exist" rowid)
+  | Some old_row ->
+    (match Schema.check_row t.schema new_row with
+     | Error _ as e -> e
+     | Ok () ->
+       (* Remove old entries, insert new; restore on unique failure. *)
+       List.iter (fun idx -> Index.remove idx old_row rowid) t.indexes;
+       let rec add_all done_ = function
+         | [] -> Ok ()
+         | idx :: rest ->
+           (match Index.insert idx new_row rowid with
+            | Ok () -> add_all (idx :: done_) rest
+            | Error m ->
+              List.iter (fun i -> Index.remove i new_row rowid) done_;
+              List.iter
+                (fun i ->
+                  match Index.insert i old_row rowid with
+                  | Ok () -> ()
+                  | Error _ -> assert false (* old state was consistent *))
+                t.indexes;
+              Error m)
+       in
+       (match add_all [] t.indexes with
+        | Error _ as e -> e
+        | Ok () ->
+          Vector.set t.rows rowid (Some new_row);
+          Ok ()))
+
+let scan t =
+  let n = Vector.length t.rows in
+  let rec go i () =
+    if i >= n then Seq.Nil
+    else
+      match Vector.get t.rows i with
+      | Some row -> Seq.Cons ((i, row), go (i + 1))
+      | None -> go (i + 1) ()
+  in
+  go 0
+
+let add_index t idx =
+  let exception Violation of string in
+  match
+    Seq.iter
+      (fun (rowid, row) ->
+        match Index.insert idx row rowid with
+        | Ok () -> ()
+        | Error m -> raise (Violation m))
+      (scan t)
+  with
+  | () ->
+    t.indexes <- t.indexes @ [ idx ];
+    Ok ()
+  | exception Violation m -> Error m
+
+let drop_index t name =
+  let before = List.length t.indexes in
+  t.indexes <- List.filter (fun i -> Index.name i <> name) t.indexes;
+  List.length t.indexes < before
+
+let indexes t = t.indexes
+
+let find_index t name = List.find_opt (fun i -> Index.name i = name) t.indexes
+
+let truncate t =
+  Vector.clear t.rows;
+  t.live <- 0;
+  let defs =
+    List.map
+      (fun i ->
+        Index.create ~name:(Index.name i) ~table:(Index.table i)
+          ~columns:(Index.columns i)
+          ~column_positions:(Index.column_positions i)
+          ~unique:(Index.is_unique i) (Index.kind i))
+      t.indexes
+  in
+  t.indexes <- defs

@@ -1,0 +1,47 @@
+(** Heap tables: append-only row vectors with tombstone deletion and
+    attached secondary indexes. Row ids are stable for the lifetime of a
+    row and never reused. *)
+
+type t
+
+val create : Schema.t -> t
+(** A declared primary key materialises as an implicit unique index named
+    ["<table>_pkey"] (B+tree). *)
+
+val schema : t -> Schema.t
+val row_count : t -> int
+(** Live rows. *)
+
+val insert : t -> Value.t array -> (int, string) result
+(** Validates against the schema and all unique indexes; returns the new
+    row id. On error nothing is modified. *)
+
+val delete : t -> int -> bool
+(** [delete t rowid] tombstones a row; false if already dead or out of
+    range. Indexes are maintained. *)
+
+val update : t -> int -> Value.t array -> (unit, string) result
+(** Replace the row image; indexes are maintained. *)
+
+val undelete : t -> int -> Value.t array -> bool
+(** [undelete t rowid row] restores a previously tombstoned slot with the
+    given row image (transaction rollback of a delete). False if the slot
+    is live or out of range. Indexes are maintained. *)
+
+val get : t -> int -> Value.t array option
+(** [None] for tombstoned or unknown ids. *)
+
+val scan : t -> (int * Value.t array) Seq.t
+(** Live rows in row-id order. *)
+
+val add_index : t -> Index.t -> (unit, string) result
+(** Builds the index over existing rows; fails (leaving the table
+    unchanged) if a unique constraint is violated by current data. *)
+
+val drop_index : t -> string -> bool
+
+val indexes : t -> Index.t list
+val find_index : t -> string -> Index.t option
+
+val truncate : t -> unit
+(** Remove all rows (indexes are emptied, row ids restart at 0). *)

@@ -1,0 +1,127 @@
+type ty =
+  | Tint
+  | Tfloat
+  | Ttext
+  | Tbool
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+
+let ty_to_string = function
+  | Tint -> "INTEGER"
+  | Tfloat -> "REAL"
+  | Ttext -> "TEXT"
+  | Tbool -> "BOOLEAN"
+
+let ty_of_string s =
+  match String.uppercase_ascii s with
+  | "INTEGER" | "INT" | "BIGINT" | "SMALLINT" -> Some Tint
+  | "REAL" | "FLOAT" | "DOUBLE" | "NUMERIC" | "DECIMAL" -> Some Tfloat
+  | "TEXT" | "VARCHAR" | "CHAR" | "STRING" | "CLOB" -> Some Ttext
+  | "BOOLEAN" | "BOOL" -> Some Tbool
+  | _ -> None
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | Text _ -> Some Ttext
+  | Bool _ -> Some Tbool
+
+let conforms v ty =
+  match v, ty with
+  | Null, _ -> true
+  | Int _, (Tint | Tfloat) -> true
+  | Float _, Tfloat -> true
+  | Text _, Ttext -> true
+  | Bool _, Tbool -> true
+  | (Int _ | Float _ | Text _ | Bool _), _ -> false
+
+let type_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Text _ -> 3
+
+let compare_total a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Float x, Float y -> Float.compare x y
+  | Text x, Text y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | _ -> Int.compare (type_rank a) (type_rank b)
+
+let equal a b = compare_total a b = 0
+
+let sql_compare a b =
+  match a, b with
+  | Null, _ | _, Null -> None
+  | Int _, Int _ | Int _, Float _ | Float _, Int _ | Float _, Float _
+  | Text _, Text _ | Bool _, Bool _ -> Some (compare_total a b)
+  | _ -> None
+
+let is_truthy = function
+  | Bool b -> b
+  | Null | Int _ | Float _ | Text _ -> false
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let to_string = function
+  | Null -> ""
+  | Int i -> string_of_int i
+  | Float f -> float_repr f
+  | Text s -> s
+  | Bool b -> if b then "1" else "0"
+
+let to_literal = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> float_repr f
+  | Text s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+  | Bool b -> if b then "TRUE" else "FALSE"
+
+let of_string_typed ty s =
+  match ty with
+  | Tint ->
+    (match int_of_string_opt (String.trim s) with
+     | Some i -> Int i
+     | None -> failwith (Printf.sprintf "not an integer: %S" s))
+  | Tfloat ->
+    (match float_of_string_opt (String.trim s) with
+     | Some f -> Float f
+     | None -> failwith (Printf.sprintf "not a number: %S" s))
+  | Ttext -> Text s
+  | Tbool ->
+    (match String.lowercase_ascii (String.trim s) with
+     | "true" | "t" | "1" -> Bool true
+     | "false" | "f" | "0" -> Bool false
+     | _ -> failwith (Printf.sprintf "not a boolean: %S" s))
+
+let hash = function
+  | Null -> 17
+  | Int i -> Hashtbl.hash (Float.of_int i)
+  | Float f -> Hashtbl.hash f
+  | Text s -> Hashtbl.hash s
+  | Bool b -> Hashtbl.hash b
+
+let pp ppf v =
+  match v with
+  | Null -> Fmt.string ppf "NULL"
+  | _ -> Fmt.string ppf (to_string v)

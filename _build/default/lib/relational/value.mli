@@ -1,0 +1,59 @@
+(** SQL values and their three-valued-logic semantics.
+
+    The generic XML schema stores every leaf both as a string and, when it
+    parses, as a number (paper Section 2.2: "String and numeric data"), so
+    the engine needs exact SQL comparison semantics across INTEGER, REAL
+    and TEXT. *)
+
+type ty =
+  | Tint
+  | Tfloat
+  | Ttext
+  | Tbool
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+
+val ty_to_string : ty -> string
+val ty_of_string : string -> ty option
+(** Recognises SQL spellings: INTEGER/INT, REAL/FLOAT/DOUBLE, TEXT/VARCHAR/
+    CHAR, BOOLEAN/BOOL (case-insensitive). *)
+
+val type_of : t -> ty option
+(** [None] for [Null]. *)
+
+val conforms : t -> ty -> bool
+(** [Null] conforms to every type; [Int] conforms to [Tfloat]. *)
+
+val compare_total : t -> t -> int
+(** Total order used by indexes and ORDER BY: [Null] sorts first; numeric
+    values compare numerically across Int/Float; distinct non-comparable
+    types order by a fixed type rank. *)
+
+val equal : t -> t -> bool
+(** Equality under {!compare_total} (so [Int 1] = [Float 1.]). *)
+
+(** SQL three-valued logic: comparisons involving NULL are unknown. *)
+val sql_compare : t -> t -> int option
+(** [None] when either side is [Null] or the types are incomparable. *)
+
+val is_truthy : t -> bool
+(** WHERE-clause truth: [Bool true] only. NULL and false both filter out. *)
+
+val to_string : t -> string
+(** Display form: NULL prints as the empty string, booleans as 0/1. *)
+
+val to_literal : t -> string
+(** SQL literal form: strings quoted and escaped, NULL as [NULL]. *)
+
+val of_string_typed : ty -> string -> t
+(** Parse a string into the given type. @raise Failure on mismatch. *)
+
+val hash : t -> int
+(** Hash compatible with {!equal} (numeric values hash by float value). *)
+
+val pp : Format.formatter -> t -> unit

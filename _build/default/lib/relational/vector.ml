@@ -1,0 +1,47 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg (Printf.sprintf "Vector: index %d out of bounds (length %d)" i v.len)
+
+let get v i = check v i; v.data.(i)
+
+let set v i x = check v i; v.data.(i) <- x
+
+let grow v x =
+  let cap = Array.length v.data in
+  let cap' = if cap = 0 then 16 else cap * 2 in
+  let data' = Array.make cap' x in
+  Array.blit v.data 0 data' 0 v.len;
+  v.data <- data'
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1;
+  v.len - 1
+
+let iteri f v =
+  for i = 0 to v.len - 1 do f i v.data.(i) done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do acc := f !acc v.data.(i) done;
+  !acc
+
+let to_list v = List.init v.len (fun i -> v.data.(i))
+
+let of_list l =
+  let v = create () in
+  List.iter (fun x -> ignore (push v x)) l;
+  v
+
+let clear v =
+  v.data <- [||];
+  v.len <- 0

@@ -1,0 +1,18 @@
+(** Growable arrays (OCaml 5.1 predates [Dynarray]).
+
+    Used for heap table storage: rows are addressed by dense integer ids. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> int
+(** Append and return the index of the new slot. *)
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t
+val clear : 'a t -> unit

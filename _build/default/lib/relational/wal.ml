@@ -1,0 +1,184 @@
+type op =
+  | Begin of int
+  | Insert of { txid : int; table : string; row : Value.t array }
+  | Delete of { txid : int; table : string; rowid : int }
+  | Update of { txid : int; table : string; rowid : int; row : Value.t array }
+  | Commit of int
+  | Rollback of int
+  | Ddl of string
+
+type t = {
+  file_path : string;
+  oc : out_channel;
+}
+
+(* Field encoding: '|' separates fields; '%', '|' and newlines are
+   percent-escaped so any SQL text or string value round-trips. *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string buf "%25"
+      | '|' -> Buffer.add_string buf "%7C"
+      | '\n' -> Buffer.add_string buf "%0A"
+      | '\r' -> Buffer.add_string buf "%0D"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '%' && i + 2 < n then begin
+      let code = String.sub s (i + 1) 2 in
+      (match int_of_string_opt ("0x" ^ code) with
+       | Some c -> Buffer.add_char buf (Char.chr c)
+       | None -> failwith "WAL: bad escape");
+      go (i + 3)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let encode_value = function
+  | Value.Null -> "N"
+  | Value.Int i -> "I" ^ string_of_int i
+  | Value.Float f -> "F" ^ Printf.sprintf "%h" f
+  | Value.Text s -> "T" ^ escape s
+  | Value.Bool b -> if b then "B1" else "B0"
+
+let decode_value s =
+  if s = "" then failwith "WAL: empty value field"
+  else
+    let payload = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'N' -> Value.Null
+    | 'I' -> Value.Int (int_of_string payload)
+    | 'F' -> Value.Float (float_of_string payload)
+    | 'T' -> Value.Text (unescape payload)
+    | 'B' -> Value.Bool (payload = "1")
+    | _ -> failwith "WAL: bad value tag"
+
+(* Rows carry an explicit arity so the empty row is distinguishable from a
+   row holding one empty field. *)
+let encode_row row =
+  String.concat "|"
+    (string_of_int (Array.length row)
+     :: Array.to_list (Array.map encode_value row))
+
+let decode_row fields =
+  match fields with
+  | [] -> failwith "WAL: missing row arity"
+  | arity :: cells ->
+    let n = int_of_string arity in
+    if List.length cells <> n then failwith "WAL: row arity mismatch";
+    Array.of_list (List.map decode_value cells)
+
+(* Every record ends with a '.' sentinel field so a torn tail (missing
+   sentinel) is detectable. *)
+let encode op =
+  let body =
+    match op with
+    | Begin txid -> Printf.sprintf "BEG|%d" txid
+    | Insert { txid; table; row } ->
+      Printf.sprintf "INS|%d|%s|%s" txid (escape table) (encode_row row)
+    | Delete { txid; table; rowid } ->
+      Printf.sprintf "DEL|%d|%s|%d" txid (escape table) rowid
+    | Update { txid; table; rowid; row } ->
+      Printf.sprintf "UPD|%d|%s|%d|%s" txid (escape table) rowid (encode_row row)
+    | Commit txid -> Printf.sprintf "COM|%d" txid
+    | Rollback txid -> Printf.sprintf "RBK|%d" txid
+    | Ddl sql -> Printf.sprintf "DDL|%s" (escape sql)
+  in
+  body ^ "|."
+
+let decode line =
+  match String.split_on_char '|' line with
+  | [] -> None
+  | fields ->
+    let rec split_last acc = function
+      | [] -> None
+      | [ last ] -> Some (List.rev acc, last)
+      | x :: rest -> split_last (x :: acc) rest
+    in
+    (match split_last [] fields with
+     | Some (fields, ".") ->
+       (try
+          match fields with
+          | [ "BEG"; txid ] -> Some (Begin (int_of_string txid))
+          | [ "COM"; txid ] -> Some (Commit (int_of_string txid))
+          | [ "RBK"; txid ] -> Some (Rollback (int_of_string txid))
+          | [ "DDL"; sql ] -> Some (Ddl (unescape sql))
+          | "INS" :: txid :: table :: row ->
+            Some (Insert { txid = int_of_string txid; table = unescape table;
+                           row = decode_row row })
+          | [ "DEL"; txid; table; rowid ] ->
+            Some (Delete { txid = int_of_string txid; table = unescape table;
+                           rowid = int_of_string rowid })
+          | "UPD" :: txid :: table :: rowid :: row ->
+            Some (Update { txid = int_of_string txid; table = unescape table;
+                           rowid = int_of_string rowid; row = decode_row row })
+          | _ -> None
+        with Failure _ -> None)
+     | _ -> None (* torn record: sentinel missing *))
+
+let open_log file_path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 file_path in
+  { file_path; oc }
+
+let append t op =
+  output_string t.oc (encode op);
+  output_char t.oc '\n'
+
+let flush t = Stdlib.flush t.oc
+
+let close t =
+  Stdlib.flush t.oc;
+  close_out t.oc
+
+let path t = t.file_path
+
+let read_ops file_path =
+  if not (Sys.file_exists file_path) then []
+  else begin
+    let ic = open_in_bin file_path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let lines = List.rev !lines in
+    let n = List.length lines in
+    (* Only the final line may be torn; a bad interior line is corruption. *)
+    List.concat
+      (List.mapi
+         (fun i line ->
+           match decode line with
+           | Some op -> [ op ]
+           | None ->
+             if i = n - 1 then []
+             else failwith (Printf.sprintf "WAL: corrupt record at line %d" (i + 1)))
+         lines)
+  end
+
+let committed_ops ops =
+  let committed = Hashtbl.create 16 in
+  List.iter
+    (function Commit txid -> Hashtbl.replace committed txid () | _ -> ())
+    ops;
+  List.filter
+    (function
+      | Ddl _ -> true
+      | Begin txid | Commit txid | Rollback txid -> Hashtbl.mem committed txid
+      | Insert { txid; _ } | Delete { txid; _ } | Update { txid; _ } ->
+        Hashtbl.mem committed txid)
+    ops

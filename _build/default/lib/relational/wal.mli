@@ -1,0 +1,49 @@
+(** Write-ahead logging and crash recovery.
+
+    The paper justifies the relational substrate partly by "the concurrency
+    access and crash recovery features of an RDBMS" (Section 2.2). This WAL
+    provides the recovery half: every data-modifying operation is logged
+    with its transaction id before being applied; a commit record seals the
+    transaction. Recovery replays, in log order, only operations belonging
+    to committed transactions, so a crash mid-transaction (a torn or
+    unsealed tail) leaves no partial effects.
+
+    DDL records are logged as SQL text and replayed unconditionally in
+    order (DDL auto-commits). *)
+
+type op =
+  | Begin of int
+  | Insert of { txid : int; table : string; row : Value.t array }
+  | Delete of { txid : int; table : string; rowid : int }
+  | Update of { txid : int; table : string; rowid : int; row : Value.t array }
+  | Commit of int
+  | Rollback of int
+  | Ddl of string  (* SQL text of a CREATE/DROP statement *)
+
+type t
+
+val open_log : string -> t
+(** Open (creating if needed) the log file at [path] for appending. *)
+
+val append : t -> op -> unit
+
+val flush : t -> unit
+(** fsync-equivalent barrier (flushes OCaml buffers to the OS). *)
+
+val close : t -> unit
+
+val path : t -> string
+
+val read_ops : string -> op list
+(** Parse a log file. A torn final record (crash during write) is ignored.
+    Unparseable interior records raise [Failure]. *)
+
+val committed_ops : op list -> op list
+(** The replay stream: DDL records plus data operations whose transaction
+    has a [Commit] record, in original log order. *)
+
+val encode : op -> string
+(** One-line encoding (no trailing newline); exposed for tests. *)
+
+val decode : string -> op option
+(** Inverse of {!encode}; [None] for torn/garbage lines. *)

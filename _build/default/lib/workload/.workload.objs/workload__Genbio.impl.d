@@ -1,0 +1,1 @@
+lib/workload/genbio.ml: Array Datahounds List Printf Rng String

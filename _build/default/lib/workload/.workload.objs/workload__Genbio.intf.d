@@ -1,0 +1,1 @@
+lib/workload/genbio.mli: Datahounds

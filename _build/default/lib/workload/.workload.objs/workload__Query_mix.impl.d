@@ -1,0 +1,1 @@
+lib/workload/query_mix.ml: Datahounds Genbio List Printf Rng String

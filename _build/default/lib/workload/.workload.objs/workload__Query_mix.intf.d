@@ -1,0 +1,1 @@
+lib/workload/query_mix.mli: Genbio

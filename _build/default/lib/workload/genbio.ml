@@ -1,0 +1,279 @@
+type universe = {
+  enzymes : Datahounds.Enzyme.t list;
+  embl_entries : Datahounds.Embl.t list;
+  sprot_entries : Datahounds.Swissprot.t list;
+  citations : Datahounds.Medline.t list;
+}
+
+type config = {
+  seed : int;
+  n_enzymes : int;
+  n_embl : int;
+  n_sprot : int;
+  n_citations : int;
+  cdc6_rate : float;
+  ketone_rate : float;
+  ec_link_rate : float;
+  seq_length : int;
+}
+
+let default_config =
+  { seed = 42; n_enzymes = 200; n_embl = 300; n_sprot = 300; n_citations = 0;
+    cdc6_rate = 0.02; ketone_rate = 0.05; ec_link_rate = 0.6;
+    seq_length = 180 }
+
+(* ---------------- vocabulary ---------------- *)
+
+let substrates =
+  [ "alcohol"; "aldehyde"; "peptidylglycine"; "glutamate"; "pyruvate";
+    "lactate"; "glucose"; "fructose"; "citrate"; "malate"; "succinate";
+    "glycerol"; "choline"; "histidine"; "tyrosine"; "ornithine" ]
+
+let enzyme_classes =
+  [ "dehydrogenase"; "monooxygenase"; "kinase"; "transferase"; "hydrolase";
+    "isomerase"; "ligase"; "reductase"; "oxidase"; "synthase" ]
+
+let cofactor_pool = [ "Copper"; "Zinc"; "Iron"; "FAD"; "NAD(+)"; "Magnesium"; "Heme" ]
+
+let organisms =
+  [ "Drosophila melanogaster"; "Caenorhabditis elegans"; "Homo sapiens";
+    "Mus musculus"; "Saccharomyces cerevisiae"; "Bos taurus";
+    "Xenopus laevis"; "Rattus norvegicus" ]
+
+let keyword_pool =
+  [ "cell cycle"; "replication"; "transcription"; "metabolism"; "kinase";
+    "membrane"; "mitochondrion"; "nucleus"; "signal"; "transport";
+    "oxidoreductase"; "glycolysis"; "apoptosis"; "chromatin" ]
+
+let comment_templates =
+  [ "The enzyme is highly specific for its substrate";
+    "Activity is strongly inhibited by chelating agents";
+    "Requires a divalent cation for full activity";
+    "The penultimate residue determines substrate preference";
+    "Also acts more slowly on related compounds" ]
+
+let disease_pool =
+  [ ("Glutaricaciduria", "231670"); ("Phenylketonuria", "261600");
+    ("Alkaptonuria", "203500"); ("Galactosemia", "230400") ]
+
+let gene_names =
+  [ "adh1"; "pgm2"; "cdk7"; "rad51"; "mcm2"; "pol2"; "tor1"; "hsp70" ]
+
+(* ---------------- pieces ---------------- *)
+
+let ec_number i =
+  Printf.sprintf "%d.%d.%d.%d" (1 + i mod 6) (1 + (i / 6) mod 20)
+    (1 + (i / 120) mod 25) (1 + i / 3000)
+
+let sprot_accession i = Printf.sprintf "P%05d" (10000 + i)
+
+let embl_accession i = Printf.sprintf "AB%06d" (100000 + i)
+
+let nucleotides = [| 'a'; 'c'; 'g'; 't' |]
+let amino_acids = "ACDEFGHIKLMNPQRSTVWY"
+
+let random_dna rng n =
+  String.init n (fun _ -> nucleotides.(Rng.int rng 4))
+
+let random_protein rng n =
+  String.init n (fun _ -> amino_acids.[Rng.int rng (String.length amino_acids)])
+
+(* ---------------- generators ---------------- *)
+
+let gen_enzyme rng ~index ~ketone ~sprot_accessions : Datahounds.Enzyme.t =
+  let substrate = Rng.pick rng substrates in
+  let cls = Rng.pick rng enzyme_classes in
+  let description = String.capitalize_ascii substrate ^ " " ^ cls in
+  let alternate_names =
+    List.init (Rng.int rng 3) (fun _ ->
+        String.capitalize_ascii (Rng.pick rng substrates) ^ " " ^ Rng.pick rng enzyme_classes)
+  in
+  let activity =
+    if ketone then
+      Printf.sprintf "A %s + NAD(+) = a ketone derivative + NADH" substrate
+    else
+      Printf.sprintf "%s + O(2) = oxidized %s + H(2)O"
+        (String.capitalize_ascii substrate) substrate
+  in
+  let catalytic_activities =
+    activity :: (if Rng.bool rng 0.3 then [ Printf.sprintf "Also converts %s esters" substrate ] else [])
+  in
+  let cofactors = Rng.sample rng (Rng.int rng 3) cofactor_pool in
+  let comments = Rng.sample rng (Rng.int rng 3) comment_templates in
+  let prosite_refs =
+    List.init (Rng.int rng 2) (fun k -> Printf.sprintf "PDOC%05d" (80 + index + k))
+  in
+  let swissprot_refs =
+    List.map
+      (fun (acc, name) -> { Datahounds.Enzyme.accession = acc; entry_name = name })
+      (Rng.sample rng (1 + Rng.int rng 3) sprot_accessions)
+  in
+  let diseases =
+    if Rng.bool rng 0.15 then
+      let d, mim = Rng.pick rng disease_pool in
+      [ { Datahounds.Enzyme.disease_description = d; mim_id = mim } ]
+    else []
+  in
+  { ec_number = ec_number index; description; alternate_names;
+    catalytic_activities; cofactors; comments; prosite_refs; swissprot_refs;
+    diseases }
+
+let gen_embl rng cfg ~index ~cdc6 ~ec_numbers : Datahounds.Embl.t =
+  let organism = Rng.pick rng organisms in
+  let gene = if cdc6 then "cdc6" else Rng.pick rng gene_names in
+  let description =
+    Printf.sprintf "%s %s gene%s" organism gene
+      (if Rng.bool rng 0.5 then ", complete cds" else "")
+  in
+  let keywords =
+    (if cdc6 then [ "cdc6" ] else [])
+    @ Rng.sample rng (1 + Rng.int rng 3) keyword_pool
+  in
+  let seq_length = cfg.seq_length + Rng.int rng cfg.seq_length in
+  let ec_qualifier =
+    if ec_numbers <> [] && Rng.bool rng cfg.ec_link_rate then
+      [ { Datahounds.Embl.qualifier_type = "EC number";
+          qualifier_value = Rng.pick rng ec_numbers } ]
+    else []
+  in
+  let db_refs =
+    List.map
+      (fun (q : Datahounds.Embl.qualifier) -> ("ENZYME", q.qualifier_value))
+      ec_qualifier
+  in
+  let features =
+    [ { Datahounds.Embl.feature_key = "source";
+        location = Printf.sprintf "1..%d" seq_length;
+        qualifiers =
+          [ { qualifier_type = "organism"; qualifier_value = organism } ] };
+      { feature_key = "CDS";
+        location = Printf.sprintf "%d..%d" (1 + Rng.int rng 20) (seq_length - Rng.int rng 20);
+        qualifiers =
+          { Datahounds.Embl.qualifier_type = "gene"; qualifier_value = gene }
+          :: ec_qualifier } ]
+  in
+  { accession = embl_accession index;
+    division = "INV";
+    sequence_length = seq_length;
+    description; keywords; organism; db_refs; features;
+    sequence = random_dna rng seq_length }
+
+let journal_pool =
+  [ "Nature Structural Biology"; "Journal of Molecular Biology";
+    "Nucleic Acids Research"; "Bioinformatics"; "Genome Research" ]
+
+let gen_citation rng ~index ~ec_numbers : Datahounds.Medline.t =
+  let substrate = Rng.pick rng substrates and cls = Rng.pick rng enzyme_classes in
+  let ec_refs =
+    if ec_numbers <> [] && Rng.bool rng 0.7 then
+      Rng.sample rng (1 + Rng.int rng 2) ec_numbers
+    else []
+  in
+  { pmid = string_of_int (11000000 + index);
+    title = Printf.sprintf "Structural studies of %s %s" substrate cls;
+    abstract =
+      Printf.sprintf
+        "We characterise the %s acting on %s and discuss its role in %s."
+        cls substrate (Rng.pick rng keyword_pool);
+    authors =
+      List.init (1 + Rng.int rng 3) (fun k -> Printf.sprintf "Author%d %c" (index + k) 'A');
+    journal = Rng.pick rng journal_pool;
+    year = 1998 + Rng.int rng 6;
+    mesh_terms = Rng.sample rng (1 + Rng.int rng 3) keyword_pool;
+    ec_refs }
+
+let gen_sprot rng cfg ~index ~cdc6 : Datahounds.Swissprot.t =
+  let organism = Rng.pick rng organisms in
+  let gene = if cdc6 then Some "cdc6" else if Rng.bool rng 0.7 then Some (Rng.pick rng gene_names) else None in
+  let protein_name =
+    Printf.sprintf "%s %s"
+      (String.capitalize_ascii (Rng.pick rng substrates))
+      (Rng.pick rng enzyme_classes)
+  in
+  let keywords =
+    (if cdc6 then [ "cdc6" ] else [])
+    @ Rng.sample rng (1 + Rng.int rng 3) keyword_pool
+  in
+  let seq_length = cfg.seq_length + Rng.int rng cfg.seq_length in
+  { entry_name =
+      Printf.sprintf "%s_%s"
+        (String.uppercase_ascii (String.sub protein_name 0 (min 4 (String.length protein_name))))
+        (String.uppercase_ascii
+           (String.concat ""
+              (List.filteri (fun i _ -> i < 5)
+                 (String.split_on_char ' ' organism |> List.concat_map (fun w ->
+                      if w = "" then [] else [ String.make 1 w.[0] ])))))
+    ^ string_of_int index;
+    accession = sprot_accession index;
+    protein_name;
+    gene;
+    organism;
+    keywords;
+    db_refs = [ ("EMBL", embl_accession (index mod max 1 cfg.n_embl)) ];
+    seq_length;
+    sequence = random_protein rng seq_length }
+
+let generate cfg =
+  let rng = Rng.create cfg.seed in
+  let sprot_entries =
+    List.init cfg.n_sprot (fun i ->
+        gen_sprot rng cfg ~index:i ~cdc6:(Rng.bool rng cfg.cdc6_rate))
+  in
+  let sprot_accessions =
+    List.map (fun (p : Datahounds.Swissprot.t) -> (p.accession, p.entry_name))
+      sprot_entries
+  in
+  (* limit the DR pool so enzymes share references *)
+  let ref_pool = Rng.sample rng (max 5 (cfg.n_sprot / 4)) sprot_accessions in
+  let enzymes =
+    List.init cfg.n_enzymes (fun i ->
+        gen_enzyme rng ~index:i ~ketone:(Rng.bool rng cfg.ketone_rate)
+          ~sprot_accessions:ref_pool)
+  in
+  let ec_numbers = List.map (fun (e : Datahounds.Enzyme.t) -> e.ec_number) enzymes in
+  let ec_pool = Rng.sample rng (max 3 (cfg.n_enzymes / 3)) ec_numbers in
+  let embl_entries =
+    List.init cfg.n_embl (fun i ->
+        gen_embl rng cfg ~index:i ~cdc6:(Rng.bool rng cfg.cdc6_rate)
+          ~ec_numbers:ec_pool)
+  in
+  let citations =
+    List.init cfg.n_citations (fun i -> gen_citation rng ~index:i ~ec_numbers:ec_pool)
+  in
+  { enzymes; embl_entries; sprot_entries; citations }
+
+let enzyme_flat u = Datahounds.Enzyme.render u.enzymes
+let embl_flat u = Datahounds.Embl.render u.embl_entries
+let swissprot_flat u = Datahounds.Swissprot.render u.sprot_entries
+
+let genbank_flat u =
+  Datahounds.Genbank.render (List.map Datahounds.Genbank.of_embl u.embl_entries)
+
+let medline_flat u = Datahounds.Medline.render u.citations
+
+let mutate_enzymes ~seed ~fraction enzymes =
+  let rng = Rng.create seed in
+  List.map
+    (fun (e : Datahounds.Enzyme.t) ->
+      if Rng.bool rng fraction then
+        { e with description = e.description ^ " (revised)" }
+      else e)
+    enzymes
+
+let load_universe wh u =
+  let sources_and_text =
+    [ (Datahounds.Warehouse.enzyme_source, enzyme_flat u);
+      (Datahounds.Warehouse.embl_source ~division:"inv", embl_flat u);
+      (Datahounds.Warehouse.swissprot_source, swissprot_flat u) ]
+    @ (if u.citations = [] then []
+       else [ (Datahounds.Warehouse.medline_source, medline_flat u) ])
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | (src, text) :: rest ->
+      Datahounds.Warehouse.register_source wh src;
+      (match Datahounds.Warehouse.harvest wh src text with
+       | Ok _ -> go rest
+       | Error _ as e -> e)
+  in
+  go sources_and_text

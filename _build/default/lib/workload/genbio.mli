@@ -1,0 +1,64 @@
+(** Synthetic biological datasets, format-faithful to the real sources.
+
+    Real ENZYME/EMBL/Swiss-Prot dumps are unavailable offline; these
+    generators reproduce the flat-file grammar and, crucially, the
+    cross-database correlation structure the paper's queries exercise:
+
+    - EMBL CDS features may carry an ["EC number"] qualifier referencing
+      a generated E NZYME entry (join query, Figs. 10-12);
+    - E NZYME DR lines reference generated Swiss-Prot accessions;
+    - a configurable fraction of EMBL and Swiss-Prot entries is planted
+      with the keyword "cdc6" (keyword query, Fig. 8);
+    - a configurable fraction of E NZYME catalytic-activity lines
+      contains the word "ketone" (sub-tree query, Figs. 7/9).
+
+    All output is a deterministic function of the seed. *)
+
+type universe = {
+  enzymes : Datahounds.Enzyme.t list;
+  embl_entries : Datahounds.Embl.t list;
+  sprot_entries : Datahounds.Swissprot.t list;
+  citations : Datahounds.Medline.t list;
+}
+
+type config = {
+  seed : int;
+  n_enzymes : int;
+  n_embl : int;
+  n_sprot : int;
+  n_citations : int;     (** MEDLINE-like literature entries *)
+  cdc6_rate : float;     (** fraction of EMBL / Swiss-Prot entries planted with "cdc6" *)
+  ketone_rate : float;   (** fraction of enzymes whose activity mentions "ketone" *)
+  ec_link_rate : float;  (** fraction of EMBL entries carrying an EC-number qualifier *)
+  seq_length : int;      (** residue count per generated sequence *)
+}
+
+val default_config : config
+(** seed 42, 200 enzymes, 300 EMBL, 300 Swiss-Prot, 0 citations, 2% cdc6,
+    5% ketone, 60% EC links, 180-residue sequences. *)
+
+val generate : config -> universe
+
+val enzyme_flat : universe -> string
+(** Render the enzymes as an ENZYME flat file. *)
+
+val embl_flat : universe -> string
+val swissprot_flat : universe -> string
+
+val genbank_flat : universe -> string
+(** The EMBL entries of the universe serialised in GenBank format —
+    one logical dataset available through two heterogeneous formats,
+    which is exactly the incompatibility Data Hounds exists to absorb. *)
+
+val medline_flat : universe -> string
+
+val mutate_enzymes :
+  seed:int -> fraction:float -> Datahounds.Enzyme.t list ->
+  Datahounds.Enzyme.t list
+(** Return a copy where roughly [fraction] of the entries have a changed
+    description (simulating a source update for sync experiments). *)
+
+val load_universe :
+  Datahounds.Warehouse.t -> universe -> (unit, string) result
+(** Register the three sources and harvest all flat files into the
+    warehouse (EMBL entries go to their division's collection). *)

@@ -1,0 +1,97 @@
+type task_class =
+  | Accession_lookup
+  | Keyword_browse
+  | Annotation_filter
+  | Range_scan
+  | Cross_reference_join
+  | Literature_link
+
+let all_classes =
+  [ Accession_lookup; Keyword_browse; Annotation_filter; Range_scan;
+    Cross_reference_join; Literature_link ]
+
+let class_name = function
+  | Accession_lookup -> "accession-lookup"
+  | Keyword_browse -> "keyword-browse"
+  | Annotation_filter -> "annotation-filter"
+  | Range_scan -> "range-scan"
+  | Cross_reference_join -> "xref-join"
+  | Literature_link -> "literature-link"
+
+let browse_keywords =
+  [ "cdc6"; "replication"; "kinase"; "membrane"; "transport"; "metabolism";
+    "apoptosis"; "signal" ]
+
+let generate ~seed ~(universe : Genbio.universe) ~count cls =
+  let rng = Rng.create seed in
+  let embl_accessions =
+    List.map (fun (e : Datahounds.Embl.t) -> e.accession) universe.embl_entries
+  in
+  let ec_numbers =
+    List.map (fun (e : Datahounds.Enzyme.t) -> e.ec_number) universe.enzymes
+  in
+  let organisms =
+    List.sort_uniq String.compare
+      (List.map (fun (e : Datahounds.Embl.t) -> e.organism) universe.embl_entries)
+  in
+  let gen _ =
+    match cls with
+    | Accession_lookup ->
+      Printf.sprintf
+        {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+WHERE $a//embl_accession_number = "%s"
+RETURN $a//description|}
+        (Rng.pick rng embl_accessions)
+    | Keyword_browse ->
+      Printf.sprintf
+        {|FOR $a IN document("hlx_sprot.all")/hlx_n_sequence
+WHERE contains($a, "%s", any)
+RETURN $a//sprot_accession_number|}
+        (Rng.pick rng browse_keywords)
+    | Annotation_filter ->
+      Printf.sprintf
+        {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+WHERE $a//qualifier[@qualifier_type = "gene"] = "%s"
+RETURN $a//embl_accession_number, $a//organism|}
+        (Rng.pick rng [ "cdc6"; "adh1"; "mcm2"; "rad51"; "cdk7" ])
+    | Range_scan ->
+      let lo = 100 + Rng.int rng 100 in
+      Printf.sprintf
+        {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+WHERE $a//sequence_length >= %d AND $a//sequence_length < %d
+AND $a//organism = "%s"
+RETURN $a//embl_accession_number|}
+        lo (lo + 60) (Rng.pick rng organisms)
+    | Cross_reference_join ->
+      Printf.sprintf
+        {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC number"] = $b/enzyme_id
+AND contains($b//catalytic_activity, "%s")
+RETURN $a//embl_accession_number, $b/enzyme_id|}
+        (Rng.pick rng [ "ketone"; "oxidized"; "NAD" ])
+    | Literature_link ->
+      if universe.citations = [] then
+        invalid_arg "Literature_link requires a universe with citations";
+      Printf.sprintf
+        {|FOR $c IN document("hlx_medline.all")/hlx_citation/db_entry,
+    $e IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $c//ec_reference = $e/enzyme_id
+AND $e/enzyme_id = "%s"
+RETURN $c/pmid, $c/title|}
+        (Rng.pick rng ec_numbers)
+  in
+  List.init count gen
+
+let mixed ~seed ~universe ~per_class =
+  let applicable =
+    List.filter
+      (fun cls -> cls <> Literature_link || universe.Genbio.citations <> [])
+      all_classes
+  in
+  let rng = Rng.create (seed + 1) in
+  Rng.shuffle rng
+    (List.concat_map
+       (fun cls ->
+         List.map (fun q -> (cls, q)) (generate ~seed ~universe ~count:per_class cls))
+       applicable)

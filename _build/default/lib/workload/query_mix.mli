@@ -1,0 +1,31 @@
+(** Query workload generator.
+
+    The paper claims the "majority of XomatiQ queries which are important
+    in bioinformatics domain can be evaluated efficiently" (Section 3.2)
+    and grounds what biologists ask in the Stevens et al. task
+    classification (its citation [38]). This module turns a generated
+    universe into a mix of FLWR query texts, one class per recurring
+    bioinformatics task, parameterised with identifiers and keywords that
+    actually occur in the data (so selectivities are realistic). *)
+
+type task_class =
+  | Accession_lookup      (** retrieve an entry by exact identifier *)
+  | Keyword_browse        (** keyword search across a source *)
+  | Annotation_filter     (** structured predicate on a sub-tree *)
+  | Range_scan            (** numeric range over annotations *)
+  | Cross_reference_join  (** follow a cross-database reference (EMBL x ENZYME) *)
+  | Literature_link       (** correlate entries with citations (MEDLINE x ENZYME) *)
+
+val all_classes : task_class list
+
+val class_name : task_class -> string
+
+val generate :
+  seed:int -> universe:Genbio.universe -> count:int -> task_class -> string list
+(** [count] FLWR query texts of the class. [Literature_link] requires the
+    universe to contain citations ([n_citations > 0]). *)
+
+val mixed :
+  seed:int -> universe:Genbio.universe -> per_class:int ->
+  (task_class * string) list
+(** A shuffled mix with [per_class] queries of every applicable class. *)

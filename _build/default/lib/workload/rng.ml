@@ -1,0 +1,45 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64 *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* mask to a non-negative OCaml int before reducing *)
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t 1.0 < p
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let shuffle t xs =
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let sample t k xs =
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  take k (shuffle t xs)

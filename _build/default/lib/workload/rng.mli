@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every synthetic dataset in the benchmarks is a pure function of its
+    seed, so paper-style experiments are exactly reproducible. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element. @raise Invalid_argument on an empty list. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws up to [k] distinct elements (by position). *)
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,1 @@
+lib/xml/diff.ml: Fmt List Printf String Tree

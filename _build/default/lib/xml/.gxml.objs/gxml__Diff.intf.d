@@ -1,0 +1,1 @@
+lib/xml/diff.mli: Format Tree

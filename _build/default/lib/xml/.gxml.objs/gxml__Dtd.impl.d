@@ -1,0 +1,1 @@
+lib/xml/dtd.ml: Buffer Fmt List Printf String Tree

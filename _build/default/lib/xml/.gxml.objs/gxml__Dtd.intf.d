@@ -1,0 +1,1 @@
+lib/xml/dtd.mli: Format Tree

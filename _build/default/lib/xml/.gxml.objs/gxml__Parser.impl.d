@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Escape List Printf String Tree

@@ -1,0 +1,1 @@
+lib/xml/parser.mli: Tree

@@ -1,0 +1,1 @@
+lib/xml/path.ml: Float Fmt List Option Printf String Tree

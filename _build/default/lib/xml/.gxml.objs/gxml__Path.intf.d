@@ -1,0 +1,1 @@
+lib/xml/path.mli: Format Tree

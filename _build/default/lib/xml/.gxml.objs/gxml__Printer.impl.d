@@ -1,0 +1,1 @@
+lib/xml/printer.ml: Buffer Escape Fun List Printf Tree

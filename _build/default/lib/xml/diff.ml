@@ -1,0 +1,98 @@
+type change =
+  | Text_changed of { at : string; before : string; after : string }
+  | Attr_changed of { at : string; name : string; before : string; after : string }
+  | Attr_added of { at : string; name : string; value : string }
+  | Attr_removed of { at : string; name : string; value : string }
+  | Node_added of { at : string; tag : string }
+  | Node_removed of { at : string; tag : string }
+  | Tag_changed of { at : string; before : string; after : string }
+
+let diff a b =
+  let changes = ref [] in
+  let add c = changes := c :: !changes in
+  let rec walk path (a : Tree.element) (b : Tree.element) =
+    if not (String.equal a.tag b.tag) then
+      add (Tag_changed { at = path; before = a.tag; after = b.tag })
+    else begin
+      let sort_attrs l =
+        List.sort
+          (fun (x : Tree.attribute) (y : Tree.attribute) ->
+            String.compare x.attr_name y.attr_name)
+          l
+      in
+      let rec attrs xs ys =
+        match xs, ys with
+        | [], [] -> ()
+        | (x : Tree.attribute) :: xs', [] ->
+          add (Attr_removed { at = path; name = x.attr_name; value = x.attr_value });
+          attrs xs' []
+        | [], (y : Tree.attribute) :: ys' ->
+          add (Attr_added { at = path; name = y.attr_name; value = y.attr_value });
+          attrs [] ys'
+        | x :: xs', y :: ys' ->
+          let c = String.compare x.attr_name y.attr_name in
+          if c = 0 then begin
+            if not (String.equal x.attr_value y.attr_value) then
+              add (Attr_changed
+                     { at = path; name = x.attr_name;
+                       before = x.attr_value; after = y.attr_value });
+            attrs xs' ys'
+          end
+          else if c < 0 then begin
+            add (Attr_removed { at = path; name = x.attr_name; value = x.attr_value });
+            attrs xs' ys
+          end
+          else begin
+            add (Attr_added { at = path; name = y.attr_name; value = y.attr_value });
+            attrs xs ys'
+          end
+      in
+      attrs (sort_attrs a.attrs) (sort_attrs b.attrs);
+      let na = (Tree.normalize a).children and nb = (Tree.normalize b).children in
+      let rec kids i xs ys =
+        match xs, ys with
+        | [], [] -> ()
+        | x :: xs', [] ->
+          (match x with
+           | Tree.Element e -> add (Node_removed { at = path; tag = e.tag })
+           | Tree.Text _ -> add (Node_removed { at = path; tag = "#text" }));
+          kids (i + 1) xs' []
+        | [], y :: ys' ->
+          (match y with
+           | Tree.Element e -> add (Node_added { at = path; tag = e.tag })
+           | Tree.Text _ -> add (Node_added { at = path; tag = "#text" }));
+          kids (i + 1) [] ys'
+        | x :: xs', y :: ys' ->
+          (match x, y with
+           | Tree.Text tx, Tree.Text ty ->
+             if not (String.equal tx ty) then
+               add (Text_changed { at = path; before = tx; after = ty })
+           | Tree.Element ex, Tree.Element ey ->
+             walk (Printf.sprintf "%s/%s[%d]" path ey.tag i) ex ey
+           | Tree.Text _, Tree.Element ey ->
+             add (Node_removed { at = path; tag = "#text" });
+             add (Node_added { at = path; tag = ey.tag })
+           | Tree.Element ex, Tree.Text _ ->
+             add (Node_removed { at = path; tag = ex.tag });
+             add (Node_added { at = path; tag = "#text" }));
+          kids (i + 1) xs' ys'
+      in
+      kids 1 na nb
+    end
+  in
+  walk ("/" ^ b.Tree.tag) a b;
+  List.rev !changes
+
+let change_to_string = function
+  | Text_changed { at; before; after } ->
+    Printf.sprintf "%s: text %S -> %S" at before after
+  | Attr_changed { at; name; before; after } ->
+    Printf.sprintf "%s/@%s: %S -> %S" at name before after
+  | Attr_added { at; name; value } -> Printf.sprintf "%s/@%s: added %S" at name value
+  | Attr_removed { at; name; value } -> Printf.sprintf "%s/@%s: removed %S" at name value
+  | Node_added { at; tag } -> Printf.sprintf "%s: added <%s>" at tag
+  | Node_removed { at; tag } -> Printf.sprintf "%s: removed <%s>" at tag
+  | Tag_changed { at; before; after } ->
+    Printf.sprintf "%s: tag <%s> -> <%s>" at before after
+
+let pp_change ppf c = Fmt.string ppf (change_to_string c)

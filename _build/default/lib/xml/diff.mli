@@ -1,0 +1,25 @@
+(** Structural comparison of XML documents.
+
+    Data Hounds refreshes the local warehouse from remote sources and must
+    apply "the latest updates ... without any information being left out or
+    added twice" (paper, Section 2). The sync engine diffs the freshly
+    transformed XML entries against the warehoused ones; this module
+    provides the per-document comparison. *)
+
+type change =
+  | Text_changed of { at : string; before : string; after : string }
+      (** [at] is a slash-separated path of tags with 1-based positions. *)
+  | Attr_changed of { at : string; name : string; before : string; after : string }
+  | Attr_added of { at : string; name : string; value : string }
+  | Attr_removed of { at : string; name : string; value : string }
+  | Node_added of { at : string; tag : string }
+  | Node_removed of { at : string; tag : string }
+  | Tag_changed of { at : string; before : string; after : string }
+
+val diff : Tree.element -> Tree.element -> change list
+(** All differences between two elements, positionally aligned.
+    Empty list iff {!Tree.equal_element}. *)
+
+val pp_change : Format.formatter -> change -> unit
+
+val change_to_string : change -> string

@@ -1,0 +1,493 @@
+type particle =
+  | Elem of string
+  | Seq of particle list
+  | Choice of particle list
+  | Opt of particle
+  | Star of particle
+  | Plus of particle
+
+type content_model =
+  | Empty_content
+  | Any_content
+  | Pcdata
+  | Mixed of string list
+  | Children of particle
+
+type attr_type =
+  | Cdata_type
+  | Nmtoken_type
+  | Id_type
+  | Idref_type
+  | Enum_type of string list
+
+type attr_default =
+  | Required
+  | Implied
+  | Fixed of string
+  | Default_value of string
+
+type attr_decl = {
+  attr_elem : string;
+  attr_name : string;
+  attr_type : attr_type;
+  attr_default : attr_default;
+}
+
+type t = {
+  root_name : string option;
+  elements : (string * content_model) list;
+  attributes : attr_decl list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg =
+  let upto = min cur.pos (String.length cur.src) in
+  let line = 1 + String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0
+               (String.sub cur.src 0 upto) in
+  failwith (Printf.sprintf "DTD parse error (line %d): %s" line msg)
+
+let c_eof cur = cur.pos >= String.length cur.src
+let c_peek cur = if c_eof cur then '\000' else cur.src.[cur.pos]
+let c_next cur = cur.pos <- cur.pos + 1
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_ws cur = while (not (c_eof cur)) && is_ws (c_peek cur) do c_next cur done
+
+let looking_at cur s =
+  let n = String.length s in
+  cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = s
+
+let eat cur s =
+  if looking_at cur s then cur.pos <- cur.pos + String.length s
+  else fail cur (Printf.sprintf "expected %S" s)
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name cur =
+  if not (is_name_start (c_peek cur)) then fail cur "expected a name";
+  let start = cur.pos in
+  while (not (c_eof cur)) && is_name_char (c_peek cur) do c_next cur done;
+  String.sub cur.src start (cur.pos - start)
+
+let parse_quoted cur =
+  let q = c_peek cur in
+  if q <> '"' && q <> '\'' then fail cur "expected quoted literal";
+  c_next cur;
+  let start = cur.pos in
+  while (not (c_eof cur)) && c_peek cur <> q do c_next cur done;
+  if c_eof cur then fail cur "unterminated literal";
+  let s = String.sub cur.src start (cur.pos - start) in
+  c_next cur;
+  s
+
+let apply_modifier cur p =
+  match c_peek cur with
+  | '?' -> c_next cur; Opt p
+  | '*' -> c_next cur; Star p
+  | '+' -> c_next cur; Plus p
+  | _ -> p
+
+(* cp := (Name | group) modifier? ; group := '(' cp ((','|'|') cp)* ')' *)
+let rec parse_cp cur =
+  skip_ws cur;
+  let base =
+    if c_peek cur = '(' then parse_group cur
+    else Elem (parse_name cur)
+  in
+  apply_modifier cur base
+
+and parse_group cur =
+  eat cur "(";
+  skip_ws cur;
+  let first = parse_cp cur in
+  skip_ws cur;
+  let sep =
+    match c_peek cur with
+    | ',' -> Some ','
+    | '|' -> Some '|'
+    | ')' -> None
+    | c -> fail cur (Printf.sprintf "expected ',', '|' or ')', found %C" c)
+  in
+  match sep with
+  | None -> eat cur ")"; first
+  | Some sep ->
+    let rec rest acc =
+      skip_ws cur;
+      if c_peek cur = ')' then begin
+        eat cur ")";
+        List.rev acc
+      end
+      else begin
+        if c_peek cur <> sep then
+          fail cur "mixed ',' and '|' at the same group level";
+        c_next cur;
+        let p = parse_cp cur in
+        rest (p :: acc)
+      end
+    in
+    let parts = rest [ first ] in
+    if sep = ',' then Seq parts else Choice parts
+
+let parse_content_model cur =
+  skip_ws cur;
+  if looking_at cur "EMPTY" then begin eat cur "EMPTY"; Empty_content end
+  else if looking_at cur "ANY" then begin eat cur "ANY"; Any_content end
+  else if c_peek cur = '(' then begin
+    (* Distinguish (#PCDATA ...) from a children group. *)
+    let save = cur.pos in
+    eat cur "(";
+    skip_ws cur;
+    if looking_at cur "#PCDATA" then begin
+      eat cur "#PCDATA";
+      skip_ws cur;
+      if c_peek cur = ')' then begin
+        eat cur ")";
+        (* an optional trailing '*' is legal for pure PCDATA *)
+        (match c_peek cur with '*' -> c_next cur | _ -> ());
+        Pcdata
+      end
+      else begin
+        let rec names acc =
+          skip_ws cur;
+          match c_peek cur with
+          | '|' ->
+            c_next cur;
+            skip_ws cur;
+            let n = parse_name cur in
+            names (n :: acc)
+          | ')' ->
+            eat cur ")";
+            eat cur "*";
+            List.rev acc
+          | c -> fail cur (Printf.sprintf "expected '|' or ')*' in mixed model, found %C" c)
+        in
+        Mixed (names [])
+      end
+    end
+    else begin
+      cur.pos <- save;
+      let p = parse_group cur in
+      Children (apply_modifier cur p)
+    end
+  end
+  else fail cur "expected a content model"
+
+let parse_attr_type cur =
+  skip_ws cur;
+  if looking_at cur "CDATA" then begin eat cur "CDATA"; Cdata_type end
+  else if looking_at cur "NMTOKENS" then begin eat cur "NMTOKENS"; Nmtoken_type end
+  else if looking_at cur "NMTOKEN" then begin eat cur "NMTOKEN"; Nmtoken_type end
+  else if looking_at cur "IDREFS" then begin eat cur "IDREFS"; Idref_type end
+  else if looking_at cur "IDREF" then begin eat cur "IDREF"; Idref_type end
+  else if looking_at cur "ID" then begin eat cur "ID"; Id_type end
+  else if c_peek cur = '(' then begin
+    eat cur "(";
+    let rec names acc =
+      skip_ws cur;
+      let n = parse_name cur in
+      skip_ws cur;
+      match c_peek cur with
+      | '|' -> c_next cur; names (n :: acc)
+      | ')' -> eat cur ")"; List.rev (n :: acc)
+      | c -> fail cur (Printf.sprintf "expected '|' or ')' in enumeration, found %C" c)
+    in
+    Enum_type (names [])
+  end
+  else fail cur "expected an attribute type"
+
+let parse_attr_default cur =
+  skip_ws cur;
+  if looking_at cur "#REQUIRED" then begin eat cur "#REQUIRED"; Required end
+  else if looking_at cur "#IMPLIED" then begin eat cur "#IMPLIED"; Implied end
+  else if looking_at cur "#FIXED" then begin
+    eat cur "#FIXED";
+    skip_ws cur;
+    Fixed (parse_quoted cur)
+  end
+  else Default_value (parse_quoted cur)
+
+let parse src =
+  let cur = { src; pos = 0 } in
+  let elements = ref [] and attributes = ref [] in
+  let rec loop () =
+    skip_ws cur;
+    if c_eof cur then ()
+    else if looking_at cur "<!--" then begin
+      eat cur "<!--";
+      let rec skip () =
+        if c_eof cur then fail cur "unterminated comment"
+        else if looking_at cur "-->" then eat cur "-->"
+        else begin c_next cur; skip () end
+      in
+      skip ();
+      loop ()
+    end
+    else if looking_at cur "<?" then begin
+      (* skip an XML declaration or PI embedded in the DTD text *)
+      eat cur "<?";
+      let rec skip () =
+        if c_eof cur then fail cur "unterminated processing instruction"
+        else if looking_at cur "?>" then eat cur "?>"
+        else begin c_next cur; skip () end
+      in
+      skip ();
+      loop ()
+    end
+    else if looking_at cur "<!ELEMENT" then begin
+      eat cur "<!ELEMENT";
+      skip_ws cur;
+      let name = parse_name cur in
+      let model = parse_content_model cur in
+      skip_ws cur;
+      eat cur ">";
+      if List.mem_assoc name !elements then
+        fail cur (Printf.sprintf "duplicate element declaration %S" name);
+      elements := (name, model) :: !elements;
+      loop ()
+    end
+    else if looking_at cur "<!ATTLIST" then begin
+      eat cur "<!ATTLIST";
+      skip_ws cur;
+      let elem = parse_name cur in
+      let rec attrs () =
+        skip_ws cur;
+        if c_peek cur = '>' then c_next cur
+        else begin
+          let name = parse_name cur in
+          let ty = parse_attr_type cur in
+          let dflt = parse_attr_default cur in
+          attributes :=
+            { attr_elem = elem; attr_name = name; attr_type = ty; attr_default = dflt }
+            :: !attributes;
+          attrs ()
+        end
+      in
+      attrs ();
+      loop ()
+    end
+    else fail cur "expected <!ELEMENT, <!ATTLIST or comment"
+  in
+  loop ();
+  let elements = List.rev !elements in
+  let root_name = match elements with [] -> None | (n, _) :: _ -> Some n in
+  { root_name; elements; attributes = List.rev !attributes }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse s
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec particle_to_string ?(top = false) p =
+  let group s = if top then "(" ^ s ^ ")" else s in
+  match p with
+  | Elem n -> n
+  | Seq ps ->
+    "(" ^ String.concat ", " (List.map (particle_to_string ~top:false) ps) ^ ")"
+  | Choice ps ->
+    "(" ^ String.concat " | " (List.map (particle_to_string ~top:false) ps) ^ ")"
+  | Opt p -> group (particle_to_string p ^ "?")
+  | Star p -> group (particle_to_string p ^ "*")
+  | Plus p -> group (particle_to_string p ^ "+")
+
+let content_model_to_string = function
+  | Empty_content -> "EMPTY"
+  | Any_content -> "ANY"
+  | Pcdata -> "(#PCDATA)"
+  | Mixed names -> "(#PCDATA | " ^ String.concat " | " names ^ ")*"
+  | Children (Elem n) -> "(" ^ n ^ ")"
+  | Children p -> particle_to_string ~top:true p
+
+let attr_type_to_string = function
+  | Cdata_type -> "CDATA"
+  | Nmtoken_type -> "NMTOKEN"
+  | Id_type -> "ID"
+  | Idref_type -> "IDREF"
+  | Enum_type names -> "(" ^ String.concat " | " names ^ ")"
+
+let attr_default_to_string = function
+  | Required -> "#REQUIRED"
+  | Implied -> "#IMPLIED"
+  | Fixed v -> Printf.sprintf "#FIXED %S" v
+  | Default_value v -> Printf.sprintf "%S" v
+
+let to_string dtd =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, model) ->
+      Buffer.add_string buf
+        (Printf.sprintf "<!ELEMENT %s %s>\n" name (content_model_to_string model));
+      let attrs = List.filter (fun a -> a.attr_elem = name) dtd.attributes in
+      if attrs <> [] then begin
+        Buffer.add_string buf (Printf.sprintf "<!ATTLIST %s" name);
+        List.iter
+          (fun a ->
+            Buffer.add_string buf
+              (Printf.sprintf "\n  %s %s %s" a.attr_name
+                 (attr_type_to_string a.attr_type)
+                 (attr_default_to_string a.attr_default)))
+          attrs;
+        Buffer.add_string buf ">\n"
+      end)
+    dtd.elements;
+  Buffer.contents buf
+
+let element_model dtd name = List.assoc_opt name dtd.elements
+
+let element_attrs dtd name =
+  List.filter (fun a -> a.attr_elem = name) dtd.attributes
+
+(* ------------------------------------------------------------------ *)
+(* Validation via Brzozowski derivatives                               *)
+(* ------------------------------------------------------------------ *)
+
+type violation = { at : string; reason : string }
+
+let pp_violation ppf v = Fmt.pf ppf "<%s>: %s" v.at v.reason
+
+(* nullable p: does the particle accept the empty sequence? *)
+let rec nullable = function
+  | Elem _ -> false
+  | Seq ps -> List.for_all nullable ps
+  | Choice ps -> List.exists nullable ps
+  | Opt _ | Star _ -> true
+  | Plus p -> nullable p
+
+(* A sentinel particle that accepts nothing at all. *)
+let empty_set = Choice []
+
+let rec simplify = function
+  | Seq [] -> Opt empty_set (* epsilon: accepts exactly the empty sequence *)
+  | Seq [ p ] -> simplify p
+  | Seq ps ->
+    let ps = List.map simplify ps in
+    if List.exists (fun p -> p = empty_set) ps then empty_set else Seq ps
+  | Choice ps ->
+    let ps = List.map simplify ps in
+    let ps = List.filter (fun p -> p <> empty_set) ps in
+    (match ps with [] -> empty_set | [ p ] -> p | ps -> Choice ps)
+  | Opt p -> (match simplify p with p' when p' = empty_set -> Seq [] | p' -> Opt p')
+  | Star p -> (match simplify p with p' when p' = empty_set -> Seq [] | p' -> Star p')
+  | Plus p -> (match simplify p with p' when p' = empty_set -> empty_set | p' -> Plus p')
+  | Elem n -> Elem n
+
+(* derivative of p with respect to element name a *)
+let rec deriv a p =
+  match p with
+  | Elem n -> if String.equal n a then Seq [] else empty_set
+  | Choice ps -> simplify (Choice (List.map (deriv a) ps))
+  | Seq [] -> empty_set
+  | Seq (p1 :: rest) ->
+    let d1 = Seq (deriv a p1 :: rest) in
+    if nullable p1 then simplify (Choice [ d1; deriv a (Seq rest) ])
+    else simplify d1
+  | Opt p -> deriv a p
+  | Star p1 -> simplify (Seq [ deriv a p1; Star p1 ])
+  | Plus p1 -> simplify (Seq [ deriv a p1; Star p1 ])
+
+let matches particle names =
+  let final = List.fold_left (fun p a -> deriv a p) (simplify particle) names in
+  nullable final || final = Seq []
+
+let child_element_names (e : Tree.element) =
+  List.filter_map
+    (function Tree.Element c -> Some c.Tree.tag | Tree.Text _ -> None)
+    e.children
+
+let has_nonblank_text (e : Tree.element) =
+  let blank s = String.for_all (fun c -> is_ws c) s in
+  List.exists
+    (function Tree.Text t -> not (blank t) | Tree.Element _ -> false)
+    e.children
+
+let is_nmtoken s =
+  s <> "" && String.for_all is_name_char s
+
+let validate dtd root =
+  let out = ref [] in
+  let report at reason = out := { at; reason } :: !out in
+  let check_attrs (e : Tree.element) =
+    let decls = element_attrs dtd e.tag in
+    List.iter
+      (fun (a : Tree.attribute) ->
+        match List.find_opt (fun d -> d.attr_name = a.attr_name) decls with
+        | None ->
+          report e.tag (Printf.sprintf "undeclared attribute %S" a.attr_name)
+        | Some d ->
+          (match d.attr_type with
+           | Nmtoken_type when not (is_nmtoken a.attr_value) ->
+             report e.tag
+               (Printf.sprintf "attribute %S is not a valid NMTOKEN: %S"
+                  a.attr_name a.attr_value)
+           | Enum_type allowed when not (List.mem a.attr_value allowed) ->
+             report e.tag
+               (Printf.sprintf "attribute %S has value %S outside its enumeration"
+                  a.attr_name a.attr_value)
+           | Id_type when not (is_nmtoken a.attr_value) ->
+             report e.tag
+               (Printf.sprintf "attribute %S is not a valid ID" a.attr_name)
+           | _ -> ());
+          (match d.attr_default with
+           | Fixed v when v <> a.attr_value ->
+             report e.tag
+               (Printf.sprintf "attribute %S must have fixed value %S" a.attr_name v)
+           | _ -> ()))
+      e.attrs;
+    List.iter
+      (fun d ->
+        if d.attr_default = Required
+           && not (List.exists (fun (a : Tree.attribute) -> a.attr_name = d.attr_name) e.attrs)
+        then report e.tag (Printf.sprintf "missing required attribute %S" d.attr_name))
+      decls
+  in
+  let rec walk (e : Tree.element) =
+    (match element_model dtd e.tag with
+     | None -> report e.tag "undeclared element"
+     | Some model ->
+       check_attrs e;
+       (match model with
+        | Any_content -> ()
+        | Empty_content ->
+          if e.children <> [] && (has_nonblank_text e || child_element_names e <> [])
+          then report e.tag "declared EMPTY but has content"
+        | Pcdata ->
+          if child_element_names e <> [] then
+            report e.tag "declared (#PCDATA) but has element children"
+        | Mixed allowed ->
+          List.iter
+            (fun n ->
+              if not (List.mem n allowed) then
+                report e.tag (Printf.sprintf "element <%s> not allowed in mixed content" n))
+            (child_element_names e)
+        | Children particle ->
+          if has_nonblank_text e then
+            report e.tag "character data not allowed in element content";
+          let names = child_element_names e in
+          if not (matches particle names) then
+            report e.tag
+              (Printf.sprintf "children (%s) do not match content model %s"
+                 (String.concat ", " names)
+                 (content_model_to_string model))));
+    List.iter
+      (function Tree.Element c -> walk c | Tree.Text _ -> ())
+      e.children
+  in
+  walk root;
+  List.rev !out
+
+let valid dtd root = validate dtd root = []

@@ -1,0 +1,76 @@
+(** Document Type Definitions.
+
+    Data Hounds writes a DTD per remote source (the paper's Fig. 5 shows
+    the one for the E NZYME database); XomatiQ's visual interface renders
+    these DTDs as clickable trees. This module holds the DTD AST, a parser
+    for the [<!ELEMENT ...>] / [<!ATTLIST ...>] declaration syntax, and a
+    validator that checks a document against the declared content models
+    using Brzozowski derivatives. *)
+
+(** Regular content particles over element names. *)
+type particle =
+  | Elem of string
+  | Seq of particle list        (** [a, b, c] *)
+  | Choice of particle list     (** [a | b | c] *)
+  | Opt of particle             (** [p?] *)
+  | Star of particle            (** [p*] *)
+  | Plus of particle            (** [p+] *)
+
+type content_model =
+  | Empty_content                 (** [EMPTY] *)
+  | Any_content                   (** [ANY] *)
+  | Pcdata                        (** [(#PCDATA)] *)
+  | Mixed of string list          (** [(#PCDATA | a | b)*] *)
+  | Children of particle
+
+type attr_type =
+  | Cdata_type
+  | Nmtoken_type
+  | Id_type
+  | Idref_type
+  | Enum_type of string list
+
+type attr_default =
+  | Required
+  | Implied
+  | Fixed of string
+  | Default_value of string
+
+type attr_decl = {
+  attr_elem : string;     (** owning element *)
+  attr_name : string;
+  attr_type : attr_type;
+  attr_default : attr_default;
+}
+
+type t = {
+  root_name : string option;  (** conventionally the first declared element *)
+  elements : (string * content_model) list;  (** declaration order preserved *)
+  attributes : attr_decl list;
+}
+
+val parse : string -> t
+(** Parse a DTD from declaration text.
+    @raise Failure with a descriptive message on malformed declarations. *)
+
+val parse_file : string -> t
+
+val to_string : t -> string
+(** Serialise back to declaration syntax (canonical spacing). *)
+
+val element_model : t -> string -> content_model option
+val element_attrs : t -> string -> attr_decl list
+
+type violation = {
+  at : string;       (** element tag where the violation occurred *)
+  reason : string;
+}
+
+val validate : t -> Tree.element -> violation list
+(** All content-model and attribute violations in the subtree, in document
+    order. An empty list means the document is valid. Undeclared elements
+    are violations; undeclared attributes are violations. *)
+
+val valid : t -> Tree.element -> bool
+
+val pp_violation : Format.formatter -> violation -> unit

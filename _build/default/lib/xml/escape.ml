@@ -1,0 +1,95 @@
+let escape gen s =
+  (* Fast path: nothing to escape. *)
+  let needs =
+    let rec check i =
+      if i >= String.length s then false
+      else match gen s.[i] with None -> check (i + 1) | Some _ -> true
+    in
+    check 0
+  in
+  if not needs then s
+  else begin
+    let buf = Buffer.create (String.length s + 16) in
+    String.iter
+      (fun c ->
+        match gen c with
+        | Some rep -> Buffer.add_string buf rep
+        | None -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let escape_text =
+  escape (function
+    | '&' -> Some "&amp;"
+    | '<' -> Some "&lt;"
+    | '>' -> Some "&gt;"
+    | _ -> None)
+
+let escape_attr =
+  escape (function
+    | '&' -> Some "&amp;"
+    | '<' -> Some "&lt;"
+    | '>' -> Some "&gt;"
+    | '"' -> Some "&quot;"
+    | '\'' -> Some "&apos;"
+    | _ -> None)
+
+(* Encode a Unicode code point as UTF-8 bytes. *)
+let add_utf8 buf cp =
+  if cp < 0 then failwith "negative character reference"
+  else if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp <= 0x10FFFF then begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else failwith "character reference out of Unicode range"
+
+let unescape s =
+  match String.index_opt s '&' with
+  | None -> s
+  | Some _ ->
+    let n = String.length s in
+    let buf = Buffer.create n in
+    let rec go i =
+      if i >= n then ()
+      else if s.[i] <> '&' then begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+      else
+        match String.index_from_opt s i ';' with
+        | None -> failwith "unterminated entity reference"
+        | Some j ->
+          let ent = String.sub s (i + 1) (j - i - 1) in
+          (match ent with
+           | "amp" -> Buffer.add_char buf '&'
+           | "lt" -> Buffer.add_char buf '<'
+           | "gt" -> Buffer.add_char buf '>'
+           | "quot" -> Buffer.add_char buf '"'
+           | "apos" -> Buffer.add_char buf '\''
+           | _ when String.length ent > 1 && ent.[0] = '#' ->
+             let cp =
+               try
+                 if String.length ent > 2 && (ent.[1] = 'x' || ent.[1] = 'X')
+                 then int_of_string ("0x" ^ String.sub ent 2 (String.length ent - 2))
+                 else int_of_string (String.sub ent 1 (String.length ent - 1))
+               with Failure _ -> failwith ("bad character reference: &" ^ ent ^ ";")
+             in
+             add_utf8 buf cp
+           | _ -> failwith ("unknown entity: &" ^ ent ^ ";"));
+          go (j + 1)
+    in
+    go 0;
+    Buffer.contents buf

@@ -1,0 +1,13 @@
+(** XML character escaping and entity resolution. *)
+
+val escape_text : string -> string
+(** Escape [& < >] for character data. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, angle brackets and both quote characters for
+    attribute values (double-quoted). *)
+
+val unescape : string -> string
+(** Resolve the five predefined entities plus decimal ([&#NN;]) and
+    hexadecimal ([&#xNN;]) character references. Unknown entities raise
+    [Failure]. *)

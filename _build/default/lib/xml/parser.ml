@@ -1,0 +1,290 @@
+exception Parse_error of { line : int; col : int; message : string }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+  keep_ws : bool;
+}
+
+let error st message =
+  raise (Parse_error { line = st.line; col = st.pos - st.bol + 1; message })
+
+let eof st = st.pos >= String.length st.src
+
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (eof st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+    end;
+    st.pos <- st.pos + 1
+  end
+
+let expect st c =
+  if peek st = c then advance st
+  else error st (Printf.sprintf "expected %C, found %C" c (peek st))
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip_string st s =
+  if looking_at st s then
+    for _ = 1 to String.length s do advance st done
+  else error st (Printf.sprintf "expected %S" s)
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_ws st = while (not (eof st)) && is_ws (peek st) do advance st done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then error st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do advance st done;
+  String.sub st.src start (st.pos - start)
+
+let parse_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then error st "expected quoted attribute value";
+  advance st;
+  let start = st.pos in
+  while (not (eof st)) && peek st <> quote do
+    if peek st = '<' then error st "'<' not allowed in attribute value";
+    advance st
+  done;
+  if eof st then error st "unterminated attribute value";
+  let raw = String.sub st.src start (st.pos - start) in
+  advance st;
+  try Escape.unescape raw with Failure m -> error st m
+
+let rec skip_comment st =
+  (* positioned after "<!--" *)
+  if eof st then error st "unterminated comment"
+  else if looking_at st "-->" then skip_string st "-->"
+  else begin
+    advance st;
+    skip_comment st
+  end
+
+let rec skip_pi st =
+  if eof st then error st "unterminated processing instruction"
+  else if looking_at st "?>" then skip_string st "?>"
+  else begin
+    advance st;
+    skip_pi st
+  end
+
+let parse_cdata st =
+  (* positioned after "<![CDATA[" *)
+  let start = st.pos in
+  let rec find () =
+    if eof st then error st "unterminated CDATA section"
+    else if looking_at st "]]>" then begin
+      let s = String.sub st.src start (st.pos - start) in
+      skip_string st "]]>";
+      s
+    end
+    else begin
+      advance st;
+      find ()
+    end
+  in
+  find ()
+
+let parse_text st =
+  let start = st.pos in
+  while (not (eof st)) && peek st <> '<' do advance st done;
+  let raw = String.sub st.src start (st.pos - start) in
+  try Escape.unescape raw with Failure m -> error st m
+
+let is_blank s =
+  let rec go i = i >= String.length s || (is_ws s.[i] && go (i + 1)) in
+  go 0
+
+let rec parse_attrs st acc =
+  skip_ws st;
+  if is_name_start (peek st) then begin
+    let name = parse_name st in
+    skip_ws st;
+    expect st '=';
+    skip_ws st;
+    let value = parse_attr_value st in
+    if List.exists (fun (a : Tree.attribute) -> a.attr_name = name) acc then
+      error st (Printf.sprintf "duplicate attribute %S" name);
+    parse_attrs st ({ Tree.attr_name = name; attr_value = value } :: acc)
+  end
+  else List.rev acc
+
+let rec parse_element_body st : Tree.element =
+  (* positioned after '<' with a name-start char next *)
+  let tag = parse_name st in
+  let attrs = parse_attrs st [] in
+  skip_ws st;
+  if looking_at st "/>" then begin
+    skip_string st "/>";
+    { Tree.tag; attrs; children = [] }
+  end
+  else begin
+    expect st '>';
+    let children = parse_children st tag [] in
+    { Tree.tag; attrs; children }
+  end
+
+and parse_children st tag acc : Tree.node list =
+  if eof st then error st (Printf.sprintf "unterminated element <%s>" tag)
+  else if peek st = '<' then begin
+    if looking_at st "</" then begin
+      skip_string st "</";
+      let close = parse_name st in
+      skip_ws st;
+      expect st '>';
+      if close <> tag then
+        error st (Printf.sprintf "mismatched close tag: <%s> closed by </%s>" tag close);
+      List.rev acc
+    end
+    else if looking_at st "<!--" then begin
+      skip_string st "<!--";
+      skip_comment st;
+      parse_children st tag acc
+    end
+    else if looking_at st "<![CDATA[" then begin
+      skip_string st "<![CDATA[";
+      let s = parse_cdata st in
+      parse_children st tag (Tree.Text s :: acc)
+    end
+    else if looking_at st "<?" then begin
+      skip_string st "<?";
+      skip_pi st;
+      parse_children st tag acc
+    end
+    else if is_name_start (peek2 st) then begin
+      advance st;
+      let child = parse_element_body st in
+      parse_children st tag (Tree.Element child :: acc)
+    end
+    else error st "malformed markup"
+  end
+  else begin
+    let t = parse_text st in
+    if (not st.keep_ws) && is_blank t then parse_children st tag acc
+    else parse_children st tag (Tree.Text t :: acc)
+  end
+
+(* Prolog: optional XML declaration, misc (comments/PIs), optional DOCTYPE. *)
+let parse_prolog st =
+  let version = ref "1.0" and encoding = ref "UTF-8" and doctype = ref None in
+  if looking_at st "<?xml" then begin
+    skip_string st "<?xml";
+    let rec attrs () =
+      skip_ws st;
+      if is_name_start (peek st) then begin
+        let name = parse_name st in
+        skip_ws st;
+        expect st '=';
+        skip_ws st;
+        let value = parse_attr_value st in
+        (match name with
+         | "version" -> version := value
+         | "encoding" -> encoding := value
+         | _ -> ());
+        attrs ()
+      end
+    in
+    attrs ();
+    skip_ws st;
+    skip_string st "?>"
+  end;
+  let rec misc () =
+    skip_ws st;
+    if looking_at st "<!--" then begin
+      skip_string st "<!--";
+      skip_comment st;
+      misc ()
+    end
+    else if looking_at st "<?" then begin
+      skip_string st "<?";
+      skip_pi st;
+      misc ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      skip_string st "<!DOCTYPE";
+      skip_ws st;
+      let name = parse_name st in
+      doctype := Some name;
+      (* Skip to the closing '>' of the DOCTYPE, honouring an internal
+         subset delimited by brackets. *)
+      let rec finish depth =
+        if eof st then error st "unterminated DOCTYPE"
+        else
+          match peek st with
+          | '[' -> advance st; finish (depth + 1)
+          | ']' -> advance st; finish (depth - 1)
+          | '>' when depth = 0 -> advance st
+          | _ -> advance st; finish depth
+      in
+      finish 0;
+      misc ()
+    end
+  in
+  misc ();
+  (!version, !encoding, !doctype)
+
+let make_state ?(keep_ws = true) src = { src; pos = 0; line = 1; bol = 0; keep_ws }
+
+let parse_document ?keep_ws src =
+  let st = make_state ?keep_ws src in
+  let version, encoding, doctype = parse_prolog st in
+  skip_ws st;
+  if peek st <> '<' then error st "expected root element";
+  advance st;
+  if not (is_name_start (peek st)) then error st "expected root element name";
+  let root = parse_element_body st in
+  skip_ws st;
+  (* trailing comments are legal *)
+  let rec trailing () =
+    if looking_at st "<!--" then begin
+      skip_string st "<!--";
+      skip_comment st;
+      skip_ws st;
+      trailing ()
+    end
+  in
+  trailing ();
+  if not (eof st) then error st "trailing content after root element";
+  { Tree.version; encoding; doctype; root }
+
+let parse_element ?keep_ws src =
+  let st = make_state ?keep_ws src in
+  skip_ws st;
+  if peek st <> '<' then error st "expected element";
+  advance st;
+  if not (is_name_start (peek st)) then error st "expected element name";
+  let e = parse_element_body st in
+  skip_ws st;
+  if not (eof st) then error st "trailing content after element";
+  e
+
+let parse_file ?keep_ws path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_document ?keep_ws s
+
+let error_to_string = function
+  | Parse_error { line; col; message } ->
+    Printf.sprintf "XML parse error at line %d, column %d: %s" line col message
+  | e -> raise e

@@ -1,0 +1,25 @@
+(** A from-scratch, non-validating XML parser.
+
+    Supports: XML declaration, DOCTYPE (name recorded, internal subset
+    skipped), elements, attributes (single or double quoted), character
+    data, CDATA sections, comments (dropped), processing instructions
+    (dropped), predefined and numeric character references.
+
+    Whitespace-only text nodes between elements are kept by default
+    (document order matters downstream); pass [~keep_ws:false] to drop
+    them, which matches how Data Hounds emits data-oriented documents. *)
+
+exception Parse_error of { line : int; col : int; message : string }
+
+val parse_document : ?keep_ws:bool -> string -> Tree.document
+(** Parse a complete document from a string.
+    @raise Parse_error on malformed input. *)
+
+val parse_element : ?keep_ws:bool -> string -> Tree.element
+(** Parse a string holding a single element (no declaration required). *)
+
+val parse_file : ?keep_ws:bool -> string -> Tree.document
+(** Parse the file at the given path. *)
+
+val error_to_string : exn -> string
+(** Render a [Parse_error] for diagnostics; re-raises other exceptions. *)

@@ -1,0 +1,361 @@
+type axis =
+  | Child
+  | Descendant
+
+type node_test =
+  | Name of string
+  | Any_element
+  | Attribute of string
+  | Text_test
+
+type literal =
+  | Lit_string of string
+  | Lit_number of float
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type predicate =
+  | Compare of t * cmp * literal
+  | Contains of t * string
+  | Exists of t
+  | Position of int
+
+and step = {
+  axis : axis;
+  test : node_test;
+  predicates : predicate list;
+}
+
+and t = step list
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg =
+  failwith (Printf.sprintf "path parse error at offset %d in %S: %s" cur.pos cur.src msg)
+
+let c_eof cur = cur.pos >= String.length cur.src
+let c_peek cur = if c_eof cur then '\000' else cur.src.[cur.pos]
+let c_next cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  while (not (c_eof cur)) && (c_peek cur = ' ' || c_peek cur = '\t') do c_next cur done
+
+let looking_at cur s =
+  let n = String.length s in
+  cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = s
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.' || c = ':'
+
+let parse_name cur =
+  if not (is_name_start (c_peek cur)) then fail cur "expected a name";
+  let start = cur.pos in
+  while (not (c_eof cur)) && is_name_char (c_peek cur) do c_next cur done;
+  String.sub cur.src start (cur.pos - start)
+
+let parse_string_lit cur =
+  let q = c_peek cur in
+  if q <> '"' && q <> '\'' then fail cur "expected string literal";
+  c_next cur;
+  let start = cur.pos in
+  while (not (c_eof cur)) && c_peek cur <> q do c_next cur done;
+  if c_eof cur then fail cur "unterminated string literal";
+  let s = String.sub cur.src start (cur.pos - start) in
+  c_next cur;
+  s
+
+let parse_number cur =
+  let start = cur.pos in
+  if c_peek cur = '-' then c_next cur;
+  while (not (c_eof cur))
+        && (let c = c_peek cur in (c >= '0' && c <= '9') || c = '.') do
+    c_next cur
+  done;
+  let s = String.sub cur.src start (cur.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail cur (Printf.sprintf "bad number %S" s)
+
+let parse_literal cur =
+  skip_ws cur;
+  match c_peek cur with
+  | '"' | '\'' -> Lit_string (parse_string_lit cur)
+  | c when (c >= '0' && c <= '9') || c = '-' -> Lit_number (parse_number cur)
+  | _ -> fail cur "expected a literal"
+
+let parse_cmp cur =
+  skip_ws cur;
+  if looking_at cur "!=" then begin cur.pos <- cur.pos + 2; Neq end
+  else if looking_at cur "<=" then begin cur.pos <- cur.pos + 2; Le end
+  else if looking_at cur ">=" then begin cur.pos <- cur.pos + 2; Ge end
+  else
+    match c_peek cur with
+    | '=' -> c_next cur; Eq
+    | '<' -> c_next cur; Lt
+    | '>' -> c_next cur; Gt
+    | c -> fail cur (Printf.sprintf "expected comparison operator, found %C" c)
+
+let step_terminator c =
+  c = ']' || c = ',' || c = ')' || c = '=' || c = '<' || c = '>' || c = '!'
+
+let rec parse_steps cur ~first =
+  skip_ws cur;
+  if c_eof cur || step_terminator (c_peek cur) then []
+  else if first && c_peek cur = '.' then begin
+    (* "." denotes the context node itself: the empty relative path *)
+    c_next cur;
+    []
+  end
+  else begin
+    let axis =
+      if looking_at cur "//" then begin cur.pos <- cur.pos + 2; Descendant end
+      else if c_peek cur = '/' then begin
+        c_next cur;
+        Child
+      end
+      else if first then Child
+      else fail cur "expected '/' or '//'"
+    in
+    skip_ws cur;
+    let test =
+      match c_peek cur with
+      | '@' -> c_next cur; Attribute (parse_name cur)
+      | '*' -> c_next cur; Any_element
+      | _ ->
+        if looking_at cur "text()" then begin
+          cur.pos <- cur.pos + 6;
+          Text_test
+        end
+        else Name (parse_name cur)
+    in
+    let predicates = parse_predicates cur in
+    let step = { axis; test; predicates } in
+    step :: parse_steps cur ~first:false
+  end
+
+and parse_predicates cur =
+  skip_ws cur;
+  if c_peek cur = '[' then begin
+    c_next cur;
+    skip_ws cur;
+    let pred =
+      if looking_at cur "contains(" then begin
+        cur.pos <- cur.pos + String.length "contains(";
+        let p = parse_relative cur in
+        skip_ws cur;
+        if c_peek cur <> ',' then fail cur "expected ',' in contains()";
+        c_next cur;
+        skip_ws cur;
+        let kw = parse_string_lit cur in
+        skip_ws cur;
+        if c_peek cur <> ')' then fail cur "expected ')' closing contains()";
+        c_next cur;
+        Contains (p, kw)
+      end
+      else if (let c = c_peek cur in c >= '0' && c <= '9') then begin
+        let n = int_of_float (parse_number cur) in
+        Position n
+      end
+      else begin
+        let p = parse_relative cur in
+        skip_ws cur;
+        if c_peek cur = ']' then Exists p
+        else begin
+          let op = parse_cmp cur in
+          let lit = parse_literal cur in
+          Compare (p, op, lit)
+        end
+      end
+    in
+    skip_ws cur;
+    if c_peek cur <> ']' then fail cur "expected ']'";
+    c_next cur;
+    pred :: parse_predicates cur
+  end
+  else []
+
+and parse_relative cur = parse_steps cur ~first:true
+
+let parse src =
+  let cur = { src; pos = 0 } in
+  let steps = parse_steps cur ~first:true in
+  skip_ws cur;
+  if not (c_eof cur) then fail cur "trailing input after path";
+  if steps = [] then fail cur "empty path";
+  steps
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let literal_to_string = function
+  | Lit_string s -> Printf.sprintf "%S" s
+  | Lit_number f ->
+    if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f
+
+let cmp_to_string = function
+  | Eq -> "=" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec to_string path =
+  let step_to_string i s =
+    let sep = match s.axis, i with
+      | Descendant, _ -> "//"
+      | Child, 0 -> ""
+      | Child, _ -> "/"
+    in
+    let test = match s.test with
+      | Name n -> n
+      | Any_element -> "*"
+      | Attribute a -> "@" ^ a
+      | Text_test -> "text()"
+    in
+    let preds = String.concat "" (List.map pred_to_string s.predicates) in
+    sep ^ test ^ preds
+  in
+  String.concat "" (List.mapi step_to_string path)
+
+and pred_to_string = function
+  | Compare (p, op, lit) ->
+    Printf.sprintf "[%s %s %s]" (to_string p) (cmp_to_string op) (literal_to_string lit)
+  | Contains (p, kw) -> Printf.sprintf "[contains(%s, %S)]" (to_string p) kw
+  | Exists p -> Printf.sprintf "[%s]" (to_string p)
+  | Position n -> Printf.sprintf "[%d]" n
+
+let pp ppf p = Fmt.string ppf (to_string p)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type item =
+  | Node of Tree.element
+  | Attr_value of string
+  | Text_value of string
+
+let item_to_string = function
+  | Node e -> Tree.text_content e
+  | Attr_value s -> s
+  | Text_value s -> s
+
+(* Numeric comparison when both sides parse as numbers, else string. *)
+let compare_with op actual lit =
+  let cmp_result c = match op with
+    | Eq -> c = 0 | Neq -> c <> 0 | Lt -> c < 0 | Le -> c <= 0
+    | Gt -> c > 0 | Ge -> c >= 0
+  in
+  match lit with
+  | Lit_number f ->
+    (match float_of_string_opt (String.trim actual) with
+     | Some a -> cmp_result (Float.compare a f)
+     | None -> false)
+  | Lit_string s -> cmp_result (String.compare actual s)
+
+let contains_ci haystack needle =
+  let h = String.lowercase_ascii haystack and n = String.lowercase_ascii needle in
+  let hl = String.length h and nl = String.length n in
+  if nl = 0 then true
+  else begin
+    let rec go i = i + nl <= hl && (String.sub h i nl = n || go (i + 1)) in
+    go 0
+  end
+
+let rec eval_step (ctx : Tree.element) step : item list =
+  let candidates =
+    match step.axis with
+    | Child -> List.filter_map (function Tree.Element c -> Some c | Tree.Text _ -> None) ctx.children
+    | Descendant -> Tree.descendants ctx
+  in
+  let selected =
+    match step.test with
+    | Name n ->
+      List.filter_map
+        (fun (e : Tree.element) -> if String.equal e.tag n then Some (Node e) else None)
+        candidates
+    | Any_element -> List.map (fun e -> Node e) candidates
+    | Attribute a ->
+      (* attribute steps select from the *context* nodes of the step: for a
+         child axis, from the context element's children is wrong — XPath
+         selects attributes of the nodes reached so far. We model @a after
+         element steps only (see eval), so here candidates are the context's
+         children/descendants and we take their attributes when navigating
+         .../@a . For the common leading "@a" case, candidates are not used:
+         handled in eval below. *)
+      List.filter_map
+        (fun (e : Tree.element) ->
+          Option.map (fun v -> Attr_value v) (Tree.attr e a))
+        candidates
+    | Text_test ->
+      (match step.axis with
+       | Child ->
+         List.filter_map
+           (function Tree.Text t -> Some (Text_value t) | Tree.Element _ -> None)
+           ctx.children
+       | Descendant -> [ Text_value (Tree.text_content ctx) ])
+  in
+  let apply_predicates items preds =
+    List.fold_left
+      (fun items pred ->
+        match pred with
+        | Position n -> (match List.nth_opt items (n - 1) with Some x -> [ x ] | None -> [])
+        | _ ->
+          List.filter
+            (fun item ->
+              match item with
+              | Node e -> eval_pred e pred
+              | Attr_value s | Text_value s ->
+                (match pred with
+                 | Compare ([], op, lit) -> compare_with op s lit
+                 | Contains ([], kw) -> contains_ci s kw
+                 | _ -> false))
+            items)
+      items preds
+  in
+  apply_predicates selected step.predicates
+
+and eval_pred (e : Tree.element) = function
+  | Exists p -> eval e p <> []
+  | Compare (p, op, lit) ->
+    let values = if p = [] then [ Tree.text_content e ] else eval_strings e p in
+    List.exists (fun v -> compare_with op v lit) values
+  | Contains (p, kw) ->
+    let values = if p = [] then [ Tree.text_content e ] else eval_strings e p in
+    List.exists (fun v -> contains_ci v kw) values
+  | Position _ -> true (* handled at the step level *)
+
+and eval (ctx : Tree.element) (path : t) : item list =
+  match path with
+  | [] -> [ Node ctx ]
+  | [ { axis = Child; test = Attribute a; predicates } ] ->
+    (* a terminal "@a" step applies to the context element itself *)
+    (match Tree.attr ctx a with
+     | None -> []
+     | Some v ->
+       let keep =
+         List.for_all
+           (function
+             | Compare ([], op, lit) -> compare_with op v lit
+             | Contains ([], kw) -> contains_ci v kw
+             | Position 1 -> true
+             | Position _ -> false
+             | Compare _ | Contains _ | Exists _ -> false)
+           predicates
+       in
+       if keep then [ Attr_value v ] else [])
+  | step :: rest ->
+    let items = eval_step ctx step in
+    if rest = [] then items
+    else
+      List.concat_map
+        (function
+          | Node e -> eval e rest
+          | Attr_value _ | Text_value _ -> [])
+        items
+
+and eval_strings ctx path = List.map item_to_string (eval ctx path)

@@ -1,0 +1,64 @@
+(** XPath-subset path expressions.
+
+    XomatiQ queries navigate documents with abbreviated XPath steps:
+    [/a/b], [//c], [@attr], and predicates such as
+    [qualifier[@qualifier_type = "EC number"]]. This module provides the
+    AST, a parser, and an in-memory evaluator over {!Tree.element}. The
+    same AST is compiled to SQL by the XQ2SQL transformer. *)
+
+type axis =
+  | Child       (** [/name] *)
+  | Descendant  (** [//name] — descendant-or-self then child *)
+
+type node_test =
+  | Name of string   (** element by tag *)
+  | Any_element      (** [*] *)
+  | Attribute of string  (** [@name]; terminal step *)
+  | Text_test        (** [text()] *)
+
+type literal =
+  | Lit_string of string
+  | Lit_number of float
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type predicate =
+  | Compare of t * cmp * literal   (** [path op literal] *)
+  | Contains of t * string         (** [contains(path, "kw")] *)
+  | Exists of t                    (** [path] used as a boolean *)
+  | Position of int                (** [[n]] — 1-based *)
+
+and step = {
+  axis : axis;
+  test : node_test;
+  predicates : predicate list;
+}
+
+and t = step list
+
+val parse : string -> t
+(** Parse an abbreviated path such as ["//qualifier[@t = \"EC\"]/value"].
+    A leading [/] or [//] sets the first step's axis; a bare name starts
+    with the [Child] axis.
+    @raise Failure on syntax errors. *)
+
+val to_string : t -> string
+
+(** Result of evaluating a path: element nodes, attribute values or text. *)
+type item =
+  | Node of Tree.element
+  | Attr_value of string
+  | Text_value of string
+
+val eval : Tree.element -> t -> item list
+(** Evaluate relative to a context element, in document order.
+    The context element itself is the origin: a [Child] step selects its
+    children, a [Descendant] step selects all its descendants. *)
+
+val eval_strings : Tree.element -> t -> string list
+(** Like {!eval} but projects every item to its string value
+    (text content for element nodes). *)
+
+val item_to_string : item -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+let rec emit_compact buf (e : Tree.element) =
+  Buffer.add_char buf '<';
+  Buffer.add_string buf e.tag;
+  List.iter
+    (fun (a : Tree.attribute) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf a.attr_name;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (Escape.escape_attr a.attr_value);
+      Buffer.add_char buf '"')
+    e.attrs;
+  match e.children with
+  | [] -> Buffer.add_string buf "/>"
+  | children ->
+    Buffer.add_char buf '>';
+    List.iter
+      (function
+        | Tree.Text t -> Buffer.add_string buf (Escape.escape_text t)
+        | Tree.Element c -> emit_compact buf c)
+      children;
+    Buffer.add_string buf "</";
+    Buffer.add_string buf e.tag;
+    Buffer.add_char buf '>'
+
+(* Pretty mode: an element whose children are all elements is broken across
+   lines; an element with any text child keeps its content inline so that
+   character data is never polluted with indentation. *)
+let rec emit_pretty buf indent (e : Tree.element) =
+  let pad n = for _ = 1 to n do Buffer.add_char buf ' ' done in
+  pad indent;
+  Buffer.add_char buf '<';
+  Buffer.add_string buf e.tag;
+  List.iter
+    (fun (a : Tree.attribute) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf a.attr_name;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (Escape.escape_attr a.attr_value);
+      Buffer.add_char buf '"')
+    e.attrs;
+  match e.children with
+  | [] -> Buffer.add_string buf "/>"
+  | children ->
+    let has_text =
+      List.exists (function Tree.Text _ -> true | Tree.Element _ -> false) children
+    in
+    Buffer.add_char buf '>';
+    if has_text then begin
+      List.iter
+        (function
+          | Tree.Text t -> Buffer.add_string buf (Escape.escape_text t)
+          | Tree.Element c -> emit_compact buf c)
+        children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf e.tag;
+      Buffer.add_char buf '>'
+    end
+    else begin
+      List.iter
+        (function
+          | Tree.Text _ -> ()
+          | Tree.Element c ->
+            Buffer.add_char buf '\n';
+            emit_pretty buf (indent + 2) c)
+        children;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf e.tag;
+      Buffer.add_char buf '>'
+    end
+
+let element_to_string ?(pretty = false) e =
+  let buf = Buffer.create 256 in
+  if pretty then emit_pretty buf 0 e else emit_compact buf e;
+  Buffer.contents buf
+
+let document_to_string ?(pretty = false) (d : Tree.document) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "<?xml version=\"%s\" encoding=\"%s\"?>" d.version d.encoding);
+  Buffer.add_char buf '\n';
+  (match d.doctype with
+   | Some name -> Buffer.add_string buf (Printf.sprintf "<!DOCTYPE %s>\n" name)
+   | None -> ());
+  if pretty then emit_pretty buf 0 d.root else emit_compact buf d.root;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let to_channel ?pretty oc d = output_string oc (document_to_string ?pretty d)
+
+let to_file ?pretty path d =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel ?pretty oc d)

@@ -1,0 +1,14 @@
+(** XML serialisation.
+
+    Two modes: [compact] emits no insignificant whitespace (safe for
+    byte-level round-tripping through {!Parser}); [pretty] indents nested
+    elements for human consumption, as the XomatiQ result pane does. *)
+
+val element_to_string : ?pretty:bool -> Tree.element -> string
+
+val document_to_string : ?pretty:bool -> Tree.document -> string
+(** Includes the XML declaration. *)
+
+val to_channel : ?pretty:bool -> out_channel -> Tree.document -> unit
+
+val to_file : ?pretty:bool -> string -> Tree.document -> unit

@@ -1,0 +1,134 @@
+type attribute = { attr_name : string; attr_value : string }
+
+type node =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : attribute list;
+  children : node list;
+}
+
+type document = {
+  version : string;
+  encoding : string;
+  doctype : string option;
+  root : element;
+}
+
+let element ?(attrs = []) tag children =
+  let attrs = List.map (fun (n, v) -> { attr_name = n; attr_value = v }) attrs in
+  { tag; attrs; children }
+
+let text s = Text s
+
+let document ?(version = "1.0") ?(encoding = "UTF-8") ?doctype root =
+  { version; encoding; doctype; root }
+
+let attr e name =
+  let rec find = function
+    | [] -> None
+    | a :: rest -> if String.equal a.attr_name name then Some a.attr_value else find rest
+  in
+  find e.attrs
+
+let attr_exn e name =
+  match attr e name with
+  | Some v -> v
+  | None -> raise Not_found
+
+let children_named e name =
+  List.filter_map
+    (function Element c when String.equal c.tag name -> Some c | Element _ | Text _ -> None)
+    e.children
+
+let child_named e name =
+  match children_named e name with
+  | [] -> None
+  | c :: _ -> Some c
+
+let text_content e =
+  let buf = Buffer.create 64 in
+  let rec go n =
+    match n with
+    | Text s -> Buffer.add_string buf s
+    | Element e -> List.iter go e.children
+  in
+  List.iter go e.children;
+  Buffer.contents buf
+
+let descendants e =
+  let rec go acc n =
+    match n with
+    | Text _ -> acc
+    | Element c -> List.fold_left go (c :: acc) c.children
+  in
+  List.rev (List.fold_left go [] e.children)
+
+let count_nodes e =
+  let rec go acc n =
+    match n with
+    | Text _ -> acc + 1
+    | Element c -> List.fold_left go (acc + 1) c.children
+  in
+  go 0 (Element e)
+
+let depth e =
+  let rec go n =
+    match n with
+    | Text _ -> 0
+    | Element c -> 1 + List.fold_left (fun m k -> max m (go k)) 0 c.children
+  in
+  go (Element e)
+
+(* Merge adjacent text nodes, drop whitespace-free empty strings, sort
+   attributes: XML attribute order is not significant, child order is. *)
+let rec normalize e =
+  let attrs =
+    List.sort (fun a b -> String.compare a.attr_name b.attr_name) e.attrs
+  in
+  let rec merge = function
+    | Text a :: Text b :: rest -> merge (Text (a ^ b) :: rest)
+    | Text "" :: rest -> merge rest
+    | Text t :: rest -> Text t :: merge rest
+    | Element c :: rest -> Element (normalize c) :: merge rest
+    | [] -> []
+  in
+  { e with attrs; children = merge e.children }
+
+let equal_attribute a b =
+  String.equal a.attr_name b.attr_name && String.equal a.attr_value b.attr_value
+
+let equal_element a b =
+  let rec eq_elem a b =
+    String.equal a.tag b.tag
+    && List.length a.attrs = List.length b.attrs
+    && List.for_all2 equal_attribute a.attrs b.attrs
+    && List.length a.children = List.length b.children
+    && List.for_all2 eq_node a.children b.children
+  and eq_node a b =
+    match a, b with
+    | Text x, Text y -> String.equal x y
+    | Element x, Element y -> eq_elem x y
+    | Text _, Element _ | Element _, Text _ -> false
+  in
+  eq_elem (normalize a) (normalize b)
+
+let equal_document a b =
+  String.equal a.version b.version
+  && String.equal a.encoding b.encoding
+  && equal_element a.root b.root
+
+let rec pp_element ppf e =
+  let pp_attr ppf a = Fmt.pf ppf " %s=%S" a.attr_name a.attr_value in
+  let pp_node ppf = function
+    | Text s -> Fmt.pf ppf "%S" s
+    | Element c -> pp_element ppf c
+  in
+  Fmt.pf ppf "@[<hv 2><%s%a>%a</%s>@]" e.tag
+    (Fmt.list ~sep:Fmt.nop pp_attr) e.attrs
+    (Fmt.list ~sep:Fmt.sp pp_node) e.children
+    e.tag
+
+let pp_document ppf d = pp_element ppf d.root

@@ -1,0 +1,74 @@
+(** Core XML data model for the gRNA warehousing pipeline.
+
+    Documents are ordered trees of elements, attributes and character data.
+    The model deliberately keeps only what the Data Hounds pipeline needs:
+    no namespaces, no processing instructions (comments and PIs are dropped
+    by the parser), but full preservation of document order, which the
+    XML2Relational shredder must encode as a data value. *)
+
+type attribute = { attr_name : string; attr_value : string }
+
+type node =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : attribute list;
+  children : node list;
+}
+
+type document = {
+  version : string;      (** XML declaration version, default "1.0" *)
+  encoding : string;     (** declaration encoding, default "UTF-8" *)
+  doctype : string option;  (** raw DOCTYPE name if present *)
+  root : element;
+}
+
+val element : ?attrs:(string * string) list -> string -> node list -> element
+(** [element ~attrs tag children] builds an element node. *)
+
+val text : string -> node
+(** [text s] builds a character-data node. *)
+
+val document : ?version:string -> ?encoding:string -> ?doctype:string ->
+  element -> document
+(** Wrap a root element into a document with declaration defaults. *)
+
+val attr : element -> string -> string option
+(** [attr e name] is the value of attribute [name] on [e], if any. *)
+
+val attr_exn : element -> string -> string
+(** Like {!attr} but raises [Not_found]. *)
+
+val children_named : element -> string -> element list
+(** Child elements of [e] with the given tag, in document order. *)
+
+val child_named : element -> string -> element option
+(** First child element with the given tag. *)
+
+val text_content : element -> string
+(** Concatenation of all descendant text nodes, in document order. *)
+
+val descendants : element -> element list
+(** All descendant elements (excluding [e] itself), in document order. *)
+
+val count_nodes : element -> int
+(** Number of element and text nodes in the subtree rooted at [e],
+    including [e]. *)
+
+val depth : element -> int
+(** Height of the subtree rooted at [e] (a leaf element has depth 1). *)
+
+val equal_element : element -> element -> bool
+(** Structural equality, sensitive to order of children and attributes
+    normalised by name. *)
+
+val equal_document : document -> document -> bool
+
+val normalize : element -> element
+(** Merge adjacent text nodes, drop empty text nodes, and sort attributes
+    by name. Used before structural comparison. *)
+
+val pp_element : Format.formatter -> element -> unit
+val pp_document : Format.formatter -> document -> unit

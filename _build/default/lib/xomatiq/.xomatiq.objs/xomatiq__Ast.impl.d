@@ -1,0 +1,1 @@
+lib/xomatiq/ast.ml: Buffer Float Gxml Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/xomatiq/engine.ml: Array Ast Datahounds Eval List Parser Printf Rdb Tagger Xq2sql

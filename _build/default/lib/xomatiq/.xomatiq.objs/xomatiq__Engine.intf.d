@@ -1,0 +1,1 @@
+lib/xomatiq/engine.mli: Ast Datahounds Gxml Xq2sql

@@ -1,0 +1,1 @@
+lib/xomatiq/eval.ml: Ast Datahounds Float Gxml Hashtbl List Option String

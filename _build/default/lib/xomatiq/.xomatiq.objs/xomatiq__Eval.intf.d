@@ -1,0 +1,1 @@
+lib/xomatiq/eval.mli: Ast Datahounds Gxml

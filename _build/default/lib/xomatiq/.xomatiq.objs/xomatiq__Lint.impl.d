@@ -1,0 +1,1 @@
+lib/xomatiq/lint.ml: Ast Datahounds Fmt Gxml Hashtbl List Option Printf String

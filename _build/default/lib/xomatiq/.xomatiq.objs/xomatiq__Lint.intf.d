@@ -1,0 +1,1 @@
+lib/xomatiq/lint.mli: Ast Datahounds Format

@@ -1,0 +1,1 @@
+lib/xomatiq/modes.ml: Ast List

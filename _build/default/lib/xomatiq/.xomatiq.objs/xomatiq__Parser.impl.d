@@ -1,0 +1,1 @@
+lib/xomatiq/parser.ml: Ast Gxml List Printf String

@@ -1,0 +1,1 @@
+lib/xomatiq/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/xomatiq/tagger.ml: Array Buffer Gxml List Printf String

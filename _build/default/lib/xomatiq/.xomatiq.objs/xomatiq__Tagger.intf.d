@@ -1,0 +1,1 @@
+lib/xomatiq/tagger.mli: Gxml

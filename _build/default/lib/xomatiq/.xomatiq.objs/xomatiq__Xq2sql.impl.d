@@ -1,0 +1,1 @@
+lib/xomatiq/xq2sql.ml: Ast Datahounds Float Gxml List Printf Rdb String

@@ -1,0 +1,1 @@
+lib/xomatiq/xq2sql.mli: Ast Rdb

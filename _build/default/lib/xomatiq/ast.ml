@@ -1,0 +1,252 @@
+(* Abstract syntax of the XomatiQ query language: the FLWR subset of the
+   June-2001 XQuery working draft, extended with the keyword-search
+   primitive contains(path, "kw", any) (paper Section 3).
+
+   Values are carried by leaf elements (elements whose content is a single
+   text node), attributes and text nodes; a path addressing a non-leaf
+   element has no value. Comparisons between two paths use string equality
+   for =/!= and numeric comparison for </<=/>/>=; comparisons against a
+   numeric literal are numeric, against a string literal string-typed. *)
+
+type literal =
+  | Lit_string of string
+  | Lit_number of float
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type operand =
+  | Var_path of { var : string; path : Gxml.Path.t }
+      (* $a//enzyme_id ; path = [] denotes the bound node itself *)
+  | Literal of literal
+
+type order_op = Before | After
+(* The order-based operators of the June-2001 XQuery draft, which the
+   paper names as the reason document order is stored as a data value
+   (Section 2.2): [$a//x BEFORE $a//y] holds when some node matched on
+   the left precedes, in document order within the same document, some
+   node matched on the right. *)
+
+type condition =
+  | Compare of operand * cmp * operand
+  | Contains of { var : string; path : Gxml.Path.t; keyword : string }
+      (* contains($a//p, "kw" [, any]) *)
+  | Order of { left : string * Gxml.Path.t; op : order_op; right : string * Gxml.Path.t }
+  | And of condition * condition
+  | Or of condition * condition
+  | Not of condition
+
+type for_binding = {
+  var : string;           (* without the '$' *)
+  collection : string;    (* the document("...") argument *)
+  path : Gxml.Path.t;     (* steps after document(...) selecting bound nodes *)
+}
+
+type let_binding = {
+  let_var : string;
+  let_source : string;    (* the variable the let path starts from *)
+  let_path : Gxml.Path.t;
+}
+
+type return_item = {
+  label : string option;  (* $Accession_Number = ... *)
+  item_var : string;
+  item_path : Gxml.Path.t;
+}
+
+type t = {
+  bindings : for_binding list;
+  lets : let_binding list;
+  where : condition option;
+  return_items : return_item list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Printing (paper-style concrete syntax)                              *)
+(* ------------------------------------------------------------------ *)
+
+let literal_to_string = function
+  | Lit_string s -> Printf.sprintf "%S" s
+  | Lit_number f ->
+    if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f
+
+let cmp_to_string = function
+  | Eq -> "=" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let var_path_to_string var path =
+  if path = [] then "$" ^ var
+  else
+    let p = Gxml.Path.to_string path in
+    (* a relative path printed by Gxml.Path omits the leading separator for
+       a Child first step; variables always join with '/' or '//' *)
+    let sep =
+      match path with
+      | { Gxml.Path.axis = Gxml.Path.Descendant; _ } :: _ -> ""
+      | _ -> "/"
+    in
+    "$" ^ var ^ sep ^ p
+
+let operand_to_string = function
+  | Var_path { var; path } -> var_path_to_string var path
+  | Literal l -> literal_to_string l
+
+let rec condition_to_string = function
+  | Compare (a, op, b) ->
+    Printf.sprintf "%s %s %s" (operand_to_string a) (cmp_to_string op)
+      (operand_to_string b)
+  | Contains { var; path; keyword } ->
+    Printf.sprintf "contains(%s, %S, any)" (var_path_to_string var path) keyword
+  | Order { left = lv, lp; op; right = rv, rp } ->
+    Printf.sprintf "%s %s %s" (var_path_to_string lv lp)
+      (match op with Before -> "BEFORE" | After -> "AFTER")
+      (var_path_to_string rv rp)
+  | And (a, b) -> Printf.sprintf "(%s AND %s)" (condition_to_string a) (condition_to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s OR %s)" (condition_to_string a) (condition_to_string b)
+  | Not c -> Printf.sprintf "(NOT %s)" (condition_to_string c)
+
+let to_string q =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i (b : for_binding) ->
+      Buffer.add_string buf (if i = 0 then "FOR " else ",\n    ");
+      Buffer.add_string buf
+        (Printf.sprintf "$%s IN document(%S)%s" b.var b.collection
+           (if b.path = [] then ""
+            else
+              let sep =
+                match b.path with
+                | { Gxml.Path.axis = Gxml.Path.Descendant; _ } :: _ -> ""
+                | _ -> "/"
+              in
+              sep ^ Gxml.Path.to_string b.path)))
+    q.bindings;
+  List.iter
+    (fun (l : let_binding) ->
+      Buffer.add_string buf
+        (Printf.sprintf "\nLET $%s := %s" l.let_var
+           (var_path_to_string l.let_source l.let_path)))
+    q.lets;
+  (match q.where with
+   | Some c ->
+     Buffer.add_string buf "\nWHERE ";
+     Buffer.add_string buf (condition_to_string c)
+   | None -> ());
+  Buffer.add_string buf "\nRETURN ";
+  List.iteri
+    (fun i (r : return_item) ->
+      if i > 0 then Buffer.add_string buf ",\n       ";
+      (match r.label with
+       | Some l -> Buffer.add_string buf (Printf.sprintf "$%s = " l)
+       | None -> ());
+      Buffer.add_string buf (var_path_to_string r.item_var r.item_path))
+    q.return_items;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Static checks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Invalid_query of string
+
+let invalid fmt = Printf.ksprintf (fun m -> raise (Invalid_query m)) fmt
+
+(* Inline LET bindings: after this, conditions and return items refer only
+   to FOR variables. *)
+let inline_lets (q : t) : t =
+  if q.lets = [] then q
+  else begin
+    let table = Hashtbl.create 8 in
+    List.iter
+      (fun (l : let_binding) ->
+        let source, prefix =
+          match Hashtbl.find_opt table l.let_source with
+          | Some (src, pfx) -> (src, pfx @ l.let_path)
+          | None -> (l.let_source, l.let_path)
+        in
+        if Hashtbl.mem table l.let_var then
+          invalid "variable $%s bound twice" l.let_var;
+        Hashtbl.replace table l.let_var (source, prefix))
+      q.lets;
+    let subst_vp var path =
+      match Hashtbl.find_opt table var with
+      | Some (src, pfx) -> (src, pfx @ path)
+      | None -> (var, path)
+    in
+    let subst_operand = function
+      | Var_path { var; path } ->
+        let var, path = subst_vp var path in
+        Var_path { var; path }
+      | Literal _ as l -> l
+    in
+    let rec subst_cond = function
+      | Compare (a, op, b) -> Compare (subst_operand a, op, subst_operand b)
+      | Contains { var; path; keyword } ->
+        let var, path = subst_vp var path in
+        Contains { var; path; keyword }
+      | Order { left = lv, lp; op; right = rv, rp } ->
+        let lv, lp = subst_vp lv lp in
+        let rv, rp = subst_vp rv rp in
+        Order { left = (lv, lp); op; right = (rv, rp) }
+      | And (a, b) -> And (subst_cond a, subst_cond b)
+      | Or (a, b) -> Or (subst_cond a, subst_cond b)
+      | Not c -> Not (subst_cond c)
+    in
+    { bindings = q.bindings;
+      lets = [];
+      where = Option.map subst_cond q.where;
+      return_items =
+        List.map
+          (fun (r : return_item) ->
+            let var, path = subst_vp r.item_var r.item_path in
+            { r with item_var = var; item_path = path })
+          q.return_items }
+  end
+
+let check (q : t) : t =
+  if q.bindings = [] then invalid "query has no FOR binding";
+  if q.return_items = [] then invalid "query has no RETURN items";
+  let q = inline_lets q in
+  let vars = List.map (fun (b : for_binding) -> b.var) q.bindings in
+  let rec dup = function
+    | a :: rest -> if List.mem a rest then Some a else dup rest
+    | [] -> None
+  in
+  (match dup vars with
+   | Some v -> invalid "variable $%s bound twice" v
+   | None -> ());
+  let check_var v =
+    if not (List.mem v vars) then invalid "unbound variable $%s" v
+  in
+  let check_operand = function
+    | Var_path { var; _ } -> check_var var
+    | Literal _ -> ()
+  in
+  let rec check_cond = function
+    | Compare (a, _, b) ->
+      check_operand a;
+      check_operand b;
+      (match a, b with
+       | Literal _, Literal _ -> invalid "comparison between two literals"
+       | _ -> ())
+    | Contains { var; keyword; _ } ->
+      check_var var;
+      if String.trim keyword = "" then invalid "empty keyword in contains()"
+    | Order { left = lv, lp; right = rv, rp; _ } ->
+      check_var lv;
+      check_var rv;
+      let element_path p =
+        match List.rev p with
+        | { Gxml.Path.test = Gxml.Path.Attribute _; _ } :: _
+        | { Gxml.Path.test = Gxml.Path.Text_test; _ } :: _ ->
+          invalid "BEFORE/AFTER operands must address elements"
+        | _ -> ()
+      in
+      element_path lp;
+      element_path rp
+    | And (a, b) | Or (a, b) ->
+      check_cond a;
+      check_cond b
+    | Not c -> check_cond c
+  in
+  Option.iter check_cond q.where;
+  List.iter (fun (r : return_item) -> check_var r.item_var) q.return_items;
+  q

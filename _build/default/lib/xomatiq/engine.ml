@@ -1,0 +1,109 @@
+type result = {
+  labels : string list;
+  rows : string list list;
+  sql : string;
+}
+
+type mode =
+  [ `Relational
+  | `Reference
+  ]
+
+exception Query_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Query_error m)) fmt
+
+let run_relational ?contains_strategy wh (q : Ast.t) =
+  let db = Datahounds.Warehouse.db wh in
+  let t =
+    try Xq2sql.translate ?contains_strategy db q with
+    | Xq2sql.Unsupported m -> error "unsupported query: %s" m
+    | Ast.Invalid_query m -> error "invalid query: %s" m
+  in
+  if t.statically_empty then { labels = t.labels; rows = []; sql = t.sql }
+  else
+    match Rdb.Database.query db t.sql with
+    | Error m -> error "SQL execution failed: %s\n%s" m t.sql
+    | Ok (_, rows) ->
+      let string_rows =
+        List.map
+          (fun row -> Array.to_list (Array.map Rdb.Value.to_string row))
+          rows
+      in
+      { labels = t.labels;
+        rows = List.sort_uniq compare string_rows;
+        sql = t.sql }
+
+let run_reference wh (q : Ast.t) =
+  let provider = Eval.of_warehouse wh in
+  let rows =
+    try Eval.eval provider q with
+    | Eval.Unknown_collection c -> error "unknown collection %S" c
+    | Ast.Invalid_query m -> error "invalid query: %s" m
+  in
+  let labels = List.mapi Xq2sql.default_label q.Ast.return_items in
+  { labels; rows; sql = "(reference evaluation)" }
+
+let run ?(mode = `Relational) ?contains_strategy wh q =
+  match mode with
+  | `Relational -> run_relational ?contains_strategy wh q
+  | `Reference -> run_reference wh q
+
+let run_text ?mode ?contains_strategy wh text =
+  match Parser.parse text with
+  | q -> run ?mode ?contains_strategy wh q
+  | exception (Parser.Parse_error _ as e) -> error "%s" (Parser.error_to_string e)
+  | exception Ast.Invalid_query m -> error "invalid query: %s" m
+
+(* ---------------- prepared queries ---------------- *)
+
+type prepared = {
+  prep_wh : Datahounds.Warehouse.t;
+  prep_labels : string list;
+  prep_sql : string;
+  prep_plan : Rdb.Planner.planned option;  (* None when statically empty *)
+}
+
+let prepare ?contains_strategy wh (q : Ast.t) =
+  let db = Datahounds.Warehouse.db wh in
+  let t =
+    try Xq2sql.translate ?contains_strategy db q with
+    | Xq2sql.Unsupported m -> error "unsupported query: %s" m
+    | Ast.Invalid_query m -> error "invalid query: %s" m
+  in
+  let prep_plan =
+    if t.statically_empty then None
+    else
+      match Rdb.Sql_parser.parse t.sql with
+      | Rdb.Sql_ast.Select_stmt sel ->
+        (try Some (Rdb.Database.plan_select db sel)
+         with Rdb.Planner.Plan_error m -> error "planning failed: %s" m)
+      | _ -> error "internal: translation did not produce a SELECT"
+      | exception e -> error "internal: %s" (Rdb.Sql_parser.error_to_string e)
+  in
+  { prep_wh = wh; prep_labels = t.labels; prep_sql = t.sql; prep_plan }
+
+let run_prepared p =
+  match p.prep_plan with
+  | None -> { labels = p.prep_labels; rows = []; sql = p.prep_sql }
+  | Some planned ->
+    let _, rows = Rdb.Database.run_planned (Datahounds.Warehouse.db p.prep_wh) planned in
+    let string_rows =
+      List.map (fun row -> Array.to_list (Array.map Rdb.Value.to_string row)) rows
+    in
+    { labels = p.prep_labels;
+      rows = List.sort_uniq compare string_rows;
+      sql = p.prep_sql }
+
+let explain wh q =
+  let db = Datahounds.Warehouse.db wh in
+  match Xq2sql.translate db q with
+  | t ->
+    (match Rdb.Database.explain db t.sql with
+     | Ok plan -> Printf.sprintf "SQL:\n%s\n\nPlan:\n%s" t.sql plan
+     | Error m -> error "planning failed: %s\n%s" m t.sql)
+  | exception Xq2sql.Unsupported m -> error "unsupported query: %s" m
+
+let result_to_xml r = Tagger.to_xml ~labels:r.labels r.rows
+
+let result_to_table r = Tagger.to_table ~labels:r.labels r.rows

@@ -1,0 +1,59 @@
+(** The XomatiQ query engine: the end-to-end path of Section 3 — parse a
+    FLWR query, rewrite it to SQL over the generic schema (XQ2SQL),
+    evaluate on the relational engine, and return the rows either as a
+    table or re-tagged into XML (Relation2XML).
+
+    Rows are distinct and sorted, so results are directly comparable with
+    the reference evaluator ({!Eval}), which is also exposed here as the
+    [`Reference] execution mode for differential testing and baselines. *)
+
+type result = {
+  labels : string list;
+  rows : string list list;  (** distinct, sorted *)
+  sql : string;             (** the SQL the query was rewritten to *)
+}
+
+type mode =
+  [ `Relational   (** XQ2SQL + relational engine (the XomatiQ way) *)
+  | `Reference    (** in-memory evaluation over reconstructed documents *)
+  ]
+
+exception Query_error of string
+
+val run :
+  ?mode:mode -> ?contains_strategy:Xq2sql.contains_strategy ->
+  Datahounds.Warehouse.t -> Ast.t -> result
+(** @raise Query_error wrapping parse/translation/execution failures.
+    [contains_strategy] selects how contains() is rewritten (relational
+    mode only); the default probes the inverted keyword index. *)
+
+val run_text :
+  ?mode:mode -> ?contains_strategy:Xq2sql.contains_strategy ->
+  Datahounds.Warehouse.t -> string -> result
+(** Parse the textual form first. *)
+
+(** {2 Prepared queries}
+
+    The XQ2SQL rewrite (path-id resolution against [xml_path]), SQL
+    parsing and physical planning all happen once at prepare time; each
+    {!run_prepared} only executes the plan. The GUI prepares a query when
+    the user clicks "Translate Query" and re-executes it as they browse.
+
+    A prepared plan embeds resolved [path_id]s and index choices: prepare
+    again after loading documents with new element paths or changing the
+    index set. *)
+
+type prepared
+
+val prepare :
+  ?contains_strategy:Xq2sql.contains_strategy ->
+  Datahounds.Warehouse.t -> Ast.t -> prepared
+
+val run_prepared : prepared -> result
+
+val explain : Datahounds.Warehouse.t -> Ast.t -> string
+(** The SQL text and the physical plan chosen by the relational
+    optimizer. *)
+
+val result_to_xml : result -> Gxml.Tree.document
+val result_to_table : result -> string

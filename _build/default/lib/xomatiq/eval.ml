@@ -1,0 +1,271 @@
+type source_view = {
+  view_docs : (string * Gxml.Tree.element) list;
+  view_sequence_elements : string list;
+}
+
+type provider = string -> source_view
+
+let of_warehouse wh : provider =
+  let cache = Hashtbl.create 8 in
+  fun collection ->
+    match Hashtbl.find_opt cache collection with
+    | Some v -> v
+    | None ->
+      let names = Datahounds.Warehouse.documents wh ~collection in
+      if names = [] && not (List.mem collection (Datahounds.Warehouse.collections wh))
+      then raise Not_found;
+      let view_docs =
+        List.map
+          (fun name ->
+            match Datahounds.Warehouse.get_document wh ~collection ~name with
+            | Some doc -> (name, doc.Gxml.Tree.root)
+            | None -> failwith ("document vanished: " ^ name))
+          names
+      in
+      let view =
+        { view_docs;
+          view_sequence_elements =
+            Datahounds.Warehouse.sequence_elements_of wh ~collection }
+      in
+      Hashtbl.replace cache collection view;
+      view
+
+let of_documents assoc : provider =
+  fun collection ->
+    match List.assoc_opt collection assoc with
+    | Some docs ->
+      { view_docs = List.sort (fun (a, _) (b, _) -> String.compare a b) docs;
+        view_sequence_elements = [] }
+    | None -> raise Not_found
+
+let node_value (e : Gxml.Tree.element) =
+  match e.children with
+  | [ Gxml.Tree.Text t ] -> Some t
+  | _ -> None
+
+let item_value : Gxml.Path.item -> string option = function
+  | Gxml.Path.Node e -> node_value e
+  | Gxml.Path.Attr_value s -> Some s
+  | Gxml.Path.Text_value s -> Some s
+
+(* keywords exactly as the shredder emits them: every value-carrying node
+   (inline element, attribute, standalone text) contributes its tokens,
+   except inside sequence-flagged subtrees *)
+let subtree_keywords ~sequence_elements (root : Gxml.Tree.element) =
+  let out = ref [] in
+  let add s = out := Datahounds.Shred.tokenize s @ !out in
+  let rec walk (e : Gxml.Tree.element) =
+    if List.mem e.tag sequence_elements then ()
+    else begin
+      List.iter (fun (a : Gxml.Tree.attribute) -> add a.attr_value) e.attrs;
+      match e.children with
+      | [ Gxml.Tree.Text t ] -> add t
+      | children ->
+        List.iter
+          (function
+            | Gxml.Tree.Text t -> add t
+            | Gxml.Tree.Element c -> walk c)
+          children
+    end
+  in
+  walk root;
+  List.sort_uniq String.compare !out
+
+(* The binding path is evaluated against a synthetic super-root so that
+   the first Child step can select the document root element itself. *)
+let super_root (root : Gxml.Tree.element) : Gxml.Tree.element =
+  { Gxml.Tree.tag = "#document"; attrs = []; children = [ Gxml.Tree.Element root ] }
+
+let numeric s =
+  match float_of_string_opt (String.trim s) with
+  | Some f when Float.is_finite f -> Some f
+  | _ -> None
+
+let cmp_holds op c =
+  match op with
+  | Ast.Eq -> c = 0
+  | Ast.Neq -> c <> 0
+  | Ast.Lt -> c < 0
+  | Ast.Le -> c <= 0
+  | Ast.Gt -> c > 0
+  | Ast.Ge -> c >= 0
+
+exception Unknown_collection of string
+
+let eval (provider : provider) (q : Ast.t) : string list list =
+  let q = Ast.check q in
+  (* bind each FOR variable to its candidate nodes with their sequence
+     element sets (needed by contains) *)
+  (* each candidate keeps its document root so order-based operators can
+     establish same-document preorder positions *)
+  let candidates =
+    List.map
+      (fun (b : Ast.for_binding) ->
+        let view =
+          try provider b.collection
+          with Not_found -> raise (Unknown_collection b.collection)
+        in
+        let nodes =
+          List.concat_map
+            (fun (_, root) ->
+              if b.path = [] then [ (root, root) ]  (* bare document("...") *)
+              else
+                List.filter_map
+                  (function
+                    | Gxml.Path.Node e -> Some (root, e)
+                    | Gxml.Path.Attr_value _ | Gxml.Path.Text_value _ -> None)
+                  (Gxml.Path.eval (super_root root) b.path))
+            view.view_docs
+        in
+        (b.var, nodes, view.view_sequence_elements))
+      q.bindings
+  in
+  let seq_elems_of var =
+    let rec find = function
+      | [] -> []
+      | (v, _, se) :: rest -> if v = var then se else find rest
+    in
+    find candidates
+  in
+  let values_of env var path =
+    let _, node = List.assoc var env in
+    if path = [] then Option.to_list (node_value node)
+    else List.filter_map item_value (Gxml.Path.eval node path)
+  in
+  let nodes_of env var path =
+    let _, node = List.assoc var env in
+    if path = [] then [ Gxml.Path.Node node ]
+    else Gxml.Path.eval node path
+  in
+  (* preorder rank of a subtree node within its document root, located by
+     physical identity (the provider shares nodes across bindings) *)
+  let position_in (root : Gxml.Tree.element) (target : Gxml.Tree.element) =
+    let counter = ref 0 and found = ref None in
+    let rec walk (e : Gxml.Tree.element) =
+      if !found = None then begin
+        incr counter;
+        if e == target then found := Some !counter
+        else
+          List.iter
+            (function Gxml.Tree.Element c -> walk c | Gxml.Tree.Text _ -> ())
+            e.children
+      end
+    in
+    walk root;
+    !found
+  in
+  let element_nodes env var path =
+    let root, node = List.assoc var env in
+    let items = if path = [] then [ Gxml.Path.Node node ] else Gxml.Path.eval node path in
+    ( root,
+      List.filter_map
+        (function
+          | Gxml.Path.Node e -> Some e
+          | Gxml.Path.Attr_value _ | Gxml.Path.Text_value _ -> None)
+        items )
+  in
+  let rec holds env = function
+    | Ast.And (a, b) -> holds env a && holds env b
+    | Ast.Or (a, b) -> holds env a || holds env b
+    | Ast.Not c -> not (holds env c)
+    | Ast.Order { left = lv, lp; op; right = rv, rp } ->
+      let lroot, lnodes = element_nodes env lv lp in
+      let rroot, rnodes = element_nodes env rv rp in
+      (* only meaningful within the same document *)
+      lroot == rroot
+      && List.exists
+           (fun n1 ->
+             match position_in lroot n1 with
+             | None -> false
+             | Some p1 ->
+               List.exists
+                 (fun n2 ->
+                   match position_in rroot n2 with
+                   | None -> false
+                   | Some p2 ->
+                     (match op with Ast.Before -> p1 < p2 | Ast.After -> p1 > p2))
+                 rnodes)
+           lnodes
+    | Ast.Contains { var; path; keyword } ->
+      let tokens = Datahounds.Shred.tokenize keyword in
+      let seq_elements = seq_elems_of var in
+      tokens <> []
+      && List.exists
+           (fun item ->
+             let kws =
+               match item with
+               | Gxml.Path.Node e -> subtree_keywords ~sequence_elements:seq_elements e
+               | Gxml.Path.Attr_value s | Gxml.Path.Text_value s ->
+                 Datahounds.Shred.tokenize s
+             in
+             List.for_all (fun t -> List.mem t kws) tokens)
+           (nodes_of env var path)
+    | Ast.Compare (a, op, b) ->
+      (match a, b with
+       | Ast.Literal _, Ast.Literal _ -> false (* rejected by check *)
+       | Ast.Var_path { var; path }, Ast.Literal lit
+       | Ast.Literal lit, Ast.Var_path { var; path } ->
+         let flip = match a with Ast.Literal _ -> true | _ -> false in
+         let op =
+           if not flip then op
+           else
+             match op with
+             | Ast.Eq -> Ast.Eq | Ast.Neq -> Ast.Neq
+             | Ast.Lt -> Ast.Gt | Ast.Le -> Ast.Ge
+             | Ast.Gt -> Ast.Lt | Ast.Ge -> Ast.Le
+         in
+         let values = values_of env var path in
+         (match lit with
+          | Ast.Lit_number n ->
+            List.exists
+              (fun v ->
+                match numeric v with
+                | Some f -> cmp_holds op (Float.compare f n)
+                | None -> false)
+              values
+          | Ast.Lit_string s ->
+            List.exists (fun v -> cmp_holds op (String.compare v s)) values)
+       | Ast.Var_path vp1, Ast.Var_path vp2 ->
+         let v1 = values_of env vp1.var vp1.path in
+         let v2 = values_of env vp2.var vp2.path in
+         (match op with
+          | Ast.Eq | Ast.Neq ->
+            List.exists
+              (fun x -> List.exists (fun y -> cmp_holds op (String.compare x y)) v2)
+              v1
+          | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+            List.exists
+              (fun x ->
+                match numeric x with
+                | None -> false
+                | Some fx ->
+                  List.exists
+                    (fun y ->
+                      match numeric y with
+                      | None -> false
+                      | Some fy -> cmp_holds op (Float.compare fx fy))
+                    v2)
+              v1))
+  in
+  let results = ref [] in
+  let rec combos env = function
+    | [] ->
+      let ok = match q.where with Some c -> holds env c | None -> true in
+      if ok then begin
+        (* cartesian product of return item values *)
+        let item_values =
+          List.map
+            (fun (r : Ast.return_item) -> values_of env r.item_var r.item_path)
+            q.return_items
+        in
+        let rec product acc = function
+          | [] -> results := List.rev acc :: !results
+          | vs :: rest -> List.iter (fun v -> product (v :: acc) rest) vs
+        in
+        if List.for_all (fun vs -> vs <> []) item_values then product [] item_values
+      end
+    | (var, nodes, _) :: rest ->
+      List.iter (fun rooted_node -> combos ((var, rooted_node) :: env) rest) nodes
+  in
+  combos [] candidates;
+  List.sort_uniq compare !results

@@ -1,0 +1,39 @@
+(** Reference in-memory evaluator for XomatiQ queries.
+
+    Evaluates directly over XML trees, independent of the relational
+    engine. It serves two purposes: differential testing of the XQ2SQL
+    translation (both evaluations must agree on every query of the
+    supported subset) and the "native XML processor" baseline of the
+    benchmark suite — the system the paper argues a relational backend
+    outperforms at scale (Section 2.2). *)
+
+type source_view = {
+  view_docs : (string * Gxml.Tree.element) list;  (** (name, root), sorted by name *)
+  view_sequence_elements : string list;
+}
+
+type provider = string -> source_view
+(** Maps a collection name to its documents.
+    @raise Not_found for an unknown collection. *)
+
+exception Unknown_collection of string
+(** Raised by {!eval} when a FOR binding names a collection the provider
+    does not know. *)
+
+val of_warehouse : Datahounds.Warehouse.t -> provider
+(** Reconstructs (and caches) every document of the requested collection. *)
+
+val of_documents :
+  (string * (string * Gxml.Tree.element) list) list -> provider
+(** In-memory provider from (collection, docs) pairs; no sequence
+    elements. *)
+
+val eval : provider -> Ast.t -> string list list
+(** Result rows (one string per RETURN item), distinct, sorted. *)
+
+val node_value : Gxml.Tree.element -> string option
+(** The value carried by a leaf element (single-text-child content). *)
+
+val subtree_keywords :
+  sequence_elements:string list -> Gxml.Tree.element -> string list
+(** All index keywords of a subtree (mirrors the shredder exactly). *)

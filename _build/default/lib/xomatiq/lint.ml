@@ -1,0 +1,204 @@
+type warning = {
+  about_var : string;
+  path_text : string;
+  reason : string;
+}
+
+let pp_warning ppf w =
+  let sep =
+    if w.path_text = "" || w.path_text.[0] = '/' then "" else "/"
+  in
+  Fmt.pf ppf "$%s%s%s: %s" w.about_var sep w.path_text w.reason
+
+(* ------------------------------------------------------------------ *)
+(* DTD structure graph                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* child element names an element's content model allows *)
+let rec particle_elements = function
+  | Gxml.Dtd.Elem n -> [ n ]
+  | Gxml.Dtd.Seq ps | Gxml.Dtd.Choice ps -> List.concat_map particle_elements ps
+  | Gxml.Dtd.Opt p | Gxml.Dtd.Star p | Gxml.Dtd.Plus p -> particle_elements p
+
+let children_of dtd name =
+  match Gxml.Dtd.element_model dtd name with
+  | Some (Gxml.Dtd.Children p) -> particle_elements p
+  | Some (Gxml.Dtd.Mixed names) -> names
+  | Some Gxml.Dtd.Any_content ->
+    (* ANY allows every declared element *)
+    List.map fst dtd.Gxml.Dtd.elements
+  | Some Gxml.Dtd.Pcdata | Some Gxml.Dtd.Empty_content | None -> []
+
+let has_text dtd name =
+  match Gxml.Dtd.element_model dtd name with
+  | Some Gxml.Dtd.Pcdata | Some (Gxml.Dtd.Mixed _) | Some Gxml.Dtd.Any_content -> true
+  | _ -> false
+
+let has_attr dtd name attr =
+  List.exists
+    (fun (a : Gxml.Dtd.attr_decl) -> a.attr_name = attr)
+    (Gxml.Dtd.element_attrs dtd name)
+
+let descendants_of dtd names =
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    List.iter
+      (fun c ->
+        if not (Hashtbl.mem seen c) then begin
+          Hashtbl.add seen c ();
+          go c
+        end)
+      (children_of dtd n)
+  in
+  List.iter go names;
+  Hashtbl.fold (fun n () acc -> n :: acc) seen []
+
+(* The element sets reachable by a structural path from a set of context
+   element names. Attribute and text() steps terminate a path: they
+   return [] element continuations but record whether they can match. *)
+type step_result =
+  | Elements of string list   (* may be empty: dead end *)
+  | Terminal of bool          (* attribute/text step: can it match? *)
+
+let apply_step dtd (contexts : string list) (step : Gxml.Path.step) : step_result =
+  let candidates =
+    match step.axis with
+    | Gxml.Path.Child -> List.concat_map (children_of dtd) contexts
+    | Gxml.Path.Descendant -> descendants_of dtd contexts
+  in
+  let candidates = List.sort_uniq String.compare candidates in
+  match step.test with
+  | Gxml.Path.Name n -> Elements (List.filter (String.equal n) candidates)
+  | Gxml.Path.Any_element -> Elements candidates
+  | Gxml.Path.Attribute a ->
+    (* a terminal "@a" names an attribute of the context element itself;
+       "//@a" names attributes of descendants *)
+    let owners =
+      match step.axis with
+      | Gxml.Path.Child -> contexts
+      | Gxml.Path.Descendant -> candidates
+    in
+    Terminal (List.exists (fun c -> has_attr dtd c a) owners)
+  | Gxml.Path.Text_test ->
+    (match step.axis with
+     | Gxml.Path.Child -> Terminal (List.exists (has_text dtd) contexts)
+     | Gxml.Path.Descendant -> Terminal (candidates <> [] || contexts <> []))
+
+(* Can [path] match starting from [contexts]? Also checks final-step
+   predicate paths. *)
+let rec path_possible dtd contexts (path : Gxml.Path.t) : bool =
+  match path with
+  | [] -> contexts <> []
+  | [ last ] ->
+    (match apply_step dtd contexts { last with predicates = [] } with
+     | Terminal ok -> ok (* value predicates cannot be checked statically *)
+     | Elements [] -> false
+     | Elements es ->
+       List.for_all
+         (fun (pred : Gxml.Path.predicate) ->
+           match pred with
+           | Gxml.Path.Compare (p, _, _) | Gxml.Path.Contains (p, _)
+           | Gxml.Path.Exists p ->
+             p = [] || path_possible dtd es p
+           | Gxml.Path.Position _ -> true)
+         last.predicates)
+  | step :: rest ->
+    (match apply_step dtd contexts { step with predicates = [] } with
+     | Terminal _ -> false (* attribute/text mid-path can never continue *)
+     | Elements [] -> false
+     | Elements es -> path_possible dtd es rest)
+
+(* ------------------------------------------------------------------ *)
+(* Query checking                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* the element names a binding's nodes can have, per its DTD; None when
+   the collection has no DTD to check against *)
+let binding_contexts wh (b : Ast.for_binding) : string list option =
+  match Datahounds.Warehouse.dtd_of wh ~collection:b.collection with
+  | None -> None
+  | Some dtd ->
+    let root = match dtd.Gxml.Dtd.root_name with Some r -> [ r ] | None -> [] in
+    let rec walk contexts = function
+      | [] -> Some contexts
+      | (step : Gxml.Path.step) :: rest ->
+        (match apply_step dtd contexts { step with predicates = [] } with
+         | Terminal _ -> Some [] (* a binding must select elements *)
+         | Elements [] -> Some []
+         | Elements es -> walk es rest)
+    in
+    (match b.path with
+     | [] -> Some root
+     | first :: rest ->
+       (* the first step can select the document root itself: /name names
+          the root; //name names the root or any of its descendants *)
+       let candidates =
+         match first.axis with
+         | Gxml.Path.Child -> root
+         | Gxml.Path.Descendant -> root @ descendants_of dtd root
+       in
+       let selected =
+         match first.test with
+         | Gxml.Path.Name n -> List.filter (String.equal n) candidates
+         | Gxml.Path.Any_element -> candidates
+         | Gxml.Path.Attribute _ | Gxml.Path.Text_test -> []
+       in
+       if selected = [] then Some [] else walk selected rest)
+
+let check wh (q : Ast.t) : warning list =
+  let q = Ast.check q in
+  let warnings = ref [] in
+  let warn about_var path reason =
+    warnings :=
+      { about_var; path_text = Gxml.Path.to_string path; reason } :: !warnings
+  in
+  (* map each var to its possible element names (None = unknown, skip) *)
+  let contexts =
+    List.map
+      (fun (b : Ast.for_binding) ->
+        let ctx = binding_contexts wh b in
+        (match ctx with
+         | Some [] ->
+           warn b.var b.path
+             (Printf.sprintf "binding path matches no element of the %S DTD"
+                b.collection)
+         | _ -> ());
+        (b.var, ctx))
+      q.bindings
+  in
+  let check_path var path =
+    match List.assoc_opt var contexts with
+    | Some (Some (_ :: _ as ctx)) ->
+      (match Datahounds.Warehouse.dtd_of wh
+               ~collection:
+                 (List.find (fun (b : Ast.for_binding) -> b.var = var) q.bindings)
+                   .collection
+       with
+       | Some dtd ->
+         if path <> [] && not (path_possible dtd ctx path) then
+           warn var path "path cannot match any document of this collection's DTD"
+       | None -> ())
+    | _ -> ()
+  in
+  let check_operand = function
+    | Ast.Var_path { var; path } -> check_path var path
+    | Ast.Literal _ -> ()
+  in
+  let rec check_cond = function
+    | Ast.Compare (a, _, b) ->
+      check_operand a;
+      check_operand b
+    | Ast.Contains { var; path; _ } -> check_path var path
+    | Ast.Order { left = lv, lp; right = rv, rp; _ } ->
+      check_path lv lp;
+      check_path rv rp
+    | Ast.And (a, b) | Ast.Or (a, b) ->
+      check_cond a;
+      check_cond b
+    | Ast.Not c -> check_cond c
+  in
+  Option.iter check_cond q.where;
+  List.iter
+    (fun (r : Ast.return_item) -> check_path r.item_var r.item_path)
+    q.return_items;
+  List.rev !warnings

@@ -1,0 +1,25 @@
+(** Static validation of queries against collection DTDs.
+
+    The visual interface formulates queries by clicking elements of the
+    displayed DTD (paper Section 3.1), which makes unmatchable paths
+    impossible. Textual queries have no such guarantee; this linter
+    restores it by checking every path of a query against the structure
+    the registered DTDs allow. A query that uses a path no document of
+    the collection can ever contain is almost certainly a typo — it would
+    silently return nothing. *)
+
+type warning = {
+  about_var : string;          (** the FLWR variable the path hangs off *)
+  path_text : string;          (** the offending path, printed *)
+  reason : string;
+}
+
+val check : Datahounds.Warehouse.t -> Ast.t -> warning list
+(** Warnings for: binding collections without documents or DTD are
+    skipped silently (nothing to check against); binding paths that
+    cannot reach any DTD element; WHERE/RETURN paths (including attribute
+    steps and final-step predicate paths) that cannot match under their
+    binding's elements. An empty list means every path is structurally
+    possible. *)
+
+val pp_warning : Format.formatter -> warning -> unit

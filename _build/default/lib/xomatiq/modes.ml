@@ -1,0 +1,65 @@
+let var_names = [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" ]
+
+let keyword_search ~collections ~keyword ~return_paths =
+  let bindings =
+    List.mapi
+      (fun i (collection, path) ->
+        { Ast.var = List.nth var_names (i mod List.length var_names) ^ string_of_int i;
+          collection; path })
+      collections
+  in
+  let where =
+    List.fold_left
+      (fun acc (b : Ast.for_binding) ->
+        let c = Ast.Contains { var = b.var; path = []; keyword } in
+        match acc with None -> Some c | Some prev -> Some (Ast.And (prev, c)))
+      None bindings
+  in
+  let return_items =
+    List.concat_map
+      (fun (collection, paths) ->
+        match
+          List.find_opt (fun (b : Ast.for_binding) -> b.collection = collection)
+            bindings
+        with
+        | None -> raise (Ast.Invalid_query ("no binding for collection " ^ collection))
+        | Some b ->
+          List.map
+            (fun p -> { Ast.label = None; item_var = b.var; item_path = p })
+            paths)
+      return_paths
+  in
+  Ast.check { bindings; lets = []; where; return_items }
+
+let subtree_search ~collection ~binding_path ~subtree ~keyword ~return_paths =
+  let bindings = [ { Ast.var = "a"; collection; path = binding_path } ] in
+  let where = Some (Ast.Contains { var = "a"; path = subtree; keyword }) in
+  let return_items =
+    List.map (fun p -> { Ast.label = None; item_var = "a"; item_path = p }) return_paths
+  in
+  Ast.check { bindings; lets = []; where; return_items }
+
+let join_query ~left ~right ~on ~return_items =
+  let left_collection, left_path = left in
+  let right_collection, right_path = right in
+  let bindings =
+    [ { Ast.var = "a"; collection = left_collection; path = left_path };
+      { Ast.var = "b"; collection = right_collection; path = right_path } ]
+  in
+  let on_left, on_right = on in
+  let where =
+    Some
+      (Ast.Compare
+         ( Ast.Var_path { var = "a"; path = on_left },
+           Ast.Eq,
+           Ast.Var_path { var = "b"; path = on_right } ))
+  in
+  let return_items =
+    List.map
+      (fun (label, side, path) ->
+        { Ast.label;
+          item_var = (match side with `Left -> "a" | `Right -> "b");
+          item_path = path })
+      return_items
+  in
+  Ast.check { bindings; lets = []; where; return_items }

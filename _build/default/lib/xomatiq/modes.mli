@@ -1,0 +1,34 @@
+(** The three visual query-formulation modes of the XomatiQ GUI
+    (paper Section 3.1), as programmatic builders. The GUI lets a biologist
+    click DTD elements and enter conditions; these functions produce the
+    same FLWR queries those clicks generate.
+
+    Each builder returns the {!Ast.t} the "Translate Query" button would
+    display; feed it to {!Engine.run}. *)
+
+val keyword_search :
+  collections:(string * Gxml.Path.t) list -> keyword:string ->
+  return_paths:(string * Gxml.Path.t list) list -> Ast.t
+(** Keyword-based search mode: find the keyword anywhere in documents of
+    each collection, binding one variable per collection (as in Fig. 8,
+    where "cdc6" is searched through EMBL and Swiss-Prot and accession
+    numbers are returned). [collections] pairs a collection name with the
+    binding path (usually the root element); [return_paths] maps each
+    collection (by name) to the paths to return. *)
+
+val subtree_search :
+  collection:string -> binding_path:Gxml.Path.t ->
+  subtree:Gxml.Path.t -> keyword:string ->
+  return_paths:Gxml.Path.t list -> Ast.t
+(** Sub-tree search mode: restrict the keyword search to a selected
+    sub-tree (Fig. 9: "ketone" within [catalytic_activity] of E NZYME
+    entries, returning id and description). *)
+
+val join_query :
+  left:string * Gxml.Path.t ->
+  right:string * Gxml.Path.t ->
+  on:Gxml.Path.t * Gxml.Path.t ->
+  return_items:(string option * [ `Left | `Right ] * Gxml.Path.t) list ->
+  Ast.t
+(** Join query mode: correlate two collections on equality of two paths
+    (Fig. 11: EMBL qualifier EC numbers joined with E NZYME ids). *)

@@ -1,0 +1,291 @@
+exception Parse_error of { offset : int; message : string }
+
+type cursor = { src : string; mutable pos : int }
+
+let error cur fmt =
+  Printf.ksprintf
+    (fun message -> raise (Parse_error { offset = cur.pos; message }))
+    fmt
+
+let c_eof cur = cur.pos >= String.length cur.src
+let c_peek cur = if c_eof cur then '\000' else cur.src.[cur.pos]
+
+let skip_ws cur =
+  while
+    (not (c_eof cur))
+    && (match c_peek cur with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    cur.pos <- cur.pos + 1
+  done
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let peek_word cur =
+  skip_ws cur;
+  let start = cur.pos in
+  let i = ref start in
+  while !i < String.length cur.src && is_word_char cur.src.[!i] do incr i done;
+  if !i = start then None else Some (String.sub cur.src start (!i - start))
+
+let accept_kw cur kw =
+  match peek_word cur with
+  | Some w when String.uppercase_ascii w = String.uppercase_ascii kw ->
+    cur.pos <- cur.pos + String.length w;
+    true
+  | _ -> false
+
+let expect_kw cur kw =
+  if not (accept_kw cur kw) then error cur "expected %s" kw
+
+let accept_sym cur s =
+  skip_ws cur;
+  let n = String.length s in
+  if cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = s then begin
+    cur.pos <- cur.pos + n;
+    true
+  end
+  else false
+
+let expect_sym cur s =
+  if not (accept_sym cur s) then error cur "expected %S" s
+
+let parse_name cur =
+  skip_ws cur;
+  match peek_word cur with
+  | Some w ->
+    cur.pos <- cur.pos + String.length w;
+    w
+  | None -> error cur "expected a name"
+
+let parse_string cur =
+  skip_ws cur;
+  let q = c_peek cur in
+  if q <> '"' && q <> '\'' then error cur "expected a string literal";
+  cur.pos <- cur.pos + 1;
+  let start = cur.pos in
+  while (not (c_eof cur)) && c_peek cur <> q do cur.pos <- cur.pos + 1 done;
+  if c_eof cur then error cur "unterminated string literal";
+  let s = String.sub cur.src start (cur.pos - start) in
+  cur.pos <- cur.pos + 1;
+  s
+
+let parse_var cur =
+  skip_ws cur;
+  if c_peek cur <> '$' then error cur "expected a variable ($name)";
+  cur.pos <- cur.pos + 1;
+  parse_name cur
+
+(* Scan an optional path immediately following a variable or document(...).
+   Paths start with '/' and run until a top-level delimiter; predicate
+   brackets may contain spaces and quoted strings. *)
+let scan_path cur =
+  if c_eof cur || c_peek cur <> '/' then []
+  else begin
+    let start = cur.pos in
+    let depth = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      if c_eof cur then stop := true
+      else begin
+        match c_peek cur with
+        | '[' ->
+          incr depth;
+          cur.pos <- cur.pos + 1
+        | ']' ->
+          decr depth;
+          cur.pos <- cur.pos + 1
+        | '"' | '\'' when !depth > 0 ->
+          let q = c_peek cur in
+          cur.pos <- cur.pos + 1;
+          while (not (c_eof cur)) && c_peek cur <> q do cur.pos <- cur.pos + 1 done;
+          if not (c_eof cur) then cur.pos <- cur.pos + 1
+        | (' ' | '\t' | '\n' | '\r' | ',' | ')' | '=' | '<' | '>' | '!') when !depth = 0 ->
+          stop := true
+        | _ -> cur.pos <- cur.pos + 1
+      end
+    done;
+    let text = String.sub cur.src start (cur.pos - start) in
+    (* strip the single leading '/' for a child-axis start; keep '//' *)
+    let text =
+      if String.length text >= 2 && text.[0] = '/' && text.[1] = '/' then text
+      else String.sub text 1 (String.length text - 1)
+    in
+    try Gxml.Path.parse text
+    with Failure m -> error cur "bad path %S: %s" text m
+  end
+
+let parse_var_path cur =
+  let var = parse_var cur in
+  let path = scan_path cur in
+  (var, path)
+
+let parse_number cur =
+  skip_ws cur;
+  let start = cur.pos in
+  if c_peek cur = '-' then cur.pos <- cur.pos + 1;
+  while
+    (not (c_eof cur))
+    && (let c = c_peek cur in (c >= '0' && c <= '9') || c = '.')
+  do
+    cur.pos <- cur.pos + 1
+  done;
+  let text = String.sub cur.src start (cur.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> error cur "bad number %S" text
+
+let parse_operand cur : Ast.operand =
+  skip_ws cur;
+  match c_peek cur with
+  | '$' ->
+    let var, path = parse_var_path cur in
+    Var_path { var; path }
+  | '"' | '\'' -> Literal (Lit_string (parse_string cur))
+  | c when (c >= '0' && c <= '9') || c = '-' -> Literal (Lit_number (parse_number cur))
+  | _ -> error cur "expected a variable, path or literal"
+
+let parse_cmp cur : Ast.cmp =
+  skip_ws cur;
+  if accept_sym cur "!=" then Neq
+  else if accept_sym cur "<=" then Le
+  else if accept_sym cur ">=" then Ge
+  else if accept_sym cur "=" then Eq
+  else if accept_sym cur "<" then Lt
+  else if accept_sym cur ">" then Gt
+  else error cur "expected a comparison operator"
+
+let rec parse_or cur : Ast.condition =
+  let left = parse_and cur in
+  if accept_kw cur "OR" then Or (left, parse_or cur) else left
+
+and parse_and cur : Ast.condition =
+  let left = parse_not cur in
+  if accept_kw cur "AND" then And (left, parse_and cur) else left
+
+and parse_not cur : Ast.condition =
+  if accept_kw cur "NOT" then Not (parse_not cur) else parse_primary cur
+
+and parse_primary cur : Ast.condition =
+  skip_ws cur;
+  (* contains(...)? look ahead for the word "contains" followed by '(' *)
+  let save = cur.pos in
+  match peek_word cur with
+  | Some w when String.lowercase_ascii w = "contains" ->
+    cur.pos <- cur.pos + String.length w;
+    skip_ws cur;
+    if c_peek cur <> '(' then begin
+      cur.pos <- save;
+      parse_comparison cur
+    end
+    else begin
+      cur.pos <- cur.pos + 1;
+      let var, path = parse_var_path cur in
+      expect_sym cur ",";
+      let keyword = parse_string cur in
+      (* optional ", any" *)
+      if accept_sym cur "," then expect_kw cur "any";
+      expect_sym cur ")";
+      Contains { var; path; keyword }
+    end
+  | _ ->
+    if accept_sym cur "(" then begin
+      let c = parse_or cur in
+      expect_sym cur ")";
+      c
+    end
+    else parse_comparison cur
+
+and parse_comparison cur : Ast.condition =
+  let a = parse_operand cur in
+  let order_op =
+    if accept_kw cur "BEFORE" then Some Ast.Before
+    else if accept_kw cur "AFTER" then Some Ast.After
+    else None
+  in
+  match order_op with
+  | Some op ->
+    let b = parse_operand cur in
+    (match a, b with
+     | Ast.Var_path l, Ast.Var_path r ->
+       Order { left = (l.var, l.path); op; right = (r.var, r.path) }
+     | _ -> error cur "BEFORE/AFTER require paths on both sides")
+  | None ->
+    let op = parse_cmp cur in
+    let b = parse_operand cur in
+    Compare (a, op, b)
+
+let parse_for_binding cur : Ast.for_binding =
+  let var = parse_var cur in
+  expect_kw cur "IN";
+  skip_ws cur;
+  (match peek_word cur with
+   | Some w when String.lowercase_ascii w = "document" ->
+     cur.pos <- cur.pos + String.length w
+   | _ -> error cur "expected document(\"...\")");
+  expect_sym cur "(";
+  let collection = parse_string cur in
+  expect_sym cur ")";
+  let path = scan_path cur in
+  { var; collection; path }
+
+let parse_return_item cur : Ast.return_item =
+  skip_ws cur;
+  (* lookahead: $name = $other... is a labeled item; $name/... is a value *)
+  let save = cur.pos in
+  let first = parse_var cur in
+  skip_ws cur;
+  if c_peek cur = '=' && not (c_eof cur) then begin
+    (* ensure it is '=' followed by a '$' operand (a label), not '==' *)
+    let save_eq = cur.pos in
+    cur.pos <- cur.pos + 1;
+    skip_ws cur;
+    if c_peek cur = '$' then begin
+      let var, path = parse_var_path cur in
+      { label = Some first; item_var = var; item_path = path }
+    end
+    else begin
+      cur.pos <- save_eq;
+      error cur "expected a variable after the return label"
+    end
+  end
+  else begin
+    cur.pos <- save;
+    let var, path = parse_var_path cur in
+    { label = None; item_var = var; item_path = path }
+  end
+
+let parse src =
+  let cur = { src; pos = 0 } in
+  expect_kw cur "FOR";
+  let rec bindings acc =
+    let b = parse_for_binding cur in
+    if accept_sym cur "," then bindings (b :: acc) else List.rev (b :: acc)
+  in
+  let bindings = bindings [] in
+  let rec lets acc =
+    if accept_kw cur "LET" then begin
+      let v = parse_var cur in
+      expect_sym cur ":=";
+      let src_var, path = parse_var_path cur in
+      lets ({ Ast.let_var = v; let_source = src_var; let_path = path } :: acc)
+    end
+    else List.rev acc
+  in
+  let lets = lets [] in
+  let where = if accept_kw cur "WHERE" then Some (parse_or cur) else None in
+  expect_kw cur "RETURN";
+  let rec items acc =
+    let item = parse_return_item cur in
+    if accept_sym cur "," then items (item :: acc) else List.rev (item :: acc)
+  in
+  let return_items = items [] in
+  skip_ws cur;
+  if not (c_eof cur) then error cur "trailing input after RETURN items";
+  Ast.check { bindings; lets; where; return_items }
+
+let error_to_string = function
+  | Parse_error { offset; message } ->
+    Printf.sprintf "XomatiQ parse error at offset %d: %s" offset message
+  | Ast.Invalid_query m -> Printf.sprintf "invalid query: %s" m
+  | e -> raise e

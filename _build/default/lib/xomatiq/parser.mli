@@ -1,0 +1,21 @@
+(** Parser for the XomatiQ textual query syntax, accepting the paper's
+    Figures 8, 9 and 11 verbatim (modulo the PDF's lost underscores):
+
+    {v
+    FOR  $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+    WHERE contains($a//catalytic_activity, "ketone", any)
+    RETURN $a//enzyme_id, $a//enzyme_description
+    v}
+
+    Keywords are case-insensitive. LET bindings ([LET $x := $a/path]) are
+    accepted and inlined. *)
+
+exception Parse_error of { offset : int; message : string }
+
+val parse : string -> Ast.t
+(** Parses and statically checks the query (unbound variables, duplicate
+    bindings, empty keywords are rejected).
+    @raise Parse_error on syntax errors,
+    @raise Ast.Invalid_query on semantic errors. *)
+
+val error_to_string : exn -> string

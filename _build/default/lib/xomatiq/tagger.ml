@@ -1,0 +1,57 @@
+let sanitize_name label =
+  let buf = Buffer.create (String.length label) in
+  String.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+        || (i > 0 && ((c >= '0' && c <= '9') || c = '-' || c = '.'))
+      in
+      if ok then Buffer.add_char buf c
+      else if i = 0 && c >= '0' && c <= '9' then begin
+        Buffer.add_char buf '_';
+        Buffer.add_char buf c
+      end
+      else Buffer.add_char buf '_')
+    label;
+  let s = Buffer.contents buf in
+  if s = "" then "column" else s
+
+let to_xml ?(root = "results") ?(row = "result") ~labels rows =
+  let names = List.map sanitize_name labels in
+  let row_elem values =
+    Gxml.Tree.Element
+      (Gxml.Tree.element row
+         (List.map2
+            (fun name v ->
+              Gxml.Tree.Element (Gxml.Tree.element name [ Gxml.Tree.text v ]))
+            names values))
+  in
+  Gxml.Tree.document
+    (Gxml.Tree.element root ~attrs:[ ("count", string_of_int (List.length rows)) ]
+       (List.map row_elem rows))
+
+let to_table ~labels rows =
+  let ncols = List.length labels in
+  let widths = Array.of_list (List.map String.length labels) in
+  List.iter
+    (fun r ->
+      List.iteri
+        (fun i v -> if i < ncols then widths.(i) <- max widths.(i) (String.length v))
+        r)
+    rows;
+  let buf = Buffer.create 1024 in
+  let pad s w =
+    Buffer.add_string buf s;
+    for _ = String.length s to w do Buffer.add_char buf ' ' done
+  in
+  let line cells =
+    List.iteri
+      (fun i v -> if i < ncols then pad v widths.(i))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  line labels;
+  line (List.map (fun w -> String.make w '-') (Array.to_list widths));
+  List.iter line rows;
+  Buffer.add_string buf (Printf.sprintf "(%d rows)\n" (List.length rows));
+  Buffer.contents buf

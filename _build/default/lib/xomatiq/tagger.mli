@@ -1,0 +1,17 @@
+(** The Relation2XML tagger module (paper Section 3.3): structures result
+    tuples into XML, or renders them as the simple table format the
+    XomatiQ result pane also offers. *)
+
+val to_xml :
+  ?root:string -> ?row:string -> labels:string list ->
+  string list list -> Gxml.Tree.document
+(** [to_xml ~labels rows] wraps each row into a [<result>] element with
+    one child element per column (element names derive from the labels,
+    sanitised to valid XML names). *)
+
+val to_table : labels:string list -> string list list -> string
+(** Fixed-width ASCII table with a header row. *)
+
+val sanitize_name : string -> string
+(** Make a label a valid XML element name (non-name characters become
+    underscores; a leading digit is prefixed). *)

@@ -1,0 +1,1 @@
+test/test_datahounds.ml: Alcotest Datahounds Filename Fun Gxml List Printf QCheck QCheck_alcotest Rdb String Sys Workload Xomatiq

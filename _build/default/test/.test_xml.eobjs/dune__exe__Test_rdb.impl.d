@@ -1,0 +1,1 @@
+test/test_rdb.ml: Alcotest Array Filename Fun Hashtbl List Printf QCheck QCheck_alcotest Rdb Seq String Sys Unix

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Format Gxml List Printf QCheck QCheck_alcotest String

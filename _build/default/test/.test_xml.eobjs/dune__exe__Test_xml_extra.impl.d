@@ -1,0 +1,1 @@
+test/test_xml_extra.ml: Alcotest Array Format Gxml List Printf QCheck QCheck_alcotest Random String

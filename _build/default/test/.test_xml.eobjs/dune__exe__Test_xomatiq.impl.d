@@ -1,0 +1,1 @@
+test/test_xomatiq.ml: Alcotest Datahounds Gxml Lazy List Option Printf QCheck QCheck_alcotest String Workload Xomatiq

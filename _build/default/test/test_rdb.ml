@@ -1,0 +1,524 @@
+(* Tests for the relational engine substrate. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let int = Alcotest.int
+let string = Alcotest.string
+let bool = Alcotest.bool
+let list = Alcotest.list
+let option = Alcotest.option
+let float = Alcotest.float
+
+let contains_sub haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let value_testable : Rdb.Value.t Alcotest.testable =
+  Alcotest.testable Rdb.Value.pp Rdb.Value.equal
+
+let fresh_db () = Rdb.Database.open_in_memory ()
+
+let setup_people db =
+  List.iter
+    (fun sql -> ignore (Rdb.Database.exec_exn db sql))
+    [ "CREATE TABLE people (id INTEGER PRIMARY KEY, name TEXT NOT NULL, age INTEGER, city TEXT)";
+      "INSERT INTO people VALUES (1, 'ada', 36, 'london')";
+      "INSERT INTO people VALUES (2, 'grace', 85, 'arlington')";
+      "INSERT INTO people VALUES (3, 'alan', 41, 'london')";
+      "INSERT INTO people VALUES (4, 'edsger', 72, 'austin')";
+      "INSERT INTO people VALUES (5, 'barbara', 70, NULL)" ]
+
+let rows_of db sql =
+  let _, rows = Rdb.Database.query_exn db sql in
+  rows
+
+let ints_of db sql =
+  List.map
+    (fun row ->
+      match row.(0) with
+      | Rdb.Value.Int i -> i
+      | v -> fail (Printf.sprintf "expected int, got %s" (Rdb.Value.to_literal v)))
+    (rows_of db sql)
+
+(* ---------------- values ---------------- *)
+
+let test_value_compare () =
+  check int "int vs float" 0 (Rdb.Value.compare_total (Int 3) (Float 3.0));
+  check bool "null sorts first" true (Rdb.Value.compare_total Null (Int (-100)) < 0);
+  check bool "text after numbers" true (Rdb.Value.compare_total (Text "a") (Int 9) > 0);
+  check (option int) "null incomparable in SQL" None
+    (Rdb.Value.sql_compare Null (Int 1));
+  check (option int) "mixed text/int incomparable" None
+    (Rdb.Value.sql_compare (Text "1") (Int 1))
+
+let test_value_strings () =
+  check string "int literal" "42" (Rdb.Value.to_literal (Int 42));
+  check string "text literal escapes quotes" "'it''s'" (Rdb.Value.to_literal (Text "it's"));
+  check value_testable "typed parse int" (Int 7) (Rdb.Value.of_string_typed Tint " 7 ");
+  check value_testable "typed parse float" (Float 2.5) (Rdb.Value.of_string_typed Tfloat "2.5");
+  (match Rdb.Value.of_string_typed Tint "abc" with
+   | exception Failure _ -> ()
+   | v -> fail ("expected failure, got " ^ Rdb.Value.to_literal v))
+
+(* ---------------- btree ---------------- *)
+
+let btree_key i = [| Rdb.Value.Int i |]
+
+let test_btree_insert_find () =
+  let t = Rdb.Btree.create ~fanout:4 () in
+  for i = 0 to 999 do
+    Rdb.Btree.insert t (btree_key (i * 7 mod 1000)) i
+  done;
+  (match Rdb.Btree.check_invariants t with
+   | Ok () -> ()
+   | Error m -> fail m);
+  check int "cardinal" 1000 (Rdb.Btree.cardinal t);
+  check (list int) "exact find" [ 0 ] (Rdb.Btree.find t (btree_key 0));
+  check (list int) "missing key" [] (Rdb.Btree.find t (btree_key 5000))
+
+let test_btree_duplicates () =
+  let t = Rdb.Btree.create ~fanout:4 () in
+  List.iter (fun v -> Rdb.Btree.insert t (btree_key 5) v) [ 10; 20; 30 ];
+  check (list int) "postings in insertion order" [ 10; 20; 30 ]
+    (Rdb.Btree.find t (btree_key 5));
+  Rdb.Btree.remove t (btree_key 5) (fun v -> v = 20);
+  check (list int) "after remove" [ 10; 30 ] (Rdb.Btree.find t (btree_key 5));
+  check int "entry count" 2 (Rdb.Btree.entry_count t)
+
+let test_btree_range () =
+  let t = Rdb.Btree.create ~fanout:4 () in
+  for i = 1 to 100 do Rdb.Btree.insert t (btree_key i) i done;
+  let collect ?lo ?hi () =
+    List.of_seq (Seq.map snd (Rdb.Btree.range ?lo ?hi t))
+  in
+  check (list int) "closed range" [ 10; 11; 12 ]
+    (collect ~lo:(btree_key 10, true) ~hi:(btree_key 12, true) ());
+  check (list int) "open low bound" [ 11; 12 ]
+    (collect ~lo:(btree_key 10, false) ~hi:(btree_key 12, true) ());
+  check (list int) "unbounded low" [ 1; 2; 3 ]
+    (collect ~hi:(btree_key 3, true) ());
+  check int "unbounded high" 91 (List.length (collect ~lo:(btree_key 10, true) ()));
+  check (list int) "empty range" []
+    (collect ~lo:(btree_key 50, false) ~hi:(btree_key 50, false) ())
+
+let test_btree_qcheck_model =
+  QCheck.Test.make ~count:200 ~name:"btree agrees with association-list model"
+    QCheck.(list (pair (int_bound 50) (int_bound 1000)))
+    (fun ops ->
+      let t = Rdb.Btree.create ~fanout:4 () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          Rdb.Btree.insert t (btree_key k) v;
+          Hashtbl.replace model k
+            ((match Hashtbl.find_opt model k with Some l -> l | None -> []) @ [ v ]))
+        ops;
+      (match Rdb.Btree.check_invariants t with
+       | Ok () -> ()
+       | Error m -> QCheck.Test.fail_report m);
+      Hashtbl.fold
+        (fun k expected acc ->
+          acc && Rdb.Btree.find t (btree_key k) = expected)
+        model true)
+
+(* ---------------- SQL parsing ---------------- *)
+
+let test_sql_roundtrip () =
+  let cases =
+    [ "SELECT * FROM t";
+      "SELECT DISTINCT a.x AS foo, (b.y + 1) FROM t AS a, u AS b WHERE ((a.x = b.z) AND (b.y > 10)) ORDER BY foo ASC LIMIT 5";
+      "SELECT COUNT(*) FROM t GROUP BY x HAVING (COUNT(*) > 2)";
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')";
+      "DELETE FROM t WHERE (a IS NOT NULL)";
+      "UPDATE t SET a = (a + 1) WHERE (b LIKE 'x%')" ]
+  in
+  List.iter
+    (fun sql ->
+      let stmt = Rdb.Sql_parser.parse sql in
+      let printed = Rdb.Sql_ast.stmt_to_string stmt in
+      let stmt2 = Rdb.Sql_parser.parse printed in
+      check string (Printf.sprintf "roundtrip: %s" sql) printed
+        (Rdb.Sql_ast.stmt_to_string stmt2))
+    cases
+
+let test_sql_errors () =
+  let bad = [ "SELECT"; "SELECT * FROM"; "INSERT t VALUES (1)"; "SELEC * FROM t" ] in
+  List.iter
+    (fun sql ->
+      match Rdb.Sql_parser.parse sql with
+      | _ -> fail (Printf.sprintf "expected parse error for %S" sql)
+      | exception (Rdb.Sql_parser.Parse_error _ | Rdb.Sql_lexer.Lex_error _) -> ())
+    bad
+
+let test_sql_string_escapes () =
+  match Rdb.Sql_parser.parse "SELECT 'it''s'" with
+  | Rdb.Sql_ast.Select_stmt { projections = [ Proj (Lit (Text s), None) ]; _ } ->
+    check string "doubled quote" "it's" s
+  | _ -> fail "unexpected parse"
+
+(* ---------------- queries ---------------- *)
+
+let test_basic_select () =
+  let db = fresh_db () in
+  setup_people db;
+  check (list int) "filter and order" [ 3; 1 ]
+    (ints_of db "SELECT id FROM people WHERE city = 'london' ORDER BY age DESC");
+  check int "count" 5 (List.hd (ints_of db "SELECT COUNT(*) FROM people"));
+  check (list int) "like" [ 1; 3 ]
+    (ints_of db "SELECT id FROM people WHERE name LIKE 'a%' ORDER BY id")
+
+let test_null_semantics () =
+  let db = fresh_db () in
+  setup_people db;
+  check (list int) "null city not matched by =" [ 1; 3 ]
+    (ints_of db "SELECT id FROM people WHERE city = 'london' ORDER BY id");
+  check (list int) "is null" [ 5 ] (ints_of db "SELECT id FROM people WHERE city IS NULL");
+  check (list int) "null excluded from <>" [ 2; 4 ]
+    (ints_of db "SELECT id FROM people WHERE city <> 'london' ORDER BY id");
+  check int "count(col) skips null" 4
+    (List.hd (ints_of db "SELECT COUNT(city) FROM people"))
+
+let test_aggregates () =
+  let db = fresh_db () in
+  setup_people db;
+  let rows = rows_of db "SELECT city, COUNT(*), AVG(age) FROM people WHERE city IS NOT NULL GROUP BY city ORDER BY city" in
+  check int "three cities" 3 (List.length rows);
+  (match rows with
+   | [ arl; aus; lon ] ->
+     check value_testable "arlington" (Text "arlington") arl.(0);
+     check value_testable "count arlington" (Int 1) arl.(1);
+     check value_testable "austin count" (Int 1) aus.(1);
+     check value_testable "london count" (Int 2) lon.(1);
+     (match lon.(2) with
+      | Float f -> check (float 0.01) "london avg age" 38.5 f
+      | v -> fail (Rdb.Value.to_literal v))
+   | _ -> fail "expected 3 rows");
+  check int "global sum" (36 + 85 + 41 + 72 + 70)
+    (List.hd (ints_of db "SELECT SUM(age) FROM people"));
+  check int "min" 36 (List.hd (ints_of db "SELECT MIN(age) FROM people"))
+
+let test_having_and_distinct () =
+  let db = fresh_db () in
+  setup_people db;
+  let rows = rows_of db "SELECT city FROM people GROUP BY city HAVING COUNT(*) > 1" in
+  check int "only london has 2" 1 (List.length rows);
+  let cities = rows_of db "SELECT DISTINCT city FROM people WHERE city IS NOT NULL ORDER BY city" in
+  check int "distinct cities" 3 (List.length cities)
+
+let test_join () =
+  let db = fresh_db () in
+  setup_people db;
+  ignore (Rdb.Database.exec_exn db "CREATE TABLE visits (person_id INTEGER, place TEXT)");
+  ignore (Rdb.Database.exec_exn db "INSERT INTO visits VALUES (1, 'paris'), (1, 'rome'), (3, 'paris'), (9, 'nowhere')");
+  check (list int) "inner join" [ 1; 1; 3 ]
+    (ints_of db
+       "SELECT p.id FROM people p JOIN visits v ON p.id = v.person_id ORDER BY p.id");
+  check (list int) "comma join with where" [ 1; 1; 3 ]
+    (ints_of db
+       "SELECT p.id FROM people p, visits v WHERE p.id = v.person_id ORDER BY p.id");
+  let paris_people =
+    rows_of db
+      "SELECT p.name FROM people p, visits v WHERE p.id = v.person_id AND v.place = 'paris' ORDER BY p.name"
+  in
+  check int "two paris visitors" 2 (List.length paris_people)
+
+let test_left_join () =
+  let db = fresh_db () in
+  setup_people db;
+  ignore (Rdb.Database.exec_exn db "CREATE TABLE visits (person_id INTEGER, place TEXT)");
+  ignore (Rdb.Database.exec_exn db "INSERT INTO visits VALUES (1, 'paris')");
+  let rows =
+    rows_of db
+      "SELECT p.id, v.place FROM people p LEFT JOIN visits v ON p.id = v.person_id ORDER BY p.id"
+  in
+  check int "all people kept" 5 (List.length rows);
+  (match rows with
+   | first :: second :: _ ->
+     check value_testable "matched place" (Text "paris") first.(1);
+     check value_testable "unmatched is null" Null second.(1)
+   | _ -> fail "expected rows")
+
+let test_subqueries () =
+  let db = fresh_db () in
+  setup_people db;
+  ignore (Rdb.Database.exec_exn db "CREATE TABLE visits (person_id INTEGER, place TEXT)");
+  ignore (Rdb.Database.exec_exn db "INSERT INTO visits VALUES (1, 'paris'), (3, 'rome')");
+  check (list int) "IN subquery" [ 1; 3 ]
+    (ints_of db "SELECT id FROM people WHERE id IN (SELECT person_id FROM visits) ORDER BY id");
+  check (list int) "NOT IN subquery" [ 2; 4; 5 ]
+    (ints_of db "SELECT id FROM people WHERE id NOT IN (SELECT person_id FROM visits) ORDER BY id");
+  check (list int) "correlated EXISTS" [ 1; 3 ]
+    (ints_of db
+       "SELECT id FROM people p WHERE EXISTS (SELECT 1 FROM visits v WHERE v.person_id = p.id) ORDER BY id");
+  check int "scalar subquery" 5
+    (List.hd (ints_of db "SELECT (SELECT COUNT(*) FROM people)"))
+
+let test_expressions () =
+  let db = fresh_db () in
+  setup_people db;
+  check (list int) "between" [ 3; 4; 5 ]
+    (ints_of db "SELECT id FROM people WHERE age BETWEEN 40 AND 80 ORDER BY id");
+  check (list int) "in list" [ 1; 2 ]
+    (ints_of db "SELECT id FROM people WHERE id IN (1, 2) ORDER BY id");
+  check value_testable "case expression" (Text "old")
+    (List.hd (rows_of db "SELECT CASE WHEN age > 50 THEN 'old' ELSE 'young' END FROM people WHERE id = 2")).(0);
+  check value_testable "string functions" (Text "ADA")
+    (List.hd (rows_of db "SELECT UPPER(name) FROM people WHERE id = 1")).(0);
+  check value_testable "substr" (Text "race")
+    (List.hd (rows_of db "SELECT SUBSTR(name, 2) FROM people WHERE id = 2")).(0);
+  check value_testable "concat" (Text "ada/london")
+    (List.hd (rows_of db "SELECT name || '/' || city FROM people WHERE id = 1")).(0);
+  check value_testable "instr" (Int 3)
+    (List.hd (rows_of db "SELECT INSTR(name, 'an') FROM people WHERE id = 3")).(0)
+
+let test_order_limit_offset () =
+  let db = fresh_db () in
+  setup_people db;
+  check (list int) "limit" [ 1; 2 ] (ints_of db "SELECT id FROM people ORDER BY id LIMIT 2");
+  check (list int) "offset" [ 3; 4 ]
+    (ints_of db "SELECT id FROM people ORDER BY id LIMIT 2 OFFSET 2");
+  check (list int) "order by expression" [ 2; 4; 5; 3; 1 ]
+    (ints_of db "SELECT id FROM people ORDER BY 0 - age");
+  check (list int) "order by ordinal" [ 1; 2; 3; 4; 5 ]
+    (ints_of db "SELECT id, name FROM people ORDER BY 1")
+
+(* ---------------- DML / constraints ---------------- *)
+
+let test_update_delete () =
+  let db = fresh_db () in
+  setup_people db;
+  (match Rdb.Database.exec_exn db "UPDATE people SET age = age + 1 WHERE city = 'london'" with
+   | Rdb.Database.Affected 2 -> ()
+   | _ -> fail "expected 2 rows updated");
+  check (list int) "updated ages" [ 37; 42 ]
+    (ints_of db "SELECT age FROM people WHERE city = 'london' ORDER BY age");
+  (match Rdb.Database.exec_exn db "DELETE FROM people WHERE age > 80" with
+   | Rdb.Database.Affected 1 -> ()
+   | _ -> fail "expected 1 row deleted");
+  check int "remaining" 4 (List.hd (ints_of db "SELECT COUNT(*) FROM people"))
+
+let test_primary_key_violation () =
+  let db = fresh_db () in
+  setup_people db;
+  (match Rdb.Database.exec db "INSERT INTO people VALUES (1, 'dup', 1, NULL)" with
+   | Error m -> check bool "mentions unique" true
+                  (contains_sub m "unique")
+   | Ok _ -> fail "expected unique violation")
+
+and test_not_null_violation () =
+  let db = fresh_db () in
+  setup_people db;
+  match Rdb.Database.exec db "INSERT INTO people VALUES (9, NULL, 1, NULL)" with
+  | Error _ -> ()
+  | Ok _ -> fail "expected NOT NULL violation"
+
+(* ---------------- indexes & planning ---------------- *)
+
+let test_index_lookup_plan () =
+  let db = fresh_db () in
+  setup_people db;
+  ignore (Rdb.Database.exec_exn db "CREATE INDEX people_city ON people (city)");
+  (match Rdb.Database.explain db "SELECT id FROM people WHERE city = 'london'" with
+   | Ok plan ->
+     check bool "uses index lookup" true (contains_sub plan "IndexLookup")
+   | Error m -> fail m);
+  check (list int) "same answer with index" [ 1; 3 ]
+    (ints_of db "SELECT id FROM people WHERE city = 'london' ORDER BY id")
+
+let test_index_range_plan () =
+  let db = fresh_db () in
+  setup_people db;
+  ignore (Rdb.Database.exec_exn db "CREATE INDEX people_age ON people (age)");
+  (match Rdb.Database.explain db "SELECT id FROM people WHERE age > 50" with
+   | Ok plan ->
+     check bool "uses index range" true (contains_sub plan "IndexRange")
+   | Error m -> fail m);
+  check (list int) "range answers" [ 2; 4; 5 ]
+    (ints_of db "SELECT id FROM people WHERE age > 50 ORDER BY id")
+
+let test_hash_index () =
+  let db = fresh_db () in
+  setup_people db;
+  ignore (Rdb.Database.exec_exn db "CREATE HASH INDEX people_name ON people (name)");
+  (match Rdb.Database.explain db "SELECT id FROM people WHERE name = 'grace'" with
+   | Ok plan -> check bool "hash lookup" true (contains_sub plan "IndexLookup")
+   | Error m -> fail m);
+  check (list int) "hash index answers" [ 2 ]
+    (ints_of db "SELECT id FROM people WHERE name = 'grace'")
+
+let test_hash_join_plan () =
+  let db = fresh_db () in
+  setup_people db;
+  ignore (Rdb.Database.exec_exn db "CREATE TABLE visits (person_id INTEGER, place TEXT)");
+  ignore (Rdb.Database.exec_exn db "INSERT INTO visits VALUES (1, 'paris'), (3, 'rome')");
+  match Rdb.Database.explain db
+          "SELECT p.id FROM people p, visits v WHERE p.id = v.person_id" with
+  | Ok plan -> check bool "hash join chosen" true (contains_sub plan "HashJoin")
+  | Error m -> fail m
+
+(* equivalence: queries must give identical results with and without indexes *)
+let test_index_equivalence =
+  QCheck.Test.make ~count:60 ~name:"index and scan plans agree"
+    QCheck.(pair (int_bound 60) (int_bound 400))
+    (fun (threshold, n) ->
+      let n = n + 10 in
+      let db1 = fresh_db () and db2 = fresh_db () in
+      let ddl = "CREATE TABLE r (k INTEGER, v TEXT)" in
+      ignore (Rdb.Database.exec_exn db1 ddl);
+      ignore (Rdb.Database.exec_exn db2 ddl);
+      ignore (Rdb.Database.exec_exn db2 "CREATE INDEX r_k ON r (k)");
+      for i = 0 to n - 1 do
+        let sql =
+          Printf.sprintf "INSERT INTO r VALUES (%d, 'row%d')" (i mod 70) i
+        in
+        ignore (Rdb.Database.exec_exn db1 sql);
+        ignore (Rdb.Database.exec_exn db2 sql)
+      done;
+      let q =
+        Printf.sprintf
+          "SELECT v FROM r WHERE k = %d ORDER BY v" threshold
+      in
+      let q2 =
+        Printf.sprintf
+          "SELECT v FROM r WHERE k > %d ORDER BY v" threshold
+      in
+      Rdb.Database.query_exn db1 q = Rdb.Database.query_exn db2 q
+      && Rdb.Database.query_exn db1 q2 = Rdb.Database.query_exn db2 q2)
+
+(* ---------------- transactions & WAL ---------------- *)
+
+let test_rollback () =
+  let db = fresh_db () in
+  setup_people db;
+  ignore (Rdb.Database.exec_exn db "BEGIN");
+  ignore (Rdb.Database.exec_exn db "INSERT INTO people VALUES (10, 'new', 1, NULL)");
+  ignore (Rdb.Database.exec_exn db "DELETE FROM people WHERE id = 1");
+  ignore (Rdb.Database.exec_exn db "UPDATE people SET age = 0 WHERE id = 2");
+  ignore (Rdb.Database.exec_exn db "ROLLBACK");
+  check int "count restored" 5 (List.hd (ints_of db "SELECT COUNT(*) FROM people"));
+  check (list int) "ages restored" [ 85 ] (ints_of db "SELECT age FROM people WHERE id = 2");
+  check int "row 1 back" 1 (List.hd (ints_of db "SELECT COUNT(*) FROM people WHERE id = 1"))
+
+let test_commit () =
+  let db = fresh_db () in
+  setup_people db;
+  ignore (Rdb.Database.exec_exn db "BEGIN");
+  ignore (Rdb.Database.exec_exn db "DELETE FROM people WHERE id = 1");
+  ignore (Rdb.Database.exec_exn db "COMMIT");
+  check int "deleted stays" 0 (List.hd (ints_of db "SELECT COUNT(*) FROM people WHERE id = 1"))
+
+let with_temp_wal f =
+  let path = Filename.temp_file "xomatiq_wal" ".log" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_wal_recovery () =
+  with_temp_wal @@ fun path ->
+  let db = Rdb.Database.open_with_wal path in
+  setup_people db;
+  ignore (Rdb.Database.exec_exn db "DELETE FROM people WHERE id = 4");
+  Rdb.Database.close db;
+  (* reopen: committed history replays *)
+  let db2 = Rdb.Database.open_with_wal path in
+  check int "recovered rows" 4 (List.hd (ints_of db2 "SELECT COUNT(*) FROM people"));
+  check int "delete recovered" 0
+    (List.hd (ints_of db2 "SELECT COUNT(*) FROM people WHERE id = 4"));
+  Rdb.Database.close db2
+
+let test_wal_uncommitted_discarded () =
+  with_temp_wal @@ fun path ->
+  let db = Rdb.Database.open_with_wal path in
+  setup_people db;
+  ignore (Rdb.Database.exec_exn db "BEGIN");
+  ignore (Rdb.Database.exec_exn db "DELETE FROM people WHERE id = 1");
+  (* crash: no COMMIT; simply drop the handle without closing the txn *)
+  let db2 = Rdb.Database.open_with_wal path in
+  check int "uncommitted delete discarded" 5
+    (List.hd (ints_of db2 "SELECT COUNT(*) FROM people"));
+  Rdb.Database.close db2;
+  Rdb.Database.close db
+
+let test_wal_torn_tail () =
+  with_temp_wal @@ fun path ->
+  let db = Rdb.Database.open_with_wal path in
+  setup_people db;
+  Rdb.Database.close db;
+  (* simulate a torn final record *)
+  let size = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  ignore (Unix.ftruncate fd (size - 3));
+  Unix.close fd;
+  let db2 = Rdb.Database.open_with_wal path in
+  (* the torn record was the last insert's commit or payload; the database
+     must still open and contain a consistent prefix *)
+  let n = List.hd (ints_of db2 "SELECT COUNT(*) FROM people") in
+  check bool "prefix recovered" true (n >= 0 && n <= 5);
+  Rdb.Database.close db2
+
+let test_wal_codec_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"wal op encode/decode roundtrip"
+    QCheck.(pair small_string (list (option (pair bool small_string))))
+    (fun (table, cells) ->
+      let row =
+        Array.of_list
+          (List.map
+             (function
+               | None -> Rdb.Value.Null
+               | Some (true, s) -> Rdb.Value.Text s
+               | Some (false, s) -> Rdb.Value.Int (Hashtbl.hash s))
+             cells)
+      in
+      let op = Rdb.Wal.Insert { txid = 42; table; row } in
+      match Rdb.Wal.decode (Rdb.Wal.encode op) with
+      | Some (Rdb.Wal.Insert { txid = 42; table = t'; row = r' }) ->
+        t' = table && r' = row
+      | _ -> false)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "rdb"
+    [ ("values",
+       [ Alcotest.test_case "compare" `Quick test_value_compare;
+         Alcotest.test_case "strings" `Quick test_value_strings ]);
+      ("btree",
+       [ Alcotest.test_case "insert-find" `Quick test_btree_insert_find;
+         Alcotest.test_case "duplicates" `Quick test_btree_duplicates;
+         Alcotest.test_case "range" `Quick test_btree_range ]);
+      qsuite "btree-props" [ test_btree_qcheck_model ];
+      ("sql-parser",
+       [ Alcotest.test_case "roundtrip" `Quick test_sql_roundtrip;
+         Alcotest.test_case "errors" `Quick test_sql_errors;
+         Alcotest.test_case "string escapes" `Quick test_sql_string_escapes ]);
+      ("queries",
+       [ Alcotest.test_case "basic select" `Quick test_basic_select;
+         Alcotest.test_case "null semantics" `Quick test_null_semantics;
+         Alcotest.test_case "aggregates" `Quick test_aggregates;
+         Alcotest.test_case "having/distinct" `Quick test_having_and_distinct;
+         Alcotest.test_case "join" `Quick test_join;
+         Alcotest.test_case "left join" `Quick test_left_join;
+         Alcotest.test_case "subqueries" `Quick test_subqueries;
+         Alcotest.test_case "expressions" `Quick test_expressions;
+         Alcotest.test_case "order/limit/offset" `Quick test_order_limit_offset ]);
+      ("dml",
+       [ Alcotest.test_case "update/delete" `Quick test_update_delete;
+         Alcotest.test_case "pk violation" `Quick test_primary_key_violation;
+         Alcotest.test_case "not null violation" `Quick test_not_null_violation ]);
+      ("planner",
+       [ Alcotest.test_case "index lookup" `Quick test_index_lookup_plan;
+         Alcotest.test_case "index range" `Quick test_index_range_plan;
+         Alcotest.test_case "hash index" `Quick test_hash_index;
+         Alcotest.test_case "hash join" `Quick test_hash_join_plan ]);
+      qsuite "planner-props" [ test_index_equivalence ];
+      ("transactions",
+       [ Alcotest.test_case "rollback" `Quick test_rollback;
+         Alcotest.test_case "commit" `Quick test_commit ]);
+      ("wal",
+       [ Alcotest.test_case "recovery" `Quick test_wal_recovery;
+         Alcotest.test_case "uncommitted discarded" `Quick test_wal_uncommitted_discarded;
+         Alcotest.test_case "torn tail" `Quick test_wal_torn_tail ]);
+      qsuite "wal-props" [ test_wal_codec_roundtrip ];
+    ]

@@ -1,0 +1,338 @@
+(* Tests for the XML substrate: parser, printer, DTD, paths, diff. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let int = Alcotest.int
+let string = Alcotest.string
+let bool = Alcotest.bool
+let list = Alcotest.list
+let option = Alcotest.option
+let float = Alcotest.float
+let _ = float
+
+let elem_testable = Alcotest.testable Gxml.Tree.pp_element Gxml.Tree.equal_element
+
+(* ---------------- escaping ---------------- *)
+
+let test_escape () =
+  check string "text escape" "a &amp;&lt;&gt; b" (Gxml.Escape.escape_text "a &<> b");
+  check string "attr escape" "&quot;x&apos;" (Gxml.Escape.escape_attr "\"x'");
+  check string "unescape entities" "a &<>\"'" (Gxml.Escape.unescape "a &amp;&lt;&gt;&quot;&apos;");
+  check string "numeric refs" "AB" (Gxml.Escape.unescape "&#65;&#x42;");
+  check string "utf8 ref" "\xc3\xa9" (Gxml.Escape.unescape "&#233;");
+  (match Gxml.Escape.unescape "&bogus;" with
+   | exception Failure _ -> ()
+   | s -> fail ("expected failure, got " ^ s))
+
+let roundtrip_prop =
+  (* generator for random small XML trees *)
+  let tag_gen = QCheck.Gen.oneofl [ "a"; "b"; "item"; "x_y"; "entry" ] in
+  let text_gen =
+    QCheck.Gen.oneofl [ "hello"; "a & b"; "<tag?>"; "x'y\"z"; "  spaced  "; "1.5" ]
+  in
+  let rec elem_gen depth =
+    let open QCheck.Gen in
+    let attrs =
+      list_size (int_bound 2)
+        (pair (oneofl [ "k"; "name"; "id" ]) text_gen)
+      >|= fun l ->
+      (* dedupe attribute names *)
+      List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) l
+    in
+    let children =
+      if depth = 0 then return []
+      else
+        list_size (int_bound 3)
+          (frequency
+             [ (2, text_gen >|= fun t -> Gxml.Tree.Text t);
+               (1, elem_gen (depth - 1) >|= fun e -> Gxml.Tree.Element e) ])
+    in
+    map3 (fun tag attrs kids -> Gxml.Tree.element ~attrs tag kids) tag_gen attrs children
+  in
+  QCheck.Test.make ~count:300 ~name:"print/parse roundtrip"
+    (QCheck.make (elem_gen 3) ~print:(fun e -> Gxml.Printer.element_to_string e))
+    (fun e ->
+      let printed = Gxml.Printer.element_to_string e in
+      let parsed = Gxml.Parser.parse_element printed in
+      Gxml.Tree.equal_element e parsed)
+
+let test_parse_basics () =
+  let doc = Gxml.Parser.parse_document
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE root>\n<root a=\"1\"><child>text</child><empty/></root>"
+  in
+  check string "version" "1.0" doc.version;
+  check (option string) "doctype" (Some "root") doc.doctype;
+  check string "root tag" "root" doc.root.tag;
+  check (option string) "attr" (Some "1") (Gxml.Tree.attr doc.root "a");
+  check int "children" 2 (List.length doc.root.children);
+  check string "text content" "text" (Gxml.Tree.text_content doc.root)
+
+let test_parse_entities_cdata_comments () =
+  let e = Gxml.Parser.parse_element
+      "<r><!-- a comment --><a>x &amp; y</a><![CDATA[raw <stuff> &amp;]]></r>"
+  in
+  (match e.children with
+   | [ Element a; Text cdata ] ->
+     check string "entity resolved" "x & y" (Gxml.Tree.text_content a);
+     check string "cdata kept raw" "raw <stuff> &amp;" cdata
+   | _ -> fail "unexpected structure")
+
+let test_parse_errors () =
+  let bad =
+    [ "<a><b></a></b>";          (* mismatched tags *)
+      "<a";                      (* truncated *)
+      "<a x=1></a>";             (* unquoted attribute *)
+      "<a x=\"1\" x=\"2\"/>";    (* duplicate attribute *)
+      "<a/><b/>";                (* two roots *)
+      "text only" ]
+  in
+  List.iter
+    (fun src ->
+      match Gxml.Parser.parse_document src with
+      | _ -> fail (Printf.sprintf "expected parse error for %S" src)
+      | exception Gxml.Parser.Parse_error _ -> ())
+    bad
+
+let test_parse_error_position () =
+  match Gxml.Parser.parse_document "<root>\n  <bad\n</root>" with
+  | exception Gxml.Parser.Parse_error { line; _ } ->
+    check bool "error on line >= 2" true (line >= 2)
+  | _ -> fail "expected error"
+
+let test_keep_ws () =
+  let src = "<r> <a/> </r>" in
+  let kept = Gxml.Parser.parse_element ~keep_ws:true src in
+  let dropped = Gxml.Parser.parse_element ~keep_ws:false src in
+  check int "whitespace kept" 3 (List.length kept.children);
+  check int "whitespace dropped" 1 (List.length dropped.children)
+
+let test_tree_navigation () =
+  let e =
+    Gxml.Parser.parse_element
+      "<entry><name>first</name><name>second</name><meta id=\"7\"><name>inner</name></meta></entry>"
+  in
+  check int "children_named" 2 (List.length (Gxml.Tree.children_named e "name"));
+  check int "descendants" 4 (List.length (Gxml.Tree.descendants e));
+  (match Gxml.Tree.child_named e "meta" with
+   | Some m -> check string "attr_exn" "7" (Gxml.Tree.attr_exn m "id")
+   | None -> fail "meta not found");
+  check int "count_nodes" 8 (Gxml.Tree.count_nodes e);
+  check int "depth" 3 (Gxml.Tree.depth e)
+
+(* ---------------- DTD ---------------- *)
+
+let enzyme_dtd_src =
+  {|<!ELEMENT hlx_enzyme (db_entry)>
+<!ELEMENT db_entry (enzyme_id, enzyme_description+, alternate_name_list,
+  catalytic_activity*, cofactor_list, comment_list, prosite_reference*,
+  swissprot_reference_list, disease_list)>
+<!ELEMENT enzyme_id (#PCDATA)>
+<!ELEMENT enzyme_description (#PCDATA)>
+<!ELEMENT alternate_name_list (alternate_name*)>
+<!ELEMENT alternate_name (#PCDATA)>
+<!ELEMENT catalytic_activity (#PCDATA)>
+<!ELEMENT cofactor_list (cofactor*)>
+<!ELEMENT cofactor (#PCDATA)>
+<!ELEMENT comment_list (comment*)>
+<!ELEMENT comment (#PCDATA)>
+<!ELEMENT prosite_reference (#PCDATA)>
+<!ATTLIST prosite_reference prosite_accession_number NMTOKEN #REQUIRED>
+<!ELEMENT swissprot_reference_list (reference*)>
+<!ELEMENT reference (#PCDATA)>
+<!ATTLIST reference
+  name CDATA #REQUIRED
+  swissprot_accession_number NMTOKEN #REQUIRED>
+<!ELEMENT disease_list (disease*)>
+<!ELEMENT disease (#PCDATA)>
+<!ATTLIST disease mim_id CDATA #REQUIRED>|}
+
+let test_dtd_parse () =
+  let dtd = Gxml.Dtd.parse enzyme_dtd_src in
+  check (option string) "root" (Some "hlx_enzyme") dtd.root_name;
+  check int "element count" 16 (List.length dtd.elements);
+  (match Gxml.Dtd.element_model dtd "db_entry" with
+   | Some (Gxml.Dtd.Children (Gxml.Dtd.Seq parts)) ->
+     check int "db_entry has 9 parts" 9 (List.length parts)
+   | _ -> fail "db_entry model");
+  check int "reference attrs" 2 (List.length (Gxml.Dtd.element_attrs dtd "reference"))
+
+let test_dtd_roundtrip () =
+  let dtd = Gxml.Dtd.parse enzyme_dtd_src in
+  let printed = Gxml.Dtd.to_string dtd in
+  let dtd2 = Gxml.Dtd.parse printed in
+  check string "dtd print/parse fixpoint" printed (Gxml.Dtd.to_string dtd2)
+
+let valid_entry =
+  {|<hlx_enzyme><db_entry>
+      <enzyme_id>1.1.1.1</enzyme_id>
+      <enzyme_description>Alcohol dehydrogenase.</enzyme_description>
+      <alternate_name_list><alternate_name>ADH</alternate_name></alternate_name_list>
+      <catalytic_activity>An alcohol + NAD(+)</catalytic_activity>
+      <cofactor_list><cofactor>Zinc</cofactor></cofactor_list>
+      <comment_list/>
+      <prosite_reference prosite_accession_number="PDOC00058">x</prosite_reference>
+      <swissprot_reference_list>
+        <reference name="ADH1_HUMAN" swissprot_accession_number="P07327">r</reference>
+      </swissprot_reference_list>
+      <disease_list/>
+   </db_entry></hlx_enzyme>|}
+
+let test_dtd_validate_ok () =
+  let dtd = Gxml.Dtd.parse enzyme_dtd_src in
+  let e = Gxml.Parser.parse_element ~keep_ws:false valid_entry in
+  match Gxml.Dtd.validate dtd e with
+  | [] -> ()
+  | vs ->
+    fail (String.concat "; "
+            (List.map (fun v -> Format.asprintf "%a" Gxml.Dtd.pp_violation v) vs))
+
+let test_dtd_validate_failures () =
+  let dtd = Gxml.Dtd.parse enzyme_dtd_src in
+  let violating =
+    [ (* missing required enzyme_id *)
+      "<hlx_enzyme><db_entry><enzyme_description>d</enzyme_description><alternate_name_list/><cofactor_list/><comment_list/><swissprot_reference_list/><disease_list/></db_entry></hlx_enzyme>";
+      (* undeclared element *)
+      "<hlx_enzyme><wrong/></hlx_enzyme>";
+      (* missing required attribute *)
+      "<hlx_enzyme><db_entry><enzyme_id>1</enzyme_id><enzyme_description>d</enzyme_description><alternate_name_list/><cofactor_list/><comment_list/><prosite_reference>x</prosite_reference><swissprot_reference_list/><disease_list/></db_entry></hlx_enzyme>" ]
+  in
+  List.iter
+    (fun src ->
+      let e = Gxml.Parser.parse_element ~keep_ws:false src in
+      if Gxml.Dtd.valid dtd e then fail (Printf.sprintf "expected invalid: %s" src))
+    violating
+
+let test_dtd_content_models () =
+  let dtd =
+    Gxml.Dtd.parse
+      {|<!ELEMENT r ((a | b)+, c?)>
+        <!ELEMENT a EMPTY>
+        <!ELEMENT b EMPTY>
+        <!ELEMENT c (#PCDATA)>
+        <!ELEMENT m (#PCDATA | a)*>
+        <!ELEMENT any_elem ANY>|}
+  in
+  let valid_cases = [ "<r><a/></r>"; "<r><b/><a/><c>t</c></r>"; "<m>text<a/>more</m>" ] in
+  let invalid_cases = [ "<r><c>t</c></r>"; "<r/>"; "<r><a/><c>t</c><a/></r>"; "<m><b/></m>" ] in
+  List.iter
+    (fun src ->
+      let e = Gxml.Parser.parse_element ~keep_ws:false src in
+      if not (Gxml.Dtd.valid dtd e) then
+        fail (Printf.sprintf "expected valid: %s" src))
+    valid_cases;
+  List.iter
+    (fun src ->
+      let e = Gxml.Parser.parse_element ~keep_ws:false src in
+      if Gxml.Dtd.valid dtd e then fail (Printf.sprintf "expected invalid: %s" src))
+    invalid_cases
+
+(* ---------------- paths ---------------- *)
+
+let sample =
+  Gxml.Parser.parse_element ~keep_ws:false
+    {|<db_entry>
+        <enzyme_id>1.14.17.3</enzyme_id>
+        <refs>
+          <reference name="AMD_BOVIN" acc="P10731">r1</reference>
+          <reference name="AMD_HUMAN" acc="P19021">r2</reference>
+        </refs>
+        <qualifier qualifier_type="EC number"><value>1.14.17.3</value></qualifier>
+        <nums><n>5</n><n>12</n><n>7</n></nums>
+      </db_entry>|}
+
+let strings_of path = Gxml.Path.eval_strings sample (Gxml.Path.parse path)
+
+let test_path_basic () =
+  check (list string) "child" [ "1.14.17.3" ] (strings_of "enzyme_id");
+  check (list string) "descendant" [ "r1"; "r2" ] (strings_of "//reference");
+  check (list string) "attribute" [ "AMD_BOVIN"; "AMD_HUMAN" ] (strings_of "//reference/@name");
+  check (list string) "nested path" [ "1.14.17.3" ] (strings_of "qualifier/value");
+  check (list string) "missing" [] (strings_of "nonexistent")
+
+let test_path_predicates () =
+  check (list string) "attr predicate" [ "r1" ]
+    (strings_of {|//reference[@name = "AMD_BOVIN"]|});
+  check (list string) "attr predicate on qualifier" [ "1.14.17.3" ]
+    (strings_of {|//qualifier[@qualifier_type = "EC number"]/value|});
+  check (list string) "contains predicate" [ "r2" ]
+    (strings_of {|//reference[contains(@name, "human")]|});
+  check (list string) "numeric comparison" [ "12" ] (strings_of "//n[. > 10]" );
+  check (list string) "position" [ "r2" ] (strings_of "//reference[2]")
+
+let test_path_numeric_vs_string () =
+  (* "5" > "12" as strings, but 5 < 12 numerically: numeric literal must
+     force numeric comparison *)
+  check (list string) "numeric semantics" [ "12" ] (strings_of "//n[. >= 10]");
+  check (list string) "string equality" [ "7" ] (strings_of {|//n[. = "7"]|})
+
+let test_path_to_string_roundtrip () =
+  let paths =
+    [ "enzyme_id"; "//reference/@name"; {|//qualifier[@t = "EC"]/value|};
+      "a/b//c"; {|//x[contains(., "kw")]|} ]
+  in
+  List.iter
+    (fun p ->
+      let parsed = Gxml.Path.parse p in
+      let printed = Gxml.Path.to_string parsed in
+      let reparsed = Gxml.Path.parse printed in
+      check string (Printf.sprintf "roundtrip %s" p) printed
+        (Gxml.Path.to_string reparsed))
+    paths
+
+(* the dot in "[. > 10]" — wait, our grammar has no '.'; adjust below *)
+
+(* ---------------- diff ---------------- *)
+
+let test_diff_equal () =
+  let a = Gxml.Parser.parse_element "<a x=\"1\"><b>t</b></a>" in
+  check (list string) "no changes" []
+    (List.map Gxml.Diff.change_to_string (Gxml.Diff.diff a a))
+
+let test_diff_changes () =
+  let a = Gxml.Parser.parse_element "<a x=\"1\"><b>t</b><c/></a>" in
+  let b = Gxml.Parser.parse_element "<a x=\"2\"><b>u</b></a>" in
+  let changes = Gxml.Diff.diff a b in
+  check int "three changes" 3 (List.length changes);
+  let rendered = List.map Gxml.Diff.change_to_string changes in
+  check bool "attr change reported" true
+    (List.exists (fun s -> String.length s > 0 && String.sub s 0 2 = "/a") rendered)
+
+let test_diff_detects_everything =
+  QCheck.Test.make ~count:200 ~name:"diff nonempty iff trees differ"
+    QCheck.(pair (oneofl [ "x"; "y" ]) (oneofl [ "x"; "y" ]))
+    (fun (t1, t2) ->
+      let a = Gxml.Parser.parse_element (Printf.sprintf "<r><v>%s</v></r>" t1) in
+      let b = Gxml.Parser.parse_element (Printf.sprintf "<r><v>%s</v></r>" t2) in
+      (Gxml.Diff.diff a b = []) = (t1 = t2))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "xml"
+    [ ("escape", [ Alcotest.test_case "escape/unescape" `Quick test_escape ]);
+      ("parser",
+       [ Alcotest.test_case "basics" `Quick test_parse_basics;
+         Alcotest.test_case "entities/cdata/comments" `Quick test_parse_entities_cdata_comments;
+         Alcotest.test_case "errors" `Quick test_parse_errors;
+         Alcotest.test_case "error positions" `Quick test_parse_error_position;
+         Alcotest.test_case "whitespace modes" `Quick test_keep_ws;
+         Alcotest.test_case "navigation" `Quick test_tree_navigation ]);
+      qsuite "parser-props" [ roundtrip_prop ];
+      ("dtd",
+       [ Alcotest.test_case "parse" `Quick test_dtd_parse;
+         Alcotest.test_case "roundtrip" `Quick test_dtd_roundtrip;
+         Alcotest.test_case "validate ok" `Quick test_dtd_validate_ok;
+         Alcotest.test_case "validate failures" `Quick test_dtd_validate_failures;
+         Alcotest.test_case "content models" `Quick test_dtd_content_models ]);
+      ("path",
+       [ Alcotest.test_case "basic" `Quick test_path_basic;
+         Alcotest.test_case "predicates" `Quick test_path_predicates;
+         Alcotest.test_case "numeric vs string" `Quick test_path_numeric_vs_string;
+         Alcotest.test_case "print roundtrip" `Quick test_path_to_string_roundtrip ]);
+      ("diff",
+       [ Alcotest.test_case "equal" `Quick test_diff_equal;
+         Alcotest.test_case "changes" `Quick test_diff_changes ]);
+      qsuite "diff-props" [ test_diff_detects_everything ];
+      ("ignore", [ Alcotest.test_case "elem testable" `Quick (fun () ->
+           check elem_testable "self equal" sample sample) ]);
+    ]

@@ -1,0 +1,293 @@
+(* Second-wave XML substrate tests: pretty printing, DTD attribute
+   machinery, path evaluation details, escape torture cases. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let int = Alcotest.int
+let string = Alcotest.string
+let bool = Alcotest.bool
+let list = Alcotest.list
+
+(* ---------------- printer ---------------- *)
+
+let test_pretty_preserves_content () =
+  (* pretty printing inserts whitespace only between element-only
+     children; data content must survive a parse round trip *)
+  let docs =
+    [ "<r><a>text with  spaces</a><b><c>x</c><c>y</c></b></r>";
+      "<r>mixed <b>bold</b> tail</r>";
+      "<r a=\"v&quot;w\"><empty/></r>" ]
+  in
+  List.iter
+    (fun src ->
+      let e = Gxml.Parser.parse_element src in
+      let pretty = Gxml.Printer.element_to_string ~pretty:true e in
+      let reparsed = Gxml.Parser.parse_element ~keep_ws:false pretty in
+      (* compare with whitespace-insensitive normalisation on both sides *)
+      let strip e =
+        Gxml.Parser.parse_element ~keep_ws:false (Gxml.Printer.element_to_string e)
+      in
+      check bool (Printf.sprintf "pretty roundtrip %s" src) true
+        (Gxml.Tree.equal_element (strip e) reparsed))
+    docs
+
+let test_compact_is_exact () =
+  let e = Gxml.Parser.parse_element "<r><a>one</a> <b>two</b></r>" in
+  let printed = Gxml.Printer.element_to_string e in
+  let e2 = Gxml.Parser.parse_element printed in
+  check bool "byte-level identity after reparse" true (Gxml.Tree.equal_element e e2)
+
+let test_document_serialisation () =
+  let doc =
+    Gxml.Tree.document ~version:"1.0" ~encoding:"UTF-8" ~doctype:"r"
+      (Gxml.Tree.element "r" [])
+  in
+  let s = Gxml.Printer.document_to_string doc in
+  check bool "has declaration" true
+    (String.length s > 5 && String.sub s 0 5 = "<?xml");
+  let reparsed = Gxml.Parser.parse_document s in
+  check (Alcotest.option string) "doctype kept" (Some "r") reparsed.doctype
+
+(* ---------------- escape torture ---------------- *)
+
+let test_escape_torture () =
+  let nasty = "a&b<c>d\"e'f&amp;g]]>h" in
+  check string "unescape . escape = id on text" nasty
+    (Gxml.Escape.unescape (Gxml.Escape.escape_text nasty));
+  check string "attr escaping" nasty
+    (Gxml.Escape.unescape (Gxml.Escape.escape_attr nasty));
+  (* escaped text parses back *)
+  let e = Gxml.Tree.element "t" [ Gxml.Tree.text nasty ] in
+  let e2 = Gxml.Parser.parse_element (Gxml.Printer.element_to_string e) in
+  check string "through element" nasty (Gxml.Tree.text_content e2)
+
+let escape_roundtrip_prop =
+  QCheck.Test.make ~count:300 ~name:"escape/unescape identity on printable strings"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_bound 40)
+              (QCheck.Gen.char_range ' ' '~'))
+    (fun s ->
+      Gxml.Escape.unescape (Gxml.Escape.escape_text s) = s
+      && Gxml.Escape.unescape (Gxml.Escape.escape_attr s) = s)
+
+(* ---------------- DTD attributes ---------------- *)
+
+let attr_dtd =
+  Gxml.Dtd.parse
+    {|<!ELEMENT r (item*)>
+<!ELEMENT item (#PCDATA)>
+<!ATTLIST item
+  kind (alpha | beta) "alpha"
+  id ID #IMPLIED
+  version CDATA #FIXED "1"
+  label NMTOKEN #REQUIRED>|}
+
+let violations src =
+  List.map
+    (fun v -> Format.asprintf "%a" Gxml.Dtd.pp_violation v)
+    (Gxml.Dtd.validate attr_dtd (Gxml.Parser.parse_element ~keep_ws:false src))
+
+let test_dtd_attr_enum () =
+  check (list string) "valid enum" []
+    (violations {|<r><item kind="beta" label="x">t</item></r>|});
+  check bool "invalid enum rejected" true
+    (violations {|<r><item kind="gamma" label="x">t</item></r>|} <> [])
+
+let test_dtd_attr_fixed () =
+  check (list string) "fixed value ok" []
+    (violations {|<r><item version="1" label="x">t</item></r>|});
+  check bool "wrong fixed value" true
+    (violations {|<r><item version="2" label="x">t</item></r>|} <> [])
+
+let test_dtd_attr_required () =
+  check bool "missing required label" true (violations {|<r><item kind="alpha">t</item></r>|} <> []);
+  check bool "bad nmtoken" true
+    (violations {|<r><item label="has space">t</item></r>|} <> [])
+
+let test_dtd_undeclared_attr () =
+  check bool "undeclared attribute" true
+    (violations {|<r><item label="x" mystery="1">t</item></r>|} <> [])
+
+let test_dtd_attr_default_roundtrip () =
+  (* printing preserves defaults and types *)
+  let printed = Gxml.Dtd.to_string attr_dtd in
+  let reparsed = Gxml.Dtd.parse printed in
+  check string "fixpoint" printed (Gxml.Dtd.to_string reparsed)
+
+(* ---------------- paths ---------------- *)
+
+let sample =
+  Gxml.Parser.parse_element ~keep_ws:false
+    {|<root>
+        <items>
+          <item id="1"><name>alpha</name></item>
+          <item id="2"><name>beta</name><extra>e</extra></item>
+        </items>
+        <misc>stray text</misc>
+      </root>|}
+
+let strings_of p = Gxml.Path.eval_strings sample (Gxml.Path.parse p)
+
+let test_path_wildcards () =
+  check int "star counts children of items" 2
+    (List.length (Gxml.Path.eval sample (Gxml.Path.parse "items/*")));
+  check (list string) "star then name" [ "alpha"; "beta" ] (strings_of "items/*/name");
+  check (list string) "descendant star leaf values" [ "alpha" ]
+    (strings_of {|//item[@id = "1"]/name|})
+
+let test_path_text_node () =
+  check (list string) "text() on child" [ "stray text" ] (strings_of "misc/text()")
+
+let test_path_exists_predicate () =
+  check (list string) "exists predicate" [ "beta" ] (strings_of "//item[extra]/name");
+  check (list string) "negative exists is unmatched" []
+    (strings_of "//item[nonexistent]/name")
+
+let test_path_attr_of_descendants () =
+  check (list string) "all ids" [ "1"; "2" ] (strings_of "//item/@id");
+  check (list string) "direct attribute" [ "1" ] (strings_of "items/item[1]/@id")
+
+(* ---------------- tree normalisation ---------------- *)
+
+let test_normalize_merges_text () =
+  let e =
+    { Gxml.Tree.tag = "t"; attrs = [];
+      children = [ Gxml.Tree.Text "a"; Gxml.Tree.Text "b"; Gxml.Tree.Text "" ] }
+  in
+  match (Gxml.Tree.normalize e).children with
+  | [ Gxml.Tree.Text "ab" ] -> ()
+  | _ -> fail "adjacent text not merged"
+
+let test_equal_modulo_attr_order () =
+  let a = Gxml.Parser.parse_element {|<t x="1" y="2"/>|} in
+  let b = Gxml.Parser.parse_element {|<t y="2" x="1"/>|} in
+  check bool "attr order irrelevant" true (Gxml.Tree.equal_element a b);
+  let c = Gxml.Parser.parse_element {|<t x="1" y="3"/>|} in
+  check bool "value differs" false (Gxml.Tree.equal_element a c)
+
+let test_child_order_significant () =
+  let a = Gxml.Parser.parse_element "<t><a/><b/></t>" in
+  let b = Gxml.Parser.parse_element "<t><b/><a/></t>" in
+  check bool "child order matters" false (Gxml.Tree.equal_element a b)
+
+(* ---------------- generative DTD property ----------------
+
+   Build a random DTD (a DAG of element declarations so content models
+   terminate), derive a document that conforms to it by construction, and
+   check the validator accepts it; then break the document and check the
+   validator objects. *)
+
+module Dtd_gen = struct
+  open QCheck.Gen
+
+  let names = [| "e0"; "e1"; "e2"; "e3"; "e4"; "e5" |]
+
+  (* element i may only reference elements with larger indexes *)
+  let particle_gen i =
+    let deeper = Array.to_list (Array.sub names (i + 1) (Array.length names - i - 1)) in
+    let elem = map (fun n -> Gxml.Dtd.Elem n) (oneofl deeper) in
+    let unary =
+      let* p = elem in
+      oneofl [ Gxml.Dtd.Opt p; Gxml.Dtd.Star p; Gxml.Dtd.Plus p; p ]
+    in
+    frequency
+      [ (2, unary);
+        (2, map (fun ps -> Gxml.Dtd.Seq ps) (list_size (int_range 2 3) unary));
+        (1, map (fun ps -> Gxml.Dtd.Choice ps) (list_size (int_range 2 3) elem)) ]
+
+  let dtd_gen : Gxml.Dtd.t QCheck.Gen.t =
+    let n = Array.length names in
+    let* models =
+      flatten_l
+        (List.init n (fun i ->
+             if i >= n - 2 then return Gxml.Dtd.Pcdata
+             else
+               frequency
+                 [ (3, map (fun p -> Gxml.Dtd.Children p) (particle_gen i));
+                   (1, return Gxml.Dtd.Pcdata);
+                   (1, return Gxml.Dtd.Empty_content) ]))
+    in
+    return
+      { Gxml.Dtd.root_name = Some names.(0);
+        elements = List.mapi (fun i m -> (names.(i), m)) models;
+        attributes = [] }
+
+  (* derive a conforming document from the content models *)
+  let rec derive dtd rng name : Gxml.Tree.element =
+    let children =
+      match Gxml.Dtd.element_model dtd name with
+      | Some Gxml.Dtd.Pcdata -> [ Gxml.Tree.Text "x" ]
+      | Some Gxml.Dtd.Empty_content | Some Gxml.Dtd.Any_content | None -> []
+      | Some (Gxml.Dtd.Mixed allowed) ->
+        Gxml.Tree.Text "t"
+        :: List.map (fun n -> Gxml.Tree.Element (derive dtd rng n)) allowed
+      | Some (Gxml.Dtd.Children p) -> derive_particle dtd rng p
+    in
+    Gxml.Tree.element name children
+
+  and derive_particle dtd rng p : Gxml.Tree.node list =
+    match p with
+    | Gxml.Dtd.Elem n -> [ Gxml.Tree.Element (derive dtd rng n) ]
+    | Gxml.Dtd.Seq ps -> List.concat_map (derive_particle dtd rng) ps
+    | Gxml.Dtd.Choice ps ->
+      derive_particle dtd rng (List.nth ps (Random.State.int rng (List.length ps)))
+    | Gxml.Dtd.Opt p ->
+      if Random.State.bool rng then derive_particle dtd rng p else []
+    | Gxml.Dtd.Star p ->
+      List.concat
+        (List.init (Random.State.int rng 3) (fun _ -> derive_particle dtd rng p))
+    | Gxml.Dtd.Plus p ->
+      List.concat
+        (List.init (1 + Random.State.int rng 2) (fun _ -> derive_particle dtd rng p))
+end
+
+let dtd_generated_docs_validate =
+  QCheck.Test.make ~count:150 ~name:"derived documents conform to their DTD"
+    (QCheck.make
+       (QCheck.Gen.pair Dtd_gen.dtd_gen QCheck.Gen.int)
+       ~print:(fun (dtd, _) -> Gxml.Dtd.to_string dtd))
+    (fun (dtd, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let doc = Dtd_gen.derive dtd rng "e0" in
+      match Gxml.Dtd.validate dtd doc with
+      | [] ->
+        (* an undeclared intruder must be flagged *)
+        let broken =
+          { doc with
+            Gxml.Tree.children =
+              doc.Gxml.Tree.children
+              @ [ Gxml.Tree.Element (Gxml.Tree.element "intruder" []) ] }
+        in
+        Gxml.Dtd.validate dtd broken <> []
+      | vs ->
+        QCheck.Test.fail_reportf "conforming doc rejected: %s / %s"
+          (Format.asprintf "%a" Gxml.Dtd.pp_violation (List.hd vs))
+          (Gxml.Printer.element_to_string doc))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "xml-extra"
+    [ ("printer",
+       [ Alcotest.test_case "pretty preserves content" `Quick test_pretty_preserves_content;
+         Alcotest.test_case "compact exact" `Quick test_compact_is_exact;
+         Alcotest.test_case "document declaration" `Quick test_document_serialisation ]);
+      ("escape",
+       [ Alcotest.test_case "torture" `Quick test_escape_torture ]);
+      qsuite "escape-props" [ escape_roundtrip_prop ];
+      ("dtd-attrs",
+       [ Alcotest.test_case "enum" `Quick test_dtd_attr_enum;
+         Alcotest.test_case "fixed" `Quick test_dtd_attr_fixed;
+         Alcotest.test_case "required+nmtoken" `Quick test_dtd_attr_required;
+         Alcotest.test_case "undeclared" `Quick test_dtd_undeclared_attr;
+         Alcotest.test_case "print fixpoint" `Quick test_dtd_attr_default_roundtrip ]);
+      ("paths-extra",
+       [ Alcotest.test_case "wildcards" `Quick test_path_wildcards;
+         Alcotest.test_case "text()" `Quick test_path_text_node;
+         Alcotest.test_case "exists predicate" `Quick test_path_exists_predicate;
+         Alcotest.test_case "attributes" `Quick test_path_attr_of_descendants ]);
+      qsuite "dtd-gen-props" [ dtd_generated_docs_validate ];
+      ("tree",
+       [ Alcotest.test_case "normalize" `Quick test_normalize_merges_text;
+         Alcotest.test_case "attr order" `Quick test_equal_modulo_attr_order;
+         Alcotest.test_case "child order" `Quick test_child_order_significant ]);
+    ]

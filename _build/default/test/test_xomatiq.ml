@@ -1,0 +1,819 @@
+(* Tests for the XomatiQ core: query parsing, XQ2SQL translation, and
+   end-to-end agreement between the relational path and the reference
+   in-memory evaluator (differential testing). *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let int = Alcotest.int
+let string = Alcotest.string
+let bool = Alcotest.bool
+let list = Alcotest.list
+
+let rows_testable = list (list string)
+
+module D = Datahounds
+
+(* ---------------- fixtures ---------------- *)
+
+let small_universe =
+  lazy
+    (Workload.Genbio.generate
+       { Workload.Genbio.default_config with
+         n_enzymes = 40; n_embl = 60; n_sprot = 50;
+         cdc6_rate = 0.1; ketone_rate = 0.2; ec_link_rate = 0.8;
+         seq_length = 60 })
+
+let loaded_warehouse =
+  lazy
+    (let wh = D.Warehouse.create () in
+     (match Workload.Genbio.load_universe wh (Lazy.force small_universe) with
+      | Ok () -> ()
+      | Error m -> failwith m);
+     (* also warehouse the paper's own Figure 2 entry *)
+     (match
+        D.Warehouse.harvest wh D.Warehouse.enzyme_source D.Enzyme.sample_entry
+      with
+      | Ok 1 -> ()
+      | Ok n -> failwith (Printf.sprintf "expected 1, got %d" n)
+      | Error m -> failwith m);
+     wh)
+
+(* the three paper queries, with PDF-mangled names restored *)
+let fig9_subtree_query =
+  {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id, $a//enzyme_description|}
+
+let fig8_keyword_query =
+  {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+    $b IN document("hlx_sprot.all")/hlx_n_sequence
+WHERE contains($a, "cdc6", any)
+AND contains($b, "cdc6", any)
+RETURN $b//sprot_accession_number, $a//embl_accession_number|}
+
+let fig11_join_query =
+  {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number,
+       $Accession_Description = $a//description|}
+
+(* ---------------- parser ---------------- *)
+
+let test_parse_fig9 () =
+  let q = Xomatiq.Parser.parse fig9_subtree_query in
+  check int "one binding" 1 (List.length q.bindings);
+  let b = List.hd q.bindings in
+  check string "collection" "hlx_enzyme.DEFAULT" b.collection;
+  check string "binding path" "hlx_enzyme" (Gxml.Path.to_string b.path);
+  (match q.where with
+   | Some (Xomatiq.Ast.Contains { var = "a"; keyword = "ketone"; path }) ->
+     check string "contains path" "//catalytic_activity" (Gxml.Path.to_string path)
+   | _ -> fail "where clause shape");
+  check int "two return items" 2 (List.length q.return_items)
+
+let test_parse_fig8 () =
+  let q = Xomatiq.Parser.parse fig8_keyword_query in
+  check int "two bindings" 2 (List.length q.bindings);
+  (match q.where with
+   | Some (Xomatiq.Ast.And (Contains { var = "a"; _ }, Contains { var = "b"; _ })) -> ()
+   | _ -> fail "where shape")
+
+let test_parse_fig11 () =
+  let q = Xomatiq.Parser.parse fig11_join_query in
+  (match q.where with
+   | Some (Xomatiq.Ast.Compare (Var_path vp1, Eq, Var_path vp2)) ->
+     check string "left path" {|//qualifier[@qualifier_type = "EC number"]|}
+       (Gxml.Path.to_string vp1.path);
+     check string "right var" "b" vp2.var
+   | _ -> fail "where shape");
+  (match q.return_items with
+   | [ r1; _r2 ] ->
+     check (Alcotest.option string) "label" (Some "Accession_Number") r1.label
+   | _ -> fail "return items")
+
+let test_parse_let () =
+  let q =
+    Xomatiq.Parser.parse
+      {|FOR $a IN document("c")/root
+LET $x := $a//inner
+WHERE $x/leaf = "v"
+RETURN $x/leaf|}
+  in
+  (* lets are inlined by Ast.check *)
+  check int "lets inlined" 0 (List.length q.lets);
+  match q.where with
+  | Some (Xomatiq.Ast.Compare (Var_path { var = "a"; path }, Eq, Literal (Lit_string "v"))) ->
+    check string "inlined path" "//inner/leaf" (Gxml.Path.to_string path)
+  | _ -> fail "let not inlined"
+
+let test_parse_errors () =
+  let bad =
+    [ "WHERE x RETURN $a";                              (* no FOR *)
+      "FOR $a IN document(\"c\") RETURN $b//x";         (* unbound var *)
+      "FOR $a IN document(\"c\") WHERE 1 = 2 RETURN $a//x"; (* literal cmp *)
+      "FOR $a IN document(\"c\")";                      (* no RETURN *)
+      "FOR $a IN document(\"c\") WHERE contains($a, \"\") RETURN $a//x" ]
+  in
+  List.iter
+    (fun src ->
+      match Xomatiq.Parser.parse src with
+      | exception (Xomatiq.Parser.Parse_error _ | Xomatiq.Ast.Invalid_query _) -> ()
+      | _ -> fail (Printf.sprintf "expected parse failure: %s" src))
+    bad
+
+let test_print_parse_roundtrip () =
+  List.iter
+    (fun src ->
+      let q = Xomatiq.Parser.parse src in
+      let printed = Xomatiq.Ast.to_string q in
+      let q2 = Xomatiq.Parser.parse printed in
+      check string (Printf.sprintf "roundtrip %s" src) printed (Xomatiq.Ast.to_string q2))
+    [ fig9_subtree_query; fig8_keyword_query; fig11_join_query ]
+
+(* ---------------- end-to-end on the paper entry ---------------- *)
+
+let test_fig9_finds_planted_ketone () =
+  let wh = Lazy.force loaded_warehouse in
+  let result = Xomatiq.Engine.run_text wh fig9_subtree_query in
+  (* the generator plants "ketone" in ~20% of 40 enzymes *)
+  check bool "finds some enzymes" true (List.length result.rows > 0);
+  (* all returned descriptions belong to enzymes with a ketone activity *)
+  let u = Lazy.force small_universe in
+  let expected_ids =
+    List.filter_map
+      (fun (e : D.Enzyme.t) ->
+        if List.exists
+             (fun a -> Xomatiq.Eval.node_value (Gxml.Tree.element "x" [ Gxml.Tree.text a ]) <> None
+                       && List.mem "ketone" (D.Shred.tokenize a))
+             e.catalytic_activities
+        then Some e.ec_number
+        else None)
+      u.enzymes
+    |> List.sort_uniq compare
+  in
+  let got_ids = List.sort_uniq compare (List.map List.hd result.rows) in
+  check (list string) "exactly the planted enzymes" expected_ids got_ids
+
+let test_fig11_join_correct () =
+  let wh = Lazy.force loaded_warehouse in
+  let result = Xomatiq.Engine.run_text wh fig11_join_query in
+  check (list string) "labels" [ "Accession_Number"; "Accession_Description" ]
+    result.labels;
+  (* expected: EMBL entries whose EC qualifier equals a warehoused enzyme id *)
+  let u = Lazy.force small_universe in
+  let enzyme_ids =
+    "1.14.17.3" :: List.map (fun (e : D.Enzyme.t) -> e.ec_number) u.enzymes
+  in
+  let expected =
+    List.filter_map
+      (fun (e : D.Embl.t) ->
+        let ecs =
+          List.concat_map
+            (fun (f : D.Embl.feature) ->
+              List.filter_map
+                (fun (q : D.Embl.qualifier) ->
+                  if q.qualifier_type = "EC number" then Some q.qualifier_value
+                  else None)
+                f.qualifiers)
+            e.features
+        in
+        if List.exists (fun ec -> List.mem ec enzyme_ids) ecs then
+          Some [ e.accession; e.description ]
+        else None)
+      u.embl_entries
+    |> List.sort_uniq compare
+  in
+  check rows_testable "join result matches ground truth" expected result.rows
+
+let test_fig8_keyword_both_sources () =
+  let wh = Lazy.force loaded_warehouse in
+  let result = Xomatiq.Engine.run_text wh fig8_keyword_query in
+  let u = Lazy.force small_universe in
+  let embl_cdc6 =
+    List.filter (fun (e : D.Embl.t) -> List.mem "cdc6" e.keywords) u.embl_entries
+  in
+  let sprot_cdc6 =
+    List.filter
+      (fun (p : D.Swissprot.t) ->
+        List.mem "cdc6" p.keywords || p.gene = Some "cdc6")
+      u.sprot_entries
+  in
+  check int "cartesian size" (List.length embl_cdc6 * List.length sprot_cdc6)
+    (List.length result.rows);
+  check bool "nonempty (rates guarantee hits)" true (result.rows <> [])
+
+(* ---------------- relational vs reference (differential) ---------------- *)
+
+let agree name query =
+  let wh = Lazy.force loaded_warehouse in
+  let relational = Xomatiq.Engine.run_text ~mode:`Relational wh query in
+  let reference = Xomatiq.Engine.run_text ~mode:`Reference wh query in
+  check rows_testable (name ^ ": relational = reference") reference.rows relational.rows
+
+let test_differential_paper_queries () =
+  agree "fig9" fig9_subtree_query;
+  agree "fig8" fig8_keyword_query;
+  agree "fig11" fig11_join_query
+
+let test_differential_variants () =
+  agree "string equality"
+    {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+      WHERE $a//enzyme_id = "1.14.17.3"
+      RETURN $a//enzyme_description|};
+  agree "numeric comparison"
+    {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+      WHERE $a//sequence_length > 90
+      RETURN $a//embl_accession_number|};
+  agree "numeric range conjunction"
+    {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+      WHERE $a//sequence_length > 70 AND $a//sequence_length <= 100
+      RETURN $a//embl_accession_number|};
+  agree "disjunction"
+    {|FOR $a IN document("hlx_sprot.all")/hlx_n_sequence
+      WHERE contains($a//keyword_list, "cdc6") OR contains($a//keyword_list, "apoptosis")
+      RETURN $a//sprot_accession_number|};
+  agree "negation"
+    {|FOR $a IN document("hlx_sprot.all")/hlx_n_sequence
+      WHERE NOT contains($a//keyword_list, "cdc6")
+      RETURN $a//sprot_accession_number|};
+  agree "attribute return"
+    {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+      WHERE contains($a//catalytic_activity, "ketone")
+      RETURN $a//reference/@swissprot_accession_number|};
+  agree "attribute predicate + attribute return"
+    {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+      WHERE $a//qualifier[@qualifier_type = "gene"] = "cdc6"
+      RETURN $a//embl_accession_number|};
+  agree "multi-word keyword"
+    {|FOR $a IN document("hlx_sprot.all")/hlx_n_sequence
+      WHERE contains($a, "cell cycle", any)
+      RETURN $a//sprot_accession_number|};
+  agree "self comparison on bound node"
+    {|FOR $a IN document("hlx_enzyme.DEFAULT")//enzyme_id
+      WHERE $a = "1.14.17.3"
+      RETURN $a|};
+  agree "no where clause"
+    {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+      RETURN $a/enzyme_id|};
+  agree "bare document binding"
+    {|FOR $a IN document("hlx_enzyme.DEFAULT")
+      WHERE contains($a, "ketone", any)
+      RETURN $a//enzyme_id|};
+  agree "missing path yields empty"
+    {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+      WHERE $a//no_such_element = "x"
+      RETURN $a//enzyme_id|}
+
+let test_order_operators () =
+  (* In every ENZYME document, enzyme_id precedes the swissprot references
+     and follows nothing — the DTD fixes the element order, so BEFORE and
+     AFTER results are fully predictable. *)
+  let wh = Lazy.force loaded_warehouse in
+  let all_ids =
+    Xomatiq.Engine.run_text wh
+      {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme RETURN $a//enzyme_id|}
+  in
+  let before =
+    Xomatiq.Engine.run_text wh
+      {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+        WHERE $a//enzyme_id BEFORE $a//swissprot_reference_list
+        RETURN $a//enzyme_id|}
+  in
+  check rows_testable "enzyme_id precedes references in every doc"
+    all_ids.rows before.rows;
+  let after =
+    Xomatiq.Engine.run_text wh
+      {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+        WHERE $a//enzyme_id AFTER $a//swissprot_reference_list
+        RETURN $a//enzyme_id|}
+  in
+  check rows_testable "never after" [] after.rows;
+  (* differential agreement for order operators, including under NOT *)
+  agree "order before"
+    {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+      WHERE $a//alternate_name BEFORE $a//catalytic_activity
+      RETURN $a//enzyme_id|};
+  agree "order negated"
+    {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+      WHERE NOT ($a//enzyme_id AFTER $a//disease_list)
+      RETURN $a//enzyme_id|};
+  (* cross-binding order over the same collection: only same-document
+     combinations can satisfy it *)
+  agree "cross-binding order"
+    {|FOR $a IN document("hlx_enzyme.DEFAULT")//enzyme_id,
+        $b IN document("hlx_enzyme.DEFAULT")//cofactor_list
+      WHERE $a BEFORE $b
+      RETURN $a|}
+
+let test_order_rejects_attributes () =
+  match
+    Xomatiq.Parser.parse
+      {|FOR $a IN document("c")/x WHERE $a//r/@n BEFORE $a//s RETURN $a//y|}
+  with
+  | exception Xomatiq.Ast.Invalid_query _ -> ()
+  | _ -> fail "attribute operands must be rejected"
+
+let test_unknown_collection () =
+  let wh = Lazy.force loaded_warehouse in
+  match
+    Xomatiq.Engine.run_text wh
+      {|FOR $a IN document("nope")/x RETURN $a//y|}
+  with
+  | r -> check rows_testable "empty for unknown collection" [] r.rows
+  | exception Xomatiq.Engine.Query_error _ -> ()
+
+let test_prepared_queries () =
+  let wh = Lazy.force loaded_warehouse in
+  List.iter
+    (fun q ->
+      let ast = Xomatiq.Parser.parse q in
+      let adhoc = Xomatiq.Engine.run wh ast in
+      let prepared = Xomatiq.Engine.prepare wh ast in
+      check rows_testable "prepared = ad hoc (first run)" adhoc.rows
+        (Xomatiq.Engine.run_prepared prepared).rows;
+      check rows_testable "prepared = ad hoc (second run)" adhoc.rows
+        (Xomatiq.Engine.run_prepared prepared).rows)
+    [ fig9_subtree_query; fig8_keyword_query; fig11_join_query ]
+
+let test_query_mix_all_classes () =
+  (* every generated task-class query parses, translates and agrees with
+     the reference evaluator *)
+  let u =
+    Workload.Genbio.generate
+      { Workload.Genbio.default_config with
+        n_enzymes = 25; n_embl = 30; n_sprot = 30; n_citations = 20;
+        cdc6_rate = 0.1; ketone_rate = 0.2; ec_link_rate = 0.7; seq_length = 40 }
+  in
+  let wh = D.Warehouse.create () in
+  (match Workload.Genbio.load_universe wh u with
+   | Ok () -> ()
+   | Error m -> fail m);
+  let mix = Workload.Query_mix.mixed ~seed:5 ~universe:u ~per_class:3 in
+  check int "six classes x three queries" 18 (List.length mix);
+  List.iter
+    (fun (cls, text) ->
+      let name = Workload.Query_mix.class_name cls in
+      let relational = Xomatiq.Engine.run_text ~mode:`Relational wh text in
+      let reference = Xomatiq.Engine.run_text ~mode:`Reference wh text in
+      check rows_testable (name ^ " differential") reference.rows relational.rows)
+    mix
+
+let test_contains_strategies_agree () =
+  (* the LIKE-scan ablation must compute the same answers as the keyword
+     index on whole-word keywords *)
+  let wh = Lazy.force loaded_warehouse in
+  List.iter
+    (fun q ->
+      let indexed = Xomatiq.Engine.run_text wh q in
+      let scanned = Xomatiq.Engine.run_text ~contains_strategy:`Like_scan wh q in
+      check rows_testable "strategies agree" indexed.rows scanned.rows)
+    [ fig9_subtree_query; fig8_keyword_query ]
+
+(* ---------------- randomized differential testing ---------------- *)
+
+(* Generate random FLWR queries over the warehoused vocabulary and check
+   that the XQ2SQL + relational path agrees with the reference evaluator
+   on every one. Queries stay inside the SQL-translatable subset. *)
+module Qgen = struct
+  let enzyme_paths =
+    [ "//enzyme_id"; "//enzyme_description"; "//alternate_name";
+      "//catalytic_activity"; "//cofactor"; "//comment";
+      "//reference/@swissprot_accession_number"; "//prosite_reference" ]
+
+  let embl_paths =
+    [ "//embl_accession_number"; "//description"; "//sequence_length";
+      "//keyword"; "//organism"; "//qualifier"; "//db_reference/@primary_id" ]
+
+  let sprot_paths =
+    [ "//sprot_accession_number"; "//protein_name"; "//keyword"; "//organism";
+      "//sequence_length"; "//gene" ]
+
+  let collections =
+    [ ("hlx_enzyme.DEFAULT", "hlx_enzyme", enzyme_paths);
+      ("hlx_embl.inv", "hlx_n_sequence", embl_paths);
+      ("hlx_sprot.all", "hlx_n_sequence", sprot_paths) ]
+
+  let string_literals =
+    [ "cdc6"; "Copper"; "1.14.17.3"; "Drosophila melanogaster"; "zzz-none";
+      "Glucose dehydrogenase" ]
+
+  let keywords = [ "cdc6"; "ketone"; "copper"; "cycle"; "zzz_none"; "gene" ]
+
+  let numbers = [ 50.0; 100.0; 150.0; 240.0 ]
+
+  open QCheck.Gen
+
+  let pick_path paths = map Gxml.Path.parse (oneofl paths)
+
+  let cmp_gen : Xomatiq.Ast.cmp QCheck.Gen.t =
+    oneofl [ Xomatiq.Ast.Eq; Neq; Lt; Le; Gt; Ge ]
+
+  let condition_gen (bindings : (string * string list) list) =
+    (* bindings: (var, value paths usable under it) *)
+    let var_path =
+      let* var, paths = oneofl bindings in
+      let* path = pick_path paths in
+      return (var, path)
+    in
+    let leaf =
+      frequency
+        [ (3,
+           let* var, path = var_path in
+           let* op = cmp_gen in
+           let* lit =
+             oneof
+               [ map (fun s -> Xomatiq.Ast.Lit_string s) (oneofl string_literals);
+                 map (fun f -> Xomatiq.Ast.Lit_number f) (oneofl numbers) ]
+           in
+           return
+             (Xomatiq.Ast.Compare
+                (Var_path { var; path }, op, Literal lit)));
+          (3,
+           let* var, path = var_path in
+           let* kw = oneofl keywords in
+           return (Xomatiq.Ast.Contains { var; path; keyword = kw }));
+          (1,
+           let* var, _ = oneofl bindings in
+           let* kw = oneofl keywords in
+           return (Xomatiq.Ast.Contains { var; path = []; keyword = kw }));
+          (1,
+           (* var-to-var string equality *)
+           let* v1, p1 = var_path in
+           let* v2, p2 = var_path in
+           return
+             (Xomatiq.Ast.Compare
+                ( Var_path { var = v1; path = p1 },
+                  Eq,
+                  Var_path { var = v2; path = p2 })));
+          (1,
+           (* document-order comparison between element paths of one var *)
+           let element_paths paths =
+             List.filter (fun p -> not (String.contains p '@')) paths
+           in
+           let* var, paths = oneofl bindings in
+           let elems = element_paths paths in
+           let* p1 = pick_path elems in
+           let* p2 = pick_path elems in
+           let* op = oneofl [ Xomatiq.Ast.Before; Xomatiq.Ast.After ] in
+           return (Xomatiq.Ast.Order { left = (var, p1); op; right = (var, p2) })) ]
+    in
+    let rec tree depth =
+      if depth = 0 then leaf
+      else
+        frequency
+          [ (4, leaf);
+            (2,
+             let* a = tree (depth - 1) in
+             let* b = tree (depth - 1) in
+             return (Xomatiq.Ast.And (a, b)));
+            (2,
+             let* a = tree (depth - 1) in
+             let* b = tree (depth - 1) in
+             return (Xomatiq.Ast.Or (a, b)));
+            (1,
+             let* a = tree (depth - 1) in
+             return (Xomatiq.Ast.Not a)) ]
+    in
+    tree 2
+
+  let query_gen : Xomatiq.Ast.t QCheck.Gen.t =
+    let* n_bindings = oneofl [ 1; 1; 1; 2 ] in
+    let* chosen =
+      if n_bindings = 1 then map (fun c -> [ c ]) (oneofl collections)
+      else
+        let* c1 = oneofl collections in
+        let* c2 = oneofl collections in
+        return [ c1; c2 ]
+    in
+    let bindings =
+      List.mapi
+        (fun i (collection, root, _) ->
+          { Xomatiq.Ast.var = Printf.sprintf "v%d" i;
+            collection;
+            path = Gxml.Path.parse root })
+        chosen
+    in
+    let var_paths =
+      List.mapi (fun i (_, _, paths) -> (Printf.sprintf "v%d" i, paths)) chosen
+    in
+    (* two-binding queries always get a WHERE to bound the cross product *)
+    let* where =
+      if n_bindings = 2 then map Option.some (condition_gen var_paths)
+      else option (condition_gen var_paths)
+    in
+    let* return_items =
+      let item =
+        let* var, paths = oneofl var_paths in
+        let* path = pick_path paths in
+        return { Xomatiq.Ast.label = None; item_var = var; item_path = path }
+      in
+      let* first = item in
+      let* rest = option item in
+      return (first :: Option.to_list rest)
+    in
+    return { Xomatiq.Ast.bindings; lets = []; where; return_items }
+end
+
+let differential_random_queries =
+  (* a dedicated small warehouse keeps the worst-case cross products fast *)
+  let wh =
+    lazy
+      (let wh = D.Warehouse.create () in
+       let u =
+         Workload.Genbio.generate
+           { Workload.Genbio.default_config with
+             n_enzymes = 25; n_embl = 30; n_sprot = 30;
+             cdc6_rate = 0.15; ketone_rate = 0.25; ec_link_rate = 0.7;
+             seq_length = 40 }
+       in
+       (match Workload.Genbio.load_universe wh u with
+        | Ok () -> ()
+        | Error m -> failwith m);
+       wh)
+  in
+  QCheck.Test.make ~count:120 ~name:"random queries: relational = reference"
+    (QCheck.make Qgen.query_gen ~print:Xomatiq.Ast.to_string)
+    (fun q ->
+      let wh = Lazy.force wh in
+      match Xomatiq.Engine.run ~mode:`Relational wh q with
+      | relational ->
+        let reference = Xomatiq.Engine.run ~mode:`Reference wh q in
+        if relational.rows <> reference.rows then
+          QCheck.Test.fail_reportf
+            "relational (%d rows) <> reference (%d rows)\nSQL: %s"
+            (List.length relational.rows) (List.length reference.rows)
+            relational.sql
+        else begin
+          (* the prepared path must agree too *)
+          let prepared =
+            Xomatiq.Engine.run_prepared (Xomatiq.Engine.prepare wh q)
+          in
+          if prepared.rows <> relational.rows then
+            QCheck.Test.fail_report "prepared path disagrees with ad hoc"
+          else true
+        end
+      | exception Xomatiq.Engine.Query_error _ ->
+        (* generator stays in the supported subset; translation errors are
+           real failures *)
+        QCheck.Test.fail_report "translation rejected a generated query")
+
+(* ---------------- query modes (GUI builders) ---------------- *)
+
+let test_mode_subtree () =
+  let wh = Lazy.force loaded_warehouse in
+  let q =
+    Xomatiq.Modes.subtree_search ~collection:"hlx_enzyme.DEFAULT"
+      ~binding_path:(Gxml.Path.parse "hlx_enzyme")
+      ~subtree:(Gxml.Path.parse "//catalytic_activity")
+      ~keyword:"ketone"
+      ~return_paths:[ Gxml.Path.parse "//enzyme_id"; Gxml.Path.parse "//enzyme_description" ]
+  in
+  let from_mode = Xomatiq.Engine.run wh q in
+  let from_text = Xomatiq.Engine.run_text wh fig9_subtree_query in
+  check rows_testable "mode = textual query" from_text.rows from_mode.rows
+
+let test_mode_join () =
+  let wh = Lazy.force loaded_warehouse in
+  let q =
+    Xomatiq.Modes.join_query
+      ~left:("hlx_embl.inv", Gxml.Path.parse "hlx_n_sequence/db_entry")
+      ~right:("hlx_enzyme.DEFAULT", Gxml.Path.parse "hlx_enzyme/db_entry")
+      ~on:
+        ( Gxml.Path.parse {|//qualifier[@qualifier_type = "EC number"]|},
+          Gxml.Path.parse "enzyme_id" )
+      ~return_items:
+        [ (Some "Accession_Number", `Left, Gxml.Path.parse "//embl_accession_number");
+          (Some "Accession_Description", `Left, Gxml.Path.parse "//description") ]
+  in
+  let from_mode = Xomatiq.Engine.run wh q in
+  let from_text = Xomatiq.Engine.run_text wh fig11_join_query in
+  check rows_testable "join mode = textual query" from_text.rows from_mode.rows
+
+let test_mode_keyword () =
+  let wh = Lazy.force loaded_warehouse in
+  let q =
+    Xomatiq.Modes.keyword_search
+      ~collections:
+        [ ("hlx_embl.inv", Gxml.Path.parse "hlx_n_sequence");
+          ("hlx_sprot.all", Gxml.Path.parse "hlx_n_sequence") ]
+      ~keyword:"cdc6"
+      ~return_paths:
+        [ ("hlx_sprot.all", [ Gxml.Path.parse "//sprot_accession_number" ]);
+          ("hlx_embl.inv", [ Gxml.Path.parse "//embl_accession_number" ]) ]
+  in
+  let from_mode = Xomatiq.Engine.run wh q in
+  check bool "keyword mode returns rows" true (from_mode.rows <> []);
+  (* differential check for the generated query too *)
+  let reference = Xomatiq.Engine.run ~mode:`Reference wh q in
+  check rows_testable "keyword mode differential" reference.rows from_mode.rows
+
+(* ---------------- XQ2SQL translation shape ---------------- *)
+
+let contains_sub hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_xq2sql_shape () =
+  let wh = Lazy.force loaded_warehouse in
+  let db = D.Warehouse.db wh in
+  let t =
+    Xomatiq.Xq2sql.translate db (Xomatiq.Parser.parse fig9_subtree_query)
+  in
+  (* single matching path collapses to an equality for index use *)
+  check bool "path equality emitted" true (contains_sub t.sql ".path_id = ");
+  check bool "keyword table probed" true (contains_sub t.sql "xml_keyword");
+  check bool "collection constant" true
+    (contains_sub t.sql "collection = 'hlx_enzyme.DEFAULT'");
+  check bool "region encoding used" true (contains_sub t.sql ".last_desc");
+  check bool "distinct rows" true (contains_sub t.sql "SELECT DISTINCT");
+  check bool "not statically empty" false t.statically_empty;
+  (* a path that matches nothing marks the translation statically empty *)
+  let t2 =
+    Xomatiq.Xq2sql.translate db
+      (Xomatiq.Parser.parse
+         {|FOR $a IN document("hlx_enzyme.DEFAULT")/never_heard_of_it RETURN $a//x|})
+  in
+  check bool "statically empty" true t2.statically_empty;
+  (* negation produces an EXISTS, not a join *)
+  let t3 =
+    Xomatiq.Xq2sql.translate db
+      (Xomatiq.Parser.parse
+         {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE NOT contains($a, "ketone", any)
+RETURN $a//enzyme_id|})
+  in
+  check bool "negation via EXISTS" true (contains_sub t3.sql "NOT EXISTS")
+
+let test_xq2sql_unsupported () =
+  let wh = Lazy.force loaded_warehouse in
+  let db = D.Warehouse.db wh in
+  let must_reject text =
+    match Xomatiq.Xq2sql.translate db (Xomatiq.Parser.parse text) with
+    | exception Xomatiq.Xq2sql.Unsupported _ -> ()
+    | _ -> fail ("expected Unsupported: " ^ text)
+  in
+  (* positional predicate *)
+  must_reject
+    {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE $a//alternate_name[1] = "x" RETURN $a//enzyme_id|};
+  (* predicate on a non-final step *)
+  must_reject
+    {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+WHERE $a//feature[@feature_key = "CDS"]/qualifier = "x"
+RETURN $a//embl_accession_number|}
+
+let test_multi_token_keyword_spans_subtree () =
+  (* "cell cycle" tokenizes to two words that live in the same keyword
+     element — but tokens in *different* nodes of a subtree also count:
+     "drosophila kinase" matches entries where the organism says
+     Drosophila and some keyword says kinase *)
+  let wh = Lazy.force loaded_warehouse in
+  let q =
+    {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+WHERE contains($a, "drosophila gene", any)
+RETURN $a//embl_accession_number|}
+  in
+  let relational = Xomatiq.Engine.run_text wh q in
+  let reference = Xomatiq.Engine.run_text ~mode:`Reference wh q in
+  check rows_testable "multi-node token match differential" reference.rows
+    relational.rows;
+  check bool "matches exist" true (relational.rows <> [])
+
+(* ---------------- lint ---------------- *)
+
+let test_lint_clean_queries () =
+  let wh = Lazy.force loaded_warehouse in
+  List.iter
+    (fun q ->
+      let warnings = Xomatiq.Lint.check wh (Xomatiq.Parser.parse q) in
+      check int (Printf.sprintf "no warnings: %s" q) 0 (List.length warnings))
+    [ fig9_subtree_query; fig8_keyword_query; fig11_join_query ]
+
+let test_lint_catches_typos () =
+  let wh = Lazy.force loaded_warehouse in
+  let warnings_of q = Xomatiq.Lint.check wh (Xomatiq.Parser.parse q) in
+  (* misspelled element in a return path *)
+  check bool "typo in return path" true
+    (warnings_of
+       {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+RETURN $a//enzym_id|}
+     <> []);
+  (* binding path that the DTD cannot produce *)
+  check bool "impossible binding path" true
+    (warnings_of
+       {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_protein
+RETURN $a//enzyme_id|}
+     <> []);
+  (* attribute that no element declares *)
+  check bool "unknown attribute" true
+    (warnings_of
+       {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE $a//reference/@nope = "x"
+RETURN $a//enzyme_id|}
+     <> []);
+  (* structurally valid attribute passes *)
+  check int "declared attribute passes" 0
+    (List.length
+       (warnings_of
+          {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+RETURN $a//reference/@swissprot_accession_number|}));
+  (* a path valid under the wrong variable is flagged *)
+  check bool "path under the wrong binding" true
+    (warnings_of
+       {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE $a//enzyme_id = "1.1.1.1"
+RETURN $b//enzyme_id|}
+     <> []);
+  (* unknown collections are skipped, not flagged *)
+  check int "unknown collection skipped" 0
+    (List.length (warnings_of {|FOR $a IN document("nope")/x RETURN $a//y|}))
+
+(* ---------------- tagger ---------------- *)
+
+let test_tagger_xml () =
+  let doc =
+    Xomatiq.Tagger.to_xml ~labels:[ "Accession Number"; "desc" ]
+      [ [ "A1"; "first" ]; [ "A2"; "second" ] ]
+  in
+  check string "root" "results" doc.root.tag;
+  check (Alcotest.option string) "count attr" (Some "2") (Gxml.Tree.attr doc.root "count");
+  check int "two results" 2 (List.length (Gxml.Tree.children_named doc.root "result"));
+  let first = List.hd (Gxml.Tree.children_named doc.root "result") in
+  (match Gxml.Tree.child_named first "Accession_Number" with
+   | Some e -> check string "sanitised label element" "A1" (Gxml.Tree.text_content e)
+   | None -> fail "missing sanitised element");
+  (* serialises to well-formed XML *)
+  let printed = Gxml.Printer.document_to_string doc in
+  ignore (Gxml.Parser.parse_document printed)
+
+let test_tagger_table () =
+  let table =
+    Xomatiq.Tagger.to_table ~labels:[ "id"; "name" ]
+      [ [ "1"; "alpha" ]; [ "2"; "b" ] ]
+  in
+  check bool "has header" true (String.length table > 0 && String.sub table 0 2 = "id");
+  check bool "row count line" true
+    (String.length table >= 9 && String.sub table (String.length table - 9) 8 = "(2 rows)")
+
+(* ---------------- explain ---------------- *)
+
+let test_explain_uses_indexes () =
+  let wh = Lazy.force loaded_warehouse in
+  let q = Xomatiq.Parser.parse fig9_subtree_query in
+  let plan = Xomatiq.Engine.explain wh q in
+  let contains_sub hay needle =
+    let hl = String.length hay and nl = String.length needle in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    nl = 0 || go 0
+  in
+  check bool "keyword index probed" true
+    (contains_sub plan "IndexLookup" || contains_sub plan "HashJoin");
+  check bool "shows the SQL" true (contains_sub plan "SELECT DISTINCT")
+
+let () =
+  Alcotest.run "xomatiq"
+    [ ("parser",
+       [ Alcotest.test_case "fig9" `Quick test_parse_fig9;
+         Alcotest.test_case "fig8" `Quick test_parse_fig8;
+         Alcotest.test_case "fig11" `Quick test_parse_fig11;
+         Alcotest.test_case "let inlining" `Quick test_parse_let;
+         Alcotest.test_case "errors" `Quick test_parse_errors;
+         Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip ]);
+      ("paper-queries",
+       [ Alcotest.test_case "fig9 subtree" `Quick test_fig9_finds_planted_ketone;
+         Alcotest.test_case "fig11 join" `Quick test_fig11_join_correct;
+         Alcotest.test_case "fig8 keyword" `Quick test_fig8_keyword_both_sources ]);
+      ("differential",
+       [ Alcotest.test_case "paper queries" `Quick test_differential_paper_queries;
+         Alcotest.test_case "variants" `Quick test_differential_variants;
+         Alcotest.test_case "unknown collection" `Quick test_unknown_collection ]);
+      ("ablation",
+       [ Alcotest.test_case "contains strategies" `Quick test_contains_strategies_agree ]);
+      ("prepared",
+       [ Alcotest.test_case "agrees with ad hoc" `Quick test_prepared_queries ]);
+      ("query-mix",
+       [ Alcotest.test_case "all classes differential" `Quick test_query_mix_all_classes ]);
+      ("differential-props",
+       List.map QCheck_alcotest.to_alcotest [ differential_random_queries ]);
+      ("order-operators",
+       [ Alcotest.test_case "before/after" `Quick test_order_operators;
+         Alcotest.test_case "reject attributes" `Quick test_order_rejects_attributes ]);
+      ("modes",
+       [ Alcotest.test_case "subtree" `Quick test_mode_subtree;
+         Alcotest.test_case "join" `Quick test_mode_join;
+         Alcotest.test_case "keyword" `Quick test_mode_keyword ]);
+      ("lint",
+       [ Alcotest.test_case "clean queries" `Quick test_lint_clean_queries;
+         Alcotest.test_case "catches typos" `Quick test_lint_catches_typos ]);
+      ("xq2sql",
+       [ Alcotest.test_case "sql shape" `Quick test_xq2sql_shape;
+         Alcotest.test_case "unsupported forms" `Quick test_xq2sql_unsupported;
+         Alcotest.test_case "multi-token keywords" `Quick test_multi_token_keyword_spans_subtree ]);
+      ("tagger",
+       [ Alcotest.test_case "xml" `Quick test_tagger_xml;
+         Alcotest.test_case "table" `Quick test_tagger_table ]);
+      ("explain", [ Alcotest.test_case "indexes" `Quick test_explain_uses_indexes ]);
+    ]
