@@ -42,13 +42,30 @@ let build_warehouse ?(indexes = true) u =
    | Ok () -> ()
    | Error m -> failwith m);
   if not indexes then begin
-    (* E5 ablation: drop every secondary index, keeping only primary keys *)
+    (* E5 ablation: drop every secondary index, keeping only primary keys.
+       Enumerated from the catalog so new warehouse indexes are ablated
+       automatically; PK indexes are named <table>_pkey by the engine. *)
     let db = Datahounds.Warehouse.db wh in
+    let cat = Rdb.Database.catalog db in
+    let secondary =
+      List.concat_map
+        (fun tname ->
+          match Rdb.Catalog.find_table cat tname with
+          | None -> []
+          | Some tbl ->
+            List.filter_map
+              (fun idx ->
+                let name = Rdb.Index.name idx in
+                if String.length name > 5
+                   && String.sub name (String.length name - 5) 5 = "_pkey"
+                then None
+                else Some name)
+              (Rdb.Table.indexes tbl))
+        (Rdb.Catalog.table_names cat)
+    in
     List.iter
       (fun name -> ignore (Rdb.Database.exec_exn db ("DROP INDEX " ^ name)))
-      [ "xml_doc_collection"; "xml_node_path"; "xml_node_parent"; "xml_node_sval";
-        "xml_node_nval"; "xml_keyword_word"; "xml_path_path"; "xml_node_doc_path";
-        "xml_keyword_doc_word"; "xml_node_doc"; "xml_keyword_doc" ]
+      secondary
   end;
   wh
 
@@ -207,10 +224,15 @@ let ms t = t *. 1000.0
 let print_e5 () =
   print_newline ();
   Printf.printf "E5: ablations (scale=%d docs/source) — paper Section 3.2 claim\n" scale;
-  Printf.printf "%-18s %12s %12s %12s %10s\n" "query" "full (ms)" "like-scan" "no-index"
-    "worst/full";
-  Printf.printf "%s\n" (String.make 68 '-');
+  Printf.printf "%-18s %10s %10s %10s %10s %7s %9s %9s\n" "query" "full (ms)"
+    "like-scan" "no-index" "worst/full" "probes" "op rows" "rows-noix";
+  Printf.printf "%s\n" (String.make 90 '-');
   let bare = build_warehouse ~indexes:false universe in
+  let counters wh ast =
+    match (Xomatiq.Engine.run ~trace:true wh ast).Xomatiq.Engine.trace with
+    | Some tr -> tr
+    | None -> failwith "traced run returned no trace"
+  in
   List.iter
     (fun (name, ast) ->
       let with_idx = time_median (fun () -> ignore (Xomatiq.Engine.run warehouse ast)) in
@@ -219,9 +241,18 @@ let print_e5 () =
             ignore (Xomatiq.Engine.run ~contains_strategy:`Like_scan warehouse ast))
       in
       let without = time_median (fun () -> ignore (Xomatiq.Engine.run bare ast)) in
-      Printf.printf "%-18s %12.2f %12.2f %12.2f %9.1fx\n" name (ms with_idx)
-        (ms like_scan) (ms without)
-        (Float.max like_scan without /. with_idx))
+      (* real operator counters, from a profiled run of each configuration *)
+      let full_tr = counters warehouse ast in
+      let bare_tr = counters bare ast in
+      Printf.printf "%-18s %10.2f %10.2f %10.2f %9.1fx %7d %9d %9d\n" name
+        (ms with_idx) (ms like_scan) (ms without)
+        (Float.max like_scan without /. with_idx)
+        full_tr.Xomatiq.Engine.index_probes full_tr.Xomatiq.Engine.operator_rows
+        bare_tr.Xomatiq.Engine.operator_rows;
+      Printf.printf "%-18s   indexes: %s\n" ""
+        (match full_tr.Xomatiq.Engine.indexes with
+         | [] -> "(none)"
+         | l -> String.concat ", " l))
     asts;
   Datahounds.Warehouse.close bare
 

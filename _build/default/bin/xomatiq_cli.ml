@@ -62,11 +62,13 @@ let harvest_cmd =
     | Ok src ->
       with_warehouse db @@ fun wh ->
       Datahounds.Warehouse.register_source wh src;
-      (match Datahounds.Warehouse.harvest wh src (read_file file) with
-       | Ok n ->
-         Printf.printf "Loaded %d document(s) into %s (%d nodes total).\n" n
-           src.source_collection
+      (match Datahounds.Warehouse.harvest_stats wh src (read_file file) with
+       | Ok st ->
+         Printf.printf "Loaded %d document(s) into %s (%d nodes total).\n"
+           st.Datahounds.Warehouse.docs src.source_collection
            (Datahounds.Warehouse.node_count wh);
+         Printf.printf "load stats: %s\n"
+           (Datahounds.Warehouse.load_stats_to_string st);
          `Ok ()
        | Error m -> `Error (false, m))
   in
@@ -164,7 +166,7 @@ let dtd_cmd =
   Cmd.v (Cmd.info "dtd" ~doc) Term.(ret (const run $ db_arg $ coll_arg))
 
 let query_cmd =
-  let run db format from_file query_text =
+  let run db format from_file profile query_text =
     with_warehouse db @@ fun wh ->
     let text =
       match from_file with
@@ -173,7 +175,7 @@ let query_cmd =
     in
     if String.trim text = "" then `Error (true, "empty query")
     else
-      match Xomatiq.Engine.run_text wh text with
+      match Xomatiq.Engine.run_text ~trace:profile wh text with
       | result ->
         (* surface likely typos: paths the collection DTDs cannot produce *)
         (match Xomatiq.Parser.parse text with
@@ -189,6 +191,11 @@ let query_cmd =
              (Gxml.Printer.document_to_string ~pretty:true
                 (Xomatiq.Engine.result_to_xml result))
          | _ -> print_string (Xomatiq.Engine.result_to_table result));
+        Option.iter
+          (fun tr ->
+            print_newline ();
+            print_string (Xomatiq.Engine.trace_to_string tr))
+          result.Xomatiq.Engine.trace;
         `Ok ()
       | exception Xomatiq.Engine.Query_error m -> `Error (false, m)
   in
@@ -199,28 +206,39 @@ let query_cmd =
   let from_file_arg =
     Arg.(value & opt (some file) None & info [ "file" ] ~doc:"Read the query from a file.")
   in
+  let profile_arg =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Print per-stage pipeline timings, chosen indexes and \
+                 operator counters after the result.")
+  in
   let text_arg =
     Arg.(value & pos 0 string "" & info [] ~docv:"QUERY" ~doc:"FLWR query text.")
   in
   let doc = "Run a XomatiQ FLWR query against the warehouse." in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(ret (const run $ db_arg $ format_arg $ from_file_arg $ text_arg))
+    Term.(ret (const run $ db_arg $ format_arg $ from_file_arg $ profile_arg $ text_arg))
 
 let explain_cmd =
-  let run db query_text =
+  let run db analyze query_text =
     with_warehouse db @@ fun wh ->
     match Xomatiq.Parser.parse query_text with
     | q ->
-      (match Xomatiq.Engine.explain wh q with
+      let explain = if analyze then Xomatiq.Engine.explain_analyze else Xomatiq.Engine.explain in
+      (match explain wh q with
        | s -> print_endline s; `Ok ()
        | exception Xomatiq.Engine.Query_error m -> `Error (false, m))
     | exception e -> `Error (false, Xomatiq.Parser.error_to_string e)
+  in
+  let analyze_arg =
+    Arg.(value & flag & info [ "analyze" ]
+           ~doc:"Execute the query and annotate each plan operator with \
+                 rows, index probes and wall time (EXPLAIN ANALYZE).")
   in
   let text_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"FLWR query text.")
   in
   let doc = "Show the SQL translation and the relational physical plan." in
-  Cmd.v (Cmd.info "explain" ~doc) Term.(ret (const run $ db_arg $ text_arg))
+  Cmd.v (Cmd.info "explain" ~doc) Term.(ret (const run $ db_arg $ analyze_arg $ text_arg))
 
 let sql_cmd =
   let run db statement =

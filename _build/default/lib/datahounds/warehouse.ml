@@ -73,9 +73,28 @@ let sequence_elements_of t ~collection =
   | Ok _ -> []
   | Error m -> failwith m
 
-let load_document ?validate t ~collection ~name doc =
+type load_stats = {
+  docs : int;
+  nodes : int;
+  keywords : int;
+  new_paths : int;
+  transform_s : float;
+  validate_s : float;
+  shred_s : float;
+}
+
+let load_stats_to_string st =
+  Printf.sprintf
+    "%d docs, %d nodes, %d keywords, %d new paths (transform %.1fms, \
+     validate %.1fms, shred %.1fms)"
+    st.docs st.nodes st.keywords st.new_paths (st.transform_s *. 1000.)
+    (st.validate_s *. 1000.) (st.shred_s *. 1000.)
+
+(* Core load path, reporting shred stats and per-stage times. *)
+let load_document_timed ?validate t ~collection ~name doc =
   let dtd = dtd_of t ~collection in
   let validate = Option.value validate ~default:(dtd <> None) in
+  let t0 = Rdb.Obs.now_s () in
   let check =
     if not validate then Ok ()
     else
@@ -89,26 +108,47 @@ let load_document ?validate t ~collection ~name doc =
              (Printf.sprintf "document %S is invalid: %s" name
                 (Format.asprintf "%a" Gxml.Dtd.pp_violation v)))
   in
+  let validate_s = Rdb.Obs.now_s () -. t0 in
   match check with
   | Error _ as e -> e
   | Ok () ->
+    let t1 = Rdb.Obs.now_s () in
     ignore (Shred.delete_document t.database ~collection ~name);
     let sequence_elements = sequence_elements_of t ~collection in
     (match Shred.shred ~sequence_elements t.database ~collection ~name doc with
-     | Ok _ -> Ok ()
+     | Ok (_, st) -> Ok (st, validate_s, Rdb.Obs.now_s () -. t1)
      | Error _ as e -> e)
 
-let harvest t (s : source) flat_text =
+let load_document ?validate t ~collection ~name doc =
+  match load_document_timed ?validate t ~collection ~name doc with
+  | Ok _ -> Ok ()
+  | Error _ as e -> e
+
+let harvest_stats t (s : source) flat_text =
+  let t0 = Rdb.Obs.now_s () in
   match s.transform flat_text with
   | docs ->
-    let rec load n = function
-      | [] -> Ok n
+    let transform_s = Rdb.Obs.now_s () -. t0 in
+    let rec load acc = function
+      | [] -> Ok acc
       | (name, doc) :: rest ->
-        (match load_document t ~collection:s.source_collection ~name doc with
-         | Ok () -> load (n + 1) rest
+        (match load_document_timed t ~collection:s.source_collection ~name doc with
+         | Ok (st, validate_s, shred_s) ->
+           load
+             { acc with
+               docs = acc.docs + 1;
+               nodes = acc.nodes + st.Shred.nodes;
+               keywords = acc.keywords + st.Shred.keywords;
+               new_paths = acc.new_paths + st.Shred.new_paths;
+               validate_s = acc.validate_s +. validate_s;
+               shred_s = acc.shred_s +. shred_s }
+             rest
          | Error _ as e -> e)
     in
-    load 0 docs
+    load
+      { docs = 0; nodes = 0; keywords = 0; new_paths = 0; transform_s;
+        validate_s = 0.; shred_s = 0. }
+      docs
   | exception Line_format.Format_error { entry_index; line; message } ->
     Error
       (Printf.sprintf "flat-file error in entry %d (line %d): %s" entry_index line
@@ -118,6 +158,11 @@ let harvest t (s : source) flat_text =
   | exception Swissprot.Bad_entry m -> Error ("bad Swiss-Prot entry: " ^ m)
   | exception Genbank.Bad_entry m -> Error ("bad GenBank entry: " ^ m)
   | exception Medline.Bad_entry m -> Error ("bad MEDLINE entry: " ^ m)
+
+let harvest t s flat_text =
+  match harvest_stats t s flat_text with
+  | Ok st -> Ok st.docs
+  | Error _ as e -> e
 
 let collections t = Shred.collections t.database
 

@@ -41,6 +41,23 @@ val harvest : t -> source -> string -> (int, string) result
     warehouse. Returns the number of documents loaded. Existing documents
     with the same name are replaced. *)
 
+(** Aggregate load report for one {!harvest_stats} run. *)
+type load_stats = {
+  docs : int;        (** documents loaded *)
+  nodes : int;       (** node rows written *)
+  keywords : int;    (** keyword rows written *)
+  new_paths : int;   (** paths added to xml_path *)
+  transform_s : float;  (** flat text -> XML documents *)
+  validate_s : float;   (** DTD validation, summed over documents *)
+  shred_s : float;      (** XML2Relational shredding, summed *)
+}
+
+val load_stats_to_string : load_stats -> string
+
+val harvest_stats : t -> source -> string -> (load_stats, string) result
+(** {!harvest}, additionally reporting shred/insert volume and per-stage
+    wall time. *)
+
 val load_document :
   ?validate:bool -> t -> collection:string -> name:string ->
   Gxml.Tree.document -> (unit, string) result

@@ -1,1 +1,1 @@
-lib/relational/database.ml: Array Catalog Executor Fun Index List Option Plan Planner Printexc Printf Schema Seq Sql_ast Sql_lexer Sql_parser String Table Value Wal
+lib/relational/database.ml: Array Catalog Executor Fun Index List Obs Option Plan Planner Printexc Printf Schema Seq Sql_ast Sql_lexer Sql_parser String Table Value Wal

@@ -1,1 +1,1 @@
-lib/relational/database.mli: Catalog Planner Sql_ast Stdlib Value
+lib/relational/database.mli: Catalog Obs Planner Sql_ast Stdlib Value

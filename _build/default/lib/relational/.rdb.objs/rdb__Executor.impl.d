@@ -1,1 +1,1 @@
-lib/relational/executor.ml: Array Buffer Catalog Float Hashtbl Index List Option Plan Printf Seq Sql_ast String Table Value
+lib/relational/executor.ml: Array Buffer Catalog Float Hashtbl Index List Obs Option Plan Printf Seq Sql_ast String Table Value

@@ -1,1 +1,1 @@
-lib/relational/executor.mli: Catalog Plan Seq Value
+lib/relational/executor.mli: Catalog Obs Plan Seq Value

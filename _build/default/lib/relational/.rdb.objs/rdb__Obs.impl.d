@@ -1,0 +1,1 @@
+lib/relational/obs.ml: Array Buffer Float Fun List Plan Printf Seq Unix

@@ -1,0 +1,1 @@
+lib/relational/obs.mli: Plan Seq

@@ -1,1 +1,1 @@
-lib/relational/plan.ml: Array Buffer List Printf Sql_ast String Value
+lib/relational/plan.ml: Array Buffer List Option Printf Sql_ast String Value

@@ -1,1 +1,1 @@
-lib/relational/wal.ml: Array Buffer Char Hashtbl List Printf Stdlib String Sys Value
+lib/relational/wal.ml: Array Buffer Char Hashtbl List Printf Stdlib String Sys Unix Value

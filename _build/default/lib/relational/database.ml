@@ -383,6 +383,24 @@ let rec execute t (stmt : Sql_ast.stmt) : result =
        let planned = Planner.plan_query t.cat q in
        Explained (Plan.to_string planned.plan)
      | _ -> Explained (Sql_ast.stmt_to_string inner ^ "\n"))
+  | Explain_analyze inner ->
+    let planned =
+      match inner with
+      | Select_stmt sel -> Planner.plan_select t.cat sel
+      | Query_stmt q -> Planner.plan_query t.cat q
+      | _ -> error "EXPLAIN ANALYZE supports only SELECT statements"
+    in
+    let obs = Obs.create planned.plan in
+    let t0 = Obs.now_s () in
+    let rows = List.of_seq (Executor.run t.cat ~obs planned.plan) in
+    let elapsed_ms = (Obs.now_s () -. t0) *. 1000. in
+    Explained
+      (Obs.annotate obs planned.plan
+       ^ Printf.sprintf
+           "Result: %d rows in %.3fms (operator rows=%d, index probes=%d, \
+            hash build rows=%d)\n"
+           (List.length rows) elapsed_ms (Obs.total_rows obs)
+           (Obs.total_probes obs) (Obs.total_build_rows obs))
 
 (* ---------------- recovery ---------------- *)
 
@@ -418,12 +436,25 @@ let open_in_memory () =
     replaying = false }
 
 let open_with_wal path =
-  let ops = Wal.committed_ops (Wal.read_ops path) in
+  Wal.trim_torn_tail path;
+  let all_ops = Wal.read_ops path in
   let t =
     { cat = Catalog.create (); wal = None; current = None; next_txid = 1;
       replaying = false }
   in
-  replay t ops;
+  replay t (Wal.committed_ops all_ops);
+  (* Advance past every txid in the log, including uncommitted (torn)
+     transactions: reusing such an id would let a later commit record
+     retroactively seal the torn operations on the next recovery. *)
+  List.iter
+    (fun (op : Wal.op) ->
+      match op with
+      | Wal.Begin txid | Wal.Commit txid | Wal.Rollback txid
+      | Wal.Insert { txid; _ } | Wal.Delete { txid; _ }
+      | Wal.Update { txid; _ } ->
+        if txid >= t.next_txid then t.next_txid <- txid + 1
+      | Wal.Ddl _ -> ())
+    all_ops;
   let wal = Wal.open_log path in
   { t with wal = Some wal }
 
@@ -521,7 +552,13 @@ let explain t sql =
   | Ok _ -> Error "not an explainable statement"
   | Error _ as e -> e
 
+let explain_analyze t sql =
+  match exec t ("EXPLAIN ANALYZE " ^ sql) with
+  | Ok (Explained s) -> Ok s
+  | Ok _ -> Error "not an explainable statement"
+  | Error _ as e -> e
+
 let plan_select t sel = Planner.plan_select t.cat sel
 
-let run_planned t (planned : Planner.planned) =
-  (planned.column_names, List.of_seq (Executor.run t.cat planned.plan))
+let run_planned t ?obs (planned : Planner.planned) =
+  (planned.column_names, List.of_seq (Executor.run t.cat ?obs planned.plan))

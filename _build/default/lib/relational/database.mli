@@ -47,9 +47,18 @@ val exec_script : t -> string -> (int, string) Stdlib.result
 val explain : t -> string -> (string, string) Stdlib.result
 (** Plan a SELECT and render the physical plan. *)
 
+val explain_analyze : t -> string -> (string, string) Stdlib.result
+(** Plan AND execute a SELECT, rendering the plan annotated with
+    per-operator row counts, index probes, hash-build sizes and wall
+    time, followed by a one-line total. Equivalent to
+    [exec t ("EXPLAIN ANALYZE " ^ sql)]. *)
+
 val in_transaction : t -> bool
 
 val plan_select : t -> Sql_ast.select -> Planner.planned
 (** Plan without executing (used by tests and the XQ2SQL layer). *)
 
-val run_planned : t -> Planner.planned -> string list * Value.t array list
+val run_planned :
+  t -> ?obs:Obs.profile -> Planner.planned -> string list * Value.t array list
+(** Execute a pre-planned SELECT; [obs] (built from the same plan)
+    collects per-operator statistics during execution. *)

@@ -5,6 +5,7 @@ let error fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
 type ctx = {
   catalog : Catalog.t;
   params : Value.t array;
+  obs : Obs.profile option;   (* per-operator stats, when profiling *)
 }
 
 module Key = struct
@@ -210,6 +211,15 @@ let scalar_fn name (args : Value.t list) =
 
 (* ---------------- plans ---------------- *)
 
+(* stat hooks; no-ops when not profiling *)
+let probe = function
+  | Some (s : Obs.op_stats) -> s.probes <- s.probes + 1
+  | None -> ()
+
+let built = function
+  | Some (s : Obs.op_stats) -> s.build_rows <- s.build_rows + 1
+  | None -> ()
+
 let rec eval ctx row (e : Plan.cexpr) : Value.t =
   match e with
   | CLit v -> v
@@ -316,7 +326,18 @@ and scan_table ctx name =
   | Some t -> t
   | None -> error "no such table %S" name
 
+(* Attach the operator's stats slot (if profiling) so rows and wall time
+   are charged as the sequence is pulled; probe/build counts are recorded
+   inside [run_plan_raw] where the events happen. *)
 and run_plan ctx (plan : Plan.t) : Value.t array Seq.t =
+  match ctx.obs with
+  | None -> run_plan_raw ctx None plan
+  | Some profile ->
+    (match Obs.find profile plan with
+     | None -> run_plan_raw ctx None plan
+     | Some st -> Obs.observed st (run_plan_raw ctx (Some st) plan))
+
+and run_plan_raw ctx st (plan : Plan.t) : Value.t array Seq.t =
   match plan with
   | Single_row -> Seq.return [||]
   | Seq_scan { table; filter } ->
@@ -334,6 +355,7 @@ and run_plan ctx (plan : Plan.t) : Value.t array Seq.t =
     in
     fun () ->
       let keyv = Array.map (eval ctx [||]) key in
+      probe st;
       let ids = Index.lookup idx keyv in
       let rows =
         List.filter_map
@@ -353,6 +375,7 @@ and run_plan ctx (plan : Plan.t) : Value.t array Seq.t =
     in
     fun () ->
       let bound = Option.map (fun (k, incl) -> (Array.map (eval ctx [||]) k, incl)) in
+      probe st;
       let ids = Index.range ?lo:(bound lo) ?hi:(bound hi) idx in
       (Seq.filter_map
          (fun id ->
@@ -391,9 +414,11 @@ and run_plan ctx (plan : Plan.t) : Value.t array Seq.t =
       Seq.iter
         (fun rrow ->
           let k = Array.map (eval ctx rrow) right_keys in
-          if not (Array.exists (fun v -> v = Value.Null) k) then
+          if not (Array.exists (fun v -> v = Value.Null) k) then begin
+            built st;
             KeyTbl.replace tbl k
-              (rrow :: (match KeyTbl.find_opt tbl k with Some l -> l | None -> [])))
+              (rrow :: (match KeyTbl.find_opt tbl k with Some l -> l | None -> []))
+          end)
         (run_plan ctx right);
       (Seq.concat_map
          (fun lrow ->
@@ -542,6 +567,7 @@ and run_aggregate ctx group_by aggs input =
     Seq.return (Array.map (fun spec -> finish spec (make_acc spec)) aggs)
   else List.to_seq (List.map emit keys_in_order)
 
-let run catalog ?(params = [||]) plan = run_plan { catalog; params } plan
+let run catalog ?(params = [||]) ?obs plan = run_plan { catalog; params; obs } plan
 
-let eval_expr catalog ?(params = [||]) row e = eval { catalog; params } row e
+let eval_expr catalog ?(params = [||]) row e =
+  eval { catalog; params; obs = None } row e

@@ -6,9 +6,14 @@
 
 exception Runtime_error of string
 
-val run : Catalog.t -> ?params:Value.t array -> Plan.t -> Value.t array Seq.t
+val run :
+  Catalog.t -> ?params:Value.t array -> ?obs:Obs.profile -> Plan.t ->
+  Value.t array Seq.t
 (** Evaluate a plan. [params] fills [CParam] slots of correlated
-    subplans (the top level normally passes none).
+    subplans (the top level normally passes none). [obs], built with
+    {!Obs.create} from the same physical plan, charges each operator
+    with rows, probes, hash-build sizes and wall time as the result is
+    consumed.
     @raise Runtime_error on evaluation failures (unknown table at run
     time, bad function arity, etc.). *)
 

@@ -1,0 +1,145 @@
+let now_s () = Unix.gettimeofday ()
+
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr ?(by = 1) t = t.n <- t.n + by
+  let value t = t.n
+  let reset t = t.n <- 0
+end
+
+module Timer = struct
+  type t = { mutable total : float; mutable samples : int }
+
+  let create () = { total = 0.; samples = 0 }
+
+  let add_s t s =
+    t.total <- t.total +. s;
+    t.samples <- t.samples + 1
+
+  let time t f =
+    let t0 = now_s () in
+    let finally () = add_s t (now_s () -. t0) in
+    Fun.protect ~finally f
+
+  let total_s t = t.total
+  let total_ms t = t.total *. 1000.
+  let samples t = t.samples
+  let reset t = t.total <- 0.; t.samples <- 0
+end
+
+module Histogram = struct
+  (* bucket i holds durations in [2^i, 2^(i+1)) microseconds *)
+  let nbuckets = 40
+
+  type t = { buckets : int array; mutable count : int; mutable max_s : float }
+
+  let create () = { buckets = Array.make nbuckets 0; count = 0; max_s = 0. }
+
+  let bucket_of_s s =
+    let us = s *. 1e6 in
+    if us < 1. then 0
+    else min (nbuckets - 1) (int_of_float (Float.log2 us))
+
+  let observe t s =
+    let i = bucket_of_s s in
+    t.buckets.(i) <- t.buckets.(i) + 1;
+    t.count <- t.count + 1;
+    if s > t.max_s then t.max_s <- s
+
+  let count t = t.count
+
+  (* upper bound (seconds) of the bucket holding quantile q *)
+  let quantile t q =
+    if t.count = 0 then 0.
+    else begin
+      let target =
+        let x = int_of_float (Float.ceil (Float.of_int t.count *. q)) in
+        max 1 (min t.count x)
+      in
+      let seen = ref 0 and result = ref 0. in
+      (try
+         Array.iteri
+           (fun i n ->
+             seen := !seen + n;
+             if !seen >= target then begin
+               result := Float.pow 2. (float_of_int (i + 1)) /. 1e6;
+               raise Exit
+             end)
+           t.buckets
+       with Exit -> ());
+      !result
+    end
+
+  let to_string t =
+    if t.count = 0 then "empty"
+    else
+      Printf.sprintf "n=%d p50<=%.3fms p95<=%.3fms max=%.3fms" t.count
+        (quantile t 0.5 *. 1000.) (quantile t 0.95 *. 1000.) (t.max_s *. 1000.)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Plan profiling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type op_stats = {
+  mutable loops : int;
+  mutable rows : int;
+  mutable probes : int;
+  mutable build_rows : int;
+  mutable time_s : float;
+}
+
+(* Keyed by physical identity: the planner builds every node exactly once,
+   and plans are small, so a linear scan with [==] is both correct (no
+   accidental merging of structurally equal operators) and cheap. *)
+type profile = (Plan.t * op_stats) list
+
+let fresh () = { loops = 0; rows = 0; probes = 0; build_rows = 0; time_s = 0. }
+
+let create plan = List.map (fun node -> (node, fresh ())) (Plan.descendants plan)
+
+let find profile node =
+  let rec go = function
+    | [] -> None
+    | (n, st) :: rest -> if n == node then Some st else go rest
+  in
+  go profile
+
+let observed st seq =
+  st.loops <- st.loops + 1;
+  let rec go seq () =
+    let t0 = now_s () in
+    let step = seq () in
+    st.time_s <- st.time_s +. (now_s () -. t0);
+    match step with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (x, rest) ->
+      st.rows <- st.rows + 1;
+      Seq.Cons (x, go rest)
+  in
+  go seq
+
+let annotation profile node =
+  match find profile node with
+  | None -> ""
+  | Some st ->
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf
+      (Printf.sprintf " (rows=%d loops=%d time=%.3fms" st.rows st.loops
+         (st.time_s *. 1000.));
+    if st.probes > 0 then
+      Buffer.add_string buf (Printf.sprintf " probes=%d" st.probes);
+    if st.build_rows > 0 then
+      Buffer.add_string buf (Printf.sprintf " build=%d" st.build_rows);
+    Buffer.add_char buf ')';
+    Buffer.contents buf
+
+let annotate profile plan = Plan.to_string ~annot:(annotation profile) plan
+
+let total f profile = List.fold_left (fun acc (_, st) -> acc + f st) 0 profile
+
+let total_rows profile = total (fun st -> st.rows) profile
+let total_probes profile = total (fun st -> st.probes) profile
+let total_build_rows profile = total (fun st -> st.build_rows) profile

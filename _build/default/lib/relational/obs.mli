@@ -1,0 +1,95 @@
+(** Runtime observability: counters, timers, a tiny log-scale histogram,
+    and per-operator execution statistics for plan profiling.
+
+    The paper's performance argument (Sections 2.2, 3.2-3.3) is that the
+    relational optimizer picks the right indexes over the generic schema;
+    this module makes that checkable at run time. {!Executor.run} accepts
+    a {!profile} built from the plan about to execute and charges every
+    operator with the rows it produced, the index probes it issued, the
+    rows it buffered into hash builds, and its (inclusive) wall time.
+    [EXPLAIN ANALYZE] renders the annotated tree. *)
+
+val now_s : unit -> float
+(** Wall-clock seconds (sub-microsecond resolution). *)
+
+(** Monotonically increasing event counter. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+(** Accumulating wall-clock timer. *)
+module Timer : sig
+  type t
+
+  val create : unit -> t
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run the thunk, adding its elapsed time (and one sample). *)
+
+  val add_s : t -> float -> unit
+  val total_s : t -> float
+  val total_ms : t -> float
+  val samples : t -> int
+  val reset : t -> unit
+end
+
+(** Log2-bucketed latency histogram (buckets of microseconds). *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+
+  val observe : t -> float -> unit
+  (** Record one duration, in seconds. *)
+
+  val count : t -> int
+
+  val quantile : t -> float -> float
+  (** Upper bound, in seconds, of the bucket containing quantile [q]
+      (0 <= q <= 1); 0 when empty. *)
+
+  val to_string : t -> string
+  (** Compact one-line rendering: [count, p50, p95, max bucket]. *)
+end
+
+(** {2 Plan profiling} *)
+
+type op_stats = {
+  mutable loops : int;       (** times the operator was (re)started *)
+  mutable rows : int;        (** rows produced, summed over loops *)
+  mutable probes : int;      (** index lookups / range-scan starts *)
+  mutable build_rows : int;  (** rows buffered into a hash-join build *)
+  mutable time_s : float;    (** inclusive wall time spent pulling rows *)
+}
+
+type profile
+(** Mutable per-operator statistics for one plan tree, keyed by the
+    physical identity of each plan node (including expression subplans). *)
+
+val create : Plan.t -> profile
+
+val find : profile -> Plan.t -> op_stats option
+(** The stats slot of a node of the profiled plan; [None] for foreign
+    nodes. *)
+
+val observed : op_stats -> 'a Seq.t -> 'a Seq.t
+(** Wrap an operator's output sequence so rows and (inclusive) wall time
+    are charged to [op_stats] as the sequence is consumed. *)
+
+val annotation : profile -> Plan.t -> string
+(** The [" (rows=... time=...)"] suffix for one operator line, for use as
+    [Plan.to_string ~annot]; empty for nodes outside the profile. *)
+
+val annotate : profile -> Plan.t -> string
+(** The full plan tree rendered with per-operator statistics. *)
+
+val total_rows : profile -> int
+(** Rows produced summed over all operators (work done, not result size). *)
+
+val total_probes : profile -> int
+val total_build_rows : profile -> int

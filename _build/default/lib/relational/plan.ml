@@ -113,7 +113,57 @@ let rec subplans_of (e : cexpr) : t list =
   | CExists_plan { plan; _ } -> [ plan ]
   | CScalar_plan plan -> [ plan ]
 
-let to_string plan =
+(* Every plan node reachable from [plan], in preorder, each exactly once
+   by physical identity: direct operator inputs plus the subplans embedded
+   in operator expressions (filters, projections, join keys/conditions,
+   sort keys, aggregate arguments). Used to build execution profiles. *)
+let descendants plan =
+  let acc = ref [] in
+  let note p = acc := p :: !acc in
+  let rec go p =
+    note p;
+    let expr e = List.iter go (subplans_of e) in
+    let opt_expr = Option.iter expr in
+    let exprs a = Array.iter expr a in
+    let key_bound = function Some (k, _) -> exprs k | None -> () in
+    match p with
+    | Single_row -> ()
+    | Seq_scan { filter; _ } -> opt_expr filter
+    | Index_lookup { key; filter; _ } -> exprs key; opt_expr filter
+    | Index_range { lo; hi; filter; _ } ->
+      key_bound lo; key_bound hi; opt_expr filter
+    | Filter (f, input) -> expr f; go input
+    | Project (es, input) -> exprs es; go input
+    | Nested_loop_join { left; right; cond; _ } ->
+      opt_expr cond; go left; go right
+    | Hash_join { left; right; left_keys; right_keys; cond; _ } ->
+      exprs left_keys; exprs right_keys; opt_expr cond; go left; go right
+    | Sort (keys, input) -> Array.iter (fun (e, _) -> expr e) keys; go input
+    | Aggregate { group_by; aggs; input } ->
+      exprs group_by;
+      Array.iter (fun a -> opt_expr a.agg_arg) aggs;
+      go input
+    | Distinct input -> go input
+    | Union_all inputs -> List.iter go inputs
+    | Limit { input; _ } -> go input
+  in
+  go plan;
+  List.rev !acc
+
+(* The distinct index names a plan probes, in first-use order — the
+   "chosen indexes" surfaced by pipeline traces. *)
+let indexes_used plan =
+  List.fold_left
+    (fun acc p ->
+      match p with
+      | Index_lookup { index; _ } | Index_range { index; _ } ->
+        if List.mem index acc then acc else acc @ [ index ]
+      | _ -> acc)
+    [] (descendants plan)
+
+(* [annot] appends a per-operator suffix to each operator line (used by
+   EXPLAIN ANALYZE to attach runtime statistics). *)
+let to_string ?(annot = fun _ -> "") plan =
   let buf = Buffer.create 256 in
   let line indent s =
     Buffer.add_string buf (String.make (indent * 2) ' ');
@@ -124,12 +174,14 @@ let to_string plan =
     | None -> ""
     | Some f -> Printf.sprintf " filter=%s" (cexpr_to_string f)
   in
-  let rec go indent = function
-    | Single_row -> line indent "SingleRow"
+  let rec go indent node =
+    let op_line indent s = line indent (s ^ annot node) in
+    match node with
+    | Single_row -> op_line indent "SingleRow"
     | Seq_scan { table; filter } ->
-      line indent (Printf.sprintf "SeqScan %s%s" table (opt_filter filter))
+      op_line indent (Printf.sprintf "SeqScan %s%s" table (opt_filter filter))
     | Index_lookup { table; index; key; filter } ->
-      line indent
+      op_line indent
         (Printf.sprintf "IndexLookup %s using %s key=(%s)%s" table index
            (String.concat ", " (Array.to_list (Array.map cexpr_to_string key)))
            (opt_filter filter))
@@ -140,11 +192,11 @@ let to_string plan =
           Printf.sprintf " %s%s(%s)" name (if incl then "=" else "")
             (String.concat ", " (Array.to_list (Array.map cexpr_to_string k)))
       in
-      line indent
+      op_line indent
         (Printf.sprintf "IndexRange %s using %s%s%s%s" table index
            (bound "lo" lo) (bound "hi" hi) (opt_filter filter))
     | Filter (f, input) ->
-      line indent (Printf.sprintf "Filter %s" (cexpr_to_string f));
+      op_line indent (Printf.sprintf "Filter %s" (cexpr_to_string f));
       List.iter
         (fun sub ->
           line (indent + 1) "SubPlan:";
@@ -152,19 +204,19 @@ let to_string plan =
         (subplans_of f);
       go (indent + 1) input
     | Project (exprs, input) ->
-      line indent
+      op_line indent
         (Printf.sprintf "Project [%s]"
            (String.concat ", " (Array.to_list (Array.map cexpr_to_string exprs))));
       go (indent + 1) input
     | Nested_loop_join { left; right; cond; left_outer; _ } ->
-      line indent
+      op_line indent
         (Printf.sprintf "NestedLoopJoin%s%s"
            (if left_outer then " (left outer)" else "")
            (match cond with None -> "" | Some c -> " on " ^ cexpr_to_string c));
       go (indent + 1) left;
       go (indent + 1) right
     | Hash_join { left; right; left_keys; right_keys; cond; left_outer; _ } ->
-      line indent
+      op_line indent
         (Printf.sprintf "HashJoin%s (%s) = (%s)%s"
            (if left_outer then " (left outer)" else "")
            (String.concat ", " (Array.to_list (Array.map cexpr_to_string left_keys)))
@@ -176,7 +228,7 @@ let to_string plan =
       let key (e, d) =
         cexpr_to_string e ^ (match d with Sql_ast.Asc -> " ASC" | Sql_ast.Desc -> " DESC")
       in
-      line indent
+      op_line indent
         (Printf.sprintf "Sort [%s]"
            (String.concat ", " (Array.to_list (Array.map key keys))));
       go (indent + 1) input
@@ -187,19 +239,19 @@ let to_string plan =
           (if a.agg_distinct then "DISTINCT " else "")
           (match a.agg_arg with None -> "*" | Some e -> cexpr_to_string e)
       in
-      line indent
+      op_line indent
         (Printf.sprintf "Aggregate group=[%s] aggs=[%s]"
            (String.concat ", " (Array.to_list (Array.map cexpr_to_string group_by)))
            (String.concat ", " (Array.to_list (Array.map agg aggs))));
       go (indent + 1) input
     | Distinct input ->
-      line indent "Distinct";
+      op_line indent "Distinct";
       go (indent + 1) input
     | Union_all inputs ->
-      line indent "UnionAll";
+      op_line indent "UnionAll";
       List.iter (go (indent + 1)) inputs
     | Limit { limit; offset; input } ->
-      line indent
+      op_line indent
         (Printf.sprintf "Limit%s%s"
            (match limit with Some n -> Printf.sprintf " limit=%d" n | None -> "")
            (match offset with Some n -> Printf.sprintf " offset=%d" n | None -> ""));

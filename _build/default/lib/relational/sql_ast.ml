@@ -99,6 +99,7 @@ type stmt =
   | Commit_txn
   | Rollback_txn
   | Explain of stmt
+  | Explain_analyze of stmt   (* execute, then render the profiled plan *)
 
 (* ------------------------------------------------------------------ *)
 (* Printing (round-trips through the parser)                           *)
@@ -270,3 +271,4 @@ let rec stmt_to_string = function
   | Commit_txn -> "COMMIT"
   | Rollback_txn -> "ROLLBACK"
   | Explain s -> "EXPLAIN " ^ stmt_to_string s
+  | Explain_analyze s -> "EXPLAIN ANALYZE " ^ stmt_to_string s

@@ -19,7 +19,7 @@ let keywords =
     "DROP"; "IF"; "EXISTS"; "PRIMARY"; "KEY"; "NULL"; "IS"; "IN"; "LIKE";
     "BETWEEN"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "TRUE"; "FALSE";
     "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "BEGIN"; "COMMIT"; "ROLLBACK";
-    "EXPLAIN"; "INTEGER"; "INT"; "BIGINT"; "SMALLINT"; "REAL"; "FLOAT";
+    "EXPLAIN"; "ANALYZE"; "INTEGER"; "INT"; "BIGINT"; "SMALLINT"; "REAL"; "FLOAT";
     "DOUBLE"; "NUMERIC"; "DECIMAL"; "TEXT"; "VARCHAR"; "CHAR"; "BOOLEAN";
     "BOOL"; "UNION"; "ALL" ]
 

@@ -580,7 +580,10 @@ let rec parse_stmt st =
   | Sql_lexer.Keyword "BEGIN" -> advance st; Begin_txn
   | Sql_lexer.Keyword "COMMIT" -> advance st; Commit_txn
   | Sql_lexer.Keyword "ROLLBACK" -> advance st; Rollback_txn
-  | Sql_lexer.Keyword "EXPLAIN" -> advance st; Explain (parse_stmt st)
+  | Sql_lexer.Keyword "EXPLAIN" ->
+    advance st;
+    if accept_kw st "ANALYZE" then Explain_analyze (parse_stmt st)
+    else Explain (parse_stmt st)
   | t -> error st (Printf.sprintf "expected a statement, found %s" (Sql_lexer.token_to_string t))
 
 let make_state src =

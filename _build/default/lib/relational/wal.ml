@@ -145,6 +145,26 @@ let close t =
 
 let path t = t.file_path
 
+(* A record is torn only as an unterminated final chunk: '\n' is the last
+   byte of every append and never occurs inside a record (escaped). Cut
+   the chunk off so post-recovery appends start on a fresh line instead
+   of merging into the torn record. *)
+let trim_torn_tail file_path =
+  if Sys.file_exists file_path then begin
+    let ic = open_in_bin file_path in
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    if n > 0 && content.[n - 1] <> '\n' then begin
+      let keep =
+        match String.rindex_opt content '\n' with
+        | Some i -> i + 1
+        | None -> 0
+      in
+      Unix.truncate file_path keep
+    end
+  end
+
 let read_ops file_path =
   if not (Sys.file_exists file_path) then []
   else begin

@@ -34,6 +34,11 @@ val close : t -> unit
 
 val path : t -> string
 
+val trim_torn_tail : string -> unit
+(** Physically truncate an unterminated final record (crash during write)
+    so later appends start on a fresh line. No-op when the log ends with a
+    newline or does not exist. *)
+
 val read_ops : string -> op list
 (** Parse a log file. A torn final record (crash during write) is ignored.
     Unparseable interior records raise [Failure]. *)

@@ -1,1 +1,1 @@
-lib/xomatiq/engine.ml: Array Ast Datahounds Eval List Parser Printf Rdb Tagger Xq2sql
+lib/xomatiq/engine.ml: Array Ast Buffer Datahounds Eval List Parser Printf Rdb String Tagger Xq2sql

@@ -1,7 +1,18 @@
+type trace = {
+  stages : (string * float) list;
+  indexes : string list;
+  result_rows : int;
+  operator_rows : int;
+  index_probes : int;
+  hash_build_rows : int;
+  plan : string option;
+}
+
 type result = {
   labels : string list;
   rows : string list list;
   sql : string;
+  trace : trace option;
 }
 
 type mode =
@@ -13,47 +24,150 @@ exception Query_error of string
 
 let error fmt = Printf.ksprintf (fun m -> raise (Query_error m)) fmt
 
-let run_relational ?contains_strategy wh (q : Ast.t) =
+let timed f =
+  let t0 = Rdb.Obs.now_s () in
+  let v = f () in
+  (v, Rdb.Obs.now_s () -. t0)
+
+(* Always all six stages, in pipeline order, even when a stage did not
+   run (pre-parsed AST, statically-empty query, reference mode): the
+   trace shape is part of the contract. *)
+let stages ~parse ~xq2sql ~sql_parse ~plan ~execute ~tag =
+  [ ("parse", parse); ("xq2sql", xq2sql); ("sql-parse", sql_parse);
+    ("plan", plan); ("execute", execute); ("tag", tag) ]
+
+let trace_to_string tr =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "stage timings:\n";
+  List.iter
+    (fun (name, s) ->
+      Buffer.add_string buf (Printf.sprintf "  %-9s %8.3f ms\n" name (s *. 1000.)))
+    tr.stages;
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0. tr.stages in
+  Buffer.add_string buf (Printf.sprintf "  %-9s %8.3f ms\n" "total" (total *. 1000.));
+  Buffer.add_string buf
+    (Printf.sprintf "indexes: %s\n"
+       (match tr.indexes with [] -> "(none)" | l -> String.concat ", " l));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "rows: %d (operator rows=%d, index probes=%d, hash build rows=%d)\n"
+       tr.result_rows tr.operator_rows tr.index_probes tr.hash_build_rows);
+  Buffer.contents buf
+
+let translate ?contains_strategy db q =
+  try Xq2sql.translate ?contains_strategy db q with
+  | Xq2sql.Unsupported m -> error "unsupported query: %s" m
+  | Ast.Invalid_query m -> error "invalid query: %s" m
+
+let to_string_rows rows =
+  List.sort_uniq compare
+    (List.map (fun row -> Array.to_list (Array.map Rdb.Value.to_string row)) rows)
+
+let empty_trace ~parse_s ~xq2sql_s =
+  { stages =
+      stages ~parse:parse_s ~xq2sql:xq2sql_s ~sql_parse:0. ~plan:0. ~execute:0.
+        ~tag:0.;
+    indexes = []; result_rows = 0; operator_rows = 0; index_probes = 0;
+    hash_build_rows = 0; plan = None }
+
+let run_relational ?contains_strategy ~trace ~parse_s wh (q : Ast.t) =
   let db = Datahounds.Warehouse.db wh in
-  let t =
-    try Xq2sql.translate ?contains_strategy db q with
-    | Xq2sql.Unsupported m -> error "unsupported query: %s" m
-    | Ast.Invalid_query m -> error "invalid query: %s" m
-  in
-  if t.statically_empty then { labels = t.labels; rows = []; sql = t.sql }
-  else
-    match Rdb.Database.query db t.sql with
-    | Error m -> error "SQL execution failed: %s\n%s" m t.sql
-    | Ok (_, rows) ->
-      let string_rows =
-        List.map
-          (fun row -> Array.to_list (Array.map Rdb.Value.to_string row))
-          rows
-      in
-      { labels = t.labels;
-        rows = List.sort_uniq compare string_rows;
-        sql = t.sql }
+  let t, xq2sql_s = timed (fun () -> translate ?contains_strategy db q) in
+  if not trace then begin
+    if t.statically_empty then
+      { labels = t.labels; rows = []; sql = t.sql; trace = None }
+    else
+      match Rdb.Database.query db t.sql with
+      | Error m -> error "SQL execution failed: %s\n%s" m t.sql
+      | Ok (_, rows) ->
+        { labels = t.labels; rows = to_string_rows rows; sql = t.sql;
+          trace = None }
+  end
+  else if t.statically_empty then
+    { labels = t.labels; rows = []; sql = t.sql;
+      trace = Some (empty_trace ~parse_s ~xq2sql_s) }
+  else begin
+    (* Decomposed pipeline: same semantics as [Database.query t.sql] but
+       each stage is timed and execution runs under an Obs profile. *)
+    let stmt, sql_parse_s =
+      timed (fun () ->
+          try Rdb.Sql_parser.parse t.sql with
+          | (Rdb.Sql_parser.Parse_error _ | Rdb.Sql_lexer.Lex_error _) as e ->
+            error "internal: %s" (Rdb.Sql_parser.error_to_string e))
+    in
+    let planned, plan_s =
+      timed (fun () ->
+          try
+            match stmt with
+            | Rdb.Sql_ast.Select_stmt sel ->
+              Rdb.Planner.plan_select (Rdb.Database.catalog db) sel
+            | Rdb.Sql_ast.Query_stmt qq ->
+              Rdb.Planner.plan_query (Rdb.Database.catalog db) qq
+            | _ -> error "internal: translation did not produce a SELECT"
+          with Rdb.Planner.Plan_error m -> error "planning failed: %s" m)
+    in
+    let obs = Rdb.Obs.create planned.Rdb.Planner.plan in
+    let rows, execute_s =
+      timed (fun () ->
+          try snd (Rdb.Database.run_planned db ~obs planned) with
+          | Rdb.Executor.Runtime_error m ->
+            error "SQL execution failed: %s\n%s" m t.sql)
+    in
+    let string_rows, tag_s = timed (fun () -> to_string_rows rows) in
+    let tr =
+      { stages =
+          stages ~parse:parse_s ~xq2sql:xq2sql_s ~sql_parse:sql_parse_s
+            ~plan:plan_s ~execute:execute_s ~tag:tag_s;
+        indexes = Rdb.Plan.indexes_used planned.Rdb.Planner.plan;
+        result_rows = List.length string_rows;
+        operator_rows = Rdb.Obs.total_rows obs;
+        index_probes = Rdb.Obs.total_probes obs;
+        hash_build_rows = Rdb.Obs.total_build_rows obs;
+        plan = Some (Rdb.Obs.annotate obs planned.Rdb.Planner.plan) }
+    in
+    { labels = t.labels; rows = string_rows; sql = t.sql; trace = Some tr }
+  end
 
-let run_reference wh (q : Ast.t) =
+let run_reference ~trace ~parse_s wh (q : Ast.t) =
   let provider = Eval.of_warehouse wh in
-  let rows =
-    try Eval.eval provider q with
-    | Eval.Unknown_collection c -> error "unknown collection %S" c
-    | Ast.Invalid_query m -> error "invalid query: %s" m
+  let rows, execute_s =
+    timed (fun () ->
+        try Eval.eval provider q with
+        | Eval.Unknown_collection c -> error "unknown collection %S" c
+        | Ast.Invalid_query m -> error "invalid query: %s" m)
   in
-  let labels = List.mapi Xq2sql.default_label q.Ast.return_items in
-  { labels; rows; sql = "(reference evaluation)" }
+  let labels, tag_s =
+    timed (fun () -> List.mapi Xq2sql.default_label q.Ast.return_items)
+  in
+  let tr =
+    if not trace then None
+    else
+      Some
+        { stages =
+            stages ~parse:parse_s ~xq2sql:0. ~sql_parse:0. ~plan:0.
+              ~execute:execute_s ~tag:tag_s;
+          indexes = []; result_rows = List.length rows; operator_rows = 0;
+          index_probes = 0; hash_build_rows = 0; plan = None }
+  in
+  { labels; rows; sql = "(reference evaluation)"; trace = tr }
 
-let run ?(mode = `Relational) ?contains_strategy wh q =
+let run ?(mode = `Relational) ?contains_strategy ?(trace = false) wh q =
   match mode with
-  | `Relational -> run_relational ?contains_strategy wh q
-  | `Reference -> run_reference wh q
+  | `Relational -> run_relational ?contains_strategy ~trace ~parse_s:0. wh q
+  | `Reference -> run_reference ~trace ~parse_s:0. wh q
 
-let run_text ?mode ?contains_strategy wh text =
-  match Parser.parse text with
-  | q -> run ?mode ?contains_strategy wh q
-  | exception (Parser.Parse_error _ as e) -> error "%s" (Parser.error_to_string e)
-  | exception Ast.Invalid_query m -> error "invalid query: %s" m
+let run_text ?(mode = `Relational) ?contains_strategy ?(trace = false) wh text =
+  let q, parse_s =
+    timed (fun () ->
+        match Parser.parse text with
+        | q -> q
+        | exception (Parser.Parse_error _ as e) ->
+          error "%s" (Parser.error_to_string e)
+        | exception Ast.Invalid_query m -> error "invalid query: %s" m)
+  in
+  match mode with
+  | `Relational -> run_relational ?contains_strategy ~trace ~parse_s wh q
+  | `Reference -> run_reference ~trace ~parse_s wh q
 
 (* ---------------- prepared queries ---------------- *)
 
@@ -66,11 +180,7 @@ type prepared = {
 
 let prepare ?contains_strategy wh (q : Ast.t) =
   let db = Datahounds.Warehouse.db wh in
-  let t =
-    try Xq2sql.translate ?contains_strategy db q with
-    | Xq2sql.Unsupported m -> error "unsupported query: %s" m
-    | Ast.Invalid_query m -> error "invalid query: %s" m
-  in
+  let t = translate ?contains_strategy db q in
   let prep_plan =
     if t.statically_empty then None
     else
@@ -85,15 +195,13 @@ let prepare ?contains_strategy wh (q : Ast.t) =
 
 let run_prepared p =
   match p.prep_plan with
-  | None -> { labels = p.prep_labels; rows = []; sql = p.prep_sql }
+  | None -> { labels = p.prep_labels; rows = []; sql = p.prep_sql; trace = None }
   | Some planned ->
     let _, rows = Rdb.Database.run_planned (Datahounds.Warehouse.db p.prep_wh) planned in
-    let string_rows =
-      List.map (fun row -> Array.to_list (Array.map Rdb.Value.to_string row)) rows
-    in
     { labels = p.prep_labels;
-      rows = List.sort_uniq compare string_rows;
-      sql = p.prep_sql }
+      rows = to_string_rows rows;
+      sql = p.prep_sql;
+      trace = None }
 
 let explain wh q =
   let db = Datahounds.Warehouse.db wh in
@@ -102,6 +210,15 @@ let explain wh q =
     (match Rdb.Database.explain db t.sql with
      | Ok plan -> Printf.sprintf "SQL:\n%s\n\nPlan:\n%s" t.sql plan
      | Error m -> error "planning failed: %s\n%s" m t.sql)
+  | exception Xq2sql.Unsupported m -> error "unsupported query: %s" m
+
+let explain_analyze wh q =
+  let db = Datahounds.Warehouse.db wh in
+  match Xq2sql.translate db q with
+  | t ->
+    (match Rdb.Database.explain_analyze db t.sql with
+     | Ok plan -> Printf.sprintf "SQL:\n%s\n\nPlan:\n%s" t.sql plan
+     | Error m -> error "execution failed: %s\n%s" m t.sql)
   | exception Xq2sql.Unsupported m -> error "unsupported query: %s" m
 
 let result_to_xml r = Tagger.to_xml ~labels:r.labels r.rows

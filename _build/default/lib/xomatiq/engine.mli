@@ -7,10 +7,24 @@
     the reference evaluator ({!Eval}), which is also exposed here as the
     [`Reference] execution mode for differential testing and baselines. *)
 
+type trace = {
+  stages : (string * float) list;
+      (** all six pipeline stages in order — parse, xq2sql, sql-parse,
+          plan, execute, tag — with wall-clock seconds (0. for stages
+          that did not run, e.g. parse when the AST was pre-parsed) *)
+  indexes : string list;  (** index names the chosen plan probes *)
+  result_rows : int;
+  operator_rows : int;    (** rows produced summed over plan operators *)
+  index_probes : int;
+  hash_build_rows : int;
+  plan : string option;   (** annotated plan tree (relational mode) *)
+}
+
 type result = {
   labels : string list;
   rows : string list list;  (** distinct, sorted *)
   sql : string;             (** the SQL the query was rewritten to *)
+  trace : trace option;     (** populated when run with [~trace:true] *)
 }
 
 type mode =
@@ -22,15 +36,22 @@ exception Query_error of string
 
 val run :
   ?mode:mode -> ?contains_strategy:Xq2sql.contains_strategy ->
-  Datahounds.Warehouse.t -> Ast.t -> result
+  ?trace:bool -> Datahounds.Warehouse.t -> Ast.t -> result
 (** @raise Query_error wrapping parse/translation/execution failures.
     [contains_strategy] selects how contains() is rewritten (relational
-    mode only); the default probes the inverted keyword index. *)
+    mode only); the default probes the inverted keyword index.
+    [trace] (default false) times each pipeline stage and profiles the
+    physical plan; see {!trace}. *)
 
 val run_text :
   ?mode:mode -> ?contains_strategy:Xq2sql.contains_strategy ->
-  Datahounds.Warehouse.t -> string -> result
-(** Parse the textual form first. *)
+  ?trace:bool -> Datahounds.Warehouse.t -> string -> result
+(** Parse the textual form first (the trace's [parse] stage measures
+    this parse). *)
+
+val trace_to_string : trace -> string
+(** Compact multi-line profile: per-stage timings, chosen indexes, and
+    operator counters. *)
 
 (** {2 Prepared queries}
 
@@ -54,6 +75,11 @@ val run_prepared : prepared -> result
 val explain : Datahounds.Warehouse.t -> Ast.t -> string
 (** The SQL text and the physical plan chosen by the relational
     optimizer. *)
+
+val explain_analyze : Datahounds.Warehouse.t -> Ast.t -> string
+(** Like {!explain}, but executes the query and annotates every plan
+    operator with rows produced, index probes, hash-build sizes and
+    wall time. *)
 
 val result_to_xml : result -> Gxml.Tree.document
 val result_to_table : result -> string

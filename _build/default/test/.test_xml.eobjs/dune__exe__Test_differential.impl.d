@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Datahounds List Printf Workload Xomatiq

@@ -1,0 +1,1 @@
+test/test_observability.ml: Alcotest Datahounds Filename Lazy List Option Printf Rdb String Sys Workload Xomatiq

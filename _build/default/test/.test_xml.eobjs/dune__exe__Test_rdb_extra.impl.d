@@ -1,1 +1,1 @@
-test/test_rdb_extra.ml: Alcotest Array Filename Fun List Option Printf QCheck QCheck_alcotest Rdb Seq String Sys
+test/test_rdb_extra.ml: Alcotest Array Filename Fun List Option Printf QCheck QCheck_alcotest Rdb Seq String Sys Unix

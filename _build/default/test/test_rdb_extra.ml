@@ -497,6 +497,40 @@ let test_wal_interior_corruption () =
   | exception Failure _ -> ()
   | _ -> fail "interior corruption must be detected"
 
+(* Crash mid-write: the tail of the last record is lost. Recovery must
+   come back with exactly the committed prefix — no failure, no replay of
+   the torn transaction — and the repaired log must keep working. *)
+let test_wal_torn_tail_recovery () =
+  let path = Filename.temp_file "xomatiq_torn" ".log" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  Sys.remove path;
+  let db = Rdb.Database.open_with_wal path in
+  ignore (Rdb.Database.exec_exn db "CREATE TABLE t (a INTEGER PRIMARY KEY)");
+  List.iter
+    (fun i ->
+      ignore
+        (Rdb.Database.exec_exn db (Printf.sprintf "INSERT INTO t VALUES (%d)" i)))
+    [ 1; 2; 3 ];
+  Rdb.Database.close db;
+  (* chop the final COMMIT record mid-line: its "|." sentinel and newline *)
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (size - 2);
+  let db = Rdb.Database.open_with_wal path in
+  check value_testable "torn transaction not replayed" (Rdb.Value.Int 2)
+    (first_value db "SELECT COUNT(1) FROM t");
+  check value_testable "committed prefix intact" (Rdb.Value.Int 2)
+    (first_value db "SELECT MAX(a) FROM t");
+  (* the log was repaired: appends after recovery survive another reopen *)
+  ignore (Rdb.Database.exec_exn db "INSERT INTO t VALUES (9)");
+  Rdb.Database.close db;
+  let db = Rdb.Database.open_with_wal path in
+  check value_testable "post-recovery write durable" (Rdb.Value.Int 3)
+    (first_value db "SELECT COUNT(1) FROM t");
+  check value_testable "new row present" (Rdb.Value.Int 9)
+    (first_value db "SELECT MAX(a) FROM t");
+  Rdb.Database.close db
+
 (* ---------------- lock manager ---------------- *)
 
 module L = Rdb.Lock_manager
@@ -602,7 +636,8 @@ let () =
          Alcotest.test_case "update maintains indexes" `Quick test_update_indexes_maintained ]);
       ("wal-extra",
        [ Alcotest.test_case "all ops roundtrip" `Quick test_wal_all_ops_roundtrip;
-         Alcotest.test_case "interior corruption" `Quick test_wal_interior_corruption ]);
+         Alcotest.test_case "interior corruption" `Quick test_wal_interior_corruption;
+         Alcotest.test_case "torn tail recovery" `Quick test_wal_torn_tail_recovery ]);
       ("expr-props", List.map QCheck_alcotest.to_alcotest [ expr_roundtrip_prop ]);
       ("transactions-extra",
        [ Alcotest.test_case "errors" `Quick test_transaction_errors;
