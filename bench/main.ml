@@ -256,6 +256,72 @@ let print_e5 () =
     asts;
   Datahounds.Warehouse.close bare
 
+let print_e5_analyze () =
+  print_newline ();
+  Printf.printf
+    "E5b: cost-based planning — ad-hoc query time before/after ANALYZE (scale=%d)\n"
+    scale;
+  (* two configurations: the fully-indexed warehouse (index choice already
+     constrains plans) and the index-ablated one, where join ordering is
+     driven purely by cardinality estimates and statistics matter most *)
+  let one_config label wh =
+    Printf.printf "%s:\n" label;
+    Printf.printf "%-18s %12s %12s %8s %12s\n" "query" "before (ms)"
+      "after (ms)" "speedup" "plan changed";
+    Printf.printf "%s\n" (String.make 68 '-');
+    let db = Datahounds.Warehouse.db wh in
+    let plans_before =
+      List.map (fun (name, ast) -> (name, Xomatiq.Engine.explain wh ast)) asts
+    in
+    let before =
+      List.map
+        (fun (name, ast) ->
+          (name, time_median (fun () -> ignore (Xomatiq.Engine.run wh ast))))
+        asts
+    in
+    let t0 = Unix.gettimeofday () in
+    (match Rdb.Database.exec db "ANALYZE" with
+     | Ok _ -> ()
+     | Error m -> failwith m);
+    let analyze_t = Unix.gettimeofday () -. t0 in
+    List.iter
+      (fun (name, ast) ->
+        let after = time_median (fun () -> ignore (Xomatiq.Engine.run wh ast)) in
+        let changed = Xomatiq.Engine.explain wh ast <> List.assoc name plans_before in
+        let b = List.assoc name before in
+        Printf.printf "%-18s %12.2f %12.2f %7.2fx %12s\n" name (ms b) (ms after)
+          (b /. after)
+          (if changed then "yes" else "no"))
+      asts;
+    Printf.printf "(ANALYZE itself: %.2f ms over %d tables)\n" (ms analyze_t)
+      (List.length (Rdb.Catalog.table_names (Rdb.Database.catalog db)));
+    Datahounds.Warehouse.close wh
+  in
+  one_config "all indexes" (build_warehouse universe);
+  print_newline ();
+  one_config "secondary indexes ablated" (build_warehouse ~indexes:false universe)
+
+let print_e5_cache () =
+  print_newline ();
+  Printf.printf "E5c: translated-plan cache on the textual query path (scale=%d)\n" scale;
+  Printf.printf "%-18s %12s %12s %8s\n" "query" "cold (ms)" "cached (ms)" "speedup";
+  Printf.printf "%s\n" (String.make 54 '-');
+  Xomatiq.Engine.cache_clear ();
+  List.iter
+    (fun (name, text) ->
+      let t0 = Unix.gettimeofday () in
+      ignore (Xomatiq.Engine.run_text warehouse text);
+      let cold = Unix.gettimeofday () -. t0 in
+      let cached =
+        time_median (fun () -> ignore (Xomatiq.Engine.run_text warehouse text))
+      in
+      Printf.printf "%-18s %12.2f %12.2f %7.2fx\n" name (ms cold) (ms cached)
+        (cold /. cached))
+    queries;
+  let hits, misses = Xomatiq.Engine.cache_stats () in
+  Printf.printf "cache: %d hits / %d misses (hit rate %.0f%%)\n" hits misses
+    (100. *. float_of_int hits /. float_of_int (max 1 (hits + misses)))
+
 (* Synthetic EMBL entry with [n] CDS features — element count (and so
    tuple count per document) grows linearly with [n]. *)
 let wide_embl_entry ~features i : Datahounds.Embl.t =
@@ -472,17 +538,33 @@ let print_e9 () =
     Workload.Query_mix.all_classes;
   Datahounds.Warehouse.close wh
 
+(* CI smoke mode: skip bechamel and the large sweeps, run the E5 family
+   once at whatever (small) scale the environment sets. *)
+let smoke = Sys.getenv_opt "XOMATIQ_BENCH_SMOKE" <> None
+
 let () =
-  Printf.printf
-    "XomatiQ benchmark suite (scale=%d docs per source; set XOMATIQ_BENCH_SCALE to change)\n\n"
-    scale;
-  let results = run_bechamel () in
-  print_bechamel results;
-  print_e4_sweep ();
-  print_e5 ();
-  print_e6_sweep ();
-  print_e7 ();
-  print_e8 ();
-  print_e9 ();
-  print_newline ();
-  print_endline "Done. See EXPERIMENTS.md for the experiment index and expected shapes."
+  if smoke then begin
+    Printf.printf "XomatiQ bench smoke (scale=%d docs per source)\n" scale;
+    print_e5 ();
+    print_e5_analyze ();
+    print_e5_cache ();
+    print_newline ();
+    print_endline "Smoke OK."
+  end
+  else begin
+    Printf.printf
+      "XomatiQ benchmark suite (scale=%d docs per source; set XOMATIQ_BENCH_SCALE to change)\n\n"
+      scale;
+    let results = run_bechamel () in
+    print_bechamel results;
+    print_e4_sweep ();
+    print_e5 ();
+    print_e5_analyze ();
+    print_e5_cache ();
+    print_e6_sweep ();
+    print_e7 ();
+    print_e8 ();
+    print_e9 ();
+    print_newline ();
+    print_endline "Done. See EXPERIMENTS.md for the experiment index and expected shapes."
+  end

@@ -166,7 +166,7 @@ let dtd_cmd =
   Cmd.v (Cmd.info "dtd" ~doc) Term.(ret (const run $ db_arg $ coll_arg))
 
 let query_cmd =
-  let run db format from_file profile query_text =
+  let run db format from_file profile cache_stats query_text =
     with_warehouse db @@ fun wh ->
     let text =
       match from_file with
@@ -196,6 +196,10 @@ let query_cmd =
             print_newline ();
             print_string (Xomatiq.Engine.trace_to_string tr))
           result.Xomatiq.Engine.trace;
+        if cache_stats then begin
+          let hits, misses = Xomatiq.Engine.cache_stats () in
+          Printf.printf "plan cache: %d hit(s), %d miss(es)\n" hits misses
+        end;
         `Ok ()
       | exception Xomatiq.Engine.Query_error m -> `Error (false, m)
   in
@@ -211,12 +215,18 @@ let query_cmd =
            ~doc:"Print per-stage pipeline timings, chosen indexes and \
                  operator counters after the result.")
   in
+  let cache_stats_arg =
+    Arg.(value & flag & info [ "plan-cache-stats" ]
+           ~doc:"Print translated-plan cache hits/misses for this process \
+                 after the result (profiled runs bypass the cache).")
+  in
   let text_arg =
     Arg.(value & pos 0 string "" & info [] ~docv:"QUERY" ~doc:"FLWR query text.")
   in
   let doc = "Run a XomatiQ FLWR query against the warehouse." in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(ret (const run $ db_arg $ format_arg $ from_file_arg $ profile_arg $ text_arg))
+    Term.(ret (const run $ db_arg $ format_arg $ from_file_arg $ profile_arg
+               $ cache_stats_arg $ text_arg))
 
 let explain_cmd =
   let run db analyze query_text =
@@ -455,6 +465,7 @@ let shell_cmd =
         \  :sql STATEMENT;       run raw SQL\n\
         \  :explain QUERY;       show translation + physical plan\n\
         \  :format table|xml     choose result rendering\n\
+        \  :cache                translated-plan cache hit/miss counters\n\
         \  :quit                 leave\n"
     in
     let run_query text =
@@ -508,6 +519,9 @@ let shell_cmd =
           | ":format" :: f :: _ ->
             if f = "table" || f = "xml" then format := f
             else print_endline "format is 'table' or 'xml'"
+          | ":cache" :: _ ->
+            let hits, misses = Xomatiq.Engine.cache_stats () in
+            Printf.printf "plan cache: %d hit(s), %d miss(es)\n" hits misses
           | cmd :: _ when cmd = ":sql" || cmd = ":explain" ->
             Buffer.add_string buffer trimmed;
             Buffer.add_char buffer '\n'

@@ -1,11 +1,25 @@
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   index_owner : (string, string) Hashtbl.t;  (* index name -> table name *)
+  stats : (string, Stats.table_stats) Hashtbl.t;  (* table name -> ANALYZE snapshot *)
+  mutable version : int;
+      (* bumped on every DDL / DML / ANALYZE; plan caches key on it *)
 }
 
 let normalize = String.lowercase_ascii
 
-let create () = { tables = Hashtbl.create 16; index_owner = Hashtbl.create 16 }
+let create () =
+  { tables = Hashtbl.create 16;
+    index_owner = Hashtbl.create 16;
+    stats = Hashtbl.create 16;
+    version = 0 }
+
+let version t = t.version
+let bump_version t = t.version <- t.version + 1
+
+let find_stats t name = Hashtbl.find_opt t.stats (normalize name)
+
+let set_stats t name st = Hashtbl.replace t.stats (normalize name) st
 
 let find_table t name = Hashtbl.find_opt t.tables (normalize name)
 
@@ -31,6 +45,7 @@ let drop_table t name =
       (fun idx -> Hashtbl.remove t.index_owner (normalize (Index.name idx)))
       (Table.indexes table);
     Hashtbl.remove t.tables name;
+    Hashtbl.remove t.stats name;
     true
 
 let table_names t =

@@ -16,4 +16,13 @@ val add_index : t -> table:string -> Index.t -> (unit, string) result
 val drop_index : t -> string -> bool
 val find_index : t -> string -> (Table.t * Index.t) option
 
+val find_stats : t -> string -> Stats.table_stats option
+val set_stats : t -> string -> Stats.table_stats -> unit
+(** ANALYZE snapshots, keyed by table name; cleared by {!drop_table}. *)
+
+val version : t -> int
+val bump_version : t -> unit
+(** Monotonic catalog version. {!Database} bumps it on every DDL, DML
+    and ANALYZE so plan caches can detect staleness cheaply. *)
+
 val normalize : string -> string

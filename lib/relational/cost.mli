@@ -1,0 +1,24 @@
+(** Cardinality / cost estimation for physical plans.
+
+    A separate pass over a planned {!Plan.t}: maps compiled column slots
+    back to base-table columns (provenance tracking) and combines the
+    {!Stats} collected by ANALYZE into per-node row-count and cost
+    estimates. Powers the [EXPLAIN] annotations and the estimate-vs-actual
+    display of [EXPLAIN ANALYZE]. *)
+
+type est = { est_rows : float; est_cost : float }
+
+type estimates = (Plan.t * est) list
+(** Keyed by physical node identity, like {!Obs.profile}. Includes the
+    subplans embedded in operator expressions. *)
+
+val estimate : Catalog.t -> Plan.t -> estimates
+
+val find : estimates -> Plan.t -> est option
+
+val annotation : estimates -> Plan.t -> string
+(** Per-node suffix [" (est_rows=… cost=…)"] for {!Plan.to_string}'s
+    [annot]; empty for unknown nodes. *)
+
+val annotate : Catalog.t -> Plan.t -> string
+(** [Plan.to_string] with estimates attached to every node. *)

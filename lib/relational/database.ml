@@ -10,11 +10,18 @@ type txn = {
 
 type t = {
   cat : Catalog.t;
-  wal : Wal.t option;
-  mutable current : txn option;
+  mutable wal : Wal.t option;
+  locks : Lock_manager.t;
   mutable next_txid : int;
   mutable replaying : bool;
+  mutable default_session : session option;  (* lazily created *)
 }
+
+(* A session is one client connection: it owns at most one open
+   transaction. The historical single-connection API on [t] routes
+   through a default session; tests open extra sessions to script
+   concurrent schedules against the lock manager. *)
+and session = { sdb : t; mutable s_txn : txn option }
 
 type result =
   | Rows of { columns : string list; rows : Value.t array list }
@@ -28,7 +35,17 @@ let error fmt = Printf.ksprintf (fun m -> raise (Db_error m)) fmt
 
 let catalog t = t.cat
 
-let in_transaction t = t.current <> None
+let session t = { sdb = t; s_txn = None }
+
+let default t =
+  match t.default_session with
+  | Some s -> s
+  | None ->
+    let s = session t in
+    t.default_session <- Some s;
+    s
+
+let in_transaction t = (default t).s_txn <> None
 
 let log t op =
   if not t.replaying then
@@ -39,11 +56,12 @@ let log t op =
 let log_flush t =
   if not t.replaying then Option.iter Wal.flush t.wal
 
-(* Obtain the transaction to charge an operation to: the open one, or a
-   fresh single-statement transaction (auto-commit). Returns the txn and
-   whether it must be committed at statement end. *)
-let charge t =
-  match t.current with
+(* Obtain the transaction to charge an operation to: the session's open
+   one, or a fresh single-statement transaction (auto-commit). Returns
+   the txn and whether it must be committed at statement end. *)
+let charge s =
+  let t = s.sdb in
+  match s.s_txn with
   | Some txn -> (txn, false)
   | None ->
     let txn = { txn_id = t.next_txid; undo_ops = [] } in
@@ -53,7 +71,9 @@ let charge t =
 
 let commit_txn t txn =
   log t (Wal.Commit txn.txn_id);
-  log_flush t
+  log_flush t;
+  (* strict 2PL: locks are held to commit *)
+  Lock_manager.release_all t.locks ~owner:txn.txn_id
 
 let rollback_txn _t txn =
   List.iter
@@ -74,6 +94,42 @@ let rollback_txn _t txn =
          | Ok () -> ()
          | Error m -> failwith ("rollback failed: " ^ m)))
     txn.undo_ops
+
+let abort t txn =
+  rollback_txn t txn;
+  log t (Wal.Rollback txn.txn_id);
+  Lock_manager.release_all t.locks ~owner:txn.txn_id
+
+(* ---------------- locking ---------------- *)
+
+(* Table-lock acquisition for a statement. [Would_block] fails just the
+   statement (the transaction keeps its locks and stays queued, so a
+   retry after the conflicting commit succeeds). [Deadlock] picks the
+   requester as victim: the whole transaction rolls back. *)
+let lock_table s txn mode table =
+  let t = s.sdb in
+  if not t.replaying then
+    match
+      Lock_manager.acquire t.locks ~owner:txn.txn_id
+        ~table:(Catalog.normalize table) mode
+    with
+    | Lock_manager.Granted -> ()
+    | Lock_manager.Would_block ->
+      error "table %S is locked by a concurrent transaction" table
+    | Lock_manager.Deadlock ->
+      abort t txn;
+      s.s_txn <- None;
+      error "deadlock detected: transaction %d rolled back" txn.txn_id
+
+let base_tables plan =
+  List.sort_uniq String.compare
+    (List.filter_map
+       (function
+         | Plan.Seq_scan { table; _ }
+         | Plan.Index_lookup { table; _ }
+         | Plan.Index_range { table; _ } -> Some table
+         | _ -> None)
+       (Plan.descendants plan))
 
 (* ---------------- statement execution ---------------- *)
 
@@ -243,6 +299,7 @@ let do_create_table t ~ddl_sql (ct : Sql_ast.stmt) =
       in
       (match Catalog.add_table t.cat (Table.create schema) with
        | Ok () ->
+         Catalog.bump_version t.cat;
          log t (Wal.Ddl ddl_sql);
          log_flush t;
          Done (Printf.sprintf "table %s created" name)
@@ -273,70 +330,91 @@ let do_create_index t ~ddl_sql ~name ~table ~columns ~unique ~kind =
   in
   match Catalog.add_index t.cat ~table idx with
   | Ok () ->
+    Catalog.bump_version t.cat;
     log t (Wal.Ddl ddl_sql);
     log_flush t;
     Done (Printf.sprintf "index %s created" name)
   | Error m -> error "%s" m
 
-let rec execute t (stmt : Sql_ast.stmt) : result =
+let do_analyze t (stmt : Sql_ast.stmt) target =
+  let tables =
+    match target with
+    | Some name -> [ (Catalog.normalize name, find_table t name) ]
+    | None ->
+      List.filter_map
+        (fun n -> Option.map (fun tbl -> (n, tbl)) (Catalog.find_table t.cat n))
+        (Catalog.table_names t.cat)
+  in
+  List.iter (fun (n, tbl) -> Catalog.set_stats t.cat n (Stats.analyze tbl)) tables;
+  Catalog.bump_version t.cat;
+  (* logged like DDL: replay recomputes statistics from the recovered data *)
+  log t (Wal.Ddl (Sql_ast.stmt_to_string stmt));
+  log_flush t;
+  Done
+    (Printf.sprintf "analyzed %d table%s" (List.length tables)
+       (if List.length tables = 1 then "" else "s"))
+
+let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
+  let t = s.sdb in
   match stmt with
-  | Select_stmt sel ->
-    let planned = Planner.plan_select t.cat sel in
-    let rows = List.of_seq (Executor.run t.cat planned.plan) in
-    Rows { columns = planned.column_names; rows }
-  | Query_stmt q ->
-    let planned = Planner.plan_query t.cat q in
+  | Select_stmt _ | Query_stmt _ ->
+    let planned =
+      match stmt with
+      | Select_stmt sel -> Planner.plan_select t.cat sel
+      | Query_stmt q -> Planner.plan_query t.cat q
+      | _ -> assert false
+    in
+    (* inside an explicit transaction, reads take shared table locks *)
+    (match s.s_txn with
+     | Some txn ->
+       List.iter (lock_table s txn Lock_manager.Shared) (base_tables planned.plan)
+     | None -> ());
     let rows = List.of_seq (Executor.run t.cat planned.plan) in
     Rows { columns = planned.column_names; rows }
   | Insert { table; columns; rows } ->
-    let txn, auto = charge t in
+    let txn, auto = charge s in
     (try
+       lock_table s txn Lock_manager.Exclusive table;
        let n = do_insert t txn ~table ~columns ~rows in
-       if auto then begin
-         commit_txn t txn;
-         t.current <- None
-       end;
+       Catalog.bump_version t.cat;
+       if auto then commit_txn t txn;
        Affected n
      with e ->
-       if auto then begin
-         rollback_txn t txn;
-         log t (Wal.Rollback txn.txn_id)
-       end;
+       if auto then abort t txn;
        raise e)
   | Delete { table; where } ->
-    let txn, auto = charge t in
+    let txn, auto = charge s in
     (try
+       lock_table s txn Lock_manager.Exclusive table;
        let n = do_delete t txn ~table ~where in
+       Catalog.bump_version t.cat;
        if auto then commit_txn t txn;
        Affected n
      with e ->
-       if auto then begin
-         rollback_txn t txn;
-         log t (Wal.Rollback txn.txn_id)
-       end;
+       if auto then abort t txn;
        raise e)
   | Update { table; assignments; where } ->
-    let txn, auto = charge t in
+    let txn, auto = charge s in
     (try
+       lock_table s txn Lock_manager.Exclusive table;
        let n = do_update t txn ~table ~assignments ~where in
+       Catalog.bump_version t.cat;
        if auto then commit_txn t txn;
        Affected n
      with e ->
-       if auto then begin
-         rollback_txn t txn;
-         log t (Wal.Rollback txn.txn_id)
-       end;
+       if auto then abort t txn;
        raise e)
   | Create_table _ as ct ->
-    if in_transaction t then error "DDL inside a transaction is not supported";
+    if s.s_txn <> None then error "DDL inside a transaction is not supported";
     do_create_table t ~ddl_sql:(Sql_ast.stmt_to_string ct) ct
   | Create_index { name; table; columns; unique; kind } as ci ->
-    if in_transaction t then error "DDL inside a transaction is not supported";
+    if s.s_txn <> None then error "DDL inside a transaction is not supported";
     do_create_index t ~ddl_sql:(Sql_ast.stmt_to_string ci) ~name ~table ~columns
       ~unique ~kind
   | Drop_table { name; if_exists } as dt ->
-    if in_transaction t then error "DDL inside a transaction is not supported";
+    if s.s_txn <> None then error "DDL inside a transaction is not supported";
     if Catalog.drop_table t.cat name then begin
+      Catalog.bump_version t.cat;
       log t (Wal.Ddl (Sql_ast.stmt_to_string dt));
       log_flush t;
       Done (Printf.sprintf "table %s dropped" name)
@@ -344,44 +422,47 @@ let rec execute t (stmt : Sql_ast.stmt) : result =
     else if if_exists then Done "no such table, skipped"
     else error "no such table %S" name
   | Drop_index { name; if_exists } as di ->
-    if in_transaction t then error "DDL inside a transaction is not supported";
+    if s.s_txn <> None then error "DDL inside a transaction is not supported";
     if Catalog.drop_index t.cat name then begin
+      Catalog.bump_version t.cat;
       log t (Wal.Ddl (Sql_ast.stmt_to_string di));
       log_flush t;
       Done (Printf.sprintf "index %s dropped" name)
     end
     else if if_exists then Done "no such index, skipped"
     else error "no such index %S" name
+  | Analyze target ->
+    if s.s_txn <> None then error "ANALYZE inside a transaction is not supported";
+    do_analyze t stmt target
   | Begin_txn ->
-    if in_transaction t then error "already in a transaction";
+    if s.s_txn <> None then error "already in a transaction";
     let txn = { txn_id = t.next_txid; undo_ops = [] } in
     t.next_txid <- t.next_txid + 1;
     log t (Wal.Begin txn.txn_id);
-    t.current <- Some txn;
+    s.s_txn <- Some txn;
     Done "transaction started"
   | Commit_txn ->
-    (match t.current with
+    (match s.s_txn with
      | None -> error "no transaction in progress"
      | Some txn ->
        commit_txn t txn;
-       t.current <- None;
+       s.s_txn <- None;
        Done "committed")
   | Rollback_txn ->
-    (match t.current with
+    (match s.s_txn with
      | None -> error "no transaction in progress"
      | Some txn ->
-       rollback_txn t txn;
-       log t (Wal.Rollback txn.txn_id);
-       t.current <- None;
+       abort t txn;
+       s.s_txn <- None;
        Done "rolled back")
   | Explain inner ->
     (match inner with
      | Select_stmt sel ->
        let planned = Planner.plan_select t.cat sel in
-       Explained (Plan.to_string planned.plan)
+       Explained (Cost.annotate t.cat planned.plan)
      | Query_stmt q ->
        let planned = Planner.plan_query t.cat q in
-       Explained (Plan.to_string planned.plan)
+       Explained (Cost.annotate t.cat planned.plan)
      | _ -> Explained (Sql_ast.stmt_to_string inner ^ "\n"))
   | Explain_analyze inner ->
     let planned =
@@ -390,17 +471,22 @@ let rec execute t (stmt : Sql_ast.stmt) : result =
       | Query_stmt q -> Planner.plan_query t.cat q
       | _ -> error "EXPLAIN ANALYZE supports only SELECT statements"
     in
+    let ests = Cost.estimate t.cat planned.plan in
     let obs = Obs.create planned.plan in
     let t0 = Obs.now_s () in
     let rows = List.of_seq (Executor.run t.cat ~obs planned.plan) in
     let elapsed_ms = (Obs.now_s () -. t0) *. 1000. in
+    (* estimate-vs-actual, side by side on every node *)
+    let annot node = Cost.annotation ests node ^ Obs.annotation obs node in
     Explained
-      (Obs.annotate obs planned.plan
+      (Plan.to_string ~annot planned.plan
        ^ Printf.sprintf
            "Result: %d rows in %.3fms (operator rows=%d, index probes=%d, \
             hash build rows=%d)\n"
            (List.length rows) elapsed_ms (Obs.total_rows obs)
            (Obs.total_probes obs) (Obs.total_build_rows obs))
+
+and execute t stmt = execute_in (default t) stmt
 
 (* ---------------- recovery ---------------- *)
 
@@ -432,16 +518,13 @@ and replay t ops =
     ops
 
 let open_in_memory () =
-  { cat = Catalog.create (); wal = None; current = None; next_txid = 1;
-    replaying = false }
+  { cat = Catalog.create (); wal = None; locks = Lock_manager.create ();
+    next_txid = 1; replaying = false; default_session = None }
 
 let open_with_wal path =
   Wal.trim_torn_tail path;
   let all_ops = Wal.read_ops path in
-  let t =
-    { cat = Catalog.create (); wal = None; current = None; next_txid = 1;
-      replaying = false }
-  in
+  let t = open_in_memory () in
   replay t (Wal.committed_ops all_ops);
   (* Advance past every txid in the log, including uncommitted (torn)
      transactions: reusing such an id would let a later commit record
@@ -455,30 +538,34 @@ let open_with_wal path =
         if txid >= t.next_txid then t.next_txid <- txid + 1
       | Wal.Ddl _ -> ())
     all_ops;
-  let wal = Wal.open_log path in
-  { t with wal = Some wal }
+  t.wal <- Some (Wal.open_log path);
+  t
 
 let close t =
-  (match t.current with
+  let s = default t in
+  (match s.s_txn with
    | Some txn ->
-     rollback_txn t txn;
-     log t (Wal.Rollback txn.txn_id);
-     t.current <- None
+     abort t txn;
+     s.s_txn <- None
    | None -> ());
   Option.iter Wal.close t.wal
 
 (* ---------------- public API ---------------- *)
 
-let exec t sql =
+let session_exec s sql =
   match Sql_parser.parse sql with
   | stmt ->
-    (try Ok (execute t stmt) with
+    (try Ok (execute_in s stmt) with
      | Db_error m -> Error m
      | Planner.Plan_error m -> Error ("planning: " ^ m)
      | Executor.Runtime_error m -> Error ("execution: " ^ m)
      | Failure m -> Error m)
   | exception ((Sql_parser.Parse_error _ | Sql_lexer.Lex_error _) as e) ->
     Error (Sql_parser.error_to_string e)
+
+let exec t sql = session_exec (default t) sql
+
+let session_in_transaction s = s.s_txn <> None
 
 let exec_exn t sql =
   match exec t sql with
@@ -499,8 +586,10 @@ let query_exn t sql =
 let insert_rows t ~table rows =
   try
     let tbl = find_table t table in
-    let txn, auto = charge t in
+    let s = default t in
+    let txn, auto = charge s in
     (try
+       lock_table s txn Lock_manager.Exclusive table;
        let count = ref 0 in
        List.iter
          (fun row ->
@@ -511,16 +600,11 @@ let insert_rows t ~table rows =
              incr count
            | Error m -> error "%s" m)
          rows;
-       if auto then begin
-         commit_txn t txn;
-         t.current <- None
-       end;
+       Catalog.bump_version t.cat;
+       if auto then commit_txn t txn;
        Ok !count
      with e ->
-       if auto then begin
-         rollback_txn t txn;
-         log t (Wal.Rollback txn.txn_id)
-       end;
+       if auto then abort t txn;
        raise e)
   with
   | Db_error m -> Error m

@@ -55,6 +55,20 @@ val explain_analyze : t -> string -> (string, string) Stdlib.result
 
 val in_transaction : t -> bool
 
+type session
+(** One client connection with its own transaction state, sharing the
+    database's catalog, WAL and lock manager. The [t]-level API is the
+    default session; extra sessions make concurrent lock schedules
+    scriptable (strict two-phase locking, see {!Lock_manager}): DML takes
+    an exclusive table lock, reads inside an explicit transaction take
+    shared locks, and everything is released at COMMIT/ROLLBACK. A
+    [Would_block] conflict fails only the statement (retryable); a
+    [Deadlock] rolls the requesting transaction back. *)
+
+val session : t -> session
+val session_exec : session -> string -> (result, string) Stdlib.result
+val session_in_transaction : session -> bool
+
 val plan_select : t -> Sql_ast.select -> Planner.planned
 (** Plan without executing (used by tests and the XQ2SQL layer). *)
 

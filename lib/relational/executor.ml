@@ -22,8 +22,9 @@ end
 
 module KeyTbl = Hashtbl.Make (Key)
 
-(* SQL LIKE: % = any run, _ = any single char. *)
-let like_match ~pattern s =
+(* SQL LIKE: % = any run, _ = any single char; a character preceded by
+   the ESCAPE character (if any) matches itself literally. *)
+let like_match ?escape ~pattern s =
   let pn = String.length pattern and sn = String.length s in
   (* memoized recursion over (pi, si) *)
   let memo = Hashtbl.create 16 in
@@ -35,6 +36,11 @@ let like_match ~pattern s =
         if pi >= pn then si >= sn
         else
           match pattern.[pi] with
+          | c when escape = Some c ->
+            (* a trailing escape character matches nothing *)
+            pi + 1 < pn && si < sn
+            && s.[si] = pattern.[pi + 1]
+            && go (pi + 2) (si + 1)
           | '%' -> go (pi + 1) si || (si < sn && go pi (si + 1))
           | '_' -> si < sn && go (pi + 1) (si + 1)
           | c -> si < sn && s.[si] = c && go (pi + 1) (si + 1)
@@ -248,12 +254,28 @@ let rec eval ctx row (e : Plan.cexpr) : Value.t =
      | v -> error "cannot negate %s" (Value.to_literal v))
   | CUnop (Not, e) -> not3 (eval ctx row e)
   | CFn (name, args) -> scalar_fn name (List.map (eval ctx row) args)
-  | CLike { subject; pattern; negated } ->
+  | CLike { subject; pattern; escape; negated } ->
     (match eval ctx row subject, eval ctx row pattern with
      | Value.Null, _ | _, Value.Null -> Value.Null
      | s, p ->
-       let r = like_match ~pattern:(Value.to_string p) (Value.to_string s) in
-       Value.Bool (if negated then not r else r))
+       (* SQL semantics: a NULL escape makes the whole predicate NULL;
+          a non-NULL escape must be a single character *)
+       let esc = Option.map (eval ctx row) escape in
+       (match esc with
+        | Some Value.Null -> Value.Null
+        | _ ->
+          let escape =
+            match esc with
+            | None -> None
+            | Some v ->
+              let e = Value.to_string v in
+              if String.length e = 1 then Some e.[0]
+              else error "ESCAPE expression must be a single character, got %S" e
+          in
+          let r =
+            like_match ?escape ~pattern:(Value.to_string p) (Value.to_string s)
+          in
+          Value.Bool (if negated then not r else r)))
   | CIn_list { subject; candidates; negated } ->
     let v = eval ctx row subject in
     if v = Value.Null then Value.Null

@@ -21,5 +21,6 @@ val eval_expr :
   Catalog.t -> ?params:Value.t array -> Value.t array -> Plan.cexpr -> Value.t
 (** Evaluate a compiled scalar expression against a row. *)
 
-val like_match : pattern:string -> string -> bool
-(** SQL LIKE with [%] and [_] wildcards (case-sensitive). *)
+val like_match : ?escape:char -> pattern:string -> string -> bool
+(** SQL LIKE with [%] and [_] wildcards (case-sensitive); [?escape]
+    makes the following pattern character match itself literally. *)

@@ -12,7 +12,7 @@ type cexpr =
   | CBinop of Sql_ast.binop * cexpr * cexpr
   | CUnop of Sql_ast.unop * cexpr
   | CFn of string * cexpr list
-  | CLike of { subject : cexpr; pattern : cexpr; negated : bool }
+  | CLike of { subject : cexpr; pattern : cexpr; escape : cexpr option; negated : bool }
   | CIn_list of { subject : cexpr; candidates : cexpr list; negated : bool }
   | CIs_null of { subject : cexpr; negated : bool }
   | CBetween of { subject : cexpr; low : cexpr; high : cexpr; negated : bool }
@@ -72,9 +72,13 @@ let rec cexpr_to_string = function
   | CUnop (Sql_ast.Not, e) -> Printf.sprintf "(NOT %s)" (cexpr_to_string e)
   | CFn (name, args) ->
     Printf.sprintf "%s(%s)" name (String.concat ", " (List.map cexpr_to_string args))
-  | CLike { subject; pattern; negated } ->
-    Printf.sprintf "(%s %sLIKE %s)" (cexpr_to_string subject)
-      (if negated then "NOT " else "") (cexpr_to_string pattern)
+  | CLike { subject; pattern; escape; negated } ->
+    let esc = match escape with
+      | Some e -> " ESCAPE " ^ cexpr_to_string e
+      | None -> ""
+    in
+    Printf.sprintf "(%s %sLIKE %s%s)" (cexpr_to_string subject)
+      (if negated then "NOT " else "") (cexpr_to_string pattern) esc
   | CIn_list { subject; candidates; negated } ->
     Printf.sprintf "(%s %sIN (%s))" (cexpr_to_string subject)
       (if negated then "NOT " else "")
@@ -100,7 +104,9 @@ let rec subplans_of (e : cexpr) : t list =
   | CBinop (_, a, b) -> subplans_of a @ subplans_of b
   | CUnop (_, a) -> subplans_of a
   | CFn (_, args) -> List.concat_map subplans_of args
-  | CLike { subject; pattern; _ } -> subplans_of subject @ subplans_of pattern
+  | CLike { subject; pattern; escape; _ } ->
+    subplans_of subject @ subplans_of pattern
+    @ (match escape with Some e -> subplans_of e | None -> [])
   | CIn_list { subject; candidates; _ } ->
     subplans_of subject @ List.concat_map subplans_of candidates
   | CIs_null { subject; _ } -> subplans_of subject

@@ -79,8 +79,10 @@ let rec compile env (e : expr) : Plan.cexpr =
   | Binop (op, a, b) -> CBinop (op, compile env a, compile env b)
   | Unop (op, a) -> CUnop (op, compile env a)
   | Fn (name, args) -> CFn (name, List.map (compile env) args)
-  | Like { subject; pattern; negated } ->
-    CLike { subject = compile env subject; pattern = compile env pattern; negated }
+  | Like { subject; pattern; escape; negated } ->
+    CLike
+      { subject = compile env subject; pattern = compile env pattern;
+        escape = Option.map (compile env) escape; negated }
   | In_list { subject; candidates; negated } ->
     CIn_list
       { subject = compile env subject;
@@ -124,7 +126,9 @@ and has_subquery (e : expr) =
     | Binop (_, a, b) -> go a || go b
     | Unop (_, a) -> go a
     | Fn (_, args) -> List.exists go args
-    | Like { subject; pattern; _ } -> go subject || go pattern
+    | Like { subject; pattern; escape; _ } ->
+      go subject || go pattern
+      || (match escape with Some e -> go e | None -> false)
     | In_list { subject; candidates; _ } -> go subject || List.exists go candidates
     | Is_null { subject; _ } -> go subject
     | Between { subject; low; high; _ } -> go subject || go low || go high
@@ -180,7 +184,8 @@ and referenced_units ~unit_scopes ~outer (e : expr) : int list =
     | Binop (_, a, b) -> go a; go b
     | Unop (_, a) -> go a
     | Fn (_, args) -> List.iter go args
-    | Like { subject; pattern; _ } -> go subject; go pattern
+    | Like { subject; pattern; escape; _ } ->
+      go subject; go pattern; Option.iter go escape
     | In_list { subject; candidates; _ } -> go subject; List.iter go candidates
     | Is_null { subject; _ } -> go subject
     | Between { subject; low; high; _ } -> go subject; go low; go high
@@ -276,91 +281,205 @@ and access_path catalog ~outer ~table_name ~scope preds =
     in
     collect [] cols
   in
-  let lookup_choice =
-    let candidates =
+  (* every index with a full-key equality match is a lookup candidate *)
+  let lookup_candidates =
+    let cands =
       List.filter_map
         (fun idx -> match eq_match idx with Some keys -> Some (idx, keys) | None -> None)
         indexes
     in
-    (* prefer unique indexes, then wider keys *)
+    (* stable preference on cost ties: unique first, then wider keys *)
     let score (idx, keys) =
       (if Index.is_unique idx then 1000 else 0) + List.length keys
     in
-    match List.sort (fun a b -> compare (score b) (score a)) candidates with
-    | c :: _ -> Some c
-    | [] -> None
+    List.sort (fun a b -> compare (score b) (score a)) cands
   in
-  let range_choice =
-    match lookup_choice with
-    | Some _ -> None
-    | None ->
-      List.find_map
-        (fun idx ->
-          if Index.kind idx <> Index.Btree then None
-          else
-            match Index.columns idx with
-            | [ col ] ->
-              let col = norm col in
-              let bounds = List.filter (fun (c, _, _) -> c = col) !ranges in
-              if bounds = [] then None
-              else begin
-                let lo =
-                  List.find_map
-                    (fun (_, (d, e), p) ->
-                      match d with `Lo incl -> Some (e, incl, p) | `Hi _ -> None)
-                    bounds
-                in
-                let hi =
-                  List.find_map
-                    (fun (_, (d, e), p) ->
-                      match d with `Hi incl -> Some (e, incl, p) | `Lo _ -> None)
-                    bounds
-                in
-                Some (idx, lo, hi)
-              end
-            | _ -> None)
-        indexes
+  (* every single-column B+tree with at least one usable bound *)
+  let range_candidates =
+    List.filter_map
+      (fun idx ->
+        if Index.kind idx <> Index.Btree then None
+        else
+          match Index.columns idx with
+          | [ col ] ->
+            let col = norm col in
+            let bounds = List.filter (fun (c, _, _) -> c = col) !ranges in
+            if bounds = [] then None
+            else begin
+              let lo =
+                List.find_map
+                  (fun (_, (d, e), p) ->
+                    match d with `Lo incl -> Some (e, incl, p) | `Hi _ -> None)
+                  bounds
+              in
+              let hi =
+                List.find_map
+                  (fun (_, (d, e), p) ->
+                    match d with `Hi incl -> Some (e, incl, p) | `Lo _ -> None)
+                  bounds
+              in
+              Some (idx, col, lo, hi)
+            end
+          | _ -> None)
+      indexes
   in
   let rows = float_of_int (max 1 (Table.row_count table)) in
-  match lookup_choice with
-  | Some (idx, keys) ->
-    let used_preds = List.map snd keys in
-    let key = Array.of_list (List.map (fun (c, _) -> compile const_env c) keys) in
-    let rest = List.filter (fun p -> not (List.memq p used_preds)) preds in
-    let filter = split_conjunction (List.map (compile unit_env) rest) in
-    let est =
-      if Index.is_unique idx then 1.0
-      else rows /. float_of_int (max 1 (Index.cardinality idx))
+  let tstats = Catalog.find_stats catalog (Catalog.normalize table_name) in
+  let col_stats c = Option.bind tstats (fun ts -> Stats.find_column ts c) in
+  let lit_of = function Lit v -> Some v | _ -> None in
+  (* statistics-based selectivity of a single-unit predicate *)
+  let rec pred_sel p =
+    let s =
+      match p with
+      | Binop (Eq, a, b) ->
+        let stats_side =
+          match col_of a, is_const b with
+          | Some c, true -> col_stats c
+          | _ ->
+            (match col_of b, is_const a with
+             | Some c, true -> col_stats c
+             | _ -> None)
+        in
+        (match stats_side with
+         | Some cs -> Stats.eq_selectivity cs
+         | None -> Stats.default_eq)
+      | Binop ((Lt | Le | Gt | Ge) as op, a, b) ->
+        let directional col_e lit_e ~col_on_left =
+          match col_of col_e, Option.bind (Some lit_e) lit_of with
+          | Some c, Some v ->
+            (match col_stats c with
+             | Some cs ->
+               let le = Stats.le_fraction cs v in
+               let col_le =
+                 match op, col_on_left with
+                 | (Lt | Le), true -> true
+                 | (Gt | Ge), true -> false
+                 | (Lt | Le), false -> false
+                 | (Gt | Ge), false -> true
+                 | _ -> true
+               in
+               if col_le then le
+               else Float.max 0. (1. -. cs.Stats.null_frac -. le)
+             | None -> Stats.default_range)
+          | _ -> Stats.default_range
+        in
+        if col_of a <> None && is_const b then directional a b ~col_on_left:true
+        else if col_of b <> None && is_const a then directional b a ~col_on_left:false
+        else Stats.default_range
+      | Between { subject; low; high; negated } ->
+        let s =
+          match col_of subject, lit_of low, lit_of high with
+          | Some c, (Some _ as lo), hi | Some c, lo, (Some _ as hi) ->
+            (match col_stats c with
+             | Some cs ->
+               Stats.range_selectivity cs
+                 ~lo:(Option.map (fun v -> (v, true)) lo)
+                 ~hi:(Option.map (fun v -> (v, true)) hi)
+             | None -> Stats.default_range)
+          | _ -> Stats.default_range
+        in
+        if negated then 1. -. s else s
+      | Like { negated; _ } ->
+        if negated then 1. -. Stats.default_like else Stats.default_like
+      | Is_null { subject; negated } ->
+        (match Option.bind (col_of subject) col_stats with
+         | Some cs -> Stats.null_selectivity cs ~negated
+         | None -> if negated then 0.9 else 0.1)
+      | In_list { subject; candidates; negated } ->
+        let eq =
+          match Option.bind (col_of subject) col_stats with
+          | Some cs -> Stats.eq_selectivity cs
+          | None -> Stats.default_eq
+        in
+        let s =
+          Float.min Stats.default_other
+            (float_of_int (List.length candidates) *. eq)
+        in
+        if negated then 1. -. s else s
+      | Binop (Or, a, b) ->
+        let sa = pred_sel a and sb = pred_sel b in
+        sa +. sb -. (sa *. sb)
+      | Binop (And, a, b) -> pred_sel a *. pred_sel b
+      | Unop (Not, a) -> 1. -. pred_sel a
+      | _ -> Stats.default_other
     in
-    let est = est *. (0.5 ** float_of_int (List.length rest)) in
-    (Plan.Index_lookup { table = Catalog.normalize table_name; index = Index.name idx; key; filter },
-     est)
-  | None ->
-    (match range_choice with
-     | Some (idx, lo, hi) ->
-       let used =
-         (match lo with Some (_, _, p) -> [ p ] | None -> [])
-         @ (match hi with Some (_, _, p) -> [ p ] | None -> [])
-       in
-       let bound = Option.map (fun (e, incl, _) -> ([| compile const_env e |], incl)) in
-       let rest = List.filter (fun p -> not (List.memq p used)) preds in
-       let filter = split_conjunction (List.map (compile unit_env) rest) in
-       let est = rows *. 0.25 *. (0.5 ** float_of_int (List.length rest)) in
-       (Plan.Index_range
-          { table = Catalog.normalize table_name; index = Index.name idx;
-            lo = bound lo; hi = bound hi; filter },
-        est)
-     | None ->
-       let filter = split_conjunction (List.map (compile unit_env) preds) in
-       let selectivity p =
-         match p with
-         | Binop (Eq, _, _) -> 0.05
-         | Binop ((Lt | Le | Gt | Ge), _, _) | Between _ -> 0.25
-         | Like _ -> 0.25
-         | _ -> 0.5
-       in
-       let est = List.fold_left (fun acc p -> acc *. selectivity p) rows preds in
-       (Plan.Seq_scan { table = Catalog.normalize table_name; filter }, max est 0.01))
+    Float.max 1e-4 (Float.min 1.0 s)
+  in
+  let sel_of_preds ps = List.fold_left (fun s p -> s *. pred_sel p) 1.0 ps in
+  let probe_cost idx = Float.log (float_of_int (Index.entry_count idx) +. 2.) /. Float.log 2. in
+  (* rank all access paths by estimated cost; ties keep list order
+     (lookups, then ranges, then the sequential scan) *)
+  let candidates =
+    List.map
+      (fun (idx, keys) ->
+        let used_preds = List.map snd keys in
+        let rest = List.filter (fun p -> not (List.memq p used_preds)) preds in
+        let matched =
+          if Index.is_unique idx then 1.0
+          else rows /. float_of_int (max 1 (Index.cardinality idx))
+        in
+        let est = matched *. sel_of_preds rest in
+        let cost = probe_cost idx +. matched in
+        let build () =
+          let key = Array.of_list (List.map (fun (c, _) -> compile const_env c) keys) in
+          let filter = split_conjunction (List.map (compile unit_env) rest) in
+          Plan.Index_lookup
+            { table = Catalog.normalize table_name; index = Index.name idx; key; filter }
+        in
+        (build, est, cost))
+      lookup_candidates
+    @ List.map
+        (fun (idx, col, lo, hi) ->
+          let used =
+            (match lo with Some (_, _, p) -> [ p ] | None -> [])
+            @ (match hi with Some (_, _, p) -> [ p ] | None -> [])
+          in
+          let rest = List.filter (fun p -> not (List.memq p used)) preds in
+          let frac =
+            match col_stats col with
+            | Some cs ->
+              let value = function
+                | Some (e, incl, _) -> Option.map (fun v -> (v, incl)) (lit_of e)
+                | None -> None
+              in
+              (match lo, hi, value lo, value hi with
+               | Some _, _, None, _ | _, Some _, _, None ->
+                 (* non-literal bound: no histogram guidance *)
+                 Stats.default_range
+               | _ -> Stats.range_selectivity cs ~lo:(value lo) ~hi:(value hi))
+            | None -> Stats.default_range
+          in
+          let matched = rows *. frac in
+          let est = matched *. sel_of_preds rest in
+          let cost = probe_cost idx +. matched in
+          let build () =
+            let bound = Option.map (fun (e, incl, _) -> ([| compile const_env e |], incl)) in
+            let filter = split_conjunction (List.map (compile unit_env) rest) in
+            Plan.Index_range
+              { table = Catalog.normalize table_name; index = Index.name idx;
+                lo = bound lo; hi = bound hi; filter }
+          in
+          (build, est, cost))
+        range_candidates
+    @ [ (let est = Float.max 0.01 (rows *. sel_of_preds preds) in
+         let build () =
+           let filter = split_conjunction (List.map (compile unit_env) preds) in
+           Plan.Seq_scan { table = Catalog.normalize table_name; filter }
+         in
+         (build, est, rows +. 1.)) ]
+  in
+  let best =
+    List.fold_left
+      (fun acc (build, est, cost) ->
+        match acc with
+        | None -> Some (build, est, cost)
+        | Some (_, _, best_cost) when cost < best_cost -> Some (build, est, cost)
+        | Some _ -> acc)
+      None candidates
+  in
+  match best with
+  | Some (build, est, cost) -> (build (), est, cost)
+  | None -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* FROM planning                                                       *)
@@ -452,10 +571,11 @@ and plan_from catalog ~outer (from : table_ref list) (where : expr option) :
             let env = { catalog; scope; outer } in
             let filter = split_conjunction (List.map (compile env) preds) in
             let p = match filter with Some f -> Plan.Filter (f, p) | None -> p in
-            (p, scope, 1000.0 *. (0.5 ** float_of_int (List.length preds)))
+            let est = 1000.0 *. (0.5 ** float_of_int (List.length preds)) in
+            (p, scope, est, est)
           | None, Some table_name ->
-            let p, est = access_path catalog ~outer ~table_name ~scope preds in
-            (p, scope, est)
+            let p, est, cost = access_path catalog ~outer ~table_name ~scope preds in
+            (p, scope, est, cost)
           | None, None -> assert false)
         units
     in
@@ -463,10 +583,13 @@ and plan_from catalog ~outer (from : table_ref list) (where : expr option) :
     if n = 0 then
       (Plan.Single_row, [||], List.rev !residual)
     else begin
-      (* greedy join ordering *)
+      (* greedy cost-ordered join ordering: each step adds the unit that
+         minimises the estimated cardinality of the joined set, using
+         per-column distinct counts from ANALYZE when available *)
       let in_set = Array.make n false in
       let order = ref [] in
       let remaining_multi = ref (List.map snd !multi) in
+      let unit_base = Array.map (fun (_, _, _, base) -> base) units in
       (* equi-join detection between the current set and a candidate unit *)
       let is_equi_between set_scopes unit_idx c =
         match c with
@@ -484,40 +607,93 @@ and plan_from catalog ~outer (from : table_ref list) (where : expr option) :
            | _ -> None)
         | _ -> None
       in
+      (* distinct count of a plain column reference, via ANALYZE stats *)
+      let distinct_of_expr e =
+        match e with
+        | Col { column; _ } ->
+          (match referenced_units ~unit_scopes ~outer e with
+           | [ i ] ->
+             (match unit_base.(i) with
+              | Some base ->
+                Option.bind
+                  (Catalog.find_stats catalog (Catalog.normalize base))
+                  (fun ts ->
+                    Option.map
+                      (fun cs -> cs.Stats.n_distinct)
+                      (Stats.find_column ts column))
+              | None -> None)
+           | _ -> None)
+        | _ -> None
+      in
+      (* estimated output cardinality of joining the current set (set_rows)
+         with a unit (unit_rows) over equi keys [joins] *)
+      let joined_est set_rows unit_rows joins =
+        let key_sels =
+          List.filter_map
+            (fun (se, ue) ->
+              match distinct_of_expr se, distinct_of_expr ue with
+              | Some d1, Some d2 ->
+                Some (1. /. float_of_int (max 1 (max d1 d2)))
+              | Some d, None | None, Some d ->
+                Some (1. /. float_of_int (max 1 d))
+              | None, None -> None)
+            joins
+        in
+        match key_sels with
+        | [] ->
+          if joins = [] then set_rows *. unit_rows  (* cross product *)
+          else
+            (* equi join, no stats: assume key/foreign-key *)
+            set_rows *. unit_rows /. Float.max 1. (Float.max set_rows unit_rows)
+        | ss -> set_rows *. unit_rows *. List.fold_left ( *. ) 1.0 ss
+      in
       (* pick the starting unit: smallest estimate *)
       let start = ref 0 in
       Array.iteri
-        (fun i (_, _, est) ->
-          let _, _, best = planned.(!start) in
+        (fun i (_, _, est, _) ->
+          let _, _, best, _ = planned.(!start) in
           if est < best then start := i)
         planned;
       in_set.(!start) <- true;
       order := [ !start ];
-      let current_plan = ref (let p, _, _ = planned.(!start) in p) in
-      let current_scope = ref (let _, s, _ = planned.(!start) in s) in
+      let current_plan = ref (let p, _, _, _ = planned.(!start) in p) in
+      let current_scope = ref (let _, s, _, _ = planned.(!start) in s) in
       let current_members = ref [ !start ] in
+      let current_rows = ref (let _, _, est, _ = planned.(!start) in est) in
       for _ = 2 to n do
-        (* candidates with an equi join to the set *)
+        (* choose the candidate minimising estimated output rows plus the
+           cost of producing the unit's side: a hash join scans the unit
+           once (small weight keeps output cardinality in charge), but a
+           unit joined without equi keys becomes a nested-loop right side
+           and is re-executed per left row — charge its full scan cost so
+           an expensive scan never lands there when a cheap one can *)
         let best = ref None in
         Array.iteri
-          (fun i (_, _, est) ->
+          (fun i (_, _, est, cost) ->
             if not in_set.(i) then begin
               let joins =
                 List.filter_map (is_equi_between !current_members i) !remaining_multi
               in
               let has_equi = joins <> [] in
+              let est_out = joined_est !current_rows est joins in
+              let metric =
+                est_out
+                +. (if has_equi then 0.01 *. cost
+                    else Float.max 1. !current_rows *. cost)
+              in
               match !best with
-              | None -> best := Some (i, est, has_equi)
-              | Some (_, best_est, best_equi) ->
-                if (has_equi && not best_equi)
-                   || (has_equi = best_equi && est < best_est) then
-                  best := Some (i, est, has_equi)
+              | None -> best := Some (i, est_out, metric, has_equi)
+              | Some (_, _, best_metric, best_equi) ->
+                if metric < best_metric
+                   || (metric = best_metric && has_equi && not best_equi) then
+                  best := Some (i, est_out, metric, has_equi)
             end)
           planned;
         match !best with
         | None -> ()
-        | Some (i, _, has_equi) ->
-          let unit_plan, unit_scope, _ = planned.(i) in
+        | Some (i, est_out, _metric, has_equi) ->
+          current_rows := Float.max 0.5 est_out;
+          let unit_plan, unit_scope, _, _ = planned.(i) in
           let joined_scope = Array.append !current_scope unit_scope in
           let set_env = { catalog; scope = !current_scope; outer } in
           let unit_env = { catalog; scope = unit_scope; outer } in
@@ -560,7 +736,11 @@ and plan_from catalog ~outer (from : table_ref list) (where : expr option) :
           in
           remaining_multi := keep;
           (match split_conjunction (List.map (compile joined_env) apply) with
-           | Some f -> current_plan := Plan.Filter (f, !current_plan)
+           | Some f ->
+             current_plan := Plan.Filter (f, !current_plan);
+             current_rows :=
+               Float.max 0.5
+                 (!current_rows *. (0.5 ** float_of_int (List.length apply)))
            | None -> ())
       done;
       if !remaining_multi <> [] then
@@ -630,7 +810,9 @@ and collect_aggs (e : expr) acc =
   | Binop (_, a, b) -> collect_aggs b (collect_aggs a acc)
   | Unop (_, a) -> collect_aggs a acc
   | Fn (_, args) -> List.fold_left (fun acc a -> collect_aggs a acc) acc args
-  | Like { subject; pattern; _ } -> collect_aggs pattern (collect_aggs subject acc)
+  | Like { subject; pattern; escape; _ } ->
+    let acc = collect_aggs pattern (collect_aggs subject acc) in
+    (match escape with Some e -> collect_aggs e acc | None -> acc)
   | In_list { subject; candidates; _ } ->
     List.fold_left (fun acc a -> collect_aggs a acc) (collect_aggs subject acc) candidates
   | Is_null { subject; _ } -> collect_aggs subject acc
@@ -674,9 +856,10 @@ and compile_post_agg env ~group_exprs ~agg_exprs (e : expr) : Plan.cexpr =
         | Unop (op, a) -> CUnop (op, compile_post_agg env ~group_exprs ~agg_exprs a)
         | Fn (name, args) ->
           CFn (name, List.map (compile_post_agg env ~group_exprs ~agg_exprs) args)
-        | Like { subject; pattern; negated } ->
+        | Like { subject; pattern; escape; negated } ->
           CLike { subject = compile_post_agg env ~group_exprs ~agg_exprs subject;
                   pattern = compile_post_agg env ~group_exprs ~agg_exprs pattern;
+                  escape = Option.map (compile_post_agg env ~group_exprs ~agg_exprs) escape;
                   negated }
         | In_list { subject; candidates; negated } ->
           CIn_list

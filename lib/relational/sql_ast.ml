@@ -23,7 +23,7 @@ type expr =
   | Binop of binop * expr * expr
   | Unop of unop * expr
   | Fn of string * expr list     (* scalar functions, name uppercased *)
-  | Like of { subject : expr; pattern : expr; negated : bool }
+  | Like of { subject : expr; pattern : expr; escape : expr option; negated : bool }
   | In_list of { subject : expr; candidates : expr list; negated : bool }
   | In_select of { subject : expr; select : select; negated : bool }
   | Exists of { select : select; negated : bool }
@@ -100,6 +100,7 @@ type stmt =
   | Rollback_txn
   | Explain of stmt
   | Explain_analyze of stmt   (* execute, then render the profiled plan *)
+  | Analyze of string option  (* collect statistics for one table, or all *)
 
 (* ------------------------------------------------------------------ *)
 (* Printing (round-trips through the parser)                           *)
@@ -124,9 +125,13 @@ let rec expr_to_string = function
   | Unop (Not, e) -> Printf.sprintf "(NOT %s)" (expr_to_string e)
   | Fn (name, args) ->
     Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr_to_string args))
-  | Like { subject; pattern; negated } ->
-    Printf.sprintf "(%s %sLIKE %s)" (expr_to_string subject)
-      (if negated then "NOT " else "") (expr_to_string pattern)
+  | Like { subject; pattern; escape; negated } ->
+    let esc = match escape with
+      | Some e -> " ESCAPE " ^ expr_to_string e
+      | None -> ""
+    in
+    Printf.sprintf "(%s %sLIKE %s%s)" (expr_to_string subject)
+      (if negated then "NOT " else "") (expr_to_string pattern) esc
   | In_list { subject; candidates; negated } ->
     Printf.sprintf "(%s %sIN (%s))" (expr_to_string subject)
       (if negated then "NOT " else "")
@@ -272,3 +277,5 @@ let rec stmt_to_string = function
   | Rollback_txn -> "ROLLBACK"
   | Explain s -> "EXPLAIN " ^ stmt_to_string s
   | Explain_analyze s -> "EXPLAIN ANALYZE " ^ stmt_to_string s
+  | Analyze None -> "ANALYZE"
+  | Analyze (Some table) -> "ANALYZE " ^ table

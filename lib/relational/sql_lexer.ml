@@ -17,7 +17,7 @@ let keywords =
     "DESC"; "LIMIT"; "OFFSET"; "DISTINCT"; "INSERT"; "INTO"; "VALUES";
     "UPDATE"; "SET"; "DELETE"; "CREATE"; "TABLE"; "INDEX"; "UNIQUE"; "HASH";
     "DROP"; "IF"; "EXISTS"; "PRIMARY"; "KEY"; "NULL"; "IS"; "IN"; "LIKE";
-    "BETWEEN"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "TRUE"; "FALSE";
+    "BETWEEN"; "ESCAPE"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "TRUE"; "FALSE";
     "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "BEGIN"; "COMMIT"; "ROLLBACK";
     "EXPLAIN"; "ANALYZE"; "INTEGER"; "INT"; "BIGINT"; "SMALLINT"; "REAL"; "FLOAT";
     "DOUBLE"; "NUMERIC"; "DECIMAL"; "TEXT"; "VARCHAR"; "CHAR"; "BOOLEAN";

@@ -134,7 +134,10 @@ and parse_negatable st subject negated =
   end
   else if accept_kw st "LIKE" then begin
     let pattern = parse_concat st in
-    Like { subject; pattern; negated }
+    let escape =
+      if accept_kw st "ESCAPE" then Some (parse_concat st) else None
+    in
+    Like { subject; pattern; escape; negated }
   end
   else if accept_kw st "BETWEEN" then begin
     let low = parse_concat st in
@@ -584,6 +587,11 @@ let rec parse_stmt st =
     advance st;
     if accept_kw st "ANALYZE" then Explain_analyze (parse_stmt st)
     else Explain (parse_stmt st)
+  | Sql_lexer.Keyword "ANALYZE" ->
+    advance st;
+    (match peek st with
+     | Sql_lexer.Ident name -> advance st; Analyze (Some name)
+     | _ -> Analyze None)
   | t -> error st (Printf.sprintf "expected a statement, found %s" (Sql_lexer.token_to_string t))
 
 let make_state src =

@@ -1,0 +1,122 @@
+(* Table and column statistics backing the cost-based planner.
+
+   ANALYZE walks a table once and records, per column: the null fraction,
+   the number of distinct values, min/max, and an equi-depth histogram
+   (quantile boundaries over the sorted non-null values). The planner
+   turns these into selectivity estimates; without statistics it falls
+   back to the textbook constants below (the pre-ANALYZE behaviour). *)
+
+type column_stats = {
+  non_null : int;
+  null_frac : float;
+  n_distinct : int;
+  min_v : Value.t option;
+  max_v : Value.t option;
+  boundaries : Value.t array;
+      (* equi-depth histogram: nb+1 quantile boundaries, ascending;
+         boundary k sits at quantile k/nb of the non-null values *)
+}
+
+type table_stats = {
+  st_rows : int;
+  st_columns : (string * column_stats) list;  (* lowercase column name *)
+}
+
+let histogram_buckets = 32
+
+(* Fallback selectivities used when no statistics are available —
+   identical to the constants the greedy planner always used. *)
+let default_eq = 0.05
+let default_range = 0.25
+let default_like = 0.25
+let default_other = 0.5
+
+let analyze table =
+  let schema = Table.schema table in
+  let rows = List.of_seq (Seq.map snd (Table.scan table)) in
+  let n = List.length rows in
+  let column i name =
+    let values =
+      List.filter_map
+        (fun row ->
+          match row.(i) with Value.Null -> None | v -> Some v)
+        rows
+    in
+    let sorted = Array.of_list (List.sort Value.compare_total values) in
+    let non_null = Array.length sorted in
+    let n_distinct =
+      let d = ref 0 in
+      Array.iteri
+        (fun k v ->
+          if k = 0 || Value.compare_total v sorted.(k - 1) <> 0 then incr d)
+        sorted;
+      !d
+    in
+    let boundaries =
+      if non_null = 0 then [||]
+      else begin
+        let nb = min histogram_buckets (max 1 n_distinct) in
+        Array.init (nb + 1) (fun b -> sorted.(b * (non_null - 1) / nb))
+      end
+    in
+    ( String.lowercase_ascii name,
+      { non_null;
+        null_frac = (if n = 0 then 0. else float_of_int (n - non_null) /. float_of_int n);
+        n_distinct;
+        min_v = (if non_null = 0 then None else Some sorted.(0));
+        max_v = (if non_null = 0 then None else Some sorted.(non_null - 1));
+        boundaries } )
+  in
+  { st_rows = n;
+    st_columns = List.mapi column (Schema.column_names schema) }
+
+let find_column ts name =
+  List.assoc_opt (String.lowercase_ascii name) ts.st_columns
+
+(* ------------------------------------------------------------------ *)
+(* Selectivity                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let eq_selectivity cs =
+  if cs.n_distinct = 0 then 0.0
+  else (1. -. cs.null_frac) /. float_of_int cs.n_distinct
+
+let as_float = function
+  | Value.Int i -> Some (float_of_int i)
+  | Value.Float f -> Some f
+  | _ -> None
+
+(* Fraction of ALL rows (null mass excluded) whose value is <= v,
+   estimated from the equi-depth boundaries with linear interpolation
+   inside the covering bucket when values are numeric. *)
+let le_fraction cs v =
+  let b = cs.boundaries in
+  let nb = Array.length b - 1 in
+  if nb < 0 then 0.
+  else begin
+    let scale = 1. -. cs.null_frac in
+    if Value.compare_total v b.(0) < 0 then 0.
+    else if Value.compare_total v b.(nb) >= 0 then scale
+    else begin
+      (* largest k with b.(k) <= v; nb >= 1 here *)
+      let k = ref 0 in
+      while !k + 1 <= nb && Value.compare_total b.(!k + 1) v <= 0 do incr k done;
+      let within =
+        match as_float b.(!k), as_float b.(!k + 1), as_float v with
+        | Some lo, Some hi, Some x when hi > lo -> (x -. lo) /. (hi -. lo)
+        | _ -> 0.5
+      in
+      scale *. ((float_of_int !k +. within) /. float_of_int nb)
+    end
+  end
+
+(* Selectivity of lo <= col <= hi (either bound optional; the inclusive
+   flags are below histogram resolution and ignored). *)
+let range_selectivity cs ~lo ~hi =
+  let p v = le_fraction cs v in
+  let upper = match hi with Some (v, _) -> p v | None -> 1. -. cs.null_frac in
+  let lower = match lo with Some (v, _) -> p v | None -> 0. in
+  Float.max 0.0005 (Float.min (1. -. cs.null_frac) (upper -. lower))
+
+let null_selectivity cs ~negated =
+  if negated then 1. -. cs.null_frac else cs.null_frac

@@ -1,0 +1,53 @@
+(** Per-table / per-column statistics collected by [ANALYZE] and consumed
+    by the cost-based planner ({!Planner}, {!Cost}).
+
+    Statistics are a snapshot: they are persisted in the {!Catalog} until
+    the next ANALYZE and do not track subsequent DML. The planner treats
+    a missing entry as "never analyzed" and falls back to the default
+    selectivity constants below. *)
+
+type column_stats = {
+  non_null : int;        (** rows with a non-NULL value *)
+  null_frac : float;     (** fraction of rows that are NULL *)
+  n_distinct : int;      (** distinct non-NULL values *)
+  min_v : Value.t option;
+  max_v : Value.t option;
+  boundaries : Value.t array;
+      (** equi-depth histogram boundaries, ascending; empty when the
+          column holds no non-NULL values *)
+}
+
+type table_stats = {
+  st_rows : int;
+  st_columns : (string * column_stats) list;
+      (** keyed by lowercase column name *)
+}
+
+val histogram_buckets : int
+
+val default_eq : float
+val default_range : float
+val default_like : float
+val default_other : float
+(** Fallback selectivities when a column has no statistics. *)
+
+val analyze : Table.t -> table_stats
+(** One full scan of the table; sorts each column's values to derive the
+    distinct count and histogram boundaries. *)
+
+val find_column : table_stats -> string -> column_stats option
+
+val eq_selectivity : column_stats -> float
+(** Selectivity of [col = literal]: (1 - null_frac) / n_distinct. *)
+
+val le_fraction : column_stats -> Value.t -> float
+(** Estimated fraction of rows with value <= v, from the histogram. *)
+
+val range_selectivity :
+  column_stats ->
+  lo:(Value.t * bool) option ->
+  hi:(Value.t * bool) option ->
+  float
+(** Selectivity of a (half-)bounded range predicate on the column. *)
+
+val null_selectivity : column_stats -> negated:bool -> float

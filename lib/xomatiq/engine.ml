@@ -156,18 +156,124 @@ let run ?(mode = `Relational) ?contains_strategy ?(trace = false) wh q =
   | `Relational -> run_relational ?contains_strategy ~trace ~parse_s:0. wh q
   | `Reference -> run_reference ~trace ~parse_s:0. wh q
 
-let run_text ?(mode = `Relational) ?contains_strategy ?(trace = false) wh text =
-  let q, parse_s =
-    timed (fun () ->
-        match Parser.parse text with
-        | q -> q
-        | exception (Parser.Parse_error _ as e) ->
-          error "%s" (Parser.error_to_string e)
-        | exception Ast.Invalid_query m -> error "invalid query: %s" m)
-  in
+(* ---------------- translated-plan cache ----------------
+
+   Textual queries on the untraced relational path skip the whole
+   parse / XQ2SQL / SQL-parse / plan pipeline when the same text was
+   translated before against the same warehouse and catalog version.
+   The version stamp (bumped by every DDL, DML and ANALYZE) makes
+   entries self-invalidating: a stale entry simply fails the guard and
+   is re-translated and replaced on the next lookup. *)
+
+type cache_entry = {
+  ce_wh : Datahounds.Warehouse.t;
+  ce_version : int;             (* catalog version at translation time *)
+  ce_labels : string list;
+  ce_sql : string;
+  ce_plan : Rdb.Planner.planned option;  (* None when statically empty *)
+}
+
+let plan_cache : (string * string, cache_entry) Hashtbl.t = Hashtbl.create 64
+let cache_hits = ref 0
+let cache_misses = ref 0
+
+let cache_stats () = (!cache_hits, !cache_misses)
+
+let cache_clear () =
+  Hashtbl.reset plan_cache;
+  cache_hits := 0;
+  cache_misses := 0
+
+(* Whitespace-insensitive key: trim and collapse runs of blanks. *)
+let normalize_query_text text =
+  let buf = Buffer.create (String.length text) in
+  let pending = ref false and started = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> if !started then pending := true
+      | c ->
+        if !pending then Buffer.add_char buf ' ';
+        pending := false;
+        started := true;
+        Buffer.add_char buf c)
+    text;
+  Buffer.contents buf
+
+let strategy_tag = function `Keyword_index -> "kw" | `Like_scan -> "like"
+
+let catalog_version wh =
+  Rdb.Catalog.version (Rdb.Database.catalog (Datahounds.Warehouse.db wh))
+
+let run_cache_entry e =
+  match e.ce_plan with
+  | None -> { labels = e.ce_labels; rows = []; sql = e.ce_sql; trace = None }
+  | Some planned ->
+    let _, rows =
+      try Rdb.Database.run_planned (Datahounds.Warehouse.db e.ce_wh) planned
+      with Rdb.Executor.Runtime_error m ->
+        error "SQL execution failed: %s\n%s" m e.ce_sql
+    in
+    { labels = e.ce_labels; rows = to_string_rows rows; sql = e.ce_sql;
+      trace = None }
+
+let run_text_cached ~contains_strategy wh text =
+  let key = (normalize_query_text text, strategy_tag contains_strategy) in
+  let version = catalog_version wh in
+  match Hashtbl.find_opt plan_cache key with
+  | Some e when e.ce_wh == wh && e.ce_version = version ->
+    incr cache_hits;
+    run_cache_entry e
+  | _ ->
+    incr cache_misses;
+    let q =
+      match Parser.parse text with
+      | q -> q
+      | exception (Parser.Parse_error _ as e) ->
+        error "%s" (Parser.error_to_string e)
+      | exception Ast.Invalid_query m -> error "invalid query: %s" m
+    in
+    let db = Datahounds.Warehouse.db wh in
+    let t = translate ~contains_strategy db q in
+    let ce_plan =
+      if t.statically_empty then None
+      else
+        match Rdb.Sql_parser.parse t.sql with
+        | Rdb.Sql_ast.Select_stmt sel ->
+          (try Some (Rdb.Planner.plan_select (Rdb.Database.catalog db) sel)
+           with Rdb.Planner.Plan_error m -> error "planning failed: %s" m)
+        | Rdb.Sql_ast.Query_stmt qq ->
+          (try Some (Rdb.Planner.plan_query (Rdb.Database.catalog db) qq)
+           with Rdb.Planner.Plan_error m -> error "planning failed: %s" m)
+        | _ -> error "internal: translation did not produce a SELECT"
+        | exception ((Rdb.Sql_parser.Parse_error _ | Rdb.Sql_lexer.Lex_error _) as e)
+          -> error "internal: %s" (Rdb.Sql_parser.error_to_string e)
+    in
+    let e =
+      { ce_wh = wh; ce_version = version; ce_labels = t.labels;
+        ce_sql = t.sql; ce_plan }
+    in
+    let r = run_cache_entry e in
+    (* only successful translations+executions are cached *)
+    Hashtbl.replace plan_cache key e;
+    r
+
+let run_text ?(mode = `Relational) ?(contains_strategy = `Keyword_index)
+    ?(trace = false) wh text =
   match mode with
-  | `Relational -> run_relational ?contains_strategy ~trace ~parse_s wh q
-  | `Reference -> run_reference ~trace ~parse_s wh q
+  | `Relational when not trace -> run_text_cached ~contains_strategy wh text
+  | _ ->
+    let q, parse_s =
+      timed (fun () ->
+          match Parser.parse text with
+          | q -> q
+          | exception (Parser.Parse_error _ as e) ->
+            error "%s" (Parser.error_to_string e)
+          | exception Ast.Invalid_query m -> error "invalid query: %s" m)
+    in
+    (match mode with
+     | `Relational -> run_relational ~contains_strategy ~trace ~parse_s wh q
+     | `Reference -> run_reference ~trace ~parse_s wh q)
 
 (* ---------------- prepared queries ---------------- *)
 

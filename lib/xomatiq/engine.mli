@@ -47,7 +47,20 @@ val run_text :
   ?mode:mode -> ?contains_strategy:Xq2sql.contains_strategy ->
   ?trace:bool -> Datahounds.Warehouse.t -> string -> result
 (** Parse the textual form first (the trace's [parse] stage measures
-    this parse). *)
+    this parse).
+
+    On the untraced relational path, translated plans are cached: the
+    cache key is the whitespace-normalized query text plus the
+    contains-strategy, and an entry is valid only for the same warehouse
+    at the same catalog version — any DDL, DML or ANALYZE bumps the
+    version and so invalidates every cached plan for that warehouse. *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of the translated-plan cache since start (or the
+    last {!cache_clear}). *)
+
+val cache_clear : unit -> unit
+(** Drop all cached plans and reset {!cache_stats}. *)
 
 val trace_to_string : trace -> string
 (** Compact multi-line profile: per-stage timings, chosen indexes, and

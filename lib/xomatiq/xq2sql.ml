@@ -76,6 +76,42 @@ let path_id_condition st alias (absolute_path : Gxml.Path.t) =
     Printf.sprintf "%s.path_id IN (%s)" alias
       (String.concat ", " (List.map string_of_int ids))
 
+(* LIKE metacharacter escaping for the Like_scan ablation: the user's
+   keyword is matched as a literal substring, so '%', '_' and the escape
+   character itself must not act as wildcards. *)
+let like_escape_char = '\\'
+
+let escape_like_word w =
+  let buf = Buffer.create (String.length w + 4) in
+  String.iter
+    (fun c ->
+      (match c with
+       | '%' | '_' | '\\' -> Buffer.add_char buf like_escape_char
+       | _ -> ());
+      Buffer.add_char buf c)
+    w;
+  Buffer.contents buf
+
+(* The probe words for one contains() keyword. The keyword index stores
+   Shred-tokenized words, so that strategy must probe with the same
+   tokenizer. The LIKE ablation matches raw text: split on whitespace
+   only, preserving punctuation (and in particular LIKE metacharacters,
+   which are then escaped at probe time). *)
+let probe_words st kw =
+  match st.strategy with
+  | `Keyword_index -> Datahounds.Shred.tokenize kw
+  | `Like_scan ->
+    let ws =
+      String.split_on_char ' '
+        (String.map
+           (function '\t' | '\n' | '\r' -> ' ' | c -> c)
+           (String.lowercase_ascii kw))
+    in
+    let ws = List.filter (fun w -> w <> "") ws in
+    (* dedupe, preserving order *)
+    List.rev
+      (List.fold_left (fun acc w -> if List.mem w acc then acc else w :: acc) [] ws)
+
 (* one keyword probe tied to [alias]'s subtree region (inclusive of the
    node itself); returns (froms, conds) *)
 let keyword_probe st ~alias token =
@@ -94,7 +130,9 @@ let keyword_probe st ~alias token =
         Printf.sprintf "%s.node_id >= %s.node_id" k alias;
         Printf.sprintf "%s.node_id <= %s.last_desc" k alias;
         Printf.sprintf "%s.is_seq = 0" k;
-        Printf.sprintf "LOWER(%s.sval) LIKE %s" k (sql_string ("%" ^ token ^ "%")) ] )
+        Printf.sprintf "LOWER(%s.sval) LIKE %s ESCAPE %s" k
+          (sql_string ("%" ^ escape_like_word token ^ "%"))
+          (sql_string (String.make 1 like_escape_char)) ] )
 
 let binding_alias st var =
   match List.assoc_opt var st.bindings with
@@ -174,7 +212,7 @@ let region_conditions st ~alias ~b_alias ~binding_path ~path ~preds =
             let fs, cs = keyword_probe st ~alias token in
             extra_froms := List.rev_append fs !extra_froms;
             conds := List.rev_append cs !conds)
-          (Datahounds.Shred.tokenize kw)
+          (probe_words st kw)
       | Gxml.Path.Exists [ { axis = Gxml.Path.Child;
                              test = Gxml.Path.Attribute a;
                              predicates = [] } ] ->
@@ -270,7 +308,7 @@ and positive_condition st ~binding_paths (c : Ast.condition) =
        in
        (f1 @ f2, c1 @ c2 @ [ cmp ]))
   | Ast.Contains { var; path; keyword } ->
-    let tokens = Datahounds.Shred.tokenize keyword in
+    let tokens = probe_words st keyword in
     if tokens = [] then raise (Ast.Invalid_query "empty keyword in contains()");
     let alias, froms, conds = resolve_var_path st ~binding_paths var path in
     let kw_froms = ref [] and kw_conds = ref [] in

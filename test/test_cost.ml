@@ -1,0 +1,395 @@
+(* The cost-based planning subsystem: ANALYZE statistics, selectivity
+   estimation, EXPLAIN cost annotations, LIKE ... ESCAPE, and the
+   two-phase-locking paths wired through Database sessions.
+
+   The estimate-vs-actual property runs the differential query mix
+   through the XQ2SQL pipeline and checks every base-scan estimate
+   against the Obs counters of the real execution. *)
+
+let check = Alcotest.check
+
+let db_with_t () =
+  let db = Rdb.Database.open_in_memory () in
+  ignore (Rdb.Database.exec_exn db "CREATE TABLE t (a INT, b TEXT)");
+  let rows =
+    List.init 1000 (fun i ->
+        [| Rdb.Value.Int (i mod 10);
+           (if i mod 2 = 0 then Rdb.Value.Text (Printf.sprintf "s%d" (i mod 5))
+            else Rdb.Value.Null) |])
+  in
+  (match Rdb.Database.insert_rows db ~table:"t" rows with
+   | Ok 1000 -> ()
+   | Ok n -> Alcotest.failf "inserted %d rows" n
+   | Error m -> failwith m);
+  db
+
+let plan_of db sql =
+  match Rdb.Sql_parser.parse sql with
+  | Rdb.Sql_ast.Select_stmt sel -> Rdb.Database.plan_select db sel
+  | _ -> failwith "not a SELECT"
+
+let root_est db sql =
+  let planned = plan_of db sql in
+  let ests = Rdb.Cost.estimate (Rdb.Database.catalog db) planned.Rdb.Planner.plan in
+  match Rdb.Cost.find ests planned.Rdb.Planner.plan with
+  | Some e -> e
+  | None -> failwith "no estimate for plan root"
+
+(* ---------------- ANALYZE + statistics ---------------- *)
+
+let test_analyze_stats () =
+  let db = db_with_t () in
+  check Alcotest.bool "no stats before ANALYZE" true
+    (Rdb.Catalog.find_stats (Rdb.Database.catalog db) "t" = None);
+  (match Rdb.Database.exec db "ANALYZE t" with
+   | Ok (Rdb.Database.Done msg) ->
+     check Alcotest.bool "ack mentions analyzed" true
+       (String.length msg >= 8 && String.sub msg 0 8 = "analyzed")
+   | Ok _ -> Alcotest.fail "ANALYZE did not return Done"
+   | Error m -> failwith m);
+  let st =
+    match Rdb.Catalog.find_stats (Rdb.Database.catalog db) "t" with
+    | Some st -> st
+    | None -> failwith "no stats after ANALYZE"
+  in
+  check Alcotest.int "row count" 1000 st.Rdb.Stats.st_rows;
+  let a = Option.get (Rdb.Stats.find_column st "a") in
+  check Alcotest.int "a distinct" 10 a.Rdb.Stats.n_distinct;
+  check (Alcotest.float 1e-9) "a null fraction" 0.0 a.Rdb.Stats.null_frac;
+  check Alcotest.bool "a min/max" true
+    (a.Rdb.Stats.min_v = Some (Rdb.Value.Int 0)
+     && a.Rdb.Stats.max_v = Some (Rdb.Value.Int 9));
+  check Alcotest.bool "a histogram boundaries ascend" true
+    (let b = a.Rdb.Stats.boundaries in
+     Array.length b >= 2
+     && Array.for_all (fun _ -> true) b
+     &&
+     let ok = ref true in
+     for i = 0 to Array.length b - 2 do
+       if Rdb.Value.compare_total b.(i) b.(i + 1) > 0 then ok := false
+     done;
+     !ok);
+  let b = Option.get (Rdb.Stats.find_column st "b") in
+  check (Alcotest.float 0.01) "b null fraction" 0.5 b.Rdb.Stats.null_frac;
+  check Alcotest.int "b distinct" 5 b.Rdb.Stats.n_distinct;
+  (* ANALYZE with no table name covers the whole catalog *)
+  (match Rdb.Database.exec db "ANALYZE" with
+   | Ok (Rdb.Database.Done _) -> ()
+   | _ -> Alcotest.fail "bare ANALYZE failed");
+  (* rejected inside an explicit transaction *)
+  ignore (Rdb.Database.exec_exn db "BEGIN");
+  (match Rdb.Database.exec db "ANALYZE" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "ANALYZE inside a transaction must fail");
+  ignore (Rdb.Database.exec_exn db "ROLLBACK");
+  Rdb.Database.close db
+
+let test_selectivity_estimates () =
+  let db = db_with_t () in
+  ignore (Rdb.Database.exec_exn db "ANALYZE");
+  let eq = root_est db "SELECT a FROM t WHERE a = 3" in
+  check Alcotest.bool
+    (Printf.sprintf "eq estimate near 100 (got %.1f)" eq.Rdb.Cost.est_rows)
+    true
+    (eq.Rdb.Cost.est_rows >= 50. && eq.Rdb.Cost.est_rows <= 200.);
+  let range = root_est db "SELECT a FROM t WHERE a < 5" in
+  check Alcotest.bool
+    (Printf.sprintf "range estimate near 500 (got %.1f)" range.Rdb.Cost.est_rows)
+    true
+    (range.Rdb.Cost.est_rows >= 250. && range.Rdb.Cost.est_rows <= 1000.);
+  let isnull = root_est db "SELECT a FROM t WHERE b IS NULL" in
+  check Alcotest.bool
+    (Printf.sprintf "IS NULL estimate near 500 (got %.1f)" isnull.Rdb.Cost.est_rows)
+    true
+    (isnull.Rdb.Cost.est_rows >= 250. && isnull.Rdb.Cost.est_rows <= 1000.);
+  let all = root_est db "SELECT a FROM t" in
+  check Alcotest.bool "full scan estimate is exact" true
+    (Float.abs (all.Rdb.Cost.est_rows -. 1000.) < 1.);
+  check Alcotest.bool "cost grows with work" true
+    (all.Rdb.Cost.est_cost > eq.Rdb.Cost.est_cost *. 0.);
+  Rdb.Database.close db
+
+let test_explain_annotations () =
+  let db = db_with_t () in
+  ignore (Rdb.Database.exec_exn db "ANALYZE");
+  (match Rdb.Database.exec db "EXPLAIN SELECT a FROM t WHERE a = 3 ORDER BY a" with
+   | Ok (Rdb.Database.Explained s) ->
+     let lines =
+       List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+     in
+     check Alcotest.bool "plan is non-trivial" true (List.length lines >= 2);
+     List.iter
+       (fun line ->
+         check Alcotest.bool
+           (Printf.sprintf "line has estimates: %s" line)
+           true
+           (let has needle =
+              let nl = String.length needle and ll = String.length line in
+              let rec go i = i + nl <= ll && (String.sub line i nl = needle || go (i + 1)) in
+              go 0
+            in
+            has "est_rows=" && has "cost="))
+       lines
+   | Ok _ -> Alcotest.fail "EXPLAIN did not return a plan"
+   | Error m -> failwith m);
+  (* EXPLAIN ANALYZE: estimates and actuals side by side *)
+  (match Rdb.Database.exec db "EXPLAIN ANALYZE SELECT a FROM t WHERE a = 3" with
+   | Ok (Rdb.Database.Explained s) ->
+     let has needle =
+       let nl = String.length needle and sl = String.length s in
+       let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+       go 0
+     in
+     check Alcotest.bool "has estimates" true (has "est_rows=");
+     check Alcotest.bool "has actuals" true (has "rows=");
+     check Alcotest.bool "has summary line" true (has "Result:")
+   | Ok _ -> Alcotest.fail "EXPLAIN ANALYZE did not return a plan"
+   | Error m -> failwith m);
+  Rdb.Database.close db
+
+(* ---------------- LIKE ... ESCAPE ---------------- *)
+
+let test_like_escape_matching () =
+  let lm = Rdb.Executor.like_match in
+  check Alcotest.bool "unescaped % is a wildcard" true
+    (lm ~pattern:"%100%" "progress 1005 done");
+  check Alcotest.bool "escaped % is literal (no match)" false
+    (lm ~escape:'\\' ~pattern:"%100\\%%" "progress 1005 done");
+  check Alcotest.bool "escaped % is literal (match)" true
+    (lm ~escape:'\\' ~pattern:"%100\\%%" "progress 100% done");
+  check Alcotest.bool "unescaped _ matches any char" true
+    (lm ~pattern:"alpha_2" "alphax2");
+  check Alcotest.bool "escaped _ is literal (no match)" false
+    (lm ~escape:'\\' ~pattern:"alpha\\_2" "alphax2");
+  check Alcotest.bool "escaped _ is literal (match)" true
+    (lm ~escape:'\\' ~pattern:"alpha\\_2" "alpha_2");
+  check Alcotest.bool "escaped escape char" true
+    (lm ~escape:'\\' ~pattern:"a\\\\b" "a\\b")
+
+let test_like_escape_sql () =
+  let db = Rdb.Database.open_in_memory () in
+  ignore (Rdb.Database.exec_exn db "CREATE TABLE notes (s TEXT)");
+  List.iter
+    (fun s ->
+      ignore
+        (Rdb.Database.exec_exn db
+           (Printf.sprintf "INSERT INTO notes VALUES (%s)"
+              (Rdb.Value.to_literal (Rdb.Value.Text s)))))
+    [ "progress 100% complete"; "progress 1005 done";
+      "alpha_2 subunit"; "alphax2 subunit" ];
+  let count sql =
+    match Rdb.Database.query_exn db sql with
+    | _, [ [| Rdb.Value.Int n |] ] -> n
+    | _ -> -1
+  in
+  check Alcotest.int "unescaped over-matches" 2
+    (count "SELECT COUNT(1) FROM notes WHERE s LIKE '%100%'");
+  check Alcotest.int "ESCAPE makes % literal" 1
+    (count {|SELECT COUNT(1) FROM notes WHERE s LIKE '%100\%%' ESCAPE '\'|});
+  check Alcotest.int "ESCAPE makes _ literal" 1
+    (count {|SELECT COUNT(1) FROM notes WHERE s LIKE '%alpha\_2%' ESCAPE '\'|});
+  check Alcotest.int "NOT LIKE with ESCAPE" 3
+    (count {|SELECT COUNT(1) FROM notes WHERE s NOT LIKE '%100\%%' ESCAPE '\'|});
+  (* parse/print roundtrip keeps the clause *)
+  (match Rdb.Sql_parser.parse {|SELECT s FROM notes WHERE s LIKE '%x%' ESCAPE '\'|} with
+   | Rdb.Sql_ast.Select_stmt _ as stmt ->
+     let printed = Rdb.Sql_ast.stmt_to_string stmt in
+     let has needle =
+       let nl = String.length needle and sl = String.length printed in
+       let rec go i = i + nl <= sl && (String.sub printed i nl = needle || go (i + 1)) in
+       go 0
+     in
+     check Alcotest.bool "printed SQL keeps ESCAPE" true (has "ESCAPE")
+   | _ -> Alcotest.fail "parse failed");
+  (* a multi-character escape is a runtime error *)
+  (match Rdb.Database.query db "SELECT s FROM notes WHERE s LIKE '%x%' ESCAPE 'ab'" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "multi-char ESCAPE must fail");
+  Rdb.Database.close db
+
+(* ---------------- lock manager wiring ---------------- *)
+
+let test_deadlock_schedule () =
+  let db = Rdb.Database.open_in_memory () in
+  ignore (Rdb.Database.exec_exn db "CREATE TABLE ta (id INT, v INT)");
+  ignore (Rdb.Database.exec_exn db "CREATE TABLE tb (id INT, v INT)");
+  ignore (Rdb.Database.exec_exn db "INSERT INTO ta VALUES (1, 0)");
+  ignore (Rdb.Database.exec_exn db "INSERT INTO tb VALUES (1, 0)");
+  let s1 = Rdb.Database.session db in
+  let s2 = Rdb.Database.session db in
+  let ok s sql =
+    match Rdb.Database.session_exec s sql with
+    | Ok _ -> ()
+    | Error m -> Alcotest.failf "expected success for %s: %s" sql m
+  in
+  let err s sql =
+    match Rdb.Database.session_exec s sql with
+    | Error m -> m
+    | Ok _ -> Alcotest.failf "expected failure for %s" sql
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  ok s1 "BEGIN";
+  ok s1 "UPDATE ta SET v = 1 WHERE id = 1";
+  ok s2 "BEGIN";
+  ok s2 "UPDATE tb SET v = 2 WHERE id = 1";
+  (* s1 wants tb (held by s2): blocks, statement fails but s1 survives *)
+  let m1 = err s1 "UPDATE tb SET v = 1 WHERE id = 1" in
+  check Alcotest.bool
+    (Printf.sprintf "would-block surfaces as lock error: %s" m1) true
+    (contains m1 "locked");
+  check Alcotest.bool "s1 still in transaction" true
+    (Rdb.Database.session_in_transaction s1);
+  (* s2 wants ta (held by s1): cycle — s2 is the victim and rolls back *)
+  let m2 = err s2 "UPDATE ta SET v = 2 WHERE id = 1" in
+  check Alcotest.bool
+    (Printf.sprintf "cycle surfaces as deadlock: %s" m2) true
+    (contains m2 "deadlock");
+  check Alcotest.bool "s2 aborted cleanly" false
+    (Rdb.Database.session_in_transaction s2);
+  (* victim's locks are gone: s1 can retry and commit *)
+  ok s1 "UPDATE tb SET v = 1 WHERE id = 1";
+  ok s1 "COMMIT";
+  let v table =
+    match Rdb.Database.query_exn db ("SELECT v FROM " ^ table ^ " WHERE id = 1") with
+    | _, [ [| Rdb.Value.Int n |] ] -> n
+    | _ -> -1
+  in
+  check Alcotest.int "ta keeps s1's update" 1 (v "ta");
+  check Alcotest.int "tb: s2's update rolled back, s1's applied" 1 (v "tb");
+  (* fresh auto-commit statements still work after the episode *)
+  ignore (Rdb.Database.exec_exn db "UPDATE ta SET v = 9 WHERE id = 1");
+  check Alcotest.int "auto-commit after schedule" 9 (v "ta");
+  Rdb.Database.close db
+
+(* ---------------- estimate vs actual over the query mix ---------------- *)
+
+let universe =
+  Workload.Genbio.generate
+    { Workload.Genbio.seed = 11; n_enzymes = 30; n_embl = 40; n_sprot = 35;
+      n_citations = 20; cdc6_rate = 0.1; ketone_rate = 0.2; ec_link_rate = 0.8;
+      seq_length = 60 }
+
+let test_estimate_vs_actual () =
+  let wh = Datahounds.Warehouse.create () in
+  (match Workload.Genbio.load_universe wh universe with
+   | Ok () -> ()
+   | Error m -> failwith m);
+  let db = Datahounds.Warehouse.db wh in
+  ignore (Rdb.Database.exec_exn db "ANALYZE");
+  let cat = Rdb.Database.catalog db in
+  let mix = Workload.Query_mix.mixed ~seed:11 ~universe ~per_class:3 in
+  let checked = ref 0 in
+  List.iter
+    (fun (_cls, text) ->
+      let ast = Xomatiq.Parser.parse text in
+      let t = Xomatiq.Xq2sql.translate db ast in
+      if not t.Xomatiq.Xq2sql.statically_empty then
+        match Rdb.Sql_parser.parse t.Xomatiq.Xq2sql.sql with
+        | Rdb.Sql_ast.Select_stmt sel ->
+          let planned = Rdb.Planner.plan_select cat sel in
+          let plan = planned.Rdb.Planner.plan in
+          let ests = Rdb.Cost.estimate cat plan in
+          let obs = Rdb.Obs.create plan in
+          ignore (Rdb.Database.run_planned db ~obs planned);
+          List.iter
+            (fun node ->
+              match (Rdb.Cost.find ests node, Rdb.Obs.find obs node) with
+              | Some e, Some st ->
+                check Alcotest.bool "estimates are finite and non-negative" true
+                  (Float.is_finite e.Rdb.Cost.est_rows
+                   && e.Rdb.Cost.est_rows >= 0.
+                   && Float.is_finite e.Rdb.Cost.est_cost
+                   && e.Rdb.Cost.est_cost >= 0.);
+                (match node with
+                 | Rdb.Plan.Seq_scan _ | Rdb.Plan.Index_lookup _
+                 | Rdb.Plan.Index_range _
+                   when st.Rdb.Obs.loops = 1 ->
+                   (* with fresh statistics a base-scan estimate must be
+                      within a bounded factor of what actually came out;
+                      the bound is generous — correlated predicates make
+                      the independence assumption underestimate — but it
+                      still catches sign, NaN and blow-up bugs *)
+                   let actual = float_of_int st.Rdb.Obs.rows in
+                   let factor = 100. and slack = 100. in
+                   incr checked;
+                   check Alcotest.bool
+                     (Printf.sprintf
+                        "scan estimate within bounds (est=%.1f actual=%.0f): %s"
+                        e.Rdb.Cost.est_rows actual text)
+                     true
+                     (e.Rdb.Cost.est_rows <= (factor *. actual) +. slack
+                      && actual <= (factor *. e.Rdb.Cost.est_rows) +. slack)
+                 | _ -> ())
+              | _ -> ())
+            (Rdb.Plan.descendants plan)
+        | _ -> ())
+    mix;
+  check Alcotest.bool
+    (Printf.sprintf "property exercised some scans (%d)" !checked)
+    true (!checked > 10);
+  Datahounds.Warehouse.close wh
+
+(* after ANALYZE the planner re-ranks at least one E5 query's plan *)
+let test_analyze_changes_plans () =
+  let wh = Datahounds.Warehouse.create () in
+  (match Workload.Genbio.load_universe wh universe with
+   | Ok () -> ()
+   | Error m -> failwith m);
+  let db = Datahounds.Warehouse.db wh in
+  let queries =
+    [ {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+    $b IN document("hlx_sprot.all")/hlx_n_sequence
+WHERE contains($a, "cdc6", any) AND contains($b, "cdc6", any)
+RETURN $b//sprot_accession_number, $a//embl_accession_number|};
+      {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id, $a//enzyme_description|} ]
+  in
+  let plans () =
+    List.map
+      (fun q -> Xomatiq.Engine.explain wh (Xomatiq.Parser.parse q))
+      queries
+  in
+  let before = plans () in
+  ignore (Rdb.Database.exec_exn db "ANALYZE");
+  let after = plans () in
+  check Alcotest.bool "ANALYZE changes at least one plan" true
+    (List.exists2 (fun a b -> a <> b) before after);
+  (* and the re-ranked plans still compute the right answers *)
+  List.iter
+    (fun q ->
+      let ast = Xomatiq.Parser.parse q in
+      let rel = Xomatiq.Engine.run ~mode:`Relational wh ast in
+      let ref_ = Xomatiq.Engine.run ~mode:`Reference wh ast in
+      check
+        Alcotest.(list (list string))
+        "post-ANALYZE results agree with reference" ref_.Xomatiq.Engine.rows
+        rel.Xomatiq.Engine.rows)
+    queries;
+  Datahounds.Warehouse.close wh
+
+let () =
+  Alcotest.run "cost"
+    [ ( "stats",
+        [ Alcotest.test_case "ANALYZE collects stats" `Quick test_analyze_stats;
+          Alcotest.test_case "selectivity estimates" `Quick
+            test_selectivity_estimates ] );
+      ( "explain",
+        [ Alcotest.test_case "est rows+cost on every node" `Quick
+            test_explain_annotations ] );
+      ( "like-escape",
+        [ Alcotest.test_case "like_match semantics" `Quick
+            test_like_escape_matching;
+          Alcotest.test_case "SQL ESCAPE clause" `Quick test_like_escape_sql ] );
+      ( "locking",
+        [ Alcotest.test_case "two-transaction deadlock schedule" `Quick
+            test_deadlock_schedule ] );
+      ( "property",
+        [ Alcotest.test_case "estimate vs actual over query mix" `Quick
+            test_estimate_vs_actual;
+          Alcotest.test_case "ANALYZE re-ranks plans" `Quick
+            test_analyze_changes_plans ] ) ]

@@ -73,6 +73,60 @@ let run_contains_strategies () =
     queries;
   D.Warehouse.close wh
 
+(* Regression: contains() keywords holding LIKE metacharacters. The
+   Like_scan rewrite used to interpolate the raw keyword into a LIKE
+   pattern, so "100%" matched "1005..." and "alpha_2" matched "alphax2".
+   The escaped rewrite (LIKE ... ESCAPE '\') must agree with the
+   reference semantics and match only the literal text. *)
+let run_like_escape_regression () =
+  let wh = D.Warehouse.create () in
+  let src = D.Warehouse.embl_source ~division:"inv" in
+  D.Warehouse.register_source wh src;
+  let load i desc =
+    let e : D.Embl.t =
+      { accession = Printf.sprintf "ESC%03d" i; division = "INV";
+        sequence_length = 12; description = desc; keywords = [];
+        organism = "Saccharomyces cerevisiae"; db_refs = []; features = [];
+        sequence = "acgtacgtacgt" }
+    in
+    match
+      D.Warehouse.load_document wh ~collection:"hlx_embl.inv"
+        ~name:(D.Embl_xml.document_name e)
+        (D.Embl_xml.to_document e)
+    with
+    | Ok () -> ()
+    | Error m -> failwith m
+  in
+  load 1 "progress 100% complete";
+  load 2 "progress 1005 done";
+  load 3 "alpha_2 subunit of the kinase";
+  load 4 "alphax2 subunit of the kinase";
+  let q kw =
+    Printf.sprintf
+      {|FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+WHERE contains($a//description, "%s")
+RETURN $a//embl_accession_number|}
+      kw
+  in
+  List.iter
+    (fun kw ->
+      let reference = Xomatiq.Engine.run_text ~mode:`Reference wh (q kw) in
+      let like =
+        Xomatiq.Engine.run_text ~contains_strategy:`Like_scan wh (q kw)
+      in
+      check rows_testable
+        (Printf.sprintf "like-scan agrees with reference for %S" kw)
+        reference.rows like.rows)
+    [ "100%"; "alpha_2"; "subunit" ];
+  let like kw =
+    (Xomatiq.Engine.run_text ~contains_strategy:`Like_scan wh (q kw)).Xomatiq.Engine.rows
+  in
+  check rows_testable "100% no longer over-matches 1005" [ [ "ESC001" ] ]
+    (like "100%");
+  check rows_testable "alpha_2's underscore is literal" [ [ "ESC003" ] ]
+    (like "alpha_2");
+  D.Warehouse.close wh
+
 let () =
   Alcotest.run "differential"
     [ ( "query-mix",
@@ -81,4 +135,6 @@ let () =
           Alcotest.test_case "seed 47" `Quick (run_mix 47) ] );
       ( "contains-strategies",
         [ Alcotest.test_case "keyword vs like-scan" `Quick
-            run_contains_strategies ] ) ]
+            run_contains_strategies;
+          Alcotest.test_case "LIKE metacharacter escaping" `Quick
+            run_like_escape_regression ] ) ]

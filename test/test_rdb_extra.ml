@@ -458,7 +458,7 @@ let expr_gen : Rdb.Sql_ast.expr QCheck.Gen.t =
            let* subject = gen (depth - 1) in
            let* pattern = lit in
            let* negated = bool in
-           return (Rdb.Sql_ast.Like { subject; pattern; negated }));
+           return (Rdb.Sql_ast.Like { subject; pattern; escape = None; negated }));
           (1,
            let* subject = gen (depth - 1) in
            let* negated = bool in
