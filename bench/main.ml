@@ -499,6 +499,110 @@ let print_e7 () =
       Datahounds.Warehouse.close wh)
     [ 30; 100; 300; 1000 ]
 
+(* ------------------------------------------------------------------ *)
+(* E6-scaling: domain-pool parallelism (harvest + Fig. 8/9/11 mix)     *)
+(* ------------------------------------------------------------------ *)
+
+let scaling_jobs = [ 1; 2; 4; 8 ]
+
+let print_e6_scaling () =
+  print_newline ();
+  Printf.printf
+    "E6-scaling: harvest + Fig. 8/9/11 mix across domain counts (scale=%d, host cores=%d)\n"
+    scale
+    (Domain.recommended_domain_count ());
+  Printf.printf
+    "  planner goes parallel for scans of >= %s rows (XOMATIQ_PAR_THRESHOLD)\n"
+    (match Sys.getenv_opt "XOMATIQ_PAR_THRESHOLD" with
+     | Some s when String.trim s <> "" -> s
+     | _ -> "2000");
+  Printf.printf "%-22s" "workload";
+  List.iter (fun j -> Printf.printf " %10s" (Printf.sprintf "j=%d (ms)" j)) scaling_jobs;
+  Printf.printf " %10s %7s\n" "speedup@4" "eff@4";
+  Printf.printf "%s\n" (String.make (22 + 11 * List.length scaling_jobs + 19) '-');
+  let harvest_once () =
+    let wh = Datahounds.Warehouse.create () in
+    Datahounds.Warehouse.register_source wh Datahounds.Warehouse.enzyme_source;
+    (match
+       Datahounds.Warehouse.harvest wh Datahounds.Warehouse.enzyme_source enzyme_flat
+     with
+     | Ok _ -> ()
+     | Error m -> failwith m);
+    Datahounds.Warehouse.close wh
+  in
+  let row name f =
+    let times =
+      List.map
+        (fun j -> (j, time_median (fun () -> Conc.Pool.with_jobs j f)))
+        scaling_jobs
+    in
+    let t1 = List.assoc 1 times in
+    Printf.printf "%-22s" name;
+    List.iter (fun (_, t) -> Printf.printf " %10.2f" (ms t)) times;
+    (match List.assoc_opt 4 times with
+     | Some t4 ->
+       Printf.printf " %9.2fx %6.0f%%\n" (t1 /. t4) (100. *. t1 /. t4 /. 4.)
+     | None -> print_newline ());
+    (name, times)
+  in
+  let harvest_row = row "harvest/enzyme-flat" harvest_once in
+  let query_rows =
+    List.map
+      (fun (name, ast) ->
+        row name (fun () -> ignore (Xomatiq.Engine.run warehouse ast)))
+      asts
+  in
+  let rows = harvest_row :: query_rows in
+  (* machine-readable trajectory for future PRs to diff against *)
+  let json_times times fmt =
+    "{"
+    ^ String.concat ", " (List.map (fun (j, v) -> Printf.sprintf fmt j v) times)
+    ^ "}"
+  in
+  let workload_json (name, times) =
+    let t1 = List.assoc 1 times in
+    let speedups = List.map (fun (j, t) -> (j, t1 /. t)) times in
+    let efficiencies =
+      List.map (fun (j, s) -> (j, s /. float_of_int j)) speedups
+    in
+    Printf.sprintf
+      "    { \"name\": %S,\n\
+      \      \"seconds\": %s,\n\
+      \      \"speedup\": %s,\n\
+      \      \"efficiency\": %s }"
+      name
+      (json_times times "\"%d\": %.6f")
+      (json_times speedups "\"%d\": %.3f")
+      (json_times efficiencies "\"%d\": %.3f")
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"E6-scaling\",\n\
+      \  \"generated_by\": \"bench/main.ml\",\n\
+      \  \"scale\": %d,\n\
+      \  \"host_cores\": %d,\n\
+      \  \"par_threshold\": %s,\n\
+      \  \"jobs\": [%s],\n\
+      \  \"workloads\": [\n%s\n  ]\n}\n"
+      scale
+      (Domain.recommended_domain_count ())
+      (match Sys.getenv_opt "XOMATIQ_PAR_THRESHOLD" with
+       | Some s when int_of_string_opt (String.trim s) <> None -> String.trim s
+       | _ -> "2000")
+      (String.concat ", " (List.map string_of_int scaling_jobs))
+      (String.concat ",\n" (List.map workload_json rows))
+  in
+  let path =
+    match Sys.getenv_opt "XOMATIQ_BENCH_JSON" with
+    | Some p when String.trim p <> "" -> p
+    | _ -> "BENCH_E6.json"
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* E9: the bioinformatics task mix (paper citation [38], Section 3.2 claim) *)
 let print_e9 () =
   print_newline ();
@@ -548,6 +652,8 @@ let () =
     print_e5 ();
     print_e5_analyze ();
     print_e5_cache ();
+    (* exercise the parallel scan/join/harvest paths even at smoke scale *)
+    print_e6_scaling ();
     print_newline ();
     print_endline "Smoke OK."
   end
@@ -562,6 +668,7 @@ let () =
     print_e5_analyze ();
     print_e5_cache ();
     print_e6_sweep ();
+    print_e6_scaling ();
     print_e7 ();
     print_e8 ();
     print_e9 ();

@@ -53,10 +53,21 @@ let source_arg =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Flat file to load.")
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel query execution and parallel loading \
+     (default: $(b,XOMATIQ_JOBS), else the machine's core count). \
+     1 forces the sequential paths."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let apply_jobs jobs = Option.iter Conc.Pool.set_jobs jobs
+
 (* ---------------- commands ---------------- *)
 
 let harvest_cmd =
-  let run db source division file =
+  let run db source division jobs file =
+    apply_jobs jobs;
     match source_of_name source division with
     | Error m -> `Error (false, m)
     | Ok src ->
@@ -74,10 +85,11 @@ let harvest_cmd =
   in
   let doc = "Harvest a flat file into the warehouse (Data Hounds pipeline)." in
   Cmd.v (Cmd.info "harvest" ~doc)
-    Term.(ret (const run $ db_arg $ source_arg $ division_arg $ file_arg))
+    Term.(ret (const run $ db_arg $ source_arg $ division_arg $ jobs_arg $ file_arg))
 
 let sync_cmd =
-  let run db source division remove_missing file =
+  let run db source division remove_missing jobs file =
+    apply_jobs jobs;
     match source_of_name source division with
     | Error m -> `Error (false, m)
     | Ok src ->
@@ -100,7 +112,8 @@ let sync_cmd =
   in
   let doc = "Incrementally refresh the warehouse from a new source snapshot." in
   Cmd.v (Cmd.info "sync" ~doc)
-    Term.(ret (const run $ db_arg $ source_arg $ division_arg $ remove_arg $ file_arg))
+    Term.(ret (const run $ db_arg $ source_arg $ division_arg $ remove_arg
+               $ jobs_arg $ file_arg))
 
 let collections_cmd =
   let run db =
@@ -166,7 +179,8 @@ let dtd_cmd =
   Cmd.v (Cmd.info "dtd" ~doc) Term.(ret (const run $ db_arg $ coll_arg))
 
 let query_cmd =
-  let run db format from_file profile cache_stats query_text =
+  let run db format from_file profile cache_stats jobs query_text =
+    apply_jobs jobs;
     with_warehouse db @@ fun wh ->
     let text =
       match from_file with
@@ -226,10 +240,11 @@ let query_cmd =
   let doc = "Run a XomatiQ FLWR query against the warehouse." in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(ret (const run $ db_arg $ format_arg $ from_file_arg $ profile_arg
-               $ cache_stats_arg $ text_arg))
+               $ cache_stats_arg $ jobs_arg $ text_arg))
 
 let explain_cmd =
-  let run db analyze query_text =
+  let run db analyze jobs query_text =
+    apply_jobs jobs;
     with_warehouse db @@ fun wh ->
     match Xomatiq.Parser.parse query_text with
     | q ->
@@ -248,7 +263,8 @@ let explain_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"FLWR query text.")
   in
   let doc = "Show the SQL translation and the relational physical plan." in
-  Cmd.v (Cmd.info "explain" ~doc) Term.(ret (const run $ db_arg $ analyze_arg $ text_arg))
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(ret (const run $ db_arg $ analyze_arg $ jobs_arg $ text_arg))
 
 let sql_cmd =
   let run db statement =
@@ -445,7 +461,8 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ db_arg)
 
 let shell_cmd =
-  let run db =
+  let run db jobs =
+    apply_jobs jobs;
     with_warehouse db @@ fun wh ->
     let format = ref "table" in
     let print_result result =
@@ -465,6 +482,7 @@ let shell_cmd =
         \  :sql STATEMENT;       run raw SQL\n\
         \  :explain QUERY;       show translation + physical plan\n\
         \  :format table|xml     choose result rendering\n\
+        \  :jobs [N]             show or set the worker-domain count\n\
         \  :cache                translated-plan cache hit/miss counters\n\
         \  :quit                 leave\n"
     in
@@ -519,6 +537,14 @@ let shell_cmd =
           | ":format" :: f :: _ ->
             if f = "table" || f = "xml" then format := f
             else print_endline "format is 'table' or 'xml'"
+          | [ ":jobs" ] | ":jobs" :: "" :: _ ->
+            Printf.printf "jobs: %d\n" (Conc.Pool.jobs ())
+          | ":jobs" :: n :: _ ->
+            (match int_of_string_opt n with
+             | Some n when n >= 1 ->
+               Conc.Pool.set_jobs n;
+               Printf.printf "jobs: %d\n" (Conc.Pool.jobs ())
+             | _ -> print_endline "usage: :jobs N  (N >= 1)")
           | ":cache" :: _ ->
             let hits, misses = Xomatiq.Engine.cache_stats () in
             Printf.printf "plan cache: %d hit(s), %d miss(es)\n" hits misses
@@ -550,7 +576,7 @@ let shell_cmd =
     loop ()
   in
   let doc = "Interactive query shell over a warehouse ('; ' terminates queries)." in
-  Cmd.v (Cmd.info "shell" ~doc) Term.(const run $ db_arg)
+  Cmd.v (Cmd.info "shell" ~doc) Term.(const run $ db_arg $ jobs_arg)
 
 let () =
   let doc = "warehouse and query biological data the XomatiQ way" in

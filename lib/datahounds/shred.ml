@@ -111,7 +111,125 @@ let document_id db ~collection ~name =
   | Ok _ -> None
   | Error m -> failwith m
 
-let shred ?(sequence_elements = []) db ~collection ~name (doc : Gxml.Tree.document) =
+(* Shredding is split into a pure [prepare] phase (tree walk, node and
+   keyword row construction — no database access, so it can run on any
+   domain) and a sequential [install_prepared] phase (id allocation and
+   the transactional insert). [shred] is their composition, so the
+   parallel loader and the sequential one share the installation code
+   path and produce byte-identical tables.
+
+   The doc_id and path_id columns depend on database state, so prepared
+   rows carry Null placeholders (slots 0 and 6 of xml_node, slot 0 of
+   xml_keyword) plus the path string; [install_prepared] patches them
+   while walking the rows in emission order. The original code allocated
+   path ids at emission time and inserted rows in emission order, so
+   resolving first-seen paths in that same order reproduces the exact
+   sequential id assignment. *)
+
+type prepared = {
+  prep_collection : string;
+  prep_name : string;
+  prep_root_tag : string;
+  prep_nodes : (Rdb.Value.t array * string) list;
+      (* (xml_node row, path string) in emission order *)
+  prep_keywords : Rdb.Value.t array list;  (* xml_keyword rows, emission order *)
+}
+
+let prepare ?(sequence_elements = []) ~collection ~name (doc : Gxml.Tree.document) =
+  let node_rows = ref [] and kw_rows = ref [] in
+  let next_node = ref 0 in
+  let fresh_node () =
+    let id = !next_node in
+    incr next_node;
+    id
+  in
+  let is_seq_elem tag = List.mem tag sequence_elements in
+  let emit_keywords node_id sval =
+    List.iter
+      (fun w -> kw_rows := [| Rdb.Value.Null; Int node_id; Text w |] :: !kw_rows)
+      (tokenize sval)
+  in
+  let emit_node ~node_id ~parent ~ord ~kind ~name:nm ~path ~sval ~is_seq ~last_desc =
+    let nval =
+      match sval with
+      | Some s when not is_seq ->
+        (match numeric_of s with Some f -> Rdb.Value.Float f | None -> Rdb.Value.Null)
+      | _ -> Rdb.Value.Null
+    in
+    node_rows :=
+      ( [| Rdb.Value.Null; Int node_id;
+           (match parent with Some p -> Int p | None -> Null);
+           Int ord; Text kind;
+           (match nm with Some n -> Text n | None -> Null);
+           Null;
+           (match sval with Some s -> Text s | None -> Null);
+           nval;
+           Int (if is_seq then 1 else 0);
+           Int last_desc |],
+        path )
+      :: !node_rows;
+    (match sval with
+     | Some s when not is_seq -> emit_keywords node_id s
+     | _ -> ())
+  in
+  (* Walk the tree in preorder. Returns the preorder rank of the last
+     node in the subtree. *)
+  let rec walk_element ~parent ~ord ~parent_path ~parent_seq (e : Gxml.Tree.element) =
+    let node_id = fresh_node () in
+    let path = parent_path ^ "/" ^ e.tag in
+    let is_seq = parent_seq || is_seq_elem e.tag in
+    (* attributes come right after their element in preorder *)
+    let attr_ids =
+      List.mapi
+        (fun i (a : Gxml.Tree.attribute) ->
+          let aid = fresh_node () in
+          (aid, i, a))
+        e.attrs
+    in
+    let inline_text =
+      match e.children with
+      | [ Gxml.Tree.Text t ] -> Some t
+      | _ -> None
+    in
+    let child_last = ref (match attr_ids with [] -> node_id | _ -> fst3_last attr_ids) in
+    (* children *)
+    (match inline_text with
+     | Some _ -> ()
+     | None ->
+       List.iteri
+         (fun i child ->
+           match child with
+           | Gxml.Tree.Element c ->
+             child_last := walk_element ~parent:(Some node_id) ~ord:i
+                 ~parent_path:path ~parent_seq:is_seq c
+           | Gxml.Tree.Text t ->
+             let tid = fresh_node () in
+             emit_node ~node_id:tid ~parent:(Some node_id) ~ord:i ~kind:"text"
+               ~name:None ~path:(path ^ "/#text") ~sval:(Some t) ~is_seq
+               ~last_desc:tid;
+             child_last := tid)
+         e.children);
+    let last_desc = !child_last in
+    emit_node ~node_id ~parent ~ord ~kind:"elem" ~name:(Some e.tag) ~path
+      ~sval:inline_text ~is_seq ~last_desc;
+    List.iter
+      (fun (aid, i, (a : Gxml.Tree.attribute)) ->
+        emit_node ~node_id:aid ~parent:(Some node_id) ~ord:i ~kind:"attr"
+          ~name:(Some a.attr_name) ~path:(path ^ "/@" ^ a.attr_name)
+          ~sval:(Some a.attr_value) ~is_seq ~last_desc:aid)
+      attr_ids;
+    last_desc
+  and fst3_last l =
+    match List.rev l with
+    | (id, _, _) :: _ -> id
+    | [] -> assert false
+  in
+  ignore (walk_element ~parent:None ~ord:0 ~parent_path:"" ~parent_seq:false doc.root);
+  { prep_collection = collection; prep_name = name; prep_root_tag = doc.root.tag;
+    prep_nodes = List.rev !node_rows; prep_keywords = List.rev !kw_rows }
+
+let install_prepared db (p : prepared) =
+  let collection = p.prep_collection and name = p.prep_name in
   if document_id db ~collection ~name <> None then
     Error (Printf.sprintf "document %S already exists in collection %S" name collection)
   else begin
@@ -133,96 +251,15 @@ let shred ?(sequence_elements = []) db ~collection ~name (doc : Gxml.Tree.docume
         new_paths := (id, path) :: !new_paths;
         id
     in
-    let node_rows = ref [] and kw_rows = ref [] in
-    let next_node = ref 0 in
-    let fresh_node () =
-      let id = !next_node in
-      incr next_node;
-      id
-    in
-    let is_seq_elem tag = List.mem tag sequence_elements in
-    let emit_keywords node_id sval =
-      List.iter
-        (fun w ->
-          kw_rows :=
-            [| Rdb.Value.Int doc_id; Int node_id; Text w |] :: !kw_rows)
-        (tokenize sval)
-    in
-    let emit_node ~node_id ~parent ~ord ~kind ~name:nm ~path ~sval ~is_seq ~last_desc =
-      let nval =
-        match sval with
-        | Some s when not is_seq ->
-          (match numeric_of s with Some f -> Rdb.Value.Float f | None -> Rdb.Value.Null)
-        | _ -> Rdb.Value.Null
-      in
-      node_rows :=
-        [| Rdb.Value.Int doc_id; Int node_id;
-           (match parent with Some p -> Int p | None -> Null);
-           Int ord; Text kind;
-           (match nm with Some n -> Text n | None -> Null);
-           Int (path_id path);
-           (match sval with Some s -> Text s | None -> Null);
-           nval;
-           Int (if is_seq then 1 else 0);
-           Int last_desc |]
-        :: !node_rows;
-      (match sval with
-       | Some s when not is_seq -> emit_keywords node_id s
-       | _ -> ())
-    in
-    (* Walk the tree in preorder. Returns the preorder rank of the last
-       node in the subtree. *)
-    let rec walk_element ~parent ~ord ~parent_path ~parent_seq (e : Gxml.Tree.element) =
-      let node_id = fresh_node () in
-      let path = parent_path ^ "/" ^ e.tag in
-      let is_seq = parent_seq || is_seq_elem e.tag in
-      (* attributes come right after their element in preorder *)
-      let attr_ids =
-        List.mapi
-          (fun i (a : Gxml.Tree.attribute) ->
-            let aid = fresh_node () in
-            (aid, i, a))
-          e.attrs
-      in
-      let inline_text =
-        match e.children with
-        | [ Gxml.Tree.Text t ] -> Some t
-        | _ -> None
-      in
-      let child_last = ref (match attr_ids with [] -> node_id | _ -> fst3_last attr_ids) in
-      (* children *)
-      (match inline_text with
-       | Some _ -> ()
-       | None ->
-         List.iteri
-           (fun i child ->
-             match child with
-             | Gxml.Tree.Element c ->
-               child_last := walk_element ~parent:(Some node_id) ~ord:i
-                   ~parent_path:path ~parent_seq:is_seq c
-             | Gxml.Tree.Text t ->
-               let tid = fresh_node () in
-               emit_node ~node_id:tid ~parent:(Some node_id) ~ord:i ~kind:"text"
-                 ~name:None ~path:(path ^ "/#text") ~sval:(Some t) ~is_seq
-                 ~last_desc:tid;
-               child_last := tid)
-           e.children);
-      let last_desc = !child_last in
-      emit_node ~node_id ~parent ~ord ~kind:"elem" ~name:(Some e.tag) ~path
-        ~sval:inline_text ~is_seq ~last_desc;
-      List.iter
-        (fun (aid, i, (a : Gxml.Tree.attribute)) ->
-          emit_node ~node_id:aid ~parent:(Some node_id) ~ord:i ~kind:"attr"
-            ~name:(Some a.attr_name) ~path:(path ^ "/@" ^ a.attr_name)
-            ~sval:(Some a.attr_value) ~is_seq ~last_desc:aid)
-        attr_ids;
-      last_desc
-    and fst3_last l =
-      match List.rev l with
-      | (id, _, _) :: _ -> id
-      | [] -> assert false
-    in
-    ignore (walk_element ~parent:None ~ord:0 ~parent_path:"" ~parent_seq:false doc.root);
+    let docv = Rdb.Value.Int doc_id in
+    (* patch ids in emission order: first-seen paths get ids in the same
+       order the emitting walk would have allocated them *)
+    List.iter
+      (fun (row, path) ->
+        row.(0) <- docv;
+        row.(6) <- Rdb.Value.Int (path_id path))
+      p.prep_nodes;
+    List.iter (fun row -> row.(0) <- docv) p.prep_keywords;
     (* write everything in one transaction *)
     let started_txn = not (Rdb.Database.in_transaction db) in
     if started_txn then ignore (Rdb.Database.exec_exn db "BEGIN");
@@ -231,10 +268,10 @@ let shred ?(sequence_elements = []) db ~collection ~name (doc : Gxml.Tree.docume
       Error m
     in
     let doc_row =
-      [| Rdb.Value.Int doc_id; Text collection; Text name; Text doc.root.tag |]
+      [| Rdb.Value.Int doc_id; Text collection; Text name; Text p.prep_root_tag |]
     in
     let path_rows =
-      List.rev_map (fun (id, p) -> [| Rdb.Value.Int id; Text p |]) !new_paths
+      List.rev_map (fun (id, pth) -> [| Rdb.Value.Int id; Text pth |]) !new_paths
     in
     match Rdb.Database.insert_rows db ~table:"xml_doc" [ doc_row ] with
     | Error m -> rollback m
@@ -242,15 +279,18 @@ let shred ?(sequence_elements = []) db ~collection ~name (doc : Gxml.Tree.docume
       (match Rdb.Database.insert_rows db ~table:"xml_path" path_rows with
        | Error m -> rollback m
        | Ok _ ->
-         (match Rdb.Database.insert_rows db ~table:"xml_node" (List.rev !node_rows) with
+         (match Rdb.Database.insert_rows db ~table:"xml_node" (List.map fst p.prep_nodes) with
           | Error m -> rollback m
           | Ok nodes ->
-            (match Rdb.Database.insert_rows db ~table:"xml_keyword" (List.rev !kw_rows) with
+            (match Rdb.Database.insert_rows db ~table:"xml_keyword" p.prep_keywords with
              | Error m -> rollback m
              | Ok keywords ->
                if started_txn then ignore (Rdb.Database.exec_exn db "COMMIT");
                Ok (doc_id, { nodes; keywords; new_paths = List.length path_rows }))))
   end
+
+let shred ?(sequence_elements = []) db ~collection ~name (doc : Gxml.Tree.document) =
+  install_prepared db (prepare ~sequence_elements ~collection ~name doc)
 
 let delete_document db ~collection ~name =
   match document_id db ~collection ~name with

@@ -54,12 +54,28 @@ type stats = {
   new_paths : int;  (** paths added to xml_path *)
 }
 
+type prepared
+(** A document walked into relational rows but not yet assigned ids:
+    the pure half of shredding. Safe to build on any domain. *)
+
+val prepare :
+  ?sequence_elements:string list ->
+  collection:string -> name:string -> Gxml.Tree.document -> prepared
+(** Walk the tree and build all node/keyword rows. No database access. *)
+
+val install_prepared :
+  Rdb.Database.t -> prepared -> (int * stats, string) result
+(** Allocate [doc_id] and [path_id]s and insert the prepared rows in one
+    transaction. Ids are assigned exactly as a direct {!shred} of the
+    same document would assign them. Must run on one domain at a time. *)
+
 val shred :
   ?sequence_elements:string list ->
   Rdb.Database.t -> collection:string -> name:string ->
   Gxml.Tree.document -> (int * stats, string) result
 (** Store a document; returns its fresh [doc_id]. Fails if a document of
-    the same (collection, name) already exists. *)
+    the same (collection, name) already exists. Equivalent to
+    [install_prepared db (prepare ~sequence_elements ~collection ~name doc)]. *)
 
 val delete_document :
   Rdb.Database.t -> collection:string -> name:string -> bool

@@ -10,7 +10,92 @@ type source = {
   source_dtd : string;
   source_sequence_elements : string list;
   transform : string -> (string * Gxml.Tree.document) list;
+  split : (string -> (int * int * string) list) option;
+      (* cheap entry-boundary scan for parallel harvesting: cut the flat
+         text into per-entry chunks [(entry_index, first_line, chunk)]
+         such that [transform chunk] parses exactly that entry. [None]
+         keeps the source sequential. *)
 }
+
+(* ---------------- entry splitting for parallel harvest ---------------- *)
+
+(* Split flat text into per-entry chunks without parsing them. Each chunk
+   includes its terminator line, and the returned bases let a worker remap
+   error positions from chunk-local coordinates back to the whole file
+   (entry indexes are 0-based as in {!Line_format.Format_error}; line
+   numbers are 1-based). *)
+let split_generic ~ends ~terminator_alone_opens text =
+  let lines = String.split_on_char '\n' text in
+  let chunks = ref [] and buf = Buffer.create 1024 in
+  let nclosed = ref 0 and line_base = ref 0 and opened = ref false in
+  (* lines are joined back with '\n' separators and NO trailing newline:
+     the chunk-local line list is then exactly the whole-file line list
+     from [line_base] on, so remapped error positions (including the
+     "final entry is not terminated" line, reported at the line COUNT)
+     agree with the sequential parse byte for byte *)
+  let add raw =
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    Buffer.add_string buf raw
+  in
+  let close () =
+    chunks := (!nclosed, !line_base, Buffer.contents buf) :: !chunks;
+    Buffer.clear buf;
+    opened := false;
+    incr nclosed
+  in
+  let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') s in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let raw' =
+        if String.length raw > 0 && raw.[String.length raw - 1] = '\r' then
+          String.sub raw 0 (String.length raw - 1)
+        else raw
+      in
+      if !opened then begin
+        add raw;
+        if ends raw' then close ()
+      end
+      else if ends raw' then begin
+        (* a terminator with nothing before it: line-code formats report
+           "empty entry before //", so hand the parser a chunk holding
+           just this line; GenBank and MEDLINE silently skip it *)
+        if terminator_alone_opens then begin
+          line_base := lineno;
+          add raw;
+          close ()
+        end
+      end
+      else if is_blank raw' then ()
+      else begin
+        opened := true;
+        line_base := lineno;
+        add raw
+      end)
+    lines;
+  if !opened then
+    (* unterminated trailing entry: kept as a chunk so the chunk parser
+       reproduces the sequential "not terminated" error at the same
+       entry index (or, for MEDLINE, parses the final entry) *)
+    chunks := (!nclosed, !line_base, Buffer.contents buf) :: !chunks;
+  List.rev !chunks
+
+(* ENZYME / EMBL / Swiss-Prot: an entry ends at a line that is exactly
+   "//" after CR stripping (Line_format.split_entries semantics). *)
+let split_flat_entries text =
+  split_generic ~ends:(String.equal "//") ~terminator_alone_opens:true text
+
+(* GenBank: terminator is "//" modulo surrounding whitespace; a stray
+   terminator with no open entry is ignored. *)
+let split_genbank_entries text =
+  split_generic ~ends:(fun l -> String.trim l = "//")
+    ~terminator_alone_opens:false text
+
+(* MEDLINE: entries are separated by blank lines. *)
+let split_medline_entries text =
+  split_generic
+    ~ends:(fun l -> String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') l)
+    ~terminator_alone_opens:false text
 
 let registry_ddl =
   "CREATE TABLE xml_dtd (collection TEXT PRIMARY KEY, dtd TEXT NOT NULL, \
@@ -124,7 +209,7 @@ let load_document ?validate t ~collection ~name doc =
   | Ok _ -> Ok ()
   | Error _ as e -> e
 
-let harvest_stats t (s : source) flat_text =
+let harvest_sequential t (s : source) flat_text =
   let t0 = Rdb.Obs.now_s () in
   match s.transform flat_text with
   | docs ->
@@ -149,6 +234,103 @@ let harvest_stats t (s : source) flat_text =
       { docs = 0; nodes = 0; keywords = 0; new_paths = 0; transform_s;
         validate_s = 0.; shred_s = 0. }
       docs
+
+(* Parallel harvest: the entry-boundary scan and the tuple installation
+   stay sequential (installation allocates doc/path/node ids, which must
+   be assigned in document order to stay byte-identical to the
+   sequential loader); parsing, DTD validation and shredding — the bulk
+   of the work — fan out across pool domains, one task per entry.
+
+   Error semantics match the sequential path exactly: a parse error
+   anywhere loads nothing and reports the first (lowest-entry) failure
+   at its whole-file position; an invalid document stops the load at
+   that document, keeping the ones before it. *)
+let harvest_parallel t (s : source) split flat_text =
+  let collection = s.source_collection in
+  (* pre-fetch everything a worker would otherwise query the database
+     for; workers must not touch [t.database] *)
+  let dtd = dtd_of t ~collection in
+  let sequence_elements = sequence_elements_of t ~collection in
+  let t0 = Rdb.Obs.now_s () in
+  let chunks = split flat_text in
+  let split_s = Rdb.Obs.now_s () -. t0 in
+  let process (entry_base, line_base, chunk) =
+    let t1 = Rdb.Obs.now_s () in
+    let docs =
+      try s.transform chunk
+      with Line_format.Format_error { entry_index; line; message } ->
+        (* remap chunk-local coordinates to whole-file ones *)
+        raise
+          (Line_format.Format_error
+             { entry_index = entry_base + entry_index;
+               line = line_base + line - 1;
+               message })
+    in
+    let transform_s = Rdb.Obs.now_s () -. t1 in
+    let results =
+      List.map
+        (fun (name, doc) ->
+          let t2 = Rdb.Obs.now_s () in
+          let check =
+            match dtd with
+            | None -> Ok ()
+            | Some dtd ->
+              (match Gxml.Dtd.validate dtd doc.Gxml.Tree.root with
+               | [] -> Ok ()
+               | v :: _ ->
+                 Error
+                   (Printf.sprintf "document %S is invalid: %s" name
+                      (Format.asprintf "%a" Gxml.Dtd.pp_violation v)))
+          in
+          let validate_s = Rdb.Obs.now_s () -. t2 in
+          match check with
+          | Error m -> (name, Error m, validate_s, 0.)
+          | Ok () ->
+            let t3 = Rdb.Obs.now_s () in
+            let prep = Shred.prepare ~sequence_elements ~collection ~name doc in
+            (name, Ok prep, validate_s, Rdb.Obs.now_s () -. t3))
+        docs
+    in
+    (transform_s, results)
+  in
+  let processed = Conc.Pool.parallel_map (Conc.Pool.get ()) process chunks in
+  let transform_s =
+    List.fold_left (fun acc (ts, _) -> acc +. ts) split_s processed
+  in
+  (* ordered installation on this domain only *)
+  let rec install acc = function
+    | [] -> Ok acc
+    | (name, Error m, _, _) :: _ -> ignore name; Error m
+    | (name, Ok prep, validate_s, prepare_s) :: rest ->
+      let t4 = Rdb.Obs.now_s () in
+      ignore (Shred.delete_document t.database ~collection ~name);
+      (match Shred.install_prepared t.database prep with
+       | Error _ as e -> e
+       | Ok (_, st) ->
+         let shred_s = prepare_s +. (Rdb.Obs.now_s () -. t4) in
+         install
+           { acc with
+             docs = acc.docs + 1;
+             nodes = acc.nodes + st.Shred.nodes;
+             keywords = acc.keywords + st.Shred.keywords;
+             new_paths = acc.new_paths + st.Shred.new_paths;
+             validate_s = acc.validate_s +. validate_s;
+             shred_s = acc.shred_s +. shred_s }
+           rest)
+  in
+  install
+    { docs = 0; nodes = 0; keywords = 0; new_paths = 0; transform_s;
+      validate_s = 0.; shred_s = 0. }
+    (List.concat_map snd processed)
+
+let harvest_stats t (s : source) flat_text =
+  let run () =
+    match s.split with
+    | Some split when Conc.Pool.jobs () > 1 -> harvest_parallel t s split flat_text
+    | _ -> harvest_sequential t s flat_text
+  in
+  match run () with
+  | r -> r
   | exception Line_format.Format_error { entry_index; line; message } ->
     Error
       (Printf.sprintf "flat-file error in entry %d (line %d): %s" entry_index line
@@ -203,7 +385,8 @@ let enzyme_source =
       (fun text ->
         List.map
           (fun e -> (Enzyme_xml.document_name e, Enzyme_xml.to_document e))
-          (Enzyme.parse_many text)) }
+          (Enzyme.parse_many text));
+    split = Some split_flat_entries }
 
 let embl_source ~division =
   { source_name = "embl-" ^ String.lowercase_ascii division;
@@ -215,7 +398,8 @@ let embl_source ~division =
         Embl.parse_many text
         |> List.filter (fun (e : Embl.t) ->
             String.lowercase_ascii e.division = String.lowercase_ascii division)
-        |> List.map (fun e -> (Embl_xml.document_name e, Embl_xml.to_document e))) }
+        |> List.map (fun e -> (Embl_xml.document_name e, Embl_xml.to_document e)));
+    split = Some split_flat_entries }
 
 let swissprot_source =
   { source_name = "swissprot";
@@ -226,7 +410,8 @@ let swissprot_source =
       (fun text ->
         List.map
           (fun p -> (Swissprot_xml.document_name p, Swissprot_xml.to_document p))
-          (Swissprot.parse_many text)) }
+          (Swissprot.parse_many text));
+    split = Some split_flat_entries }
 
 let genbank_source =
   { source_name = "genbank";
@@ -237,7 +422,8 @@ let genbank_source =
       (fun text ->
         List.map
           (fun g -> (Genbank_xml.document_name g, Genbank_xml.to_document g))
-          (Genbank.parse_many text)) }
+          (Genbank.parse_many text));
+    split = Some split_genbank_entries }
 
 let medline_source =
   { source_name = "medline";
@@ -248,4 +434,5 @@ let medline_source =
       (fun text ->
         List.map
           (fun m -> (Medline_xml.document_name m, Medline_xml.to_document m))
-          (Medline.parse_many text)) }
+          (Medline.parse_many text));
+    split = Some split_medline_entries }

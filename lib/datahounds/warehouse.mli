@@ -18,6 +18,12 @@ type source = {
   transform : string -> (string * Gxml.Tree.document) list;
       (** flat text -> (document name, document) pairs; raises on
           malformed input *)
+  split : (string -> (int * int * string) list) option;
+      (** entry-boundary scan enabling parallel harvest: cut flat text
+          into per-entry chunks [(entry_index, first_line, chunk)] such
+          that [transform chunk] parses exactly that entry ([entry_index]
+          0-based, [first_line] 1-based, for error-position remapping).
+          [None] keeps the source on the sequential load path. *)
 }
 
 val create : ?wal:string -> unit -> t
@@ -39,7 +45,14 @@ val harvest : t -> source -> string -> (int, string) result
 (** The Data Hounds pipeline of Figure 1: transform flat-file text to XML
     (validating each document against the source DTD) and shred into the
     warehouse. Returns the number of documents loaded. Existing documents
-    with the same name are replaced. *)
+    with the same name are replaced.
+
+    When the source declares a {!source.split} function and the domain
+    pool runs more than one job (see [Conc.Pool.set_jobs] /
+    [XOMATIQ_JOBS]), parsing, validation and shredding fan out across
+    domains; tuples are still installed in document order on the calling
+    domain, so the resulting tables — ids, sibling order, everything —
+    are byte-identical to a sequential load. *)
 
 (** Aggregate load report for one {!harvest_stats} run. *)
 type load_stats = {

@@ -2,8 +2,9 @@ type t = {
   tables : (string, Table.t) Hashtbl.t;
   index_owner : (string, string) Hashtbl.t;  (* index name -> table name *)
   stats : (string, Stats.table_stats) Hashtbl.t;  (* table name -> ANALYZE snapshot *)
-  mutable version : int;
-      (* bumped on every DDL / DML / ANALYZE; plan caches key on it *)
+  version : int Atomic.t;
+      (* bumped on every DDL / DML / ANALYZE; plan caches key on it.
+         Atomic: stress tests read it from several domains at once. *)
 }
 
 let normalize = String.lowercase_ascii
@@ -12,10 +13,10 @@ let create () =
   { tables = Hashtbl.create 16;
     index_owner = Hashtbl.create 16;
     stats = Hashtbl.create 16;
-    version = 0 }
+    version = Atomic.make 0 }
 
-let version t = t.version
-let bump_version t = t.version <- t.version + 1
+let version t = Atomic.get t.version
+let bump_version t = Atomic.incr t.version
 
 let find_stats t name = Hashtbl.find_opt t.stats (normalize name)
 

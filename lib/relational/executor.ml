@@ -362,9 +362,13 @@ and run_plan ctx (plan : Plan.t) : Value.t array Seq.t =
 and run_plan_raw ctx st (plan : Plan.t) : Value.t array Seq.t =
   match plan with
   | Single_row -> Seq.return [||]
-  | Seq_scan { table; filter } ->
+  | Seq_scan { table; filter; part } ->
     let t = scan_table ctx table in
-    let rows = Seq.map snd (Table.scan t) in
+    let rows =
+      match part with
+      | None -> Seq.map snd (Table.scan t)
+      | Some (i, n) -> Seq.map snd (Table.scan_part t ~index:i ~parts:n)
+    in
     (match filter with
      | None -> rows
      | Some f -> Seq.filter (fun row -> Value.is_truthy (eval ctx row f)) rows)
@@ -431,17 +435,64 @@ and run_plan_raw ctx st (plan : Plan.t) : Value.t array Seq.t =
   | Hash_join { left; right; left_keys; right_keys; cond; left_outer; right_arity } ->
     let nulls = Array.make right_arity Value.Null in
     fun () ->
-      (* build on the right *)
-      let tbl = KeyTbl.create 256 in
-      Seq.iter
-        (fun rrow ->
-          let k = Array.map (eval ctx rrow) right_keys in
-          if not (Array.exists (fun v -> v = Value.Null) k) then begin
-            built st;
-            KeyTbl.replace tbl k
-              (rrow :: (match KeyTbl.find_opt tbl k with Some l -> l | None -> []))
-          end)
-        (run_plan ctx right);
+      (* build on the right; an Exchange build side is partitioned across
+         domains into per-domain partial tables, then merged *)
+      let tbl =
+        match right with
+        | Plan.Exchange { inputs; workers }
+          when workers > 1 && Conc.Pool.size (Conc.Pool.get ()) > 1 ->
+          let pool = Conc.Pool.get () in
+          (* key evaluation is pure; each domain fills its own table *)
+          let locals =
+            Conc.Pool.parallel_map pool
+              (fun p ->
+                let local = KeyTbl.create 256 in
+                let count = ref 0 in
+                Seq.iter
+                  (fun rrow ->
+                    let k = Array.map (eval ctx rrow) right_keys in
+                    if not (Array.exists (fun v -> v = Value.Null) k) then begin
+                      incr count;
+                      KeyTbl.replace local k
+                        (rrow
+                         :: (match KeyTbl.find_opt local k with
+                             | Some l -> l
+                             | None -> []))
+                    end)
+                  (run_plan ctx p);
+                (local, !count))
+              inputs
+          in
+          let tbl = KeyTbl.create 256 in
+          (* merging ascending partitions by prepending each local bucket
+             leaves every bucket in the exact cons order a sequential
+             build over the concatenated stream would produce, so the
+             probe phase emits matches in the same order *)
+          List.iter
+            (fun (local, count) ->
+              (match st with
+               | Some s -> s.build_rows <- s.build_rows + count
+               | None -> ());
+              KeyTbl.iter
+                (fun k l ->
+                  KeyTbl.replace tbl k
+                    (l @ (match KeyTbl.find_opt tbl k with Some g -> g | None -> [])))
+                local)
+            locals;
+          tbl
+        | _ ->
+          let tbl = KeyTbl.create 256 in
+          Seq.iter
+            (fun rrow ->
+              let k = Array.map (eval ctx rrow) right_keys in
+              if not (Array.exists (fun v -> v = Value.Null) k) then begin
+                built st;
+                KeyTbl.replace tbl k
+                  (rrow :: (match KeyTbl.find_opt tbl k with Some l -> l | None -> []))
+              end)
+            (run_plan ctx right);
+          tbl
+      in
       (Seq.concat_map
          (fun lrow ->
            let k = Array.map (eval ctx lrow) left_keys in
@@ -496,6 +547,21 @@ and run_plan_raw ctx st (plan : Plan.t) : Value.t array Seq.t =
     let rows = run_plan ctx input in
     let rows = match offset with Some n -> Seq.drop n rows | None -> rows in
     (match limit with Some n -> Seq.take n rows | None -> rows)
+  | Exchange { inputs; workers } ->
+    fun () ->
+      let pool = Conc.Pool.get () in
+      if workers <= 1 || Conc.Pool.size pool <= 1 then
+        Seq.concat_map (run_plan ctx) (List.to_seq inputs) ()
+      else begin
+        (* each domain materialises its own partition; concatenating in
+           input order reproduces the unpartitioned stream exactly *)
+        let parts =
+          Conc.Pool.parallel_map pool
+            (fun p -> List.of_seq (run_plan ctx p))
+            inputs
+        in
+        Seq.concat_map List.to_seq (List.to_seq parts) ()
+      end
 
 and run_aggregate ctx group_by aggs input =
   let module Acc = struct

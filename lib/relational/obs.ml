@@ -1,41 +1,71 @@
 let now_s () = Unix.gettimeofday ()
 
-module Counter = struct
-  type t = { mutable n : int }
+(* The process-wide counters/timers/histograms below are shared across
+   domains once queries run in parallel, so Counter is an atomic and the
+   compound updates in Timer/Histogram take a per-instance mutex. *)
 
-  let create () = { n = 0 }
-  let incr ?(by = 1) t = t.n <- t.n + by
-  let value t = t.n
-  let reset t = t.n <- 0
+module Counter = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+
+  let incr ?(by = 1) t =
+    ignore (Atomic.fetch_and_add t by)
+
+  let value t = Atomic.get t
+  let reset t = Atomic.set t 0
 end
 
 module Timer = struct
-  type t = { mutable total : float; mutable samples : int }
+  type t = { lock : Mutex.t; mutable total : float; mutable samples : int }
 
-  let create () = { total = 0.; samples = 0 }
+  let create () = { lock = Mutex.create (); total = 0.; samples = 0 }
 
   let add_s t s =
+    Mutex.lock t.lock;
     t.total <- t.total +. s;
-    t.samples <- t.samples + 1
+    t.samples <- t.samples + 1;
+    Mutex.unlock t.lock
 
   let time t f =
     let t0 = now_s () in
     let finally () = add_s t (now_s () -. t0) in
     Fun.protect ~finally f
 
-  let total_s t = t.total
-  let total_ms t = t.total *. 1000.
-  let samples t = t.samples
-  let reset t = t.total <- 0.; t.samples <- 0
+  let total_s t =
+    Mutex.lock t.lock;
+    let v = t.total in
+    Mutex.unlock t.lock;
+    v
+
+  let total_ms t = total_s t *. 1000.
+
+  let samples t =
+    Mutex.lock t.lock;
+    let v = t.samples in
+    Mutex.unlock t.lock;
+    v
+
+  let reset t =
+    Mutex.lock t.lock;
+    t.total <- 0.;
+    t.samples <- 0;
+    Mutex.unlock t.lock
 end
 
 module Histogram = struct
   (* bucket i holds durations in [2^i, 2^(i+1)) microseconds *)
   let nbuckets = 40
 
-  type t = { buckets : int array; mutable count : int; mutable max_s : float }
+  type t = {
+    lock : Mutex.t;
+    buckets : int array;
+    mutable count : int;
+    mutable max_s : float;
+  }
 
-  let create () = { buckets = Array.make nbuckets 0; count = 0; max_s = 0. }
+  let create () =
+    { lock = Mutex.create (); buckets = Array.make nbuckets 0; count = 0; max_s = 0. }
 
   let bucket_of_s s =
     let us = s *. 1e6 in
@@ -44,19 +74,28 @@ module Histogram = struct
 
   let observe t s =
     let i = bucket_of_s s in
+    Mutex.lock t.lock;
     t.buckets.(i) <- t.buckets.(i) + 1;
     t.count <- t.count + 1;
-    if s > t.max_s then t.max_s <- s
+    if s > t.max_s then t.max_s <- s;
+    Mutex.unlock t.lock
 
-  let count t = t.count
+  let count t =
+    Mutex.lock t.lock;
+    let v = t.count in
+    Mutex.unlock t.lock;
+    v
 
   (* upper bound (seconds) of the bucket holding quantile q *)
   let quantile t q =
-    if t.count = 0 then 0.
+    Mutex.lock t.lock;
+    let count = t.count and buckets = Array.copy t.buckets in
+    Mutex.unlock t.lock;
+    if count = 0 then 0.
     else begin
       let target =
-        let x = int_of_float (Float.ceil (Float.of_int t.count *. q)) in
-        max 1 (min t.count x)
+        let x = int_of_float (Float.ceil (Float.of_int count *. q)) in
+        max 1 (min count x)
       in
       let seen = ref 0 and result = ref 0. in
       (try
@@ -67,16 +106,20 @@ module Histogram = struct
                result := Float.pow 2. (float_of_int (i + 1)) /. 1e6;
                raise Exit
              end)
-           t.buckets
+           buckets
        with Exit -> ());
       !result
     end
 
   let to_string t =
-    if t.count = 0 then "empty"
-    else
-      Printf.sprintf "n=%d p50<=%.3fms p95<=%.3fms max=%.3fms" t.count
-        (quantile t 0.5 *. 1000.) (quantile t 0.95 *. 1000.) (t.max_s *. 1000.)
+    if count t = 0 then "empty"
+    else begin
+      Mutex.lock t.lock;
+      let n = t.count and max_s = t.max_s in
+      Mutex.unlock t.lock;
+      Printf.sprintf "n=%d p50<=%.3fms p95<=%.3fms max=%.3fms" n
+        (quantile t 0.5 *. 1000.) (quantile t 0.95 *. 1000.) (max_s *. 1000.)
+    end
 end
 
 (* ------------------------------------------------------------------ *)

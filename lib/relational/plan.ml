@@ -29,7 +29,15 @@ and agg_spec = {
 
 and t =
   | Single_row   (* produces exactly one zero-column row: SELECT without FROM *)
-  | Seq_scan of { table : string; filter : cexpr option }
+  | Seq_scan of {
+      table : string;
+      filter : cexpr option;
+      part : (int * int) option;
+          (* [Some (i, n)]: scan only the [i]-th of [n] contiguous rowid
+             chunks (bounds are computed at execution time, so a cached
+             plan keeps covering the whole table as it grows). [None]:
+             full scan. *)
+    }
   | Index_lookup of { table : string; index : string; key : cexpr array; filter : cexpr option }
   | Index_range of {
       table : string;
@@ -56,6 +64,11 @@ and t =
   | Distinct of t
   | Union_all of t list   (* bag concatenation; UNION = Distinct over it *)
   | Limit of { limit : int option; offset : int option; input : t }
+  | Exchange of { inputs : t list; workers : int }
+      (* morsel parallelism: evaluate the inputs (disjoint partitions of
+         one logical scan) across up to [workers] pool domains and
+         concatenate their outputs in input order, so the merged stream
+         is byte-identical to running the unpartitioned operator. *)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering for EXPLAIN                                               *)
@@ -119,6 +132,85 @@ let rec subplans_of (e : cexpr) : t list =
   | CExists_plan { plan; _ } -> [ plan ]
   | CScalar_plan plan -> [ plan ]
 
+(* Structure-preserving deep copies. Profiles and cost estimates key on
+   physical node identity, so when the planner replicates an operator
+   across Exchange partitions every replica must be a fresh allocation:
+   copied partitions then profile independently (the per-worker counters
+   of EXPLAIN ANALYZE) and never share mutable statistics across
+   domains. *)
+let rec copy_cexpr (e : cexpr) : cexpr =
+  match e with
+  | CLit v -> CLit v
+  | CCol i -> CCol i
+  | CParam i -> CParam i
+  | CBinop (op, a, b) -> CBinop (op, copy_cexpr a, copy_cexpr b)
+  | CUnop (op, a) -> CUnop (op, copy_cexpr a)
+  | CFn (name, args) -> CFn (name, List.map copy_cexpr args)
+  | CLike { subject; pattern; escape; negated } ->
+    CLike
+      { subject = copy_cexpr subject; pattern = copy_cexpr pattern;
+        escape = Option.map copy_cexpr escape; negated }
+  | CIn_list { subject; candidates; negated } ->
+    CIn_list
+      { subject = copy_cexpr subject;
+        candidates = List.map copy_cexpr candidates; negated }
+  | CIs_null { subject; negated } -> CIs_null { subject = copy_cexpr subject; negated }
+  | CBetween { subject; low; high; negated } ->
+    CBetween
+      { subject = copy_cexpr subject; low = copy_cexpr low;
+        high = copy_cexpr high; negated }
+  | CCase { branches; else_ } ->
+    CCase
+      { branches = List.map (fun (c, r) -> (copy_cexpr c, copy_cexpr r)) branches;
+        else_ = Option.map copy_cexpr else_ }
+  | CIn_plan { subject; plan; negated } ->
+    CIn_plan { subject = copy_cexpr subject; plan = copy_plan plan; negated }
+  | CExists_plan { plan; negated } ->
+    CExists_plan { plan = copy_plan plan; negated }
+  | CScalar_plan plan -> CScalar_plan (copy_plan plan)
+
+and copy_plan (p : t) : t =
+  match p with
+  | Single_row -> Single_row
+  | Seq_scan { table; filter; part } ->
+    Seq_scan { table; filter = Option.map copy_cexpr filter; part }
+  | Index_lookup { table; index; key; filter } ->
+    Index_lookup
+      { table; index; key = Array.map copy_cexpr key;
+        filter = Option.map copy_cexpr filter }
+  | Index_range { table; index; lo; hi; filter } ->
+    let bound = Option.map (fun (k, incl) -> (Array.map copy_cexpr k, incl)) in
+    Index_range
+      { table; index; lo = bound lo; hi = bound hi;
+        filter = Option.map copy_cexpr filter }
+  | Filter (f, input) -> Filter (copy_cexpr f, copy_plan input)
+  | Project (es, input) -> Project (Array.map copy_cexpr es, copy_plan input)
+  | Nested_loop_join { left; right; cond; left_outer; right_arity } ->
+    Nested_loop_join
+      { left = copy_plan left; right = copy_plan right;
+        cond = Option.map copy_cexpr cond; left_outer; right_arity }
+  | Hash_join { left; right; left_keys; right_keys; cond; left_outer; right_arity } ->
+    Hash_join
+      { left = copy_plan left; right = copy_plan right;
+        left_keys = Array.map copy_cexpr left_keys;
+        right_keys = Array.map copy_cexpr right_keys;
+        cond = Option.map copy_cexpr cond; left_outer; right_arity }
+  | Sort (keys, input) ->
+    Sort (Array.map (fun (e, d) -> (copy_cexpr e, d)) keys, copy_plan input)
+  | Aggregate { group_by; aggs; input } ->
+    Aggregate
+      { group_by = Array.map copy_cexpr group_by;
+        aggs =
+          Array.map
+            (fun a -> { a with agg_arg = Option.map copy_cexpr a.agg_arg })
+            aggs;
+        input = copy_plan input }
+  | Distinct input -> Distinct (copy_plan input)
+  | Union_all inputs -> Union_all (List.map copy_plan inputs)
+  | Limit { limit; offset; input } -> Limit { limit; offset; input = copy_plan input }
+  | Exchange { inputs; workers } ->
+    Exchange { inputs = List.map copy_plan inputs; workers }
+
 (* Every plan node reachable from [plan], in preorder, each exactly once
    by physical identity: direct operator inputs plus the subplans embedded
    in operator expressions (filters, projections, join keys/conditions,
@@ -152,6 +244,7 @@ let descendants plan =
     | Distinct input -> go input
     | Union_all inputs -> List.iter go inputs
     | Limit { input; _ } -> go input
+    | Exchange { inputs; _ } -> List.iter go inputs
   in
   go plan;
   List.rev !acc
@@ -184,8 +277,14 @@ let to_string ?(annot = fun _ -> "") plan =
     let op_line indent s = line indent (s ^ annot node) in
     match node with
     | Single_row -> op_line indent "SingleRow"
-    | Seq_scan { table; filter } ->
-      op_line indent (Printf.sprintf "SeqScan %s%s" table (opt_filter filter))
+    | Seq_scan { table; filter; part } ->
+      let part_s =
+        match part with
+        | None -> ""
+        | Some (i, n) -> Printf.sprintf " part=%d/%d" (i + 1) n
+      in
+      op_line indent
+        (Printf.sprintf "SeqScan %s%s%s" table part_s (opt_filter filter))
     | Index_lookup { table; index; key; filter } ->
       op_line indent
         (Printf.sprintf "IndexLookup %s using %s key=(%s)%s" table index
@@ -262,6 +361,9 @@ let to_string ?(annot = fun _ -> "") plan =
            (match limit with Some n -> Printf.sprintf " limit=%d" n | None -> "")
            (match offset with Some n -> Printf.sprintf " offset=%d" n | None -> ""));
       go (indent + 1) input
+    | Exchange { inputs; workers } ->
+      op_line indent (Printf.sprintf "Exchange workers=%d" workers);
+      List.iter (go (indent + 1)) inputs
   in
   go 0 plan;
   Buffer.contents buf

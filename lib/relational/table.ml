@@ -104,16 +104,26 @@ let update t rowid new_row =
           Vector.set t.rows rowid (Some new_row);
           Ok ()))
 
-let scan t =
-  let n = Vector.length t.rows in
+let scan_range t ~lo ~hi =
   let rec go i () =
-    if i >= n then Seq.Nil
+    if i >= hi then Seq.Nil
     else
       match Vector.get t.rows i with
       | Some row -> Seq.Cons ((i, row), go (i + 1))
       | None -> go (i + 1) ()
   in
-  go 0
+  go (max 0 lo)
+
+let scan t = fun () -> scan_range t ~lo:0 ~hi:(Vector.length t.rows) ()
+
+let scan_part t ~index ~parts =
+  fun () ->
+    (* bounds resolved at pull time: cached plans keep covering the whole
+       table as it grows *)
+    let n = Vector.length t.rows in
+    let parts = max 1 parts in
+    let i = max 0 (min index (parts - 1)) in
+    scan_range t ~lo:(i * n / parts) ~hi:((i + 1) * n / parts) ()
 
 let add_index t idx =
   let exception Violation of string in

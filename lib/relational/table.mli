@@ -34,6 +34,12 @@ val get : t -> int -> Value.t array option
 val scan : t -> (int * Value.t array) Seq.t
 (** Live rows in row-id order. *)
 
+val scan_part : t -> index:int -> parts:int -> (int * Value.t array) Seq.t
+(** Live rows of the [index]-th of [parts] contiguous rowid chunks, in
+    row-id order. Chunk bounds split the rowid space evenly and are
+    computed when the sequence is first pulled, so concatenating all
+    [parts] chunks in order equals {!scan} at that moment. *)
+
 val add_index : t -> Index.t -> (unit, string) result
 (** Builds the index over existing rows; fails (leaving the table
     unchanged) if a unique constraint is violated by current data. *)

@@ -173,16 +173,24 @@ type cache_entry = {
   ce_plan : Rdb.Planner.planned option;  (* None when statically empty *)
 }
 
+(* The cache is process-global and the stress tests run queries from
+   several domains at once, so every access goes through one mutex. *)
+let cache_lock = Mutex.create ()
 let plan_cache : (string * string, cache_entry) Hashtbl.t = Hashtbl.create 64
 let cache_hits = ref 0
 let cache_misses = ref 0
 
-let cache_stats () = (!cache_hits, !cache_misses)
+let locked f =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
+
+let cache_stats () = locked (fun () -> (!cache_hits, !cache_misses))
 
 let cache_clear () =
-  Hashtbl.reset plan_cache;
-  cache_hits := 0;
-  cache_misses := 0
+  locked (fun () ->
+      Hashtbl.reset plan_cache;
+      cache_hits := 0;
+      cache_misses := 0)
 
 (* Whitespace-insensitive key: trim and collapse runs of blanks. *)
 let normalize_query_text text =
@@ -200,7 +208,12 @@ let normalize_query_text text =
     text;
   Buffer.contents buf
 
-let strategy_tag = function `Keyword_index -> "kw" | `Like_scan -> "like"
+(* The effective worker count is part of the key: a plan built at jobs=4
+   carries Exchange partitions that a jobs=1 run must not reuse (and vice
+   versa), exactly like the contains-strategy tag. *)
+let strategy_tag strategy =
+  let s = match strategy with `Keyword_index -> "kw" | `Like_scan -> "like" in
+  Printf.sprintf "%s/j%d" s (Conc.Pool.jobs ())
 
 let catalog_version wh =
   Rdb.Catalog.version (Rdb.Database.catalog (Datahounds.Warehouse.db wh))
@@ -220,12 +233,19 @@ let run_cache_entry e =
 let run_text_cached ~contains_strategy wh text =
   let key = (normalize_query_text text, strategy_tag contains_strategy) in
   let version = catalog_version wh in
-  match Hashtbl.find_opt plan_cache key with
-  | Some e when e.ce_wh == wh && e.ce_version = version ->
-    incr cache_hits;
-    run_cache_entry e
-  | _ ->
-    incr cache_misses;
+  let hit =
+    locked (fun () ->
+        match Hashtbl.find_opt plan_cache key with
+        | Some e when e.ce_wh == wh && e.ce_version = version ->
+          incr cache_hits;
+          Some e
+        | _ ->
+          incr cache_misses;
+          None)
+  in
+  match hit with
+  | Some e -> run_cache_entry e
+  | None ->
     let q =
       match Parser.parse text with
       | q -> q
@@ -255,7 +275,7 @@ let run_text_cached ~contains_strategy wh text =
     in
     let r = run_cache_entry e in
     (* only successful translations+executions are cached *)
-    Hashtbl.replace plan_cache key e;
+    locked (fun () -> Hashtbl.replace plan_cache key e);
     r
 
 let run_text ?(mode = `Relational) ?(contains_strategy = `Keyword_index)

@@ -1,0 +1,331 @@
+(* Multicore XomatiQ: the domain pool itself, Exchange-parallel query
+   execution, parallel Data Hounds loading, and domain-safety of the
+   shared engine state (plan cache, Obs counters, catalog version). *)
+
+let check = Alcotest.check
+
+module D = Datahounds
+
+(* ---------------- the pool ---------------- *)
+
+let test_parallel_map () =
+  let pool = Conc.Pool.create 4 in
+  Fun.protect ~finally:(fun () -> Conc.Pool.shutdown pool) @@ fun () ->
+  let xs = List.init 100 Fun.id in
+  check
+    Alcotest.(list int)
+    "order preserved"
+    (List.map (fun x -> x * x) xs)
+    (Conc.Pool.parallel_map pool (fun x -> x * x) xs);
+  check Alcotest.(list int) "empty input" []
+    (Conc.Pool.parallel_map pool (fun x -> x) []);
+  (* a pool of size 1 degenerates to List.map *)
+  let p1 = Conc.Pool.create 1 in
+  check
+    Alcotest.(list int)
+    "size-1 pool" [ 2; 4; 6 ]
+    (Conc.Pool.parallel_map p1 (fun x -> 2 * x) [ 1; 2; 3 ]);
+  Conc.Pool.shutdown p1
+
+let test_parallel_chunks () =
+  let pool = Conc.Pool.create 3 in
+  Fun.protect ~finally:(fun () -> Conc.Pool.shutdown pool) @@ fun () ->
+  let ranges = Conc.Pool.parallel_chunks pool ~n:10 (fun lo hi -> (lo, hi)) in
+  (* contiguous cover of [0, 10) in order *)
+  let flat =
+    List.concat_map (fun (lo, hi) -> List.init (hi - lo) (fun i -> lo + i)) ranges
+  in
+  check Alcotest.(list int) "chunks cover the range once, in order"
+    (List.init 10 Fun.id) flat;
+  check Alcotest.(list (pair int int)) "n smaller than pool" [ (0, 1); (1, 2) ]
+    (Conc.Pool.parallel_chunks pool ~n:2 (fun lo hi -> (lo, hi)));
+  check Alcotest.(list (pair int int)) "n = 0" []
+    (Conc.Pool.parallel_chunks pool ~n:0 (fun lo hi -> (lo, hi)))
+
+exception Boom of int
+
+let test_exception_propagation () =
+  let pool = Conc.Pool.create 4 in
+  Fun.protect ~finally:(fun () -> Conc.Pool.shutdown pool) @@ fun () ->
+  (* the first failure by input position is the one reported *)
+  match
+    Conc.Pool.parallel_map pool
+      (fun x -> if x mod 3 = 2 then raise (Boom x) else x)
+      (List.init 20 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom n -> check Alcotest.int "lowest failing input" 2 n
+
+let test_nested_submission () =
+  (* a task that itself fans out through the same pool must not deadlock:
+     the awaiting caller helps drain the queue *)
+  let pool = Conc.Pool.create 2 in
+  Fun.protect ~finally:(fun () -> Conc.Pool.shutdown pool) @@ fun () ->
+  let outer =
+    Conc.Pool.parallel_map pool
+      (fun i ->
+        let inner = Conc.Pool.parallel_map pool (fun j -> (10 * i) + j) [ 1; 2; 3 ] in
+        List.fold_left ( + ) 0 inner)
+      [ 1; 2; 3; 4 ]
+  in
+  check Alcotest.(list int) "nested fan-out" [ 36; 66; 96; 126 ] outer
+
+let test_jobs_controls () =
+  let saved = Conc.Pool.jobs () in
+  Conc.Pool.set_jobs 3;
+  check Alcotest.int "set_jobs" 3 (Conc.Pool.jobs ());
+  check Alcotest.int "pool matches" 3 (Conc.Pool.size (Conc.Pool.get ()));
+  Conc.Pool.with_jobs 1 (fun () ->
+      check Alcotest.int "with_jobs overrides" 1 (Conc.Pool.jobs ()));
+  check Alcotest.int "with_jobs restores" 3 (Conc.Pool.jobs ());
+  (match Conc.Pool.with_jobs 2 (fun () -> failwith "boom") with
+   | () -> Alcotest.fail "expected failure"
+   | exception Failure _ -> ());
+  check Alcotest.int "with_jobs restores on raise" 3 (Conc.Pool.jobs ());
+  Conc.Pool.set_jobs saved
+
+(* ---------------- Exchange-parallel scans ---------------- *)
+
+let scan_fixture () =
+  let db = Rdb.Database.open_in_memory () in
+  ignore (Rdb.Database.exec_exn db "CREATE TABLE big (id INTEGER, v TEXT)");
+  let rows =
+    List.init 500 (fun i ->
+        [| Rdb.Value.Int i; Rdb.Value.Text (Printf.sprintf "v%03d" (i mod 97)) |])
+  in
+  (match Rdb.Database.insert_rows db ~table:"big" rows with
+   | Ok _ -> ()
+   | Error m -> failwith m);
+  db
+
+let with_low_threshold f =
+  (* the planner reads XOMATIQ_PAR_THRESHOLD on every plan, so the test
+     can lower it below the fixture's 500 rows and restore it after *)
+  Unix.putenv "XOMATIQ_PAR_THRESHOLD" "100";
+  Fun.protect ~finally:(fun () -> Unix.putenv "XOMATIQ_PAR_THRESHOLD" "") f
+
+let contains_sub s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_exchange_plan () =
+  let db = scan_fixture () in
+  with_low_threshold @@ fun () ->
+  let sql = "SELECT id, v FROM big WHERE v = 'v007'" in
+  let plan_at jobs =
+    Conc.Pool.with_jobs jobs (fun () ->
+        match Rdb.Database.explain db sql with
+        | Ok p -> p
+        | Error m -> failwith m)
+  in
+  let seq = plan_at 1 and par = plan_at 4 in
+  check Alcotest.bool "jobs=1 has no Exchange" false (contains_sub seq "Exchange");
+  check Alcotest.bool "jobs=4 plans an Exchange" true
+    (contains_sub par "Exchange workers=4");
+  check Alcotest.bool "partitions are visible" true (contains_sub par "part=1/4");
+  Rdb.Database.close db
+
+let test_exchange_results_identical () =
+  let db = scan_fixture () in
+  with_low_threshold @@ fun () ->
+  let queries =
+    [ "SELECT id, v FROM big WHERE v = 'v007'";
+      "SELECT COUNT(1) FROM big WHERE id >= 250";
+      (* hash join: the build side is also eligible for partitioning *)
+      "SELECT a.id, b.id FROM big a, big b WHERE a.v = b.v AND a.id < 5" ]
+  in
+  List.iter
+    (fun sql ->
+      let run jobs =
+        Conc.Pool.with_jobs jobs (fun () -> Rdb.Database.query db sql)
+      in
+      match (run 1, run 4) with
+      | Ok (c1, r1), Ok (c4, r4) ->
+        check Alcotest.(list string) (sql ^ ": columns") c1 c4;
+        check Alcotest.int (sql ^ ": row count") (List.length r1) (List.length r4);
+        List.iteri
+          (fun i (a, b) ->
+            if a <> b then
+              Alcotest.fail
+                (Printf.sprintf "%s: row %d differs (parallel order broke)" sql i))
+          (List.combine r1 r4)
+      | Error m, _ | _, Error m -> failwith m)
+    queries;
+  (* EXPLAIN ANALYZE surfaces per-worker row counters *)
+  let out =
+    Conc.Pool.with_jobs 4 (fun () ->
+        match Rdb.Database.explain_analyze db "SELECT id FROM big WHERE id < 9" with
+        | Ok p -> p
+        | Error m -> failwith m)
+  in
+  check Alcotest.bool "analyze shows workers" true
+    (contains_sub out "Exchange workers=4");
+  check Alcotest.bool "analyze shows per-partition stats" true
+    (contains_sub out "part=1/4");
+  Rdb.Database.close db
+
+(* ---------------- parallel Data Hounds ---------------- *)
+
+let universe =
+  Workload.Genbio.generate
+    { Workload.Genbio.seed = 7; n_enzymes = 15; n_embl = 15; n_sprot = 12;
+      n_citations = 8; cdc6_rate = 0.2; ketone_rate = 0.3; ec_link_rate = 0.7;
+      seq_length = 40 }
+
+let dump_tables wh =
+  let db = D.Warehouse.db wh in
+  String.concat "\n"
+    (List.map
+       (fun sql ->
+         match Rdb.Database.query db sql with
+         | Ok (_, rows) ->
+           String.concat "\n"
+             (List.map
+                (fun row ->
+                  String.concat "|"
+                    (List.map Rdb.Value.to_literal (Array.to_list row)))
+                rows)
+         | Error m -> failwith m)
+       [ "SELECT doc_id, collection, name, root_tag FROM xml_doc ORDER BY doc_id";
+         "SELECT path_id, path FROM xml_path ORDER BY path_id";
+         "SELECT doc_id, node_id, parent_id, ord, kind, name, path_id, sval, \
+          nval, is_seq, last_desc FROM xml_node ORDER BY doc_id, node_id";
+         "SELECT doc_id, node_id, word FROM xml_keyword ORDER BY doc_id, \
+          node_id, word" ])
+
+let load_universe_at jobs =
+  Conc.Pool.with_jobs jobs (fun () ->
+      let wh = D.Warehouse.create () in
+      (match Workload.Genbio.load_universe wh universe with
+       | Ok () -> ()
+       | Error m -> failwith m);
+      wh)
+
+let test_parallel_harvest_identical () =
+  let wh1 = load_universe_at 1 and wh4 = load_universe_at 4 in
+  let d1 = dump_tables wh1 and d4 = dump_tables wh4 in
+  check Alcotest.bool "warehouse has rows" true (String.length d1 > 0);
+  check Alcotest.bool "jobs=4 tables byte-identical to jobs=1" true (d1 = d4);
+  D.Warehouse.close wh1;
+  D.Warehouse.close wh4
+
+let harvest_error_at jobs source text =
+  Conc.Pool.with_jobs jobs (fun () ->
+      let wh = D.Warehouse.create () in
+      D.Warehouse.register_source wh source;
+      let r = D.Warehouse.harvest wh source text in
+      let docs = D.Warehouse.document_count wh ~collection:source.D.Warehouse.source_collection in
+      D.Warehouse.close wh;
+      (r, docs))
+
+let test_parallel_harvest_errors_identical () =
+  (* a malformed third entry: the parallel loader must report the same
+     whole-file entry/line position as the sequential one, and neither
+     must install anything for a parse failure *)
+  let good n =
+    Printf.sprintf "ID   %d.1.1.1\nDE   Enzyme number %d.\n//" n n
+  in
+  let bad_text =
+    String.concat "\n" [ good 1; good 2; "ID   3.1.1.1"; "X"; "//"; good 4; "" ]
+  in
+  let (r1, d1) = harvest_error_at 1 D.Warehouse.enzyme_source bad_text in
+  let (r4, d4) = harvest_error_at 4 D.Warehouse.enzyme_source bad_text in
+  (match (r1, r4) with
+   | Error m1, Error m4 ->
+     check Alcotest.string "error text identical across jobs" m1 m4;
+     check Alcotest.bool "position is whole-file" true
+       (contains_sub m1 "entry 2" && contains_sub m1 "line 8")
+   | _ -> Alcotest.fail "expected both loads to fail");
+  check Alcotest.int "sequential installs nothing" 0 d1;
+  check Alcotest.int "parallel installs nothing" 0 d4;
+  (* an unterminated final entry reports the same error too *)
+  let unterminated = String.concat "\n" [ good 1; "ID   2.1.1.1" ] in
+  let (u1, _) = harvest_error_at 1 D.Warehouse.enzyme_source unterminated in
+  let (u4, _) = harvest_error_at 4 D.Warehouse.enzyme_source unterminated in
+  (match (u1, u4) with
+   | Error m1, Error m4 -> check Alcotest.string "unterminated entry" m1 m4
+   | _ -> Alcotest.fail "expected both loads to fail")
+
+(* ---------------- domain-safety stress ---------------- *)
+
+let test_counter_atomicity () =
+  let c = Rdb.Obs.Counter.create () in
+  let t = Rdb.Obs.Timer.create () in
+  let h = Rdb.Obs.Histogram.create () in
+  let per_domain = 20_000 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Rdb.Obs.Counter.incr c;
+              Rdb.Obs.Timer.add_s t 0.001;
+              Rdb.Obs.Histogram.observe h 0.0005
+            done))
+  in
+  List.iter Domain.join domains;
+  check Alcotest.int "no lost counter increments" (4 * per_domain)
+    (Rdb.Obs.Counter.value c);
+  check Alcotest.int "no lost timer samples" (4 * per_domain)
+    (Rdb.Obs.Timer.samples t);
+  check Alcotest.int "no lost histogram observations" (4 * per_domain)
+    (Rdb.Obs.Histogram.count h)
+
+let stress_query =
+  {|FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id|}
+
+let test_multi_domain_queries () =
+  (* several domains hammer the same warehouse through the cached engine
+     path: results must all agree and cache bookkeeping must balance *)
+  let wh = load_universe_at 1 in
+  let reference =
+    Conc.Pool.with_jobs 1 (fun () -> Xomatiq.Engine.run_text wh stress_query)
+  in
+  Xomatiq.Engine.cache_clear ();
+  let per_domain = 25 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let ok = ref 0 in
+            for _ = 1 to per_domain do
+              let r = Xomatiq.Engine.run_text wh stress_query in
+              if r.Xomatiq.Engine.rows = reference.Xomatiq.Engine.rows then incr ok
+            done;
+            !ok))
+  in
+  let oks = List.map Domain.join domains in
+  check Alcotest.(list int) "every concurrent run agrees"
+    [ per_domain; per_domain; per_domain; per_domain ] oks;
+  let hits, misses = Xomatiq.Engine.cache_stats () in
+  check Alcotest.int "every lookup accounted for" (4 * per_domain) (hits + misses);
+  check Alcotest.bool "at least one translation happened" true (misses >= 1);
+  D.Warehouse.close wh
+
+(* ---------------- runner ---------------- *)
+
+let () =
+  Alcotest.run "concurrency"
+    [ ( "pool",
+        [ Alcotest.test_case "parallel_map order + size-1" `Quick test_parallel_map;
+          Alcotest.test_case "parallel_chunks ranges" `Quick test_parallel_chunks;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "nested submission (helping)" `Quick
+            test_nested_submission;
+          Alcotest.test_case "jobs controls" `Quick test_jobs_controls ] );
+      ( "exchange",
+        [ Alcotest.test_case "planner wraps big scans" `Quick test_exchange_plan;
+          Alcotest.test_case "results identical at any jobs" `Quick
+            test_exchange_results_identical ] );
+      ( "data-hounds",
+        [ Alcotest.test_case "parallel load byte-identical" `Quick
+            test_parallel_harvest_identical;
+          Alcotest.test_case "error positions identical" `Quick
+            test_parallel_harvest_errors_identical ] );
+      ( "domain-safety",
+        [ Alcotest.test_case "atomic counters under contention" `Quick
+            test_counter_atomicity;
+          Alcotest.test_case "concurrent cached queries" `Quick
+            test_multi_domain_queries ] ) ]

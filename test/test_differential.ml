@@ -127,6 +127,81 @@ RETURN $a//embl_accession_number|}
     (like "alpha_2");
   D.Warehouse.close wh
 
+(* Parallel determinism: the same mix, every seed, both contains()
+   rewrites, evaluated with the domain pool at jobs=1 and jobs=4 — the
+   rendered output must be byte-identical. XOMATIQ_PAR_THRESHOLD is
+   forced to 1 so the planner wraps even these small test tables in
+   Exchange operators and the parallel path is genuinely exercised. *)
+let with_forced_parallelism f =
+  Unix.putenv "XOMATIQ_PAR_THRESHOLD" "1";
+  Fun.protect ~finally:(fun () -> Unix.putenv "XOMATIQ_PAR_THRESHOLD" "") f
+
+let strategies = [ ("keyword-index", `Keyword_index); ("like-scan", `Like_scan) ]
+
+let run_jobs_determinism seed () =
+  with_forced_parallelism @@ fun () ->
+  let u = universe_of seed in
+  let wh = D.Warehouse.create () in
+  (match Workload.Genbio.load_universe wh u with
+   | Ok () -> ()
+   | Error m -> failwith m);
+  let mix = Workload.Query_mix.mixed ~seed ~universe:u ~per_class:4 in
+  List.iter
+    (fun (cls, text) ->
+      let name = Workload.Query_mix.class_name cls in
+      List.iter
+        (fun (slabel, strategy) ->
+          let at jobs =
+            Conc.Pool.with_jobs jobs (fun () ->
+                Xomatiq.Engine.run_text ~contains_strategy:strategy wh text)
+          in
+          let seq = at 1 and par = at 4 in
+          check (list string)
+            (Printf.sprintf "%s/%s labels jobs=1 vs jobs=4 (seed %d): %s"
+               name slabel seed text)
+            seq.Xomatiq.Engine.labels par.Xomatiq.Engine.labels;
+          check rows_testable
+            (Printf.sprintf "%s/%s rows jobs=1 vs jobs=4 (seed %d): %s"
+               name slabel seed text)
+            seq.Xomatiq.Engine.rows par.Xomatiq.Engine.rows;
+          check string
+            (Printf.sprintf "%s/%s rendered table byte-identical (seed %d): %s"
+               name slabel seed text)
+            (Xomatiq.Engine.result_to_table seq)
+            (Xomatiq.Engine.result_to_table par))
+        strategies)
+    mix;
+  D.Warehouse.close wh
+
+(* Data Hounds round-trip: a warehouse loaded through the parallel
+   harvest path must be query-indistinguishable from a sequentially
+   loaded one (the byte-level table comparison lives in
+   test_concurrency; this checks the query surface). *)
+let run_jobs_harvest_roundtrip () =
+  let seed = 23 in
+  let u = universe_of seed in
+  let load jobs =
+    Conc.Pool.with_jobs jobs (fun () ->
+        let wh = D.Warehouse.create () in
+        (match Workload.Genbio.load_universe wh u with
+         | Ok () -> ()
+         | Error m -> failwith m);
+        wh)
+  in
+  let wh1 = load 1 and wh4 = load 4 in
+  let mix = Workload.Query_mix.mixed ~seed ~universe:u ~per_class:4 in
+  List.iter
+    (fun (cls, text) ->
+      let name = Workload.Query_mix.class_name cls in
+      let r1 = Xomatiq.Engine.run_text wh1 text in
+      let r4 = Xomatiq.Engine.run_text wh4 text in
+      check rows_testable
+        (Printf.sprintf "%s rows over parallel-loaded warehouse: %s" name text)
+        r1.Xomatiq.Engine.rows r4.Xomatiq.Engine.rows)
+    mix;
+  D.Warehouse.close wh1;
+  D.Warehouse.close wh4
+
 let () =
   Alcotest.run "differential"
     [ ( "query-mix",
@@ -137,4 +212,13 @@ let () =
         [ Alcotest.test_case "keyword vs like-scan" `Quick
             run_contains_strategies;
           Alcotest.test_case "LIKE metacharacter escaping" `Quick
-            run_like_escape_regression ] ) ]
+            run_like_escape_regression ] );
+      ( "jobs-determinism",
+        [ Alcotest.test_case "seed 11, jobs=1 vs jobs=4" `Quick
+            (run_jobs_determinism 11);
+          Alcotest.test_case "seed 23, jobs=1 vs jobs=4" `Quick
+            (run_jobs_determinism 23);
+          Alcotest.test_case "seed 47, jobs=1 vs jobs=4" `Quick
+            (run_jobs_determinism 47);
+          Alcotest.test_case "parallel harvest round-trip" `Quick
+            run_jobs_harvest_roundtrip ] ) ]
