@@ -642,11 +642,160 @@ let print_e9 () =
     Workload.Query_mix.all_classes;
   Datahounds.Warehouse.close wh
 
+(* ------------------------------------------------------------------ *)
+(* E7-structural: stack-based containment join vs hash/NLJ baseline    *)
+(* ------------------------------------------------------------------ *)
+
+(* The Fig. 8/9/11 region predicates (doc = doc AND lo < pos <= hi)
+   executed as hash join on doc_id + containment filter before the
+   structural merge join existed; XOMATIQ_STRUCTURAL_JOIN=0 still plans
+   them that way. This sweep times both physical strategies on the same
+   warehouses and checks the results stay equal.
+
+   The scale dimension is region DENSITY, not document count: Genbio's
+   DTDs pin most element multiplicities to one per document, and with a
+   single region per doc the doc_id hash join is already linear — only
+   constant factors differ. ENZYME's catalytic_activity* is unbounded
+   (paper Fig. 6), so the sweep replicates R keyword-bearing CA lines
+   per enzyme entry. Fig. 9's containment then pairs R sibling activity
+   intervals with R keyword positions per document: the hash join emits
+   R^2 candidate pairs per doc and filters them down to R, while the
+   stack-based merge walks both sorted lists once. *)
+
+let with_structural enabled f =
+  Unix.putenv "XOMATIQ_STRUCTURAL_JOIN" (if enabled then "1" else "0");
+  Fun.protect ~finally:(fun () -> Unix.putenv "XOMATIQ_STRUCTURAL_JOIN" "") f
+
+let e7_docs =
+  try int_of_string (Sys.getenv "XOMATIQ_BENCH_E7_DOCS") with Not_found -> 40
+
+let densify r u =
+  let act k =
+    Printf.sprintf "(%d) ATP + a ketone body = ADP + a phospho-ketone" k
+  in
+  let enzymes =
+    List.map
+      (fun (e : Datahounds.Enzyme.t) ->
+        { e with Datahounds.Enzyme.catalytic_activities = List.init r act })
+      u.Workload.Genbio.enzymes
+  in
+  { u with Workload.Genbio.enzymes }
+
+let print_e7_structural () =
+  let scales =
+    if Sys.getenv_opt "XOMATIQ_BENCH_SMOKE" <> None then [ 4 ]
+    else [ 4; 16; 64 ]
+  in
+  print_newline ();
+  Printf.printf
+    "E7-structural: containment merge join vs hash/NLJ baseline (Fig. 8/9/11)\n";
+  Printf.printf "%d enzyme/EMBL/SProt docs; scale = catalytic_activity regions per enzyme doc\n"
+    e7_docs;
+  Printf.printf "%-22s %7s %14s %14s %9s\n" "query" "density" "baseline (ms)"
+    "structural (ms)" "speedup";
+  Printf.printf "%s\n" (String.make 70 '-');
+  let measurements =
+    List.map
+      (fun n ->
+        let wh = build_warehouse (densify n (universe_of e7_docs)) in
+        let per_query =
+          List.map
+            (fun (name, ast) ->
+              let base_rows =
+                with_structural false (fun () -> (Xomatiq.Engine.run wh ast).rows)
+              in
+              let sj_rows =
+                with_structural true (fun () -> (Xomatiq.Engine.run wh ast).rows)
+              in
+              if base_rows <> sj_rows then
+                failwith
+                  (Printf.sprintf
+                     "E7-structural: results diverge on %s at scale %d" name n);
+              let t_base =
+                with_structural false (fun () ->
+                    time_median (fun () -> ignore (Xomatiq.Engine.run wh ast)))
+              in
+              let t_sj =
+                with_structural true (fun () ->
+                    time_median (fun () -> ignore (Xomatiq.Engine.run wh ast)))
+              in
+              Printf.printf "%-22s %7d %14.2f %14.2f %8.2fx\n" name n
+                (ms t_base) (ms t_sj) (t_base /. t_sj);
+              (name, t_base, t_sj))
+            asts
+        in
+        Datahounds.Warehouse.close wh;
+        (n, per_query))
+      scales
+  in
+  (* machine-readable before/after trajectory, keyed per query *)
+  let per_scale which =
+    List.map (fun (n, per_query) ->
+        (n, List.map (fun (name, b, s) -> (name, which b s)) per_query))
+      measurements
+  in
+  let series name rows =
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (n, per_query) ->
+             Printf.sprintf "\"%d\": %.6f" n (List.assoc name per_query))
+           rows)
+    ^ "}"
+  in
+  let query_json name =
+    Printf.sprintf
+      "    { \"name\": %S,\n\
+      \      \"baseline_seconds\": %s,\n\
+      \      \"structural_seconds\": %s,\n\
+      \      \"speedup\": %s }"
+      name
+      (series name (per_scale (fun b _ -> b)))
+      (series name (per_scale (fun _ s -> s)))
+      (series name (per_scale (fun b s -> b /. s)))
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"E7-structural\",\n\
+      \  \"generated_by\": \"bench/main.ml\",\n\
+      \  \"baseline\": \"XOMATIQ_STRUCTURAL_JOIN=0 (hash join on doc_id + containment filter)\",\n\
+      \  \"scale_kind\": \"region_density (catalytic_activity elements per enzyme doc)\",\n\
+      \  \"documents\": %d,\n\
+      \  \"scales\": [%s],\n\
+      \  \"queries\": [\n%s\n  ]\n}\n"
+      e7_docs
+      (String.concat ", " (List.map string_of_int scales))
+      (String.concat ",\n"
+         (List.map (fun (name, _) -> query_json name) asts))
+  in
+  let path =
+    match Sys.getenv_opt "XOMATIQ_BENCH_E7_JSON" with
+    | Some p when String.trim p <> "" -> p
+    | _ -> "BENCH_E7.json"
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* CI smoke mode: skip bechamel and the large sweeps, run the E5 family
    once at whatever (small) scale the environment sets. *)
 let smoke = Sys.getenv_opt "XOMATIQ_BENCH_SMOKE" <> None
 
+(* XOMATIQ_BENCH_ONLY=E7-structural (etc.) runs one experiment in
+   isolation — refreshing one BENCH_*.json without the full suite. *)
+let only = Sys.getenv_opt "XOMATIQ_BENCH_ONLY"
+
 let () =
+  match only with
+  | Some name ->
+    (match String.lowercase_ascii (String.trim name) with
+     | "e6-scaling" -> print_e6_scaling ()
+     | "e7-structural" -> print_e7_structural ()
+     | "e9" -> print_e9 ()
+     | other -> failwith ("unknown XOMATIQ_BENCH_ONLY experiment: " ^ other))
+  | None ->
   if smoke then begin
     Printf.printf "XomatiQ bench smoke (scale=%d docs per source)\n" scale;
     print_e5 ();
@@ -654,6 +803,7 @@ let () =
     print_e5_cache ();
     (* exercise the parallel scan/join/harvest paths even at smoke scale *)
     print_e6_scaling ();
+    print_e7_structural ();
     print_newline ();
     print_endline "Smoke OK."
   end
@@ -670,6 +820,7 @@ let () =
     print_e6_sweep ();
     print_e6_scaling ();
     print_e7 ();
+    print_e7_structural ();
     print_e8 ();
     print_e9 ();
     print_newline ();

@@ -378,6 +378,36 @@ let estimate cat plan =
         let cost = List.fold_left (fun a (e, _) -> a +. e.est_cost) 0. parts in
         let prov = match parts with (_, p) :: _ -> p | [] -> [||] in
         ({ est_rows = rows; est_cost = cost }, prov)
+      | Plan.Structural_join
+          { left; right; interval_on_left = _; left_doc; right_doc; lo; hi; pos;
+            cond; _ } ->
+        let el, pl = go left in
+        let er, pr = go right in
+        let prov = Array.append pl pr in
+        note_exprs (left_doc :: right_doc :: lo :: hi :: pos :: opt [] cond);
+        let doc_sel =
+          match distinct_of pl left_doc, distinct_of pr right_doc with
+          | Some d1, Some d2 -> 1. /. float_of_int (max 1 (max d1 d2))
+          | Some d, None | None, Some d -> 1. /. float_of_int (max 1 d)
+          | None, None ->
+            (* no statistics: assume a key/foreign-key document join *)
+            1. /. Float.max 1. (Float.max el.est_rows er.est_rows)
+        in
+        (* the two bound comparisons prune like the 0.5-per-conjunct
+           filter the equivalent hash plan would apply *)
+        let containment = 0.25 in
+        let rows =
+          el.est_rows *. er.est_rows *. doc_sel *. containment
+          *. filter_sel prov cond
+        in
+        let nl = Float.max 1. el.est_rows and nr = Float.max 1. er.est_rows in
+        ( { est_rows = rows;
+            (* materialise + (sort fallback) + one merge pass + output *)
+            est_cost =
+              el.est_cost +. er.est_cost
+              +. (nl *. log2 (nl +. 2.)) +. (nr *. log2 (nr +. 2.))
+              +. rows },
+          prov )
     in
     note node e;
     (e, prov)

@@ -9,6 +9,7 @@ type txn = {
 }
 
 type t = {
+  db_id : int;  (* process-unique instance serial, see {!id} *)
   cat : Catalog.t;
   mutable wal : Wal.t option;
   locks : Lock_manager.t;
@@ -34,6 +35,10 @@ exception Db_error of string
 let error fmt = Printf.ksprintf (fun m -> raise (Db_error m)) fmt
 
 let catalog t = t.cat
+
+let next_db_id = Atomic.make 0
+
+let id t = t.db_id
 
 let session t = { sdb = t; s_txn = None }
 
@@ -518,7 +523,8 @@ and replay t ops =
     ops
 
 let open_in_memory () =
-  { cat = Catalog.create (); wal = None; locks = Lock_manager.create ();
+  { db_id = Atomic.fetch_and_add next_db_id 1;
+    cat = Catalog.create (); wal = None; locks = Lock_manager.create ();
     next_txid = 1; replaying = false; default_session = None }
 
 let open_with_wal path =

@@ -23,6 +23,11 @@ val close : t -> unit
 
 val catalog : t -> Catalog.t
 
+val id : t -> int
+(** Process-unique instance serial, assigned at open. Usable as a cheap
+    hashtable key standing for the database's physical identity (caches
+    keyed by [(id, Catalog.version)] self-invalidate across DDL/DML). *)
+
 val exec : t -> string -> (result, string) Stdlib.result
 (** Execute one SQL statement. *)
 

@@ -562,6 +562,349 @@ and run_plan_raw ctx st (plan : Plan.t) : Value.t array Seq.t =
         in
         Seq.concat_map List.to_seq (List.to_seq parts) ()
       end
+  | Structural_join
+      { left; right; interval_on_left; left_doc; right_doc; lo; hi; pos;
+        lo_incl; hi_incl; cond; right_arity = _ } ->
+    fun () ->
+      (* Stack-based interval containment merge join. Both inputs are
+         materialised once and tagged with their stream position, so the
+         matched pairs can be re-merged into the exact left-major order
+         the equivalent nested-loop/hash plan emits. *)
+      let lrows = Array.of_seq (run_plan ctx left) in
+      let rrows = Array.of_seq (run_plan ctx right) in
+      (match st with
+       | Some s ->
+         s.build_rows <- s.build_rows + Array.length lrows + Array.length rrows
+       | None -> ());
+      let ivl_rows, ivl_doc =
+        if interval_on_left then (lrows, left_doc) else (rrows, right_doc)
+      in
+      let pt_rows, pt_doc =
+        if interval_on_left then (rrows, right_doc) else (lrows, left_doc)
+      in
+      (* join keys extracted once; a NULL key never matches (inner join) *)
+      let intervals =
+        let acc = ref [] in
+        Array.iteri
+          (fun i row ->
+            let d = eval ctx row ivl_doc in
+            let l = eval ctx row lo in
+            let h = eval ctx row hi in
+            if d <> Value.Null && l <> Value.Null && h <> Value.Null then
+              acc := (d, l, h, i) :: !acc)
+          ivl_rows;
+        Array.of_list (List.rev !acc)
+      in
+      let points =
+        let acc = ref [] in
+        Array.iteri
+          (fun j row ->
+            let d = eval ctx row pt_doc in
+            let v = eval ctx row pos in
+            if d <> Value.Null && v <> Value.Null then acc := (d, v, j) :: !acc)
+          pt_rows;
+        Array.of_list (List.rev !acc)
+      in
+      let n_ivl = Array.length intervals and n_pt = Array.length points in
+      (* containment never crosses documents, so the merge parallelises
+         over doc ranges; the global pair sort below keeps the output
+         byte-identical at any worker count. Only the planner marks big
+         inputs (Exchange), so that is the go-parallel signal. *)
+      let pool = Conc.Pool.get () in
+      let want_parallel =
+        Conc.Pool.size pool > 1 && n_ivl > 1
+        && (match left, right with
+            | Plan.Exchange { workers; _ }, _ | _, Plan.Exchange { workers; _ } ->
+              workers > 1
+            | _ -> false)
+      in
+      let sorted cmp arr =
+        let ok = ref true in
+        for k = 1 to Array.length arr - 1 do
+          if cmp arr.(k - 1) arr.(k) > 0 then ok := false
+        done;
+        !ok
+      in
+      (* sequential or doc-range-chunked merge, shared by both key
+         representations below *)
+      let merge_all (type a) ~(doc_of_ivl : int -> a) ~(doc_of_pt : int -> a)
+          ~(doc_cmp : a -> a -> int) ~merge_range =
+        if not want_parallel then merge_range (0, n_ivl) (0, n_pt)
+        else begin
+          (* first point with doc >= d / doc > d *)
+          let pt_bound ~after d =
+            let lo_b = ref 0 and hi_b = ref n_pt in
+            while !lo_b < !hi_b do
+              let mid = (!lo_b + !hi_b) / 2 in
+              let c = doc_cmp (doc_of_pt mid) d in
+              if c < 0 || (c = 0 && after) then lo_b := mid + 1 else hi_b := mid
+            done;
+            !lo_b
+          in
+          (* cut the interval array into chunks of whole documents *)
+          let jobs = max 2 (Conc.Pool.size pool) in
+          let target = max 1 (n_ivl / jobs) in
+          let cuts = ref [ 0 ] in
+          let k = ref 0 in
+          while !k < n_ivl do
+            let next = min n_ivl (!k + target) in
+            (* extend to the end of the document straddling the cut *)
+            let e = ref next in
+            while
+              !e < n_ivl
+              && doc_cmp (doc_of_ivl !e) (doc_of_ivl (next - 1)) = 0
+            do
+              incr e
+            done;
+            if !e < n_ivl then cuts := !e :: !cuts;
+            k := !e
+          done;
+          let cuts = Array.of_list (List.rev (n_ivl :: !cuts)) in
+          let chunks = ref [] in
+          for c = Array.length cuts - 2 downto 0 do
+            let a = cuts.(c) and b = cuts.(c + 1) in
+            if b > a then
+              chunks :=
+                ( (a, b),
+                  ( pt_bound ~after:false (doc_of_ivl a),
+                    pt_bound ~after:true (doc_of_ivl (b - 1)) ) )
+                :: !chunks
+          done;
+          match !chunks with
+          | [] | [ _ ] -> merge_range (0, n_ivl) (0, n_pt)
+          | chunks ->
+            List.concat
+              (Conc.Pool.parallel_map pool
+                 (fun (ir, jr) -> merge_range ir jr)
+                 chunks)
+        end
+      in
+      let int_keys =
+        Array.for_all
+          (fun (d, l, h, _) ->
+            match d, l, h with
+            | Value.Int _, Value.Int _, Value.Int _ -> true
+            | _ -> false)
+          intervals
+        && Array.for_all
+             (fun (d, v, _) ->
+               match d, v with Value.Int _, Value.Int _ -> true | _ -> false)
+             points
+      in
+      let all_pairs =
+        if int_keys then begin
+          (* Int fast path — the XML region encoding always lands here
+             (doc_id / node_id / last_desc are INTEGER columns), so the
+             sort and merge run on unboxed int comparisons with no SQL
+             re-verification (int total order IS the SQL order). Layout:
+             [|doc; lo; hi; idx|] per interval, [|doc; pos; idx|] per
+             point. *)
+          let iv =
+            Array.map
+              (fun (d, l, h, i) ->
+                match d, l, h with
+                | Value.Int d, Value.Int l, Value.Int h -> [| d; l; h; i |]
+                | _ -> assert false)
+              intervals
+          in
+          let pt =
+            Array.map
+              (fun (d, v, j) ->
+                match d, v with
+                | Value.Int d, Value.Int v -> [| d; v; j |]
+                | _ -> assert false)
+              points
+          in
+          let icmp (x : int) y = if x < y then -1 else if x > y then 1 else 0 in
+          (* (doc, key) order, original index as final tie-break; inputs
+             already in this order (e.g. a (doc_id, node_id) primary-key
+             scan) skip the sort *)
+          let cmp_iv (a : int array) b =
+            let c = icmp a.(0) b.(0) in
+            if c <> 0 then c
+            else
+              let c = icmp a.(1) b.(1) in
+              if c <> 0 then c else icmp a.(3) b.(3)
+          in
+          let cmp_pt (a : int array) b =
+            let c = icmp a.(0) b.(0) in
+            if c <> 0 then c
+            else
+              let c = icmp a.(1) b.(1) in
+              if c <> 0 then c else icmp a.(2) b.(2)
+          in
+          if not (sorted cmp_iv iv) then Array.sort cmp_iv iv;
+          if not (sorted cmp_pt pt) then Array.sort cmp_pt pt;
+          let merge_range (i0, i1) (j0, j1) =
+            let pairs = ref [] in
+            let stack = ref [] in (* innermost (latest-opened) first *)
+            let cur_doc = ref 0 and have_doc = ref false in
+            let i = ref i0 and j = ref j0 in
+            while !j < j1 do
+              let p = pt.(!j) in
+              let d_pt = p.(0) and v_pt = p.(1) and jidx = p.(2) in
+              let push_next =
+                !i < i1
+                && (let a = iv.(!i) in
+                    a.(0) < d_pt
+                    || (a.(0) = d_pt
+                        && (a.(1) < v_pt || (a.(1) = v_pt && lo_incl))))
+              in
+              if push_next then begin
+                let a = iv.(!i) in
+                incr i;
+                let d_iv = a.(0) and l_iv = a.(1) in
+                if not (!have_doc && !cur_doc = d_iv) then begin
+                  stack := [];
+                  cur_doc := d_iv;
+                  have_doc := true
+                end;
+                (* ancestors that closed before this start can never hold
+                   a later position: drop them *)
+                let rec expire = function
+                  | (_, h, _) :: rest when h < l_iv -> expire rest
+                  | s -> s
+                in
+                stack := (l_iv, a.(2), a.(3)) :: expire !stack
+              end
+              else begin
+                incr j;
+                if !have_doc && !cur_doc = d_pt then begin
+                  let rec expire = function
+                    | (_, h, _) :: rest
+                      when h < v_pt || (h = v_pt && not hi_incl) ->
+                      expire rest
+                    | s -> s
+                  in
+                  stack := expire !stack;
+                  List.iter
+                    (fun (l, h, iidx) ->
+                      if (l < v_pt || (l = v_pt && lo_incl))
+                         && (v_pt < h || (v_pt = h && hi_incl)) then
+                        pairs := (iidx, jidx) :: !pairs)
+                    !stack
+                end
+              end
+            done;
+            List.rev !pairs
+          in
+          merge_all
+            ~doc_of_ivl:(fun k -> iv.(k).(0))
+            ~doc_of_pt:(fun k -> pt.(k).(0))
+            ~doc_cmp:icmp ~merge_range
+        end
+        else begin
+          (* Generic path: arbitrary comparable keys. Merge order uses
+             the total order; a match additionally requires the SQL
+             comparison semantics at emission. *)
+          let cmp_ivl (d1, l1, _, i1) (d2, l2, _, i2) =
+            let c = Value.compare_total d1 d2 in
+            if c <> 0 then c
+            else
+              let c = Value.compare_total l1 l2 in
+              if c <> 0 then c else compare (i1 : int) i2
+          in
+          let cmp_pt (d1, v1, j1) (d2, v2, j2) =
+            let c = Value.compare_total d1 d2 in
+            if c <> 0 then c
+            else
+              let c = Value.compare_total v1 v2 in
+              if c <> 0 then c else compare (j1 : int) j2
+          in
+          if not (sorted cmp_ivl intervals) then Array.sort cmp_ivl intervals;
+          if not (sorted cmp_pt points) then Array.sort cmp_pt points;
+          let sql_before a b incl =
+            match Value.sql_compare a b with
+            | Some c -> c < 0 || (c = 0 && incl)
+            | None -> false
+          in
+          (* one merged sweep over intervals[i0,i1) and points[j0,j1):
+             intervals enter the stack when the sweep passes their lower
+             bound, leave when it passes their upper bound; every
+             surviving stack entry at a point is a candidate ancestor *)
+          let merge_range (i0, i1) (j0, j1) =
+            let pairs = ref [] in
+            let stack = ref [] in (* innermost (latest-opened) first *)
+            let cur_doc = ref Value.Null in
+            let have_doc = ref false in
+            let i = ref i0 and j = ref j0 in
+            while !j < j1 do
+              let d_pt, v_pt, jidx = points.(!j) in
+              let push_next =
+                !i < i1
+                && (let d_iv, l_iv, _, _ = intervals.(!i) in
+                    let c = Value.compare_total d_iv d_pt in
+                    c < 0
+                    || (c = 0
+                        && (let ck = Value.compare_total l_iv v_pt in
+                            ck < 0 || (ck = 0 && lo_incl))))
+              in
+              if push_next then begin
+                let d_iv, l_iv, h_iv, iidx = intervals.(!i) in
+                incr i;
+                if not (!have_doc && Value.compare_total !cur_doc d_iv = 0)
+                then begin
+                  stack := [];
+                  cur_doc := d_iv;
+                  have_doc := true
+                end;
+                (* ancestors that closed before this start can never hold
+                   a later position: drop them *)
+                let rec expire = function
+                  | (_, h, _) :: rest when Value.compare_total h l_iv < 0 ->
+                    expire rest
+                  | s -> s
+                in
+                stack := (l_iv, h_iv, iidx) :: expire !stack
+              end
+              else begin
+                incr j;
+                if !have_doc && Value.compare_total !cur_doc d_pt = 0
+                   && Value.sql_compare !cur_doc d_pt = Some 0 then begin
+                  let rec expire = function
+                    | (_, h, _) :: rest
+                      when (let c = Value.compare_total h v_pt in
+                            c < 0 || (c = 0 && not hi_incl)) ->
+                      expire rest
+                    | s -> s
+                  in
+                  stack := expire !stack;
+                  List.iter
+                    (fun (l, h, iidx) ->
+                      if sql_before l v_pt lo_incl && sql_before v_pt h hi_incl
+                      then pairs := (iidx, jidx) :: !pairs)
+                    !stack
+                end
+              end
+            done;
+            List.rev !pairs
+          in
+          merge_all
+            ~doc_of_ivl:(fun k -> let d, _, _, _ = intervals.(k) in d)
+            ~doc_of_pt:(fun k -> let d, _, _ = points.(k) in d)
+            ~doc_cmp:Value.compare_total ~merge_range
+        end
+      in
+      (* re-merge to the deterministic left-major order of the
+         equivalent nested-loop/hash plan *)
+      let pairs = Array.of_list all_pairs in
+      let to_lr (iidx, jidx) =
+        if interval_on_left then (iidx, jidx) else (jidx, iidx)
+      in
+      let lr = Array.map to_lr pairs in
+      Array.sort
+        (fun ((l1 : int), (r1 : int)) (l2, r2) ->
+          if l1 <> l2 then compare l1 l2 else compare r1 r2)
+        lr;
+      (match st with
+       | Some s -> s.probes <- s.probes + Array.length lr
+       | None -> ());
+      (Seq.filter_map
+         (fun (li, ri) ->
+           let joined = Array.append lrows.(li) rrows.(ri) in
+           if truthy ctx joined cond then Some joined else None)
+         (Array.to_seq lr))
+        ()
 
 and run_aggregate ctx group_by aggs input =
   let module Acc = struct

@@ -69,6 +69,28 @@ and t =
          one logical scan) across up to [workers] pool domains and
          concatenate their outputs in input order, so the merged stream
          is byte-identical to running the unpartitioned operator. *)
+  | Structural_join of {
+      left : t;
+      right : t;
+      interval_on_left : bool;
+          (* which input carries the [lo, hi] interval; the other input
+             carries the point [pos] being tested for containment *)
+      left_doc : cexpr;   (* document key, over the left row *)
+      right_doc : cexpr;  (* document key, over the right row *)
+      lo : cexpr;         (* interval bounds, over the interval side's row *)
+      hi : cexpr;
+      pos : cexpr;        (* position, over the point side's row *)
+      lo_incl : bool;     (* pos >= lo vs pos > lo *)
+      hi_incl : bool;     (* pos <= hi vs pos < hi *)
+      cond : cexpr option;  (* residual, over the concatenated row *)
+      right_arity : int;
+    }
+      (* interval containment (structural) merge join: equivalent to an
+         inner join on [left_doc = right_doc AND lo (<|<=) pos (<|<=) hi]
+         but executed with the stack-based algorithm — both inputs sorted
+         on (doc, position), each consumed once, a stack of open ancestor
+         intervals. Output is re-merged into the left-major order the
+         equivalent nested-loop/hash plan would produce. *)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering for EXPLAIN                                               *)
@@ -210,6 +232,14 @@ and copy_plan (p : t) : t =
   | Limit { limit; offset; input } -> Limit { limit; offset; input = copy_plan input }
   | Exchange { inputs; workers } ->
     Exchange { inputs = List.map copy_plan inputs; workers }
+  | Structural_join
+      { left; right; interval_on_left; left_doc; right_doc; lo; hi; pos;
+        lo_incl; hi_incl; cond; right_arity } ->
+    Structural_join
+      { left = copy_plan left; right = copy_plan right; interval_on_left;
+        left_doc = copy_cexpr left_doc; right_doc = copy_cexpr right_doc;
+        lo = copy_cexpr lo; hi = copy_cexpr hi; pos = copy_cexpr pos;
+        lo_incl; hi_incl; cond = Option.map copy_cexpr cond; right_arity }
 
 (* Every plan node reachable from [plan], in preorder, each exactly once
    by physical identity: direct operator inputs plus the subplans embedded
@@ -245,6 +275,9 @@ let descendants plan =
     | Union_all inputs -> List.iter go inputs
     | Limit { input; _ } -> go input
     | Exchange { inputs; _ } -> List.iter go inputs
+    | Structural_join { left; right; left_doc; right_doc; lo; hi; pos; cond; _ } ->
+      expr left_doc; expr right_doc; expr lo; expr hi; expr pos;
+      opt_expr cond; go left; go right
   in
   go plan;
   List.rev !acc
@@ -364,6 +397,20 @@ let to_string ?(annot = fun _ -> "") plan =
     | Exchange { inputs; workers } ->
       op_line indent (Printf.sprintf "Exchange workers=%d" workers);
       List.iter (go (indent + 1)) inputs
+    | Structural_join
+        { left; right; interval_on_left; left_doc; right_doc; lo; hi; pos;
+          lo_incl; hi_incl; cond; _ } ->
+      op_line indent
+        (Printf.sprintf "StructuralJoin interval=%s doc (%s) = (%s) pos %s in %s%s, %s%s%s"
+           (if interval_on_left then "left" else "right")
+           (cexpr_to_string left_doc) (cexpr_to_string right_doc)
+           (cexpr_to_string pos)
+           (if lo_incl then "[" else "(")
+           (cexpr_to_string lo) (cexpr_to_string hi)
+           (if hi_incl then "]" else ")")
+           (match cond with None -> "" | Some c -> " residual " ^ cexpr_to_string c));
+      go (indent + 1) left;
+      go (indent + 1) right
   in
   go 0 plan;
   Buffer.contents buf

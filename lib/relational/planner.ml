@@ -23,6 +23,21 @@ type env = {
   outer : scope list;  (* enclosing query scopes, outermost first *)
 }
 
+(* A recognised containment-join pattern between the joined set and a
+   candidate unit: [doc_set = doc_unit AND lo (<|<=) pos (<|<=) hi] with
+   the position on one role and both interval bounds on the other. *)
+type structural_match = {
+  sm_doc_set : Sql_ast.expr;   (* document key, set side *)
+  sm_doc_unit : Sql_ast.expr;  (* document key, unit side *)
+  sm_pos : Sql_ast.expr;
+  sm_lo : Sql_ast.expr;
+  sm_hi : Sql_ast.expr;
+  sm_lo_incl : bool;
+  sm_hi_incl : bool;
+  sm_pos_on_unit : bool;  (* position on the candidate unit => interval on the set *)
+  sm_used : Sql_ast.expr list;  (* conjuncts the operator consumes *)
+}
+
 let scope_find (scope : scope) ~table ~column =
   let column = norm column in
   let matches =
@@ -71,6 +86,17 @@ let resolve env ~table ~column : Plan.cexpr =
 (* ------------------------------------------------------------------ *)
 (* Morsel parallelism post-pass                                        *)
 (* ------------------------------------------------------------------ *)
+
+(* Structural (interval containment) merge joins are on by default;
+   XOMATIQ_STRUCTURAL_JOIN=0 falls back to hash-join + filter, which the
+   differential suite and the E7 bench use as the baseline. *)
+let structural_enabled () =
+  match Sys.getenv_opt "XOMATIQ_STRUCTURAL_JOIN" with
+  | Some s ->
+    (match String.lowercase_ascii (String.trim s) with
+     | "0" | "off" | "false" | "no" -> false
+     | _ -> true)
+  | None -> true
 
 (* Minimum live rows before a base-table scan is worth partitioning
    across domains (per-partition materialisation has fixed overhead). *)
@@ -648,6 +674,90 @@ and plan_from catalog ~outer (from : table_ref list) (where : expr option) :
            | _ -> None)
         | _ -> None
       in
+      (* structural-join detection: among the not-yet-applied multi-unit
+         conjuncts, a doc-key equality plus a two-sided containment of a
+         position expression on one role inside an interval carried by
+         the other (XQ2SQL's region predicates land here as separate
+         comparisons, or as a BETWEEN) *)
+      let structural_on = structural_enabled () in
+      let find_structural set_members unit_idx =
+        if not structural_on then None
+        else begin
+          let side e =
+            match referenced_units ~unit_scopes ~outer e with
+            | [] -> `Const
+            | [ i ] when i = unit_idx -> `Unit
+            | refs when List.for_all (fun r -> List.mem r set_members) refs -> `Set
+            | _ -> `Other
+          in
+          (* every way of reading a conjunct as a bound on a position:
+             (pos, pos_on_unit, `Lo|`Hi, inclusive, conjunct) *)
+          let bounds = ref [] in
+          List.iter
+            (fun c ->
+              match c with
+              | Binop ((Lt | Le | Gt | Ge) as op, a, b) ->
+                (match side a, side b with
+                 | `Set, `Unit | `Unit, `Set ->
+                   let a_unit = side a = `Unit in
+                   let incl = op = Le || op = Ge in
+                   let kind_pos_a = match op with Lt | Le -> `Hi | _ -> `Lo in
+                   let kind_pos_b = match op with Lt | Le -> `Lo | _ -> `Hi in
+                   bounds := (a, a_unit, kind_pos_a, incl, b, c) :: !bounds;
+                   bounds := (b, not a_unit, kind_pos_b, incl, a, c) :: !bounds
+                 | _ -> ())
+              | Between { subject; low; high; negated = false } ->
+                (match side subject, side low, side high with
+                 | `Unit, `Set, `Set ->
+                   bounds := (subject, true, `Lo, true, low, c) :: !bounds;
+                   bounds := (subject, true, `Hi, true, high, c) :: !bounds
+                 | `Set, `Unit, `Unit ->
+                   bounds := (subject, false, `Lo, true, low, c) :: !bounds;
+                   bounds := (subject, false, `Hi, true, high, c) :: !bounds
+                 | _ -> ())
+              | _ -> ())
+            !remaining_multi;
+          let all = !bounds in
+          let pattern =
+            List.find_map
+              (fun (p, on_unit, kind, lo_incl, lo_e, c1) ->
+                if kind <> `Lo then None
+                else
+                  List.find_map
+                    (fun (p2, on_unit2, kind2, hi_incl, hi_e, c2) ->
+                      if kind2 = `Hi && on_unit2 = on_unit && p2 = p then
+                        Some (p, on_unit, lo_incl, lo_e, c1, hi_incl, hi_e, c2)
+                      else None)
+                    all)
+              all
+          in
+          match pattern with
+          | None -> None
+          | Some (p, on_unit, lo_incl, lo_e, c1, hi_incl, hi_e, c2) ->
+            (* the document key: the first equi conjunct between the
+               roles (XQ2SQL emits doc_id = doc_id) *)
+            let doc =
+              List.find_map
+                (fun c ->
+                  if c == c1 || c == c2 then None
+                  else
+                    Option.map
+                      (fun pair -> (pair, c))
+                      (is_equi_between set_members unit_idx c))
+                !remaining_multi
+            in
+            (match doc with
+             | None -> None
+             | Some ((doc_set, doc_unit), doc_c) ->
+               Some
+                 { sm_doc_set = doc_set; sm_doc_unit = doc_unit;
+                   sm_pos = p; sm_lo = lo_e; sm_hi = hi_e;
+                   sm_lo_incl = lo_incl; sm_hi_incl = hi_incl;
+                   sm_pos_on_unit = on_unit;
+                   sm_used =
+                     (if c1 == c2 then [ doc_c; c1 ] else [ doc_c; c1; c2 ]) })
+        end
+      in
       (* distinct count of a plain column reference, via ANALYZE stats *)
       let distinct_of_expr e =
         match e with
@@ -724,50 +834,87 @@ and plan_from catalog ~outer (from : table_ref list) (where : expr option) :
                 +. (if has_equi then 0.01 *. cost
                     else Float.max 1. !current_rows *. cost)
               in
+              (* a containment pattern turns the hash-join-then-filter
+                 into one merge pass: output shrinks by the two bound
+                 conjuncts' selectivity, at the price of sorting both
+                 sides — picked only when that beats the hash metric *)
+              let est_out, metric, mode =
+                match if has_equi then find_structural !current_members i else None with
+                | Some sm ->
+                  let est_struct = est_out *. 0.25 in
+                  let metric_struct =
+                    est_struct +. (0.01 *. cost)
+                    +. (0.002 *. (!current_rows +. est))
+                  in
+                  if metric_struct < metric then (est_struct, metric_struct, `Structural sm)
+                  else (est_out, metric, `Hash)
+                | None -> (est_out, metric, if has_equi then `Hash else `Nlj)
+              in
               match !best with
-              | None -> best := Some (i, est_out, metric, has_equi)
-              | Some (_, _, best_metric, best_equi) ->
+              | None -> best := Some (i, est_out, metric, mode)
+              | Some (_, _, best_metric, best_mode) ->
                 if metric < best_metric
-                   || (metric = best_metric && has_equi && not best_equi) then
-                  best := Some (i, est_out, metric, has_equi)
+                   || (metric = best_metric && mode <> `Nlj && best_mode = `Nlj) then
+                  best := Some (i, est_out, metric, mode)
             end)
           planned;
         match !best with
         | None -> ()
-        | Some (i, est_out, _metric, has_equi) ->
+        | Some (i, est_out, _metric, mode) ->
           current_rows := Float.max 0.5 est_out;
           let unit_plan, unit_scope, _, _ = planned.(i) in
           let joined_scope = Array.append !current_scope unit_scope in
           let set_env = { catalog; scope = !current_scope; outer } in
           let unit_env = { catalog; scope = unit_scope; outer } in
           let joined_env = { catalog; scope = joined_scope; outer } in
-          if has_equi then begin
-            let equi, rest_multi =
-              List.partition
-                (fun c -> is_equi_between !current_members i c <> None)
-                !remaining_multi
-            in
-            remaining_multi := rest_multi;
-            let keys =
-              List.map
-                (fun c -> Option.get (is_equi_between !current_members i c))
-                equi
-            in
-            let left_keys = Array.of_list (List.map (fun (s, _) -> compile set_env s) keys) in
-            let right_keys = Array.of_list (List.map (fun (_, u) -> compile unit_env u) keys) in
-            current_plan :=
-              Plan.Hash_join
-                { left = !current_plan;
-                  right = maybe_exchange catalog ~outer unit_plan;
-                  left_keys; right_keys;
-                  cond = None; left_outer = false;
-                  right_arity = Array.length unit_scope }
-          end
-          else
-            current_plan :=
-              Plan.Nested_loop_join
-                { left = !current_plan; right = unit_plan; cond = None;
-                  left_outer = false; right_arity = Array.length unit_scope };
+          (match mode with
+           | `Structural sm ->
+             remaining_multi :=
+               List.filter (fun c -> not (List.memq c sm.sm_used)) !remaining_multi;
+             (* the position's side carries the point stream; the other
+                side carries the (lo, hi) interval *)
+             let interval_on_left = sm.sm_pos_on_unit in
+             let ivl_env = if interval_on_left then set_env else unit_env in
+             let pos_env = if interval_on_left then unit_env else set_env in
+             current_plan :=
+               Plan.Structural_join
+                 { left = !current_plan;
+                   right = maybe_exchange catalog ~outer unit_plan;
+                   interval_on_left;
+                   left_doc = compile set_env sm.sm_doc_set;
+                   right_doc = compile unit_env sm.sm_doc_unit;
+                   lo = compile ivl_env sm.sm_lo;
+                   hi = compile ivl_env sm.sm_hi;
+                   pos = compile pos_env sm.sm_pos;
+                   lo_incl = sm.sm_lo_incl; hi_incl = sm.sm_hi_incl;
+                   cond = None;
+                   right_arity = Array.length unit_scope }
+           | `Hash ->
+             let equi, rest_multi =
+               List.partition
+                 (fun c -> is_equi_between !current_members i c <> None)
+                 !remaining_multi
+             in
+             remaining_multi := rest_multi;
+             let keys =
+               List.map
+                 (fun c -> Option.get (is_equi_between !current_members i c))
+                 equi
+             in
+             let left_keys = Array.of_list (List.map (fun (s, _) -> compile set_env s) keys) in
+             let right_keys = Array.of_list (List.map (fun (_, u) -> compile unit_env u) keys) in
+             current_plan :=
+               Plan.Hash_join
+                 { left = !current_plan;
+                   right = maybe_exchange catalog ~outer unit_plan;
+                   left_keys; right_keys;
+                   cond = None; left_outer = false;
+                   right_arity = Array.length unit_scope }
+           | `Nlj ->
+             current_plan :=
+               Plan.Nested_loop_join
+                 { left = !current_plan; right = unit_plan; cond = None;
+                   left_outer = false; right_arity = Array.length unit_scope });
           in_set.(i) <- true;
           current_members := i :: !current_members;
           current_scope := joined_scope;

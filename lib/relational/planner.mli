@@ -11,6 +11,12 @@
 
 exception Plan_error of string
 
+val structural_enabled : unit -> bool
+(** Whether the planner may pick the structural (interval containment)
+    merge join for [doc = doc AND lo (<|<=) pos (<|<=) hi] join shapes.
+    On by default; set [XOMATIQ_STRUCTURAL_JOIN=0] to fall back to
+    hash-join + filter (the E7 bench baseline). *)
+
 type planned = {
   plan : Plan.t;
   column_names : string list;  (** output column headers, in order *)

@@ -213,7 +213,10 @@ let normalize_query_text text =
    versa), exactly like the contains-strategy tag. *)
 let strategy_tag strategy =
   let s = match strategy with `Keyword_index -> "kw" | `Like_scan -> "like" in
-  Printf.sprintf "%s/j%d" s (Conc.Pool.jobs ())
+  (* the structural-join toggle changes the physical plan, so a cached
+     plan from one setting must not serve the other *)
+  Printf.sprintf "%s/j%d/sj%d" s (Conc.Pool.jobs ())
+    (if Rdb.Planner.structural_enabled () then 1 else 0)
 
 let catalog_version wh =
   Rdb.Catalog.version (Rdb.Database.catalog (Datahounds.Warehouse.db wh))

@@ -66,8 +66,64 @@ let add_from st clause = st.froms <- clause :: st.froms
 
 let add_conj st c = st.conjuncts <- c :: st.conjuncts
 
+(* ------------------------------------------------------------------ *)
+(* Path-id cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every structural step in a translation re-resolves its path pattern
+   with a full scan over [xml_path] ({!Datahounds.Shred.path_ids_matching}).
+   The matching id set only changes when documents are loaded or dropped —
+   and both bump the catalog version — so resolutions are memoized per
+   (database, catalog version, pattern). A stale entry simply fails the
+   version guard and is recomputed and replaced in place, exactly like the
+   engine's translated-plan cache. Process-global + mutex because the
+   stress tests translate from several domains at once. *)
+
+let path_cache_lock = Mutex.create ()
+
+(* (Database.id, rendered pattern) -> (catalog version, path_ids) *)
+let path_cache : (int * string, int * int list) Hashtbl.t = Hashtbl.create 64
+
+let path_cache_hits = Rdb.Obs.Counter.create ()
+let path_cache_misses = Rdb.Obs.Counter.create ()
+
+let path_locked f =
+  Mutex.lock path_cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock path_cache_lock) f
+
+let path_cache_stats () =
+  path_locked (fun () ->
+      ( Rdb.Obs.Counter.value path_cache_hits,
+        Rdb.Obs.Counter.value path_cache_misses ))
+
+let path_cache_clear () =
+  path_locked (fun () ->
+      Hashtbl.reset path_cache;
+      Rdb.Obs.Counter.reset path_cache_hits;
+      Rdb.Obs.Counter.reset path_cache_misses)
+
+let path_ids_cached db (pattern : Gxml.Path.t) =
+  let version = Rdb.Catalog.version (Rdb.Database.catalog db) in
+  let key = (Rdb.Database.id db, Gxml.Path.to_string pattern) in
+  let cached =
+    path_locked (fun () ->
+        match Hashtbl.find_opt path_cache key with
+        | Some (v, ids) when v = version ->
+          Rdb.Obs.Counter.incr path_cache_hits;
+          Some ids
+        | _ ->
+          Rdb.Obs.Counter.incr path_cache_misses;
+          None)
+  in
+  match cached with
+  | Some ids -> ids
+  | None ->
+    let ids = Datahounds.Shred.path_ids_matching db pattern in
+    path_locked (fun () -> Hashtbl.replace path_cache key (version, ids));
+    ids
+
 let path_id_condition st alias (absolute_path : Gxml.Path.t) =
-  match Datahounds.Shred.path_ids_matching st.db absolute_path with
+  match path_ids_cached st.db absolute_path with
   | [] ->
     st.empty <- true;
     "1 = 0"

@@ -47,3 +47,12 @@ val translate :
   ?contains_strategy:contains_strategy -> Rdb.Database.t -> Ast.t -> translation
 (** @raise Unsupported on untranslatable queries,
     @raise Ast.Invalid_query on invalid ones. *)
+
+val path_cache_stats : unit -> int * int
+(** [(hits, misses)] of the path-id resolution cache: path patterns are
+    resolved against [xml_path] once per (database, catalog version,
+    pattern) and memoized; loading or dropping documents bumps the
+    catalog version and self-invalidates the affected entries. *)
+
+val path_cache_clear : unit -> unit
+(** Drop all memoized path resolutions and reset {!path_cache_stats}. *)

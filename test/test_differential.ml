@@ -173,6 +173,140 @@ let run_jobs_determinism seed () =
     mix;
   D.Warehouse.close wh
 
+(* ---------------- structural join vs hash/NLJ baseline ----------------
+
+   The planner's structural (interval containment) merge join must be a
+   pure physical optimization: with XOMATIQ_STRUCTURAL_JOIN=0 the same
+   region predicates execute as hash join + filter, and the rendered
+   tables must be byte-identical — over random document trees, for both
+   contains() rewrites, and at jobs=1 vs jobs=4. *)
+
+let with_structural_join enabled f =
+  Unix.putenv "XOMATIQ_STRUCTURAL_JOIN" (if enabled then "1" else "0");
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "XOMATIQ_STRUCTURAL_JOIN" "")
+    f
+
+let structural_queries =
+  [ {|FOR $e IN document("c")/list
+WHERE contains($e//entry, "cdc6")
+RETURN $e//item|};
+    {|FOR $e IN document("c")/list
+WHERE $e//a = "alpha"
+RETURN $e//b|} ]
+
+let structural_join_prop =
+  let open QCheck.Gen in
+  let tag_gen = oneofl [ "a"; "b"; "item" ] in
+  let text_gen =
+    oneofl [ "cdc6"; "kinase cdc6"; "alpha"; "12"; "hello world" ]
+  in
+  let rec elem_gen depth =
+    let children =
+      if depth = 0 then text_gen >|= fun t -> [ Gxml.Tree.Text t ]
+      else
+        list_size (int_range 1 3)
+          (frequency
+             [ (1, text_gen >|= fun t -> Gxml.Tree.Text t);
+               (2, elem_gen (depth - 1) >|= fun e -> Gxml.Tree.Element e) ])
+    in
+    map2 (fun tag kids -> Gxml.Tree.element tag kids) tag_gen children
+  in
+  let doc_gen =
+    (* a document: <list> of <entry> subtrees holding random trees *)
+    list_size (int_range 1 3) (elem_gen 2) >|= fun entries ->
+    Gxml.Tree.element "list"
+      (List.map
+         (fun e ->
+           Gxml.Tree.Element
+             (Gxml.Tree.element "entry" [ Gxml.Tree.Element e ]))
+         entries)
+  in
+  let docs_gen = list_size (int_range 1 3) doc_gen in
+  QCheck.Test.make ~count:30
+    ~name:"structural join byte-identical to hash/NLJ baseline"
+    (QCheck.make docs_gen
+       ~print:(fun docs ->
+         String.concat "\n" (List.map Gxml.Printer.element_to_string docs)))
+    (fun docs ->
+      let wh = D.Warehouse.create () in
+      List.iteri
+        (fun i root ->
+          match
+            D.Warehouse.load_document ~validate:false wh ~collection:"c"
+              ~name:(Printf.sprintf "d%d" i)
+              (Gxml.Tree.document root)
+          with
+          | Ok () -> ()
+          | Error m -> QCheck.Test.fail_report m)
+        docs;
+      List.iter
+        (fun text ->
+          List.iter
+            (fun (slabel, strategy) ->
+              let table ~structural ~jobs =
+                with_structural_join structural (fun () ->
+                    with_forced_parallelism (fun () ->
+                        Conc.Pool.with_jobs jobs (fun () ->
+                            Xomatiq.Engine.result_to_table
+                              (Xomatiq.Engine.run_text
+                                 ~contains_strategy:strategy wh text))))
+              in
+              let baseline = table ~structural:false ~jobs:1 in
+              let seq = table ~structural:true ~jobs:1 in
+              let par = table ~structural:true ~jobs:4 in
+              if seq <> baseline then
+                QCheck.Test.fail_reportf
+                  "structural/%s differs from baseline on %s:\n%s\nvs\n%s"
+                  slabel text seq baseline;
+              if par <> seq then
+                QCheck.Test.fail_reportf
+                  "structural/%s jobs=4 differs from jobs=1 on %s:\n%s\nvs\n%s"
+                  slabel text par seq)
+            strategies)
+        structural_queries;
+      D.Warehouse.close wh;
+      true)
+
+(* The property above would pass vacuously if the planner never picked
+   the structural join; pin that it actually fires, on the random-tree
+   queries and on the paper's query mix. *)
+let run_structural_plan_chosen () =
+  let wh = D.Warehouse.create () in
+  List.iteri
+    (fun i root ->
+      match
+        D.Warehouse.load_document ~validate:false wh ~collection:"c"
+          ~name:(Printf.sprintf "d%d" i)
+          (Gxml.Tree.document root)
+      with
+      | Ok () -> ()
+      | Error m -> failwith m)
+    [ Gxml.Tree.element "list"
+        [ Gxml.Tree.Element
+            (Gxml.Tree.element "entry"
+               [ Gxml.Tree.Element
+                   (Gxml.Tree.element "item" [ Gxml.Tree.Text "cdc6" ]);
+                 Gxml.Tree.Element
+                   (Gxml.Tree.element "a" [ Gxml.Tree.Text "alpha" ]);
+                 Gxml.Tree.Element
+                   (Gxml.Tree.element "b" [ Gxml.Tree.Text "beta" ]) ]) ] ];
+  List.iter
+    (fun text ->
+      let plan = Xomatiq.Engine.explain wh (Xomatiq.Parser.parse text) in
+      check Alcotest.bool
+        (Printf.sprintf "plan uses StructuralJoin: %s" text)
+        true
+        (let len = String.length plan in
+         let pat = "StructuralJoin" in
+         let rec at i =
+           i + String.length pat <= len
+           && (String.sub plan i (String.length pat) = pat || at (i + 1))
+         in
+         at 0))
+    structural_queries;
+  D.Warehouse.close wh
+
 (* Data Hounds round-trip: a warehouse loaded through the parallel
    harvest path must be query-indistinguishable from a sequentially
    loaded one (the byte-level table comparison lives in
@@ -213,6 +347,10 @@ let () =
             run_contains_strategies;
           Alcotest.test_case "LIKE metacharacter escaping" `Quick
             run_like_escape_regression ] );
+      ( "structural-join",
+        QCheck_alcotest.to_alcotest structural_join_prop
+        :: [ Alcotest.test_case "planner picks StructuralJoin" `Quick
+               run_structural_plan_chosen ] );
       ( "jobs-determinism",
         [ Alcotest.test_case "seed 11, jobs=1 vs jobs=4" `Quick
             (run_jobs_determinism 11);

@@ -337,6 +337,33 @@ let test_index_range_plan () =
   check (list int) "range answers" [ 2; 4; 5 ]
     (ints_of db "SELECT id FROM people WHERE age > 50 ORDER BY id")
 
+(* A two-sided BETWEEN (or its >= / <= spelling) over an ordered B+tree
+   index must become ONE bounded range scan — both bounds inside the
+   IndexRange, no residual filter re-checking them. This is what the
+   structural containment predicates of the XML region encoding rely on. *)
+let test_index_range_between_plan () =
+  let db = fresh_db () in
+  setup_people db;
+  ignore (Rdb.Database.exec_exn db "CREATE INDEX people_age ON people (age)");
+  let explain sql =
+    match Rdb.Database.explain db sql with Ok p -> p | Error m -> fail m
+  in
+  let check_bounded label plan =
+    check bool (label ^ ": bounded range scan") true
+      (contains_sub plan "IndexRange people using people_age lo=(40) hi=(72)");
+    check bool (label ^ ": no residual bound filter") false
+      (contains_sub plan "Filter")
+  in
+  check_bounded "BETWEEN"
+    (explain "SELECT id FROM people WHERE age BETWEEN 40 AND 72");
+  check_bounded "two comparisons"
+    (explain "SELECT id FROM people WHERE age >= 40 AND age <= 72");
+  check (list int) "between answers" [ 3; 4; 5 ]
+    (ints_of db "SELECT id FROM people WHERE age BETWEEN 40 AND 72 ORDER BY id");
+  check (list int) "comparison answers" [ 3; 4; 5 ]
+    (ints_of db
+       "SELECT id FROM people WHERE age >= 40 AND age <= 72 ORDER BY id")
+
 let test_hash_index () =
   let db = fresh_db () in
   setup_people db;
@@ -510,6 +537,8 @@ let () =
       ("planner",
        [ Alcotest.test_case "index lookup" `Quick test_index_lookup_plan;
          Alcotest.test_case "index range" `Quick test_index_range_plan;
+         Alcotest.test_case "bounded BETWEEN range" `Quick
+           test_index_range_between_plan;
          Alcotest.test_case "hash index" `Quick test_hash_index;
          Alcotest.test_case "hash join" `Quick test_hash_join_plan ]);
       qsuite "planner-props" [ test_index_equivalence ];
