@@ -17,6 +17,9 @@
          processor as data grows (scale sweep with crossover)
      E8  claim: incremental update integrates changes exactly once
          (sync cost: unchanged vs mutated snapshots)
+     E8-throughput  the gRNA service layer: closed-loop concurrent TCP
+         clients over the query server, QPS + latency percentiles
+         sweeping client count x worker domains (BENCH_E8.json)
 
    Bechamel micro-benchmarks cover E1-E4, E6 and E8 at a fixed scale; the
    sweep tables for E5-E7 are printed afterwards. *)
@@ -779,6 +782,145 @@ let print_e7_structural () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* E8-throughput: the gRNA service layer under concurrent load         *)
+(* ------------------------------------------------------------------ *)
+
+(* Closed-loop multi-client benchmark against an in-process TCP server:
+   each client thread connects, then fires the Fig. 8/9/11 query mix
+   back to back for a fixed wall-clock window, recording per-request
+   latency. Sweeping client count x worker domains shows where the
+   service scales (pool-parallel execution) and where it serializes
+   (jobs=1: every session executes inline under the runtime lock). *)
+
+let e8t_duration =
+  match Sys.getenv_opt "XOMATIQ_BENCH_E8_SECS" with
+  | Some s -> (try float_of_string s with Failure _ -> 2.0)
+  | None -> if Sys.getenv_opt "XOMATIQ_BENCH_SMOKE" <> None then 0.5 else 2.0
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let e8t_cell port ~clients =
+  let texts = Array.of_list (List.map snd queries) in
+  let latencies = Array.make clients [] in
+  let counts = Array.make clients 0 in
+  let failures = Array.make clients None in
+  let stop_at = ref infinity in
+  let barrier = Atomic.make 0 in
+  let worker i () =
+    try
+      let c = Xserver.Client.connect ~retry_for_s:5. ~timeout_s:60. ~port () in
+      Fun.protect ~finally:(fun () -> Xserver.Client.close c) @@ fun () ->
+      (* warm up: plan-cache misses and connection setup stay out of the
+         measured window *)
+      Array.iter (fun q -> ignore (Xserver.Client.query c q)) texts;
+      Atomic.incr barrier;
+      while Atomic.get barrier < clients do Thread.yield () done;
+      let rec pump k =
+        if Unix.gettimeofday () < !stop_at then begin
+          let text = texts.(k mod Array.length texts) in
+          let t0 = Unix.gettimeofday () in
+          ignore (Xserver.Client.query c text);
+          latencies.(i) <- (Unix.gettimeofday () -. t0) :: latencies.(i);
+          counts.(i) <- counts.(i) + 1;
+          pump (k + 1)
+        end
+      in
+      pump i
+    with e -> failures.(i) <- Some (Printexc.to_string e)
+  in
+  (* the window opens once every client is connected and warm *)
+  let opener =
+    Thread.create
+      (fun () ->
+        while Atomic.get barrier < clients do Thread.yield () done;
+        stop_at := Unix.gettimeofday () +. e8t_duration)
+      ()
+  in
+  let threads = List.init clients (fun i -> Thread.create (worker i) ()) in
+  List.iter Thread.join threads;
+  Thread.join opener;
+  Array.iter
+    (function
+      | Some m -> failwith ("E8-throughput client failed: " ^ m)
+      | None -> ())
+    failures;
+  let samples =
+    Array.of_list (List.concat (Array.to_list latencies))
+  in
+  Array.sort compare samples;
+  let requests = Array.fold_left ( + ) 0 counts in
+  let qps = float_of_int requests /. e8t_duration in
+  (requests, qps, percentile samples 0.50, percentile samples 0.95,
+   percentile samples 0.99)
+
+let print_e8_throughput () =
+  let smoke = Sys.getenv_opt "XOMATIQ_BENCH_SMOKE" <> None in
+  let client_counts = if smoke then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let jobs_levels = if smoke then [ 2 ] else [ 1; 2; 4 ] in
+  let saved_jobs = Conc.Pool.jobs () in
+  print_newline ();
+  Printf.printf
+    "E8-throughput: concurrent TCP query service, closed-loop clients (%.1fs per cell)\n"
+    e8t_duration;
+  Printf.printf "%-6s %-8s %9s %9s %10s %10s %10s\n" "jobs" "clients"
+    "requests" "QPS" "p50 (ms)" "p95 (ms)" "p99 (ms)";
+  Printf.printf "%s\n" (String.make 68 '-');
+  let cfg = { Xserver.Server.default_config with host = "127.0.0.1"; port = 0 } in
+  let cells =
+    List.concat_map
+      (fun jobs ->
+        Conc.Pool.set_jobs jobs;
+        let server = Xserver.Server.start cfg warehouse in
+        let port = Xserver.Server.port server in
+        let rows =
+          List.map
+            (fun clients ->
+              let requests, qps, p50, p95, p99 = e8t_cell port ~clients in
+              Printf.printf "%-6d %-8d %9d %9.1f %10.3f %10.3f %10.3f\n%!"
+                jobs clients requests qps (ms p50) (ms p95) (ms p99);
+              (jobs, clients, requests, qps, p50, p95, p99))
+            client_counts
+        in
+        Xserver.Server.request_stop server;
+        Xserver.Server.wait server;
+        rows)
+      jobs_levels
+  in
+  Conc.Pool.set_jobs saved_jobs;
+  let cell_json (jobs, clients, requests, qps, p50, p95, p99) =
+    Printf.sprintf
+      "    { \"jobs\": %d, \"clients\": %d, \"requests\": %d, \"qps\": %.2f, \
+       \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f }"
+      jobs clients requests qps (ms p50) (ms p95) (ms p99)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"E8-throughput\",\n\
+      \  \"generated_by\": \"bench/main.ml\",\n\
+      \  \"scale\": %d,\n\
+      \  \"duration_seconds\": %.2f,\n\
+      \  \"workload\": [%s],\n\
+      \  \"cells\": [\n%s\n  ]\n}\n"
+      scale e8t_duration
+      (String.concat ", "
+         (List.map (fun (n, _) -> Printf.sprintf "%S" n) queries))
+      (String.concat ",\n" (List.map cell_json cells))
+  in
+  let path =
+    match Sys.getenv_opt "XOMATIQ_BENCH_E8_JSON" with
+    | Some p when String.trim p <> "" -> p
+    | _ -> "BENCH_E8.json"
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* CI smoke mode: skip bechamel and the large sweeps, run the E5 family
    once at whatever (small) scale the environment sets. *)
 let smoke = Sys.getenv_opt "XOMATIQ_BENCH_SMOKE" <> None
@@ -793,6 +935,7 @@ let () =
     (match String.lowercase_ascii (String.trim name) with
      | "e6-scaling" -> print_e6_scaling ()
      | "e7-structural" -> print_e7_structural ()
+     | "e8-throughput" -> print_e8_throughput ()
      | "e9" -> print_e9 ()
      | other -> failwith ("unknown XOMATIQ_BENCH_ONLY experiment: " ^ other))
   | None ->
@@ -804,6 +947,7 @@ let () =
     (* exercise the parallel scan/join/harvest paths even at smoke scale *)
     print_e6_scaling ();
     print_e7_structural ();
+    print_e8_throughput ();
     print_newline ();
     print_endline "Smoke OK."
   end
@@ -822,6 +966,7 @@ let () =
     print_e7 ();
     print_e7_structural ();
     print_e8 ();
+    print_e8_throughput ();
     print_e9 ();
     print_newline ();
     print_endline "Done. See EXPERIMENTS.md for the experiment index and expected shapes."

@@ -63,6 +63,23 @@ let jobs_arg =
 
 let apply_jobs jobs = Option.iter Conc.Pool.set_jobs jobs
 
+let metrics_json_arg =
+  let doc =
+    "Write a JSON snapshot of every registered runtime metric (plan-cache \
+     and path-cache counters, server counters, latency histograms) to \
+     $(docv) on exit."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+
+let dump_metrics_json = function
+  | None -> ()
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (Rdb.Obs.dump_json ());
+    output_char oc '\n';
+    close_out oc
+
 (* ---------------- commands ---------------- *)
 
 let harvest_cmd =
@@ -179,7 +196,7 @@ let dtd_cmd =
   Cmd.v (Cmd.info "dtd" ~doc) Term.(ret (const run $ db_arg $ coll_arg))
 
 let query_cmd =
-  let run db format from_file profile cache_stats jobs query_text =
+  let run db format from_file profile cache_stats jobs metrics_json query_text =
     apply_jobs jobs;
     with_warehouse db @@ fun wh ->
     let text =
@@ -214,8 +231,11 @@ let query_cmd =
           let hits, misses = Xomatiq.Engine.cache_stats () in
           Printf.printf "plan cache: %d hit(s), %d miss(es)\n" hits misses
         end;
+        dump_metrics_json metrics_json;
         `Ok ()
-      | exception Xomatiq.Engine.Query_error m -> `Error (false, m)
+      | exception Xomatiq.Engine.Query_error m ->
+        dump_metrics_json metrics_json;
+        `Error (false, m)
   in
   let format_arg =
     Arg.(value & opt string "table" & info [ "f"; "format" ]
@@ -240,7 +260,7 @@ let query_cmd =
   let doc = "Run a XomatiQ FLWR query against the warehouse." in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(ret (const run $ db_arg $ format_arg $ from_file_arg $ profile_arg
-               $ cache_stats_arg $ jobs_arg $ text_arg))
+               $ cache_stats_arg $ jobs_arg $ metrics_json_arg $ text_arg))
 
 let explain_cmd =
   let run db analyze jobs query_text =
@@ -353,14 +373,18 @@ let mirror_cmd =
 let documents_cmd =
   let run db collection =
     with_warehouse db @@ fun wh ->
-    List.iter print_endline (Datahounds.Warehouse.documents wh ~collection)
+    if List.mem collection (Datahounds.Warehouse.collections wh) then begin
+      List.iter print_endline (Datahounds.Warehouse.documents wh ~collection);
+      `Ok ()
+    end
+    else `Error (false, Printf.sprintf "no collection %S in the warehouse" collection)
   in
   let coll_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"COLLECTION"
            ~doc:"Collection name.")
   in
   let doc = "List the documents warehoused in a collection." in
-  Cmd.v (Cmd.info "documents" ~doc) Term.(const run $ db_arg $ coll_arg)
+  Cmd.v (Cmd.info "documents" ~doc) Term.(ret (const run $ db_arg $ coll_arg))
 
 let reconstruct_cmd =
   let run db collection name =
@@ -465,6 +489,13 @@ let shell_cmd =
     apply_jobs jobs;
     with_warehouse db @@ fun wh ->
     let format = ref "table" in
+    (* Errors go to stderr so piped output stays clean, and any failed
+       statement makes a non-interactive (scripted) shell exit non-zero. *)
+    let had_error = ref false in
+    let report_error m =
+      had_error := true;
+      Printf.eprintf "error: %s\n%!" m
+    in
     let print_result result =
       match !format with
       | "xml" ->
@@ -489,7 +520,7 @@ let shell_cmd =
     let run_query text =
       match Xomatiq.Engine.run_text wh text with
       | result -> print_result result
-      | exception Xomatiq.Engine.Query_error m -> Printf.printf "error: %s\n" m
+      | exception Xomatiq.Engine.Query_error m -> report_error m
     in
     let run_sql text =
       match Rdb.Database.exec (Datahounds.Warehouse.db wh) text with
@@ -500,14 +531,14 @@ let shell_cmd =
       | Ok (Rdb.Database.Affected n) -> Printf.printf "%d row(s) affected\n" n
       | Ok (Rdb.Database.Explained p) -> print_string p
       | Ok (Rdb.Database.Done m) -> print_endline m
-      | Error m -> Printf.printf "error: %s\n" m
+      | Error m -> report_error m
     in
     let run_explain text =
       match Xomatiq.Parser.parse text with
       | q ->
         (try print_endline (Xomatiq.Engine.explain wh q)
-         with Xomatiq.Engine.Query_error m -> Printf.printf "error: %s\n" m)
-      | exception e -> Printf.printf "error: %s\n" (Xomatiq.Parser.error_to_string e)
+         with Xomatiq.Engine.Query_error m -> report_error m)
+      | exception e -> report_error (Xomatiq.Parser.error_to_string e)
     in
     help ();
     let buffer = Buffer.create 256 in
@@ -533,7 +564,7 @@ let shell_cmd =
           | ":dtd" :: name :: _ ->
             (match Datahounds.Warehouse.dtd_of wh ~collection:name with
              | Some dtd -> print_string (dtd_tree dtd)
-             | None -> Printf.printf "no DTD for %S\n" name)
+             | None -> report_error (Printf.sprintf "no DTD for %S" name))
           | ":format" :: f :: _ ->
             if f = "table" || f = "xml" then format := f
             else print_endline "format is 'table' or 'xml'"
@@ -573,10 +604,231 @@ let shell_cmd =
          | _ -> ());
         if !continue_loop then loop ()
     in
-    loop ()
+    loop ();
+    if !had_error && not (Unix.isatty Unix.stdin) then
+      `Error (false, "one or more statements failed")
+    else `Ok ()
   in
   let doc = "Interactive query shell over a warehouse ('; ' terminates queries)." in
-  Cmd.v (Cmd.info "shell" ~doc) Term.(const run $ db_arg $ jobs_arg)
+  Cmd.v (Cmd.info "shell" ~doc) Term.(ret (const run $ db_arg $ jobs_arg))
+
+(* ---------------- the gRNA service layer ---------------- *)
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+         ~doc:"Address to bind/connect to.")
+
+let port_arg ~default ~doc =
+  Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let run db host port max_clients queue_depth query_timeout idle_timeout
+      write_timeout jobs metrics_json =
+    apply_jobs jobs;
+    if max_clients < 1 then `Error (true, "--max-clients must be >= 1")
+    else if queue_depth < 0 then `Error (true, "--queue-depth must be >= 0")
+    else begin
+      with_warehouse db @@ fun wh ->
+      let cfg =
+        { Xserver.Server.default_config with
+          host; port; max_clients; queue_depth;
+          query_timeout_s = query_timeout; idle_timeout_s = idle_timeout;
+          write_timeout_s = write_timeout }
+      in
+      (match Xserver.Server.run cfg wh with
+       | () ->
+         dump_metrics_json metrics_json;
+         `Ok ()
+       | exception Unix.Unix_error (e, _, _) ->
+         `Error (false, Printf.sprintf "cannot serve on %s:%d: %s" host port
+                   (Unix.error_message e)))
+    end
+  in
+  let max_clients_arg =
+    Arg.(value & opt int 32 & info [ "max-clients" ] ~docv:"N"
+           ~doc:"Concurrent admitted sessions; more connections wait or are shed.")
+  in
+  let queue_depth_arg =
+    Arg.(value & opt int 16 & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"Connections allowed to wait for a session slot before the \
+                 server sheds with SERVER_BUSY.")
+  in
+  let query_timeout_arg =
+    Arg.(value & opt (some float) None & info [ "query-timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-query wall-clock budget; an overrunning query is \
+                 canceled at the next operator boundary and answered with a \
+                 typed TIMEOUT error (the connection stays usable).")
+  in
+  let idle_timeout_arg =
+    Arg.(value & opt (some float) None & info [ "idle-timeout" ] ~docv:"SECONDS"
+           ~doc:"Reap connections idle this long.")
+  in
+  let write_timeout_arg =
+    Arg.(value & opt float 10. & info [ "write-timeout" ] ~docv:"SECONDS"
+           ~doc:"Disconnect a client that cannot absorb a response chunk \
+                 within this long (slow-client protection).")
+  in
+  let doc =
+    "Serve the warehouse over TCP (queries, SQL, EXPLAIN, metrics) with \
+     admission control, per-query timeouts and graceful SIGTERM drain."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(ret (const run $ db_arg $ host_arg
+               $ port_arg ~default:7788 ~doc:"Port to listen on (0 = ephemeral)."
+               $ max_clients_arg $ queue_depth_arg $ query_timeout_arg
+               $ idle_timeout_arg $ write_timeout_arg $ jobs_arg
+               $ metrics_json_arg))
+
+(* Crude but dependency-free: pull one "name": <int> out of a metrics
+   JSON snapshot (names are unique — Obs renders a flat object per kind). *)
+let metric_of_json json name =
+  let needle = "\"" ^ name ^ "\": " in
+  let nlen = String.length needle and jlen = String.length json in
+  let rec find i =
+    if i + nlen > jlen then None
+    else if String.sub json i nlen = needle then begin
+      let s = i + nlen in
+      let e = ref s in
+      while
+        !e < jlen && (match json.[!e] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr e
+      done;
+      int_of_string_opt (String.sub json s (!e - s))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let connect_cmd =
+  let run host port =
+    match Xserver.Client.connect ~host ~port () with
+    | exception Unix.Unix_error (e, _, _) ->
+      `Error (false, Printf.sprintf "cannot connect to %s:%d: %s" host port
+                (Unix.error_message e))
+    | exception Xserver.Client.Server_error (code, m) ->
+      `Error (false, Printf.sprintf "[%s] %s" code m)
+    | c ->
+      let had_error = ref false in
+      let report_error m =
+        had_error := true;
+        Printf.eprintf "error: %s\n%!" m
+      in
+      let help () =
+        print_string
+          "Enter a FLWR query terminated by ';'. Commands:\n\
+          \  :sql STATEMENT;       run raw SQL on the server\n\
+          \  :explain QUERY;       show translation + physical plan\n\
+          \  :analyze QUERY;       EXPLAIN ANALYZE (executes the query)\n\
+          \  :format table|xml     choose result rendering (session)\n\
+          \  :strategy keyword|like  contains() rewrite strategy (session)\n\
+          \  :jobs [N|default]     show or set the worker-domain count\n\
+          \  :cache                translated-plan cache hit/miss counters\n\
+          \  :metrics              full server metrics snapshot (JSON)\n\
+          \  :ping                 round-trip liveness probe\n\
+          \  :quit                 leave\n"
+      in
+      let guard f =
+        match f () with
+        | () -> ()
+        | exception Xserver.Client.Server_error (code, m) ->
+          report_error (Printf.sprintf "[%s] %s" code m)
+      in
+      let set name value =
+        guard (fun () ->
+            print_endline (Xserver.Client.set_option c ~name ~value))
+      in
+      let run_query text =
+        guard (fun () ->
+            let body, s = Xserver.Client.query c text in
+            print_string body;
+            Printf.eprintf "(%d row(s), %.1f ms%s)\n%!" s.Xserver.Protocol.sum_rows
+              s.Xserver.Protocol.sum_exec_ms
+              (if s.Xserver.Protocol.sum_cached then ", plan cache hit" else ""))
+      in
+      let run_sql text =
+        guard (fun () -> print_string (fst (Xserver.Client.sql c text)))
+      in
+      let run_explain ~analyze text =
+        guard (fun () -> print_string (Xserver.Client.explain ~analyze c text))
+      in
+      help ();
+      let buffer = Buffer.create 256 in
+      let rec loop () =
+        if Buffer.length buffer = 0 then print_string "xomatiq@remote> "
+        else print_string "            -> ";
+        flush stdout;
+        match input_line stdin with
+        | exception End_of_file -> ()
+        | line ->
+          let trimmed = String.trim line in
+          let continue_loop = ref true in
+          if Buffer.length buffer = 0 && String.length trimmed > 0
+             && trimmed.[0] = ':'
+             && (match String.split_on_char ' ' trimmed with
+                 | cmd :: _ -> cmd <> ":sql" && cmd <> ":explain" && cmd <> ":analyze"
+                 | [] -> true)
+          then begin
+            match String.split_on_char ' ' trimmed with
+            | ":quit" :: _ | ":q" :: _ -> continue_loop := false
+            | ":help" :: _ -> help ()
+            | ":format" :: f :: _ -> set "format" f
+            | ":strategy" :: s :: _ -> set "strategy" s
+            | [ ":jobs" ] -> set "jobs" ""
+            | ":jobs" :: n :: _ -> set "jobs" n
+            | ":ping" :: _ ->
+              guard (fun () -> ignore (Xserver.Client.ping c "ping"); print_endline "pong")
+            | ":metrics" :: _ ->
+              guard (fun () -> print_endline (Xserver.Client.metrics c))
+            | ":cache" :: _ ->
+              guard (fun () ->
+                  let json = Xserver.Client.metrics c in
+                  let v n = Option.value ~default:0 (metric_of_json json n) in
+                  Printf.printf "plan cache: %d hit(s), %d miss(es)\n"
+                    (v "engine.plan_cache.hits") (v "engine.plan_cache.misses"))
+            | _ -> print_endline "unknown command; :help lists them"
+          end
+          else begin
+            Buffer.add_string buffer line;
+            Buffer.add_char buffer '\n'
+          end;
+          let text = Buffer.contents buffer in
+          (match String.index_opt text ';' with
+           | Some i when !continue_loop ->
+             let stmt = String.trim (String.sub text 0 i) in
+             Buffer.clear buffer;
+             if stmt <> "" then begin
+               if String.length stmt > 4 && String.sub stmt 0 4 = ":sql" then
+                 run_sql (String.trim (String.sub stmt 4 (String.length stmt - 4)))
+               else if String.length stmt > 8 && String.sub stmt 0 8 = ":analyze" then
+                 run_explain ~analyze:true
+                   (String.trim (String.sub stmt 8 (String.length stmt - 8)))
+               else if String.length stmt > 8 && String.sub stmt 0 8 = ":explain" then
+                 run_explain ~analyze:false
+                   (String.trim (String.sub stmt 8 (String.length stmt - 8)))
+               else run_query stmt
+             end
+           | _ -> ());
+          if !continue_loop then loop ()
+      in
+      let outcome =
+        match loop () with
+        | () -> `Ok ()
+        | exception (Xserver.Protocol.Closed | Unix.Unix_error (Unix.EPIPE, _, _)) ->
+          `Error (false, "server closed the connection")
+        | exception Xserver.Protocol.Proto_error m ->
+          `Error (false, "protocol error: " ^ m)
+      in
+      Xserver.Client.close c;
+      match outcome with
+      | `Ok () when !had_error && not (Unix.isatty Unix.stdin) ->
+        `Error (false, "one or more statements failed")
+      | o -> o
+  in
+  let doc = "Interactive remote shell against a running $(b,xomatiq serve)." in
+  Cmd.v (Cmd.info "connect" ~doc)
+    Term.(ret (const run $ host_arg
+               $ port_arg ~default:7788 ~doc:"Server port to connect to."))
 
 let () =
   let doc = "warehouse and query biological data the XomatiQ way" in
@@ -585,4 +837,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; harvest_cmd; sync_cmd; mirror_cmd; collections_cmd; documents_cmd;
-            reconstruct_cmd; dtd_cmd; query_cmd; explain_cmd; sql_cmd; stats_cmd; shell_cmd ]))
+            reconstruct_cmd; dtd_cmd; query_cmd; explain_cmd; sql_cmd; stats_cmd;
+            shell_cmd; serve_cmd; connect_cmd ]))

@@ -111,6 +111,22 @@ let rec await t fut =
        Mutex.unlock fut.f_lock;
        await t fut)
 
+let poll fut =
+  match fut.f_state with Pending -> false | Done _ | Failed _ -> true
+
+(* Server sessions park here instead of [await]: a session thread must
+   keep watching its socket (deadlines, CANCEL frames) and must not pick
+   up arbitrary queued query work, so it waits on the future's condition
+   variable without helping. *)
+let await_blocking fut =
+  Mutex.lock fut.f_lock;
+  while fut.f_state = Pending do Condition.wait fut.f_cond fut.f_lock done;
+  Mutex.unlock fut.f_lock;
+  match fut.f_state with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
 let parallel_map t f xs =
   if t.total <= 1 then List.map f xs
   else begin

@@ -38,6 +38,19 @@ val await : t -> 'a future -> 'a
     waiting. Re-raises the task's exception (with its backtrace) if it
     failed. *)
 
+val poll : 'a future -> bool
+(** True once the future is resolved (with a value or an exception);
+    never blocks. The query server's session loop polls between socket
+    [select]s so it can watch for CANCEL frames and deadlines while its
+    query runs on the pool. *)
+
+val await_blocking : 'a future -> 'a
+(** Like {!await} but without helping: waits on the future's condition
+    variable only. For callers that must stay responsive to their own
+    events (server session threads) rather than pick up queued work —
+    note that a pool of size 1 resolves futures inline at {!submit}
+    time, so this never deadlocks there. *)
+
 val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Apply [f] to every element across the pool; results are returned in
     input order. The first exception (by input order) is re-raised.

@@ -1,0 +1,41 @@
+exception Canceled of string * string
+
+let timeout_code = "TIMEOUT"
+let canceled_code = "CANCELED"
+
+type t = {
+  deadline : float;  (* absolute Obs.now_s seconds; infinity = none *)
+  fired : (string * string) option Atomic.t;
+  mutable ticks : int;
+      (* throttles the deadline clock: racy across domains by design —
+         a lost increment only delays one clock check *)
+}
+
+let create ?(deadline = infinity) () =
+  { deadline; fired = Atomic.make None; ticks = 0 }
+
+let cancel ?(code = canceled_code) t message =
+  ignore (Atomic.compare_and_set t.fired None (Some (code, message)))
+
+let deadline_passed t = t.deadline < infinity && Obs.now_s () > t.deadline
+
+let status t = Atomic.get t.fired
+
+let fire_timeout t =
+  cancel ~code:timeout_code t
+    (Printf.sprintf "query exceeded its time budget (deadline %.3fs ago)"
+       (Obs.now_s () -. t.deadline))
+
+let check t =
+  (match Atomic.get t.fired with
+   | Some (code, message) -> raise (Canceled (code, message))
+   | None -> ());
+  if t.deadline < infinity then begin
+    t.ticks <- t.ticks + 1;
+    if t.ticks land 63 = 0 && deadline_passed t then begin
+      fire_timeout t;
+      match Atomic.get t.fired with
+      | Some (code, message) -> raise (Canceled (code, message))
+      | None -> ()
+    end
+  end

@@ -650,5 +650,6 @@ let explain_analyze t sql =
 
 let plan_select t sel = Planner.plan_select t.cat sel
 
-let run_planned t ?obs (planned : Planner.planned) =
-  (planned.column_names, List.of_seq (Executor.run t.cat ?obs planned.plan))
+let run_planned t ?obs ?cancel (planned : Planner.planned) =
+  (planned.column_names,
+   List.of_seq (Executor.run t.cat ?obs ?cancel planned.plan))

@@ -78,6 +78,11 @@ val plan_select : t -> Sql_ast.select -> Planner.planned
 (** Plan without executing (used by tests and the XQ2SQL layer). *)
 
 val run_planned :
-  t -> ?obs:Obs.profile -> Planner.planned -> string list * Value.t array list
+  t -> ?obs:Obs.profile -> ?cancel:Cancel.t -> Planner.planned ->
+  string list * Value.t array list
 (** Execute a pre-planned SELECT; [obs] (built from the same plan)
-    collects per-operator statistics during execution. *)
+    collects per-operator statistics during execution. [cancel] aborts
+    execution cooperatively at the next operator boundary once fired
+    (see {!Cancel}); the query server uses it for per-query wall-clock
+    timeouts and client CANCEL requests.
+    @raise Cancel.Canceled when [cancel] fires mid-execution. *)

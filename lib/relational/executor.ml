@@ -6,6 +6,7 @@ type ctx = {
   catalog : Catalog.t;
   params : Value.t array;
   obs : Obs.profile option;   (* per-operator stats, when profiling *)
+  cancel : Cancel.t option;   (* cooperative per-query cancellation *)
 }
 
 module Key = struct
@@ -348,16 +349,35 @@ and scan_table ctx name =
   | Some t -> t
   | None -> error "no such table %S" name
 
+(* Check the query's cancellation token at every operator boundary: each
+   step of every operator's output sequence consults the token, so a
+   fired token (timeout, client CANCEL) aborts within one row pull even
+   deep inside a blocking sort/aggregate/hash-build that is draining its
+   input. *)
+and guarded token seq =
+  let rec go seq () =
+    Cancel.check token;
+    match seq () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (x, rest) -> Seq.Cons (x, go rest)
+  in
+  go seq
+
 (* Attach the operator's stats slot (if profiling) so rows and wall time
    are charged as the sequence is pulled; probe/build counts are recorded
    inside [run_plan_raw] where the events happen. *)
 and run_plan ctx (plan : Plan.t) : Value.t array Seq.t =
-  match ctx.obs with
-  | None -> run_plan_raw ctx None plan
-  | Some profile ->
-    (match Obs.find profile plan with
-     | None -> run_plan_raw ctx None plan
-     | Some st -> Obs.observed st (run_plan_raw ctx (Some st) plan))
+  let rows =
+    match ctx.obs with
+    | None -> run_plan_raw ctx None plan
+    | Some profile ->
+      (match Obs.find profile plan with
+       | None -> run_plan_raw ctx None plan
+       | Some st -> Obs.observed st (run_plan_raw ctx (Some st) plan))
+  in
+  match ctx.cancel with
+  | None -> rows
+  | Some token -> guarded token rows
 
 and run_plan_raw ctx st (plan : Plan.t) : Value.t array Seq.t =
   match plan with
@@ -998,7 +1018,8 @@ and run_aggregate ctx group_by aggs input =
     Seq.return (Array.map (fun spec -> finish spec (make_acc spec)) aggs)
   else List.to_seq (List.map emit keys_in_order)
 
-let run catalog ?(params = [||]) ?obs plan = run_plan { catalog; params; obs } plan
+let run catalog ?(params = [||]) ?obs ?cancel plan =
+  run_plan { catalog; params; obs; cancel } plan
 
 let eval_expr catalog ?(params = [||]) row e =
-  eval { catalog; params; obs = None } row e
+  eval { catalog; params; obs = None; cancel = None } row e

@@ -7,15 +7,19 @@
 exception Runtime_error of string
 
 val run :
-  Catalog.t -> ?params:Value.t array -> ?obs:Obs.profile -> Plan.t ->
-  Value.t array Seq.t
+  Catalog.t -> ?params:Value.t array -> ?obs:Obs.profile ->
+  ?cancel:Cancel.t -> Plan.t -> Value.t array Seq.t
 (** Evaluate a plan. [params] fills [CParam] slots of correlated
     subplans (the top level normally passes none). [obs], built with
     {!Obs.create} from the same physical plan, charges each operator
     with rows, probes, hash-build sizes and wall time as the result is
-    consumed.
+    consumed. [cancel] is consulted at every operator boundary: once the
+    token fires (timeout or explicit cancel) the next row pull raises
+    {!Cancel.Canceled}, including inside [Exchange] partitions running
+    on other domains.
     @raise Runtime_error on evaluation failures (unknown table at run
-    time, bad function arity, etc.). *)
+    time, bad function arity, etc.).
+    @raise Cancel.Canceled when [cancel] fires mid-execution. *)
 
 val eval_expr :
   Catalog.t -> ?params:Value.t array -> Value.t array -> Plan.cexpr -> Value.t

@@ -120,7 +120,96 @@ module Histogram = struct
       Printf.sprintf "n=%d p50<=%.3fms p95<=%.3fms max=%.3fms" n
         (quantile t 0.5 *. 1000.) (quantile t 0.95 *. 1000.) (max_s *. 1000.)
     end
+
+  let max_s t =
+    Mutex.lock t.lock;
+    let v = t.max_s in
+    Mutex.unlock t.lock;
+    v
 end
+
+(* ------------------------------------------------------------------ *)
+(* Metric registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type metric =
+  | MCounter of Counter.t
+  | MTimer of Timer.t
+  | MHistogram of Histogram.t
+  | MGauge of (unit -> int)
+
+let registry_lock = Mutex.create ()
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
+
+let register name metric =
+  Mutex.lock registry_lock;
+  Hashtbl.replace registry name metric;
+  Mutex.unlock registry_lock
+
+let register_counter name c = register name (MCounter c)
+let register_timer name t = register name (MTimer t)
+let register_histogram name h = register name (MHistogram h)
+let register_gauge name f = register name (MGauge f)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let dump_json () =
+  Mutex.lock registry_lock;
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  let section pred render =
+    entries
+    |> List.filter_map (fun (name, m) ->
+        match pred m with
+        | Some payload ->
+          Some (Printf.sprintf "\"%s\": %s" (json_escape name) (render payload))
+        | None -> None)
+    |> String.concat ", "
+  in
+  let counters =
+    section (function MCounter c -> Some (Counter.value c) | _ -> None)
+      string_of_int
+  in
+  let gauges =
+    section
+      (function
+        | MGauge f -> Some (try f () with _ -> 0)
+        | _ -> None)
+      string_of_int
+  in
+  let timers =
+    section (function MTimer t -> Some t | _ -> None) (fun t ->
+        Printf.sprintf "{\"total_ms\": %.3f, \"samples\": %d}" (Timer.total_ms t)
+          (Timer.samples t))
+  in
+  let histograms =
+    section (function MHistogram h -> Some h | _ -> None) (fun h ->
+        Printf.sprintf
+          "{\"count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": \
+           %.3f, \"max_ms\": %.3f}"
+          (Histogram.count h)
+          (Histogram.quantile h 0.5 *. 1000.)
+          (Histogram.quantile h 0.95 *. 1000.)
+          (Histogram.quantile h 0.99 *. 1000.)
+          (Histogram.max_s h *. 1000.))
+  in
+  Printf.sprintf
+    "{\"counters\": {%s}, \"gauges\": {%s}, \"timers\": {%s}, \"histograms\": \
+     {%s}}"
+    counters gauges timers histograms
 
 (* ------------------------------------------------------------------ *)
 (* Plan profiling                                                      *)

@@ -55,7 +55,39 @@ module Histogram : sig
 
   val to_string : t -> string
   (** Compact one-line rendering: [count, p50, p95, max bucket]. *)
+
+  val max_s : t -> float
+  (** Largest duration observed, in seconds; 0 when empty. *)
 end
+
+(** {2 Metric registry}
+
+    Process-wide named metrics. Long-lived subsystems (the plan cache,
+    the path-resolution cache, the query server) register their
+    counters/timers/histograms under dotted names once at start-up;
+    {!dump_json} then renders every registered metric as one JSON
+    snapshot — the payload of the server's METRICS request and of the
+    CLI's [--metrics-json] flag. Registration is idempotent per name
+    (last registration wins) and domain-safe. *)
+
+val register_counter : string -> Counter.t -> unit
+val register_timer : string -> Timer.t -> unit
+val register_histogram : string -> Histogram.t -> unit
+
+val register_gauge : string -> (unit -> int) -> unit
+(** A read-through metric: the thunk is sampled at dump time. *)
+
+val dump_json : unit -> string
+(** All registered metrics as a JSON object with one section per metric
+    kind, names sorted, e.g.
+    {v
+    { "counters": { "server.accepted": 12, ... },
+      "gauges": { "engine.plan_cache.hits": 40, ... },
+      "timers": { "name": { "total_ms": 8.1, "samples": 3 }, ... },
+      "histograms": { "server.query_latency":
+        { "count": 52, "p50_ms": 1.0, "p95_ms": 4.1, "p99_ms": 8.2,
+          "max_ms": 7.9 }, ... } }
+    v} *)
 
 (** {2 Plan profiling} *)
 

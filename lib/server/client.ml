@@ -1,0 +1,115 @@
+module P = Protocol
+
+type t = {
+  sock : Unix.file_descr;
+  timeout_s : float;
+  mutable closed : bool;
+}
+
+exception Server_error of string * string
+
+let deadline t = Rdb.Obs.now_s () +. t.timeout_s
+
+let send_raw t tag payload =
+  P.write_frame ~deadline:(deadline t) t.sock tag payload
+
+let read_raw t = P.read_frame ~deadline:(deadline t) t.sock
+
+let fd t = t.sock
+
+(* Read the next frame, raising on a typed error frame. *)
+let read_checked t =
+  let tag, payload = read_raw t in
+  if tag = P.tag_error then begin
+    let code, message = P.parse_error_payload payload in
+    raise (Server_error (code, message))
+  end;
+  (tag, payload)
+
+let expect t wanted what =
+  let tag, payload = read_checked t in
+  if tag <> wanted then
+    raise (P.Proto_error (Printf.sprintf "expected %s, got tag %C" what tag));
+  payload
+
+let connect ?(host = "127.0.0.1") ?(timeout_s = 10.) ?(retry_for_s = 0.)
+    ~port () =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let give_up = Rdb.Obs.now_s () +. retry_for_s in
+  let rec attempt () =
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect sock (Unix.ADDR_INET (addr, port)) with
+    | () -> sock
+    | exception
+        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENETUNREACH), _, _)
+      when Rdb.Obs.now_s () < give_up ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Thread.delay 0.05;
+      attempt ()
+    | exception e ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      raise e
+  in
+  let sock = attempt () in
+  Unix.set_nonblock sock;
+  (try Unix.setsockopt sock Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> ());
+  let t = { sock; timeout_s; closed = false } in
+  (try
+     send_raw t P.tag_hello P.version;
+     ignore (expect t P.tag_welcome "WELCOME")
+   with e ->
+     t.closed <- true;
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  t
+
+(* Collect R chunks until the D trailer. *)
+let run_streaming t tag text =
+  send_raw t tag text;
+  let buf = Buffer.create 1024 in
+  let rec collect () =
+    let tag, payload = read_checked t in
+    if tag = P.tag_rows then begin
+      Buffer.add_string buf payload;
+      collect ()
+    end
+    else if tag = P.tag_done then P.parse_done_payload payload
+    else
+      raise
+        (P.Proto_error (Printf.sprintf "unexpected tag %C in result stream" tag))
+  in
+  let summary = collect () in
+  (Buffer.contents buf, summary)
+
+let query t text = run_streaming t P.tag_query text
+let sql t text = run_streaming t P.tag_sql text
+
+let explain ?(analyze = false) t text =
+  let tag = if analyze then P.tag_analyze else P.tag_explain in
+  fst (run_streaming t tag text)
+
+let ping t payload =
+  send_raw t P.tag_ping payload;
+  expect t P.tag_ok "OK"
+
+let metrics t =
+  send_raw t P.tag_metrics "";
+  expect t P.tag_metrics_reply "METRICS"
+
+let set_option t ~name ~value =
+  send_raw t P.tag_set (if value = "" then name else name ^ " " ^ value);
+  expect t P.tag_ok "OK"
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try
+       send_raw t P.tag_bye "";
+       ignore (read_raw t)
+     with _ -> ());
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end

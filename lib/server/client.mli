@@ -1,0 +1,59 @@
+(** Client library for the gRNA query server.
+
+    One [t] is one connection with its own server-side session; it is
+    not thread-safe — give each client thread its own connection (the
+    differential tests and the E8 bench do exactly that).
+
+    Every call is synchronous: it sends one request frame and reads
+    frames until the matching terminal frame arrives. A typed error
+    frame raises {!Server_error} with the wire code (["TIMEOUT"],
+    ["SERVER_BUSY"], ["QUERY_ERROR"], ...) — the connection remains
+    usable afterwards unless the code was a connection-level one. *)
+
+type t
+
+exception Server_error of string * string
+(** [(code, message)] from an error frame — see [Protocol.err_*]. *)
+
+val connect :
+  ?host:string -> ?timeout_s:float -> ?retry_for_s:float -> port:int ->
+  unit -> t
+(** TCP connect + HELLO/WELCOME handshake. [timeout_s] (default 10)
+    bounds each I/O step; [retry_for_s] (default 0) keeps retrying a
+    refused connection for that long — handy while a freshly spawned
+    server is still binding.
+    @raise Server_error when the server rejects the handshake (e.g.
+    [SERVER_BUSY]).
+    @raise Unix.Unix_error when the server cannot be reached. *)
+
+val query : t -> string -> string * Protocol.summary
+(** Run a FLWR query; returns the rendered result body (all row chunks
+    concatenated) and the summary trailer. *)
+
+val sql : t -> string -> string * Protocol.summary
+(** Run one SQL statement. *)
+
+val explain : ?analyze:bool -> t -> string -> string
+(** EXPLAIN (or EXPLAIN ANALYZE) a FLWR query. *)
+
+val ping : t -> string -> string
+(** Echo probe; returns the server's payload. *)
+
+val metrics : t -> string
+(** The server's metrics snapshot (JSON). *)
+
+val set_option : t -> name:string -> value:string -> string
+(** Set a session option ([strategy] / [format] / [jobs]); returns the
+    acknowledgement. *)
+
+val close : t -> unit
+(** Orderly BYE (best effort) + socket close. Idempotent. *)
+
+(** {2 Raw frame access}
+
+    For tests that need to step outside the request/response discipline
+    (mid-query CANCEL, malformed frames, half-close). *)
+
+val send_raw : t -> char -> string -> unit
+val read_raw : t -> char * string
+val fd : t -> Unix.file_descr

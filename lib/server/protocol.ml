@@ -1,0 +1,181 @@
+let version = "xomatiq/1"
+let max_frame_default = 16 * 1024 * 1024
+
+let tag_hello = 'H'
+let tag_query = 'Q'
+let tag_sql = 'S'
+let tag_explain = 'E'
+let tag_analyze = 'A'
+let tag_ping = 'P'
+let tag_metrics = 'M'
+let tag_cancel = 'C'
+let tag_set = 'T'
+let tag_bye = 'B'
+let tag_welcome = 'W'
+let tag_rows = 'R'
+let tag_done = 'D'
+let tag_ok = 'O'
+let tag_metrics_reply = 'm'
+let tag_error = 'X'
+
+let err_busy = "SERVER_BUSY"
+let err_timeout = "TIMEOUT"
+let err_canceled = "CANCELED"
+let err_query = "QUERY_ERROR"
+let err_proto = "PROTO_ERROR"
+let err_shutdown = "SHUTTING_DOWN"
+let err_idle = "IDLE_TIMEOUT"
+let err_internal = "INTERNAL_ERROR"
+
+let error_payload ~code message = code ^ " " ^ message
+
+let split_first_space s =
+  match String.index_opt s ' ' with
+  | Some i ->
+    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> (s, "")
+
+let parse_error_payload = split_first_space
+
+type summary = {
+  sum_rows : int;
+  sum_exec_ms : float;
+  sum_cached : bool;
+}
+
+let done_payload s =
+  Printf.sprintf "rows=%d exec_ms=%.3f cache_hit=%d" s.sum_rows s.sum_exec_ms
+    (if s.sum_cached then 1 else 0)
+
+let parse_done_payload payload =
+  let s = ref { sum_rows = 0; sum_exec_ms = 0.; sum_cached = false } in
+  List.iter
+    (fun kv ->
+      match String.index_opt kv '=' with
+      | None -> ()
+      | Some i ->
+        let k = String.sub kv 0 i
+        and v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        (match k with
+         | "rows" ->
+           Option.iter (fun n -> s := { !s with sum_rows = n })
+             (int_of_string_opt v)
+         | "exec_ms" ->
+           Option.iter (fun f -> s := { !s with sum_exec_ms = f })
+             (float_of_string_opt v)
+         | "cache_hit" -> s := { !s with sum_cached = v = "1" }
+         | _ -> ()))
+    (String.split_on_char ' ' payload);
+  !s
+
+type request =
+  | Hello of string
+  | Query of string
+  | Sql of string
+  | Explain of string
+  | Analyze of string
+  | Ping of string
+  | Metrics
+  | Cancel
+  | Set of string * string
+  | Bye
+
+let request_of_frame (tag, payload) =
+  if tag = tag_hello then Ok (Hello payload)
+  else if tag = tag_query then Ok (Query payload)
+  else if tag = tag_sql then Ok (Sql payload)
+  else if tag = tag_explain then Ok (Explain payload)
+  else if tag = tag_analyze then Ok (Analyze payload)
+  else if tag = tag_ping then Ok (Ping payload)
+  else if tag = tag_metrics then Ok Metrics
+  else if tag = tag_cancel then Ok Cancel
+  else if tag = tag_bye then Ok Bye
+  else if tag = tag_set then begin
+    let name, value = split_first_space payload in
+    if name = "" then Error "SET needs an option name"
+    else Ok (Set (name, value))
+  end
+  else Error (Printf.sprintf "unknown request tag %C" tag)
+
+(* ------------------------------------------------------------------ *)
+(* Frame I/O                                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Closed
+exception Proto_error of string
+exception Io_timeout
+
+let now () = Rdb.Obs.now_s ()
+
+(* select() with an absolute deadline; [infinity] waits forever. *)
+let select_io fd ~read ~deadline =
+  let timeout =
+    if deadline = infinity then -1.
+    else
+      let left = deadline -. now () in
+      if left <= 0. then raise Io_timeout else left
+  in
+  let rd = if read then [ fd ] else [] in
+  let wr = if read then [] else [ fd ] in
+  match Unix.select rd wr [] timeout with
+  | [], [], [] -> raise Io_timeout
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let wait_readable fd ~deadline =
+  match select_io fd ~read:true ~deadline with
+  | () -> true
+  | exception Io_timeout -> false
+
+let rec read_into fd buf off len ~deadline ~started =
+  if len = 0 then ()
+  else
+    match Unix.read fd buf off len with
+    | 0 ->
+      if started then raise (Proto_error "connection closed mid-frame")
+      else raise Closed
+    | n -> read_into fd buf (off + n) (len - n) ~deadline ~started:true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      select_io fd ~read:true ~deadline;
+      read_into fd buf off len ~deadline ~started
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      read_into fd buf off len ~deadline ~started
+    | exception
+        Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      if started then raise (Proto_error "connection reset mid-frame")
+      else raise Closed
+
+let read_frame ?(deadline = infinity) ?(max_frame = max_frame_default) fd =
+  let header = Bytes.create 5 in
+  read_into fd header 0 5 ~deadline ~started:false;
+  let tag = Bytes.get header 0 in
+  let len = Int32.to_int (Bytes.get_int32_be header 1) in
+  if len < 0 || len > max_frame then
+    raise
+      (Proto_error
+         (Printf.sprintf "frame of %d bytes exceeds the %d byte limit" len
+            max_frame));
+  let payload = Bytes.create len in
+  read_into fd payload 0 len ~deadline ~started:true;
+  (tag, Bytes.unsafe_to_string payload)
+
+let rec write_from fd buf off len ~deadline =
+  if len = 0 then ()
+  else
+    match Unix.write fd buf off len with
+    | n -> write_from fd buf (off + n) (len - n) ~deadline
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      select_io fd ~read:false ~deadline;
+      write_from fd buf off len ~deadline
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      write_from fd buf off len ~deadline
+
+let write_frame ?(deadline = infinity) fd tag payload =
+  let len = String.length payload in
+  let frame = Bytes.create (5 + len) in
+  Bytes.set frame 0 tag;
+  Bytes.set_int32_be frame 1 (Int32.of_int len);
+  Bytes.blit_string payload 0 frame 5 len;
+  write_from fd frame 0 (5 + len) ~deadline
+
+let frame_bytes payload = 5 + String.length payload

@@ -1,0 +1,139 @@
+(** The gRNA wire protocol: version-tagged, length-prefixed frames over
+    TCP. The full specification lives in PROTOCOL.md; this module is the
+    single implementation both the server and the client library use, so
+    the two sides cannot drift.
+
+    {b Framing.} Every message is one frame:
+
+    {v tag(1 byte)  length(u32, big-endian)  payload(length bytes) v}
+
+    Payloads are UTF-8 text. A frame longer than the receiver's
+    [max_frame] is a protocol violation (the connection is closed); a
+    connection that ends mid-frame is reported as truncated.
+
+    {b Versioning.} The first frame on a connection is the client's
+    {!tag_hello} carrying {!version}; the server answers {!tag_welcome}
+    with its own version string or rejects the connection with a typed
+    error. *)
+
+val version : string
+(** ["xomatiq/1"] — bumped when the frame grammar changes. *)
+
+val max_frame_default : int
+(** Default payload-size cap (16 MiB). *)
+
+(** {2 Frame tags} *)
+
+val tag_hello : char     (** ['H'] client handshake; payload = version *)
+
+val tag_query : char     (** ['Q'] run a FLWR query *)
+
+val tag_sql : char       (** ['S'] run a raw SQL statement *)
+
+val tag_explain : char   (** ['E'] EXPLAIN a FLWR query *)
+
+val tag_analyze : char   (** ['A'] EXPLAIN ANALYZE a FLWR query *)
+
+val tag_ping : char      (** ['P'] liveness probe; payload echoed back *)
+
+val tag_metrics : char   (** ['M'] request a metrics snapshot *)
+
+val tag_cancel : char    (** ['C'] cancel the in-flight query *)
+
+val tag_set : char       (** ['T'] set a session option: ["name value"] *)
+
+val tag_bye : char       (** ['B'] orderly goodbye *)
+
+val tag_welcome : char   (** ['W'] handshake accepted; payload = version info *)
+
+val tag_rows : char      (** ['R'] one chunk of rendered result text *)
+
+val tag_done : char      (** ['D'] summary trailer closing a result stream *)
+
+val tag_ok : char        (** ['O'] acknowledgement (pong, set-ack, bye-ack) *)
+
+val tag_metrics_reply : char  (** ['m'] metrics snapshot (JSON) *)
+
+val tag_error : char     (** ['X'] typed error: ["CODE message"] *)
+
+(** {2 Typed error codes} *)
+
+val err_busy : string       (** admission control shed the connection *)
+
+val err_timeout : string    (** the query exceeded its wall-clock budget *)
+
+val err_canceled : string   (** the client canceled the query *)
+
+val err_query : string      (** the query itself failed (parse/run error) *)
+
+val err_proto : string      (** framing or handshake violation *)
+
+val err_shutdown : string   (** server draining; no new requests *)
+
+val err_idle : string       (** idle connection reaped *)
+
+val err_internal : string   (** unexpected server-side failure *)
+
+val error_payload : code:string -> string -> string
+val parse_error_payload : string -> string * string
+(** [code ^ " " ^ message] and its inverse (missing message tolerated). *)
+
+(** {2 Result trailer} *)
+
+type summary = {
+  sum_rows : int;       (** distinct result rows *)
+  sum_exec_ms : float;  (** server-side execution wall time *)
+  sum_cached : bool;    (** served from the translated-plan cache *)
+}
+
+val done_payload : summary -> string
+val parse_done_payload : string -> summary
+(** [rows=N exec_ms=F cache_hit=0|1]; unknown keys are ignored so the
+    trailer can grow compatibly. *)
+
+(** {2 Requests (server-side view)} *)
+
+type request =
+  | Hello of string
+  | Query of string
+  | Sql of string
+  | Explain of string
+  | Analyze of string
+  | Ping of string
+  | Metrics
+  | Cancel
+  | Set of string * string
+  | Bye
+
+val request_of_frame : char * string -> (request, string) result
+(** [Error] describes the unknown tag or malformed payload. *)
+
+(** {2 Frame I/O}
+
+    All I/O works on non-blocking sockets and takes an absolute
+    {!Rdb.Obs.now_s} [deadline] ([infinity] = wait forever). *)
+
+exception Closed
+(** Peer closed the connection at a frame boundary. *)
+
+exception Proto_error of string
+(** Framing violation: oversized frame, truncated frame, bad handshake. *)
+
+exception Io_timeout
+(** The deadline passed before the frame could be fully read/written —
+    on the write side this is the slow-client signal. *)
+
+val wait_readable : Unix.file_descr -> deadline:float -> bool
+(** True when the fd has readable data (or EOF) before [deadline]. *)
+
+val read_frame :
+  ?deadline:float -> ?max_frame:int -> Unix.file_descr -> char * string
+
+val write_frame :
+  ?deadline:float -> Unix.file_descr -> char -> string -> unit
+(** Writes the whole frame or raises; frames are never partially
+    visible to the application on either side. *)
+
+val frame_bytes : string -> int
+(** Wire size of a frame with this payload (header included) — what the
+    byte in/out counters account. *)

@@ -1,0 +1,513 @@
+module P = Protocol
+module Obs = Rdb.Obs
+
+type config = {
+  host : string;
+  port : int;
+  max_clients : int;
+  queue_depth : int;
+  query_timeout_s : float option;
+  idle_timeout_s : float option;
+  write_timeout_s : float;
+  max_frame : int;
+}
+
+let default_config =
+  { host = "127.0.0.1"; port = 7788; max_clients = 32; queue_depth = 16;
+    query_timeout_s = None; idle_timeout_s = None; write_timeout_s = 10.;
+    max_frame = P.max_frame_default }
+
+(* ------------------------------------------------------------------ *)
+(* Server-wide metrics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let m_accepted = Obs.Counter.create ()
+let m_shed = Obs.Counter.create ()
+let m_queries = Obs.Counter.create ()
+let m_timeouts = Obs.Counter.create ()
+let m_canceled = Obs.Counter.create ()
+let m_query_errors = Obs.Counter.create ()
+let m_reaped_idle = Obs.Counter.create ()
+let m_slow_client_drops = Obs.Counter.create ()
+let m_proto_errors = Obs.Counter.create ()
+let m_bytes_in = Obs.Counter.create ()
+let m_bytes_out = Obs.Counter.create ()
+let m_latency = Obs.Histogram.create ()
+
+let () =
+  Obs.register_counter "server.accepted" m_accepted;
+  Obs.register_counter "server.shed" m_shed;
+  Obs.register_counter "server.queries" m_queries;
+  Obs.register_counter "server.timeouts" m_timeouts;
+  Obs.register_counter "server.canceled" m_canceled;
+  Obs.register_counter "server.query_errors" m_query_errors;
+  Obs.register_counter "server.reaped_idle" m_reaped_idle;
+  Obs.register_counter "server.slow_client_drops" m_slow_client_drops;
+  Obs.register_counter "server.proto_errors" m_proto_errors;
+  Obs.register_counter "server.bytes_in" m_bytes_in;
+  Obs.register_counter "server.bytes_out" m_bytes_out;
+  Obs.register_histogram "server.query_latency" m_latency
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  cfg : config;
+  wh : Datahounds.Warehouse.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  stop : bool Atomic.t;
+  lock : Mutex.t;
+  slot_cond : Condition.t;
+  mutable active : int;
+  mutable waiting : int;
+  mutable next_id : int;
+  mutable handlers : Thread.t list;
+  mutable accept_thread : Thread.t option;
+}
+
+let port t = t.bound_port
+let request_stop t = Atomic.set t.stop true
+let stopping t = Atomic.get t.stop
+
+(* Admission control: a slot per admitted session, a bounded wait line
+   behind it. Waiters re-check the stop flag after every wakeup so a
+   drain can turn the whole line away. *)
+let acquire_slot t =
+  Mutex.lock t.lock;
+  let rec try_slot () =
+    if Atomic.get t.stop then `Shutdown
+    else if t.active < t.cfg.max_clients then begin
+      t.active <- t.active + 1;
+      `Admitted
+    end
+    else if t.waiting >= t.cfg.queue_depth then `Busy
+    else begin
+      t.waiting <- t.waiting + 1;
+      Condition.wait t.slot_cond t.lock;
+      t.waiting <- t.waiting - 1;
+      try_slot ()
+    end
+  in
+  let outcome = try_slot () in
+  Mutex.unlock t.lock;
+  outcome
+
+let release_slot t =
+  Mutex.lock t.lock;
+  t.active <- t.active - 1;
+  Condition.signal t.slot_cond;
+  Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* Query execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let values_to_table columns rows =
+  Xomatiq.Tagger.to_table ~labels:columns
+    (List.map
+       (fun r -> Array.to_list (Array.map Rdb.Value.to_string r))
+       rows)
+
+(* Render one request into (body, summary ingredients). Runs on a pool
+   domain; everything it raises is re-raised by await in the session
+   thread. *)
+let render_request t sess token kind text =
+  match kind with
+  | `Query ->
+    let result =
+      Xomatiq.Engine.run_text ~contains_strategy:sess.Session.contains
+        ~cancel:token t.wh text
+    in
+    let body =
+      match sess.Session.format with
+      | `Table -> Xomatiq.Engine.result_to_table result
+      | `Xml ->
+        Gxml.Printer.document_to_string ~pretty:true
+          (Xomatiq.Engine.result_to_xml result)
+    in
+    (body, List.length result.Xomatiq.Engine.rows,
+     result.Xomatiq.Engine.cached)
+  | `Sql -> begin
+    let db = Datahounds.Warehouse.db t.wh in
+    match Rdb.Sql_parser.parse text with
+    | Rdb.Sql_ast.Select_stmt sel ->
+      let planned = Rdb.Database.plan_select db sel in
+      let columns, rows = Rdb.Database.run_planned db ~cancel:token planned in
+      (values_to_table columns rows, List.length rows, false)
+    | Rdb.Sql_ast.Query_stmt q ->
+      let planned = Rdb.Planner.plan_query (Rdb.Database.catalog db) q in
+      let columns, rows = Rdb.Database.run_planned db ~cancel:token planned in
+      (values_to_table columns rows, List.length rows, false)
+    | _ -> begin
+      (* DML / DDL / EXPLAIN run on the warehouse's default session;
+         statement-level locking inside the database serializes writers. *)
+      match Rdb.Database.exec_exn db text with
+      | Rdb.Database.Rows { columns; rows } ->
+        (values_to_table columns rows, List.length rows, false)
+      | Rdb.Database.Affected n ->
+        (Printf.sprintf "%d row(s) affected\n" n, n, false)
+      | Rdb.Database.Done msg -> (msg ^ "\n", 0, false)
+      | Rdb.Database.Explained s -> (s ^ "\n", 0, false)
+      | exception Failure m -> raise (Xomatiq.Engine.Query_error m)
+    end
+    | exception (Rdb.Sql_parser.Parse_error _ as e) ->
+      raise (Xomatiq.Engine.Query_error (Rdb.Sql_parser.error_to_string e))
+  end
+  | (`Explain | `Analyze) as k -> begin
+    match Xomatiq.Parser.parse text with
+    | ast ->
+      let explain =
+        if k = `Analyze then Xomatiq.Engine.explain_analyze
+        else Xomatiq.Engine.explain
+      in
+      (explain t.wh ast ^ "\n", 0, false)
+    | exception (Xomatiq.Parser.Parse_error _ as e) ->
+      raise (Xomatiq.Engine.Query_error (Xomatiq.Parser.error_to_string e))
+  end
+
+exception Session_over
+
+(* Chunked result streaming: 64 KiB R frames, then the D trailer. A
+   write that cannot finish within write_timeout_s raises Io_timeout —
+   the slow-client signal handled by the session loop. *)
+let chunk_size = 64 * 1024
+
+let send t sess fd tag payload =
+  let deadline = Obs.now_s () +. t.cfg.write_timeout_s in
+  P.write_frame ~deadline fd tag payload;
+  let n = P.frame_bytes payload in
+  sess.Session.bytes_out <- sess.Session.bytes_out + n;
+  Obs.Counter.incr ~by:n m_bytes_out
+
+let stream_result t sess fd body summary =
+  let len = String.length body in
+  let rec chunks off =
+    if off < len then begin
+      let n = min chunk_size (len - off) in
+      send t sess fd P.tag_rows (String.sub body off n);
+      chunks (off + n)
+    end
+  in
+  chunks 0;
+  send t sess fd P.tag_done (P.done_payload summary)
+
+(* Run one query under a fresh cancel token. The session thread submits
+   the work to the global pool and keeps watching its own socket: a
+   CANCEL frame, a BYE, a protocol violation or the peer vanishing all
+   fire the token, and the executor aborts at the next operator
+   boundary. With jobs = 1 the pool runs the task inline at submit time
+   and the socket goes unwatched for the duration — the deadline still
+   fires because the token carries it into the executor's own checks. *)
+let execute_query t sess fd kind text =
+  (match sess.Session.jobs with
+   | Some n when n <> Conc.Pool.jobs () -> Conc.Pool.set_jobs n
+   | _ -> ());
+  let deadline =
+    match t.cfg.query_timeout_s with
+    | Some s -> Obs.now_s () +. s
+    | None -> infinity
+  in
+  let token = Rdb.Cancel.create ~deadline () in
+  let pool = Conc.Pool.get () in
+  let fut =
+    Conc.Pool.submit pool (fun () ->
+        let t0 = Obs.now_s () in
+        let body, rows, cached = render_request t sess token kind text in
+        let exec_s = Obs.now_s () -. t0 in
+        (body,
+         { P.sum_rows = rows; sum_exec_ms = exec_s *. 1000.;
+           sum_cached = cached },
+         exec_s))
+  in
+  let watching = ref true in
+  let lost = ref false in
+  let pending_bye = ref false in
+  (* Exponential poll backoff: fast queries are noticed within a couple
+     of milliseconds, long ones cost one socket select per 50 ms. *)
+  let rec monitor slice =
+    if not (Conc.Pool.poll fut) then begin
+      (if t.cfg.query_timeout_s <> None && Rdb.Cancel.deadline_passed token
+       then
+         Rdb.Cancel.cancel ~code:Rdb.Cancel.timeout_code token
+           (Printf.sprintf "query exceeded the %.3fs wall-clock budget"
+              (Option.get t.cfg.query_timeout_s)));
+      if !watching then begin
+        if P.wait_readable fd ~deadline:(Obs.now_s () +. slice) then
+          match
+            P.read_frame ~deadline:(Obs.now_s () +. 1.0)
+              ~max_frame:t.cfg.max_frame fd
+          with
+          | tag, _ when tag = P.tag_cancel ->
+            Rdb.Cancel.cancel token "canceled by client"
+          | tag, _ when tag = P.tag_bye ->
+            pending_bye := true;
+            Rdb.Cancel.cancel token "connection closing"
+          | _ ->
+            watching := false;
+            lost := true;
+            Rdb.Cancel.cancel token "protocol violation mid-query"
+          | exception
+              (P.Closed | P.Proto_error _ | P.Io_timeout
+              | Unix.Unix_error _) ->
+            watching := false;
+            lost := true;
+            Rdb.Cancel.cancel token "client went away mid-query"
+      end
+      else Thread.delay slice;
+      monitor (Float.min 0.05 (slice *. 2.))
+    end
+  in
+  monitor 0.001;
+  (match Conc.Pool.await_blocking fut with
+   | body, summary, exec_s ->
+     if !lost then raise Session_over;
+     sess.Session.queries <- sess.Session.queries + 1;
+     Obs.Counter.incr m_queries;
+     Obs.Histogram.observe m_latency exec_s;
+     stream_result t sess fd body summary
+   | exception Rdb.Cancel.Canceled (code, msg) ->
+     if code = Rdb.Cancel.timeout_code then Obs.Counter.incr m_timeouts
+     else Obs.Counter.incr m_canceled;
+     if not !lost then send t sess fd P.tag_error (P.error_payload ~code msg)
+     else raise Session_over
+   | exception Xomatiq.Engine.Query_error m ->
+     Obs.Counter.incr m_query_errors;
+     if !lost then raise Session_over;
+     send t sess fd P.tag_error (P.error_payload ~code:P.err_query m)
+   | exception e ->
+     Obs.Counter.incr m_query_errors;
+     if !lost then raise Session_over;
+     send t sess fd P.tag_error
+       (P.error_payload ~code:P.err_internal (Printexc.to_string e)));
+  if !pending_bye then begin
+    (try send t sess fd P.tag_ok "bye" with _ -> ());
+    raise Session_over
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Session loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_payload sess =
+  "{\"metrics\": " ^ Obs.dump_json () ^ ", \"session\": "
+  ^ Session.info_json sess ^ "}"
+
+let handle_request t sess fd = function
+  | P.Ping payload -> send t sess fd P.tag_ok payload
+  | P.Metrics -> send t sess fd P.tag_metrics_reply (metrics_payload sess)
+  | P.Cancel -> send t sess fd P.tag_ok "nothing to cancel"
+  | P.Set (name, value) -> begin
+    match Session.set_option sess ~name ~value with
+    | Ok ack -> send t sess fd P.tag_ok ack
+    | Error m -> send t sess fd P.tag_error (P.error_payload ~code:P.err_query m)
+  end
+  | P.Bye ->
+    (try send t sess fd P.tag_ok "bye" with _ -> ());
+    raise Session_over
+  | P.Hello _ ->
+    raise (P.Proto_error "unexpected second handshake")
+  | P.Query text -> execute_query t sess fd `Query text
+  | P.Sql text -> execute_query t sess fd `Sql text
+  | P.Explain text -> execute_query t sess fd `Explain text
+  | P.Analyze text -> execute_query t sess fd `Analyze text
+
+(* Wait for the next request frame in quarter-second slices so the
+   session notices a drain or its idle deadline without dedicated
+   machinery. *)
+let wait_request t fd =
+  let idle_deadline =
+    match t.cfg.idle_timeout_s with
+    | Some s -> Obs.now_s () +. s
+    | None -> infinity
+  in
+  let rec slice () =
+    if Atomic.get t.stop then `Drain
+    else if Obs.now_s () > idle_deadline then `Idle
+    else begin
+      let d = min (Obs.now_s () +. 0.25) idle_deadline in
+      if P.wait_readable fd ~deadline:d then `Ready else slice ()
+    end
+  in
+  slice ()
+
+let recv t sess fd ~deadline =
+  let tag, payload = P.read_frame ~deadline ~max_frame:t.cfg.max_frame fd in
+  let n = P.frame_bytes payload in
+  sess.Session.bytes_in <- sess.Session.bytes_in + n;
+  Obs.Counter.incr ~by:n m_bytes_in;
+  (tag, payload)
+
+let handshake t sess fd =
+  let deadline = Obs.now_s () +. 5.0 in
+  match recv t sess fd ~deadline with
+  | tag, payload when tag = P.tag_hello ->
+    if payload <> P.version then begin
+      (try
+         send t sess fd P.tag_error
+           (P.error_payload ~code:P.err_proto
+              (Printf.sprintf "unsupported protocol version %S (server speaks %s)"
+                 payload P.version))
+       with _ -> ());
+      raise Session_over
+    end;
+    send t sess fd P.tag_welcome P.version
+  | _ -> raise (P.Proto_error "expected HELLO as the first frame")
+
+let session_loop t sess fd =
+  handshake t sess fd;
+  let rec loop () =
+    match wait_request t fd with
+    | `Drain ->
+      (try
+         send t sess fd P.tag_error
+           (P.error_payload ~code:P.err_shutdown "server is draining")
+       with _ -> ());
+      raise Session_over
+    | `Idle ->
+      Obs.Counter.incr m_reaped_idle;
+      (try
+         send t sess fd P.tag_error
+           (P.error_payload ~code:P.err_idle "idle connection reaped")
+       with _ -> ());
+      raise Session_over
+    | `Ready ->
+      let frame = recv t sess fd ~deadline:(Obs.now_s () +. 5.0) in
+      (match P.request_of_frame frame with
+       | Ok req -> handle_request t sess fd req
+       | Error m -> raise (P.Proto_error m));
+      loop ()
+  in
+  loop ()
+
+let handle_conn t id fd =
+  Unix.set_nonblock fd;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+  let sess = Session.create ~id in
+  let best_effort_error code msg =
+    try send t sess fd P.tag_error (P.error_payload ~code msg)
+    with _ -> ()
+  in
+  match acquire_slot t with
+  | `Busy ->
+    Obs.Counter.incr m_shed;
+    best_effort_error P.err_busy
+      (Printf.sprintf "%d active and %d waiting clients; try again later"
+         t.cfg.max_clients t.cfg.queue_depth);
+    close ()
+  | `Shutdown ->
+    best_effort_error P.err_shutdown "server is draining";
+    close ()
+  | `Admitted ->
+    Fun.protect
+      ~finally:(fun () ->
+        close ();
+        release_slot t)
+      (fun () ->
+        try session_loop t sess fd with
+        | Session_over | P.Closed -> ()
+        | P.Proto_error m ->
+          Obs.Counter.incr m_proto_errors;
+          best_effort_error P.err_proto m
+        | P.Io_timeout ->
+          (* a response write could not finish: slow-client drop *)
+          Obs.Counter.incr m_slow_client_drops
+        | Unix.Unix_error _ -> ()
+        | e ->
+          best_effort_error P.err_internal (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and lifecycle                                           *)
+(* ------------------------------------------------------------------ *)
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stop) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.25 with
+       | [], _, _ -> ()
+       | _ -> begin
+         match Unix.accept t.listen_fd with
+         | fd, _ ->
+           Obs.Counter.incr m_accepted;
+           Mutex.lock t.lock;
+           let id = t.next_id in
+           t.next_id <- id + 1;
+           let th = Thread.create (fun () -> handle_conn t id fd) () in
+           t.handlers <- th :: t.handlers;
+           Mutex.unlock t.lock
+         | exception
+             Unix.Unix_error
+               (( Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
+                | Unix.ECONNABORTED ), _, _) ->
+           ()
+       end
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found ->
+      raise
+        (Unix.Unix_error
+           (Unix.EINVAL, "resolve", host)))
+
+let start cfg wh =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  (try Unix.bind listen_fd (Unix.ADDR_INET (resolve_host cfg.host, cfg.port))
+   with e -> (try Unix.close listen_fd with _ -> ()); raise e);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> cfg.port
+  in
+  let t =
+    { cfg; wh; listen_fd; bound_port; stop = Atomic.make false;
+      lock = Mutex.create (); slot_cond = Condition.create (); active = 0;
+      waiting = 0; next_id = 1; handlers = []; accept_thread = None }
+  in
+  Obs.register_gauge "server.active" (fun () ->
+      Mutex.lock t.lock;
+      let n = t.active in
+      Mutex.unlock t.lock;
+      n);
+  Obs.register_gauge "server.waiting" (fun () ->
+      Mutex.lock t.lock;
+      let n = t.waiting in
+      Mutex.unlock t.lock;
+      n);
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let wait t =
+  Option.iter Thread.join t.accept_thread;
+  (* After the accept thread is gone no new handlers appear; wake every
+     admission waiter (under the same lock as Condition.wait, so none
+     misses the stop flag) and join the lot. *)
+  Mutex.lock t.lock;
+  Condition.broadcast t.slot_cond;
+  let handlers = t.handlers in
+  Mutex.unlock t.lock;
+  List.iter Thread.join handlers;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+
+let run cfg wh =
+  let t = start cfg wh in
+  let stop _ = request_stop t in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  Printf.printf
+    "xomatiq server listening on %s:%d (max-clients=%d queue-depth=%d jobs=%d)\n%!"
+    cfg.host (port t) cfg.max_clients cfg.queue_depth (Conc.Pool.jobs ());
+  wait t;
+  Printf.printf "xomatiq server drained\n%!"

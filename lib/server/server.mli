@@ -1,0 +1,69 @@
+(** The gRNA query server: a concurrent TCP front end over one warehouse.
+
+    One thread accepts connections; every admitted client gets a
+    dedicated session thread that speaks the {!Protocol} frame grammar
+    and submits query execution to the process-global {!Conc.Pool}, so
+    connection threads only ever block on sockets while query work runs
+    on the worker domains.
+
+    {b Admission control.} At most [max_clients] sessions run at once;
+    up to [queue_depth] further connections wait for a slot, and anything
+    beyond that is shed immediately with a typed [SERVER_BUSY] error
+    frame — load sheds at the door instead of queueing unboundedly.
+
+    {b Degradation.} Each query runs under a {!Rdb.Cancel} token
+    carrying the [query_timeout_s] deadline; the executor checks it at
+    every operator boundary, so a runaway query returns a typed
+    [TIMEOUT] error and the connection stays usable. While a query is in
+    flight the session thread keeps watching its socket, so a CANCEL
+    frame (or the client vanishing) also fires the token. Clients that
+    stop reading are disconnected once a response write exceeds
+    [write_timeout_s]; connections idle longer than [idle_timeout_s] are
+    reaped.
+
+    {b Drain.} {!request_stop} (installed on SIGTERM/SIGINT by {!run})
+    only flips an atomic — safe from a signal handler. The accept loop
+    and every session notice it within a quarter second: no new
+    connections, waiting connections are turned away with
+    [SHUTTING_DOWN], in-flight queries finish and their responses are
+    flushed, then {!wait} returns so the caller can close the warehouse
+    (flushing the WAL) and exit cleanly. *)
+
+type config = {
+  host : string;           (** bind address (name or dotted quad) *)
+  port : int;              (** 0 picks an ephemeral port — see {!port} *)
+  max_clients : int;       (** concurrent admitted sessions *)
+  queue_depth : int;       (** connections allowed to wait for a slot *)
+  query_timeout_s : float option;  (** per-query wall-clock budget *)
+  idle_timeout_s : float option;   (** reap sessions idle this long *)
+  write_timeout_s : float; (** slow-client disconnect threshold *)
+  max_frame : int;         (** largest request payload accepted *)
+}
+
+val default_config : config
+(** 127.0.0.1:7788, 32 clients, queue depth 16, no query or idle
+    timeout, 10 s write timeout, {!Protocol.max_frame_default}. *)
+
+type t
+
+val start : config -> Datahounds.Warehouse.t -> t
+(** Bind, listen, and spawn the accept thread. The warehouse must stay
+    open until {!wait} has returned.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+(** The actually-bound port (resolves [port = 0]). *)
+
+val request_stop : t -> unit
+(** Begin a graceful drain. Async-signal-safe and idempotent. *)
+
+val stopping : t -> bool
+
+val wait : t -> unit
+(** Block until the server has drained: accept thread joined, every
+    session thread finished, listening socket closed. Call after
+    {!request_stop} (or let a signal handler trigger it). *)
+
+val run : config -> Datahounds.Warehouse.t -> unit
+(** [start], install SIGTERM/SIGINT handlers that {!request_stop} (and
+    ignore SIGPIPE), print a one-line banner, then {!wait}. *)

@@ -13,6 +13,7 @@ type result = {
   rows : string list list;
   sql : string;
   trace : trace option;
+  cached : bool;
 }
 
 type mode =
@@ -70,22 +71,23 @@ let empty_trace ~parse_s ~xq2sql_s =
     indexes = []; result_rows = 0; operator_rows = 0; index_probes = 0;
     hash_build_rows = 0; plan = None }
 
-let run_relational ?contains_strategy ~trace ~parse_s wh (q : Ast.t) =
+let run_relational ?contains_strategy ?cancel ~trace ~parse_s wh (q : Ast.t) =
   let db = Datahounds.Warehouse.db wh in
   let t, xq2sql_s = timed (fun () -> translate ?contains_strategy db q) in
   if not trace then begin
     if t.statically_empty then
-      { labels = t.labels; rows = []; sql = t.sql; trace = None }
+      { labels = t.labels; rows = []; sql = t.sql; trace = None;
+        cached = false }
     else
       match Rdb.Database.query db t.sql with
       | Error m -> error "SQL execution failed: %s\n%s" m t.sql
       | Ok (_, rows) ->
         { labels = t.labels; rows = to_string_rows rows; sql = t.sql;
-          trace = None }
+          trace = None; cached = false }
   end
   else if t.statically_empty then
     { labels = t.labels; rows = []; sql = t.sql;
-      trace = Some (empty_trace ~parse_s ~xq2sql_s) }
+      trace = Some (empty_trace ~parse_s ~xq2sql_s); cached = false }
   else begin
     (* Decomposed pipeline: same semantics as [Database.query t.sql] but
        each stage is timed and execution runs under an Obs profile. *)
@@ -109,7 +111,7 @@ let run_relational ?contains_strategy ~trace ~parse_s wh (q : Ast.t) =
     let obs = Rdb.Obs.create planned.Rdb.Planner.plan in
     let rows, execute_s =
       timed (fun () ->
-          try snd (Rdb.Database.run_planned db ~obs planned) with
+          try snd (Rdb.Database.run_planned db ~obs ?cancel planned) with
           | Rdb.Executor.Runtime_error m ->
             error "SQL execution failed: %s\n%s" m t.sql)
     in
@@ -125,7 +127,8 @@ let run_relational ?contains_strategy ~trace ~parse_s wh (q : Ast.t) =
         hash_build_rows = Rdb.Obs.total_build_rows obs;
         plan = Some (Rdb.Obs.annotate obs planned.Rdb.Planner.plan) }
     in
-    { labels = t.labels; rows = string_rows; sql = t.sql; trace = Some tr }
+    { labels = t.labels; rows = string_rows; sql = t.sql; trace = Some tr;
+      cached = false }
   end
 
 let run_reference ~trace ~parse_s wh (q : Ast.t) =
@@ -149,7 +152,7 @@ let run_reference ~trace ~parse_s wh (q : Ast.t) =
           indexes = []; result_rows = List.length rows; operator_rows = 0;
           index_probes = 0; hash_build_rows = 0; plan = None }
   in
-  { labels; rows; sql = "(reference evaluation)"; trace = tr }
+  { labels; rows; sql = "(reference evaluation)"; trace = tr; cached = false }
 
 let run ?(mode = `Relational) ?contains_strategy ?(trace = false) wh q =
   match mode with
@@ -221,19 +224,22 @@ let strategy_tag strategy =
 let catalog_version wh =
   Rdb.Catalog.version (Rdb.Database.catalog (Datahounds.Warehouse.db wh))
 
-let run_cache_entry e =
+let run_cache_entry ?cancel ~cached e =
   match e.ce_plan with
-  | None -> { labels = e.ce_labels; rows = []; sql = e.ce_sql; trace = None }
+  | None ->
+    { labels = e.ce_labels; rows = []; sql = e.ce_sql; trace = None; cached }
   | Some planned ->
     let _, rows =
-      try Rdb.Database.run_planned (Datahounds.Warehouse.db e.ce_wh) planned
+      try
+        Rdb.Database.run_planned ?cancel (Datahounds.Warehouse.db e.ce_wh)
+          planned
       with Rdb.Executor.Runtime_error m ->
         error "SQL execution failed: %s\n%s" m e.ce_sql
     in
     { labels = e.ce_labels; rows = to_string_rows rows; sql = e.ce_sql;
-      trace = None }
+      trace = None; cached }
 
-let run_text_cached ~contains_strategy wh text =
+let run_text_cached ?cancel ~contains_strategy wh text =
   let key = (normalize_query_text text, strategy_tag contains_strategy) in
   let version = catalog_version wh in
   let hit =
@@ -247,7 +253,7 @@ let run_text_cached ~contains_strategy wh text =
           None)
   in
   match hit with
-  | Some e -> run_cache_entry e
+  | Some e -> run_cache_entry ?cancel ~cached:true e
   | None ->
     let q =
       match Parser.parse text with
@@ -276,15 +282,16 @@ let run_text_cached ~contains_strategy wh text =
       { ce_wh = wh; ce_version = version; ce_labels = t.labels;
         ce_sql = t.sql; ce_plan }
     in
-    let r = run_cache_entry e in
+    let r = run_cache_entry ?cancel ~cached:false e in
     (* only successful translations+executions are cached *)
     locked (fun () -> Hashtbl.replace plan_cache key e);
     r
 
 let run_text ?(mode = `Relational) ?(contains_strategy = `Keyword_index)
-    ?(trace = false) wh text =
+    ?(trace = false) ?cancel wh text =
   match mode with
-  | `Relational when not trace -> run_text_cached ~contains_strategy wh text
+  | `Relational when not trace ->
+    run_text_cached ?cancel ~contains_strategy wh text
   | _ ->
     let q, parse_s =
       timed (fun () ->
@@ -295,7 +302,8 @@ let run_text ?(mode = `Relational) ?(contains_strategy = `Keyword_index)
           | exception Ast.Invalid_query m -> error "invalid query: %s" m)
     in
     (match mode with
-     | `Relational -> run_relational ~contains_strategy ~trace ~parse_s wh q
+     | `Relational ->
+       run_relational ~contains_strategy ?cancel ~trace ~parse_s wh q
      | `Reference -> run_reference ~trace ~parse_s wh q)
 
 (* ---------------- prepared queries ---------------- *)
@@ -324,13 +332,16 @@ let prepare ?contains_strategy wh (q : Ast.t) =
 
 let run_prepared p =
   match p.prep_plan with
-  | None -> { labels = p.prep_labels; rows = []; sql = p.prep_sql; trace = None }
+  | None ->
+    { labels = p.prep_labels; rows = []; sql = p.prep_sql; trace = None;
+      cached = false }
   | Some planned ->
     let _, rows = Rdb.Database.run_planned (Datahounds.Warehouse.db p.prep_wh) planned in
     { labels = p.prep_labels;
       rows = to_string_rows rows;
       sql = p.prep_sql;
-      trace = None }
+      trace = None;
+      cached = false }
 
 let explain wh q =
   let db = Datahounds.Warehouse.db wh in
@@ -349,6 +360,14 @@ let explain_analyze wh q =
      | Ok plan -> Printf.sprintf "SQL:\n%s\n\nPlan:\n%s" t.sql plan
      | Error m -> error "execution failed: %s\n%s" m t.sql)
   | exception Xq2sql.Unsupported m -> error "unsupported query: %s" m
+
+(* Surface the translated-plan cache in metric snapshots (METRICS wire
+   request, --metrics-json) alongside the server's own counters. *)
+let () =
+  Rdb.Obs.register_gauge "engine.plan_cache.hits" (fun () ->
+      fst (cache_stats ()));
+  Rdb.Obs.register_gauge "engine.plan_cache.misses" (fun () ->
+      snd (cache_stats ()))
 
 let result_to_xml r = Tagger.to_xml ~labels:r.labels r.rows
 

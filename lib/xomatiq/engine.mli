@@ -25,6 +25,7 @@ type result = {
   rows : string list list;  (** distinct, sorted *)
   sql : string;             (** the SQL the query was rewritten to *)
   trace : trace option;     (** populated when run with [~trace:true] *)
+  cached : bool;            (** served from the translated-plan cache *)
 }
 
 type mode =
@@ -45,9 +46,18 @@ val run :
 
 val run_text :
   ?mode:mode -> ?contains_strategy:Xq2sql.contains_strategy ->
-  ?trace:bool -> Datahounds.Warehouse.t -> string -> result
+  ?trace:bool -> ?cancel:Rdb.Cancel.t -> Datahounds.Warehouse.t -> string ->
+  result
 (** Parse the textual form first (the trace's [parse] stage measures
     this parse).
+
+    [cancel] — the per-query cancellation token of the calling session
+    (the query server creates one per request, carrying the
+    [--query-timeout] deadline) — is threaded into the executor, which
+    checks it at every operator boundary. A fired token aborts the run
+    with [Rdb.Cancel.Canceled] (never wrapped into {!Query_error}, so
+    callers can distinguish typed TIMEOUT/CANCELED outcomes from query
+    failures).
 
     On the untraced relational path, translated plans are cached: the
     cache key is the whitespace-normalized query text plus the

@@ -87,6 +87,10 @@ let path_cache : (int * string, int * int list) Hashtbl.t = Hashtbl.create 64
 let path_cache_hits = Rdb.Obs.Counter.create ()
 let path_cache_misses = Rdb.Obs.Counter.create ()
 
+let () =
+  Rdb.Obs.register_counter "xq2sql.path_cache.hits" path_cache_hits;
+  Rdb.Obs.register_counter "xq2sql.path_cache.misses" path_cache_misses
+
 let path_locked f =
   Mutex.lock path_cache_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock path_cache_lock) f

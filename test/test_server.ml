@@ -1,0 +1,404 @@
+(* The gRNA service layer end to end: wire framing, the in-process
+   server's admission control, per-query timeouts, client CANCEL,
+   graceful drain with WAL recovery, and the differential guarantee that
+   N concurrent sessions see byte-identical results to sequential
+   in-process execution. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+module D = Datahounds
+module P = Xserver.Protocol
+
+(* ---------------- fixtures ---------------- *)
+
+let universe_of seed =
+  Workload.Genbio.generate
+    { Workload.Genbio.seed; n_enzymes = 25; n_embl = 30; n_sprot = 25;
+      n_citations = 15; cdc6_rate = 0.1; ketone_rate = 0.2; ec_link_rate = 0.8;
+      seq_length = 50 }
+
+let load_universe wh u =
+  match Workload.Genbio.load_universe wh u with
+  | Ok () -> ()
+  | Error m -> failwith m
+
+let with_warehouse seed f =
+  let u = universe_of seed in
+  let wh = D.Warehouse.create () in
+  load_universe wh u;
+  Fun.protect ~finally:(fun () -> D.Warehouse.close wh) (fun () -> f wh u)
+
+(* An ephemeral-port in-process server, drained and joined on the way
+   out — the same lifecycle `xomatiq serve` drives via SIGTERM. *)
+let with_server ?(cfg = Xserver.Server.default_config) wh f =
+  let cfg = { cfg with Xserver.Server.host = "127.0.0.1"; port = 0 } in
+  let t = Xserver.Server.start cfg wh in
+  Fun.protect
+    ~finally:(fun () ->
+      Xserver.Server.request_stop t;
+      Xserver.Server.wait t)
+    (fun () -> f t (Xserver.Server.port t))
+
+let connect ?timeout_s port =
+  Xserver.Client.connect ?timeout_s ~retry_for_s:2. ~port ()
+
+(* Three nested scans over xml_node: far too slow to ever finish on this
+   fixture, so only cancellation can end it. *)
+let slow_sql = "SELECT COUNT(1) FROM xml_node a, xml_node b, xml_node c"
+
+let simple_query =
+  "FOR $e IN document(\"hlx_enzyme.DEFAULT\") RETURN \
+   $e/hlx_enzyme/db_entry/enzyme_id"
+
+(* ---------------- framing ---------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  Unix.set_nonblock b;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair @@ fun a b ->
+  let payloads =
+    [ ""; "x"; "hello world"; String.make 100_000 'q';
+      String.init 512 (fun i -> Char.chr (i mod 256)) ]
+  in
+  List.iter
+    (fun payload ->
+      P.write_frame a P.tag_query payload;
+      let tag, got = P.read_frame ~deadline:(Rdb.Obs.now_s () +. 5.) b in
+      check Alcotest.char "tag" P.tag_query tag;
+      check Alcotest.string "payload" payload got)
+    payloads;
+  (* several frames buffered back to back arrive in order, intact *)
+  List.iteri (fun i p -> P.write_frame a (Char.chr (65 + i)) p) payloads;
+  List.iteri
+    (fun i p ->
+      let tag, got = P.read_frame ~deadline:(Rdb.Obs.now_s () +. 5.) b in
+      check Alcotest.char "pipelined tag" (Char.chr (65 + i)) tag;
+      check Alcotest.string "pipelined payload" p got)
+    payloads
+
+let test_frame_oversized () =
+  with_socketpair @@ fun a b ->
+  P.write_frame a P.tag_query (String.make 4096 'z');
+  (match P.read_frame ~deadline:(Rdb.Obs.now_s () +. 5.) ~max_frame:1024 b with
+   | _ -> fail "oversized frame accepted"
+   | exception P.Proto_error _ -> ())
+
+let test_frame_truncated () =
+  (* header promises 100 bytes but the peer dies after 10 *)
+  with_socketpair (fun a b ->
+      let partial = Bytes.create 15 in
+      Bytes.set partial 0 P.tag_query;
+      Bytes.set_int32_be partial 1 100l;
+      let n = Unix.write a partial 0 15 in
+      check Alcotest.int "partial write" 15 n;
+      Unix.close a;
+      match P.read_frame ~deadline:(Rdb.Obs.now_s () +. 5.) b with
+      | _ -> fail "truncated frame accepted"
+      | exception P.Proto_error _ -> ());
+  (* a clean close at a frame boundary is Closed, not an error *)
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match P.read_frame ~deadline:(Rdb.Obs.now_s () +. 5.) b with
+      | _ -> fail "read from closed peer"
+      | exception P.Closed -> ())
+
+let test_frame_read_deadline () =
+  with_socketpair @@ fun _a b ->
+  match P.read_frame ~deadline:(Rdb.Obs.now_s () +. 0.05) b with
+  | _ -> fail "read without data"
+  | exception P.Io_timeout -> ()
+
+let test_summary_roundtrip () =
+  List.iter
+    (fun s ->
+      let s' = P.parse_done_payload (P.done_payload s) in
+      check Alcotest.int "rows" s.P.sum_rows s'.P.sum_rows;
+      check Alcotest.bool "cached" s.P.sum_cached s'.P.sum_cached;
+      check (Alcotest.float 0.001) "exec_ms" s.P.sum_exec_ms s'.P.sum_exec_ms)
+    [ { P.sum_rows = 0; sum_exec_ms = 0.; sum_cached = false };
+      { P.sum_rows = 12345; sum_exec_ms = 17.25; sum_cached = true } ];
+  let code, msg = P.parse_error_payload (P.error_payload ~code:"TIMEOUT" "too slow") in
+  check Alcotest.string "error code" "TIMEOUT" code;
+  check Alcotest.string "error message" "too slow" msg
+
+(* ---------------- basic request/response ---------------- *)
+
+let test_server_basics () =
+  with_warehouse 7 @@ fun wh _u ->
+  with_server wh @@ fun _t port ->
+  let c = connect port in
+  Fun.protect ~finally:(fun () -> Xserver.Client.close c) @@ fun () ->
+  check Alcotest.string "ping echoes" "pong?" (Xserver.Client.ping c "pong?");
+  (* a query matches the in-process rendering byte for byte *)
+  let body, summary = Xserver.Client.query c simple_query in
+  let expected =
+    Xomatiq.Engine.result_to_table (Xomatiq.Engine.run_text wh simple_query)
+  in
+  check Alcotest.string "query body" expected body;
+  check Alcotest.bool "row count plausible" true (summary.P.sum_rows > 0);
+  (* SQL and EXPLAIN flow through the same stream *)
+  let sql_body, sql_summary =
+    Xserver.Client.sql c "SELECT COUNT(1) FROM xml_node"
+  in
+  check Alcotest.bool "sql returns one row" true (sql_summary.P.sum_rows = 1);
+  check Alcotest.bool "sql body mentions count" true
+    (String.length sql_body > 0);
+  let plan = Xserver.Client.explain c simple_query in
+  check Alcotest.bool "explain shows SQL + plan" true
+    (String.length plan > 0);
+  (* a failing query is a typed error and the connection survives *)
+  (match Xserver.Client.query c "FOR $x IN nonsense RETURN $x" with
+   | _ -> fail "bad query accepted"
+   | exception Xserver.Client.Server_error (code, _) ->
+     check Alcotest.string "query error code" P.err_query code);
+  check Alcotest.string "usable after error" "still here"
+    (Xserver.Client.ping c "still here");
+  (* session options shape results: xml format *)
+  ignore (Xserver.Client.set_option c ~name:"format" ~value:"xml");
+  let xml_body, _ = Xserver.Client.query c simple_query in
+  check Alcotest.bool "xml rendering" true
+    (String.length xml_body >= 5 && String.sub xml_body 0 5 = "<?xml");
+  (* metrics snapshot is present and mentions the server counters *)
+  let metrics = Xserver.Client.metrics c in
+  let has needle =
+    let nlen = String.length needle and mlen = String.length metrics in
+    let rec go i =
+      i + nlen <= mlen && (String.sub metrics i nlen = needle || go (i + 1))
+    in
+    go 0
+  in
+  check Alcotest.bool "metrics has server.queries" true
+    (has "\"server.queries\"");
+  check Alcotest.bool "metrics has session info" true (has "\"session\"");
+  (* plan-cache hit flag: the second identical run is served cached *)
+  let _, s1 = Xserver.Client.query c simple_query in
+  let _, s2 = Xserver.Client.query c simple_query in
+  ignore s1;
+  check Alcotest.bool "repeat query hits the plan cache" true s2.P.sum_cached
+
+let test_bad_set_option () =
+  with_warehouse 7 @@ fun wh _u ->
+  with_server wh @@ fun _t port ->
+  let c = connect port in
+  Fun.protect ~finally:(fun () -> Xserver.Client.close c) @@ fun () ->
+  (match Xserver.Client.set_option c ~name:"strategy" ~value:"psychic" with
+   | _ -> fail "bad strategy accepted"
+   | exception Xserver.Client.Server_error _ -> ());
+  check Alcotest.string "usable after rejected option" "ok"
+    (Xserver.Client.ping c "ok")
+
+(* ---------------- admission control ---------------- *)
+
+let test_server_busy () =
+  with_warehouse 7 @@ fun wh _u ->
+  let cfg =
+    { Xserver.Server.default_config with max_clients = 1; queue_depth = 0 }
+  in
+  with_server ~cfg wh @@ fun _t port ->
+  let c1 = connect port in
+  (* the only slot is taken: the next connection is shed at the door *)
+  (match Xserver.Client.connect ~port () with
+   | c2 -> Xserver.Client.close c2; fail "second client admitted"
+   | exception Xserver.Client.Server_error (code, _) ->
+     check Alcotest.string "shed code" P.err_busy code
+   | exception (P.Closed | Unix.Unix_error _) ->
+     fail "shed without a typed SERVER_BUSY frame");
+  check Alcotest.string "first client unaffected" "alive"
+    (Xserver.Client.ping c1 "alive");
+  Xserver.Client.close c1;
+  (* the freed slot re-admits: retry until the handler releases it *)
+  let rec readmit tries =
+    match Xserver.Client.connect ~port () with
+    | c3 -> Xserver.Client.close c3
+    | exception Xserver.Client.Server_error _ when tries > 0 ->
+      Thread.delay 0.05;
+      readmit (tries - 1)
+  in
+  readmit 100
+
+(* ---------------- timeouts and cancellation ---------------- *)
+
+let test_query_timeout () =
+  with_warehouse 7 @@ fun wh _u ->
+  let cfg =
+    { Xserver.Server.default_config with query_timeout_s = Some 0.3 }
+  in
+  with_server ~cfg wh @@ fun _t port ->
+  let c = connect ~timeout_s:30. port in
+  Fun.protect ~finally:(fun () -> Xserver.Client.close c) @@ fun () ->
+  let t0 = Rdb.Obs.now_s () in
+  (match Xserver.Client.sql c slow_sql with
+   | _ -> fail "runaway query finished"
+   | exception Xserver.Client.Server_error (code, _) ->
+     check Alcotest.string "timeout code" P.err_timeout code);
+  check Alcotest.bool "canceled within ~5s of a 0.3s budget" true
+    (Rdb.Obs.now_s () -. t0 < 5.);
+  (* the session survives a timed-out query *)
+  check Alcotest.string "usable after timeout" "ok" (Xserver.Client.ping c "ok");
+  let _, s = Xserver.Client.query c simple_query in
+  check Alcotest.bool "real query still works" true (s.P.sum_rows > 0)
+
+let test_client_cancel () =
+  (* mid-flight CANCEL needs the query on a worker domain so the session
+     thread keeps watching the socket *)
+  Conc.Pool.set_jobs 2;
+  with_warehouse 7 @@ fun wh _u ->
+  with_server wh @@ fun _t port ->
+  let c = connect ~timeout_s:30. port in
+  Fun.protect ~finally:(fun () -> Xserver.Client.close c) @@ fun () ->
+  Xserver.Client.send_raw c P.tag_sql slow_sql;
+  Thread.delay 0.2;
+  Xserver.Client.send_raw c P.tag_cancel "";
+  (match Xserver.Client.read_raw c with
+   | tag, payload when tag = P.tag_error ->
+     let code, _ = P.parse_error_payload payload in
+     check Alcotest.string "cancel code" P.err_canceled code
+   | tag, _ -> fail (Printf.sprintf "expected error frame, got %C" tag));
+  check Alcotest.string "usable after cancel" "ok" (Xserver.Client.ping c "ok")
+
+(* ---------------- graceful drain ---------------- *)
+
+let with_temp_wal f =
+  let path = Filename.temp_file "xomatiq_srv" ".wal" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_graceful_drain () =
+  with_temp_wal @@ fun wal ->
+  let u = universe_of 7 in
+  let wh = D.Warehouse.create ~wal () in
+  load_universe wh u;
+  let expected =
+    Xomatiq.Engine.result_to_table (Xomatiq.Engine.run_text wh simple_query)
+  in
+  let cfg =
+    { Xserver.Server.default_config with host = "127.0.0.1"; port = 0 }
+  in
+  let t = Xserver.Server.start cfg wh in
+  let port = Xserver.Server.port t in
+  let c = connect port in
+  let body, _ = Xserver.Client.query c simple_query in
+  check Alcotest.string "pre-drain query" expected body;
+  (* drain while the client is connected: it gets a typed SHUTTING_DOWN
+     (or a clean close) — never a partial frame *)
+  Xserver.Server.request_stop t;
+  (match Xserver.Client.query c simple_query with
+   | body, _ ->
+     (* the request squeaked in before the session noticed the drain *)
+     check Alcotest.string "in-flight query still whole" expected body
+   | exception Xserver.Client.Server_error (code, _) ->
+     check Alcotest.string "drain code" P.err_shutdown code
+   | exception (P.Closed | Unix.Unix_error _) -> ()
+   | exception P.Proto_error m -> fail ("partial frame during drain: " ^ m));
+  Xserver.Server.wait t;
+  Xserver.Client.close c;
+  (* new connections are refused once drained *)
+  (match Xserver.Client.connect ~port () with
+   | c2 -> Xserver.Client.close c2; fail "connected after drain"
+   | exception (Unix.Unix_error _ | Xserver.Client.Server_error _ | P.Closed) ->
+     ());
+  D.Warehouse.close wh;
+  (* the WAL replays: same collections, same query answer *)
+  let wh2 = D.Warehouse.create ~wal () in
+  Fun.protect ~finally:(fun () -> D.Warehouse.close wh2) @@ fun () ->
+  check Alcotest.bool "collections recovered" true
+    (List.mem "hlx_enzyme.DEFAULT" (D.Warehouse.collections wh2));
+  check Alcotest.string "query answer recovered" expected
+    (Xomatiq.Engine.result_to_table (Xomatiq.Engine.run_text wh2 simple_query))
+
+(* ---------------- differential: concurrent = sequential ---------------- *)
+
+(* Eight concurrent sessions, alternating contains-strategies, each
+   running the full workload mix — every response must be byte-identical
+   to the sequential in-process rendering computed up front. *)
+let run_concurrent_differential seed () =
+  with_warehouse seed @@ fun wh u ->
+  let mix = Workload.Query_mix.mixed ~seed ~universe:u ~per_class:2 in
+  let strategies = [ ("keyword", `Keyword_index); ("like", `Like_scan) ] in
+  let expected =
+    List.map
+      (fun (sname, strategy) ->
+        ( sname,
+          List.map
+            (fun (_cls, text) ->
+              ( text,
+                Xomatiq.Engine.result_to_table
+                  (Xomatiq.Engine.run_text ~contains_strategy:strategy wh text)
+              ))
+            mix ))
+      strategies
+  in
+  with_server wh @@ fun _t port ->
+  let n_clients = 8 in
+  let failures = Array.make n_clients None in
+  let worker i () =
+    try
+      let sname, _ = List.nth strategies (i mod 2) in
+      let c = connect ~timeout_s:60. port in
+      Fun.protect ~finally:(fun () -> Xserver.Client.close c) @@ fun () ->
+      if sname <> "keyword" then
+        ignore (Xserver.Client.set_option c ~name:"strategy" ~value:sname);
+      List.iter
+        (fun (text, want) ->
+          let body, _ = Xserver.Client.query c text in
+          if body <> want then
+            failwith
+              (Printf.sprintf
+                 "client %d (%s strategy): server result diverged on %s" i
+                 sname text))
+        (List.assoc sname expected)
+    with e -> failures.(i) <- Some (Printexc.to_string e)
+  in
+  let threads = List.init n_clients (fun i -> Thread.create (worker i) ()) in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i -> function
+      | Some m -> fail (Printf.sprintf "client %d failed: %s" i m)
+      | None -> ())
+    failures
+
+let () =
+  Alcotest.run "server"
+    [ ( "framing",
+        [ Alcotest.test_case "round-trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "oversized frame rejected" `Quick
+            test_frame_oversized;
+          Alcotest.test_case "truncated frame detected" `Quick
+            test_frame_truncated;
+          Alcotest.test_case "read deadline" `Quick test_frame_read_deadline;
+          Alcotest.test_case "summary/error payload round-trip" `Quick
+            test_summary_roundtrip ] );
+      ( "requests",
+        [ Alcotest.test_case "query, sql, explain, metrics, errors" `Quick
+            test_server_basics;
+          Alcotest.test_case "rejected session option" `Quick
+            test_bad_set_option ] );
+      ( "admission",
+        [ Alcotest.test_case "SERVER_BUSY shed + re-admission" `Quick
+            test_server_busy ] );
+      ( "degradation",
+        [ Alcotest.test_case "query timeout (typed, connection survives)"
+            `Quick test_query_timeout;
+          Alcotest.test_case "client CANCEL mid-query" `Quick
+            test_client_cancel ] );
+      ( "drain",
+        [ Alcotest.test_case "graceful drain + WAL recovery" `Quick
+            test_graceful_drain ] );
+      ( "differential",
+        [ Alcotest.test_case "8 clients, seed 11" `Quick
+            (run_concurrent_differential 11);
+          Alcotest.test_case "8 clients, seed 23" `Quick
+            (run_concurrent_differential 23);
+          Alcotest.test_case "8 clients, seed 47" `Quick
+            (run_concurrent_differential 47) ] ) ]
