@@ -32,6 +32,17 @@ let clamp_sel s = Float.max 1e-4 (Float.min 1.0 s)
 
 let log2 x = Float.log x /. Float.log 2.
 
+(* Below this combined input size the merge join's key sorts are in the
+   noise; charging them would push tiny (paper-figure scale) plans off
+   the merge path for no measurable gain. *)
+let structural_sort_floor = 256.
+
+let structural_sort_cost nl nr =
+  if nl +. nr < structural_sort_floor then 0.
+  else
+    let f n = if n <= 1. then 0. else n *. log2 n in
+    f nl +. f nr
+
 let rec col_of = function
   | Plan.CCol i -> Some i
   | Plan.CFn (_, [ e ]) -> col_of e  (* LOWER(col) etc. preserve distribution *)

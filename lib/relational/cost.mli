@@ -8,6 +8,16 @@
 
 type est = { est_rows : float; est_cost : float }
 
+val structural_sort_cost : float -> float -> float
+(** [structural_sort_cost nl nr]: estimated comparison cost of the two
+    key sorts a structural merge join performs on inputs of [nl] and
+    [nr] rows — [n·log2 n] each. Charged as 0 when the combined input
+    is too small for the sorts to be measurable, so the tiny
+    paper-figure plans stay on the merge path; at bench scale the term
+    prices in the E7 low-density regime where hash-join-plus-filter
+    beats the merge. Used by the planner's join picker when ANALYZE
+    distinct counts are available for both document keys. *)
+
 type estimates = (Plan.t * est) list
 (** Keyed by physical node identity, like {!Obs.profile}. Includes the
     subplans embedded in operator expressions. *)

@@ -461,13 +461,22 @@ let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
        s.s_txn <- None;
        Done "rolled back")
   | Explain inner ->
+    (* EXPLAIN shows the plan the executor will actually run: when the
+       vectorized path is on, that is the rewritten plan, with fired
+       rewrite rules per node ([fused=…]) and summarised in a footer. *)
+    let explained (planned : Planner.planned) =
+      let ests = Cost.estimate t.cat planned.plan in
+      let vec = Rewrite.enabled () in
+      let annot node =
+        Cost.annotation ests node ^ (if vec then Rewrite.node_tag node else "")
+      in
+      Explained
+        (Plan.to_string ~annot planned.plan
+         ^ (if vec then Rewrite.footer planned.rewrites else ""))
+    in
     (match inner with
-     | Select_stmt sel ->
-       let planned = Planner.plan_select t.cat sel in
-       Explained (Cost.annotate t.cat planned.plan)
-     | Query_stmt q ->
-       let planned = Planner.plan_query t.cat q in
-       Explained (Cost.annotate t.cat planned.plan)
+     | Select_stmt sel -> explained (Planner.plan_select t.cat sel)
+     | Query_stmt q -> explained (Planner.plan_query t.cat q)
      | _ -> Explained (Sql_ast.stmt_to_string inner ^ "\n"))
   | Explain_analyze inner ->
     let planned =
@@ -481,10 +490,15 @@ let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
     let t0 = Obs.now_s () in
     let rows = List.of_seq (Executor.run t.cat ~obs planned.plan) in
     let elapsed_ms = (Obs.now_s () -. t0) *. 1000. in
+    let vec = Rewrite.enabled () in
     (* estimate-vs-actual, side by side on every node *)
-    let annot node = Cost.annotation ests node ^ Obs.annotation obs node in
+    let annot node =
+      Cost.annotation ests node ^ Obs.annotation obs node
+      ^ (if vec then Rewrite.node_tag node else "")
+    in
     Explained
       (Plan.to_string ~annot planned.plan
+       ^ (if vec then Rewrite.footer planned.rewrites else "")
        ^ Printf.sprintf
            "Result: %d rows in %.3fms (operator rows=%d, index probes=%d, \
             hash build rows=%d)\n"

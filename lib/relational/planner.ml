@@ -7,6 +7,7 @@ let error fmt = Printf.ksprintf (fun m -> raise (Plan_error m)) fmt
 type planned = {
   plan : Plan.t;
   column_names : string list;
+  rewrites : (string * int) list;
 }
 
 (* A scope maps (qualifier, column) pairs to row slots. Qualifiers are
@@ -842,9 +843,23 @@ and plan_from catalog ~outer (from : table_ref list) (where : expr option) :
                 match if has_equi then find_structural !current_members i else None with
                 | Some sm ->
                   let est_struct = est_out *. 0.25 in
+                  (* with ANALYZE distinct counts for both document keys
+                     the merge's two key sorts are charged against real
+                     cardinalities (n·log2 n each side) — at low region
+                     density the hash-join-plus-filter then wins, which
+                     is exactly the E7 density-16 regime; without stats
+                     keep the legacy flat charge *)
+                  let sort_charge =
+                    match
+                      distinct_of_expr sm.sm_doc_set,
+                      distinct_of_expr sm.sm_doc_unit
+                    with
+                    | Some _, Some _ ->
+                      Cost.structural_sort_cost !current_rows est
+                    | _ -> 0.002 *. (!current_rows +. est)
+                  in
                   let metric_struct =
-                    est_struct +. (0.01 *. cost)
-                    +. (0.002 *. (!current_rows +. est))
+                    est_struct +. (0.01 *. cost) +. sort_charge
                   in
                   if metric_struct < metric then (est_struct, metric_struct, `Structural sm)
                   else (est_out, metric, `Hash)
@@ -1228,9 +1243,20 @@ and finalize sel ~column_names ~proj_asts ~compile_output ~proj ~input =
     | None, None -> plan
     | limit, offset -> Plan.Limit { limit; offset; input = plan }
   in
-  { plan; column_names }
+  { plan; column_names; rewrites = [] }
 
-let plan_select catalog sel = plan_select_in catalog ~outer:[] sel
+(* The table-algebra rewrite pass runs once over the complete top-level
+   plan (the [transform] driver inside [Rewrite] recurses into expression
+   subplans itself), so subquery planning stays rewrite-free. *)
+let apply_rewrites catalog (p : planned) =
+  if Rewrite.enabled () then begin
+    let plan, rewrites = Rewrite.apply catalog p.plan in
+    { p with plan; rewrites }
+  end
+  else p
+
+let plan_select catalog sel =
+  apply_rewrites catalog (plan_select_in catalog ~outer:[] sel)
 
 let plan_query catalog (q : Sql_ast.query) =
   let first = plan_select_in catalog ~outer:[] q.first in
@@ -1249,7 +1275,7 @@ let plan_query catalog (q : Sql_ast.query) =
   let plan = Plan.Union_all (first.plan :: List.map snd branches) in
   (* plain UNION anywhere in the chain means set semantics for the result *)
   let plan = if all_bag then plan else Plan.Distinct plan in
-  { plan; column_names = first.column_names }
+  apply_rewrites catalog { plan; column_names = first.column_names; rewrites = [] }
 
 let compile_scalar catalog e =
   compile { catalog; scope = [||]; outer = [] } e

@@ -20,6 +20,10 @@ val structural_enabled : unit -> bool
 type planned = {
   plan : Plan.t;
   column_names : string list;  (** output column headers, in order *)
+  rewrites : (string * int) list;
+      (** table-algebra rewrite rules that fired on this plan, as
+          [(rule name, times)] in {!Rewrite.rule_names} order; empty when
+          the vectorized path (and with it the rewrite pass) is off *)
 }
 
 val plan_select : Catalog.t -> Sql_ast.select -> planned

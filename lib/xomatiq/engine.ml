@@ -71,6 +71,112 @@ let empty_trace ~parse_s ~xq2sql_s =
     indexes = []; result_rows = 0; operator_rows = 0; index_probes = 0;
     hash_build_rows = 0; plan = None }
 
+(* ---------------- translated-plan cache ----------------
+
+   Queries on the untraced relational path skip the whole
+   parse / XQ2SQL / SQL-parse / plan pipeline when the same text was
+   translated before against the same warehouse and catalog version.
+   The version stamp (bumped by every DDL, DML and ANALYZE) makes
+   entries self-invalidating: a stale entry simply fails the guard and
+   is re-translated and replaced on the next lookup. *)
+
+type cache_entry = {
+  ce_wh : Datahounds.Warehouse.t;
+  ce_version : int;             (* catalog version at translation time *)
+  ce_labels : string list;
+  ce_sql : string;
+  ce_plan : Rdb.Planner.planned option;  (* None when statically empty *)
+}
+
+(* The cache is process-global and the stress tests run queries from
+   several domains at once, so every access goes through one mutex. *)
+let cache_lock = Mutex.create ()
+let plan_cache : (string * string, cache_entry) Hashtbl.t = Hashtbl.create 64
+let cache_hits = ref 0
+let cache_misses = ref 0
+
+let locked f =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
+
+let cache_stats () = locked (fun () -> (!cache_hits, !cache_misses))
+
+let cache_clear () =
+  locked (fun () ->
+      Hashtbl.reset plan_cache;
+      cache_hits := 0;
+      cache_misses := 0)
+
+(* Whitespace-insensitive key: trim and collapse runs of blanks. *)
+let normalize_query_text text =
+  let buf = Buffer.create (String.length text) in
+  let pending = ref false and started = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> if !started then pending := true
+      | c ->
+        if !pending then Buffer.add_char buf ' ';
+        pending := false;
+        started := true;
+        Buffer.add_char buf c)
+    text;
+  Buffer.contents buf
+
+(* The effective worker count is part of the key: a plan built at jobs=4
+   carries Exchange partitions that a jobs=1 run must not reuse (and vice
+   versa), exactly like the contains-strategy tag. *)
+let strategy_tag strategy =
+  let s = match strategy with `Keyword_index -> "kw" | `Like_scan -> "like" in
+  (* the structural-join and vectorized-executor toggles change the
+     physical plan (the rewrite pass runs only when vectorized), so a
+     cached plan from one setting must not serve the other *)
+  Printf.sprintf "%s/j%d/sj%d/v%d" s (Conc.Pool.jobs ())
+    (if Rdb.Planner.structural_enabled () then 1 else 0)
+    (if Rdb.Rewrite.enabled () then 1 else 0)
+
+let catalog_version wh =
+  Rdb.Catalog.version (Rdb.Database.catalog (Datahounds.Warehouse.db wh))
+
+(* Parse and plan the translated SQL via the plan cache, keyed by the
+   generated SQL text: programmatic (AST-entry) runs of the same query
+   then skip SQL parse + planning exactly like textual ones. *)
+let planned_of_sql ~strategy wh sql =
+  let db = Datahounds.Warehouse.db wh in
+  let key = (normalize_query_text sql, strategy_tag strategy) in
+  let version = catalog_version wh in
+  let hit =
+    locked (fun () ->
+        match Hashtbl.find_opt plan_cache key with
+        | Some e when e.ce_wh == wh && e.ce_version = version ->
+          incr cache_hits;
+          Some e
+        | _ ->
+          incr cache_misses;
+          None)
+  in
+  match hit with
+  | Some { ce_plan = Some planned; _ } -> (planned, true)
+  | _ ->
+    let planned =
+      match Rdb.Sql_parser.parse sql with
+      | Rdb.Sql_ast.Select_stmt sel ->
+        (try Rdb.Planner.plan_select (Rdb.Database.catalog db) sel
+         with Rdb.Planner.Plan_error m -> error "planning failed: %s" m)
+      | Rdb.Sql_ast.Query_stmt qq ->
+        (try Rdb.Planner.plan_query (Rdb.Database.catalog db) qq
+         with Rdb.Planner.Plan_error m -> error "planning failed: %s" m)
+      | _ -> error "internal: translation did not produce a SELECT"
+      | exception ((Rdb.Sql_parser.Parse_error _ | Rdb.Sql_lexer.Lex_error _) as e)
+        -> error "internal: %s" (Rdb.Sql_parser.error_to_string e)
+    in
+    let e =
+      { ce_wh = wh; ce_version = version; ce_labels = []; ce_sql = sql;
+        ce_plan = Some planned }
+    in
+    locked (fun () -> Hashtbl.replace plan_cache key e);
+    (planned, false)
+
 let run_relational ?contains_strategy ?cancel ~trace ~parse_s wh (q : Ast.t) =
   let db = Datahounds.Warehouse.db wh in
   let t, xq2sql_s = timed (fun () -> translate ?contains_strategy db q) in
@@ -78,12 +184,21 @@ let run_relational ?contains_strategy ?cancel ~trace ~parse_s wh (q : Ast.t) =
     if t.statically_empty then
       { labels = t.labels; rows = []; sql = t.sql; trace = None;
         cached = false }
-    else
-      match Rdb.Database.query db t.sql with
-      | Error m -> error "SQL execution failed: %s\n%s" m t.sql
-      | Ok (_, rows) ->
-        { labels = t.labels; rows = to_string_rows rows; sql = t.sql;
-          trace = None; cached = false }
+    else begin
+      let strategy =
+        match contains_strategy with
+        | Some s -> s
+        | None -> `Keyword_index
+      in
+      let planned, cached = planned_of_sql ~strategy wh t.sql in
+      let rows =
+        try snd (Rdb.Database.run_planned db ?cancel planned) with
+        | Rdb.Executor.Runtime_error m ->
+          error "SQL execution failed: %s\n%s" m t.sql
+      in
+      { labels = t.labels; rows = to_string_rows rows; sql = t.sql;
+        trace = None; cached }
+    end
   end
   else if t.statically_empty then
     { labels = t.labels; rows = []; sql = t.sql;
@@ -158,71 +273,6 @@ let run ?(mode = `Relational) ?contains_strategy ?(trace = false) wh q =
   match mode with
   | `Relational -> run_relational ?contains_strategy ~trace ~parse_s:0. wh q
   | `Reference -> run_reference ~trace ~parse_s:0. wh q
-
-(* ---------------- translated-plan cache ----------------
-
-   Textual queries on the untraced relational path skip the whole
-   parse / XQ2SQL / SQL-parse / plan pipeline when the same text was
-   translated before against the same warehouse and catalog version.
-   The version stamp (bumped by every DDL, DML and ANALYZE) makes
-   entries self-invalidating: a stale entry simply fails the guard and
-   is re-translated and replaced on the next lookup. *)
-
-type cache_entry = {
-  ce_wh : Datahounds.Warehouse.t;
-  ce_version : int;             (* catalog version at translation time *)
-  ce_labels : string list;
-  ce_sql : string;
-  ce_plan : Rdb.Planner.planned option;  (* None when statically empty *)
-}
-
-(* The cache is process-global and the stress tests run queries from
-   several domains at once, so every access goes through one mutex. *)
-let cache_lock = Mutex.create ()
-let plan_cache : (string * string, cache_entry) Hashtbl.t = Hashtbl.create 64
-let cache_hits = ref 0
-let cache_misses = ref 0
-
-let locked f =
-  Mutex.lock cache_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
-
-let cache_stats () = locked (fun () -> (!cache_hits, !cache_misses))
-
-let cache_clear () =
-  locked (fun () ->
-      Hashtbl.reset plan_cache;
-      cache_hits := 0;
-      cache_misses := 0)
-
-(* Whitespace-insensitive key: trim and collapse runs of blanks. *)
-let normalize_query_text text =
-  let buf = Buffer.create (String.length text) in
-  let pending = ref false and started = ref false in
-  String.iter
-    (fun c ->
-      match c with
-      | ' ' | '\t' | '\n' | '\r' -> if !started then pending := true
-      | c ->
-        if !pending then Buffer.add_char buf ' ';
-        pending := false;
-        started := true;
-        Buffer.add_char buf c)
-    text;
-  Buffer.contents buf
-
-(* The effective worker count is part of the key: a plan built at jobs=4
-   carries Exchange partitions that a jobs=1 run must not reuse (and vice
-   versa), exactly like the contains-strategy tag. *)
-let strategy_tag strategy =
-  let s = match strategy with `Keyword_index -> "kw" | `Like_scan -> "like" in
-  (* the structural-join toggle changes the physical plan, so a cached
-     plan from one setting must not serve the other *)
-  Printf.sprintf "%s/j%d/sj%d" s (Conc.Pool.jobs ())
-    (if Rdb.Planner.structural_enabled () then 1 else 0)
-
-let catalog_version wh =
-  Rdb.Catalog.version (Rdb.Database.catalog (Datahounds.Warehouse.db wh))
 
 let run_cache_entry ?cancel ~cached e =
   match e.ce_plan with

@@ -115,7 +115,14 @@ let test_explain_annotations () =
   (match Rdb.Database.exec db "EXPLAIN SELECT a FROM t WHERE a = 3 ORDER BY a" with
    | Ok (Rdb.Database.Explained s) ->
      let lines =
-       List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+       (* every plan line carries estimates; the trailing "Vectorized:"
+          rewrite summary is not an operator line *)
+       List.filter
+         (fun l ->
+           let l = String.trim l in
+           l <> ""
+           && not (String.length l >= 11 && String.sub l 0 11 = "Vectorized:"))
+         (String.split_on_char '\n' s)
      in
      check Alcotest.bool "plan is non-trivial" true (List.length lines >= 2);
      List.iter
@@ -372,6 +379,67 @@ RETURN $a//enzyme_id, $a//enzyme_description|} ]
     queries;
   Datahounds.Warehouse.close wh
 
+(* Regression pin for the E7 density-16 dip: the structural merge join
+   sorts both inputs by document key, and at low region density that
+   n·log2 n charge loses to hash-join-plus-filter. With ANALYZE distinct
+   counts on both doc keys the planner must charge the sorts against
+   real cardinalities and pick HashJoin at density 16; at density 64 the
+   merge's output reduction wins back. Without stats the legacy flat
+   charge keeps the structural pick at both densities (the pre-stats
+   behaviour the E7 sweep measured). *)
+let density_db k =
+  let db = Rdb.Database.open_in_memory () in
+  ignore
+    (Rdb.Database.exec_exn db
+       "CREATE TABLE region (doc INTEGER, lo INTEGER, hi INTEGER)");
+  ignore (Rdb.Database.exec_exn db "CREATE TABLE pt (doc INTEGER, pos INTEGER)");
+  let docs = 24 in
+  let ins table rows =
+    match Rdb.Database.insert_rows db ~table rows with
+    | Ok _ -> ()
+    | Error m -> failwith m
+  in
+  ins "region"
+    (List.init (docs * k) (fun i ->
+         let lo = 2 * (i mod k) in
+         [| Rdb.Value.Int (i / k); Rdb.Value.Int lo; Rdb.Value.Int (lo + 1) |]));
+  ins "pt"
+    (List.init (docs * k) (fun i ->
+         [| Rdb.Value.Int (i / k); Rdb.Value.Int ((2 * (i mod k)) + 1) |]));
+  db
+
+let density_plan db =
+  match
+    Rdb.Database.explain db
+      "SELECT r.lo, p.pos FROM region r, pt p WHERE r.doc = p.doc AND \
+       p.pos > r.lo AND p.pos <= r.hi"
+  with
+  | Ok s -> s
+  | Error m -> failwith m
+
+let test_density_join_pick () =
+  let has plan needle =
+    let nl = String.length needle and pl = String.length plan in
+    let rec go i = i + nl <= pl && (String.sub plan i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (k, analyzed, expect) ->
+      let db = density_db k in
+      if analyzed then ignore (Rdb.Database.exec_exn db "ANALYZE");
+      let plan = density_plan db in
+      let rival = if expect = "StructuralJoin" then "HashJoin" else "StructuralJoin" in
+      check Alcotest.bool
+        (Printf.sprintf "density %d %s ANALYZE picks %s:\n%s" k
+           (if analyzed then "with" else "without") expect plan)
+        true
+        (has plan expect && not (has plan rival));
+      Rdb.Database.close db)
+    [ (16, true, "HashJoin");
+      (64, true, "StructuralJoin");
+      (16, false, "StructuralJoin");
+      (64, false, "StructuralJoin") ]
+
 let () =
   Alcotest.run "cost"
     [ ( "stats",
@@ -392,4 +460,7 @@ let () =
         [ Alcotest.test_case "estimate vs actual over query mix" `Quick
             test_estimate_vs_actual;
           Alcotest.test_case "ANALYZE re-ranks plans" `Quick
-            test_analyze_changes_plans ] ) ]
+            test_analyze_changes_plans ] );
+      ( "density-regression",
+        [ Alcotest.test_case "structural vs hash across densities" `Quick
+            test_density_join_pick ] ) ]
