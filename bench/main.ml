@@ -998,7 +998,11 @@ let e8t_cell port ~clients =
 let print_e8_throughput () =
   let smoke = Sys.getenv_opt "XOMATIQ_BENCH_SMOKE" <> None in
   let client_counts = if smoke then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
-  let jobs_levels = if smoke then [ 2 ] else [ 1; 2; 4 ] in
+  (* smoke includes jobs=1 AND jobs=2 so CI can assert the adaptive
+     scheduler keeps jobs=2 within 0.8x of the jobs=1 single-client QPS
+     (the regression that motivated it: unconditional dispatch dropped
+     jobs=2 single-client throughput by ~7x) *)
+  let jobs_levels = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
   let saved_jobs = Conc.Pool.jobs () in
   print_newline ();
   Printf.printf
@@ -1029,6 +1033,27 @@ let print_e8_throughput () =
       jobs_levels
   in
   Conc.Pool.set_jobs saved_jobs;
+  (* The E8 acceptance bar: granting workers must never cost a lone
+     client its throughput. Any jobs>1 cell must stay within 0.8x of the
+     jobs=1 QPS at the same client count. *)
+  let qps_at jobs clients =
+    List.find_map
+      (fun (j, c, _, qps, _, _, _) ->
+        if j = jobs && c = clients then Some qps else None)
+      cells
+  in
+  List.iter
+    (fun (jobs, clients, _, qps, _, _, _) ->
+      if jobs > 1 then
+        match qps_at 1 clients with
+        | Some base when qps < 0.8 *. base ->
+          failwith
+            (Printf.sprintf
+               "E8-throughput regression: jobs=%d clients=%d runs at %.1f \
+                QPS, below 0.8x of the jobs=1 baseline (%.1f QPS)"
+               jobs clients qps base)
+        | _ -> ())
+    cells;
   let cell_json (jobs, clients, requests, qps, p50, p95, p99) =
     Printf.sprintf
       "    { \"jobs\": %d, \"clients\": %d, \"requests\": %d, \"qps\": %.2f, \

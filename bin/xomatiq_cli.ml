@@ -702,7 +702,7 @@ let metric_of_json json name =
 
 let connect_cmd =
   let run host port =
-    match Xserver.Client.connect ~host ~port () with
+    match Xserver.Client.connect ~host ~busy_retry_for_s:5. ~port () with
     | exception Unix.Unix_error (e, _, _) ->
       `Error (false, Printf.sprintf "cannot connect to %s:%d: %s" host port
                 (Unix.error_message e))

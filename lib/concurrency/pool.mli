@@ -44,6 +44,12 @@ val poll : 'a future -> bool
     [select]s so it can watch for CANCEL frames and deadlines while its
     query runs on the pool. *)
 
+val available : t -> int
+(** Idle worker domains right now: workers neither executing a task nor
+    already promised to one sitting in the queue. Advisory — no
+    reservation is taken — and the basis of the scheduler's "workers
+    only when the pool is idle" grant ({!Sched.exchange_parallel}). *)
+
 val await_blocking : 'a future -> 'a
 (** Like {!await} but without helping: waits on the future's condition
     variable only. For callers that must stay responsive to their own
@@ -79,7 +85,15 @@ val set_jobs : int -> unit
 val get : unit -> t
 (** The global pool, created lazily at the current jobs setting. *)
 
+val peek : unit -> t option
+(** The global pool if some call already created it, without creating
+    one. The adaptive scheduler's Exchange gate peeks so that a process
+    whose queries all run inline never spawns worker domains — resident
+    idle domains tax every query through the stop-the-world GC
+    rendezvous on hosts without spare cores. *)
+
 val with_jobs : int -> (unit -> 'a) -> 'a
 (** Run a thunk with the global jobs setting temporarily overridden
     (restored on exit, even on exceptions). Used by tests and benches to
-    pin a jobs level. *)
+    pin a jobs level. An override above 1 creates the pool eagerly, so
+    adaptive Exchange gates (which only {!peek}) can grant workers. *)

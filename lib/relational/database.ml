@@ -359,6 +359,15 @@ let do_analyze t (stmt : Sql_ast.stmt) target =
     (Printf.sprintf "analyzed %d table%s" (List.length tables)
        (if List.length tables = 1 then "" else "s"))
 
+(* EXPLAIN footer surfacing the scheduler's plan-time decision: whether
+   this query would run on the session thread or request Exchange
+   workers, and why. *)
+let sched_footer (planned : Planner.planned) =
+  Printf.sprintf "Scheduler: %s est_cost=%.1f\n"
+    (Conc.Sched.decision_string
+       (Conc.Sched.plan_decision ~est_cost:planned.est_cost))
+    planned.est_cost
+
 let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
   let t = s.sdb in
   match stmt with
@@ -472,7 +481,8 @@ let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
       in
       Explained
         (Plan.to_string ~annot planned.plan
-         ^ (if vec then Rewrite.footer planned.rewrites else ""))
+         ^ (if vec then Rewrite.footer planned.rewrites else "")
+         ^ sched_footer planned)
     in
     (match inner with
      | Select_stmt sel -> explained (Planner.plan_select t.cat sel)
@@ -499,6 +509,7 @@ let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
     Explained
       (Plan.to_string ~annot planned.plan
        ^ (if vec then Rewrite.footer planned.rewrites else "")
+       ^ sched_footer planned
        ^ Printf.sprintf
            "Result: %d rows in %.3fms (operator rows=%d, index probes=%d, \
             hash build rows=%d)\n"

@@ -23,6 +23,51 @@ end
 
 module KeyTbl = Hashtbl.Make (Key)
 
+(* Adaptive grant for Exchange fan-out: on top of the static shape
+   checks (real partitions, a real pool), the scheduler's idle gate may
+   degrade a fan-out to sequential in-thread execution when every worker
+   is already occupied — queueing partitions behind other queries' work
+   only adds latency. Sequential and parallel execution of the same
+   Exchange are byte-identical; the counters make degradation visible in
+   METRICS. *)
+let m_par_granted = Obs.Counter.create ()
+let m_par_degraded = Obs.Counter.create ()
+
+let () =
+  Obs.register_counter "exec.parallel_granted" m_par_granted;
+  Obs.register_counter "exec.parallel_degraded" m_par_degraded
+
+(* Which pool, if any, an Exchange fan-out may run on. Static mode
+   forces the global pool into existence (the pre-adaptive behavior).
+   Adaptive mode borrows a pool that some other call already created —
+   and only creates one itself when the host has a spare core to run
+   worker domains on: resident domains on a single-core host tax every
+   query through the stop-the-world GC rendezvous without buying any
+   parallelism. *)
+let multicore = lazy (Domain.recommended_domain_count () > 1)
+
+let exchange_pool ~workers : Conc.Pool.t option =
+  if workers <= 1 || Conc.Pool.jobs () <= 1 then None
+  else begin
+    let candidate =
+      match Conc.Sched.mode () with
+      | Conc.Sched.Static -> Some (Conc.Pool.get ())
+      | Conc.Sched.Adaptive -> (
+        match Conc.Pool.peek () with
+        | Some _ as p -> p
+        | None -> if Lazy.force multicore then Some (Conc.Pool.get ()) else None)
+    in
+    match candidate with
+    | Some pool
+      when Conc.Pool.size pool > 1
+           && Conc.Sched.exchange_parallel pool ~workers ->
+      Obs.Counter.incr m_par_granted;
+      Some pool
+    | _ ->
+      Obs.Counter.incr m_par_degraded;
+      None
+  end
+
 (* Build table of the vectorized hash join. When the join key is a
    single column that stayed unboxed on the build side, the table keys
    on raw ints so neither build nor probe ever allocates a Value. *)
@@ -257,10 +302,11 @@ let key_array_sorted cmp arr =
    caller's global pair sort keeps the output byte-identical at any
    worker count. Returns the per-chunk [merge_range] results in doc
    order. *)
-let structural_merge_chunks ~pool ~want_parallel ~n_ivl ~n_pt ~doc_of_ivl
+let structural_merge_chunks ~par ~n_ivl ~n_pt ~doc_of_ivl
     ~doc_of_pt ~doc_cmp ~merge_range =
-  if not want_parallel then [ merge_range (0, n_ivl) (0, n_pt) ]
-  else begin
+  match par with
+  | None -> [ merge_range (0, n_ivl) (0, n_pt) ]
+  | Some pool -> begin
     (* first point with doc >= d / doc > d *)
     let pt_bound ~after d =
       let lo_b = ref 0 and hi_b = ref n_pt in
@@ -322,11 +368,11 @@ let soa_sorted (doc : int array) (key : int array) n =
 let permute (p : int array) (a : int array) =
   Array.init (Array.length p) (fun k -> a.(p.(k)))
 
-let structural_merge_int ~pool ~want_parallel ~lo_incl ~hi_incl
+let structural_merge_int ~par ~lo_incl ~hi_incl
     ~ivl:(iv_doc, iv_lo, iv_hi, iv_idx) ~pt:(pt_doc, pt_pos, pt_idx) :
     int array * int array =
   let n_ivl = Array.length iv_doc and n_pt = Array.length pt_doc in
-  let want_parallel = want_parallel && n_ivl > 1 in
+  let par = if n_ivl > 1 then par else None in
   let icmp (x : int) y = if x < y then -1 else if x > y then 1 else 0 in
   (* (doc, key) order, original index as final tie-break; inputs already
      in this order (e.g. a (doc_id, node_id) primary-key scan) skip the
@@ -441,7 +487,7 @@ let structural_merge_int ~pool ~want_parallel ~lo_incl ~hi_incl
     (Array.sub !out_i 0 !m, Array.sub !out_j 0 !m)
   in
   let parts =
-    structural_merge_chunks ~pool ~want_parallel ~n_ivl ~n_pt
+    structural_merge_chunks ~par ~n_ivl ~n_pt
       ~doc_of_ivl:(fun k -> iv_doc.(k))
       ~doc_of_pt:(fun k -> pt_doc.(k))
       ~doc_cmp:icmp ~merge_range
@@ -464,11 +510,11 @@ let structural_merge_int ~pool ~want_parallel ~lo_incl ~hi_incl
 (* Generic path: arbitrary comparable keys. Merge order uses the total
    order; a match additionally requires the SQL comparison semantics at
    emission. *)
-let structural_merge_generic ~pool ~want_parallel ~lo_incl ~hi_incl
+let structural_merge_generic ~par ~lo_incl ~hi_incl
     (intervals : (Value.t * Value.t * Value.t * int) array)
     (points : (Value.t * Value.t * int) array) : int array * int array =
   let n_ivl = Array.length intervals and n_pt = Array.length points in
-  let want_parallel = want_parallel && n_ivl > 1 in
+  let par = if n_ivl > 1 then par else None in
   let cmp_ivl (d1, l1, _, i1) (d2, l2, _, i2) =
     let c = Value.compare_total d1 d2 in
     if c <> 0 then c
@@ -552,7 +598,7 @@ let structural_merge_generic ~pool ~want_parallel ~lo_incl ~hi_incl
   in
   let pairs =
     List.concat
-      (structural_merge_chunks ~pool ~want_parallel ~n_ivl ~n_pt
+      (structural_merge_chunks ~par ~n_ivl ~n_pt
          ~doc_of_ivl:(fun k -> let d, _, _, _ = intervals.(k) in d)
          ~doc_of_pt:(fun k -> let d, _, _ = points.(k) in d)
          ~doc_cmp:Value.compare_total ~merge_range)
@@ -568,7 +614,7 @@ let structural_merge_generic ~pool ~want_parallel ~lo_incl ~hi_incl
 
 (* Dispatch on key representation: when every key is an Int (the XML
    region encoding), run the unboxed merge. *)
-let structural_pairs ~pool ~want_parallel ~lo_incl ~hi_incl intervals points =
+let structural_pairs ~par ~lo_incl ~hi_incl intervals points =
   let int_keys =
     Array.for_all
       (fun (d, l, h, _) ->
@@ -610,13 +656,11 @@ let structural_pairs ~pool ~want_parallel ~lo_incl ~hi_incl intervals points =
          | _ -> assert false);
         pt_idx.(k) <- j)
       points;
-    structural_merge_int ~pool ~want_parallel ~lo_incl ~hi_incl
+    structural_merge_int ~par ~lo_incl ~hi_incl
       ~ivl:(iv_doc, iv_lo, iv_hi, iv_idx)
       ~pt:(pt_doc, pt_pos, pt_idx)
   end
-  else
-    structural_merge_generic ~pool ~want_parallel ~lo_incl ~hi_incl intervals
-      points
+  else structural_merge_generic ~par ~lo_incl ~hi_incl intervals points
 
 (* Re-merge matched pairs to the deterministic left-major order of the
    equivalent nested-loop/hash plan: two stable counting passes (by
@@ -653,12 +697,11 @@ let structural_lr_pairs ~interval_on_left ~n_left ~n_right (pi, pj) =
 
 (* The planner only marks big inputs with Exchange, so that is the
    go-parallel signal for the structural merge. *)
-let structural_want_parallel pool (left : Plan.t) (right : Plan.t) =
-  Conc.Pool.size pool > 1
-  && (match left, right with
-      | Plan.Exchange { workers; _ }, _ | _, Plan.Exchange { workers; _ } ->
-        workers > 1
-      | _ -> false)
+let structural_exchange_pool (left : Plan.t) (right : Plan.t) =
+  match left, right with
+  | Plan.Exchange { workers; _ }, _ | _, Plan.Exchange { workers; _ } ->
+    exchange_pool ~workers
+  | _ -> None
 
 let rec eval ctx row (e : Plan.cexpr) : Value.t =
   match e with
@@ -890,11 +933,20 @@ and run_plan_raw ctx st (plan : Plan.t) : Value.t array Seq.t =
     fun () ->
       (* build on the right; an Exchange build side is partitioned across
          domains into per-domain partial tables, then merged *)
-      let tbl =
-        match right with
-        | Plan.Exchange { inputs; workers }
-          when workers > 1 && Conc.Pool.size (Conc.Pool.get ()) > 1 ->
-          let pool = Conc.Pool.get () in
+      let build_seq () =
+        let tbl = KeyTbl.create 256 in
+        Seq.iter
+          (fun rrow ->
+            let k = Array.map (eval ctx rrow) right_keys in
+            if not (Array.exists (fun v -> v = Value.Null) k) then begin
+              built st;
+              KeyTbl.replace tbl k
+                (rrow :: (match KeyTbl.find_opt tbl k with Some l -> l | None -> []))
+            end)
+          (run_plan ctx right);
+        tbl
+      in
+      let build_par pool inputs =
           (* key evaluation is pure; each domain fills its own table *)
           let locals =
             Conc.Pool.parallel_map pool
@@ -933,18 +985,14 @@ and run_plan_raw ctx st (plan : Plan.t) : Value.t array Seq.t =
                 local)
             locals;
           tbl
-        | _ ->
-          let tbl = KeyTbl.create 256 in
-          Seq.iter
-            (fun rrow ->
-              let k = Array.map (eval ctx rrow) right_keys in
-              if not (Array.exists (fun v -> v = Value.Null) k) then begin
-                built st;
-                KeyTbl.replace tbl k
-                  (rrow :: (match KeyTbl.find_opt tbl k with Some l -> l | None -> []))
-              end)
-            (run_plan ctx right);
-          tbl
+      in
+      let tbl =
+        match right with
+        | Plan.Exchange { inputs; workers } -> (
+          match exchange_pool ~workers with
+          | Some pool -> build_par pool inputs
+          | None -> build_seq ())
+        | _ -> build_seq ()
       in
       (Seq.concat_map
          (fun lrow ->
@@ -1002,19 +1050,17 @@ and run_plan_raw ctx st (plan : Plan.t) : Value.t array Seq.t =
     (match limit with Some n -> Seq.take n rows | None -> rows)
   | Exchange { inputs; workers } ->
     fun () ->
-      let pool = Conc.Pool.get () in
-      if workers <= 1 || Conc.Pool.size pool <= 1 then
-        Seq.concat_map (run_plan ctx) (List.to_seq inputs) ()
-      else begin
-        (* each domain materialises its own partition; concatenating in
-           input order reproduces the unpartitioned stream exactly *)
-        let parts =
-          Conc.Pool.parallel_map pool
-            (fun p -> List.of_seq (run_plan ctx p))
-            inputs
-        in
-        Seq.concat_map List.to_seq (List.to_seq parts) ()
-      end
+      (match exchange_pool ~workers with
+       | None -> Seq.concat_map (run_plan ctx) (List.to_seq inputs) ()
+       | Some pool ->
+         (* each domain materialises its own partition; concatenating in
+            input order reproduces the unpartitioned stream exactly *)
+         let parts =
+           Conc.Pool.parallel_map pool
+             (fun p -> List.of_seq (run_plan ctx p))
+             inputs
+         in
+         Seq.concat_map List.to_seq (List.to_seq parts) ())
   | Structural_join
       { left; right; interval_on_left; left_doc; right_doc; lo; hi; pos;
         lo_incl; hi_incl; cond; right_arity = _ } ->
@@ -1058,11 +1104,9 @@ and run_plan_raw ctx st (plan : Plan.t) : Value.t array Seq.t =
           pt_rows;
         Array.of_list (List.rev !acc)
       in
-      let pool = Conc.Pool.get () in
-      let want_parallel = structural_want_parallel pool left right in
+      let par = structural_exchange_pool left right in
       let all_pairs =
-        structural_pairs ~pool ~want_parallel ~lo_incl ~hi_incl intervals
-          points
+        structural_pairs ~par ~lo_incl ~hi_incl intervals points
       in
       let li, ri =
         structural_lr_pairs ~interval_on_left ~n_left:(Array.length lrows)
@@ -1596,11 +1640,7 @@ and run_batches_raw ctx st (plan : Plan.t) : Batch.t Seq.t =
         done;
         (local, !count)
       in
-      let rB, tbl =
-        match right with
-        | Plan.Exchange { inputs; workers }
-          when workers > 1 && Conc.Pool.size (Conc.Pool.get ()) > 1 ->
-          let pool = Conc.Pool.get () in
+      let build_par pool inputs =
           let locals =
             Conc.Pool.parallel_map pool
               (fun p ->
@@ -1635,7 +1675,8 @@ and run_batches_raw ctx st (plan : Plan.t) : Batch.t Seq.t =
               off := !off + b.Batch.len)
             locals;
           (rB, Hj_gen tbl)
-        | _ ->
+      in
+      let build_seq () =
           let rB =
             Batch.concat ~arity:right_arity
               (List.of_seq (run_batches ctx right))
@@ -1671,6 +1712,14 @@ and run_batches_raw ctx st (plan : Plan.t) : Batch.t Seq.t =
            | Some s -> s.build_rows <- s.build_rows + count
            | None -> ());
           (rB, tbl)
+      in
+      let rB, tbl =
+        match right with
+        | Plan.Exchange { inputs; workers } -> (
+          match exchange_pool ~workers with
+          | Some pool -> build_par pool inputs
+          | None -> build_seq ())
+        | _ -> build_seq ()
       in
       let lookup (k : Value.t array) =
         match tbl with
@@ -1892,20 +1941,18 @@ and run_batches_raw ctx st (plan : Plan.t) : Batch.t Seq.t =
     go off limit bs
   | Exchange { inputs; workers } ->
     fun () ->
-      let pool = Conc.Pool.get () in
-      if workers <= 1 || Conc.Pool.size pool <= 1 then
-        Seq.concat_map (run_batches ctx) (List.to_seq inputs) ()
-      else begin
-        (* each domain materialises its own partition's batches;
-           concatenating in input order reproduces the unpartitioned
-           stream exactly *)
-        let parts =
-          Conc.Pool.parallel_map pool
-            (fun p -> List.of_seq (run_batches ctx p))
-            inputs
-        in
-        Seq.concat_map List.to_seq (List.to_seq parts) ()
-      end
+      (match exchange_pool ~workers with
+       | None -> Seq.concat_map (run_batches ctx) (List.to_seq inputs) ()
+       | Some pool ->
+         (* each domain materialises its own partition's batches;
+            concatenating in input order reproduces the unpartitioned
+            stream exactly *)
+         let parts =
+           Conc.Pool.parallel_map pool
+             (fun p -> List.of_seq (run_batches ctx p))
+             inputs
+         in
+         Seq.concat_map List.to_seq (List.to_seq parts) ())
   | Structural_join
       { left; right; interval_on_left; left_doc; right_doc; lo; hi; pos;
         lo_incl; hi_incl; cond; right_arity = _ } ->
@@ -1961,8 +2008,7 @@ and batch_sj_pairs ctx st ~left ~right ~interval_on_left ~left_doc
         if interval_on_left then (lB, left_doc, rB, right_doc)
         else (rB, right_doc, lB, left_doc)
       in
-      let pool = Conc.Pool.get () in
-      let want_parallel = structural_want_parallel pool left right in
+      let par = structural_exchange_pool left right in
       (* an unboxed key column never holds NULL, so physical index =
          stream index and no NULL filtering is needed *)
       let int_col b (e : Plan.cexpr) =
@@ -1986,7 +2032,7 @@ and batch_sj_pairs ctx st ~left ~right ~interval_on_left ~left_doc
              index columns *)
           let iv_idx = Array.init ivB.Batch.len (fun k -> k) in
           let pt_idx = Array.init ptB.Batch.len (fun k -> k) in
-          structural_merge_int ~pool ~want_parallel ~lo_incl ~hi_incl
+          structural_merge_int ~par ~lo_incl ~hi_incl
             ~ivl:(d, l, h, iv_idx)
             ~pt:(pd, pv, pt_idx)
         | _ ->
@@ -2015,8 +2061,7 @@ and batch_sj_pairs ctx st ~left ~right ~interval_on_left ~left_doc
             done;
             Array.of_list (List.rev !acc)
           in
-          structural_pairs ~pool ~want_parallel ~lo_incl ~hi_incl intervals
-            points
+          structural_pairs ~par ~lo_incl ~hi_incl intervals points
       in
       let lidx, ridx =
         structural_lr_pairs ~interval_on_left ~n_left:lB.Batch.len

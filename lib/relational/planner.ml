@@ -8,6 +8,9 @@ type planned = {
   plan : Plan.t;
   column_names : string list;
   rewrites : (string * int) list;
+  est_cost : float;
+      (* root cost estimate of the final (rewritten) plan, in "rows
+         touched"; the scheduler's cost gate reads it at dispatch time *)
 }
 
 (* A scope maps (qualifier, column) pairs to row slots. Qualifiers are
@@ -1243,7 +1246,7 @@ and finalize sel ~column_names ~proj_asts ~compile_output ~proj ~input =
     | None, None -> plan
     | limit, offset -> Plan.Limit { limit; offset; input = plan }
   in
-  { plan; column_names; rewrites = [] }
+  { plan; column_names; rewrites = []; est_cost = 0. }
 
 (* The table-algebra rewrite pass runs once over the complete top-level
    plan (the [transform] driver inside [Rewrite] recurses into expression
@@ -1255,8 +1258,18 @@ let apply_rewrites catalog (p : planned) =
   end
   else p
 
+(* Stamp the finished plan with its root cost estimate — computed after
+   rewrites, so the gate judges the plan that will actually run. *)
+let with_root_cost catalog (p : planned) =
+  let est_cost =
+    match Cost.find (Cost.estimate catalog p.plan) p.plan with
+    | Some e -> e.Cost.est_cost
+    | None -> 0.
+  in
+  { p with est_cost }
+
 let plan_select catalog sel =
-  apply_rewrites catalog (plan_select_in catalog ~outer:[] sel)
+  with_root_cost catalog (apply_rewrites catalog (plan_select_in catalog ~outer:[] sel))
 
 let plan_query catalog (q : Sql_ast.query) =
   let first = plan_select_in catalog ~outer:[] q.first in
@@ -1275,7 +1288,10 @@ let plan_query catalog (q : Sql_ast.query) =
   let plan = Plan.Union_all (first.plan :: List.map snd branches) in
   (* plain UNION anywhere in the chain means set semantics for the result *)
   let plan = if all_bag then plan else Plan.Distinct plan in
-  apply_rewrites catalog { plan; column_names = first.column_names; rewrites = [] }
+  with_root_cost catalog
+    (apply_rewrites catalog
+       { plan; column_names = first.column_names; rewrites = [];
+         est_cost = 0. })
 
 let compile_scalar catalog e =
   compile { catalog; scope = [||]; outer = [] } e

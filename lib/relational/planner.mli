@@ -24,6 +24,10 @@ type planned = {
       (** table-algebra rewrite rules that fired on this plan, as
           [(rule name, times)] in {!Rewrite.rule_names} order; empty when
           the vectorized path (and with it the rewrite pass) is off *)
+  est_cost : float;
+      (** root cost estimate of the final (rewritten) plan in the cost
+          model's "rows touched" unit; the adaptive scheduler's cost
+          gate compares it against [Conc.Sched.cost_threshold] *)
 }
 
 val plan_select : Catalog.t -> Sql_ast.select -> planned

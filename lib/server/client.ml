@@ -33,13 +33,19 @@ let expect t wanted what =
   payload
 
 let connect ?(host = "127.0.0.1") ?(timeout_s = 10.) ?(retry_for_s = 0.)
-    ~port () =
+    ?(busy_retry_for_s = 0.) ~port () =
+  (* Writing to a connection the server already reaped (idle timeout,
+     drain) delivers SIGPIPE, whose default disposition kills the whole
+     process before [Unix.write] can return EPIPE. Ignore it so [close]'s
+     best-effort BYE and friends fail as catchable exceptions instead. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let addr =
     try Unix.inet_addr_of_string host
     with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
   in
   let give_up = Rdb.Obs.now_s () +. retry_for_s in
-  let rec attempt () =
+  let rec tcp_attempt () =
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     match Unix.connect sock (Unix.ADDR_INET (addr, port)) with
     | () -> sock
@@ -48,24 +54,40 @@ let connect ?(host = "127.0.0.1") ?(timeout_s = 10.) ?(retry_for_s = 0.)
       when Rdb.Obs.now_s () < give_up ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
       Thread.delay 0.05;
-      attempt ()
+      tcp_attempt ()
     | exception e ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
       raise e
   in
-  let sock = attempt () in
-  Unix.set_nonblock sock;
-  (try Unix.setsockopt sock Unix.TCP_NODELAY true
-   with Unix.Unix_error _ -> ());
-  let t = { sock; timeout_s; closed = false } in
-  (try
-     send_raw t P.tag_hello P.version;
-     ignore (expect t P.tag_welcome "WELCOME")
-   with e ->
-     t.closed <- true;
-     (try Unix.close sock with Unix.Unix_error _ -> ());
-     raise e);
-  t
+  let session_attempt () =
+    let sock = tcp_attempt () in
+    Unix.set_nonblock sock;
+    (try Unix.setsockopt sock Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ());
+    let t = { sock; timeout_s; closed = false } in
+    try
+      send_raw t P.tag_hello P.version;
+      ignore (expect t P.tag_welcome "WELCOME");
+      t
+    with e ->
+      t.closed <- true;
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      raise e
+  in
+  (* An admission rejection is transient: the server sheds load when its
+     slot and wait queue are full, so a batch script's next attempt a
+     moment later usually succeeds. Retry with doubling backoff while
+     [busy_retry_for_s] allows; any other error is final. *)
+  let busy_give_up = Rdb.Obs.now_s () +. busy_retry_for_s in
+  let rec admitted backoff =
+    match session_attempt () with
+    | t -> t
+    | exception Server_error (code, _)
+      when code = P.err_busy && Rdb.Obs.now_s () +. backoff < busy_give_up ->
+      Thread.delay backoff;
+      admitted (Float.min 0.5 (backoff *. 2.))
+  in
+  admitted 0.05
 
 (* Collect R chunks until the D trailer. *)
 let run_streaming t tag text =

@@ -16,15 +16,22 @@ exception Server_error of string * string
 (** [(code, message)] from an error frame — see [Protocol.err_*]. *)
 
 val connect :
-  ?host:string -> ?timeout_s:float -> ?retry_for_s:float -> port:int ->
-  unit -> t
+  ?host:string -> ?timeout_s:float -> ?retry_for_s:float ->
+  ?busy_retry_for_s:float -> port:int -> unit -> t
 (** TCP connect + HELLO/WELCOME handshake. [timeout_s] (default 10)
     bounds each I/O step; [retry_for_s] (default 0) keeps retrying a
     refused connection for that long — handy while a freshly spawned
-    server is still binding.
+    server is still binding. [busy_retry_for_s] (default 0) additionally
+    retries a [SERVER_BUSY] admission rejection with doubling backoff
+    (50 ms up to 500 ms) for that long — a shed connection is transient,
+    and batch scripts should not hard-fail on it.
     @raise Server_error when the server rejects the handshake (e.g.
-    [SERVER_BUSY]).
-    @raise Unix.Unix_error when the server cannot be reached. *)
+    [SERVER_BUSY] after the retry budget, or a version mismatch).
+    @raise Unix.Unix_error when the server cannot be reached.
+
+    Also sets SIGPIPE to ignore (where supported): a write to a
+    connection the server already reaped must surface as a catchable
+    [EPIPE], not kill the process. *)
 
 val query : t -> string -> string * Protocol.summary
 (** Run a FLWR query; returns the rendered result body (all row chunks

@@ -32,6 +32,8 @@ let m_slow_client_drops = Obs.Counter.create ()
 let m_proto_errors = Obs.Counter.create ()
 let m_bytes_in = Obs.Counter.create ()
 let m_bytes_out = Obs.Counter.create ()
+let m_sched_inline = Obs.Counter.create ()
+let m_sched_dispatched = Obs.Counter.create ()
 let m_latency = Obs.Histogram.create ()
 
 let () =
@@ -46,6 +48,8 @@ let () =
   Obs.register_counter "server.proto_errors" m_proto_errors;
   Obs.register_counter "server.bytes_in" m_bytes_in;
   Obs.register_counter "server.bytes_out" m_bytes_out;
+  Obs.register_counter "server.sched_inline" m_sched_inline;
+  Obs.register_counter "server.sched_dispatched" m_sched_dispatched;
   Obs.register_histogram "server.query_latency" m_latency
 
 (* ------------------------------------------------------------------ *)
@@ -68,7 +72,20 @@ type t = {
 }
 
 let port t = t.bound_port
-let request_stop t = Atomic.set t.stop true
+
+(* Begin a drain: raise the flag, then wake every session parked in
+   [acquire_slot]'s Condition.wait — without the broadcast they would
+   sleep through the whole drain until some unrelated [release_slot]
+   happened to signal. Signal handlers must NOT call this (the handler
+   can run on a thread that already holds [t.lock]); they set the atomic
+   flag only and lean on [wait]'s own broadcast, which follows within one
+   accept-loop slice. *)
+let request_stop t =
+  Atomic.set t.stop true;
+  Mutex.lock t.lock;
+  Condition.broadcast t.slot_cond;
+  Mutex.unlock t.lock
+
 let stopping t = Atomic.get t.stop
 
 (* Admission control: a slot per admitted session, a bounded wait line
@@ -193,13 +210,116 @@ let stream_result t sess fd body summary =
   chunks 0;
   send t sess fd P.tag_done (P.done_payload summary)
 
-(* Run one query under a fresh cancel token. The session thread submits
-   the work to the global pool and keeps watching its own socket: a
-   CANCEL frame, a BYE, a protocol violation or the peer vanishing all
-   fire the token, and the executor aborts at the next operator
-   boundary. With jobs = 1 the pool runs the task inline at submit time
-   and the socket goes unwatched for the duration — the deadline still
-   fires because the token carries it into the executor's own checks. *)
+(* Plan one request into [(job, dispatch)]: [job] produces the response
+   body on whichever thread runs it, [dispatch] says whether it goes to
+   the pool (so the session thread keeps watching its socket) or runs
+   inline on the session thread.
+
+   In static mode ([XOMATIQ_SCHED=static]) everything is dispatched —
+   the pre-adaptive behaviour. In adaptive mode the request is planned
+   *here*, on the session thread (a plan-cache lookup on the hot path,
+   or the session's own memoized preparation), and the root cost
+   estimate picks the lane: a cheap query never pays the pool round-trip
+   and its ~1 ms+ future-poll latency, an expensive one keeps the
+   dispatched path so CANCEL frames and deadlines stay live mid-query.
+   Planning errors raise [Query_error] from here, exactly as they would
+   from inside the dispatched task. *)
+let plan_work t sess token kind text =
+  let finish ~t0 body rows cached =
+    let exec_s = Obs.now_s () -. t0 in
+    ( body,
+      { P.sum_rows = rows; sum_exec_ms = exec_s *. 1000.;
+        sum_cached = cached },
+      exec_s )
+  in
+  let render_job kind =
+    fun () ->
+      let t0 = Obs.now_s () in
+      let body, rows, cached = render_request t sess token kind text in
+      finish ~t0 body rows cached
+  in
+  if Conc.Sched.mode () = Conc.Sched.Static then (render_job kind, true)
+  else
+    match kind with
+    | `Query ->
+      let strategy = sess.Session.contains in
+      let pt, cached =
+        match sess.Session.prep with
+        | Some (txt, pt)
+          when txt = text
+               && Xomatiq.Engine.prepared_valid ~contains_strategy:strategy
+                    t.wh pt ->
+          (pt, true)
+        | _ ->
+          let pt =
+            Xomatiq.Engine.prepare_text ~contains_strategy:strategy t.wh text
+          in
+          sess.Session.prep <- Some (text, pt);
+          (pt, Xomatiq.Engine.prepared_hit pt)
+      in
+      let decision =
+        Conc.Sched.plan_decision ~est_cost:(Xomatiq.Engine.prepared_cost pt)
+      in
+      let job () =
+        let t0 = Obs.now_s () in
+        let result =
+          Xomatiq.Engine.run_prepared_text ~cancel:token ~cached pt
+        in
+        let body =
+          match sess.Session.format with
+          | `Table -> Xomatiq.Engine.result_to_table result
+          | `Xml ->
+            Gxml.Printer.document_to_string ~pretty:true
+              (Xomatiq.Engine.result_to_xml result)
+        in
+        finish ~t0 body
+          (List.length result.Xomatiq.Engine.rows)
+          result.Xomatiq.Engine.cached
+      in
+      (job, decision.Conc.Sched.par)
+    | `Sql -> begin
+      let db = Datahounds.Warehouse.db t.wh in
+      let planned_job planned =
+        let decision =
+          Conc.Sched.plan_decision
+            ~est_cost:planned.Rdb.Planner.est_cost
+        in
+        let job () =
+          let t0 = Obs.now_s () in
+          let columns, rows =
+            Rdb.Database.run_planned db ~cancel:token planned
+          in
+          finish ~t0 (values_to_table columns rows) (List.length rows) false
+        in
+        (job, decision.Conc.Sched.par)
+      in
+      match Rdb.Sql_parser.parse text with
+      | Rdb.Sql_ast.Select_stmt sel ->
+        planned_job (Rdb.Database.plan_select db sel)
+      | Rdb.Sql_ast.Query_stmt q ->
+        planned_job (Rdb.Planner.plan_query (Rdb.Database.catalog db) q)
+      | _ ->
+        (* DML / DDL / transaction control: statement-level locking
+           serializes writers; nothing to fan out, so stay inline *)
+        (render_job `Sql, false)
+      | exception (Rdb.Sql_parser.Parse_error _ as e) ->
+        raise (Xomatiq.Engine.Query_error (Rdb.Sql_parser.error_to_string e))
+    end
+    (* pure planning, never worth a pool round-trip *)
+    | `Explain -> (render_job `Explain, false)
+    (* executes the query with unknown-ahead cost: keep it cancelable *)
+    | `Analyze -> (render_job `Analyze, true)
+
+(* Run one query under a fresh cancel token. Dispatched work runs off
+   the session thread (a plain thread under the adaptive scheduler, the
+   worker-domain pool in static mode) while the session thread keeps
+   watching its own socket: a CANCEL frame, a BYE, a protocol violation
+   or the peer vanishing all fire the token, and the executor aborts at
+   the next operator boundary. Inline work (cheap queries under the
+   adaptive scheduler, or any query at jobs = 1 in static mode, where
+   the pool runs tasks inline at submit time) leaves the socket
+   unwatched for the duration — the deadline still fires because the
+   token carries it into the executor's own checks. *)
 let execute_query t sess fd kind text =
   (match sess.Session.jobs with
    | Some n when n <> Conc.Pool.jobs () -> Conc.Pool.set_jobs n
@@ -210,73 +330,103 @@ let execute_query t sess fd kind text =
     | None -> infinity
   in
   let token = Rdb.Cancel.create ~deadline () in
-  let pool = Conc.Pool.get () in
-  let fut =
-    Conc.Pool.submit pool (fun () ->
-        let t0 = Obs.now_s () in
-        let body, rows, cached = render_request t sess token kind text in
-        let exec_s = Obs.now_s () -. t0 in
-        (body,
-         { P.sum_rows = rows; sum_exec_ms = exec_s *. 1000.;
-           sum_cached = cached },
-         exec_s))
-  in
-  let watching = ref true in
   let lost = ref false in
   let pending_bye = ref false in
-  (* Exponential poll backoff: fast queries are noticed within a couple
-     of milliseconds, long ones cost one socket select per 50 ms. *)
-  let rec monitor slice =
-    if not (Conc.Pool.poll fut) then begin
-      (if t.cfg.query_timeout_s <> None && Rdb.Cancel.deadline_passed token
-       then
-         Rdb.Cancel.cancel ~code:Rdb.Cancel.timeout_code token
-           (Printf.sprintf "query exceeded the %.3fs wall-clock budget"
-              (Option.get t.cfg.query_timeout_s)));
-      if !watching then begin
-        if P.wait_readable fd ~deadline:(Obs.now_s () +. slice) then
-          match
-            P.read_frame ~deadline:(Obs.now_s () +. 1.0)
-              ~max_frame:t.cfg.max_frame fd
-          with
-          | tag, _ when tag = P.tag_cancel ->
-            Rdb.Cancel.cancel token "canceled by client"
-          | tag, _ when tag = P.tag_bye ->
-            pending_bye := true;
-            Rdb.Cancel.cancel token "connection closing"
-          | _ ->
-            watching := false;
-            lost := true;
-            Rdb.Cancel.cancel token "protocol violation mid-query"
-          | exception
-              (P.Closed | P.Proto_error _ | P.Io_timeout
-              | Unix.Unix_error _) ->
-            watching := false;
-            lost := true;
-            Rdb.Cancel.cancel token "client went away mid-query"
-      end
-      else Thread.delay slice;
-      monitor (Float.min 0.05 (slice *. 2.))
-    end
+  let outcome =
+    match plan_work t sess token kind text with
+    | exception e -> Error e
+    | job, false ->
+      Obs.Counter.incr m_sched_inline;
+      (match job () with v -> Ok v | exception e -> Error e)
+    | job, true ->
+      Obs.Counter.incr m_sched_dispatched;
+      (* Static mode dispatches to the worker-domain pool (the
+         pre-adaptive behavior). Adaptive mode runs the job on a plain
+         thread instead: the session thread watches the socket exactly
+         the same, but no worker domains are forced into existence —
+         resident idle domains tax every inline query on a host without
+         spare cores through the stop-the-world GC rendezvous. *)
+      let poll, finish =
+        match Conc.Sched.mode () with
+        | Conc.Sched.Static ->
+          let fut = Conc.Pool.submit (Conc.Pool.get ()) job in
+          ( (fun () -> Conc.Pool.poll fut),
+            fun () ->
+              match Conc.Pool.await_blocking fut with
+              | v -> Ok v
+              | exception e -> Error e )
+        | Conc.Sched.Adaptive ->
+          let cell = Atomic.make None in
+          let th =
+            Thread.create
+              (fun () ->
+                Atomic.set cell
+                  (Some (match job () with v -> Ok v | exception e -> Error e)))
+              ()
+          in
+          ( (fun () -> Atomic.get cell <> None),
+            fun () ->
+              Thread.join th;
+              match Atomic.get cell with Some r -> r | None -> assert false )
+      in
+      let watching = ref true in
+      (* Exponential poll backoff: fast queries are noticed within a
+         couple of milliseconds, long ones cost one socket select per
+         50 ms. *)
+      let rec monitor slice =
+        if not (poll ()) then begin
+          (if t.cfg.query_timeout_s <> None
+              && Rdb.Cancel.deadline_passed token
+           then
+             Rdb.Cancel.cancel ~code:Rdb.Cancel.timeout_code token
+               (Printf.sprintf "query exceeded the %.3fs wall-clock budget"
+                  (Option.get t.cfg.query_timeout_s)));
+          if !watching then begin
+            if P.wait_readable fd ~deadline:(Obs.now_s () +. slice) then
+              match
+                P.read_frame ~deadline:(Obs.now_s () +. 1.0)
+                  ~max_frame:t.cfg.max_frame fd
+              with
+              | tag, _ when tag = P.tag_cancel ->
+                Rdb.Cancel.cancel token "canceled by client"
+              | tag, _ when tag = P.tag_bye ->
+                pending_bye := true;
+                Rdb.Cancel.cancel token "connection closing"
+              | _ ->
+                watching := false;
+                lost := true;
+                Rdb.Cancel.cancel token "protocol violation mid-query"
+              | exception
+                  (P.Closed | P.Proto_error _ | P.Io_timeout
+                  | Unix.Unix_error _) ->
+                watching := false;
+                lost := true;
+                Rdb.Cancel.cancel token "client went away mid-query"
+          end
+          else Thread.delay slice;
+          monitor (Float.min 0.05 (slice *. 2.))
+        end
+      in
+      monitor 0.001;
+      finish ()
   in
-  monitor 0.001;
-  (match Conc.Pool.await_blocking fut with
-   | body, summary, exec_s ->
+  (match outcome with
+   | Ok (body, summary, exec_s) ->
      if !lost then raise Session_over;
      sess.Session.queries <- sess.Session.queries + 1;
      Obs.Counter.incr m_queries;
      Obs.Histogram.observe m_latency exec_s;
      stream_result t sess fd body summary
-   | exception Rdb.Cancel.Canceled (code, msg) ->
+   | Error (Rdb.Cancel.Canceled (code, msg)) ->
      if code = Rdb.Cancel.timeout_code then Obs.Counter.incr m_timeouts
      else Obs.Counter.incr m_canceled;
      if not !lost then send t sess fd P.tag_error (P.error_payload ~code msg)
      else raise Session_over
-   | exception Xomatiq.Engine.Query_error m ->
+   | Error (Xomatiq.Engine.Query_error m) ->
      Obs.Counter.incr m_query_errors;
      if !lost then raise Session_over;
      send t sess fd P.tag_error (P.error_payload ~code:P.err_query m)
-   | exception e ->
+   | Error e ->
      Obs.Counter.incr m_query_errors;
      if !lost then raise Session_over;
      send t sess fd P.tag_error
@@ -291,8 +441,10 @@ let execute_query t sess fd kind text =
 (* ------------------------------------------------------------------ *)
 
 let metrics_payload sess =
-  "{\"metrics\": " ^ Obs.dump_json () ^ ", \"session\": "
-  ^ Session.info_json sess ^ "}"
+  "{\"metrics\": " ^ Obs.dump_json ()
+  ^ Printf.sprintf ", \"sched\": {\"mode\": \"%s\", \"cost_threshold\": %g}"
+      (Conc.Sched.mode_tag ()) (Conc.Sched.cost_threshold ())
+  ^ ", \"session\": " ^ Session.info_json sess ^ "}"
 
 let handle_request t sess fd = function
   | P.Ping payload -> send t sess fd P.tag_ok payload
@@ -324,7 +476,11 @@ let wait_request t fd =
   in
   let rec slice () =
     if Atomic.get t.stop then `Drain
-    else if Obs.now_s () > idle_deadline then `Idle
+    else if Obs.now_s () > idle_deadline then
+      (* Last-instant check: a request that raced the deadline (bytes
+         already readable when the timer expired — e.g. sent while the
+         previous slow query held the thread) is served, not reaped. *)
+      if P.wait_readable fd ~deadline:(Obs.now_s ()) then `Ready else `Idle
     else begin
       let d = min (Obs.now_s () +. 0.25) idle_deadline in
       if P.wait_readable fd ~deadline:d then `Ready else slice ()
@@ -502,7 +658,10 @@ let wait t =
 
 let run cfg wh =
   let t = start cfg wh in
-  let stop _ = request_stop t in
+  (* Signal handlers set the flag only: [request_stop] takes [t.lock] to
+     broadcast, and a handler may preempt a thread that already holds it.
+     [wait]'s own broadcast below wakes the admission queue. *)
+  let stop _ = Atomic.set t.stop true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());

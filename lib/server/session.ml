@@ -9,11 +9,13 @@ type t = {
   mutable queries : int;
   mutable bytes_in : int;
   mutable bytes_out : int;
+  mutable prep : (string * Xomatiq.Engine.prepared_text) option;
 }
 
 let create ~id =
   { id; connected_at = Rdb.Obs.now_s (); contains = `Keyword_index;
-    format = `Table; jobs = None; queries = 0; bytes_in = 0; bytes_out = 0 }
+    format = `Table; jobs = None; queries = 0; bytes_in = 0; bytes_out = 0;
+    prep = None }
 
 let strategy_name = function
   | `Keyword_index -> "keyword"

@@ -129,11 +129,13 @@ let normalize_query_text text =
 let strategy_tag strategy =
   let s = match strategy with `Keyword_index -> "kw" | `Like_scan -> "like" in
   (* the structural-join and vectorized-executor toggles change the
-     physical plan (the rewrite pass runs only when vectorized), so a
-     cached plan from one setting must not serve the other *)
-  Printf.sprintf "%s/j%d/sj%d/v%d" s (Conc.Pool.jobs ())
+     physical plan (the rewrite pass runs only when vectorized), and the
+     scheduler mode changes how a plan is granted workers, so a cached
+     plan from one setting must not serve the other *)
+  Printf.sprintf "%s/j%d/sj%d/v%d/%s" s (Conc.Pool.jobs ())
     (if Rdb.Planner.structural_enabled () then 1 else 0)
     (if Rdb.Rewrite.enabled () then 1 else 0)
+    (Conc.Sched.mode_tag ())
 
 let catalog_version wh =
   Rdb.Catalog.version (Rdb.Database.catalog (Datahounds.Warehouse.db wh))
@@ -289,6 +291,36 @@ let run_cache_entry ?cancel ~cached e =
     { labels = e.ce_labels; rows = to_string_rows rows; sql = e.ce_sql;
       trace = None; cached }
 
+(* Parse, translate and plan [text] into a fresh cache entry (no cache
+   interaction). Shared by the run-and-populate path and the server's
+   prepare path. *)
+let entry_of_text ~contains_strategy ~version wh text =
+  let q =
+    match Parser.parse text with
+    | q -> q
+    | exception (Parser.Parse_error _ as e) ->
+      error "%s" (Parser.error_to_string e)
+    | exception Ast.Invalid_query m -> error "invalid query: %s" m
+  in
+  let db = Datahounds.Warehouse.db wh in
+  let t = translate ~contains_strategy db q in
+  let ce_plan =
+    if t.statically_empty then None
+    else
+      match Rdb.Sql_parser.parse t.sql with
+      | Rdb.Sql_ast.Select_stmt sel ->
+        (try Some (Rdb.Planner.plan_select (Rdb.Database.catalog db) sel)
+         with Rdb.Planner.Plan_error m -> error "planning failed: %s" m)
+      | Rdb.Sql_ast.Query_stmt qq ->
+        (try Some (Rdb.Planner.plan_query (Rdb.Database.catalog db) qq)
+         with Rdb.Planner.Plan_error m -> error "planning failed: %s" m)
+      | _ -> error "internal: translation did not produce a SELECT"
+      | exception ((Rdb.Sql_parser.Parse_error _ | Rdb.Sql_lexer.Lex_error _) as e)
+        -> error "internal: %s" (Rdb.Sql_parser.error_to_string e)
+  in
+  { ce_wh = wh; ce_version = version; ce_labels = t.labels; ce_sql = t.sql;
+    ce_plan }
+
 let run_text_cached ?cancel ~contains_strategy wh text =
   let key = (normalize_query_text text, strategy_tag contains_strategy) in
   let version = catalog_version wh in
@@ -305,33 +337,7 @@ let run_text_cached ?cancel ~contains_strategy wh text =
   match hit with
   | Some e -> run_cache_entry ?cancel ~cached:true e
   | None ->
-    let q =
-      match Parser.parse text with
-      | q -> q
-      | exception (Parser.Parse_error _ as e) ->
-        error "%s" (Parser.error_to_string e)
-      | exception Ast.Invalid_query m -> error "invalid query: %s" m
-    in
-    let db = Datahounds.Warehouse.db wh in
-    let t = translate ~contains_strategy db q in
-    let ce_plan =
-      if t.statically_empty then None
-      else
-        match Rdb.Sql_parser.parse t.sql with
-        | Rdb.Sql_ast.Select_stmt sel ->
-          (try Some (Rdb.Planner.plan_select (Rdb.Database.catalog db) sel)
-           with Rdb.Planner.Plan_error m -> error "planning failed: %s" m)
-        | Rdb.Sql_ast.Query_stmt qq ->
-          (try Some (Rdb.Planner.plan_query (Rdb.Database.catalog db) qq)
-           with Rdb.Planner.Plan_error m -> error "planning failed: %s" m)
-        | _ -> error "internal: translation did not produce a SELECT"
-        | exception ((Rdb.Sql_parser.Parse_error _ | Rdb.Sql_lexer.Lex_error _) as e)
-          -> error "internal: %s" (Rdb.Sql_parser.error_to_string e)
-    in
-    let e =
-      { ce_wh = wh; ce_version = version; ce_labels = t.labels;
-        ce_sql = t.sql; ce_plan }
-    in
+    let e = entry_of_text ~contains_strategy ~version wh text in
     let r = run_cache_entry ?cancel ~cached:false e in
     (* only successful translations+executions are cached *)
     locked (fun () -> Hashtbl.replace plan_cache key e);
@@ -392,6 +398,60 @@ let run_prepared p =
       sql = p.prep_sql;
       trace = None;
       cached = false }
+
+(* ---------------- server-side text preparation ----------------
+
+   The query server plans on the session thread — one plan-cache lookup
+   on the hot path — reads the root cost estimate off the plan to pick a
+   scheduling lane (inline vs. pool dispatch), and only then runs the
+   query. Unlike [run_text_cached], preparation populates the cache
+   before execution: a query that later times out or is canceled should
+   not pay translation again. *)
+
+type prepared_text = {
+  pt_entry : cache_entry;
+  pt_tag : string;   (* strategy_tag at preparation time *)
+  pt_hit : bool;     (* served from the plan cache *)
+}
+
+let prepare_text ~contains_strategy wh text =
+  let tag = strategy_tag contains_strategy in
+  let key = (normalize_query_text text, tag) in
+  let version = catalog_version wh in
+  let hit =
+    locked (fun () ->
+        match Hashtbl.find_opt plan_cache key with
+        | Some e when e.ce_wh == wh && e.ce_version = version ->
+          incr cache_hits;
+          Some e
+        | _ ->
+          incr cache_misses;
+          None)
+  in
+  match hit with
+  | Some e -> { pt_entry = e; pt_tag = tag; pt_hit = true }
+  | None ->
+    let e = entry_of_text ~contains_strategy ~version wh text in
+    locked (fun () -> Hashtbl.replace plan_cache key e);
+    { pt_entry = e; pt_tag = tag; pt_hit = false }
+
+let prepared_hit pt = pt.pt_hit
+
+let prepared_cost pt =
+  match pt.pt_entry.ce_plan with
+  | Some planned -> planned.Rdb.Planner.est_cost
+  | None -> 0.
+
+(* A memoized preparation stays valid while the warehouse, its catalog
+   version and every plan-shaping toggle (strategy/jobs/structural/vec/
+   sched — all folded into the tag) are unchanged. *)
+let prepared_valid ~contains_strategy wh pt =
+  pt.pt_entry.ce_wh == wh
+  && pt.pt_entry.ce_version = catalog_version wh
+  && pt.pt_tag = strategy_tag contains_strategy
+
+let run_prepared_text ?cancel ~cached pt =
+  run_cache_entry ?cancel ~cached pt.pt_entry
 
 let explain wh q =
   let db = Datahounds.Warehouse.db wh in

@@ -95,6 +95,43 @@ val prepare :
 
 val run_prepared : prepared -> result
 
+(** {2 Server-side text preparation}
+
+    The query server's scheduling gate needs the plan's cost estimate
+    *before* deciding where to run the query, so planning and execution
+    are split: {!prepare_text} resolves the text through the plan cache
+    (populating it on a miss, before any execution), {!prepared_cost}
+    exposes the root cost estimate, and {!run_prepared_text} executes.
+    A session memoizes its last preparation and revalidates it with
+    {!prepared_valid} — repeated hot queries then skip the cache mutex
+    and hashtable entirely. *)
+
+type prepared_text
+
+val prepare_text :
+  contains_strategy:Xq2sql.contains_strategy ->
+  Datahounds.Warehouse.t -> string -> prepared_text
+(** @raise Query_error on parse, translation or planning failure. *)
+
+val prepared_hit : prepared_text -> bool
+(** Whether {!prepare_text} was served from the plan cache. *)
+
+val prepared_cost : prepared_text -> float
+(** Root cost estimate of the prepared plan ("rows touched"); [0.] for
+    statically-empty queries. *)
+
+val prepared_valid :
+  contains_strategy:Xq2sql.contains_strategy ->
+  Datahounds.Warehouse.t -> prepared_text -> bool
+(** True while the preparation still matches this warehouse, its catalog
+    version, and every plan-shaping toggle (strategy, jobs, structural
+    join, vectorization, scheduler mode). *)
+
+val run_prepared_text :
+  ?cancel:Rdb.Cancel.t -> cached:bool -> prepared_text -> result
+(** Execute a prepared text; [cached] is echoed as {!result.cached}
+    (the server reports its memo hits through it). *)
+
 val explain : Datahounds.Warehouse.t -> Ast.t -> string
 (** The SQL text and the physical plan chosen by the relational
     optimizer. *)

@@ -84,6 +84,118 @@ let test_jobs_controls () =
   check Alcotest.int "with_jobs restores on raise" 3 (Conc.Pool.jobs ());
   Conc.Pool.set_jobs saved
 
+let contains_sub s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---------------- the adaptive scheduler ---------------- *)
+
+let test_sched_plan_decisions () =
+  let open Conc.Sched in
+  with_mode Adaptive (fun () ->
+      Conc.Pool.with_jobs 2 (fun () ->
+          let cheap = plan_decision ~est_cost:10. in
+          check Alcotest.bool "cheap query stays sequential" false cheap.par;
+          check Alcotest.string "cheap reason" "cost" cheap.reason;
+          let costly = plan_decision ~est_cost:1e9 in
+          check Alcotest.bool "expensive query requests workers" true
+            costly.par;
+          check Alcotest.int "worker request matches jobs" 2 costly.workers;
+          check Alcotest.string "expensive reason" "pool-idle" costly.reason;
+          (* the threshold is the exact boundary *)
+          let at = plan_decision ~est_cost:(cost_threshold ()) in
+          check Alcotest.bool "cost at threshold goes parallel" true at.par);
+      Conc.Pool.with_jobs 1 (fun () ->
+          let costly = plan_decision ~est_cost:1e9 in
+          check Alcotest.bool "jobs=1 never parallel" false costly.par;
+          check Alcotest.string "jobs=1 reason" "forced" costly.reason));
+  with_mode Static (fun () ->
+      Conc.Pool.with_jobs 2 (fun () ->
+          let d = plan_decision ~est_cost:0. in
+          check Alcotest.bool "static dispatches even free queries" true d.par;
+          check Alcotest.string "static reason" "forced" d.reason);
+      Conc.Pool.with_jobs 1 (fun () ->
+          check Alcotest.bool "static at jobs=1 is sequential" false
+            (plan_decision ~est_cost:1e9).par))
+
+let test_pool_available () =
+  let pool = Conc.Pool.create 3 in
+  Fun.protect ~finally:(fun () -> Conc.Pool.shutdown pool) @@ fun () ->
+  check Alcotest.int "idle pool: every worker available" 2
+    (Conc.Pool.available pool);
+  (* park both workers on a gate and watch availability drain *)
+  let gate = Atomic.make false in
+  let futs =
+    List.init 2 (fun _ ->
+        Conc.Pool.submit pool (fun () ->
+            while not (Atomic.get gate) do Domain.cpu_relax () done))
+  in
+  let rec await_value what want tries =
+    let got = Conc.Pool.available pool in
+    if got = want then ()
+    else if tries = 0 then
+      Alcotest.fail (Printf.sprintf "%s: available=%d, want %d" what got want)
+    else begin Thread.delay 0.01; await_value what want (tries - 1) end
+  in
+  await_value "busy pool exhausts availability" 0 300;
+  (* the run-time idle gate refuses a fan-out right now *)
+  Conc.Sched.with_mode Conc.Sched.Adaptive (fun () ->
+      check Alcotest.bool "no idle worker: degrade to sequential" false
+        (Conc.Sched.exchange_parallel pool ~workers:3);
+      check Alcotest.bool "static mode ignores occupancy" true
+        (Conc.Sched.with_mode Conc.Sched.Static (fun () ->
+             Conc.Sched.exchange_parallel pool ~workers:3)));
+  Atomic.set gate true;
+  List.iter (Conc.Pool.await_blocking) futs;
+  await_value "drained pool recovers" 2 300;
+  Conc.Sched.with_mode Conc.Sched.Adaptive (fun () ->
+      check Alcotest.bool "idle again: fan-out granted" true
+        (Conc.Sched.exchange_parallel pool ~workers:3))
+
+let test_pool_peek () =
+  (* [peek] never creates the pool; a [with_jobs] override above 1
+     creates it eagerly so adaptive Exchange gates — which only peek —
+     can borrow its workers even on a single-core host *)
+  Conc.Pool.with_jobs 3 (fun () ->
+      match Conc.Pool.peek () with
+      | Some p ->
+        check Alcotest.int "eager pool matches override" 3 (Conc.Pool.size p)
+      | None -> Alcotest.fail "with_jobs 3 must create the pool");
+  (* leaving the scope retires the override-sized pool *)
+  match Conc.Pool.peek () with
+  | Some p ->
+    check Alcotest.bool "override pool retired" true (Conc.Pool.size p <> 3)
+  | None -> ()
+
+let test_explain_sched_footer () =
+  let db = Rdb.Database.open_in_memory () in
+  Fun.protect ~finally:(fun () -> Rdb.Database.close db) @@ fun () ->
+  ignore (Rdb.Database.exec_exn db "CREATE TABLE t (id INTEGER)");
+  (match
+     Rdb.Database.insert_rows db ~table:"t"
+       (List.init 300 (fun i -> [| Rdb.Value.Int i |]))
+   with
+   | Ok _ -> ()
+   | Error m -> failwith m);
+  Conc.Sched.with_mode Conc.Sched.Adaptive @@ fun () ->
+  Conc.Pool.with_jobs 2 @@ fun () ->
+  let explain sql =
+    match Rdb.Database.explain db sql with
+    | Ok p -> p
+    | Error m -> failwith m
+  in
+  let cheap = explain "SELECT id FROM t WHERE id < 5" in
+  check Alcotest.bool "cheap plan announces sequential lane" true
+    (contains_sub cheap "sched=seq");
+  check Alcotest.bool "cheap plan names the cost gate" true
+    (contains_sub cheap "reason=cost");
+  let costly = explain "SELECT COUNT(1) FROM t a, t b, t c" in
+  check Alcotest.bool "expensive plan requests workers" true
+    (contains_sub costly "sched=par");
+  check Alcotest.bool "worker count surfaced" true
+    (contains_sub costly "workers=2")
+
 (* ---------------- Exchange-parallel scans ---------------- *)
 
 let scan_fixture () =
@@ -103,11 +215,6 @@ let with_low_threshold f =
      can lower it below the fixture's 500 rows and restore it after *)
   Unix.putenv "XOMATIQ_PAR_THRESHOLD" "100";
   Fun.protect ~finally:(fun () -> Unix.putenv "XOMATIQ_PAR_THRESHOLD" "") f
-
-let contains_sub s sub =
-  let n = String.length sub in
-  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
-  n = 0 || go 0
 
 let test_exchange_plan () =
   let db = scan_fixture () in
@@ -315,6 +422,14 @@ let () =
           Alcotest.test_case "nested submission (helping)" `Quick
             test_nested_submission;
           Alcotest.test_case "jobs controls" `Quick test_jobs_controls ] );
+      ( "scheduler",
+        [ Alcotest.test_case "plan-time cost gate" `Quick
+            test_sched_plan_decisions;
+          Alcotest.test_case "run-time idle gate (Pool.available)" `Quick
+            test_pool_available;
+          Alcotest.test_case "peek never spawns domains" `Quick test_pool_peek;
+          Alcotest.test_case "EXPLAIN surfaces the decision" `Quick
+            test_explain_sched_footer ] );
       ( "exchange",
         [ Alcotest.test_case "planner wraps big scans" `Quick test_exchange_plan;
           Alcotest.test_case "results identical at any jobs" `Quick

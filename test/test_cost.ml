@@ -116,12 +116,18 @@ let test_explain_annotations () =
    | Ok (Rdb.Database.Explained s) ->
      let lines =
        (* every plan line carries estimates; the trailing "Vectorized:"
-          rewrite summary is not an operator line *)
+          rewrite summary and "Scheduler:" decision are not operator
+          lines *)
+       let is_footer l prefix =
+         let n = String.length prefix in
+         String.length l >= n && String.sub l 0 n = prefix
+       in
        List.filter
          (fun l ->
            let l = String.trim l in
            l <> ""
-           && not (String.length l >= 11 && String.sub l 0 11 = "Vectorized:"))
+           && not (is_footer l "Vectorized:")
+           && not (is_footer l "Scheduler:"))
          (String.split_on_char '\n' s)
      in
      check Alcotest.bool "plan is non-trivial" true (List.length lines >= 2);

@@ -225,6 +225,54 @@ let test_server_busy () =
   in
   readmit 100
 
+(* A full wait queue parked in acquire_slot is woken by request_stop
+   itself — not only by [wait]'s later broadcast — so a drain turns the
+   whole line away promptly even before the accept thread is joined. *)
+let test_drain_wakes_wait_queue () =
+  with_warehouse 7 @@ fun wh _u ->
+  let cfg =
+    { Xserver.Server.default_config with
+      host = "127.0.0.1"; port = 0; max_clients = 1; queue_depth = 4 }
+  in
+  let t = Xserver.Server.start cfg wh in
+  let port = Xserver.Server.port t in
+  let c1 = connect port in
+  let n = 3 in
+  let outcomes = Array.make n None in
+  let waiter i () =
+    outcomes.(i) <-
+      Some
+        (match Xserver.Client.connect ~timeout_s:10. ~port () with
+         | c -> Xserver.Client.close c; "admitted"
+         | exception Xserver.Client.Server_error (code, _) -> code
+         | exception P.Closed -> "closed"
+         | exception e -> Printexc.to_string e)
+  in
+  let threads = List.init n (fun i -> Thread.create (waiter i) ()) in
+  Thread.delay 0.3;  (* let all three park in the wait queue *)
+  Xserver.Server.request_stop t;
+  (* the broadcast in request_stop must be enough: poll the outcomes
+     without calling [wait] (whose own broadcast would mask the bug) *)
+  let give_up = Rdb.Obs.now_s () +. 3. in
+  let all_done () = Array.for_all Option.is_some outcomes in
+  while (not (all_done ())) && Rdb.Obs.now_s () < give_up do
+    Thread.delay 0.02
+  done;
+  check Alcotest.bool "wait queue woken by request_stop alone" true
+    (all_done ());
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some code when code = P.err_shutdown || code = "closed" -> ()
+      | Some other ->
+        fail (Printf.sprintf "waiter %d: expected %s, got %s" i
+                P.err_shutdown other)
+      | None -> fail (Printf.sprintf "waiter %d still parked" i))
+    outcomes;
+  Xserver.Client.close c1;
+  Xserver.Server.wait t
+
 (* ---------------- timeouts and cancellation ---------------- *)
 
 let test_query_timeout () =
@@ -264,6 +312,67 @@ let test_client_cancel () =
      check Alcotest.string "cancel code" P.err_canceled code
    | tag, _ -> fail (Printf.sprintf "expected error frame, got %C" tag));
   check Alcotest.string "usable after cancel" "ok" (Xserver.Client.ping c "ok")
+
+(* The idle reaper only ticks between requests — a query that runs past
+   the idle deadline completes in full (no mid-ROWS-frame close), the
+   session survives it, and only subsequent inactivity reaps it. *)
+let test_idle_reaper_vs_slow_query () =
+  with_warehouse 7 @@ fun wh _u ->
+  let cfg =
+    { Xserver.Server.default_config with idle_timeout_s = Some 0.4 }
+  in
+  with_server ~cfg wh @@ fun _t port ->
+  let c = connect ~timeout_s:30. port in
+  Fun.protect ~finally:(fun () -> Xserver.Client.close c) @@ fun () ->
+  (* a cross join sized to outlive the 0.4s idle budget but finish *)
+  let slow_but_finite =
+    "SELECT COUNT(1) FROM xml_node a, xml_node b WHERE a.node_id <= 400"
+  in
+  let t0 = Rdb.Obs.now_s () in
+  let _, s = Xserver.Client.sql c slow_but_finite in
+  let elapsed = Rdb.Obs.now_s () -. t0 in
+  check Alcotest.bool
+    (Printf.sprintf "query outlived the idle budget (%.2fs)" elapsed) true
+    (elapsed > 0.4);
+  check Alcotest.int "aggregate arrived whole" 1 s.P.sum_rows;
+  (* the reaper did not close the session mid-query *)
+  check Alcotest.string "alive right after a slow query" "ok"
+    (Xserver.Client.ping c "ok");
+  (* true inactivity is still reaped, with a typed goodbye *)
+  Thread.delay 0.8;
+  match Xserver.Client.ping c "anyone?" with
+  | _ -> fail "idle session survived the reaper"
+  | exception Xserver.Client.Server_error (code, _) ->
+    check Alcotest.string "idle code" P.err_idle code
+  | exception (P.Closed | P.Io_timeout | Unix.Unix_error _) -> ()
+
+(* connect ~busy_retry_for_s keeps knocking while the server sheds, and
+   is admitted once a slot frees — batch scripts no longer hard-fail. *)
+let test_busy_retry () =
+  with_warehouse 7 @@ fun wh _u ->
+  let cfg =
+    { Xserver.Server.default_config with max_clients = 1; queue_depth = 0 }
+  in
+  with_server ~cfg wh @@ fun _t port ->
+  let c1 = connect port in
+  (* without a retry budget the shed is immediate and final *)
+  (match Xserver.Client.connect ~port () with
+   | c2 -> Xserver.Client.close c2; fail "admitted without a free slot"
+   | exception Xserver.Client.Server_error (code, _) ->
+     check Alcotest.string "immediate shed" P.err_busy code);
+  (* free the slot mid-retry: the patient connect gets in *)
+  let releaser = Thread.create (fun () ->
+      Thread.delay 0.4;
+      Xserver.Client.close c1) ()
+  in
+  (match Xserver.Client.connect ~busy_retry_for_s:5. ~port () with
+   | c3 ->
+     check Alcotest.string "usable after busy retry" "in"
+       (Xserver.Client.ping c3 "in");
+     Xserver.Client.close c3
+   | exception Xserver.Client.Server_error (code, m) ->
+     fail (Printf.sprintf "busy retry gave up: %s %s" code m));
+  Thread.join releaser
 
 (* ---------------- graceful drain ---------------- *)
 
@@ -321,8 +430,12 @@ let test_graceful_drain () =
 
 (* Eight concurrent sessions, alternating contains-strategies, each
    running the full workload mix — every response must be byte-identical
-   to the sequential in-process rendering computed up front. *)
-let run_concurrent_differential seed () =
+   to the sequential in-process rendering computed up front. Runs under
+   both scheduler modes: adaptive (inline cheap queries, session-memoized
+   preparations) and static (everything dispatched to the pool) must be
+   indistinguishable on the wire. *)
+let run_concurrent_differential ?(sched = Conc.Sched.Adaptive) seed () =
+  Conc.Sched.with_mode sched @@ fun () ->
   with_warehouse seed @@ fun wh u ->
   let mix = Workload.Query_mix.mixed ~seed ~universe:u ~per_class:2 in
   let strategies = [ ("keyword", `Keyword_index); ("like", `Like_scan) ] in
@@ -386,19 +499,29 @@ let () =
             test_bad_set_option ] );
       ( "admission",
         [ Alcotest.test_case "SERVER_BUSY shed + re-admission" `Quick
-            test_server_busy ] );
+            test_server_busy;
+          Alcotest.test_case "SERVER_BUSY retried with backoff" `Quick
+            test_busy_retry ] );
       ( "degradation",
         [ Alcotest.test_case "query timeout (typed, connection survives)"
             `Quick test_query_timeout;
           Alcotest.test_case "client CANCEL mid-query" `Quick
-            test_client_cancel ] );
+            test_client_cancel;
+          Alcotest.test_case "idle reaper spares in-flight queries" `Quick
+            test_idle_reaper_vs_slow_query ] );
       ( "drain",
         [ Alcotest.test_case "graceful drain + WAL recovery" `Quick
-            test_graceful_drain ] );
+            test_graceful_drain;
+          Alcotest.test_case "drain wakes a full wait queue" `Quick
+            test_drain_wakes_wait_queue ] );
       ( "differential",
-        [ Alcotest.test_case "8 clients, seed 11" `Quick
+        [ Alcotest.test_case "8 clients, seed 11 (adaptive)" `Quick
             (run_concurrent_differential 11);
-          Alcotest.test_case "8 clients, seed 23" `Quick
+          Alcotest.test_case "8 clients, seed 23 (adaptive)" `Quick
             (run_concurrent_differential 23);
-          Alcotest.test_case "8 clients, seed 47" `Quick
-            (run_concurrent_differential 47) ] ) ]
+          Alcotest.test_case "8 clients, seed 47 (adaptive)" `Quick
+            (run_concurrent_differential 47);
+          Alcotest.test_case "8 clients, seed 11 (static)" `Quick
+            (run_concurrent_differential ~sched:Conc.Sched.Static 11);
+          Alcotest.test_case "8 clients, seed 47 (static)" `Quick
+            (run_concurrent_differential ~sched:Conc.Sched.Static 47) ] ) ]
