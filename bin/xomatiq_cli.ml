@@ -623,17 +623,19 @@ let port_arg ~default ~doc =
 
 let serve_cmd =
   let run db host port max_clients queue_depth query_timeout idle_timeout
-      write_timeout jobs metrics_json =
+      write_timeout threaded pipeline_window jobs metrics_json =
     apply_jobs jobs;
     if max_clients < 1 then `Error (true, "--max-clients must be >= 1")
     else if queue_depth < 0 then `Error (true, "--queue-depth must be >= 0")
+    else if pipeline_window < 1 then
+      `Error (true, "--pipeline-window must be >= 1")
     else begin
       with_warehouse db @@ fun wh ->
       let cfg =
         { Xserver.Server.default_config with
           host; port; max_clients; queue_depth;
           query_timeout_s = query_timeout; idle_timeout_s = idle_timeout;
-          write_timeout_s = write_timeout }
+          write_timeout_s = write_timeout; threaded; pipeline_window }
       in
       (match Xserver.Server.run cfg wh with
        | () ->
@@ -668,6 +670,16 @@ let serve_cmd =
            ~doc:"Disconnect a client that cannot absorb a response chunk \
                  within this long (slow-client protection).")
   in
+  let threaded_arg =
+    Arg.(value & flag & info [ "threaded" ]
+           ~doc:"Use the thread-per-connection model instead of the default \
+                 event-driven reactor (fallback; scheduled for removal).")
+  in
+  let pipeline_window_arg =
+    Arg.(value & opt int 32 & info [ "pipeline-window" ] ~docv:"W"
+           ~doc:"Requests a client may pipeline per connection before the \
+                 server stops reading it (reactor model only).")
+  in
   let doc =
     "Serve the warehouse over TCP (queries, SQL, EXPLAIN, metrics) with \
      admission control, per-query timeouts and graceful SIGTERM drain."
@@ -676,8 +688,8 @@ let serve_cmd =
     Term.(ret (const run $ db_arg $ host_arg
                $ port_arg ~default:7788 ~doc:"Port to listen on (0 = ephemeral)."
                $ max_clients_arg $ queue_depth_arg $ query_timeout_arg
-               $ idle_timeout_arg $ write_timeout_arg $ jobs_arg
-               $ metrics_json_arg))
+               $ idle_timeout_arg $ write_timeout_arg $ threaded_arg
+               $ pipeline_window_arg $ jobs_arg $ metrics_json_arg))
 
 (* Crude but dependency-free: pull one "name": <int> out of a metrics
    JSON snapshot (names are unique — Obs renders a flat object per kind). *)
@@ -701,7 +713,7 @@ let metric_of_json json name =
   find 0
 
 let connect_cmd =
-  let run host port =
+  let run host port window =
     match Xserver.Client.connect ~host ~busy_retry_for_s:5. ~port () with
     | exception Unix.Unix_error (e, _, _) ->
       `Error (false, Printf.sprintf "cannot connect to %s:%d: %s" host port
@@ -738,18 +750,47 @@ let connect_cmd =
         guard (fun () ->
             print_endline (Xserver.Client.set_option c ~name ~value))
       in
+      let print_summary (s : Xserver.Protocol.summary) =
+        Printf.eprintf "(%d row(s), %.1f ms%s)\n%!" s.Xserver.Protocol.sum_rows
+          s.Xserver.Protocol.sum_exec_ms
+          (if s.Xserver.Protocol.sum_cached then ", plan cache hit" else "")
+      in
+      (* --window W > 1: plain queries are batched and sent pipelined, W
+         on the wire at once; anything else (a :command, EOF) first
+         flushes the batch so output order matches input order. *)
+      let batch = ref [] in
+      let flush_batch () =
+        match List.rev !batch with
+        | [] -> ()
+        | texts ->
+          batch := [];
+          guard (fun () ->
+              List.iter
+                (function
+                  | Ok (body, s) ->
+                    print_string body;
+                    print_summary s
+                  | Error (code, m) ->
+                    report_error (Printf.sprintf "[%s] %s" code m))
+                (Xserver.Client.query_pipelined ~window c texts))
+      in
       let run_query text =
-        guard (fun () ->
-            let body, s = Xserver.Client.query c text in
-            print_string body;
-            Printf.eprintf "(%d row(s), %.1f ms%s)\n%!" s.Xserver.Protocol.sum_rows
-              s.Xserver.Protocol.sum_exec_ms
-              (if s.Xserver.Protocol.sum_cached then ", plan cache hit" else ""))
+        if window > 1 then begin
+          batch := text :: !batch;
+          if List.length !batch >= window then flush_batch ()
+        end
+        else
+          guard (fun () ->
+              let body, s = Xserver.Client.query c text in
+              print_string body;
+              print_summary s)
       in
       let run_sql text =
+        flush_batch ();
         guard (fun () -> print_string (fst (Xserver.Client.sql c text)))
       in
       let run_explain ~analyze text =
+        flush_batch ();
         guard (fun () -> print_string (Xserver.Client.explain ~analyze c text))
       in
       help ();
@@ -769,6 +810,7 @@ let connect_cmd =
                  | cmd :: _ -> cmd <> ":sql" && cmd <> ":explain" && cmd <> ":analyze"
                  | [] -> true)
           then begin
+            flush_batch ();
             match String.split_on_char ' ' trimmed with
             | ":quit" :: _ | ":q" :: _ -> continue_loop := false
             | ":help" :: _ -> help ()
@@ -812,7 +854,10 @@ let connect_cmd =
           if !continue_loop then loop ()
       in
       let outcome =
-        match loop () with
+        match
+          loop ();
+          flush_batch ()
+        with
         | () -> `Ok ()
         | exception (Xserver.Protocol.Closed | Unix.Unix_error (Unix.EPIPE, _, _)) ->
           `Error (false, "server closed the connection")
@@ -825,10 +870,17 @@ let connect_cmd =
         `Error (false, "one or more statements failed")
       | o -> o
   in
+  let window_arg =
+    Arg.(value & opt int 1 & info [ "window" ] ~docv:"W"
+           ~doc:"Pipeline plain queries W at a time (xomatiq/1 pipelining; \
+                 batch scripts on stdin benefit most). 1 = one request per \
+                 round-trip.")
+  in
   let doc = "Interactive remote shell against a running $(b,xomatiq serve)." in
   Cmd.v (Cmd.info "connect" ~doc)
     Term.(ret (const run $ host_arg
-               $ port_arg ~default:7788 ~doc:"Server port to connect to."))
+               $ port_arg ~default:7788 ~doc:"Server port to connect to."
+               $ window_arg))
 
 let () =
   let doc = "warehouse and query biological data the XomatiQ way" in

@@ -1,0 +1,230 @@
+(* Event-driven readiness multiplexing.
+
+   One reactor owns many file descriptors on a single thread: callers
+   register an fd with an interest set and a callback, [step] waits for
+   readiness and invokes the callback of every ready descriptor. Other
+   threads talk to the reactor only through [post], which enqueues a
+   closure and wakes the wait through a self-pipe — the query server's
+   dispatched query completions arrive this way.
+
+   Two kernel backends sit behind [step]. On Linux the interest set
+   lives in an epoll instance, updated incrementally as registrations
+   and interests change, and a step costs O(ready descriptors) — one
+   busy connection among 10K parked ones pays nothing for the parked
+   crowd. Elsewhere the step falls back to poll(2), rebuilding the
+   pollfd array from the table (O(registered) per wakeup, but still free
+   of select's FD_SETSIZE descriptor-number ceiling — see
+   reactor_stubs.c).
+
+   Registration, interest changes and [step] belong to the owning
+   thread; [post] is the one thread-safe entry point. *)
+
+let read_bit = 1
+let write_bit = 2
+let hup_bit = 4
+
+external poll_stub :
+  Unix.file_descr array -> int array -> int -> int array = "xq_poll"
+
+external epoll_create_stub : unit -> int = "xq_epoll_create"
+
+external epoll_ctl_stub :
+  int -> int -> Unix.file_descr -> int -> unit = "xq_epoll_ctl"
+
+external epoll_wait_stub :
+  int -> Unix.file_descr array -> int array -> int -> int = "xq_epoll_wait"
+
+let ep_op_add = 0
+let ep_op_mod = 1
+let ep_op_del = 2
+
+external raise_nofile_stub : int -> int = "xq_raise_nofile"
+
+let raise_fd_limit want = raise_nofile_stub want
+
+type ready = { readable : bool; writable : bool; hup : bool }
+
+let ready_of_bits bits =
+  { readable = bits land read_bit <> 0;
+    writable = bits land write_bit <> 0;
+    hup = bits land hup_bit <> 0 }
+
+let timeout_ms timeout_s =
+  if timeout_s = infinity then -1
+  else if timeout_s <= 0. then 0
+  else max 1 (int_of_float (Float.ceil (timeout_s *. 1000.)))
+
+(* One-shot wait on a single descriptor; [None] on timeout. EINTR is
+   reported as a timeout so callers re-check their own deadline. *)
+let wait_fd fd ~read ~write ~timeout_s =
+  let interest =
+    (if read then read_bit else 0) lor (if write then write_bit else 0)
+  in
+  let res = poll_stub [| fd |] [| interest |] (timeout_ms timeout_s) in
+  let bits = res.(0) in
+  if bits = 0 then None else Some (ready_of_bits bits)
+
+(* ------------------------------------------------------------------ *)
+(* The reactor proper                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  e_fd : Unix.file_descr;
+  mutable interest : int;
+  callback : ready -> unit;
+}
+
+type t = {
+  table : (Unix.file_descr, entry) Hashtbl.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  posted : (unit -> unit) Queue.t;
+  post_lock : Mutex.t;
+  epfd : int;  (* epoll instance; -1 = poll fallback *)
+  (* epoll scratch: ready fds and their bits, filled by epoll_wait and
+     reused every step *)
+  ev_fds : Unix.file_descr array;
+  ev_bits : int array;
+  (* poll-fallback scratch arrays rebuilt per step; kept here so a
+     stable fd set does not reallocate every poll *)
+  mutable fds : Unix.file_descr array;
+  mutable events : int array;
+}
+
+let max_ready_per_step = 1024
+
+let create () =
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let epfd = epoll_create_stub () in
+  if epfd >= 0 then epoll_ctl_stub epfd ep_op_add wake_r read_bit;
+  { table = Hashtbl.create 64; wake_r; wake_w; posted = Queue.create ();
+    post_lock = Mutex.create (); epfd;
+    ev_fds = Array.make max_ready_per_step wake_r;
+    ev_bits = Array.make max_ready_per_step 0;
+    fds = [||]; events = [||] }
+
+let close t =
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  if t.epfd >= 0 then
+    try Unix.close (Obj.magic t.epfd : Unix.file_descr)
+    with Unix.Unix_error _ -> ()
+
+let registered t = Hashtbl.length t.table
+
+let register t fd ~read ~write callback =
+  let interest =
+    (if read then read_bit else 0) lor (if write then write_bit else 0)
+  in
+  Hashtbl.replace t.table fd { e_fd = fd; interest; callback };
+  if t.epfd >= 0 then epoll_ctl_stub t.epfd ep_op_add fd interest
+
+let want t fd ~read ~write =
+  match Hashtbl.find_opt t.table fd with
+  | None -> ()
+  | Some e ->
+    let interest =
+      (if read then read_bit else 0) lor (if write then write_bit else 0)
+    in
+    (* The server refreshes interest after every pump; skipping the
+       no-change case keeps the steady state (read interest on, output
+       flushed) free of epoll_ctl syscalls. *)
+    if e.interest <> interest then begin
+      e.interest <- interest;
+      if t.epfd >= 0 then epoll_ctl_stub t.epfd ep_op_mod fd interest
+    end
+
+let unregister t fd =
+  if Hashtbl.mem t.table fd then begin
+    Hashtbl.remove t.table fd;
+    if t.epfd >= 0 then epoll_ctl_stub t.epfd ep_op_del fd 0
+  end
+
+let wake t =
+  (* A full pipe already guarantees a wakeup; EAGAIN is success. EBADF /
+     EPIPE mean the reactor already shut down — a completion posted by a
+     dispatched query racing the drain has nobody left to wake, which is
+     fine. *)
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with
+  | Unix.Unix_error
+      ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) ->
+    ()
+
+let post t f =
+  Mutex.lock t.post_lock;
+  Queue.push f t.posted;
+  Mutex.unlock t.post_lock;
+  wake t
+
+let drain_wake_pipe t =
+  let scratch = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r scratch 0 64 with
+    | n when n > 0 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let run_posted t =
+  let batch = Queue.create () in
+  Mutex.lock t.post_lock;
+  Queue.transfer t.posted batch;
+  Mutex.unlock t.post_lock;
+  Queue.iter (fun f -> f ()) batch
+
+(* Fire the callback of one ready descriptor. A callback may unregister
+   other fds mid-step: only fire for entries still registered under the
+   same record, and only for bits the entry still cares about (HUP
+   always reports). *)
+let fire t fd bits =
+  match Hashtbl.find_opt t.table fd with
+  | Some e when e.interest land bits <> 0 || bits land hup_bit <> 0 ->
+    e.callback (ready_of_bits bits)
+  | _ -> ()
+
+let step_epoll t ~timeout_s =
+  let count =
+    epoll_wait_stub t.epfd t.ev_fds t.ev_bits (timeout_ms timeout_s)
+  in
+  let woke = ref false in
+  for j = 0 to count - 1 do
+    if t.ev_fds.(j) = t.wake_r then woke := true
+  done;
+  if !woke then drain_wake_pipe t;
+  run_posted t;
+  for j = 0 to count - 1 do
+    if t.ev_fds.(j) <> t.wake_r then fire t t.ev_fds.(j) t.ev_bits.(j)
+  done
+
+let step_poll t ~timeout_s =
+  let n = Hashtbl.length t.table + 1 in
+  if Array.length t.fds < n then begin
+    t.fds <- Array.make n t.wake_r;
+    t.events <- Array.make n 0
+  end;
+  t.fds.(0) <- t.wake_r;
+  t.events.(0) <- read_bit;
+  let i = ref 1 in
+  Hashtbl.iter
+    (fun fd e ->
+      t.fds.(!i) <- fd;
+      t.events.(!i) <- e.interest;
+      incr i)
+    t.table;
+  let count = !i in
+  let fds = Array.sub t.fds 0 count in
+  let events = Array.sub t.events 0 count in
+  let revents = poll_stub fds events (timeout_ms timeout_s) in
+  if revents.(0) <> 0 then drain_wake_pipe t;
+  run_posted t;
+  for j = 1 to count - 1 do
+    if revents.(j) <> 0 then fire t fds.(j) revents.(j)
+  done
+
+let step t ~timeout_s =
+  if t.epfd >= 0 then step_epoll t ~timeout_s else step_poll t ~timeout_s

@@ -1,0 +1,73 @@
+(** Event-driven readiness multiplexing over epoll(7)/poll(2).
+
+    The query server's default connection model hangs every socket off
+    one reactor: a single thread waits on the whole descriptor set, so
+    an idle connection costs a kernel interest-table entry and nothing
+    else — no thread, no stack, no wakeups. On Linux the interest set
+    lives in an epoll instance and one {!step} costs O(ready
+    descriptors), independent of how many parked connections share the
+    reactor; elsewhere a portable poll(2) fallback scans the registered
+    set per step. Both go through tiny C stubs rather than
+    [Unix.select] because select is limited to descriptor {e numbers}
+    below FD_SETSIZE (1024 on Linux), which a 10K-connection server
+    blows through immediately.
+
+    Threading contract: {!register}, {!want}, {!unregister} and {!step}
+    belong to the single owning thread. {!post} is thread-safe and is
+    how other threads (dispatched query completions) get back onto the
+    reactor thread. *)
+
+type t
+
+type ready = {
+  readable : bool;  (** data (or EOF) available to read *)
+  writable : bool;  (** the kernel send buffer has room *)
+  hup : bool;       (** peer hung up / descriptor error *)
+}
+
+val create : unit -> t
+(** A fresh reactor with its self-pipe wakeup channel. *)
+
+val close : t -> unit
+(** Close the self-pipe. The reactor must not be stepped afterwards. *)
+
+val register :
+  t -> Unix.file_descr -> read:bool -> write:bool -> (ready -> unit) -> unit
+(** Add (or replace) a descriptor with its interest set and readiness
+    callback. Callbacks run on the stepping thread, during {!step}. *)
+
+val want : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Change a registered descriptor's interest set; unknown fds are
+    ignored. *)
+
+val unregister : t -> Unix.file_descr -> unit
+(** Forget a descriptor (the caller closes it). Safe from inside a
+    callback. *)
+
+val registered : t -> int
+(** Number of registered descriptors. *)
+
+val post : t -> (unit -> unit) -> unit
+(** Thread-safe: enqueue a closure to run on the stepping thread and
+    wake the poll. Closures run in post order, during the next
+    {!step}. *)
+
+val step : t -> timeout_s:float -> unit
+(** One poll round: wait up to [timeout_s] ([infinity] = forever) for
+    readiness or a {!post}, run posted closures, then fire the callback
+    of every ready descriptor. *)
+
+(** {2 Single-descriptor waits} *)
+
+val wait_fd :
+  Unix.file_descr -> read:bool -> write:bool -> timeout_s:float ->
+  ready option
+(** One-shot poll of a single fd; [None] on timeout (EINTR reports as a
+    timeout — re-check your deadline and retry). Replaces
+    [Unix.select]-based waits so descriptors numbered past FD_SETSIZE
+    keep working. *)
+
+val raise_fd_limit : int -> int
+(** Raise the soft RLIMIT_NOFILE toward the argument (clamped to the
+    hard limit, never lowered); returns the effective soft limit. For
+    benches and soak tests that open thousands of sockets. *)

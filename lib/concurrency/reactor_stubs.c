@@ -1,0 +1,238 @@
+/* Readiness multiplexing for Conc.Reactor.
+ *
+ * Unix.select is limited to FD_SETSIZE (1024 on Linux) *descriptor
+ * numbers*, not descriptor counts: one connection whose fd happens to be
+ * 1024 corrupts the fd_set. The event-driven server targets 10K+ idle
+ * connections, so readiness goes through poll(2), which carries the fd
+ * numbers explicitly and has no such ceiling. poll is POSIX, so that
+ * stub has no platform gate.
+ *
+ * poll still costs O(registered fds) per wakeup — the kernel scans the
+ * whole pollfd array even when one descriptor is ready, so a busy
+ * connection pays for every idle one sharing the reactor. On Linux the
+ * reactor therefore keeps its interest set in an epoll instance
+ * (xq_epoll_* below): epoll_wait returns only the ready descriptors and
+ * a step costs O(ready), which is what makes 10K parked connections
+ * genuinely flat. Non-Linux builds report epoll as unavailable and the
+ * reactor falls back to the poll path.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/resource.h>
+
+/* Interest and readiness bits shared with reactor.ml. */
+#define XQ_READ 1
+#define XQ_WRITE 2
+#define XQ_HUP 4
+
+/* xq_poll fds events timeout_ms -> revents
+ *
+ * [fds] is a Unix.file_descr array (ints on Unix), [events] a parallel
+ * int array of XQ_* interest bits. Returns a fresh int array of XQ_*
+ * readiness bits in the same order. [timeout_ms = -1] waits forever.
+ */
+CAMLprim value xq_poll(value v_fds, value v_events, value v_timeout_ms)
+{
+    CAMLparam3(v_fds, v_events, v_timeout_ms);
+    CAMLlocal1(v_res);
+    long n = Wosize_val(v_fds);
+    int timeout = Int_val(v_timeout_ms);
+    struct pollfd *pfds = NULL;
+    int rc;
+    long i;
+
+    if (n > 0) {
+        pfds = malloc(n * sizeof(struct pollfd));
+        if (pfds == NULL) caml_raise_out_of_memory();
+        for (i = 0; i < n; i++) {
+            int bits = Int_val(Field(v_events, i));
+            pfds[i].fd = Int_val(Field(v_fds, i));
+            pfds[i].events = 0;
+            if (bits & XQ_READ) pfds[i].events |= POLLIN;
+            if (bits & XQ_WRITE) pfds[i].events |= POLLOUT;
+            pfds[i].revents = 0;
+        }
+    }
+
+    caml_release_runtime_system();
+    rc = poll(pfds, (nfds_t)n, timeout);
+    caml_acquire_runtime_system();
+
+    if (rc < 0 && errno != EINTR) {
+        int err = errno;
+        free(pfds);
+        caml_unix_error(err, "poll", Nothing);
+    }
+
+    v_res = caml_alloc(n, 0);
+    for (i = 0; i < n; i++) {
+        int bits = 0;
+        if (rc > 0) {
+            short re = pfds[i].revents;
+            if (re & (POLLIN | POLLHUP | POLLERR)) bits |= XQ_READ;
+            if (re & (POLLOUT | POLLERR)) bits |= XQ_WRITE;
+            if (re & (POLLHUP | POLLERR | POLLNVAL)) bits |= XQ_HUP;
+        }
+        Store_field(v_res, i, Val_int(bits));
+    }
+    free(pfds);
+    CAMLreturn(v_res);
+}
+
+/* xq_epoll_create () -> epoll fd, or -1 when the platform has no epoll
+ *
+ * A failed create (exotic kernel config) also reports -1: the caller
+ * falls back to the portable poll path rather than erroring.
+ */
+#ifdef __linux__
+
+#include <sys/epoll.h>
+
+CAMLprim value xq_epoll_create(value v_unit)
+{
+    (void)v_unit;
+    return Val_int(epoll_create1(EPOLL_CLOEXEC));
+}
+
+/* xq_epoll_ctl ep op fd bits -> unit
+ *
+ * [op]: 0 = add, 1 = modify, 2 = delete. Interest [bits] are the XQ_*
+ * set. The edge cases a level-triggered reactor actually hits are
+ * smoothed over here rather than in OCaml: re-adding a registered fd
+ * degrades to modify, modifying a forgotten one degrades to add, and
+ * deleting an already-closed fd (the kernel drops closed fds from the
+ * set on its own) is a no-op.
+ */
+CAMLprim value xq_epoll_ctl(value v_ep, value v_op, value v_fd, value v_bits)
+{
+    struct epoll_event ev;
+    int bits = Int_val(v_bits);
+    int op = Int_val(v_op) == 0 ? EPOLL_CTL_ADD
+           : Int_val(v_op) == 1 ? EPOLL_CTL_MOD
+           : EPOLL_CTL_DEL;
+
+    memset(&ev, 0, sizeof ev);
+    ev.data.fd = Int_val(v_fd);
+    if (bits & XQ_READ) ev.events |= EPOLLIN;
+    if (bits & XQ_WRITE) ev.events |= EPOLLOUT;
+
+    if (epoll_ctl(Int_val(v_ep), op, Int_val(v_fd), &ev) != 0) {
+        if (op == EPOLL_CTL_ADD && errno == EEXIST) {
+            if (epoll_ctl(Int_val(v_ep), EPOLL_CTL_MOD, Int_val(v_fd), &ev) == 0)
+                return Val_unit;
+        } else if (op == EPOLL_CTL_MOD && errno == ENOENT) {
+            if (epoll_ctl(Int_val(v_ep), EPOLL_CTL_ADD, Int_val(v_fd), &ev) == 0)
+                return Val_unit;
+        } else if (op == EPOLL_CTL_DEL &&
+                   (errno == ENOENT || errno == EBADF)) {
+            return Val_unit;
+        }
+        caml_unix_error(errno, "epoll_ctl", Nothing);
+    }
+    return Val_unit;
+}
+
+/* xq_epoll_wait ep fds bits timeout_ms -> ready count
+ *
+ * Fills the caller's preallocated parallel arrays ([fds] the ready
+ * descriptors, [bits] their XQ_* readiness) up to their capacity and
+ * returns how many are valid. The arrays are reused across steps so a
+ * quiet reactor allocates nothing per wakeup. EINTR reports 0 ready.
+ */
+CAMLprim value xq_epoll_wait(value v_ep, value v_fds, value v_bits,
+                             value v_timeout_ms)
+{
+    CAMLparam4(v_ep, v_fds, v_bits, v_timeout_ms);
+    long cap = Wosize_val(v_fds);
+    struct epoll_event *evs;
+    int rc;
+    long i;
+
+    if (cap <= 0) CAMLreturn(Val_int(0));
+    evs = malloc(cap * sizeof(struct epoll_event));
+    if (evs == NULL) caml_raise_out_of_memory();
+
+    caml_release_runtime_system();
+    rc = epoll_wait(Int_val(v_ep), evs, (int)cap, Int_val(v_timeout_ms));
+    caml_acquire_runtime_system();
+
+    if (rc < 0) {
+        int err = errno;
+        free(evs);
+        if (err == EINTR) CAMLreturn(Val_int(0));
+        caml_unix_error(err, "epoll_wait", Nothing);
+    }
+    for (i = 0; i < rc; i++) {
+        int b = 0;
+        uint32_t re = evs[i].events;
+        if (re & (EPOLLIN | EPOLLHUP | EPOLLERR)) b |= XQ_READ;
+        if (re & (EPOLLOUT | EPOLLERR)) b |= XQ_WRITE;
+        if (re & (EPOLLHUP | EPOLLERR)) b |= XQ_HUP;
+        Store_field(v_fds, i, Val_int(evs[i].data.fd));
+        Store_field(v_bits, i, Val_int(b));
+    }
+    free(evs);
+    CAMLreturn(Val_int(rc));
+}
+
+#else /* !__linux__ */
+
+CAMLprim value xq_epoll_create(value v_unit)
+{
+    (void)v_unit;
+    return Val_int(-1);
+}
+
+CAMLprim value xq_epoll_ctl(value v_ep, value v_op, value v_fd, value v_bits)
+{
+    (void)v_ep; (void)v_op; (void)v_fd; (void)v_bits;
+    caml_unix_error(ENOSYS, "epoll_ctl", Nothing);
+    return Val_unit;
+}
+
+CAMLprim value xq_epoll_wait(value v_ep, value v_fds, value v_bits,
+                             value v_timeout_ms)
+{
+    (void)v_ep; (void)v_fds; (void)v_bits; (void)v_timeout_ms;
+    caml_unix_error(ENOSYS, "epoll_wait", Nothing);
+    return Val_int(0);
+}
+
+#endif /* __linux__ */
+
+/* xq_raise_nofile want -> effective soft limit
+ *
+ * Raises the soft RLIMIT_NOFILE toward [want] (clamped to the hard
+ * limit), never lowers it. Benches opening thousands of client sockets
+ * call this instead of asking users to fiddle with ulimit.
+ */
+CAMLprim value xq_raise_nofile(value v_want)
+{
+    struct rlimit rl;
+    rlim_t want = (rlim_t)Long_val(v_want);
+
+    if (getrlimit(RLIMIT_NOFILE, &rl) != 0)
+        caml_unix_error(errno, "getrlimit", Nothing);
+    if (want > rl.rlim_cur) {
+        rlim_t target = want;
+        if (rl.rlim_max != RLIM_INFINITY && target > rl.rlim_max)
+            target = rl.rlim_max;
+        if (target > rl.rlim_cur) {
+            struct rlimit nrl = rl;
+            nrl.rlim_cur = target;
+            if (setrlimit(RLIMIT_NOFILE, &nrl) == 0) rl.rlim_cur = target;
+        }
+    }
+    return Val_long((long)rl.rlim_cur);
+}

@@ -32,6 +32,13 @@ let expect t wanted what =
     raise (P.Proto_error (Printf.sprintf "expected %s, got tag %C" what tag));
   payload
 
+(* Full jitter on the busy-retry backoff: with [rand] uniform on [0,1)
+   the delay lands anywhere in [base/2, base]. A purely deterministic
+   50 -> 100 -> 200 ms ladder re-synchronizes every client that was shed
+   by the same busy spike — they all come back in the same instant and
+   shed again. *)
+let jittered_delay ~rand base = base *. (0.5 +. (0.5 *. rand))
+
 let connect ?(host = "127.0.0.1") ?(timeout_s = 10.) ?(retry_for_s = 0.)
     ?(busy_retry_for_s = 0.) ~port () =
   (* Writing to a connection the server already reaped (idle timeout,
@@ -60,31 +67,34 @@ let connect ?(host = "127.0.0.1") ?(timeout_s = 10.) ?(retry_for_s = 0.)
       raise e
   in
   let session_attempt () =
+    (* Everything past the socket call runs under the handler: a failure
+       in set_nonblock, setsockopt or the handshake itself must close the
+       descriptor, not leak it (a busy-retry loop would otherwise bleed
+       one fd per rejected attempt). *)
     let sock = tcp_attempt () in
-    Unix.set_nonblock sock;
-    (try Unix.setsockopt sock Unix.TCP_NODELAY true
-     with Unix.Unix_error _ -> ());
-    let t = { sock; timeout_s; closed = false } in
     try
+      Unix.set_nonblock sock;
+      (try Unix.setsockopt sock Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      let t = { sock; timeout_s; closed = false } in
       send_raw t P.tag_hello P.version;
       ignore (expect t P.tag_welcome "WELCOME");
       t
     with e ->
-      t.closed <- true;
       (try Unix.close sock with Unix.Unix_error _ -> ());
       raise e
   in
   (* An admission rejection is transient: the server sheds load when its
      slot and wait queue are full, so a batch script's next attempt a
-     moment later usually succeeds. Retry with doubling backoff while
-     [busy_retry_for_s] allows; any other error is final. *)
+     moment later usually succeeds. Retry with doubling, jittered backoff
+     while [busy_retry_for_s] allows; any other error is final. *)
   let busy_give_up = Rdb.Obs.now_s () +. busy_retry_for_s in
   let rec admitted backoff =
     match session_attempt () with
     | t -> t
     | exception Server_error (code, _)
       when code = P.err_busy && Rdb.Obs.now_s () +. backoff < busy_give_up ->
-      Thread.delay backoff;
+      Thread.delay (jittered_delay ~rand:(Random.float 1.0) backoff);
       admitted (Float.min 0.5 (backoff *. 2.))
   in
   admitted 0.05
@@ -125,6 +135,82 @@ let metrics t =
 let set_option t ~name ~value =
   send_raw t P.tag_set (if value = "" then name else name ^ " " ^ value);
   expect t P.tag_ok "OK"
+
+(* xomatiq/1 pipelining: keep up to [window] requests on the wire and
+   read responses (always in request order) as they stream back. Errors
+   are per-request — a QUERY_ERROR on the third query must not destroy
+   the responses of the fourth — so this path reads raw frames instead
+   of [read_checked]. Syscalls are amortized on both directions: a burst
+   of requests leaves in one coalesced write, and responses are read a
+   socket-buffer at a time through an incremental decoder instead of two
+   read() calls per frame. *)
+let query_pipelined ?(window = 8) ?(sql = false) t texts =
+  let window = max 1 window in
+  let tag = if sql then P.tag_sql else P.tag_query in
+  let texts = Array.of_list texts in
+  let n = Array.length texts in
+  let results = Array.make n (Error ("", "")) in
+  let sent = ref 0 and recvd = ref 0 in
+  let out = P.Outbuf.create () in
+  let dec = P.Decoder.create () in
+  let rdbuf = Bytes.create 65536 in
+  let send_burst () =
+    if !sent < n && !sent - !recvd < window then begin
+      while !sent < n && !sent - !recvd < window do
+        P.Outbuf.add_frame out tag texts.(!sent);
+        incr sent
+      done;
+      let rec push () =
+        match P.Outbuf.flush out t.sock with
+        | `All -> ()
+        | `Blocked ->
+          P.wait_writable t.sock ~deadline:(deadline t);
+          push ()
+      in
+      push ()
+    end
+  in
+  let next_frame () =
+    let rec go () =
+      match P.Decoder.next dec with
+      | Some frame -> frame
+      | None ->
+        (match Unix.read t.sock rdbuf 0 (Bytes.length rdbuf) with
+         | 0 -> raise P.Closed
+         | nr -> P.Decoder.feed dec rdbuf 0 nr
+         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+           ->
+           if not (P.wait_readable t.sock ~deadline:(deadline t)) then
+             raise P.Io_timeout
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go ()
+    in
+    go ()
+  in
+  let read_one () =
+    let buf = Buffer.create 256 in
+    let rec collect () =
+      let tag, payload = next_frame () in
+      if tag = P.tag_rows then begin
+        Buffer.add_string buf payload;
+        collect ()
+      end
+      else if tag = P.tag_done then
+        Ok (Buffer.contents buf, P.parse_done_payload payload)
+      else if tag = P.tag_error then Error (P.parse_error_payload payload)
+      else
+        raise
+          (P.Proto_error
+             (Printf.sprintf "unexpected tag %C in pipelined stream" tag))
+    in
+    results.(!recvd) <- collect ();
+    incr recvd
+  in
+  while !recvd < n do
+    send_burst ();
+    read_one ()
+  done;
+  Array.to_list results
 
 let close t =
   if not t.closed then begin

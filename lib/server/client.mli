@@ -53,6 +53,25 @@ val set_option : t -> name:string -> value:string -> string
 (** Set a session option ([strategy] / [format] / [jobs]); returns the
     acknowledgement. *)
 
+val query_pipelined :
+  ?window:int -> ?sql:bool -> t -> string list ->
+  (string * Protocol.summary, string * string) result list
+(** Run many queries with xomatiq/1 pipelining: up to [window] (default
+    8) requests are on the wire before the first response is consumed,
+    so a batch of cheap queries pays one round-trip per window instead
+    of one per query. Results come back in request order; each element
+    is [Ok (body, summary)] or [Error (code, message)] — a per-query
+    error does not disturb its neighbours. [sql] sends SQL frames
+    instead of FLWR ones. Keep [window] at or below the server's
+    [pipeline_window] (default 32): beyond it the server simply stops
+    reading until it catches up, which stalls (but does not break) the
+    batch. *)
+
+val jittered_delay : rand:float -> float -> float
+(** [jittered_delay ~rand base] — the busy-retry sleep for a backoff
+    step of [base] seconds: uniform on [base/2, base] for [rand] uniform
+    on [0,1). Exposed so tests can pin the distribution. *)
+
 val close : t -> unit
 (** Orderly BYE (best effort) + socket close. Idempotent. *)
 

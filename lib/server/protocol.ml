@@ -107,25 +107,29 @@ exception Io_timeout
 
 let now () = Rdb.Obs.now_s ()
 
-(* select() with an absolute deadline; [infinity] waits forever. *)
+(* poll() with an absolute deadline; [infinity] waits forever. Goes
+   through the Conc.Reactor stub rather than Unix.select so descriptors
+   numbered past FD_SETSIZE (which a client process holding a thousand
+   connections reaches immediately) keep working. *)
 let select_io fd ~read ~deadline =
   let timeout =
-    if deadline = infinity then -1.
+    if deadline = infinity then infinity
     else
       let left = deadline -. now () in
       if left <= 0. then raise Io_timeout else left
   in
-  let rd = if read then [ fd ] else [] in
-  let wr = if read then [] else [ fd ] in
-  match Unix.select rd wr [] timeout with
-  | [], [], [] -> raise Io_timeout
-  | _ -> ()
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  match
+    Conc.Reactor.wait_fd fd ~read ~write:(not read) ~timeout_s:timeout
+  with
+  | Some _ -> ()
+  | None -> if deadline <> infinity && now () >= deadline then raise Io_timeout
 
 let wait_readable fd ~deadline =
   match select_io fd ~read:true ~deadline with
   | () -> true
   | exception Io_timeout -> false
+
+let wait_writable fd ~deadline = select_io fd ~read:false ~deadline
 
 let rec read_into fd buf off len ~deadline ~started =
   if len = 0 then ()
@@ -179,3 +183,157 @@ let write_frame ?(deadline = infinity) fd tag payload =
   write_from fd frame 0 (5 + len) ~deadline
 
 let frame_bytes payload = 5 + String.length payload
+
+(* ------------------------------------------------------------------ *)
+(* Incremental frame decoding                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The reactor feeds whatever bytes one read() returned; the decoder
+   assembles frames across arbitrary split points (a frame delivered one
+   byte at a time, two frames in one read, a header straddling reads all
+   behave identically to whole-frame delivery — the test suite asserts
+   exactly that). One growable buffer per connection is reused for the
+   connection's whole lifetime: bytes compact to the front once consumed
+   instead of allocating fresh Bytes per frame. *)
+module Decoder = struct
+  type t = {
+    max_frame : int;
+    mutable buf : Bytes.t;
+    mutable start : int;  (* first unconsumed byte *)
+    mutable stop : int;   (* one past the last valid byte *)
+  }
+
+  let create ?(max_frame = max_frame_default) () =
+    { max_frame; buf = Bytes.create 4096; start = 0; stop = 0 }
+
+  let buffered t = t.stop - t.start
+
+  let compact t =
+    if t.start > 0 then begin
+      Bytes.blit t.buf t.start t.buf 0 (buffered t);
+      t.stop <- buffered t;
+      t.start <- 0
+    end
+
+  let ensure_room t n =
+    if Bytes.length t.buf - t.stop < n then begin
+      compact t;
+      if Bytes.length t.buf - t.stop < n then begin
+        let want = buffered t + n in
+        let cap = max (2 * Bytes.length t.buf) want in
+        let nbuf = Bytes.create cap in
+        Bytes.blit t.buf 0 nbuf 0 t.stop;
+        t.buf <- nbuf
+      end
+    end
+
+  let feed t src off len =
+    ensure_room t len;
+    Bytes.blit src off t.buf t.stop len;
+    t.stop <- t.stop + len
+
+  let feed_string t src =
+    let len = String.length src in
+    ensure_room t len;
+    Bytes.blit_string src 0 t.buf t.stop len;
+    t.stop <- t.stop + len
+
+  (* The next complete frame, or [None] while bytes are missing. An
+     oversized length is rejected from the header alone — before its
+     payload is buffered — exactly like [read_frame]. *)
+  let next t =
+    if buffered t < 5 then None
+    else begin
+      let tag = Bytes.get t.buf t.start in
+      let len = Int32.to_int (Bytes.get_int32_be t.buf (t.start + 1)) in
+      if len < 0 || len > t.max_frame then
+        raise
+          (Proto_error
+             (Printf.sprintf "frame of %d bytes exceeds the %d byte limit"
+                len t.max_frame));
+      if buffered t < 5 + len then None
+      else begin
+        let payload = Bytes.sub_string t.buf (t.start + 5) len in
+        t.start <- t.start + 5 + len;
+        if t.start = t.stop then begin
+          t.start <- 0;
+          t.stop <- 0
+        end;
+        Some (tag, payload)
+      end
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Coalesced frame writing                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-connection outbound buffer: response frames accumulate here and
+   [flush] pushes as much as one round of write() syscalls will take.
+   Many small frames — a pipelined burst of ROWS chunks and DONE
+   trailers — leave in one syscall instead of one per frame, which is
+   the wire-side half of the pipelining win. The buffer is reused
+   (compacted, never shrunk below its initial size) across the
+   connection's lifetime. *)
+module Outbuf = struct
+  type t = {
+    mutable buf : Bytes.t;
+    mutable start : int;
+    mutable stop : int;
+  }
+
+  let initial = 8192
+
+  let create () = { buf = Bytes.create initial; start = 0; stop = 0 }
+
+  let length t = t.stop - t.start
+
+  let is_empty t = t.stop = t.start
+
+  let ensure_room t n =
+    if Bytes.length t.buf - t.stop < n then begin
+      if t.start > 0 then begin
+        Bytes.blit t.buf t.start t.buf 0 (length t);
+        t.stop <- length t;
+        t.start <- 0
+      end;
+      if Bytes.length t.buf - t.stop < n then begin
+        let cap = max (2 * Bytes.length t.buf) (length t + n) in
+        let nbuf = Bytes.create cap in
+        Bytes.blit t.buf 0 nbuf 0 t.stop;
+        t.buf <- nbuf
+      end
+    end
+
+  let add_frame t tag payload =
+    let len = String.length payload in
+    ensure_room t (5 + len);
+    Bytes.set t.buf t.stop tag;
+    Bytes.set_int32_be t.buf (t.stop + 1) (Int32.of_int len);
+    Bytes.blit_string payload 0 t.buf (t.stop + 5) len;
+    t.stop <- t.stop + 5 + len
+
+  (* Write until the buffer empties or the socket stops accepting.
+     [`Blocked] means bytes remain and the caller should poll for write
+     readiness; EPIPE/ECONNRESET surface as [Closed]. *)
+  let flush t fd =
+    let rec go () =
+      if is_empty t then begin
+        t.start <- 0;
+        t.stop <- 0;
+        `All
+      end
+      else
+        match Unix.write fd t.buf t.start (length t) with
+        | n ->
+          t.start <- t.start + n;
+          go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          `Blocked
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          raise Closed
+    in
+    go ()
+end

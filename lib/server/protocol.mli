@@ -126,6 +126,11 @@ exception Io_timeout
 val wait_readable : Unix.file_descr -> deadline:float -> bool
 (** True when the fd has readable data (or EOF) before [deadline]. *)
 
+val wait_writable : Unix.file_descr -> deadline:float -> unit
+(** Returns once the fd may accept bytes (or spuriously on EINTR —
+    callers loop on their own EAGAIN anyway).
+    @raise Io_timeout once [deadline] has passed. *)
+
 val read_frame :
   ?deadline:float -> ?max_frame:int -> Unix.file_descr -> char * string
 
@@ -137,3 +142,49 @@ val write_frame :
 val frame_bytes : string -> int
 (** Wire size of a frame with this payload (header included) — what the
     byte in/out counters account. *)
+
+(** {2 Incremental decoding}
+
+    The event-driven server feeds each read()'s bytes into a
+    per-connection decoder; frames assemble across arbitrary split
+    points and the underlying buffer is reused for the connection's
+    lifetime. *)
+
+module Decoder : sig
+  type t
+
+  val create : ?max_frame:int -> unit -> t
+
+  val feed : t -> Bytes.t -> int -> int -> unit
+  (** [feed t src off len] appends [len] bytes of [src] at [off]. *)
+
+  val feed_string : t -> string -> unit
+
+  val next : t -> (char * string) option
+  (** The next complete frame, or [None] until more bytes arrive.
+      @raise Proto_error on an oversized frame length — detected from
+      the header alone, before the payload is buffered. *)
+
+  val buffered : t -> int
+  (** Bytes fed but not yet consumed as frames. *)
+end
+
+(** {2 Coalesced writing}
+
+    Outbound frames accumulate in a per-connection buffer; one [flush]
+    moves everything the socket will take in a single round of write()
+    syscalls — a pipelined burst of responses leaves as one write. *)
+
+module Outbuf : sig
+  type t
+
+  val create : unit -> t
+  val add_frame : t -> char -> string -> unit
+  val length : t -> int
+  val is_empty : t -> bool
+
+  val flush : t -> Unix.file_descr -> [ `All | `Blocked ]
+  (** Write as much as possible without blocking. [`Blocked] = bytes
+      remain, poll for write readiness.
+      @raise Closed on EPIPE / ECONNRESET. *)
+end

@@ -1,5 +1,6 @@
 module P = Protocol
 module Obs = Rdb.Obs
+module R = Conc.Reactor
 
 type config = {
   host : string;
@@ -10,12 +11,14 @@ type config = {
   idle_timeout_s : float option;
   write_timeout_s : float;
   max_frame : int;
+  threaded : bool;
+  pipeline_window : int;
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 7788; max_clients = 32; queue_depth = 16;
     query_timeout_s = None; idle_timeout_s = None; write_timeout_s = 10.;
-    max_frame = P.max_frame_default }
+    max_frame = P.max_frame_default; threaded = false; pipeline_window = 32 }
 
 (* ------------------------------------------------------------------ *)
 (* Server-wide metrics                                                 *)
@@ -34,6 +37,7 @@ let m_bytes_in = Obs.Counter.create ()
 let m_bytes_out = Obs.Counter.create ()
 let m_sched_inline = Obs.Counter.create ()
 let m_sched_dispatched = Obs.Counter.create ()
+let m_pipelined = Obs.Counter.create ()
 let m_latency = Obs.Histogram.create ()
 
 let () =
@@ -50,11 +54,35 @@ let () =
   Obs.register_counter "server.bytes_out" m_bytes_out;
   Obs.register_counter "server.sched_inline" m_sched_inline;
   Obs.register_counter "server.sched_dispatched" m_sched_dispatched;
+  Obs.register_counter "server.pipelined" m_pipelined;
   Obs.register_histogram "server.query_latency" m_latency
 
 (* ------------------------------------------------------------------ *)
 (* Server state                                                        *)
 (* ------------------------------------------------------------------ *)
+
+(* Thread-per-connection state, kept one release as the [--threaded]
+   fallback while the reactor is the default connection model. *)
+type threaded_state = {
+  lock : Mutex.t;
+  slot_cond : Condition.t;
+  mutable active : int;
+  mutable waiting : int;
+  mutable handlers : Thread.t list;
+  mutable accept_thread : Thread.t option;
+}
+
+type reactor_state = {
+  reactor : R.t;
+  mutable rthread : Thread.t option;
+  (* mirrors of the reactor thread's bookkeeping, readable from any
+     thread (metrics gauges) *)
+  r_active : int Atomic.t;
+  r_waiting : int Atomic.t;
+  r_conns : int Atomic.t;
+}
+
+type mode_state = Threaded of threaded_state | Reactor of reactor_state
 
 type t = {
   cfg : config;
@@ -62,63 +90,32 @@ type t = {
   listen_fd : Unix.file_descr;
   bound_port : int;
   stop : bool Atomic.t;
-  lock : Mutex.t;
-  slot_cond : Condition.t;
-  mutable active : int;
-  mutable waiting : int;
   mutable next_id : int;
-  mutable handlers : Thread.t list;
-  mutable accept_thread : Thread.t option;
+  mode : mode_state;
 }
 
 let port t = t.bound_port
 
-(* Begin a drain: raise the flag, then wake every session parked in
-   [acquire_slot]'s Condition.wait — without the broadcast they would
-   sleep through the whole drain until some unrelated [release_slot]
-   happened to signal. Signal handlers must NOT call this (the handler
-   can run on a thread that already holds [t.lock]); they set the atomic
-   flag only and lean on [wait]'s own broadcast, which follows within one
-   accept-loop slice. *)
+(* Begin a drain: raise the flag, then wake whichever machinery is
+   parked — the threaded model's admission waiters (without the
+   broadcast they would sleep until some unrelated [release_slot]
+   signal), or the reactor's poll. Signal handlers must NOT call this
+   (the handler can run on a thread that already holds the admission
+   lock); they set the atomic flag only and lean on the 0.25 s loop
+   slices, which notice it promptly. *)
 let request_stop t =
   Atomic.set t.stop true;
-  Mutex.lock t.lock;
-  Condition.broadcast t.slot_cond;
-  Mutex.unlock t.lock
+  match t.mode with
+  | Threaded th ->
+    Mutex.lock th.lock;
+    Condition.broadcast th.slot_cond;
+    Mutex.unlock th.lock
+  | Reactor rs -> R.post rs.reactor (fun () -> ())
 
 let stopping t = Atomic.get t.stop
 
-(* Admission control: a slot per admitted session, a bounded wait line
-   behind it. Waiters re-check the stop flag after every wakeup so a
-   drain can turn the whole line away. *)
-let acquire_slot t =
-  Mutex.lock t.lock;
-  let rec try_slot () =
-    if Atomic.get t.stop then `Shutdown
-    else if t.active < t.cfg.max_clients then begin
-      t.active <- t.active + 1;
-      `Admitted
-    end
-    else if t.waiting >= t.cfg.queue_depth then `Busy
-    else begin
-      t.waiting <- t.waiting + 1;
-      Condition.wait t.slot_cond t.lock;
-      t.waiting <- t.waiting - 1;
-      try_slot ()
-    end
-  in
-  let outcome = try_slot () in
-  Mutex.unlock t.lock;
-  outcome
-
-let release_slot t =
-  Mutex.lock t.lock;
-  t.active <- t.active - 1;
-  Condition.signal t.slot_cond;
-  Mutex.unlock t.lock
-
 (* ------------------------------------------------------------------ *)
-(* Query execution                                                     *)
+(* Query execution (shared by both connection models)                  *)
 (* ------------------------------------------------------------------ *)
 
 let values_to_table columns rows =
@@ -127,9 +124,9 @@ let values_to_table columns rows =
        (fun r -> Array.to_list (Array.map Rdb.Value.to_string r))
        rows)
 
-(* Render one request into (body, summary ingredients). Runs on a pool
-   domain; everything it raises is re-raised by await in the session
-   thread. *)
+(* Render one request into (body, summary ingredients). Runs on
+   whichever thread the scheduler picked; everything it raises is
+   reported as a typed error frame. *)
 let render_request t sess token kind text =
   match kind with
   | `Query ->
@@ -186,38 +183,16 @@ let render_request t sess token kind text =
 
 exception Session_over
 
-(* Chunked result streaming: 64 KiB R frames, then the D trailer. A
-   write that cannot finish within write_timeout_s raises Io_timeout —
-   the slow-client signal handled by the session loop. *)
+(* Chunked result streaming: 64 KiB R frames, then the D trailer. *)
 let chunk_size = 64 * 1024
 
-let send t sess fd tag payload =
-  let deadline = Obs.now_s () +. t.cfg.write_timeout_s in
-  P.write_frame ~deadline fd tag payload;
-  let n = P.frame_bytes payload in
-  sess.Session.bytes_out <- sess.Session.bytes_out + n;
-  Obs.Counter.incr ~by:n m_bytes_out
-
-let stream_result t sess fd body summary =
-  let len = String.length body in
-  let rec chunks off =
-    if off < len then begin
-      let n = min chunk_size (len - off) in
-      send t sess fd P.tag_rows (String.sub body off n);
-      chunks (off + n)
-    end
-  in
-  chunks 0;
-  send t sess fd P.tag_done (P.done_payload summary)
-
 (* Plan one request into [(job, dispatch)]: [job] produces the response
-   body on whichever thread runs it, [dispatch] says whether it goes to
-   the pool (so the session thread keeps watching its socket) or runs
-   inline on the session thread.
+   body on whichever thread runs it, [dispatch] says whether it goes off
+   the calling thread (so the socket stays watched) or runs inline.
 
    In static mode ([XOMATIQ_SCHED=static]) everything is dispatched —
    the pre-adaptive behaviour. In adaptive mode the request is planned
-   *here*, on the session thread (a plan-cache lookup on the hot path,
+   *here*, on the calling thread (a plan-cache lookup on the hot path,
    or the session's own memoized preparation), and the root cost
    estimate picks the lane: a cheap query never pays the pool round-trip
    and its ~1 ms+ future-poll latency, an expensive one keeps the
@@ -310,6 +285,79 @@ let plan_work t sess token kind text =
     (* executes the query with unknown-ahead cost: keep it cancelable *)
     | `Analyze -> (render_job `Analyze, true)
 
+let metrics_payload sess =
+  "{\"metrics\": " ^ Obs.dump_json ()
+  ^ Printf.sprintf ", \"sched\": {\"mode\": \"%s\", \"cost_threshold\": %g}"
+      (Conc.Sched.mode_tag ()) (Conc.Sched.cost_threshold ())
+  ^ ", \"session\": " ^ Session.info_json sess ^ "}"
+
+let apply_session_jobs sess =
+  match sess.Session.jobs with
+  | Some n when n <> Conc.Pool.jobs () -> Conc.Pool.set_jobs n
+  | _ -> ()
+
+let timeout_deadline t =
+  match t.cfg.query_timeout_s with
+  | Some s -> Obs.now_s () +. s
+  | None -> infinity
+
+let fire_wallclock_timeout t token =
+  Rdb.Cancel.cancel ~code:Rdb.Cancel.timeout_code token
+    (Printf.sprintf "query exceeded the %.3fs wall-clock budget"
+       (Option.get t.cfg.query_timeout_s))
+
+(* ================================================================== *)
+(* Thread-per-connection model ([--threaded] fallback)                 *)
+(* ================================================================== *)
+
+(* Admission control: a slot per admitted session, a bounded wait line
+   behind it. Waiters re-check the stop flag after every wakeup so a
+   drain can turn the whole line away. *)
+let acquire_slot t th =
+  Mutex.lock th.lock;
+  let rec try_slot () =
+    if Atomic.get t.stop then `Shutdown
+    else if th.active < t.cfg.max_clients then begin
+      th.active <- th.active + 1;
+      `Admitted
+    end
+    else if th.waiting >= t.cfg.queue_depth then `Busy
+    else begin
+      th.waiting <- th.waiting + 1;
+      Condition.wait th.slot_cond th.lock;
+      th.waiting <- th.waiting - 1;
+      try_slot ()
+    end
+  in
+  let outcome = try_slot () in
+  Mutex.unlock th.lock;
+  outcome
+
+let release_slot th =
+  Mutex.lock th.lock;
+  th.active <- th.active - 1;
+  Condition.signal th.slot_cond;
+  Mutex.unlock th.lock
+
+let send t sess fd tag payload =
+  let deadline = Obs.now_s () +. t.cfg.write_timeout_s in
+  P.write_frame ~deadline fd tag payload;
+  let n = P.frame_bytes payload in
+  sess.Session.bytes_out <- sess.Session.bytes_out + n;
+  Obs.Counter.incr ~by:n m_bytes_out
+
+let stream_result t sess fd body summary =
+  let len = String.length body in
+  let rec chunks off =
+    if off < len then begin
+      let n = min chunk_size (len - off) in
+      send t sess fd P.tag_rows (String.sub body off n);
+      chunks (off + n)
+    end
+  in
+  chunks 0;
+  send t sess fd P.tag_done (P.done_payload summary)
+
 (* Run one query under a fresh cancel token. Dispatched work runs off
    the session thread (a plain thread under the adaptive scheduler, the
    worker-domain pool in static mode) while the session thread keeps
@@ -321,15 +369,8 @@ let plan_work t sess token kind text =
    unwatched for the duration — the deadline still fires because the
    token carries it into the executor's own checks. *)
 let execute_query t sess fd kind text =
-  (match sess.Session.jobs with
-   | Some n when n <> Conc.Pool.jobs () -> Conc.Pool.set_jobs n
-   | _ -> ());
-  let deadline =
-    match t.cfg.query_timeout_s with
-    | Some s -> Obs.now_s () +. s
-    | None -> infinity
-  in
-  let token = Rdb.Cancel.create ~deadline () in
+  apply_session_jobs sess;
+  let token = Rdb.Cancel.create ~deadline:(timeout_deadline t) () in
   let lost = ref false in
   let pending_bye = ref false in
   let outcome =
@@ -377,10 +418,7 @@ let execute_query t sess fd kind text =
         if not (poll ()) then begin
           (if t.cfg.query_timeout_s <> None
               && Rdb.Cancel.deadline_passed token
-           then
-             Rdb.Cancel.cancel ~code:Rdb.Cancel.timeout_code token
-               (Printf.sprintf "query exceeded the %.3fs wall-clock budget"
-                  (Option.get t.cfg.query_timeout_s)));
+           then fire_wallclock_timeout t token);
           if !watching then begin
             if P.wait_readable fd ~deadline:(Obs.now_s () +. slice) then
               match
@@ -435,16 +473,6 @@ let execute_query t sess fd kind text =
     (try send t sess fd P.tag_ok "bye" with _ -> ());
     raise Session_over
   end
-
-(* ------------------------------------------------------------------ *)
-(* Session loop                                                        *)
-(* ------------------------------------------------------------------ *)
-
-let metrics_payload sess =
-  "{\"metrics\": " ^ Obs.dump_json ()
-  ^ Printf.sprintf ", \"sched\": {\"mode\": \"%s\", \"cost_threshold\": %g}"
-      (Conc.Sched.mode_tag ()) (Conc.Sched.cost_threshold ())
-  ^ ", \"session\": " ^ Session.info_json sess ^ "}"
 
 let handle_request t sess fd = function
   | P.Ping payload -> send t sess fd P.tag_ok payload
@@ -537,7 +565,7 @@ let session_loop t sess fd =
   in
   loop ()
 
-let handle_conn t id fd =
+let handle_conn t th id fd =
   Unix.set_nonblock fd;
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
   let close () = try Unix.close fd with Unix.Unix_error _ -> () in
@@ -546,7 +574,7 @@ let handle_conn t id fd =
     try send t sess fd P.tag_error (P.error_payload ~code msg)
     with _ -> ()
   in
-  match acquire_slot t with
+  match acquire_slot t th with
   | `Busy ->
     Obs.Counter.incr m_shed;
     best_effort_error P.err_busy
@@ -560,7 +588,7 @@ let handle_conn t id fd =
     Fun.protect
       ~finally:(fun () ->
         close ();
-        release_slot t)
+        release_slot th)
       (fun () ->
         try session_loop t sess fd with
         | Session_over | P.Closed -> ()
@@ -574,36 +602,611 @@ let handle_conn t id fd =
         | e ->
           best_effort_error P.err_internal (Printexc.to_string e))
 
-(* ------------------------------------------------------------------ *)
-(* Accept loop and lifecycle                                           *)
-(* ------------------------------------------------------------------ *)
-
-let accept_loop t =
+let accept_loop t th =
   let rec loop () =
     if not (Atomic.get t.stop) then begin
-      (match Unix.select [ t.listen_fd ] [] [] 0.25 with
-       | [], _, _ -> ()
-       | _ -> begin
+      (match R.wait_fd t.listen_fd ~read:true ~write:false ~timeout_s:0.25 with
+       | None -> ()
+       | Some _ -> begin
          match Unix.accept t.listen_fd with
          | fd, _ ->
            Obs.Counter.incr m_accepted;
-           Mutex.lock t.lock;
-           let id = t.next_id in
-           t.next_id <- id + 1;
-           let th = Thread.create (fun () -> handle_conn t id fd) () in
-           t.handlers <- th :: t.handlers;
-           Mutex.unlock t.lock
+           (match
+              Mutex.lock th.lock;
+              let id = t.next_id in
+              t.next_id <- id + 1;
+              let thread = Thread.create (fun () -> handle_conn t th id fd) () in
+              th.handlers <- thread :: th.handlers;
+              Mutex.unlock th.lock
+            with
+            | () -> ()
+            | exception e ->
+              (* never leak the accepted descriptor, whatever failed *)
+              (try Mutex.unlock th.lock with _ -> ());
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              raise e)
          | exception
              Unix.Unix_error
                (( Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
                 | Unix.ECONNABORTED ), _, _) ->
            ()
-       end
-       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+       end);
       loop ()
     end
   in
   loop ()
+
+(* ================================================================== *)
+(* Event-driven reactor model (default)                                *)
+(* ================================================================== *)
+
+(* One reactor thread owns the listening socket and every connection:
+   idle connections cost a pollfd entry, not a thread. Each connection
+   is an explicit state machine (handshake -> ready -> closing) with an
+   incremental frame decoder on the read side and a coalescing frame
+   buffer on the write side. Requests decoded beyond the one currently
+   executing queue per-connection up to [pipeline_window] — xomatiq/1
+   pipelining — and responses are written back strictly in request
+   order, many frames per write() syscall.
+
+   The adaptive scheduler's lanes survive unchanged: cheap queries run
+   inline on the reactor thread (no hand-off at all), expensive ones
+   dispatch to a shepherd thread (static mode: the worker-domain pool)
+   while the reactor keeps reading the connection — CANCEL and BYE stay
+   live mid-query, and other sessions keep being served. *)
+
+type phase = Handshaking | Ready | Closing
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_sess : Session.t;
+  dec : P.Decoder.t;
+  out : P.Outbuf.t;
+  pending : P.request Queue.t;
+  born : float;
+  mutable phase : phase;
+  mutable parked : bool;       (* accepted, waiting for a session slot *)
+  mutable admitted : bool;
+  mutable closed : bool;
+  mutable inflight : Rdb.Cancel.t option;
+  mutable pending_bye : bool;
+  mutable last_activity : float;
+  mutable last_write_progress : float;
+}
+
+type rloop = {
+  srv : t;
+  rs : reactor_state;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  wait_line : conn Queue.t;
+  rdbuf : Bytes.t;  (* shared read staging: reads happen only on the
+                       reactor thread and feed per-connection decoders
+                       immediately, so one buffer serves every socket *)
+  mutable draining : bool;
+}
+
+(* Stop pumping responses into a connection whose client is not reading
+   them; resume once the outbuf drains below the mark. Bounds the
+   per-connection memory a pipelined burst of large results can pin. *)
+let outbuf_high_water = 1 lsl 20
+
+(* Stop read()ing a connection whose decoded-but-unconsumed backlog has
+   grown past this; level-triggered polling picks the rest up once the
+   pipeline queue drains. *)
+let decoder_backlog_cap = 256 * 1024
+
+let conn_window rl = max 1 rl.srv.cfg.pipeline_window
+
+(* Interest refresh: read while we are willing to decode more, write
+   while response bytes are waiting. *)
+let refresh_interest rl conn =
+  if not conn.closed then
+    let read =
+      (not conn.parked)
+      && conn.phase <> Closing
+      && (not conn.pending_bye)
+      && Queue.length conn.pending < conn_window rl
+      && P.Decoder.buffered conn.dec < decoder_backlog_cap
+    in
+    R.want rl.rs.reactor conn.c_fd ~read ~write:(not (P.Outbuf.is_empty conn.out))
+
+let close_conn rl conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    (match conn.inflight with
+     | Some token -> Rdb.Cancel.cancel token "client went away mid-query"
+     | None -> ());
+    conn.inflight <- None;
+    R.unregister rl.rs.reactor conn.c_fd;
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove rl.conns conn.c_fd;
+    Atomic.decr rl.rs.r_conns;
+    if conn.parked then begin
+      conn.parked <- false;
+      Atomic.decr rl.rs.r_waiting
+    end;
+    if conn.admitted then begin
+      conn.admitted <- false;
+      Atomic.decr rl.rs.r_active
+    end
+  end
+
+let emit rl conn tag payload =
+  P.Outbuf.add_frame conn.out tag payload;
+  ignore rl
+
+(* Queue a typed error (or goodbye) and close once it is flushed. *)
+let shed rl conn code msg =
+  if not conn.closed && conn.phase <> Closing then begin
+    emit rl conn P.tag_error (P.error_payload ~code msg);
+    conn.phase <- Closing;
+    Queue.clear conn.pending
+  end
+
+let flush_conn rl conn =
+  if not conn.closed then begin
+    let before = P.Outbuf.length conn.out in
+    (match P.Outbuf.flush conn.out conn.c_fd with
+     | `All | `Blocked ->
+       let written = before - P.Outbuf.length conn.out in
+       if written > 0 then begin
+         conn.c_sess.Session.bytes_out <-
+           conn.c_sess.Session.bytes_out + written;
+         Obs.Counter.incr ~by:written m_bytes_out;
+         conn.last_write_progress <- Obs.now_s ()
+       end;
+       if P.Outbuf.is_empty conn.out then begin
+         conn.last_write_progress <- Obs.now_s ();
+         if conn.phase = Closing then close_conn rl conn
+         else refresh_interest rl conn
+       end
+       else refresh_interest rl conn
+     | exception (P.Closed | Unix.Unix_error _) -> close_conn rl conn)
+  end
+
+let emit_result rl conn body summary =
+  let len = String.length body in
+  let rec chunks off =
+    if off < len then begin
+      let n = min chunk_size (len - off) in
+      emit rl conn P.tag_rows (String.sub body off n);
+      chunks (off + n)
+    end
+  in
+  chunks 0;
+  emit rl conn P.tag_done (P.done_payload summary)
+
+(* Report one query outcome. Counters are updated even when the
+   connection is already gone (the threaded model does the same); frames
+   are only queued for live connections. *)
+let emit_outcome rl conn outcome =
+  let live = (not conn.closed) && conn.phase <> Closing in
+  match outcome with
+  | Ok (body, summary, exec_s) ->
+    conn.c_sess.Session.queries <- conn.c_sess.Session.queries + 1;
+    Obs.Counter.incr m_queries;
+    Obs.Histogram.observe m_latency exec_s;
+    if live then emit_result rl conn body summary
+  | Error (Rdb.Cancel.Canceled (code, msg)) ->
+    if code = Rdb.Cancel.timeout_code then Obs.Counter.incr m_timeouts
+    else Obs.Counter.incr m_canceled;
+    if live then emit rl conn P.tag_error (P.error_payload ~code msg)
+  | Error (Xomatiq.Engine.Query_error m) ->
+    Obs.Counter.incr m_query_errors;
+    if live then emit rl conn P.tag_error (P.error_payload ~code:P.err_query m)
+  | Error e ->
+    Obs.Counter.incr m_query_errors;
+    if live then
+      emit rl conn P.tag_error
+        (P.error_payload ~code:P.err_internal (Printexc.to_string e))
+
+let proto_violation rl conn msg =
+  Obs.Counter.incr m_proto_errors;
+  (match conn.inflight with
+   | Some token -> Rdb.Cancel.cancel token "protocol violation mid-query"
+   | None -> ());
+  shed rl conn P.err_proto msg
+
+(* Dispatch one planned job off the reactor thread; its completion is
+   posted back so the response is written (in order) by the reactor. *)
+let dispatch_job rl conn token job k =
+  conn.inflight <- Some token;
+  let finish result = R.post rl.rs.reactor (fun () -> k result) in
+  let runner =
+    match Conc.Sched.mode () with
+    | Conc.Sched.Adaptive ->
+      fun () ->
+        finish (match job () with v -> Ok v | exception e -> Error e)
+    | Conc.Sched.Static ->
+      fun () ->
+        let fut = Conc.Pool.submit (Conc.Pool.get ()) job in
+        finish
+          (match Conc.Pool.await_blocking fut with
+           | v -> Ok v
+           | exception e -> Error e)
+  in
+  ignore (Thread.create runner ())
+
+let rec pump rl conn =
+  if
+    (not conn.closed) && conn.phase = Ready && conn.inflight = None
+    && P.Outbuf.length conn.out < outbuf_high_water
+  then
+    match Queue.take_opt conn.pending with
+    | None ->
+      if conn.pending_bye then begin
+        conn.pending_bye <- false;
+        emit rl conn P.tag_ok "bye";
+        conn.phase <- Closing
+      end
+    | Some req ->
+      if not (Queue.is_empty conn.pending) then Obs.Counter.incr m_pipelined;
+      (match req with
+       | P.Ping payload ->
+         emit rl conn P.tag_ok payload;
+         pump rl conn
+       | P.Metrics ->
+         emit rl conn P.tag_metrics_reply (metrics_payload conn.c_sess);
+         pump rl conn
+       | P.Set (name, value) ->
+         (match Session.set_option conn.c_sess ~name ~value with
+          | Ok ack -> emit rl conn P.tag_ok ack
+          | Error m ->
+            emit rl conn P.tag_error (P.error_payload ~code:P.err_query m));
+         pump rl conn
+       | P.Hello _ | P.Cancel | P.Bye ->
+         (* handled at decode time; never queued *)
+         pump rl conn
+       | P.Query text -> start_query rl conn `Query text
+       | P.Sql text -> start_query rl conn `Sql text
+       | P.Explain text -> start_query rl conn `Explain text
+       | P.Analyze text -> start_query rl conn `Analyze text)
+
+and start_query rl conn kind text =
+  let t = rl.srv in
+  apply_session_jobs conn.c_sess;
+  let token = Rdb.Cancel.create ~deadline:(timeout_deadline t) () in
+  match plan_work t conn.c_sess token kind text with
+  | exception e ->
+    emit_outcome rl conn (Error e);
+    pump rl conn
+  | job, false ->
+    (* Inline on the reactor thread: no hand-off, no wakeup. The cost
+       gate keeps these cheap, so other connections wait microseconds —
+       the same trade the session thread made before, now shared. *)
+    Obs.Counter.incr m_sched_inline;
+    let outcome = match job () with v -> Ok v | exception e -> Error e in
+    emit_outcome rl conn outcome;
+    conn.last_activity <- Obs.now_s ();
+    pump rl conn
+  | job, true ->
+    Obs.Counter.incr m_sched_dispatched;
+    dispatch_job rl conn token job (fun outcome ->
+        conn.inflight <- None;
+        conn.last_activity <- Obs.now_s ();
+        emit_outcome rl conn outcome;
+        if rl.draining then shed rl conn P.err_shutdown "server is draining"
+        else if conn.pending_bye && Queue.is_empty conn.pending then begin
+          conn.pending_bye <- false;
+          if (not conn.closed) && conn.phase <> Closing then begin
+            emit rl conn P.tag_ok "bye";
+            conn.phase <- Closing
+          end
+        end
+        else pump rl conn;
+        refresh_interest rl conn;
+        flush_conn rl conn)
+
+(* Decode buffered bytes into the pipeline queue. CANCEL and BYE act
+   immediately (they are the out-of-band frames); everything else joins
+   the per-connection queue in arrival order, up to the window. *)
+let rec decode rl conn =
+  if not conn.closed then
+    match conn.phase with
+    | Closing -> ()
+    | Handshaking -> begin
+      match P.Decoder.next conn.dec with
+      | None -> ()
+      | Some (tag, payload) when tag = P.tag_hello ->
+        if payload <> P.version then
+          shed rl conn P.err_proto
+            (Printf.sprintf
+               "unsupported protocol version %S (server speaks %s)" payload
+               P.version)
+        else begin
+          emit rl conn P.tag_welcome P.version;
+          conn.phase <- Ready;
+          decode rl conn
+        end
+      | Some _ -> proto_violation rl conn "expected HELLO as the first frame"
+      | exception P.Proto_error m -> proto_violation rl conn m
+    end
+    | Ready ->
+      if Queue.length conn.pending < conn_window rl && not conn.pending_bye
+      then begin
+        match P.Decoder.next conn.dec with
+        | None -> ()
+        | exception P.Proto_error m -> proto_violation rl conn m
+        | Some frame -> begin
+          match P.request_of_frame frame with
+          | Error m -> proto_violation rl conn m
+          | Ok P.Cancel ->
+            (* the oldest incomplete request: the one executing, else
+               the head of the queue (answered CANCELED, never run) *)
+            (match conn.inflight with
+             | Some token -> Rdb.Cancel.cancel token "canceled by client"
+             | None -> (
+               match Queue.take_opt conn.pending with
+               | Some _ ->
+                 Obs.Counter.incr m_canceled;
+                 emit rl conn P.tag_error
+                   (P.error_payload ~code:Rdb.Cancel.canceled_code
+                      "canceled before execution")
+               | None -> emit rl conn P.tag_ok "nothing to cancel"));
+            decode rl conn
+          | Ok P.Bye ->
+            (* goodbye: drop everything queued behind it, cancel the
+               in-flight query, acknowledge once quiet *)
+            Queue.clear conn.pending;
+            (match conn.inflight with
+             | Some token ->
+               conn.pending_bye <- true;
+               Rdb.Cancel.cancel token "connection closing"
+             | None ->
+               emit rl conn P.tag_ok "bye";
+               conn.phase <- Closing)
+          | Ok (P.Hello _) ->
+            proto_violation rl conn "unexpected second handshake"
+          | Ok req ->
+            Queue.push req conn.pending;
+            decode rl conn
+        end
+      end
+
+let handle_read rl conn =
+  let rec go budget =
+    if budget > 0 && not conn.closed then
+      match Unix.read conn.c_fd rl.rdbuf 0 (Bytes.length rl.rdbuf) with
+      | 0 -> close_conn rl conn
+      | n ->
+        conn.last_activity <- Obs.now_s ();
+        conn.c_sess.Session.bytes_in <- conn.c_sess.Session.bytes_in + n;
+        Obs.Counter.incr ~by:n m_bytes_in;
+        P.Decoder.feed conn.dec rl.rdbuf 0 n;
+        if P.Decoder.buffered conn.dec < decoder_backlog_cap then
+          go (budget - n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go budget
+      | exception Unix.Unix_error _ -> close_conn rl conn
+  in
+  go (4 * 1024 * 1024)
+
+let on_conn_event rl conn (ev : R.ready) =
+  if not conn.closed then begin
+    if conn.parked then begin
+      (* no interest bits are set while parked; only a hangup (reported
+         unconditionally by poll) can arrive *)
+      if ev.hup then close_conn rl conn
+    end
+    else begin
+      if ev.readable then handle_read rl conn
+      else if ev.hup && not ev.writable then close_conn rl conn;
+      if not conn.closed then begin
+        decode rl conn;
+        pump rl conn;
+        refresh_interest rl conn;
+        flush_conn rl conn
+      end
+    end
+  end
+
+let admit rl conn =
+  conn.admitted <- true;
+  Atomic.incr rl.rs.r_active;
+  refresh_interest rl conn
+
+let admit_from_wait_line rl =
+  if not rl.draining then
+    let rec go () =
+      if
+        Atomic.get rl.rs.r_active < rl.srv.cfg.max_clients
+        && not (Queue.is_empty rl.wait_line)
+      then begin
+        let conn = Queue.pop rl.wait_line in
+        if not conn.closed then begin
+          conn.parked <- false;
+          Atomic.decr rl.rs.r_waiting;
+          admit rl conn
+        end;
+        go ()
+      end
+    in
+    go ()
+
+let accept_burst rl =
+  let t = rl.srv in
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | fd, _ -> begin
+      Obs.Counter.incr m_accepted;
+      match
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let now = Obs.now_s () in
+        let conn =
+          { c_fd = fd; c_sess = Session.create ~id;
+            dec = P.Decoder.create ~max_frame:t.cfg.max_frame ();
+            out = P.Outbuf.create (); pending = Queue.create (); born = now;
+            phase = Handshaking; parked = false; admitted = false;
+            closed = false; inflight = None; pending_bye = false;
+            last_activity = now; last_write_progress = now }
+        in
+        Hashtbl.replace rl.conns fd conn;
+        Atomic.incr rl.rs.r_conns;
+        R.register rl.rs.reactor fd ~read:false ~write:false
+          (on_conn_event rl conn);
+        if Atomic.get t.stop then begin
+          shed rl conn P.err_shutdown "server is draining";
+          flush_conn rl conn
+        end
+        else if Atomic.get rl.rs.r_active < t.cfg.max_clients then
+          admit rl conn
+        else if Atomic.get rl.rs.r_waiting < t.cfg.queue_depth then begin
+          conn.parked <- true;
+          Atomic.incr rl.rs.r_waiting;
+          Queue.push conn rl.wait_line
+        end
+        else begin
+          Obs.Counter.incr m_shed;
+          shed rl conn P.err_busy
+            (Printf.sprintf
+               "%d active and %d waiting clients; try again later"
+               t.cfg.max_clients t.cfg.queue_depth);
+          flush_conn rl conn
+        end
+      with
+      | () -> go ()
+      | exception e ->
+        (* never leak the accepted descriptor, whatever failed *)
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+    end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+      go ()
+  in
+  go ()
+
+let begin_drain rl =
+  if not rl.draining then begin
+    rl.draining <- true;
+    R.unregister rl.rs.reactor rl.srv.listen_fd;
+    (* turn the wait line away *)
+    Queue.iter
+      (fun conn ->
+        if not conn.closed then begin
+          conn.parked <- false;
+          Atomic.decr rl.rs.r_waiting;
+          shed rl conn P.err_shutdown "server is draining";
+          flush_conn rl conn
+        end)
+      rl.wait_line;
+    Queue.clear rl.wait_line;
+    (* live sessions: in-flight queries finish (their completion sheds);
+       everyone else gets the typed goodbye now *)
+    let to_shed =
+      Hashtbl.fold
+        (fun _ conn acc ->
+          if conn.inflight = None && conn.phase <> Closing then conn :: acc
+          else acc)
+        rl.conns []
+    in
+    List.iter
+      (fun conn ->
+        shed rl conn P.err_shutdown "server is draining";
+        flush_conn rl conn)
+      to_shed
+  end
+
+(* Periodic housekeeping, once per poll round (<= 0.25 s apart):
+   handshake and idle deadlines, slow-client write stalls, query
+   wall-clock budgets. *)
+let sweep rl =
+  let t = rl.srv in
+  let now = Obs.now_s () in
+  let actions =
+    Hashtbl.fold
+      (fun _ conn acc ->
+        if conn.closed then acc
+        else if
+          (not (P.Outbuf.is_empty conn.out))
+          && now -. conn.last_write_progress > t.cfg.write_timeout_s
+        then `Drop_slow conn :: acc
+        else if conn.phase = Handshaking && (not conn.parked)
+                && now -. conn.born > 5.0
+        then `Handshake_timeout conn :: acc
+        else
+          match conn.inflight with
+          | Some token ->
+            if t.cfg.query_timeout_s <> None
+               && Rdb.Cancel.deadline_passed token
+            then `Fire_timeout token :: acc
+            else acc
+          | None ->
+            (match t.cfg.idle_timeout_s with
+             | Some idle
+               when conn.phase = Ready
+                    && Queue.is_empty conn.pending
+                    && P.Decoder.buffered conn.dec = 0
+                    && now -. conn.last_activity > idle ->
+               `Reap_idle conn :: acc
+             | _ -> acc))
+      rl.conns []
+  in
+  List.iter
+    (function
+      | `Drop_slow conn ->
+        Obs.Counter.incr m_slow_client_drops;
+        close_conn rl conn
+      | `Handshake_timeout conn ->
+        Obs.Counter.incr m_proto_errors;
+        shed rl conn P.err_proto "timed out waiting for HELLO";
+        flush_conn rl conn
+      | `Fire_timeout token -> fire_wallclock_timeout t token
+      | `Reap_idle conn ->
+        (* last-instant check: bytes that raced the deadline into the
+           kernel buffer are served, not reaped *)
+        (match
+           R.wait_fd conn.c_fd ~read:true ~write:false ~timeout_s:0.
+         with
+         | Some _ -> ()
+         | None ->
+           Obs.Counter.incr m_reaped_idle;
+           shed rl conn P.err_idle "idle connection reaped";
+           flush_conn rl conn))
+    actions;
+  admit_from_wait_line rl
+
+let reactor_loop t rs =
+  let rl =
+    { srv = t; rs; conns = Hashtbl.create 256; wait_line = Queue.create ();
+      rdbuf = Bytes.create (64 * 1024); draining = false }
+  in
+  R.register rs.reactor t.listen_fd ~read:true ~write:false
+    (fun _ -> accept_burst rl);
+  (* The deadline sweep walks every connection, so it must not run per
+     event batch: a busy client wakes the loop thousands of times a
+     second and would drag a large parked herd through the scan each
+     time. Every deadline it enforces has >= 100 ms of slack, so 10 Hz
+     is plenty; wait-line admission stays per-iteration because freed
+     slots should seat waiters promptly and it is O(1) when nobody
+     waits. *)
+  let next_sweep = ref 0. in
+  let rec loop () =
+    if Atomic.get t.stop then begin_drain rl;
+    if rl.draining && Hashtbl.length rl.conns = 0 then ()
+    else begin
+      R.step rs.reactor ~timeout_s:0.25;
+      let now = Obs.now_s () in
+      if now >= !next_sweep then begin
+        sweep rl;
+        next_sweep := now +. 0.1
+      end
+      else admit_from_wait_line rl;
+      loop ()
+    end
+  in
+  loop ();
+  R.close rs.reactor
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
 
 let resolve_host host =
   try Unix.inet_addr_of_string host
@@ -626,47 +1229,75 @@ let start cfg wh =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> cfg.port
   in
-  let t =
-    { cfg; wh; listen_fd; bound_port; stop = Atomic.make false;
-      lock = Mutex.create (); slot_cond = Condition.create (); active = 0;
-      waiting = 0; next_id = 1; handlers = []; accept_thread = None }
-  in
-  Obs.register_gauge "server.active" (fun () ->
-      Mutex.lock t.lock;
-      let n = t.active in
-      Mutex.unlock t.lock;
-      n);
-  Obs.register_gauge "server.waiting" (fun () ->
-      Mutex.lock t.lock;
-      let n = t.waiting in
-      Mutex.unlock t.lock;
-      n);
-  t.accept_thread <- Some (Thread.create accept_loop t);
-  t
+  if cfg.threaded then begin
+    let th =
+      { lock = Mutex.create (); slot_cond = Condition.create (); active = 0;
+        waiting = 0; handlers = []; accept_thread = None }
+    in
+    let t =
+      { cfg; wh; listen_fd; bound_port; stop = Atomic.make false; next_id = 1;
+        mode = Threaded th }
+    in
+    Obs.register_gauge "server.active" (fun () ->
+        Mutex.lock th.lock;
+        let n = th.active in
+        Mutex.unlock th.lock;
+        n);
+    Obs.register_gauge "server.waiting" (fun () ->
+        Mutex.lock th.lock;
+        let n = th.waiting in
+        Mutex.unlock th.lock;
+        n);
+    th.accept_thread <- Some (Thread.create (fun () -> accept_loop t th) ());
+    t
+  end
+  else begin
+    let rs =
+      { reactor = R.create (); rthread = None; r_active = Atomic.make 0;
+        r_waiting = Atomic.make 0; r_conns = Atomic.make 0 }
+    in
+    let t =
+      { cfg; wh; listen_fd; bound_port; stop = Atomic.make false; next_id = 1;
+        mode = Reactor rs }
+    in
+    Obs.register_gauge "server.active" (fun () -> Atomic.get rs.r_active);
+    Obs.register_gauge "server.waiting" (fun () -> Atomic.get rs.r_waiting);
+    Obs.register_gauge "server.connections" (fun () ->
+        Atomic.get rs.r_conns);
+    rs.rthread <- Some (Thread.create (fun () -> reactor_loop t rs) ());
+    t
+  end
 
 let wait t =
-  Option.iter Thread.join t.accept_thread;
-  (* After the accept thread is gone no new handlers appear; wake every
-     admission waiter (under the same lock as Condition.wait, so none
-     misses the stop flag) and join the lot. *)
-  Mutex.lock t.lock;
-  Condition.broadcast t.slot_cond;
-  let handlers = t.handlers in
-  Mutex.unlock t.lock;
-  List.iter Thread.join handlers;
+  (match t.mode with
+   | Threaded th ->
+     Option.iter Thread.join th.accept_thread;
+     (* After the accept thread is gone no new handlers appear; wake every
+        admission waiter (under the same lock as Condition.wait, so none
+        misses the stop flag) and join the lot. *)
+     Mutex.lock th.lock;
+     Condition.broadcast th.slot_cond;
+     let handlers = th.handlers in
+     Mutex.unlock th.lock;
+     List.iter Thread.join handlers
+   | Reactor rs -> Option.iter Thread.join rs.rthread);
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
 
 let run cfg wh =
   let t = start cfg wh in
-  (* Signal handlers set the flag only: [request_stop] takes [t.lock] to
-     broadcast, and a handler may preempt a thread that already holds it.
-     [wait]'s own broadcast below wakes the admission queue. *)
+  (* Signal handlers set the flag only: [request_stop] may take locks or
+     write to the reactor's wake pipe, and a handler can preempt a thread
+     mid-critical-section. Both connection models poll the flag within a
+     quarter-second slice. *)
   let stop _ = Atomic.set t.stop true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   Printf.printf
-    "xomatiq server listening on %s:%d (max-clients=%d queue-depth=%d jobs=%d)\n%!"
-    cfg.host (port t) cfg.max_clients cfg.queue_depth (Conc.Pool.jobs ());
+    "xomatiq server listening on %s:%d (%s, max-clients=%d queue-depth=%d \
+     window=%d jobs=%d)\n%!"
+    cfg.host (port t)
+    (if cfg.threaded then "thread-per-connection" else "event-driven")
+    cfg.max_clients cfg.queue_depth cfg.pipeline_window (Conc.Pool.jobs ());
   wait t;
   Printf.printf "xomatiq server drained\n%!"

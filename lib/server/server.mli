@@ -1,10 +1,31 @@
 (** The gRNA query server: a concurrent TCP front end over one warehouse.
 
-    One thread accepts connections; every admitted client gets a
-    dedicated session thread that speaks the {!Protocol} frame grammar
-    and submits query execution to the process-global {!Conc.Pool}, so
-    connection threads only ever block on sockets while query work runs
-    on the worker domains.
+    {b Connection models.} The default is an event-driven reactor: one
+    thread owns every socket through {!Conc.Reactor} (poll(2)-based
+    readiness), each connection is an explicit state machine
+    (handshake, ready, closing) with an incremental frame decoder on the
+    read side and a coalescing write buffer on the out side. An idle
+    connection costs a pollfd entry and ~12 KiB of buffers — no thread,
+    no stack — so thousands of idle clients leave the active ones'
+    throughput untouched. [threaded = true] selects the previous
+    thread-per-connection model (kept one release as a fallback; the
+    differential suite asserts byte-identical results across both).
+
+    {b Pipelining (reactor only).} A client may send up to
+    [pipeline_window] request frames without waiting for responses.
+    Requests execute strictly in order per connection and responses come
+    back in request order, with ROWS/DONE frames of adjacent responses
+    coalesced into shared write() syscalls. CANCEL and BYE act
+    out-of-band: CANCEL targets the oldest incomplete request (the
+    executing one, else the queued head — answered [CANCELED] without
+    executing), BYE cancels the in-flight query and drops everything
+    queued behind it. See PROTOCOL.md, "Pipelining".
+
+    {b Scheduling.} Query execution keeps the adaptive routing of
+    {!Conc.Sched}: cheap queries run inline (on the reactor thread —
+    microseconds, bounded by the cost gate), expensive ones are
+    dispatched off-thread so CANCEL frames, deadlines and other
+    connections stay live mid-query.
 
     {b Admission control.} At most [max_clients] sessions run at once;
     up to [queue_depth] further connections wait for a slot, and anything
@@ -14,20 +35,20 @@
     {b Degradation.} Each query runs under a {!Rdb.Cancel} token
     carrying the [query_timeout_s] deadline; the executor checks it at
     every operator boundary, so a runaway query returns a typed
-    [TIMEOUT] error and the connection stays usable. While a query is in
-    flight the session thread keeps watching its socket, so a CANCEL
-    frame (or the client vanishing) also fires the token. Clients that
-    stop reading are disconnected once a response write exceeds
+    [TIMEOUT] error and the connection stays usable. Clients that stop
+    reading are disconnected once a response write stalls longer than
     [write_timeout_s]; connections idle longer than [idle_timeout_s] are
     reaped.
 
-    {b Drain.} {!request_stop} (installed on SIGTERM/SIGINT by {!run})
-    only flips an atomic — safe from a signal handler. The accept loop
-    and every session notice it within a quarter second: no new
-    connections, waiting connections are turned away with
+    {b Drain.} {!request_stop} begins a graceful drain. The signal
+    handlers installed by {!run} only flip an atomic — safe from a
+    handler context — and both connection models notice within a quarter
+    second: no new connections, waiting connections are turned away with
     [SHUTTING_DOWN], in-flight queries finish and their responses are
-    flushed, then {!wait} returns so the caller can close the warehouse
-    (flushing the WAL) and exit cleanly. *)
+    flushed (queued-but-unexecuted pipelined requests are dropped and the
+    connection closed with one [SHUTTING_DOWN]), then {!wait} returns so
+    the caller can close the warehouse (flushing the WAL) and exit
+    cleanly. *)
 
 type config = {
   host : string;           (** bind address (name or dotted quad) *)
@@ -38,32 +59,37 @@ type config = {
   idle_timeout_s : float option;   (** reap sessions idle this long *)
   write_timeout_s : float; (** slow-client disconnect threshold *)
   max_frame : int;         (** largest request payload accepted *)
+  threaded : bool;         (** thread-per-connection fallback model *)
+  pipeline_window : int;   (** max queued requests per connection *)
 }
 
 val default_config : config
 (** 127.0.0.1:7788, 32 clients, queue depth 16, no query or idle
-    timeout, 10 s write timeout, {!Protocol.max_frame_default}. *)
+    timeout, 10 s write timeout, {!Protocol.max_frame_default}, reactor
+    model, pipeline window 32. *)
 
 type t
 
 val start : config -> Datahounds.Warehouse.t -> t
-(** Bind, listen, and spawn the accept thread. The warehouse must stay
-    open until {!wait} has returned.
+(** Bind, listen, and spawn the reactor (or accept) thread. The
+    warehouse must stay open until {!wait} has returned.
     @raise Unix.Unix_error when the address cannot be bound. *)
 
 val port : t -> int
 (** The actually-bound port (resolves [port = 0]). *)
 
 val request_stop : t -> unit
-(** Begin a graceful drain. Async-signal-safe and idempotent. *)
+(** Begin a graceful drain. Thread-safe and idempotent. Not for signal
+    handlers — they should set their own flag and call this from a
+    normal thread, as {!run} does. *)
 
 val stopping : t -> bool
 
 val wait : t -> unit
-(** Block until the server has drained: accept thread joined, every
-    session thread finished, listening socket closed. Call after
-    {!request_stop} (or let a signal handler trigger it). *)
+(** Block until the server has drained: reactor (or accept + session)
+    thread joined, listening socket closed. Call after {!request_stop}
+    (or let a signal handler trigger it). *)
 
 val run : config -> Datahounds.Warehouse.t -> unit
-(** [start], install SIGTERM/SIGINT handlers that {!request_stop} (and
+(** [start], install SIGTERM/SIGINT handlers that begin a drain (and
     ignore SIGPIPE), print a one-line banner, then {!wait}. *)

@@ -410,6 +410,125 @@ let test_multi_domain_queries () =
   check Alcotest.bool "at least one translation happened" true (misses >= 1);
   D.Warehouse.close wh
 
+(* ---------------- the reactor ---------------- *)
+
+let with_nb_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  Unix.set_nonblock b;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_reactor_readiness () =
+  let r = Conc.Reactor.create () in
+  Fun.protect ~finally:(fun () -> Conc.Reactor.close r) @@ fun () ->
+  with_nb_socketpair @@ fun a b ->
+  let fired = ref 0 in
+  let drain fd =
+    let buf = Bytes.create 64 in
+    let rec go () =
+      match Unix.read fd buf 0 64 with
+      | n when n > 0 -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    in
+    go ()
+  in
+  Conc.Reactor.register r b ~read:true ~write:false (fun ev ->
+      if ev.Conc.Reactor.readable then begin
+        incr fired;
+        drain b
+      end);
+  check Alcotest.int "registered" 1 (Conc.Reactor.registered r);
+  (* quiet socket: the step times out without firing *)
+  Conc.Reactor.step r ~timeout_s:0.02;
+  check Alcotest.int "no spurious readiness" 0 !fired;
+  ignore (Unix.write a (Bytes.of_string "x") 0 1);
+  Conc.Reactor.step r ~timeout_s:2.;
+  check Alcotest.int "read readiness fired" 1 !fired;
+  (* interest off: bytes waiting do not fire the callback *)
+  Conc.Reactor.want r b ~read:false ~write:false;
+  ignore (Unix.write a (Bytes.of_string "y") 0 1);
+  Conc.Reactor.step r ~timeout_s:0.02;
+  check Alcotest.int "interest mask respected" 1 !fired;
+  (* interest back on: the buffered byte fires immediately
+     (level-triggered) *)
+  Conc.Reactor.want r b ~read:true ~write:false;
+  Conc.Reactor.step r ~timeout_s:2.;
+  check Alcotest.int "level-triggered pickup" 2 !fired;
+  Conc.Reactor.unregister r b;
+  check Alcotest.int "unregistered" 0 (Conc.Reactor.registered r)
+
+let test_reactor_post_wakes () =
+  let r = Conc.Reactor.create () in
+  Fun.protect ~finally:(fun () -> Conc.Reactor.close r) @@ fun () ->
+  let ran = ref false in
+  let poster =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.05;
+        Conc.Reactor.post r (fun () -> ran := true))
+      ()
+  in
+  let t0 = Rdb.Obs.now_s () in
+  (* would sleep 10 s if the post did not wake the poll *)
+  Conc.Reactor.step r ~timeout_s:10.;
+  let elapsed = Rdb.Obs.now_s () -. t0 in
+  Thread.join poster;
+  check Alcotest.bool "posted closure ran" true !ran;
+  check Alcotest.bool
+    (Printf.sprintf "post woke the poll (%.3fs)" elapsed)
+    true (elapsed < 5.)
+
+let test_wait_fd () =
+  with_nb_socketpair @@ fun a b ->
+  let t0 = Rdb.Obs.now_s () in
+  (match Conc.Reactor.wait_fd b ~read:true ~write:false ~timeout_s:0.05 with
+   | None -> ()
+   | Some _ -> Alcotest.fail "readable without data");
+  check Alcotest.bool "timeout respected" true (Rdb.Obs.now_s () -. t0 < 2.);
+  ignore (Unix.write a (Bytes.of_string "z") 0 1);
+  match Conc.Reactor.wait_fd b ~read:true ~write:false ~timeout_s:2. with
+  | Some ev -> check Alcotest.bool "readable" true ev.Conc.Reactor.readable
+  | None -> Alcotest.fail "data not seen"
+
+(* The reason poll(2) replaced Unix.select: select is limited to
+   descriptor numbers below FD_SETSIZE (1024), which any process holding
+   ~1000 connections reaches. Push the fd numbering past 1024 and check
+   readiness still works. *)
+let test_poll_past_fd_setsize () =
+  let eff = Conc.Reactor.raise_fd_limit 4096 in
+  if eff < 2048 then
+    Alcotest.skip ()
+  else begin
+    let hold =
+      Array.init 1100 (fun _ ->
+          Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          hold)
+      (fun () ->
+        with_nb_socketpair @@ fun a b ->
+        (match Conc.Reactor.wait_fd b ~read:true ~write:false ~timeout_s:0.02
+         with
+         | None -> ()
+         | Some _ -> Alcotest.fail "readable without data (high fd)");
+        ignore (Unix.write a (Bytes.of_string "!") 0 1);
+        match
+          Conc.Reactor.wait_fd b ~read:true ~write:false ~timeout_s:2.
+        with
+        | Some ev ->
+          check Alcotest.bool "readable past FD_SETSIZE" true
+            ev.Conc.Reactor.readable
+        | None -> Alcotest.fail "data not seen on a high-numbered fd")
+  end
+
 (* ---------------- runner ---------------- *)
 
 let () =
@@ -439,6 +558,14 @@ let () =
             test_parallel_harvest_identical;
           Alcotest.test_case "error positions identical" `Quick
             test_parallel_harvest_errors_identical ] );
+      ( "reactor",
+        [ Alcotest.test_case "readiness + interest masks" `Quick
+            test_reactor_readiness;
+          Alcotest.test_case "post wakes the poll" `Quick
+            test_reactor_post_wakes;
+          Alcotest.test_case "single-fd wait" `Quick test_wait_fd;
+          Alcotest.test_case "poll works past FD_SETSIZE" `Quick
+            test_poll_past_fd_setsize ] );
       ( "domain-safety",
         [ Alcotest.test_case "atomic counters under contention" `Quick
             test_counter_atomicity;

@@ -130,6 +130,222 @@ let test_summary_roundtrip () =
   check Alcotest.string "error code" "TIMEOUT" code;
   check Alcotest.string "error message" "too slow" msg
 
+(* ---------------- incremental decoding ---------------- *)
+
+let frame_string tag payload =
+  let len = String.length payload in
+  let b = Bytes.create (5 + len) in
+  Bytes.set b 0 tag;
+  Bytes.set_int32_be b 1 (Int32.of_int len);
+  Bytes.blit_string payload 0 b 5 len;
+  Bytes.to_string b
+
+let decoder_frames =
+  [ (P.tag_query, "hello"); (P.tag_ok, ""); (P.tag_rows, String.make 10_000 'r');
+    (P.tag_done, "rows=1 exec_ms=0.5 cache_hit=0"); (P.tag_bye, "") ]
+
+(* Feed the same wire bytes cut at different points; the decoded frame
+   sequence must be identical to whole-frame delivery. *)
+let collect_decoded ?max_frame chunks =
+  let d = P.Decoder.create ?max_frame () in
+  let out = ref [] in
+  List.iter
+    (fun chunk ->
+      P.Decoder.feed_string d chunk;
+      let rec drain () =
+        match P.Decoder.next d with
+        | Some f ->
+          out := f :: !out;
+          drain ()
+        | None -> ()
+      in
+      drain ())
+    chunks;
+  (List.rev !out, d)
+
+let check_frames what got =
+  check Alcotest.int (what ^ ": frame count") (List.length decoder_frames)
+    (List.length got);
+  List.iter2
+    (fun (wtag, wpay) (gtag, gpay) ->
+      check Alcotest.char (what ^ ": tag") wtag gtag;
+      check Alcotest.string (what ^ ": payload") wpay gpay)
+    decoder_frames got
+
+let test_decoder_split_points () =
+  let wire =
+    String.concat "" (List.map (fun (t, p) -> frame_string t p) decoder_frames)
+  in
+  (* everything in one feed: frames pipelined back to back *)
+  let whole, d = collect_decoded [ wire ] in
+  check_frames "one read" whole;
+  check Alcotest.int "buffer fully consumed" 0 (P.Decoder.buffered d);
+  (* one byte at a time *)
+  let dribble, _ =
+    collect_decoded (List.init (String.length wire) (fun i -> String.sub wire i 1))
+  in
+  check_frames "byte at a time" dribble;
+  (* frames split across reads at every header/payload boundary flavor *)
+  List.iter
+    (fun cut ->
+      let parts =
+        [ String.sub wire 0 cut; String.sub wire cut (String.length wire - cut) ]
+      in
+      check_frames
+        (Printf.sprintf "split at %d" cut)
+        (fst (collect_decoded parts)))
+    [ 1; 3; 5; 7; 12; String.length wire - 2 ]
+
+let test_decoder_oversized_midstream () =
+  (* a well-formed frame, then a header announcing an oversized payload:
+     the good frame decodes, the bad header is rejected from its 5 bytes
+     alone — exactly the whole-frame reader's behavior *)
+  let d = P.Decoder.create ~max_frame:1024 () in
+  P.Decoder.feed_string d (frame_string P.tag_query "fine");
+  (match P.Decoder.next d with
+   | Some (tag, payload) ->
+     check Alcotest.char "good tag" P.tag_query tag;
+     check Alcotest.string "good payload" "fine" payload
+   | None -> fail "complete frame not decoded");
+  let bad_header = Bytes.create 5 in
+  Bytes.set bad_header 0 P.tag_query;
+  Bytes.set_int32_be bad_header 1 100_000l;
+  P.Decoder.feed_string d (Bytes.to_string bad_header);
+  (match P.Decoder.next d with
+   | _ -> fail "oversized frame accepted by decoder"
+   | exception P.Proto_error _ -> ());
+  (* the whole-frame reader rejects the same bytes the same way *)
+  with_socketpair @@ fun a b ->
+  ignore (Unix.write a bad_header 0 5);
+  match P.read_frame ~deadline:(Rdb.Obs.now_s () +. 5.) ~max_frame:1024 b with
+  | _ -> fail "oversized frame accepted by read_frame"
+  | exception P.Proto_error _ -> ()
+
+(* ---------------- descriptor hygiene ---------------- *)
+
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+(* A rejected handshake must not leak a descriptor on the server side:
+   hammer the server with bad HELLOs and check the process fd table
+   returns to its baseline. *)
+let test_rejected_hello_no_server_fd_leak () =
+  with_warehouse 7 @@ fun wh _u ->
+  with_server wh @@ fun _t port ->
+  let attempt () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        P.write_frame fd P.tag_hello "bogus/999";
+        match P.read_frame ~deadline:(Rdb.Obs.now_s () +. 5.) fd with
+        | tag, payload when tag = P.tag_error ->
+          let code, _ = P.parse_error_payload payload in
+          check Alcotest.string "rejection is typed" P.err_proto code
+        | tag, _ -> fail (Printf.sprintf "expected error frame, got %C" tag))
+  in
+  attempt ();  (* warm up any lazily created plumbing first *)
+  Thread.delay 0.2;
+  let baseline = count_fds () in
+  for _ = 1 to 20 do
+    attempt ()
+  done;
+  (* give the server a few loop slices to close its halves *)
+  let give_up = Rdb.Obs.now_s () +. 3. in
+  while count_fds () > baseline && Rdb.Obs.now_s () < give_up do
+    Thread.delay 0.05
+  done;
+  check Alcotest.bool
+    (Printf.sprintf "server fds back to baseline (%d -> %d)" baseline
+       (count_fds ()))
+    true
+    (count_fds () <= baseline)
+
+(* ... and not on the client side either: a server that rejects the
+   handshake (SERVER_BUSY at the door) must leave no descriptor behind
+   in the client process, even across a long busy-retry loop. *)
+let test_rejected_handshake_no_client_fd_leak () =
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lfd 16;
+  let port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let stop = Atomic.make false in
+  let rejector =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          match Unix.accept lfd with
+          | fd, _ ->
+            (try ignore (P.read_frame ~deadline:(Rdb.Obs.now_s () +. 1.) fd)
+             with _ -> ());
+            (try
+               P.write_frame fd P.tag_error
+                 (P.error_payload ~code:P.err_busy "always full")
+             with _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+          | exception Unix.Unix_error _ -> ()
+        done)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      (* unblock the accept *)
+      (try
+         let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+         (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+          with Unix.Unix_error _ -> ());
+         Unix.close fd
+       with Unix.Unix_error _ -> ());
+      Thread.join rejector;
+      try Unix.close lfd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let reject () =
+        match Xserver.Client.connect ~port () with
+        | c ->
+          Xserver.Client.close c;
+          fail "rejecting server admitted a client"
+        | exception Xserver.Client.Server_error (code, _) ->
+          check Alcotest.string "busy code" P.err_busy code
+      in
+      reject ();  (* warm-up *)
+      let baseline = count_fds () in
+      for _ = 1 to 20 do
+        reject ()
+      done;
+      check Alcotest.bool
+        (Printf.sprintf "client fds back to baseline (%d -> %d)" baseline
+           (count_fds ()))
+        true
+        (count_fds () <= baseline))
+
+(* ---------------- busy-retry jitter ---------------- *)
+
+let test_backoff_jitter () =
+  let base = 0.2 in
+  check (Alcotest.float 1e-9) "lower edge is base/2" 0.1
+    (Xserver.Client.jittered_delay ~rand:0. base);
+  check (Alcotest.float 1e-9) "upper edge is base" 0.2
+    (Xserver.Client.jittered_delay ~rand:1. base);
+  (* distinct draws spread the retries across [base/2, base] instead of
+     re-synchronizing every shed client on the same ladder *)
+  let delays =
+    List.init 16 (fun i ->
+        Xserver.Client.jittered_delay ~rand:(float_of_int i /. 16.) base)
+  in
+  List.iter
+    (fun d -> check Alcotest.bool "within [base/2, base]" true (d >= 0.1 && d <= 0.2))
+    delays;
+  let spread = List.fold_left max 0. delays -. List.fold_left min 1e9 delays in
+  check Alcotest.bool
+    (Printf.sprintf "delays are spread (%.3fs)" spread)
+    true (spread > 0.05)
+
 (* ---------------- basic request/response ---------------- *)
 
 let test_server_basics () =
@@ -426,6 +642,128 @@ let test_graceful_drain () =
   check Alcotest.string "query answer recovered" expected
     (Xomatiq.Engine.result_to_table (Xomatiq.Engine.run_text wh2 simple_query))
 
+(* ---------------- xomatiq/1 pipelining ---------------- *)
+
+let test_pipelined_queries () =
+  with_warehouse 23 @@ fun wh u ->
+  let mix = Workload.Query_mix.mixed ~seed:23 ~universe:u ~per_class:2 in
+  let texts = List.map snd mix in
+  let expected =
+    List.map
+      (fun t -> Xomatiq.Engine.result_to_table (Xomatiq.Engine.run_text wh t))
+      texts
+  in
+  with_server wh @@ fun _t port ->
+  let c = connect port in
+  Fun.protect ~finally:(fun () -> Xserver.Client.close c) @@ fun () ->
+  (* a full mix pipelined W=8: responses in request order, byte-identical
+     to the sequential in-process rendering *)
+  List.iter2
+    (fun want -> function
+      | Ok (body, _) -> check Alcotest.string "pipelined body" want body
+      | Error (code, m) ->
+        fail (Printf.sprintf "pipelined query failed: [%s] %s" code m))
+    expected
+    (Xserver.Client.query_pipelined ~window:8 c texts);
+  (* a mid-batch error stays in its slot; neighbours are untouched *)
+  let simple_expected =
+    Xomatiq.Engine.result_to_table (Xomatiq.Engine.run_text wh simple_query)
+  in
+  (match
+     Xserver.Client.query_pipelined ~window:4 c
+       [ simple_query; "FOR $x IN nonsense RETURN $x"; simple_query ]
+   with
+   | [ Ok (b1, _); Error (code, _); Ok (b2, _) ] ->
+     check Alcotest.string "error slot typed" P.err_query code;
+     check Alcotest.string "frame before the error whole" simple_expected b1;
+     check Alcotest.string "frame after the error whole" simple_expected b2
+   | rs -> fail (Printf.sprintf "unexpected result shape (%d)" (List.length rs)));
+  (* CANCEL with nothing queued or in flight is an acknowledged no-op *)
+  Xserver.Client.send_raw c P.tag_cancel "";
+  (match Xserver.Client.read_raw c with
+   | tag, _ when tag = P.tag_ok -> ()
+   | tag, _ -> fail (Printf.sprintf "expected OK for idle CANCEL, got %C" tag));
+  check Alcotest.string "usable after pipelined batches" "ok"
+    (Xserver.Client.ping c "ok")
+
+(* ---------------- idle-connection soak ---------------- *)
+
+let proc_status_int field =
+  let ic = open_in "/proc/self/status" in
+  let flen = String.length field in
+  let rec go () =
+    match input_line ic with
+    | line ->
+      if String.length line > flen && String.sub line 0 flen = field then
+        let digits =
+          String.fold_left
+            (fun acc ch ->
+              if ch >= '0' && ch <= '9' then acc ^ String.make 1 ch else acc)
+            "" line
+        in
+        int_of_string_opt digits |> Option.value ~default:0
+      else go ()
+    | exception End_of_file -> 0
+  in
+  let v = go () in
+  close_in ic;
+  v
+
+(* 500 connections sit idle while one active client runs the 3-seed
+   differential mix: results stay byte-identical, and the idle herd
+   costs neither threads (the reactor owns every socket) nor unbounded
+   memory (~12 KiB of buffers per connection). *)
+let test_idle_connection_soak () =
+  ignore (Conc.Reactor.raise_fd_limit 8192);
+  with_warehouse 11 @@ fun wh u ->
+  let cfg =
+    { Xserver.Server.default_config with max_clients = 600; queue_depth = 8 }
+  in
+  with_server ~cfg wh @@ fun _t port ->
+  let n_idle = 500 in
+  let threads_before = proc_status_int "Threads:" in
+  let rss_before = proc_status_int "VmRSS:" in
+  let idle = Array.init n_idle (fun _ -> connect port) in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun c -> try Xserver.Client.close c with _ -> ())
+        idle)
+    (fun () ->
+      let threads_after = proc_status_int "Threads:" in
+      check Alcotest.bool
+        (Printf.sprintf "threads do not scale with idle connections (%d -> %d)"
+           threads_before threads_after)
+        true
+        (threads_after - threads_before <= 2);
+      let rss_after = proc_status_int "VmRSS:" in
+      check Alcotest.bool
+        (Printf.sprintf "%d idle connections cost < 100 MB RSS (+%d kB)" n_idle
+           (rss_after - rss_before))
+        true
+        (rss_after - rss_before < 100 * 1024);
+      let c = connect ~timeout_s:60. port in
+      Fun.protect ~finally:(fun () -> Xserver.Client.close c) @@ fun () ->
+      List.iter
+        (fun seed ->
+          let mix = Workload.Query_mix.mixed ~seed ~universe:u ~per_class:1 in
+          List.iter
+            (fun (_cls, text) ->
+              let want =
+                Xomatiq.Engine.result_to_table (Xomatiq.Engine.run_text wh text)
+              in
+              let body, _ = Xserver.Client.query c text in
+              if body <> want then
+                fail
+                  (Printf.sprintf
+                     "active client diverged under idle load (seed %d): %s" seed
+                     text))
+            mix)
+        [ 11; 23; 47 ];
+      (* the idle herd survived the active phase *)
+      check Alcotest.string "idle connection still alive" "hi"
+        (Xserver.Client.ping idle.(n_idle / 2) "hi"))
+
 (* ---------------- differential: concurrent = sequential ---------------- *)
 
 (* Eight concurrent sessions, alternating contains-strategies, each
@@ -433,8 +771,11 @@ let test_graceful_drain () =
    to the sequential in-process rendering computed up front. Runs under
    both scheduler modes: adaptive (inline cheap queries, session-memoized
    preparations) and static (everything dispatched to the pool) must be
-   indistinguishable on the wire. *)
-let run_concurrent_differential ?(sched = Conc.Sched.Adaptive) seed () =
+   indistinguishable on the wire — and likewise under both connection
+   models ([threaded] selects the fallback) and with xomatiq/1
+   pipelining ([pipelined] sends each session's mix W=8 at a time). *)
+let run_concurrent_differential ?(sched = Conc.Sched.Adaptive)
+    ?(threaded = false) ?(pipelined = false) seed () =
   Conc.Sched.with_mode sched @@ fun () ->
   with_warehouse seed @@ fun wh u ->
   let mix = Workload.Query_mix.mixed ~seed ~universe:u ~per_class:2 in
@@ -452,7 +793,8 @@ let run_concurrent_differential ?(sched = Conc.Sched.Adaptive) seed () =
             mix ))
       strategies
   in
-  with_server wh @@ fun _t port ->
+  with_server ~cfg:{ Xserver.Server.default_config with threaded } wh
+  @@ fun _t port ->
   let n_clients = 8 in
   let failures = Array.make n_clients None in
   let worker i () =
@@ -462,15 +804,32 @@ let run_concurrent_differential ?(sched = Conc.Sched.Adaptive) seed () =
       Fun.protect ~finally:(fun () -> Xserver.Client.close c) @@ fun () ->
       if sname <> "keyword" then
         ignore (Xserver.Client.set_option c ~name:"strategy" ~value:sname);
-      List.iter
-        (fun (text, want) ->
-          let body, _ = Xserver.Client.query c text in
-          if body <> want then
-            failwith
-              (Printf.sprintf
-                 "client %d (%s strategy): server result diverged on %s" i
-                 sname text))
-        (List.assoc sname expected)
+      let items = List.assoc sname expected in
+      if pipelined then
+        List.iter2
+          (fun (text, want) -> function
+            | Ok (body, _) ->
+              if body <> want then
+                failwith
+                  (Printf.sprintf
+                     "client %d (%s strategy, pipelined): diverged on %s" i
+                     sname text)
+            | Error (code, m) ->
+              failwith
+                (Printf.sprintf "client %d pipelined error on %s: [%s] %s" i
+                   text code m))
+          items
+          (Xserver.Client.query_pipelined ~window:8 c (List.map fst items))
+      else
+        List.iter
+          (fun (text, want) ->
+            let body, _ = Xserver.Client.query c text in
+            if body <> want then
+              failwith
+                (Printf.sprintf
+                   "client %d (%s strategy): server result diverged on %s" i
+                   sname text))
+          items
     with e -> failures.(i) <- Some (Printexc.to_string e)
   in
   let threads = List.init n_clients (fun i -> Thread.create (worker i) ()) in
@@ -491,7 +850,11 @@ let () =
             test_frame_truncated;
           Alcotest.test_case "read deadline" `Quick test_frame_read_deadline;
           Alcotest.test_case "summary/error payload round-trip" `Quick
-            test_summary_roundtrip ] );
+            test_summary_roundtrip;
+          Alcotest.test_case "incremental decoder: all split points" `Quick
+            test_decoder_split_points;
+          Alcotest.test_case "incremental decoder: oversized mid-stream"
+            `Quick test_decoder_oversized_midstream ] );
       ( "requests",
         [ Alcotest.test_case "query, sql, explain, metrics, errors" `Quick
             test_server_basics;
@@ -501,7 +864,20 @@ let () =
         [ Alcotest.test_case "SERVER_BUSY shed + re-admission" `Quick
             test_server_busy;
           Alcotest.test_case "SERVER_BUSY retried with backoff" `Quick
-            test_busy_retry ] );
+            test_busy_retry;
+          Alcotest.test_case "busy-retry backoff is jittered" `Quick
+            test_backoff_jitter ] );
+      ( "descriptors",
+        [ Alcotest.test_case "rejected HELLO leaks no server fd" `Quick
+            test_rejected_hello_no_server_fd_leak;
+          Alcotest.test_case "rejected handshake leaks no client fd" `Quick
+            test_rejected_handshake_no_client_fd_leak ] );
+      ( "pipelining",
+        [ Alcotest.test_case "W=8 in order, per-slot errors, idle CANCEL"
+            `Quick test_pipelined_queries ] );
+      ( "soak",
+        [ Alcotest.test_case "500 idle connections, active client unharmed"
+            `Quick test_idle_connection_soak ] );
       ( "degradation",
         [ Alcotest.test_case "query timeout (typed, connection survives)"
             `Quick test_query_timeout;
@@ -524,4 +900,12 @@ let () =
           Alcotest.test_case "8 clients, seed 11 (static)" `Quick
             (run_concurrent_differential ~sched:Conc.Sched.Static 11);
           Alcotest.test_case "8 clients, seed 47 (static)" `Quick
-            (run_concurrent_differential ~sched:Conc.Sched.Static 47) ] ) ]
+            (run_concurrent_differential ~sched:Conc.Sched.Static 47);
+          Alcotest.test_case "8 clients, seed 11 (threaded)" `Quick
+            (run_concurrent_differential ~threaded:true 11);
+          Alcotest.test_case "8 clients, seed 23 (threaded)" `Quick
+            (run_concurrent_differential ~threaded:true 23);
+          Alcotest.test_case "8 clients, seed 23 (pipelined W=8)" `Quick
+            (run_concurrent_differential ~pipelined:true 23);
+          Alcotest.test_case "8 clients, seed 47 (pipelined W=8)" `Quick
+            (run_concurrent_differential ~pipelined:true 47) ] ) ]
