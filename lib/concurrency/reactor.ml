@@ -177,13 +177,19 @@ let run_posted t =
   Mutex.unlock t.post_lock;
   Queue.iter (fun f -> f ()) batch
 
-(* Fire the callback of one ready descriptor. A callback may unregister
-   other fds mid-step: only fire for entries still registered under the
-   same record, and only for bits the entry still cares about (HUP
-   always reports). *)
-let fire t fd bits =
+(* Fire the callback of one ready descriptor. [snap] is the entry that
+   owned [fd] when readiness was captured — before the step's posted
+   closures or earlier callbacks ran. Either of those can close an fd,
+   and a registration made later in the same step (a connection accepted
+   by a fired accept callback, say) can reuse the freed number; the
+   stale readiness must not be delivered to the new tenant. [register]
+   always installs a fresh record, so physical equality against the
+   current table entry detects recycling. Bits the entry stopped caring
+   about mid-step are dropped too (HUP always reports). *)
+let fire t fd snap bits =
   match Hashtbl.find_opt t.table fd with
-  | Some e when e.interest land bits <> 0 || bits land hup_bit <> 0 ->
+  | Some e
+    when e == snap && (e.interest land bits <> 0 || bits land hup_bit <> 0) ->
     e.callback (ready_of_bits bits)
   | _ -> ()
 
@@ -192,13 +198,17 @@ let step_epoll t ~timeout_s =
     epoll_wait_stub t.epfd t.ev_fds t.ev_bits (timeout_ms timeout_s)
   in
   let woke = ref false in
+  let snaps = Array.make (max count 1) None in
   for j = 0 to count - 1 do
     if t.ev_fds.(j) = t.wake_r then woke := true
+    else snaps.(j) <- Hashtbl.find_opt t.table t.ev_fds.(j)
   done;
   if !woke then drain_wake_pipe t;
   run_posted t;
   for j = 0 to count - 1 do
-    if t.ev_fds.(j) <> t.wake_r then fire t t.ev_fds.(j) t.ev_bits.(j)
+    match snaps.(j) with
+    | Some e -> fire t t.ev_fds.(j) e t.ev_bits.(j)
+    | None -> ()
   done
 
 let step_poll t ~timeout_s =
@@ -220,10 +230,17 @@ let step_poll t ~timeout_s =
   let fds = Array.sub t.fds 0 count in
   let events = Array.sub t.events 0 count in
   let revents = poll_stub fds events (timeout_ms timeout_s) in
+  let snaps =
+    Array.init count (fun j ->
+        if j = 0 || revents.(j) = 0 then None
+        else Hashtbl.find_opt t.table fds.(j))
+  in
   if revents.(0) <> 0 then drain_wake_pipe t;
   run_posted t;
   for j = 1 to count - 1 do
-    if revents.(j) <> 0 then fire t fds.(j) revents.(j)
+    match snaps.(j) with
+    | Some e -> fire t fds.(j) e revents.(j)
+    | None -> ()
   done
 
 let step t ~timeout_s =

@@ -39,6 +39,17 @@ let expect t wanted what =
    shed again. *)
 let jittered_delay ~rand base = base *. (0.5 +. (0.5 *. rand))
 
+(* Jitter draws come from a private, lazily self-seeded state: OCaml's
+   global [Random] default seed is fixed, so an unseeded draw hands
+   every client process the identical sequence — synchronized clients
+   shed by one busy spike would sleep the same delays and come back
+   together, defeating the jitter. A private state also leaves the host
+   program's own [Random] stream (tests seed it deterministically)
+   untouched. *)
+let jitter_state = lazy (Random.State.make_self_init ())
+
+let jitter_draw () = Random.State.float (Lazy.force jitter_state) 1.0
+
 let connect ?(host = "127.0.0.1") ?(timeout_s = 10.) ?(retry_for_s = 0.)
     ?(busy_retry_for_s = 0.) ~port () =
   (* Writing to a connection the server already reaped (idle timeout,
@@ -94,7 +105,7 @@ let connect ?(host = "127.0.0.1") ?(timeout_s = 10.) ?(retry_for_s = 0.)
     | t -> t
     | exception Server_error (code, _)
       when code = P.err_busy && Rdb.Obs.now_s () +. backoff < busy_give_up ->
-      Thread.delay (jittered_delay ~rand:(Random.float 1.0) backoff);
+      Thread.delay (jittered_delay ~rand:(jitter_draw ()) backoff);
       admitted (Float.min 0.5 (backoff *. 2.))
   in
   admitted 0.05

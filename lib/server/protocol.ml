@@ -208,6 +208,14 @@ module Decoder = struct
 
   let buffered t = t.stop - t.start
 
+  (* Is a complete frame buffered? Reports [true] for an oversized or
+     negative header length too, so the caller's [next] raises the
+     protocol error instead of waiting for bytes that must not come. *)
+  let frame_ready t =
+    buffered t >= 5
+    && (let len = Int32.to_int (Bytes.get_int32_be t.buf (t.start + 1)) in
+        len < 0 || len > t.max_frame || buffered t >= 5 + len)
+
   let compact t =
     if t.start > 0 then begin
       Bytes.blit t.buf t.start t.buf 0 (buffered t);

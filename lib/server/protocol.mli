@@ -167,6 +167,12 @@ module Decoder : sig
 
   val buffered : t -> int
   (** Bytes fed but not yet consumed as frames. *)
+
+  val frame_ready : t -> bool
+  (** Whether a complete frame is buffered — i.e. the next [next] call
+      returns [Some] (or raises on an oversized header). [false] means
+      the buffered bytes are a partial frame that only more input can
+      complete. *)
 end
 
 (** {2 Coalesced writing}

@@ -698,7 +698,11 @@ let decoder_backlog_cap = 256 * 1024
 let conn_window rl = max 1 rl.srv.cfg.pipeline_window
 
 (* Interest refresh: read while we are willing to decode more, write
-   while response bytes are waiting. *)
+   while response bytes are waiting. The backlog cap only pauses reading
+   when the buffered bytes contain a complete frame (one the window will
+   decode later); a partial frame must keep reading however large it
+   grows — up to [max_frame], which bounds it — because only more input
+   can ever complete it. *)
 let refresh_interest rl conn =
   if not conn.closed then
     let read =
@@ -706,7 +710,8 @@ let refresh_interest rl conn =
       && conn.phase <> Closing
       && (not conn.pending_bye)
       && Queue.length conn.pending < conn_window rl
-      && P.Decoder.buffered conn.dec < decoder_backlog_cap
+      && (P.Decoder.buffered conn.dec < decoder_backlog_cap
+          || not (P.Decoder.frame_ready conn.dec))
     in
     R.want rl.rs.reactor conn.c_fd ~read ~write:(not (P.Outbuf.is_empty conn.out))
 
@@ -885,22 +890,20 @@ and start_query rl conn kind text =
         conn.inflight <- None;
         conn.last_activity <- Obs.now_s ();
         emit_outcome rl conn outcome;
-        if rl.draining then shed rl conn P.err_shutdown "server is draining"
-        else if conn.pending_bye && Queue.is_empty conn.pending then begin
-          conn.pending_bye <- false;
-          if (not conn.closed) && conn.phase <> Closing then begin
-            emit rl conn P.tag_ok "bye";
-            conn.phase <- Closing
-          end
+        if rl.draining then begin
+          shed rl conn P.err_shutdown "server is draining";
+          flush_conn rl conn
         end
-        else pump rl conn;
-        refresh_interest rl conn;
-        flush_conn rl conn)
+        else
+          (* the freed slot may unblock frames already sitting decoded —
+             or still undecoded — in [dec]; [service] picks them up (and
+             [pump] answers a pending BYE once the queue is empty) *)
+          service rl conn)
 
 (* Decode buffered bytes into the pipeline queue. CANCEL and BYE act
    immediately (they are the out-of-band frames); everything else joins
    the per-connection queue in arrival order, up to the window. *)
-let rec decode rl conn =
+and decode rl conn =
   if not conn.closed then
     match conn.phase with
     | Closing -> ()
@@ -963,6 +966,34 @@ let rec decode rl conn =
         end
       end
 
+(* Drive one connection to quiescence: decode buffered bytes, execute
+   what the window admits, flush responses. A single pass is not enough
+   because each stage unblocks the one before it — executing a queued
+   request frees a window slot for a frame that is already sitting in
+   [dec] (a client that bursts past [pipeline_window] gets no further
+   readable event for that surplus: its bytes left the kernel buffer
+   long ago), and a flush that drains the outbuf below the high-water
+   mark lets back-pressured requests resume. Loop until a full pass
+   moves nothing, then leave the interest set matching the final state.
+   Terminates: every pass's progress consumes buffered or queued input
+   that only [handle_read] (never called from here) replenishes. *)
+and service rl conn =
+  if not conn.closed then begin
+    let buffered = P.Decoder.buffered conn.dec in
+    let queued = Queue.length conn.pending in
+    let unsent = P.Outbuf.length conn.out in
+    decode rl conn;
+    pump rl conn;
+    flush_conn rl conn;
+    if conn.closed then ()
+    else if
+      P.Decoder.buffered conn.dec <> buffered
+      || Queue.length conn.pending <> queued
+      || P.Outbuf.length conn.out <> unsent
+    then service rl conn
+    else refresh_interest rl conn
+  end
+
 let handle_read rl conn =
   let rec go budget =
     if budget > 0 && not conn.closed then
@@ -973,8 +1004,12 @@ let handle_read rl conn =
         conn.c_sess.Session.bytes_in <- conn.c_sess.Session.bytes_in + n;
         Obs.Counter.incr ~by:n m_bytes_in;
         P.Decoder.feed conn.dec rl.rdbuf 0 n;
-        if P.Decoder.buffered conn.dec < decoder_backlog_cap then
-          go (budget - n)
+        (* same partial-frame exemption as [refresh_interest]: a frame
+           still missing bytes can only complete by reading on *)
+        if
+          P.Decoder.buffered conn.dec < decoder_backlog_cap
+          || not (P.Decoder.frame_ready conn.dec)
+        then go (budget - n)
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go budget
@@ -992,12 +1027,7 @@ let on_conn_event rl conn (ev : R.ready) =
     else begin
       if ev.readable then handle_read rl conn
       else if ev.hup && not ev.writable then close_conn rl conn;
-      if not conn.closed then begin
-        decode rl conn;
-        pump rl conn;
-        refresh_interest rl conn;
-        flush_conn rl conn
-      end
+      service rl conn
     end
   end
 
@@ -1142,8 +1172,11 @@ let sweep rl =
              | Some idle
                when conn.phase = Ready
                     && Queue.is_empty conn.pending
-                    && P.Decoder.buffered conn.dec = 0
                     && now -. conn.last_activity > idle ->
+               (* [service] drains every complete buffered frame before
+                  the reactor sleeps, so bytes still in the decoder here
+                  are a partial frame from a stalled client — idle, not
+                  in progress *)
                `Reap_idle conn :: acc
              | _ -> acc))
       rl.conns []

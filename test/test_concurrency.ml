@@ -483,6 +483,49 @@ let test_reactor_post_wakes () =
     (Printf.sprintf "post woke the poll (%.3fs)" elapsed)
     true (elapsed < 5.)
 
+(* Readiness is captured before the step's posted closures and callbacks
+   run, and any of those can close an fd whose number a later
+   registration in the same step then reuses. The stale event must not
+   be delivered to the new tenant: here the recycled descriptor is a
+   fresh empty pipe, and a spurious "readable" would make a real server
+   connection misread its peer. *)
+let test_reactor_stale_event_not_delivered () =
+  let r = Conc.Reactor.create () in
+  Fun.protect ~finally:(fun () -> Conc.Reactor.close r) @@ fun () ->
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock b;
+  let ghost_fired = ref 0 in
+  let replacement = ref None in
+  Conc.Reactor.register r b ~read:true ~write:false (fun _ -> ());
+  (* make [b] readable so the next step captures its event ... *)
+  ignore (Unix.write a (Bytes.of_string "!") 0 1);
+  (* ... and have the posted closure (which runs after capture, before
+     events fire) close [b] and register a pipe that reuses its number *)
+  Conc.Reactor.post r (fun () ->
+      Conc.Reactor.unregister r b;
+      Unix.close b;
+      let pr, pw = Unix.pipe () in
+      Unix.set_nonblock pr;
+      replacement := Some (pr, pw);
+      Conc.Reactor.register r pr ~read:true ~write:false (fun _ ->
+          incr ghost_fired));
+  Conc.Reactor.step r ~timeout_s:2.;
+  check Alcotest.int "no stale readiness for the recycled fd" 0 !ghost_fired;
+  (match !replacement with
+   | None -> Alcotest.fail "posted closure did not run"
+   | Some (pr, pw) ->
+     (* the freshly closed number is the lowest free one, so the pipe
+        reuses it — without that the regression scenario never arises *)
+     check Alcotest.bool "descriptor number was recycled" true (pr = b);
+     (* genuine readiness on the new pipe still fires *)
+     ignore (Unix.write pw (Bytes.of_string "?") 0 1);
+     Conc.Reactor.step r ~timeout_s:2.;
+     check Alcotest.int "real readiness fires" 1 !ghost_fired;
+     Conc.Reactor.unregister r pr;
+     (try Unix.close pr with Unix.Unix_error _ -> ());
+     try Unix.close pw with Unix.Unix_error _ -> ());
+  try Unix.close a with Unix.Unix_error _ -> ()
+
 let test_wait_fd () =
   with_nb_socketpair @@ fun a b ->
   let t0 = Rdb.Obs.now_s () in
@@ -563,6 +606,8 @@ let () =
             test_reactor_readiness;
           Alcotest.test_case "post wakes the poll" `Quick
             test_reactor_post_wakes;
+          Alcotest.test_case "stale event for a recycled fd dropped" `Quick
+            test_reactor_stale_event_not_delivered;
           Alcotest.test_case "single-fd wait" `Quick test_wait_fd;
           Alcotest.test_case "poll works past FD_SETSIZE" `Quick
             test_poll_past_fd_setsize ] );

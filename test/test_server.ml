@@ -686,6 +686,58 @@ let test_pipelined_queries () =
   check Alcotest.string "usable after pipelined batches" "ok"
     (Xserver.Client.ping c "ok")
 
+(* A burst past the server's pipeline window must be answered in full.
+   Once read, the surplus frames live in the server's userspace decoder
+   — the kernel socket buffer is empty, so no further readable event
+   will ever deliver them; the server has to keep draining the decoder
+   as window slots free up (regression: the surplus used to sit
+   undecoded forever, hanging the connection). *)
+let test_pipelined_burst_over_window () =
+  with_warehouse 11 @@ fun wh _u ->
+  let cfg =
+    { Xserver.Server.default_config with Xserver.Server.pipeline_window = 4 }
+  in
+  with_server ~cfg wh @@ fun _t port ->
+  let c = connect port in
+  Fun.protect ~finally:(fun () -> Xserver.Client.close c) @@ fun () ->
+  let blast frames =
+    (* one coalesced write, so the whole burst can land in few read()s *)
+    let out = P.Outbuf.create () in
+    List.iter (fun p -> P.Outbuf.add_frame out P.tag_ping p) frames;
+    let rec push () =
+      match P.Outbuf.flush out (Xserver.Client.fd c) with
+      | `All -> ()
+      | `Blocked ->
+        P.wait_writable (Xserver.Client.fd c)
+          ~deadline:(Rdb.Obs.now_s () +. 10.);
+        push ()
+    in
+    push ()
+  in
+  let expect_echoes frames =
+    List.iteri
+      (fun i want ->
+        let tag, got = Xserver.Client.read_raw c in
+        check Alcotest.char (Printf.sprintf "burst reply %d tag" i) P.tag_ok
+          tag;
+        check Alcotest.bool (Printf.sprintf "burst reply %d in order" i) true
+          (got = want))
+      frames
+  in
+  (* 23 PINGs in one write against a window of 4 *)
+  let small = List.init 23 (fun i -> Printf.sprintf "burst-%d" i) in
+  blast small;
+  expect_echoes small;
+  (* frames larger than the decoder backlog cap (256 KiB), with echoes
+     that pile past the outbuf high-water mark: the server must keep
+     reading through a partial frame however large the backlog counter
+     says it is, and must resume execution each time a flush drains the
+     response buffer *)
+  let big = List.init 6 (fun i -> String.make 300_000 (Char.chr (97 + i))) in
+  blast big;
+  expect_echoes big;
+  check Alcotest.string "usable after bursts" "ok" (Xserver.Client.ping c "ok")
+
 (* ---------------- idle-connection soak ---------------- *)
 
 let proc_status_int field =
@@ -872,6 +924,9 @@ let () =
             test_rejected_hello_no_server_fd_leak;
           Alcotest.test_case "rejected handshake leaks no client fd" `Quick
             test_rejected_handshake_no_client_fd_leak ] );
+      ( "pipelining-burst",
+        [ Alcotest.test_case "burst past the window fully answered" `Quick
+            test_pipelined_burst_over_window ] );
       ( "pipelining",
         [ Alcotest.test_case "W=8 in order, per-slot errors, idle CANCEL"
             `Quick test_pipelined_queries ] );
