@@ -1273,6 +1273,234 @@ let print_e8_throughput () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* E10-outofcore: the paged storage backend                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Three claims about the out-of-core backend (DESIGN.md, "Out-of-core
+   paged storage"):
+
+   1. spool-then-load harvest beats per-document installs into the same
+      disk backend — one WAL record and bottom-up index builds per table
+      vs per-row logging and incremental B+tree maintenance;
+   2. a warehouse many times the buffer-pool budget still harvests and
+      answers the Fig. 8/9/11 mix, with memory bounded by the pool
+      (a non-zero eviction count proves frames were recycled mid-query);
+   3. when the pool does fit the data, the disk backend's query latency
+      stays close to the in-memory backend's on the same mix. *)
+
+let with_pool_pages n f =
+  let saved = Sys.getenv_opt "XOMATIQ_POOL_PAGES" in
+  Unix.putenv "XOMATIQ_POOL_PAGES" (string_of_int n);
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "XOMATIQ_POOL_PAGES" (Option.value saved ~default:""))
+    f
+
+let with_fresh_dir f =
+  let dir = Filename.temp_file "xomatiq_e10" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then
+        ignore (Sys.command ("rm -rf " ^ Filename.quote dir)))
+    (fun () -> f dir)
+
+(* bytes of heap pages and index pages under a storage directory *)
+let rec dir_bytes path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_REG; st_size; _ } -> st_size
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.fold_left
+      (fun acc name -> acc + dir_bytes (Filename.concat path name))
+      0 (Sys.readdir path)
+  | _ -> 0
+  | exception Unix.Unix_error _ -> 0
+
+let median l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let print_e10_outofcore () =
+  Printf.printf "\nE10-outofcore: paged storage backend (scale=%d)\n" scale;
+  let flat = enzyme_flat in
+  let src = Datahounds.Warehouse.enzyme_source in
+  (* -------- load: spool-then-bulk-load vs per-document installs ---- *)
+  (* Same parse + validate work on both sides; what differs is the
+     install: harvest spools rows and bulk-appends pages under one Load
+     record per table, load_document inserts row by row. The bulk side's
+     install time is the harvest wall clock minus its reported
+     transform/validate stages. *)
+  let bulk_install_s =
+    with_fresh_dir @@ fun dir ->
+    let wh = Datahounds.Warehouse.create ~data_dir:dir () in
+    Fun.protect ~finally:(fun () -> Datahounds.Warehouse.close wh)
+    @@ fun () ->
+    Datahounds.Warehouse.register_source wh src;
+    let t0 = Unix.gettimeofday () in
+    match Datahounds.Warehouse.harvest_stats ~analyze:false wh src flat with
+    | Error m -> failwith ("E10 bulk harvest: " ^ m)
+    | Ok st ->
+      Unix.gettimeofday () -. t0
+      -. st.Datahounds.Warehouse.transform_s
+      -. st.Datahounds.Warehouse.validate_s
+  in
+  let perrow_install_s, docs =
+    with_fresh_dir @@ fun dir ->
+    let wh = Datahounds.Warehouse.create ~data_dir:dir () in
+    Fun.protect ~finally:(fun () -> Datahounds.Warehouse.close wh)
+    @@ fun () ->
+    Datahounds.Warehouse.register_source wh src;
+    let parsed = src.Datahounds.Warehouse.transform flat in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (name, doc) ->
+        match
+          Datahounds.Warehouse.load_document ~validate:false wh
+            ~collection:src.Datahounds.Warehouse.source_collection ~name doc
+        with
+        | Ok () -> ()
+        | Error m -> failwith ("E10 per-row load: " ^ m))
+      parsed;
+    (Unix.gettimeofday () -. t0, List.length parsed)
+  in
+  Printf.printf
+    "  load (%d docs, disk): bulk %.1f ms, per-row %.1f ms  (%.2fx)\n" docs
+    (bulk_install_s *. 1000.) (perrow_install_s *. 1000.)
+    (perrow_install_s /. bulk_install_s);
+  (* -------- out-of-core: warehouse >> pool, bounded memory --------- *)
+  let tiny_pool_pages = 64 in (* 512 KiB of frames *)
+  let hwm_before_kb = proc_status_int "VmHWM" in
+  let ooc_harvest_s, ooc_mix, ooc_data_bytes, ooc_evictions =
+    with_pool_pages tiny_pool_pages @@ fun () ->
+    with_fresh_dir @@ fun dir ->
+    let wh = Datahounds.Warehouse.create ~data_dir:dir () in
+    Fun.protect ~finally:(fun () -> Datahounds.Warehouse.close wh)
+    @@ fun () ->
+    let t0 = Unix.gettimeofday () in
+    (match Workload.Genbio.load_universe wh universe with
+     | Ok () -> ()
+     | Error m -> failwith ("E10 out-of-core harvest: " ^ m));
+    let harvest_s = Unix.gettimeofday () -. t0 in
+    let ev0 = Rdb.Bufpool.pool_evictions () in
+    let mix =
+      List.map
+        (fun (name, ast) ->
+          let samples =
+            List.init 5 (fun _ ->
+                let t0 = Unix.gettimeofday () in
+                ignore (Xomatiq.Engine.run wh ast);
+                Unix.gettimeofday () -. t0)
+          in
+          (name, median samples))
+        asts
+    in
+    (harvest_s, mix, dir_bytes dir, Rdb.Bufpool.pool_evictions () - ev0)
+  in
+  let hwm_after_kb = proc_status_int "VmHWM" in
+  let pool_bytes = tiny_pool_pages * Rdb.Bufpool.page_size in
+  Printf.printf
+    "  out-of-core: %.1f MiB of pages through a %d KiB pool (%.1fx), \
+     harvest %.0f ms, %d evictions during the mix\n"
+    (float_of_int ooc_data_bytes /. 1048576.)
+    (pool_bytes / 1024)
+    (float_of_int ooc_data_bytes /. float_of_int pool_bytes)
+    (ooc_harvest_s *. 1000.) ooc_evictions;
+  List.iter
+    (fun (name, s) -> Printf.printf "    %-22s %8.2f ms\n" name (s *. 1000.))
+    ooc_mix;
+  Printf.printf "  VmHWM %d -> %d KiB across the out-of-core phase\n"
+    hwm_before_kb hwm_after_kb;
+  (* -------- pool fits: disk latency vs the in-memory backend ------- *)
+  let run_mix wh =
+    List.map
+      (fun (name, ast) ->
+        ignore (Xomatiq.Engine.run wh ast); (* warm plans and pool *)
+        let samples =
+          List.init 7 (fun _ ->
+              Gc.full_major ();
+              let t0 = Unix.gettimeofday () in
+              ignore (Xomatiq.Engine.run wh ast);
+              Unix.gettimeofday () -. t0)
+        in
+        (name, median samples))
+      asts
+  in
+  let mem_mix = run_mix warehouse in
+  let disk_mix =
+    with_fresh_dir @@ fun dir ->
+    let wh = Datahounds.Warehouse.create ~data_dir:dir () in
+    Fun.protect ~finally:(fun () -> Datahounds.Warehouse.close wh)
+    @@ fun () ->
+    (match Workload.Genbio.load_universe wh universe with
+     | Ok () -> ()
+     | Error m -> failwith ("E10 pool-fits harvest: " ^ m));
+    run_mix wh
+  in
+  Printf.printf "  pool fits (default %d-page pool): disk vs mem\n" 2048;
+  let fits =
+    List.map
+      (fun (name, mem_s) ->
+        let disk_s = List.assoc name disk_mix in
+        Printf.printf "    %-22s mem %8.2f ms  disk %8.2f ms  (%.2fx)\n"
+          name (mem_s *. 1000.) (disk_s *. 1000.) (mem_s /. disk_s);
+        (name, mem_s, disk_s))
+      mem_mix
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"E10-outofcore\",\n\
+      \  \"generated_by\": \"bench/main.ml\",\n\
+      \  \"scale\": %d,\n\
+      \  \"page_size\": %d,\n\
+      \  \"load\": {\n\
+      \    \"documents\": %d,\n\
+      \    \"bulk_install_seconds\": %.6f,\n\
+      \    \"per_row_install_seconds\": %.6f,\n\
+      \    \"speedup\": %.3f\n\
+      \  },\n\
+      \  \"out_of_core\": {\n\
+      \    \"pool_pages\": %d,\n\
+      \    \"data_bytes\": %d,\n\
+      \    \"data_over_pool\": %.2f,\n\
+      \    \"harvest_seconds\": %.6f,\n\
+      \    \"evictions_during_mix\": %d,\n\
+      \    \"vm_hwm_before_kb\": %d,\n\
+      \    \"vm_hwm_after_kb\": %d,\n\
+      \    \"mix\": {%s}\n\
+      \  },\n\
+      \  \"pool_fits\": [\n%s\n  ]\n}\n"
+      scale Rdb.Bufpool.page_size docs bulk_install_s perrow_install_s
+      (perrow_install_s /. bulk_install_s)
+      tiny_pool_pages ooc_data_bytes
+      (float_of_int ooc_data_bytes /. float_of_int pool_bytes)
+      ooc_harvest_s ooc_evictions hwm_before_kb hwm_after_kb
+      (String.concat ", "
+         (List.map
+            (fun (n, s) -> Printf.sprintf "%S: %.6f" n s)
+            ooc_mix))
+      (String.concat ",\n"
+         (List.map
+            (fun (n, mem_s, disk_s) ->
+              Printf.sprintf
+                "    { \"name\": %S, \"mem_seconds\": %.6f, \
+                 \"disk_seconds\": %.6f, \"mem_over_disk\": %.3f }"
+                n mem_s disk_s (mem_s /. disk_s))
+            fits))
+  in
+  let path =
+    match Sys.getenv_opt "XOMATIQ_BENCH_E10_JSON" with
+    | Some p when String.trim p <> "" -> p
+    | _ -> "BENCH_E10.json"
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* CI smoke mode: skip bechamel and the large sweeps, run the E5 family
    once at whatever (small) scale the environment sets. *)
 let smoke = Sys.getenv_opt "XOMATIQ_BENCH_SMOKE" <> None
@@ -1290,6 +1518,7 @@ let () =
      | "e8-throughput" -> print_e8_throughput ()
      | "e9" -> print_e9 ()
      | "e9-vectorized" -> print_e9_vectorized ()
+     | "e10-outofcore" -> print_e10_outofcore ()
      | other -> failwith ("unknown XOMATIQ_BENCH_ONLY experiment: " ^ other))
   | None ->
   if smoke then begin
@@ -1302,6 +1531,7 @@ let () =
     print_e7_structural ();
     print_e8_throughput ();
     print_e9_vectorized ();
+    print_e10_outofcore ();
     print_newline ();
     print_endline "Smoke OK."
   end
@@ -1323,6 +1553,7 @@ let () =
     print_e8_throughput ();
     print_e9 ();
     print_e9_vectorized ();
+    print_e10_outofcore ();
     print_newline ();
     print_endline "Done. See EXPERIMENTS.md for the experiment index and expected shapes."
   end

@@ -23,9 +23,23 @@ let read_file path =
   close_in ic;
   s
 
-let with_warehouse db_path f =
-  let wh = Datahounds.Warehouse.create ~wal:db_path () in
+(* [db] below is a triple: WAL path, --storage choice, --data-dir.
+   Disk storage without an explicit directory keeps the pages beside
+   the log, like XOMATIQ_STORAGE=disk does. *)
+let with_warehouse (db_path, storage, data_dir) f =
+  let data_dir =
+    match storage, data_dir with
+    | Some `Mem, _ ->
+      (* an explicit --storage mem overrides the environment *)
+      Unix.putenv "XOMATIQ_STORAGE" "mem";
+      None
+    | Some `Disk, None -> Some (db_path ^ ".pages")
+    | _, dir -> dir
+  in
+  let wh = Datahounds.Warehouse.create ~wal:db_path ?data_dir () in
   Fun.protect ~finally:(fun () -> Datahounds.Warehouse.close wh) (fun () -> f wh)
+
+let db_path (path, _, _) = path
 
 let source_of_name name division =
   match String.lowercase_ascii name with
@@ -39,8 +53,32 @@ let source_of_name name division =
 (* ---------------- common arguments ---------------- *)
 
 let db_arg =
-  let doc = "Warehouse WAL file (created if absent; state persists)." in
-  Arg.(required & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
+  let wal_arg =
+    let doc = "Warehouse WAL file (created if absent; state persists)." in
+    Arg.(required & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
+  in
+  let storage_arg =
+    let doc =
+      "Storage backend: $(b,mem) keeps rows and indexes in memory \
+       (rebuilt from the WAL at open), $(b,disk) keeps them in paged \
+       heap files and on-disk B+trees served through a buffer pool \
+       (bounded memory; pool size via $(b,XOMATIQ_POOL_MB)). Default: \
+       $(b,XOMATIQ_STORAGE), else mem."
+    in
+    Arg.(value
+         & opt (some (enum [ ("mem", `Mem); ("disk", `Disk) ])) None
+         & info [ "storage" ] ~docv:"KIND" ~doc)
+  in
+  let data_dir_arg =
+    let doc =
+      "Page directory for $(b,--storage disk) (default: the WAL file \
+       plus a .pages suffix). Implies disk storage."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "data-dir" ] ~docv:"DIR" ~doc)
+  in
+  Term.(const (fun wal storage data_dir -> (wal, storage, data_dir))
+        $ wal_arg $ storage_arg $ data_dir_arg)
 
 let division_arg =
   let doc = "EMBL division for the embl source (default inv)." in
@@ -83,14 +121,17 @@ let dump_metrics_json = function
 (* ---------------- commands ---------------- *)
 
 let harvest_cmd =
-  let run db source division jobs file =
+  let run db source division jobs no_analyze file =
     apply_jobs jobs;
     match source_of_name source division with
     | Error m -> `Error (false, m)
     | Ok src ->
       with_warehouse db @@ fun wh ->
       Datahounds.Warehouse.register_source wh src;
-      (match Datahounds.Warehouse.harvest_stats wh src (read_file file) with
+      (match
+         Datahounds.Warehouse.harvest_stats ~analyze:(not no_analyze) wh src
+           (read_file file)
+       with
        | Ok st ->
          Printf.printf "Loaded %d document(s) into %s (%d nodes total).\n"
            st.Datahounds.Warehouse.docs src.source_collection
@@ -100,9 +141,17 @@ let harvest_cmd =
          `Ok ()
        | Error m -> `Error (false, m))
   in
+  let no_analyze_arg =
+    let doc =
+      "Skip the automatic post-harvest ANALYZE of the shred tables \
+       (fresh optimizer statistics are normally left behind)."
+    in
+    Arg.(value & flag & info [ "no-analyze" ] ~doc)
+  in
   let doc = "Harvest a flat file into the warehouse (Data Hounds pipeline)." in
   Cmd.v (Cmd.info "harvest" ~doc)
-    Term.(ret (const run $ db_arg $ source_arg $ division_arg $ jobs_arg $ file_arg))
+    Term.(ret (const run $ db_arg $ source_arg $ division_arg $ jobs_arg
+               $ no_analyze_arg $ file_arg))
 
 let sync_cmd =
   let run db source division remove_missing jobs file =
@@ -342,7 +391,7 @@ let mirror_cmd =
       with_warehouse db @@ fun wh ->
       Datahounds.Warehouse.register_source wh src;
       let remote = Datahounds.Remote.create ~root:remote_root in
-      let state = load_state db in
+      let state = load_state (db_path db) in
       let last_seen = List.assoc_opt src.source_name state in
       let trigger ev = Format.printf "trigger: %a@." Datahounds.Sync.pp_event ev in
       (match Datahounds.Remote.mirror ~triggers:[ trigger ] remote wh src ~last_seen with
@@ -354,7 +403,7 @@ let mirror_cmd =
          Printf.printf
            "%s: integrated release %s — %d added, %d updated, %d unchanged.\n"
            src.source_name version r.added r.updated r.unchanged;
-         save_state db
+         save_state (db_path db)
            ((src.source_name, version)
             :: List.remove_assoc src.source_name state);
          `Ok ()
@@ -623,7 +672,7 @@ let port_arg ~default ~doc =
 
 let serve_cmd =
   let run db host port max_clients queue_depth query_timeout idle_timeout
-      write_timeout threaded pipeline_window jobs metrics_json =
+      write_timeout pipeline_window jobs metrics_json =
     apply_jobs jobs;
     if max_clients < 1 then `Error (true, "--max-clients must be >= 1")
     else if queue_depth < 0 then `Error (true, "--queue-depth must be >= 0")
@@ -635,7 +684,7 @@ let serve_cmd =
         { Xserver.Server.default_config with
           host; port; max_clients; queue_depth;
           query_timeout_s = query_timeout; idle_timeout_s = idle_timeout;
-          write_timeout_s = write_timeout; threaded; pipeline_window }
+          write_timeout_s = write_timeout; pipeline_window }
       in
       (match Xserver.Server.run cfg wh with
        | () ->
@@ -670,15 +719,10 @@ let serve_cmd =
            ~doc:"Disconnect a client that cannot absorb a response chunk \
                  within this long (slow-client protection).")
   in
-  let threaded_arg =
-    Arg.(value & flag & info [ "threaded" ]
-           ~doc:"Use the thread-per-connection model instead of the default \
-                 event-driven reactor (fallback; scheduled for removal).")
-  in
   let pipeline_window_arg =
     Arg.(value & opt int 32 & info [ "pipeline-window" ] ~docv:"W"
            ~doc:"Requests a client may pipeline per connection before the \
-                 server stops reading it (reactor model only).")
+                 server stops reading it.")
   in
   let doc =
     "Serve the warehouse over TCP (queries, SQL, EXPLAIN, metrics) with \
@@ -688,7 +732,7 @@ let serve_cmd =
     Term.(ret (const run $ db_arg $ host_arg
                $ port_arg ~default:7788 ~doc:"Port to listen on (0 = ephemeral)."
                $ max_clients_arg $ queue_depth_arg $ query_timeout_arg
-               $ idle_timeout_arg $ write_timeout_arg $ threaded_arg
+               $ idle_timeout_arg $ write_timeout_arg
                $ pipeline_window_arg $ jobs_arg $ metrics_json_arg))
 
 (* Crude but dependency-free: pull one "name": <int> out of a metrics

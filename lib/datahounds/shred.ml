@@ -24,6 +24,8 @@ let index_ddl =
     "CREATE HASH INDEX xml_node_doc ON xml_node (doc_id)";
     "CREATE HASH INDEX xml_keyword_doc ON xml_keyword (doc_id)" ]
 
+let tables = [ "xml_doc"; "xml_path"; "xml_node"; "xml_keyword" ]
+
 let install db =
   let have_tables =
     match Rdb.Database.query db "SELECT COUNT(*) FROM xml_doc" with
@@ -291,6 +293,166 @@ let install_prepared db (p : prepared) =
 
 let shred ?(sequence_elements = []) db ~collection ~name (doc : Gxml.Tree.document) =
   install_prepared db (prepare ~sequence_elements ~collection ~name doc)
+
+(* ------------------------------------------------------------------ *)
+(* Spool-then-load installation (disk backend)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The ERDB load recipe: instead of INSERTing row by row, the whole
+   batch of prepared documents is written to four spool files (one per
+   table) and appended with {!Rdb.Database.bulk_load} — full pages, one
+   WAL record per table, indexes built bottom-up when the target is a
+   fresh paged B+tree.
+
+   Id allocation simulates the sequential per-document schedule exactly
+   (doc_id = 1 + current MAX after the replaced document is removed;
+   path ids first-seen in emission order across documents in order), and
+   appends of different documents never interleave within a table, so
+   the resulting tables are byte-identical to installing the documents
+   one at a time. The one precondition is that the batch holds no two
+   documents with the same (collection, name): the sequential schedule
+   would make the second replace the first mid-batch, which a grouped
+   load cannot reproduce — callers fall back to per-document
+   installation in that (pathological) case. *)
+
+let spool_serial = ref 0
+
+let fresh_spool st tag =
+  let rec pick () =
+    incr spool_serial;
+    let p =
+      Rdb.Storage.spool_path st
+        (Printf.sprintf "harvest-%d-%s.spool" !spool_serial tag)
+    in
+    if Sys.file_exists p then pick () else p
+  in
+  pick ()
+
+let install_prepared_bulk db (preps : prepared list) =
+  match Rdb.Database.storage db with
+  | None -> Error "bulk install requires the disk storage backend"
+  | Some st ->
+    if preps = [] then Ok []
+    else begin
+      (* current (collection, name) -> doc_id view, kept in sync as the
+         batch replaces and adds documents *)
+      let view = Hashtbl.create 64 in
+      (match Rdb.Database.query db "SELECT doc_id, collection, name FROM xml_doc" with
+       | Ok (_, rows) ->
+         List.iter
+           (fun row ->
+             match row with
+             | [| Rdb.Value.Int id; Text c; Text n |] -> Hashtbl.replace view (c, n) id
+             | _ -> ())
+           rows
+       | Error m -> failwith m);
+      let max_of tbl = Hashtbl.fold (fun _ id m -> max id m) tbl 0 in
+      let cur_max = ref (max_of view) in
+      let paths = load_path_table db in
+      let next_path_id = ref (1 + max_of paths) in
+      let new_path_rows = ref [] in
+      let path_id path =
+        match Hashtbl.find_opt paths path with
+        | Some id -> id
+        | None ->
+          let id = !next_path_id in
+          incr next_path_id;
+          Hashtbl.add paths path id;
+          new_path_rows := [| Rdb.Value.Int id; Text path |] :: !new_path_rows;
+          id
+      in
+      let deletes = ref [] in  (* replaced doc_ids, reverse document order *)
+      let in_batch = Hashtbl.create 16 in
+      let dup = ref None in
+      let doc_w = Rdb.Storage.spool_create (fresh_spool st "doc") in
+      let path_w = Rdb.Storage.spool_create (fresh_spool st "path") in
+      let node_w = Rdb.Storage.spool_create (fresh_spool st "node") in
+      let kw_w = Rdb.Storage.spool_create (fresh_spool st "keyword") in
+      let per_doc =
+        List.map
+          (fun p ->
+            let key = (p.prep_collection, p.prep_name) in
+            if Hashtbl.mem in_batch key then dup := Some key;
+            Hashtbl.replace in_batch key ();
+            (match Hashtbl.find_opt view key with
+             | Some old ->
+               deletes := old :: !deletes;
+               Hashtbl.remove view key;
+               if old = !cur_max then cur_max := max_of view
+             | None -> ());
+            let doc_id = 1 + !cur_max in
+            cur_max := doc_id;
+            Hashtbl.replace view key doc_id;
+            let docv = Rdb.Value.Int doc_id in
+            let paths_before = !next_path_id in
+            List.iter
+              (fun (row, path) ->
+                row.(0) <- docv;
+                row.(6) <- Rdb.Value.Int (path_id path);
+                Rdb.Storage.spool_add node_w row)
+              p.prep_nodes;
+            List.iter
+              (fun row ->
+                row.(0) <- docv;
+                Rdb.Storage.spool_add kw_w row)
+              p.prep_keywords;
+            Rdb.Storage.spool_add doc_w
+              [| docv; Text p.prep_collection; Text p.prep_name; Text p.prep_root_tag |];
+            ( doc_id,
+              { nodes = List.length p.prep_nodes;
+                keywords = List.length p.prep_keywords;
+                new_paths = !next_path_id - paths_before } ))
+          preps
+      in
+      List.iter (fun r -> Rdb.Storage.spool_add path_w r) (List.rev !new_path_rows);
+      let finish w = (Rdb.Storage.spool_writer_path w, Rdb.Storage.spool_finish w) in
+      let spools = List.map finish [ doc_w; path_w; node_w; kw_w ] in
+      match !dup with
+      | Some (c, n) ->
+        List.iter (fun (p, _) -> Rdb.Storage.spool_remove p) spools;
+        Error
+          (Printf.sprintf
+             "bulk install: duplicate document %S in collection %S within one batch" n c)
+      | None ->
+        let started_txn = not (Rdb.Database.in_transaction db) in
+        if started_txn then ignore (Rdb.Database.exec_exn db "BEGIN");
+        let rollback m =
+          if started_txn then ignore (Rdb.Database.exec db "ROLLBACK");
+          Error m
+        in
+        let delete_replaced () =
+          try
+            List.iter
+              (fun old ->
+                List.iter
+                  (fun table ->
+                    ignore
+                      (Rdb.Database.exec_exn db
+                         (Printf.sprintf "DELETE FROM %s WHERE doc_id = %d" table old)))
+                  [ "xml_keyword"; "xml_node"; "xml_doc" ])
+              (List.rev !deletes);
+            Ok ()
+          with Failure m -> Error m
+        in
+        let rec load = function
+          | [] ->
+            if started_txn then ignore (Rdb.Database.exec_exn db "COMMIT");
+            Ok per_doc
+          | (table, (spool, rows)) :: rest ->
+            if rows = 0 then begin
+              (* nothing to load: no WAL record will reference the spool *)
+              Rdb.Storage.spool_remove spool;
+              load rest
+            end
+            else
+              (match Rdb.Database.bulk_load db ~table ~spool ~rows with
+               | Error m -> rollback m
+               | Ok _ -> load rest)
+        in
+        (match delete_replaced () with
+         | Error m -> rollback m
+         | Ok () -> load (List.combine tables spools))
+    end
 
 let delete_document db ~collection ~name =
   match document_id db ~collection ~name with

@@ -36,6 +36,10 @@
 val schema_ddl : string list
 (** CREATE TABLE statements for the four tables. *)
 
+val tables : string list
+(** The four table names, creation order: xml_doc, xml_path, xml_node,
+    xml_keyword. *)
+
 val index_ddl : string list
 (** The index set derived from "meticulous analysis of the query plans"
     (paper Section 3.2): hash indexes on keyword words, node paths and
@@ -68,6 +72,20 @@ val install_prepared :
 (** Allocate [doc_id] and [path_id]s and insert the prepared rows in one
     transaction. Ids are assigned exactly as a direct {!shred} of the
     same document would assign them. Must run on one domain at a time. *)
+
+val install_prepared_bulk :
+  Rdb.Database.t -> prepared list -> ((int * stats) list, string) result
+(** Spool-then-load installation of a whole batch on the disk backend
+    (the ERDB loader recipe): replaced documents are deleted, then all
+    rows are written to four spool files and appended with
+    {!Rdb.Database.bulk_load} — one WAL record per table instead of one
+    per row, with indexes built bottom-up when they start empty. One
+    transaction; on error nothing is installed. Ids are assigned exactly
+    as installing the documents one at a time would assign them, so the
+    resulting tables are byte-identical to the per-document path.
+    Fails if the batch holds two documents with the same
+    (collection, name) — callers should fall back to per-document
+    installation — or if the database has no disk storage. *)
 
 val shred :
   ?sequence_elements:string list ->

@@ -101,11 +101,12 @@ let registry_ddl =
   "CREATE TABLE xml_dtd (collection TEXT PRIMARY KEY, dtd TEXT NOT NULL, \
    sequence_elements TEXT NOT NULL)"
 
-let create ?wal () =
+let create ?wal ?data_dir () =
   let database =
-    match wal with
-    | Some path -> Rdb.Database.open_with_wal path
-    | None -> Rdb.Database.open_in_memory ()
+    match data_dir, wal with
+    | Some dir, wal -> Rdb.Database.open_disk ?wal ~dir ()
+    | None, Some path -> Rdb.Database.open_with_wal path
+    | None, None -> Rdb.Database.open_in_memory ()
   in
   Shred.install database;
   (match Rdb.Database.query database "SELECT COUNT(*) FROM xml_dtd" with
@@ -209,6 +210,86 @@ let load_document ?validate t ~collection ~name doc =
   | Ok _ -> Ok ()
   | Error _ as e -> e
 
+(* Ordered installation, on the calling domain, of per-document results
+   [(name, prepared-or-error, validate_s, prepare_s)]. The install stops
+   at the first error, keeping the documents before it — the sequential
+   contract. On the disk backend the whole run of successfully prepared
+   documents installs through the spool-then-load path
+   ({!Shred.install_prepared_bulk}); a batch that loads the same
+   document name twice (second replaces the first mid-batch) falls back
+   to per-document installation, the only schedule that reproduces it. *)
+
+let install_per_doc t ~collection acc0 results =
+  let rec install acc = function
+    | [] -> Ok acc
+    | (name, Error m, _, _) :: _ -> ignore name; Error m
+    | (name, Ok prep, validate_s, prepare_s) :: rest ->
+      let t4 = Rdb.Obs.now_s () in
+      ignore (Shred.delete_document t.database ~collection ~name);
+      (match Shred.install_prepared t.database prep with
+       | Error _ as e -> e
+       | Ok (_, st) ->
+         let shred_s = prepare_s +. (Rdb.Obs.now_s () -. t4) in
+         install
+           { acc with
+             docs = acc.docs + 1;
+             nodes = acc.nodes + st.Shred.nodes;
+             keywords = acc.keywords + st.Shred.keywords;
+             new_paths = acc.new_paths + st.Shred.new_paths;
+             validate_s = acc.validate_s +. validate_s;
+             shred_s = acc.shred_s +. shred_s }
+           rest)
+  in
+  install acc0 results
+
+let install_bulk t acc0 results =
+  (* longest prefix of successful preparations, then the first error *)
+  let rec split pre = function
+    | (_, Ok p, vs, ps) :: rest -> split ((p, vs, ps) :: pre) rest
+    | rest -> (List.rev pre, rest)
+  in
+  let oks, rest = split [] results in
+  let t4 = Rdb.Obs.now_s () in
+  match Shred.install_prepared_bulk t.database (List.map (fun (p, _, _) -> p) oks) with
+  | Error _ as e -> e
+  | Ok per_doc ->
+    (match rest with
+     | (_, Error m, _, _) :: _ -> Error m
+     | _ ->
+       let install_s = Rdb.Obs.now_s () -. t4 in
+       let acc =
+         List.fold_left2
+           (fun acc (_, vs, ps) (_, st) ->
+             { acc with
+               docs = acc.docs + 1;
+               nodes = acc.nodes + st.Shred.nodes;
+               keywords = acc.keywords + st.Shred.keywords;
+               new_paths = acc.new_paths + st.Shred.new_paths;
+               validate_s = acc.validate_s +. vs;
+               shred_s = acc.shred_s +. ps })
+           acc0 oks per_doc
+       in
+       Ok { acc with shred_s = acc.shred_s +. install_s })
+
+let batch_has_dup results =
+  let seen = Hashtbl.create 16 in
+  List.exists
+    (fun (name, r, _, _) ->
+      match r with
+      | Error _ -> false
+      | Ok _ ->
+        if Hashtbl.mem seen name then true
+        else begin
+          Hashtbl.add seen name ();
+          false
+        end)
+    results
+
+let install_processed t ~collection acc0 results =
+  if Rdb.Database.is_disk t.database && not (batch_has_dup results) then
+    install_bulk t acc0 results
+  else install_per_doc t ~collection acc0 results
+
 let harvest_sequential t (s : source) flat_text =
   let t0 = Rdb.Obs.now_s () in
   match s.transform flat_text with
@@ -298,39 +379,71 @@ let harvest_parallel t (s : source) split flat_text =
     List.fold_left (fun acc (ts, _) -> acc +. ts) split_s processed
   in
   (* ordered installation on this domain only *)
-  let rec install acc = function
-    | [] -> Ok acc
-    | (name, Error m, _, _) :: _ -> ignore name; Error m
-    | (name, Ok prep, validate_s, prepare_s) :: rest ->
-      let t4 = Rdb.Obs.now_s () in
-      ignore (Shred.delete_document t.database ~collection ~name);
-      (match Shred.install_prepared t.database prep with
-       | Error _ as e -> e
-       | Ok (_, st) ->
-         let shred_s = prepare_s +. (Rdb.Obs.now_s () -. t4) in
-         install
-           { acc with
-             docs = acc.docs + 1;
-             nodes = acc.nodes + st.Shred.nodes;
-             keywords = acc.keywords + st.Shred.keywords;
-             new_paths = acc.new_paths + st.Shred.new_paths;
-             validate_s = acc.validate_s +. validate_s;
-             shred_s = acc.shred_s +. shred_s }
-           rest)
-  in
-  install
+  install_processed t ~collection
     { docs = 0; nodes = 0; keywords = 0; new_paths = 0; transform_s;
       validate_s = 0.; shred_s = 0. }
     (List.concat_map snd processed)
 
-let harvest_stats t (s : source) flat_text =
+(* Sequential prepare (no split declared, or one job) feeding the shared
+   installer: used on the disk backend so sequential harvests also take
+   the spool-then-load path. *)
+let harvest_prepared t (s : source) flat_text =
+  let collection = s.source_collection in
+  let dtd = dtd_of t ~collection in
+  let sequence_elements = sequence_elements_of t ~collection in
+  let t0 = Rdb.Obs.now_s () in
+  let docs = s.transform flat_text in
+  let transform_s = Rdb.Obs.now_s () -. t0 in
+  let results =
+    List.map
+      (fun (name, doc) ->
+        let t2 = Rdb.Obs.now_s () in
+        let check =
+          match dtd with
+          | None -> Ok ()
+          | Some dtd ->
+            (match Gxml.Dtd.validate dtd doc.Gxml.Tree.root with
+             | [] -> Ok ()
+             | v :: _ ->
+               Error
+                 (Printf.sprintf "document %S is invalid: %s" name
+                    (Format.asprintf "%a" Gxml.Dtd.pp_violation v)))
+        in
+        let validate_s = Rdb.Obs.now_s () -. t2 in
+        match check with
+        | Error m -> (name, Error m, validate_s, 0.)
+        | Ok () ->
+          let t3 = Rdb.Obs.now_s () in
+          let prep = Shred.prepare ~sequence_elements ~collection ~name doc in
+          (name, Ok prep, validate_s, Rdb.Obs.now_s () -. t3))
+      docs
+  in
+  install_processed t ~collection
+    { docs = 0; nodes = 0; keywords = 0; new_paths = 0; transform_s;
+      validate_s = 0.; shred_s = 0. }
+    results
+
+(* ShrubTune: a freshly loaded warehouse should not plan on default
+   statistics. Refreshing stats bumps the catalog version, so cached
+   plans self-invalidate. *)
+let analyze_warehouse t =
+  List.iter
+    (fun table -> ignore (Rdb.Database.exec t.database ("ANALYZE " ^ table)))
+    Shred.tables
+
+let harvest_stats ?(analyze = true) t (s : source) flat_text =
   let run () =
     match s.split with
     | Some split when Conc.Pool.jobs () > 1 -> harvest_parallel t s split flat_text
-    | _ -> harvest_sequential t s flat_text
+    | _ ->
+      if Rdb.Database.is_disk t.database then harvest_prepared t s flat_text
+      else harvest_sequential t s flat_text
   in
   match run () with
-  | r -> r
+  | Ok _ as r ->
+    if analyze then analyze_warehouse t;
+    r
+  | Error _ as e -> e
   | exception Line_format.Format_error { entry_index; line; message } ->
     Error
       (Printf.sprintf "flat-file error in entry %d (line %d): %s" entry_index line
@@ -341,8 +454,8 @@ let harvest_stats t (s : source) flat_text =
   | exception Genbank.Bad_entry m -> Error ("bad GenBank entry: " ^ m)
   | exception Medline.Bad_entry m -> Error ("bad MEDLINE entry: " ^ m)
 
-let harvest t s flat_text =
-  match harvest_stats t s flat_text with
+let harvest ?analyze t s flat_text =
+  match harvest_stats ?analyze t s flat_text with
   | Ok st -> Ok st.docs
   | Error _ as e -> e
 

@@ -26,8 +26,11 @@ type source = {
           [None] keeps the source on the sequential load path. *)
 }
 
-val create : ?wal:string -> unit -> t
-(** Fresh warehouse; with [wal], durable and crash-recoverable. *)
+val create : ?wal:string -> ?data_dir:string -> unit -> t
+(** Fresh warehouse; with [wal], durable and crash-recoverable. With
+    [data_dir] the paged on-disk backend holds the rows and indexes
+    under that directory ({!Rdb.Database.open_disk}); without it the
+    backend follows [XOMATIQ_STORAGE]. *)
 
 val db : t -> Rdb.Database.t
 val close : t -> unit
@@ -41,7 +44,7 @@ val swissprot_source : source
 val genbank_source : source
 val medline_source : source
 
-val harvest : t -> source -> string -> (int, string) result
+val harvest : ?analyze:bool -> t -> source -> string -> (int, string) result
 (** The Data Hounds pipeline of Figure 1: transform flat-file text to XML
     (validating each document against the source DTD) and shred into the
     warehouse. Returns the number of documents loaded. Existing documents
@@ -52,7 +55,16 @@ val harvest : t -> source -> string -> (int, string) result
     [XOMATIQ_JOBS]), parsing, validation and shredding fan out across
     domains; tuples are still installed in document order on the calling
     domain, so the resulting tables — ids, sibling order, everything —
-    are byte-identical to a sequential load. *)
+    are byte-identical to a sequential load.
+
+    On the disk backend installation is spool-then-load
+    ({!Shred.install_prepared_bulk}): rows are appended as full pages
+    under one WAL record per table and fresh B+tree indexes are built
+    bottom-up — again byte-identical to the per-row path.
+
+    After a successful harvest the four shred tables are re-ANALYZEd so
+    the planner sees the new data volume ([analyze] defaults to true;
+    pass false — CLI [--no-analyze] — to skip). *)
 
 (** Aggregate load report for one {!harvest_stats} run. *)
 type load_stats = {
@@ -67,7 +79,8 @@ type load_stats = {
 
 val load_stats_to_string : load_stats -> string
 
-val harvest_stats : t -> source -> string -> (load_stats, string) result
+val harvest_stats :
+  ?analyze:bool -> t -> source -> string -> (load_stats, string) result
 (** {!harvest}, additionally reporting shred/insert volume and per-stage
     wall time. *)
 

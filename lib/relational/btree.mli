@@ -16,6 +16,10 @@ type key = Value.t array
 
 type 'a t
 
+val compare_key : key -> key -> int
+(** Lexicographic over {!Value.compare_total}; the one key order shared
+    by this tree and the paged on-disk tree. *)
+
 val create : ?fanout:int -> unit -> 'a t
 (** [fanout] is the maximum number of keys per node (default 32, min 4). *)
 

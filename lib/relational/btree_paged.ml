@@ -1,0 +1,581 @@
+(* On-disk B+tree with page-at-a-time node access through the buffer
+   pool. One page file per tree: page 0 is the meta page, every other
+   page is a node (or a key-overflow segment).
+
+   Node page layout:
+     0  u8   kind (0 = leaf, 1 = internal)
+     2  u16  ncells
+     4  u32  leaf: next-leaf page (none32 at the chain end)
+             internal: leftmost child page (child0)
+     8  u16 x ncells  slot array, key order; each slot is the page
+                      offset of a cell
+     cells packed downward from the page end:
+       u16 klen | key bytes | u32 value        (inline key)
+       u16 0x8000|0 | u32 total | u32 first | u32 value
+                                               (overflow key: chain of
+                                                [u32 next|u32 n|bytes]
+                                                whole pages)
+   A leaf cell's value is a rowid; an internal cell holds separator s_i
+   with the page of child c_i, keys >= s_i (child0 lives in the header).
+
+   Duplicate keys are stored as adjacent cells. Inserts descend by
+   upper bound (first separator > key) and place the new cell after the
+   equal run, so within a key the cell order is insertion order —
+   exactly the posting-list append of the in-memory {!Btree} — while
+   lookups and removals descend by lower bound and walk the run across
+   leaf boundaries. Keys compare decoded ({!Btree.compare_key}), never
+   byte-wise: [Int 3] and [Float 3.] are the same key in both engines. *)
+
+let ps = Bufpool.page_size
+let none32 = 0xFFFFFFFF
+let magic = "XQBTRE01"
+let hdr = 8
+let max_inline_key = 2048
+
+exception Duplicate of Value.t array
+
+type cell = {
+  key : string;             (* encoded key, always materialised *)
+  value : int;
+  big : (int * int) option; (* (total_len, first_page) when spilled *)
+}
+
+type node = {
+  kind : int; (* 0 leaf / 1 internal *)
+  cells : cell array;
+  link : int; (* leaf: next leaf; internal: child0 *)
+}
+
+type t = {
+  pool : Bufpool.t;
+  file : Bufpool.file;
+  fpath : string;
+  mutable root : int;
+  mutable height : int;
+  mutable distinct : int;
+  mutable entries : int;
+}
+
+let get_u16 b off = Bytes.get_uint16_le b off
+let set_u16 b off v = Bytes.set_uint16_le b off v
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let get_u48 b off = Int64.to_int (Bytes.get_int64_le b off)
+let set_u48 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+let write_meta t =
+  Bufpool.with_page_w t.pool t.file 0 (fun b ->
+      Bytes.blit_string magic 0 b 0 8;
+      set_u32 b 8 t.root;
+      set_u32 b 12 t.height;
+      set_u48 b 16 t.distinct;
+      set_u48 b 24 t.entries)
+
+(* ---- key overflow chains ---- *)
+
+let write_big t s =
+  let len = String.length s in
+  let cap = ps - 8 in
+  let nseg = (len + cap - 1) / cap in
+  let pages = Array.init nseg (fun _ -> Bufpool.allocate t.pool t.file) in
+  Array.iteri
+    (fun i p ->
+      let pos = i * cap in
+      let n = min cap (len - pos) in
+      Bufpool.with_page_w t.pool t.file p (fun b ->
+          set_u32 b 0 (if i + 1 < nseg then pages.(i + 1) else none32);
+          set_u32 b 4 n;
+          Bytes.blit_string s pos b 8 n))
+    pages;
+  (len, pages.(0))
+
+let read_big t (len, first) =
+  let buf = Bytes.create len in
+  let rec go p pos =
+    if p <> none32 then begin
+      let next, pos' =
+        Bufpool.with_page t.pool t.file p (fun b ->
+            let n = get_u32 b 4 in
+            Bytes.blit b 8 buf pos n;
+            (get_u32 b 0, pos + n))
+      in
+      go next pos'
+    end
+  in
+  go first 0;
+  Bytes.unsafe_to_string buf
+
+(* ---- node (de)serialisation ---- *)
+
+let cell_size c = match c.big with Some _ -> 2 + 12 | None -> 2 + String.length c.key + 4
+
+let node_size n =
+  Array.fold_left (fun acc c -> acc + 2 + cell_size c) hdr n.cells
+
+let read_node t page =
+  Bufpool.with_page t.pool t.file page (fun b ->
+      let kind = Char.code (Bytes.get b 0) in
+      let ncells = get_u16 b 2 in
+      let link = get_u32 b 4 in
+      let cells =
+        Array.init ncells (fun i ->
+            let off = get_u16 b (hdr + (2 * i)) in
+            let klen = get_u16 b off in
+            if klen land 0x8000 <> 0 then
+              let total = get_u32 b (off + 2) in
+              let first = get_u32 b (off + 6) in
+              { key = ""; value = get_u32 b (off + 10); big = Some (total, first) }
+            else
+              { key = Bytes.sub_string b (off + 2) klen;
+                value = get_u32 b (off + 2 + klen);
+                big = None })
+      in
+      { kind; cells; link })
+  |> fun n ->
+  (* materialise spilled keys outside the pin (chain reads pin pages) *)
+  { n with
+    cells =
+      Array.map
+        (fun c ->
+          match c.big with
+          | Some bigref when c.key = "" -> { c with key = read_big t bigref }
+          | _ -> c)
+        n.cells }
+
+let write_node t page n =
+  Bufpool.with_page_w t.pool t.file page (fun b ->
+      Bytes.fill b 0 ps '\000';
+      Bytes.set b 0 (Char.chr n.kind);
+      set_u16 b 2 (Array.length n.cells);
+      set_u32 b 4 n.link;
+      let top = ref ps in
+      Array.iteri
+        (fun i c ->
+          let sz = cell_size c in
+          top := !top - sz;
+          let off = !top in
+          set_u16 b (hdr + (2 * i)) off;
+          match c.big with
+          | Some (total, first) ->
+            set_u16 b off 0x8000;
+            set_u32 b (off + 2) total;
+            set_u32 b (off + 6) first;
+            set_u32 b (off + 10) c.value
+          | None ->
+            set_u16 b off (String.length c.key);
+            Bytes.blit_string c.key 0 b (off + 2) (String.length c.key);
+            set_u32 b (off + 2 + String.length c.key) c.value)
+        n.cells)
+
+let mk_cell t key value =
+  if String.length key > max_inline_key then
+    { key; value; big = Some (write_big t key) }
+  else { key; value; big = None }
+
+(* ---- open / create ---- *)
+
+let init_empty t =
+  t.root <- Bufpool.allocate t.pool t.file;
+  t.height <- 1;
+  t.distinct <- 0;
+  t.entries <- 0;
+  write_node t t.root { kind = 0; cells = [||]; link = none32 };
+  write_meta t
+
+let create pool ~path =
+  let file = Bufpool.open_file pool path in
+  let t =
+    { pool; file; fpath = path; root = 0; height = 0; distinct = 0; entries = 0 }
+  in
+  if Bufpool.npages file = 0 then begin
+    ignore (Bufpool.allocate pool file) (* meta page *);
+    init_empty t
+  end
+  else
+    Bufpool.with_page pool file 0 (fun b ->
+        if Bytes.sub_string b 0 8 <> magic then
+          failwith (Printf.sprintf "btree %s: bad magic" path);
+        t.root <- get_u32 b 8;
+        t.height <- get_u32 b 12;
+        t.distinct <- get_u48 b 16;
+        t.entries <- get_u48 b 24);
+  t
+
+let cardinal t = t.distinct
+let entry_count t = t.entries
+
+(* ---- search plumbing ---- *)
+
+let dec = Rowcodec.decode_string
+let cmp = Btree.compare_key
+
+let cell_cmp c k = cmp (dec c.key) k
+
+(* first cell index with cell >= k *)
+let lower_bound cells k =
+  let lo = ref 0 and hi = ref (Array.length cells) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cell_cmp cells.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* first cell index with cell > k *)
+let upper_bound cells k =
+  let lo = ref 0 and hi = ref (Array.length cells) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cell_cmp cells.(mid) k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* child page for descent: [slot] children precede the chosen one *)
+let child_at n slot = if slot = 0 then n.link else n.cells.(slot - 1).value
+
+let array_insert arr i x =
+  let len = Array.length arr in
+  let out = Array.make (len + 1) x in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr i out (i + 1) (len - i);
+  out
+
+(* ---- insert ---- *)
+
+type split = No_split | Split of cell (* separator cell: key + right page *)
+
+let split_point cells =
+  (* split index by accumulated byte size, clamped so both halves keep at
+     least one cell (pages fit >= 4 cells before overflowing, see layout) *)
+  let total = Array.fold_left (fun acc c -> acc + 2 + cell_size c) 0 cells in
+  let n = Array.length cells in
+  let acc = ref 0 and m = ref 0 in
+  (try
+     for i = 0 to n - 1 do
+       acc := !acc + 2 + cell_size cells.(i);
+       if !acc * 2 >= total then begin
+         m := i + 1;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  max 1 (min (n - 1) !m)
+
+let rec insert_at t page k_enc k rowid depth : split =
+  let n = read_node t page in
+  if n.kind = 0 then begin
+    let pos = upper_bound n.cells k in
+    let cell = mk_cell t k_enc rowid in
+    let cells = array_insert n.cells pos cell in
+    let n = { n with cells } in
+    if node_size n <= ps then begin
+      write_node t page n;
+      No_split
+    end
+    else begin
+      let m = split_point cells in
+      let right_page = Bufpool.allocate t.pool t.file in
+      let left = { n with cells = Array.sub cells 0 m; link = right_page } in
+      let right =
+        { kind = 0;
+          cells = Array.sub cells m (Array.length cells - m);
+          link = n.link }
+      in
+      write_node t page left;
+      write_node t right_page right;
+      (* the separator shares the right head's key (and its overflow
+         chain, which is immutable once written) *)
+      let head = right.cells.(0) in
+      Split { key = head.key; value = right_page; big = head.big }
+    end
+  end
+  else begin
+    let slot = upper_bound n.cells k in
+    match insert_at t (child_at n slot) k_enc k rowid (depth + 1) with
+    | No_split -> No_split
+    | Split sep ->
+      let cells = array_insert n.cells slot sep in
+      let n = { n with cells } in
+      if node_size n <= ps then begin
+        write_node t page n;
+        No_split
+      end
+      else begin
+        let m = max 1 (min (Array.length cells - 2) (split_point cells)) in
+        let sep_up = cells.(m) in
+        let right_page = Bufpool.allocate t.pool t.file in
+        let left = { n with cells = Array.sub cells 0 m } in
+        let right =
+          { kind = 1;
+            cells = Array.sub cells (m + 1) (Array.length cells - m - 1);
+            link = sep_up.value }
+        in
+        write_node t page left;
+        write_node t right_page right;
+        Split { sep_up with value = right_page }
+      end
+  end
+
+let rec leaf_for t page k =
+  let n = read_node t page in
+  if n.kind = 0 then (page, n)
+  else leaf_for t (child_at n (lower_bound n.cells k)) k
+
+let mem t k =
+  let _, n0 = leaf_for t t.root k in
+  let rec look n i =
+    if i >= Array.length n.cells then
+      n.link <> none32 && look (read_node t n.link) 0
+    else
+      let c = cell_cmp n.cells.(i) k in
+      c = 0 || (c < 0 && look n (i + 1))
+  in
+  look n0 (lower_bound n0.cells k)
+
+let insert ?key_exists t k rowid =
+  let k_enc = Rowcodec.encode k in
+  let existed =
+    match key_exists with Some e -> e | None -> mem t k
+  in
+  (match insert_at t t.root k_enc k rowid 0 with
+   | No_split -> ()
+   | Split sep ->
+     let new_root = Bufpool.allocate t.pool t.file in
+     write_node t new_root { kind = 1; cells = [| sep |]; link = t.root };
+     t.root <- new_root;
+     t.height <- t.height + 1);
+  if not existed then t.distinct <- t.distinct + 1;
+  t.entries <- t.entries + 1;
+  write_meta t
+
+(* ---- lookup ---- *)
+
+let find t k =
+  let _, n0 = leaf_for t t.root k in
+  let rec collect n i acc =
+    if i >= Array.length n.cells then
+      if n.link = none32 then acc else collect (read_node t n.link) 0 acc
+    else
+      let c = cell_cmp n.cells.(i) k in
+      if c < 0 then collect n (i + 1) acc
+      else if c = 0 then collect n (i + 1) (n.cells.(i).value :: acc)
+      else acc
+  in
+  List.rev (collect n0 (lower_bound n0.cells k) [])
+
+(* ---- remove ---- *)
+
+let remove t k pred =
+  let page0, n0 = leaf_for t t.root k in
+  let removed = ref 0 and remaining = ref 0 in
+  let rec sweep page n start =
+    let keep = ref [] and past = ref false in
+    Array.iteri
+      (fun i c ->
+        if i < start then keep := c :: !keep
+        else if !past then keep := c :: !keep
+        else
+          let cv = cell_cmp c k in
+          if cv < 0 then keep := c :: !keep
+          else if cv > 0 then begin
+            past := true;
+            keep := c :: !keep
+          end
+          else if pred c.value then incr removed
+          else begin
+            incr remaining;
+            keep := c :: !keep
+          end)
+      n.cells;
+    let kept = Array.of_list (List.rev !keep) in
+    if Array.length kept <> Array.length n.cells then
+      write_node t page { n with cells = kept };
+    (* an equal run ends inside the first leaf whose last cell is > k *)
+    if (not !past) && n.link <> none32 then
+      sweep n.link (read_node t n.link) 0
+  in
+  sweep page0 n0 (lower_bound n0.cells k);
+  if !removed > 0 then begin
+    t.entries <- t.entries - !removed;
+    if !remaining = 0 then t.distinct <- t.distinct - 1;
+    write_meta t
+  end
+
+(* ---- range scans ---- *)
+
+let rec leftmost t page =
+  let n = read_node t page in
+  if n.kind = 0 then (page, n) else leftmost t n.link
+
+let range ?lo ?hi t =
+  let above_lo k =
+    match lo with
+    | None -> true
+    | Some (lk, incl) ->
+      let c = cmp k lk in
+      if incl then c >= 0 else c > 0
+  in
+  let below_hi k =
+    match hi with
+    | None -> true
+    | Some (hk, incl) ->
+      let c = cmp k hk in
+      if incl then c <= 0 else c < 0
+  in
+  let start () =
+    match lo with
+    | None -> Some (leftmost t t.root)
+    | Some (k, _) -> Some (leaf_for t t.root k)
+  in
+  (* one leaf at a time: decode the qualifying cells under a single pin
+     run, emit, then chase the next-leaf link *)
+  let rec leaf_seq next () =
+    match next with
+    | None -> Seq.Nil
+    | Some (_, n) ->
+      let out = ref [] and stop = ref false in
+      Array.iter
+        (fun c ->
+          if not !stop then begin
+            let k = dec c.key in
+            if not (below_hi k) then stop := true
+            else if above_lo k then out := (k, c.value) :: !out
+          end)
+        n.cells;
+      let next' =
+        if !stop || n.link = none32 then None
+        else Some (n.link, read_node t n.link)
+      in
+      let rec emit = function
+        | [] -> leaf_seq next' ()
+        | r :: rest -> Seq.Cons (r, fun () -> emit rest)
+      in
+      emit (List.rev !out)
+  in
+  fun () -> leaf_seq (start ()) ()
+
+let iter f t =
+  Seq.iter (fun (k, v) -> f k v) (range t)
+
+(* ---- bulk load ---- *)
+
+(* Pack sorted (encoded key, value) pairs bottom-up: fill leaves to the
+   byte budget, chain them left to right, then build each internal level
+   from the (first key, page) list of the level below. The stream must be
+   sorted by (key, insertion order); [unique] raises {!Duplicate} on two
+   equal adjacent keys. The tree must be empty. *)
+let bulk_load ?(unique = false) t pairs =
+  if t.entries > 0 then invalid_arg "Btree_paged.bulk_load: tree not empty";
+  let budget = ps in
+  (* current leaf under construction *)
+  let cells = ref [] and size = ref hdr and ncells = ref 0 in
+  let leaves = ref [] (* (head cell, page) reversed *) in
+  let prev_leaf = ref none32 in
+  let prev_key = ref None in
+  let distinct = ref 0 and entries = ref 0 in
+  let flush_leaf () =
+    if !ncells > 0 then begin
+      let page = Bufpool.allocate t.pool t.file in
+      let node =
+        { kind = 0; cells = Array.of_list (List.rev !cells); link = none32 }
+      in
+      write_node t page node;
+      if !prev_leaf <> none32 then
+        Bufpool.with_page_w t.pool t.file !prev_leaf (fun b -> set_u32 b 4 page);
+      prev_leaf := page;
+      leaves := (node.cells.(0), page) :: !leaves;
+      cells := [];
+      size := hdr;
+      ncells := 0
+    end
+  in
+  Seq.iter
+    (fun (k_enc, v) ->
+      (match !prev_key with
+       | Some pk ->
+         let equal = String.equal pk k_enc || cmp (dec pk) (dec k_enc) = 0 in
+         if equal then begin
+           if unique then raise (Duplicate (dec k_enc))
+         end
+         else incr distinct
+       | None -> incr distinct);
+      prev_key := Some k_enc;
+      let cell = mk_cell t k_enc v in
+      let sz = 2 + cell_size cell in
+      if !size + sz > budget then flush_leaf ();
+      cells := cell :: !cells;
+      size := !size + sz;
+      incr ncells;
+      incr entries)
+    pairs;
+  flush_leaf ();
+  (match List.rev !leaves with
+   | [] ->
+     (* empty load: leave the fresh empty tree as is *)
+     ()
+   | level0 ->
+     let rec build level height =
+       match level with
+       | [ (_, page) ] ->
+         t.root <- page;
+         t.height <- height
+       | _ ->
+         (* pack (sep, child) cells into internal nodes by byte budget *)
+         let parents = ref [] in
+         let cur = ref [] and cur_size = ref hdr and head = ref None in
+         let child0 = ref none32 in
+         let flush_internal () =
+           match !head with
+           | None -> ()
+           | Some head_cell ->
+             let page = Bufpool.allocate t.pool t.file in
+             write_node t page
+               { kind = 1; cells = Array.of_list (List.rev !cur); link = !child0 };
+             parents := (head_cell, page) :: !parents;
+             cur := [];
+             cur_size := hdr;
+             head := None;
+             child0 := none32
+         in
+         List.iter
+           (fun (head_cell, page) ->
+             match !head with
+             | None ->
+               head := Some head_cell;
+               child0 := page
+             | Some _ ->
+               let sep = { head_cell with value = page } in
+               let sz = 2 + cell_size sep in
+               if !cur_size + sz > budget then begin
+                 flush_internal ();
+                 head := Some head_cell;
+                 child0 := page
+               end
+               else begin
+                 cur := sep :: !cur;
+                 cur_size := !cur_size + sz
+               end)
+           level;
+         flush_internal ();
+         build (List.rev !parents) (height + 1)
+     in
+     build level0 1);
+  t.distinct <- !distinct;
+  t.entries <- !entries;
+  write_meta t
+
+(* ---- lifecycle ---- *)
+
+let truncate t =
+  Bufpool.truncate_file t.pool t.file;
+  ignore (Bufpool.allocate t.pool t.file);
+  init_empty t
+
+let sync t = write_meta t
+
+let close t =
+  write_meta t;
+  Bufpool.close_file t.pool t.file
+
+let destroy t = Bufpool.remove_file t.pool t.file
+
+let path t = t.fpath

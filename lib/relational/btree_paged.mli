@@ -1,0 +1,63 @@
+(** On-disk B+tree with page-at-a-time node access through {!Bufpool}.
+
+    Keys are tuples ([Value.t array]) stored Rowcodec-encoded and
+    compared decoded with {!Btree.compare_key} — never byte-wise, so the
+    cross-type numeric ordering of [Value.compare_total] ([Int 3] equals
+    [Float 3.]) matches the in-memory tree exactly. Duplicates are one
+    cell per (key, rowid): inserts append at the end of the equal run
+    (upper-bound descent), so per-key rowid order equals insertion order
+    just like the in-memory posting lists; lookups, removals and range
+    scans descend by lower bound and follow the run across leaf
+    boundaries. Keys longer than ~2 KiB spill to overflow chains.
+
+    Like the heap files, tree pages are only trusted after a clean
+    shutdown (see {!Storage}); recovery rebuilds from the WAL. *)
+
+type t
+
+exception Duplicate of Value.t array
+(** Raised by {!bulk_load} with [~unique:true] on adjacent equal keys. *)
+
+val create : Bufpool.t -> path:string -> t
+(** Open the tree stored at [path], attaching when the file already has
+    pages and initialising an empty single-leaf tree otherwise. *)
+
+val insert : ?key_exists:bool -> t -> Value.t array -> int -> unit
+(** Add (key, rowid). [key_exists] (whether the key is already present)
+    skips the extra probe that distinct-key accounting needs; callers
+    that just did a membership check pass it. *)
+
+val mem : t -> Value.t array -> bool
+
+val find : t -> Value.t array -> int list
+(** Rowids for the key in insertion order ([[]] when absent). *)
+
+val remove : t -> Value.t array -> (int -> bool) -> unit
+(** Drop the key's postings matching the predicate. *)
+
+val range :
+  ?lo:Value.t array * bool ->
+  ?hi:Value.t array * bool ->
+  t ->
+  (Value.t array * int) Seq.t
+(** Entries in key order (bool = inclusive), same bound semantics as
+    {!Btree.range}. *)
+
+val iter : (Value.t array -> int -> unit) -> t -> unit
+
+val cardinal : t -> int
+(** Distinct keys. *)
+
+val entry_count : t -> int
+(** Total (key, rowid) postings. *)
+
+val bulk_load : ?unique:bool -> t -> (string * int) Seq.t -> unit
+(** Build the tree bottom-up from (Rowcodec-encoded key, rowid) pairs
+    sorted by (key, tie-break rowid): packed leaves first, then each
+    internal level from the level below. The tree must be empty. *)
+
+val truncate : t -> unit
+val sync : t -> unit
+val close : t -> unit
+val destroy : t -> unit
+val path : t -> string

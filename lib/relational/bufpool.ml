@@ -1,0 +1,266 @@
+let page_size = 8192
+
+(* Process-global counters: registered once so the METRICS frame and
+   --metrics-json pick them up; EXPLAIN ANALYZE prints deltas. *)
+let hits_c = Obs.Counter.create ()
+let misses_c = Obs.Counter.create ()
+let evictions_c = Obs.Counter.create ()
+let writebacks_c = Obs.Counter.create ()
+
+let () =
+  Obs.register_counter "storage.pool.hits" hits_c;
+  Obs.register_counter "storage.pool.misses" misses_c;
+  Obs.register_counter "storage.pool.evictions" evictions_c;
+  Obs.register_counter "storage.pool.writebacks" writebacks_c
+
+let pool_hits () = Obs.Counter.value hits_c
+let pool_misses () = Obs.Counter.value misses_c
+let pool_evictions () = Obs.Counter.value evictions_c
+let pool_writebacks () = Obs.Counter.value writebacks_c
+
+type file = {
+  mutable fd : Unix.file_descr;
+  file_id : int;
+  fpath : string;
+  mutable fnpages : int;
+  mutable closed : bool;
+}
+
+type frame = {
+  buf : bytes;
+  mutable key : (int * int) option;  (* (file_id, page) *)
+  mutable owner : file option;
+  mutable pins : int;
+  mutable dirty : bool;
+  mutable refbit : bool;
+}
+
+type t = {
+  fr : frame array;
+  tbl : (int * int, int) Hashtbl.t;  (* key -> frame index *)
+  mutable hand : int;
+  mu : Mutex.t;
+  mutable next_file_id : int;
+  mutable files : file list;  (* open files, for flush fsync *)
+  mutable wal_barrier : unit -> unit;
+}
+
+let default_frames () =
+  match Sys.getenv_opt "XOMATIQ_POOL_PAGES" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n > 0 -> n
+     | _ -> 2048)
+  | None ->
+    (match Sys.getenv_opt "XOMATIQ_POOL_MB" with
+     | Some s ->
+       (match int_of_string_opt (String.trim s) with
+        | Some mb when mb > 0 -> mb * 1024 * 1024 / page_size
+        | _ -> 2048)
+     | None -> 2048)
+
+let create ?frames () =
+  let n = max 8 (match frames with Some n -> n | None -> default_frames ()) in
+  { fr =
+      Array.init n (fun _ ->
+          { buf = Bytes.create page_size; key = None; owner = None; pins = 0;
+            dirty = false; refbit = false });
+    tbl = Hashtbl.create (2 * n);
+    hand = 0;
+    mu = Mutex.create ();
+    next_file_id = 0;
+    files = [];
+    wal_barrier = (fun () -> ()) }
+
+let frames t = Array.length t.fr
+
+let set_wal_barrier t f = t.wal_barrier <- f
+
+let open_file t path0 =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  let fd = Unix.openfile path0 [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.LargeFile.fstat fd).Unix.LargeFile.st_size in
+  let npages = Int64.to_int (Int64.div (Int64.add size (Int64.of_int (page_size - 1)))
+                               (Int64.of_int page_size)) in
+  let f =
+    { fd; file_id = t.next_file_id; fpath = path0; fnpages = npages; closed = false }
+  in
+  t.next_file_id <- t.next_file_id + 1;
+  t.files <- f :: t.files;
+  f
+
+let npages f = f.fnpages
+let path f = f.fpath
+
+let allocate t f =
+  Mutex.lock t.mu;
+  let page = f.fnpages in
+  f.fnpages <- page + 1;
+  Mutex.unlock t.mu;
+  page
+
+(* ---- internals; all called with t.mu held ---- *)
+
+let read_page f page buf =
+  let off = Int64.mul (Int64.of_int page) (Int64.of_int page_size) in
+  ignore (Unix.LargeFile.lseek f.fd off Unix.SEEK_SET);
+  let rec go pos =
+    if pos >= page_size then ()
+    else
+      let n = Unix.read f.fd buf pos (page_size - pos) in
+      if n = 0 then Bytes.fill buf pos (page_size - pos) '\000'
+      else go (pos + n)
+  in
+  go 0
+
+let write_page f page buf =
+  let off = Int64.mul (Int64.of_int page) (Int64.of_int page_size) in
+  ignore (Unix.LargeFile.lseek f.fd off Unix.SEEK_SET);
+  let rec go pos =
+    if pos < page_size then begin
+      let n = Unix.write f.fd buf pos (page_size - pos) in
+      go (pos + n)
+    end
+  in
+  go 0
+
+let writeback t fri =
+  let fr = t.fr.(fri) in
+  match fr.key, fr.owner with
+  | Some (_, page), Some f when fr.dirty ->
+    t.wal_barrier ();
+    write_page f page fr.buf;
+    fr.dirty <- false;
+    Obs.Counter.incr writebacks_c
+  | _ -> fr.dirty <- false
+
+(* CLOCK: sweep for an unpinned frame, clearing reference bits; a frame
+   survives one sweep after its last use. *)
+let victim t =
+  let n = Array.length t.fr in
+  let rec go tries =
+    if tries > 2 * n then
+      failwith "Bufpool: all frames pinned (pool too small for concurrent pins)"
+    else begin
+      let i = t.hand in
+      t.hand <- (t.hand + 1) mod n;
+      let fr = t.fr.(i) in
+      if fr.pins > 0 then go (tries + 1)
+      else if fr.refbit then begin
+        fr.refbit <- false;
+        go (tries + 1)
+      end
+      else i
+    end
+  in
+  go 0
+
+let load t f page =
+  match Hashtbl.find_opt t.tbl (f.file_id, page) with
+  | Some i ->
+    Obs.Counter.incr hits_c;
+    i
+  | None ->
+    Obs.Counter.incr misses_c;
+    let i = victim t in
+    let fr = t.fr.(i) in
+    (match fr.key with
+     | Some k ->
+       if fr.dirty then begin
+         Obs.Counter.incr evictions_c;
+         writeback t i
+       end else Obs.Counter.incr evictions_c;
+       Hashtbl.remove t.tbl k
+     | None -> ());
+    read_page f page fr.buf;
+    fr.key <- Some (f.file_id, page);
+    fr.owner <- Some f;
+    fr.dirty <- false;
+    Hashtbl.replace t.tbl (f.file_id, page) i;
+    i
+
+let with_page_gen t f page ~dirty fn =
+  if page < 0 || page >= f.fnpages then
+    invalid_arg
+      (Printf.sprintf "Bufpool: page %d out of range (file %s has %d)" page
+         f.fpath f.fnpages);
+  Mutex.lock t.mu;
+  let i =
+    match load t f page with
+    | i ->
+      let fr = t.fr.(i) in
+      fr.pins <- fr.pins + 1;
+      fr.refbit <- true;
+      Mutex.unlock t.mu;
+      i
+    | exception e ->
+      Mutex.unlock t.mu;
+      raise e
+  in
+  let fr = t.fr.(i) in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.mu;
+      fr.pins <- fr.pins - 1;
+      if dirty then fr.dirty <- true;
+      Mutex.unlock t.mu)
+    (fun () -> fn fr.buf)
+
+let with_page t f page fn = with_page_gen t f page ~dirty:false fn
+let with_page_w t f page fn = with_page_gen t f page ~dirty:true fn
+
+let flush t =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  t.wal_barrier ();
+  Array.iteri (fun i fr -> if fr.dirty then writeback t i) t.fr;
+  List.iter (fun f -> if not f.closed then Unix.fsync f.fd) t.files
+
+let drop_frames t f =
+  Array.iter
+    (fun fr ->
+      match fr.key with
+      | Some ((fid, _) as k) when fid = f.file_id ->
+        Hashtbl.remove t.tbl k;
+        fr.key <- None;
+        fr.owner <- None;
+        fr.dirty <- false;
+        fr.refbit <- false
+      | _ -> ())
+    t.fr
+
+let truncate_file t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  drop_frames t f;
+  Unix.ftruncate f.fd 0;
+  f.fnpages <- 0
+
+let close_file t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  if not f.closed then begin
+    Array.iteri
+      (fun i fr ->
+        match fr.key with
+        | Some (fid, _) when fid = f.file_id -> if fr.dirty then writeback t i
+        | _ -> ())
+      t.fr;
+    Unix.fsync f.fd;
+    drop_frames t f;
+    Unix.close f.fd;
+    f.closed <- true;
+    t.files <- List.filter (fun g -> g.file_id <> f.file_id) t.files
+  end
+
+let remove_file t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  if not f.closed then begin
+    drop_frames t f;
+    Unix.close f.fd;
+    f.closed <- true;
+    t.files <- List.filter (fun g -> g.file_id <> f.file_id) t.files
+  end;
+  (try Sys.remove f.fpath with Sys_error _ -> ())

@@ -1,0 +1,71 @@
+(** Buffer pool: a fixed budget of 8 KiB frames caching pages of
+    registered page files, with CLOCK eviction over unpinned frames and
+    dirty-page writeback ordered behind the WAL.
+
+    Every on-disk structure (paged heaps, row maps, paged B+trees) reads
+    and writes its pages exclusively through [with_page]/[with_page_w],
+    which pin the frame for the duration of the callback: a pinned frame
+    is never evicted, so page bytes stay valid while a scan decodes them.
+    Before a dirty frame is written back the pool invokes the registered
+    WAL barrier (see {!set_wal_barrier}), so no page image ever reaches
+    disk ahead of the log records that produced it.
+
+    The pool is domain-safe: all frame-table bookkeeping happens under
+    one mutex (I/O included — eviction throughput is not a hot path;
+    scans hit pinned-frame reuse). Counters for hits, misses, evictions
+    and dirty writebacks are process-global and registered with {!Obs}
+    under [storage.pool.*]. *)
+
+val page_size : int
+(** 8192. *)
+
+type t
+type file
+
+val create : ?frames:int -> unit -> t
+(** [frames] defaults to [XOMATIQ_POOL_PAGES] (or [XOMATIQ_POOL_MB]
+    converted), falling back to 2048 frames = 16 MiB. Minimum 8. *)
+
+val frames : t -> int
+
+val open_file : t -> string -> file
+(** Open (creating if absent) a page file. [npages] is derived from the
+    current file size, rounding a torn final page up so it stays
+    addressable. *)
+
+val npages : file -> int
+val path : file -> string
+
+val allocate : t -> file -> int
+(** Extend the file by one (logical) page and return its index. The page
+    reads as zeroes until first written. *)
+
+val with_page : t -> file -> int -> (bytes -> 'a) -> 'a
+(** Pin the page's frame and run the callback on its 8 KiB image. *)
+
+val with_page_w : t -> file -> int -> (bytes -> 'a) -> 'a
+(** [with_page], additionally marking the frame dirty. *)
+
+val flush : t -> unit
+(** Write back every dirty frame (WAL barrier first) and fsync every
+    registered file. Frames stay cached. *)
+
+val truncate_file : t -> file -> unit
+(** Drop the file's cached frames without writeback and truncate it to
+    zero pages. *)
+
+val close_file : t -> file -> unit
+(** Write back the file's dirty frames, fsync, drop its frames, close. *)
+
+val remove_file : t -> file -> unit
+(** Drop the file's frames without writeback, close and unlink it. *)
+
+val set_wal_barrier : t -> (unit -> unit) -> unit
+(** Invoked before any dirty frame is written back and once per
+    {!flush}. The database installs [Wal.flush]. *)
+
+(** Process-global counter values (summed over all pools). *)
+val pool_hits : unit -> int
+val pool_misses : unit -> int
+val pool_evictions : unit -> int
+val pool_writebacks : unit -> int

@@ -53,7 +53,7 @@ let table_names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
   |> List.sort String.compare
 
-let add_index t ~table idx =
+let add_index ?(attach = false) t ~table idx =
   let tname = normalize table in
   let iname = normalize (Index.name idx) in
   match Hashtbl.find_opt t.tables tname with
@@ -62,7 +62,12 @@ let add_index t ~table idx =
     if Hashtbl.mem t.index_owner iname then
       Error (Printf.sprintf "index %S already exists" iname)
     else begin
-      match Table.add_index tbl idx with
+      match
+        (* attach: the index is already populated (paged index re-opened
+           after a clean shutdown); skip the build scan *)
+        if attach then Ok (Table.attach_index tbl idx)
+        else Table.add_index tbl idx
+      with
       | Error _ as e -> e
       | Ok () ->
         Hashtbl.add t.index_owner iname tname;

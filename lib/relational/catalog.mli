@@ -10,8 +10,10 @@ val drop_table : t -> string -> bool
 val find_table : t -> string -> Table.t option
 val table_names : t -> string list
 
-val add_index : t -> table:string -> Index.t -> (unit, string) result
-(** Registers and builds the index on the owning table. *)
+val add_index : ?attach:bool -> t -> table:string -> Index.t -> (unit, string) result
+(** Registers and builds the index on the owning table. With
+    [~attach:true] the index is registered without the build scan (it is
+    an already-populated paged index re-opened after a clean shutdown). *)
 
 val drop_index : t -> string -> bool
 val find_index : t -> string -> (Table.t * Index.t) option

@@ -2,6 +2,8 @@ type undo =
   | Undo_insert of { table : Table.t; rowid : int }
   | Undo_delete of { table : Table.t; rowid : int; row : Value.t array }
   | Undo_update of { table : Table.t; rowid : int; old_row : Value.t array }
+  | Undo_bulk of { table : Table.t; first : int; count : int }
+      (* one bulk load: rowids [first, first+count) tombstone on abort *)
 
 type txn = {
   txn_id : int;
@@ -16,6 +18,12 @@ type t = {
   mutable next_txid : int;
   mutable replaying : bool;
   mutable default_session : session option;  (* lazily created *)
+  storage : Storage.t option;  (* disk backend; None = in-memory rows *)
+  mutable attaching : bool;
+      (* replaying the manifest's final-state DDL against existing page
+         files: CREATE INDEX attaches instead of building *)
+  mutable temp_storage : bool;  (* data dir is ours to delete at close *)
+  mutable analyzed : string list;  (* tables with stats, for the manifest *)
 }
 
 (* A session is one client connection: it owns at most one open
@@ -97,7 +105,14 @@ let rollback_txn _t txn =
       | Undo_update { table; rowid; old_row } ->
         (match Table.update table rowid old_row with
          | Ok () -> ()
-         | Error m -> failwith ("rollback failed: " ^ m)))
+         | Error m -> failwith ("rollback failed: " ^ m))
+      | Undo_bulk { table; first; count } ->
+        (* tombstone the appended range, newest first; Index.remove of a
+           never-built entry is a no-op, so partially-built indexes roll
+           back consistently *)
+        for rowid = first + count - 1 downto first do
+          ignore (Table.delete table rowid)
+        done)
     txn.undo_ops
 
 let abort t txn =
@@ -302,7 +317,7 @@ let do_create_table t ~ddl_sql (ct : Sql_ast.stmt) =
                (c.cd_name, c.cd_type, not c.cd_not_null))
              columns)
       in
-      (match Catalog.add_table t.cat (Table.create schema) with
+      (match Catalog.add_table t.cat (Table.create ?storage:t.storage schema) with
        | Ok () ->
          Catalog.bump_version t.cat;
          log t (Wal.Ddl ddl_sql);
@@ -329,11 +344,12 @@ let do_create_index t ~ddl_sql ~name ~table ~columns ~unique ~kind =
     | Sql_ast.Btree_index -> Index.Btree
   in
   let idx =
-    Index.create ~name:(Catalog.normalize name) ~table:(Catalog.normalize table)
+    Index.create ?storage:t.storage ~name:(Catalog.normalize name)
+      ~table:(Catalog.normalize table)
       ~columns:(List.map String.lowercase_ascii columns)
       ~column_positions:positions ~unique ikind
   in
-  match Catalog.add_index t.cat ~table idx with
+  match Catalog.add_index ~attach:t.attaching t.cat ~table idx with
   | Ok () ->
     Catalog.bump_version t.cat;
     log t (Wal.Ddl ddl_sql);
@@ -350,7 +366,11 @@ let do_analyze t (stmt : Sql_ast.stmt) target =
         (fun n -> Option.map (fun tbl -> (n, tbl)) (Catalog.find_table t.cat n))
         (Catalog.table_names t.cat)
   in
-  List.iter (fun (n, tbl) -> Catalog.set_stats t.cat n (Stats.analyze tbl)) tables;
+  List.iter
+    (fun (n, tbl) ->
+      Catalog.set_stats t.cat n (Stats.analyze tbl);
+      if not (List.mem n t.analyzed) then t.analyzed <- t.analyzed @ [ n ])
+    tables;
   Catalog.bump_version t.cat;
   (* logged like DDL: replay recomputes statistics from the recovered data *)
   log t (Wal.Ddl (Sql_ast.stmt_to_string stmt));
@@ -427,7 +447,11 @@ let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
       ~unique ~kind
   | Drop_table { name; if_exists } as dt ->
     if s.s_txn <> None then error "DDL inside a transaction is not supported";
+    let victim = Catalog.find_table t.cat name in
     if Catalog.drop_table t.cat name then begin
+      Option.iter Table.destroy victim;  (* unlink page files (disk mode) *)
+      t.analyzed <-
+        List.filter (fun n -> n <> Catalog.normalize name) t.analyzed;
       Catalog.bump_version t.cat;
       log t (Wal.Ddl (Sql_ast.stmt_to_string dt));
       log_flush t;
@@ -437,7 +461,9 @@ let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
     else error "no such table %S" name
   | Drop_index { name; if_exists } as di ->
     if s.s_txn <> None then error "DDL inside a transaction is not supported";
+    let victim = Option.map snd (Catalog.find_index t.cat name) in
     if Catalog.drop_index t.cat name then begin
+      Option.iter Index.destroy victim;
       Catalog.bump_version t.cat;
       log t (Wal.Ddl (Sql_ast.stmt_to_string di));
       log_flush t;
@@ -497,6 +523,10 @@ let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
     in
     let ests = Cost.estimate t.cat planned.plan in
     let obs = Obs.create planned.plan in
+    let pool0 =
+      (Bufpool.pool_hits (), Bufpool.pool_misses (), Bufpool.pool_evictions (),
+       Bufpool.pool_writebacks ())
+    in
     let t0 = Obs.now_s () in
     let rows = List.of_seq (Executor.run t.cat ~obs planned.plan) in
     let elapsed_ms = (Obs.now_s () -. t0) *. 1000. in
@@ -506,10 +536,23 @@ let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
       Cost.annotation ests node ^ Obs.annotation obs node
       ^ (if vec then Rewrite.node_tag node else "")
     in
+    (* buffer-pool traffic of this query; only printed in disk mode so
+       in-memory EXPLAIN ANALYZE output is unchanged *)
+    let storage_line =
+      match t.storage with
+      | None -> ""
+      | Some _ ->
+        let h0, m0, e0, w0 = pool0 in
+        Printf.sprintf
+          "Storage: pool hits=%d misses=%d evictions=%d writebacks=%d\n"
+          (Bufpool.pool_hits () - h0) (Bufpool.pool_misses () - m0)
+          (Bufpool.pool_evictions () - e0) (Bufpool.pool_writebacks () - w0)
+    in
     Explained
       (Plan.to_string ~annot planned.plan
        ^ (if vec then Rewrite.footer planned.rewrites else "")
        ^ sched_footer planned
+       ^ storage_line
        ^ Printf.sprintf
            "Result: %d rows in %.3fms (operator rows=%d, index probes=%d, \
             hash build rows=%d)\n"
@@ -543,34 +586,185 @@ and replay t ops =
         (match Table.update tbl rowid row with
          | Ok () -> ()
          | Error m -> failwith ("recovery: " ^ m))
+      | Wal.Load { table; spool; rows; _ } ->
+        (* a committed bulk load: stream the spooled rows back in. The
+           row-by-row path (index maintenance included) is fine here —
+           recovery is not the hot path the spool optimised. *)
+        let tbl = find_table t table in
+        if not (Sys.file_exists spool) then
+          failwith
+            (Printf.sprintf "recovery: bulk-load spool %s is missing" spool);
+        let n = ref 0 in
+        Storage.spool_iter spool (fun row ->
+            match Table.insert tbl row with
+            | Ok _ -> incr n
+            | Error m -> failwith ("recovery: " ^ m));
+        if !n <> rows then
+          failwith
+            (Printf.sprintf "recovery: spool %s holds %d rows, WAL says %d"
+               spool !n rows)
       | Wal.Begin txid | Wal.Commit txid | Wal.Rollback txid ->
         if txid >= t.next_txid then t.next_txid <- txid + 1)
     ops
 
-let open_in_memory () =
+let mk_db ?storage () =
   { db_id = Atomic.fetch_and_add next_db_id 1;
     cat = Catalog.create (); wal = None; locks = Lock_manager.create ();
-    next_txid = 1; replaying = false; default_session = None }
+    next_txid = 1; replaying = false; default_session = None;
+    storage; attaching = false; temp_storage = false; analyzed = [] }
 
-let open_with_wal path =
-  Wal.trim_torn_tail path;
-  let all_ops = Wal.read_ops path in
-  let t = open_in_memory () in
-  replay t (Wal.committed_ops all_ops);
-  (* Advance past every txid in the log, including uncommitted (torn)
-     transactions: reusing such an id would let a later commit record
-     retroactively seal the torn operations on the next recovery. *)
+(* Advance past every txid in the log, including uncommitted (torn)
+   transactions: reusing such an id would let a later commit record
+   retroactively seal the torn operations on the next recovery. *)
+let advance_txids t ops =
   List.iter
     (fun (op : Wal.op) ->
       match op with
       | Wal.Begin txid | Wal.Commit txid | Wal.Rollback txid
       | Wal.Insert { txid; _ } | Wal.Delete { txid; _ }
-      | Wal.Update { txid; _ } ->
+      | Wal.Update { txid; _ } | Wal.Load { txid; _ } ->
         if txid >= t.next_txid then t.next_txid <- txid + 1
       | Wal.Ddl _ -> ())
-    all_ops;
-  t.wal <- Some (Wal.open_log path);
+    ops
+
+(* XOMATIQ_STORAGE=disk flips the default open paths onto the paged
+   backend without touching call sites. *)
+let env_disk () =
+  match Sys.getenv_opt "XOMATIQ_STORAGE" with
+  | Some s -> String.lowercase_ascii (String.trim s) = "disk"
+  | None -> false
+
+let temp_dir_serial = Atomic.make 0
+
+let fresh_temp_dir () =
+  let rec pick () =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "xomatiq-db-%d-%d" (Unix.getpid ())
+           (Atomic.fetch_and_add temp_dir_serial 1))
+    in
+    if Sys.file_exists d then pick () else d
+  in
+  let d = pick () in
+  Unix.mkdir d 0o755;
+  d
+
+let rec rm_rf p =
+  if Sys.is_directory p then begin
+    Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+    (try Unix.rmdir p with Unix.Unix_error _ -> ())
+  end
+  else try Sys.remove p with Sys_error _ -> ()
+
+(* Open a disk-backed database. The manifest decides between the two
+   recovery paths (see {!Storage}): when it is present and pins exactly
+   the WAL's current record count, the page files reflect a clean
+   shutdown and we attach by executing the manifest's final-state DDL
+   (tables and indexes open their existing files, no rebuild; statistics
+   are recomputed for the tables analyzed at shutdown). Anything else —
+   no manifest (crash), count mismatch (torn checkpoint) — wipes the
+   page directory and rebuilds from the committed WAL. The manifest is
+   deleted before either path so a crash mid-open cannot be mistaken for
+   a clean shutdown. *)
+let open_disk_at ~dir ~wal_path ~temp =
+  let st = Storage.create ~dir () in
+  let t = mk_db ~storage:st () in
+  t.temp_storage <- temp;
+  let manifest = Storage.read_manifest st in
+  Storage.drop_manifest st;
+  Option.iter Wal.trim_torn_tail wal_path;
+  let wal_lines = match wal_path with Some p -> Wal.line_count p | None -> 0 in
+  let all_ops = match wal_path with Some p -> Wal.read_ops p | None -> [] in
+  (match manifest with
+   | Some m when m.wal_lines = wal_lines ->
+     t.attaching <- true;
+     Fun.protect ~finally:(fun () -> t.attaching <- false) @@ fun () ->
+     List.iter
+       (fun ddl ->
+         match Sql_parser.parse ddl with
+         | stmt -> ignore (execute t stmt)
+         | exception e ->
+           failwith ("attach: bad DDL in manifest: " ^ Printexc.to_string e))
+       m.ddls;
+     (* statistics are not persisted; recompute them (sampled) *)
+     List.iter
+       (fun tbl -> ignore (execute t (Sql_ast.Analyze (Some tbl))))
+       m.analyzed
+   | _ ->
+     Storage.wipe_pages st;
+     replay t (Wal.committed_ops all_ops));
+  advance_txids t all_ops;
+  (match wal_path with Some p -> t.wal <- Some (Wal.open_log p) | None -> ());
+  Bufpool.set_wal_barrier (Storage.pool st) (fun () -> log_flush t);
   t
+
+let open_disk ?wal ~dir () = open_disk_at ~dir ~wal_path:wal ~temp:false
+
+let open_in_memory () =
+  if env_disk () then
+    (* same volatile semantics as the vector backend — no WAL, pages in
+       a private temp dir deleted at close — but all reads go through
+       the buffer pool *)
+    open_disk_at ~dir:(fresh_temp_dir ()) ~wal_path:None ~temp:true
+  else mk_db ()
+
+let open_with_wal path =
+  if env_disk () then
+    open_disk_at ~dir:(path ^ ".pages") ~wal_path:(Some path) ~temp:false
+  else begin
+    Wal.trim_torn_tail path;
+    let all_ops = Wal.read_ops path in
+    let t = mk_db () in
+    replay t (Wal.committed_ops all_ops);
+    advance_txids t all_ops;
+    t.wal <- Some (Wal.open_log path);
+    t
+  end
+
+let storage t = t.storage
+let is_disk t = t.storage <> None
+let data_dir t = Option.map Storage.dir t.storage
+
+(* Final-state DDL for the manifest: each table's CREATE TABLE (which
+   re-creates its implicit pkey index) followed by its secondary
+   indexes, tables in name order. *)
+let manifest_ddls t =
+  List.concat_map
+    (fun tname ->
+      match Catalog.find_table t.cat tname with
+      | None -> []
+      | Some tbl ->
+        let schema = Table.schema tbl in
+        let pkey_name = schema.Schema.table_name ^ "_pkey" in
+        Schema.to_string schema
+        :: List.filter_map
+             (fun idx ->
+               if Index.name idx = pkey_name then None
+               else
+                 Some
+                   (Printf.sprintf "CREATE %s%sINDEX %s ON %s (%s)"
+                      (if Index.is_unique idx then "UNIQUE " else "")
+                      (match Index.kind idx with
+                       | Index.Hash -> "HASH "
+                       | Index.Btree -> "")
+                      (Index.name idx) tname
+                      (String.concat ", " (Index.columns idx))))
+             (Table.indexes tbl))
+    (Catalog.table_names t.cat)
+
+let checkpoint t =
+  match t.storage with
+  | None -> ()
+  | Some st ->
+    (* order: log first, then pages, then the manifest that blesses them *)
+    log_flush t;
+    Bufpool.flush (Storage.pool st);
+    let wal_lines =
+      match t.wal with Some w -> Wal.line_count (Wal.path w) | None -> 0
+    in
+    Storage.write_manifest st
+      { Storage.wal_lines; ddls = manifest_ddls t; analyzed = t.analyzed }
 
 let close t =
   let s = default t in
@@ -579,7 +773,18 @@ let close t =
      abort t txn;
      s.s_txn <- None
    | None -> ());
-  Option.iter Wal.close t.wal
+  (match t.storage with
+   | None -> ()
+   | Some st ->
+     checkpoint t;
+     List.iter
+       (fun n -> Option.iter Table.close (Catalog.find_table t.cat n))
+       (Catalog.table_names t.cat);
+     ignore st);
+  Option.iter Wal.close t.wal;
+  match t.storage with
+  | Some st when t.temp_storage -> rm_rf (Storage.dir st)
+  | _ -> ()
 
 (* ---------------- public API ---------------- *)
 
@@ -634,6 +839,71 @@ let insert_rows t ~table rows =
        Catalog.bump_version t.cat;
        if auto then commit_txn t txn;
        Ok !count
+     with e ->
+       if auto then abort t txn;
+       raise e)
+  with
+  | Db_error m -> Error m
+  | Failure m -> Error m
+
+(* Spool-then-load: one WAL Load record stands in for per-row Insert
+   records; rows append through {!Table.append_bulk} (no per-row index
+   maintenance) and each index is then built in one pass — bottom-up
+   from an externally sorted run when it is an empty paged tree,
+   row-at-a-time over just the appended range otherwise. The final
+   table and index state is identical to per-row inserts of the same
+   rows: rowids are sequential appends either way, and per-key posting
+   order is rowid-ascending under both build strategies. *)
+let bulk_load t ~table ~spool ~rows =
+  try
+    let tbl = find_table t table in
+    let s = default t in
+    let txn, auto = charge s in
+    (try
+       lock_table s txn Lock_manager.Exclusive table;
+       let first = Table.next_rowid tbl in
+       log t
+         (Wal.Load
+            { txid = txn.txn_id; table = Catalog.normalize table; spool; rows });
+       (* undo first: a failure mid-append must still tombstone the rows
+          already in (deleting past the end is a no-op) *)
+       txn.undo_ops <- Undo_bulk { table = tbl; first; count = rows } :: txn.undo_ops;
+       let n = ref 0 in
+       Storage.spool_iter spool (fun row ->
+           match Table.append_bulk tbl row with
+           | Ok _ -> incr n
+           | Error m -> error "%s" m);
+       if !n <> rows then
+         error "bulk load: spool %s holds %d rows, expected %d" spool !n rows;
+       List.iter
+         (fun idx ->
+           if Index.is_paged idx && Index.entry_count idx = 0 then begin
+             let pairs =
+               Seq.map
+                 (fun (rowid, row) ->
+                   (Rowcodec.encode (Index.key_of_row idx row), rowid))
+                 (Table.scan tbl)
+             in
+             let sorted =
+               match t.storage with
+               | Some st -> Storage.external_sort st ~name:(Index.name idx) pairs
+               | None -> assert false (* paged index implies disk backend *)
+             in
+             match Index.bulk_load idx sorted with
+             | Ok () -> ()
+             | Error m -> error "%s" m
+           end
+           else
+             Seq.iter
+               (fun (rowid, row) ->
+                 match Index.insert idx row rowid with
+                 | Ok () -> ()
+                 | Error m -> error "%s" m)
+               (Table.scan_range tbl ~lo:first ~hi:(first + !n)))
+         (Table.indexes tbl);
+       Catalog.bump_version t.cat;
+       if auto then commit_txn t txn;
+       Ok !n
      with e ->
        if auto then abort t txn;
        raise e)

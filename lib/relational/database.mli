@@ -3,7 +3,14 @@
 
     Supports in-memory operation or WAL-backed durability with crash
     recovery, explicit transactions with rollback, DDL, DML, queries and
-    EXPLAIN. *)
+    EXPLAIN.
+
+    Two row-storage backends share every code path above the table
+    layer: the in-memory vector store, and an out-of-core paged store
+    (heap files and on-disk B+trees read through a buffer pool, see
+    {!Storage}). [XOMATIQ_STORAGE=disk] flips {!open_in_memory} and
+    {!open_with_wal} onto the paged backend without touching call
+    sites; {!open_disk} selects it explicitly. *)
 
 type t
 
@@ -14,12 +21,35 @@ type result =
   | Done of string   (** DDL / transaction control acknowledgement *)
 
 val open_in_memory : unit -> t
+(** Volatile database. Under [XOMATIQ_STORAGE=disk] the rows still live
+    in page files (in a private temp directory, deleted at close) so the
+    whole testsuite exercises the paged backend. *)
 
 val open_with_wal : string -> t
 (** Open a database durably backed by the WAL at [path]. If the file
-    exists, committed history is replayed (crash recovery). *)
+    exists, committed history is replayed (crash recovery). Under
+    [XOMATIQ_STORAGE=disk] pages live beside the log in [path ^
+    ".pages"]. *)
+
+val open_disk : ?wal:string -> dir:string -> unit -> t
+(** Open the paged backend at [dir] explicitly. With [wal]: if the
+    directory's manifest proves a clean shutdown against the log, the
+    existing page files are attached as-is (no replay); otherwise the
+    pages are wiped and rebuilt from the committed WAL. Without [wal]
+    there is no durability across a crash, only across {!close}. *)
 
 val close : t -> unit
+(** Aborts any open default-session transaction. Disk backend: runs a
+    final {!checkpoint} and closes every page file; a database closed
+    this way re-opens by attach, not replay. *)
+
+val checkpoint : t -> unit
+(** Disk backend: flush the WAL, write back every dirty page (fsync) and
+    write the manifest blessing the page files. No-op in memory. *)
+
+val storage : t -> Storage.t option
+val is_disk : t -> bool
+val data_dir : t -> string option
 
 val catalog : t -> Catalog.t
 
@@ -44,6 +74,18 @@ val insert_rows :
 (** Bulk insert of pre-built rows (the prepared-statement fast path used
     by the XML2Relational loader). Transactional and WAL-logged exactly
     like an INSERT statement; returns the number of rows inserted. *)
+
+val bulk_load :
+  t -> table:string -> spool:string -> rows:int -> (int, string) Stdlib.result
+(** Spool-then-load: append the rows of a spool file (written with
+    {!Storage.spool_create}/{!Storage.spool_add}) under a single WAL
+    Load record — no per-row logging — then build each of the table's
+    indexes in one pass (bottom-up from an externally sorted run when
+    the index is an empty paged B+tree). Transactional: joins the open
+    default-session transaction or auto-commits, and rolls back like
+    any other statement. The resulting table and index state is
+    identical to inserting the same rows one by one. The spool must
+    outlive the WAL (recovery re-reads it). *)
 
 val exec_script : t -> string -> (int, string) Stdlib.result
 (** Run a [;]-separated script, stopping at the first error; returns the

@@ -1,0 +1,295 @@
+(* Paged heap file: the on-disk row store behind [Table] in disk mode.
+   One heap is two page files served by the buffer pool:
+
+     <base>.heap   data pages: u16 used-offset header, then records
+                   appended back to back as [u32 len | payload]. A record
+                   whose payload exceeds one page is stored as a stub
+                   ([len] with the high bit set, payload = u32 first
+                   overflow page) chaining whole-page overflow segments
+                   [u32 next | u32 nbytes | bytes].
+     <base>.map    rowid directory: page 0 is the meta page (magic,
+                   next_rowid, live count, data-file append tail); every
+                   other page holds 1024 fixed 8-byte entries
+                   [u32 data_page | u16 offset | u16 flags], so entry
+                   lookup is one page pin. flags bit0 = live, bit1 =
+                   slot occupied (a tombstone keeps its location so
+                   transaction rollback can undelete in place).
+
+   Rowids are assigned sequentially and never reused — exactly the
+   in-memory [Vector.length] discipline — so a heap-backed table is
+   rowid-for-rowid identical to its in-memory twin. *)
+
+let ps = Bufpool.page_size
+let none32 = 0xFFFFFFFF
+let entries_per_page = ps / 8 (* 1024 *)
+let magic = "XQHEAP01"
+
+(* A record payload that fits a fresh data page is stored inline. *)
+let max_inline = ps - 2 - 4
+let ovf_capacity = ps - 8
+let ovf_flag = 0x40000000
+
+type t = {
+  pool : Bufpool.t;
+  data : Bufpool.file;
+  map : Bufpool.file;
+  base : string;
+  (* meta-page mirror, written through on every mutation *)
+  mutable next_rowid : int;
+  mutable live : int;
+  mutable tail_page : int; (* data page open for appends; none32 if none *)
+}
+
+let get_u16 b off = Bytes.get_uint16_le b off
+let set_u16 b off v = Bytes.set_uint16_le b off v
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let get_u48 b off = Int64.to_int (Bytes.get_int64_le b off)
+let set_u48 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+let write_meta t =
+  Bufpool.with_page_w t.pool t.map 0 (fun b ->
+      Bytes.blit_string magic 0 b 0 8;
+      set_u48 b 8 t.next_rowid;
+      set_u48 b 16 t.live;
+      set_u32 b 24 t.tail_page)
+
+let create pool ~base =
+  let data = Bufpool.open_file pool (base ^ ".heap") in
+  let map = Bufpool.open_file pool (base ^ ".map") in
+  if Bufpool.npages map = 0 then begin
+    let t = { pool; data; map; base; next_rowid = 0; live = 0; tail_page = none32 } in
+    ignore (Bufpool.allocate pool map);
+    write_meta t;
+    t
+  end
+  else
+    Bufpool.with_page pool map 0 (fun b ->
+        if Bytes.sub_string b 0 8 <> magic then
+          failwith (Printf.sprintf "heap %s: bad magic in map file" base);
+        { pool; data; map; base;
+          next_rowid = get_u48 b 8; live = get_u48 b 16; tail_page = get_u32 b 24 })
+
+let next_rowid t = t.next_rowid
+let live t = t.live
+
+(* ---- record append ---- *)
+
+(* Append [enc] to the data file; returns (page, offset) of its record
+   header. *)
+let append_record t enc =
+  let len = String.length enc in
+  let inline = len <= max_inline in
+  let need = if inline then 4 + len else 4 + 4 in
+  (* the tail page, opening a fresh one when the record doesn't fit *)
+  let tail_fits =
+    t.tail_page <> none32
+    && Bufpool.with_page t.pool t.data t.tail_page (fun b -> get_u16 b 0 + need <= ps)
+  in
+  if not tail_fits then begin
+    let p = Bufpool.allocate t.pool t.data in
+    Bufpool.with_page_w t.pool t.data p (fun b ->
+        Bytes.fill b 0 ps '\000';
+        set_u16 b 0 2);
+    t.tail_page <- p
+  end;
+  let page = t.tail_page in
+  let off =
+    Bufpool.with_page_w t.pool t.data page (fun b ->
+        let off = get_u16 b 0 in
+        if inline then begin
+          set_u32 b off len;
+          Bytes.blit_string enc 0 b (off + 4) len
+        end;
+        set_u16 b 0 (off + need);
+        off)
+  in
+  if not inline then begin
+    (* spill the payload into a chain of whole overflow pages, then patch
+       the stub *)
+    let nseg = (len + ovf_capacity - 1) / ovf_capacity in
+    let pages = Array.init nseg (fun _ -> Bufpool.allocate t.pool t.data) in
+    Array.iteri
+      (fun i p ->
+        let pos = i * ovf_capacity in
+        let n = min ovf_capacity (len - pos) in
+        Bufpool.with_page_w t.pool t.data p (fun b ->
+            set_u32 b 0 (if i + 1 < nseg then pages.(i + 1) else none32);
+            set_u32 b 4 n;
+            Bytes.blit_string enc pos b 8 n))
+      pages;
+    Bufpool.with_page_w t.pool t.data page (fun b ->
+        set_u32 b off (ovf_flag lor len);
+        set_u32 b (off + 4) pages.(0))
+  end;
+  (page, off)
+
+let read_record t page off =
+  (* Decode in-place under one pin for the common non-overflow case. *)
+  let len, first, row =
+    Bufpool.with_page t.pool t.data page (fun b ->
+        let len = get_u32 b off in
+        if len land ovf_flag <> 0 then
+          (len land lnot ovf_flag, get_u32 b (off + 4), None)
+        else (len, none32, Some (fst (Rowcodec.decode b (off + 4)))))
+  in
+  match row with
+  | Some row -> row
+  | None ->
+    begin
+    let buf = Bytes.create len in
+    let rec chain p pos =
+      if p <> none32 then
+        let next =
+          Bufpool.with_page t.pool t.data p (fun b ->
+              let n = get_u32 b 4 in
+              Bytes.blit b 8 buf pos n;
+              (get_u32 b 0, pos + n))
+        in
+        chain (fst next) (snd next)
+    in
+    chain first 0;
+    fst (Rowcodec.decode buf 0)
+  end
+
+(* ---- rowid directory ---- *)
+
+let entry_loc rowid = (1 + (rowid / entries_per_page), rowid mod entries_per_page * 8)
+
+let read_entry t rowid =
+  let mpage, eoff = entry_loc rowid in
+  Bufpool.with_page t.pool t.map mpage (fun b ->
+      (get_u32 b eoff, get_u16 b (eoff + 4), get_u16 b (eoff + 6)))
+
+let write_entry t rowid (page, off, flags) =
+  let mpage, eoff = entry_loc rowid in
+  while mpage >= Bufpool.npages t.map do
+    let p = Bufpool.allocate t.pool t.map in
+    Bufpool.with_page_w t.pool t.map p (fun b -> Bytes.fill b 0 ps '\000')
+  done;
+  Bufpool.with_page_w t.pool t.map mpage (fun b ->
+      set_u32 b eoff page;
+      set_u16 b (eoff + 4) off;
+      set_u16 b (eoff + 6) flags)
+
+(* ---- public operations ---- *)
+
+let insert t row =
+  let rowid = t.next_rowid in
+  let page, off = append_record t (Rowcodec.encode row) in
+  write_entry t rowid (page, off, 0b11);
+  t.next_rowid <- rowid + 1;
+  t.live <- t.live + 1;
+  write_meta t;
+  rowid
+
+let get t rowid =
+  if rowid < 0 || rowid >= t.next_rowid then None
+  else
+    let page, off, flags = read_entry t rowid in
+    if flags land 1 = 0 then None else Some (read_record t page off)
+
+let delete t rowid =
+  if rowid < 0 || rowid >= t.next_rowid then false
+  else
+    let page, off, flags = read_entry t rowid in
+    flags land 1 = 1
+    && begin
+      write_entry t rowid (page, off, 0b10);
+      t.live <- t.live - 1;
+      write_meta t;
+      true
+    end
+
+let undelete t rowid =
+  if rowid < 0 || rowid >= t.next_rowid then false
+  else
+    let page, off, flags = read_entry t rowid in
+    flags land 0b11 = 0b10
+    && begin
+      write_entry t rowid (page, off, 0b11);
+      t.live <- t.live + 1;
+      write_meta t;
+      true
+    end
+
+let update t rowid row =
+  let page, off = append_record t (Rowcodec.encode row) in
+  write_entry t rowid (page, off, 0b11)
+
+(* One map page worth of live rows, decoded in rowid order. Consecutive
+   entries on the same data page share one pin. *)
+let chunk t ~lo ~hi =
+  let mpage = 1 + (lo / entries_per_page) in
+  let base = (mpage - 1) * entries_per_page in
+  let first = lo - base and last = min (hi - base) entries_per_page in
+  let locs =
+    Bufpool.with_page t.pool t.map mpage (fun b ->
+        let acc = ref [] in
+        for slot = last - 1 downto first do
+          let eoff = slot * 8 in
+          if get_u16 b (eoff + 6) land 1 = 1 then
+            acc := (base + slot, get_u32 b eoff, get_u16 b (eoff + 4)) :: !acc
+        done;
+        !acc)
+  in
+  (* pin each data page once per consecutive same-page run (appends keep
+     rows page-clustered; an update may relocate one row out of line) *)
+  let out = ref [] in
+  let rec go = function
+    | [] -> ()
+    | (_, page, _) :: _ as l ->
+      let rec split acc = function
+        | (_, p, _) as e :: rest when p = page -> split (e :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let run, rest = split [] l in
+      Bufpool.with_page t.pool t.data page (fun b ->
+          List.iter
+            (fun (rowid, _, off) ->
+              let len = get_u32 b off in
+              let row =
+                if len land ovf_flag <> 0 then read_record t page off
+                else fst (Rowcodec.decode b (off + 4))
+              in
+              out := (rowid, row) :: !out)
+            run);
+      go rest
+  in
+  go locs;
+  List.rev !out
+
+let scan_range t ~lo ~hi =
+  let hi = min hi t.next_rowid in
+  let rec pages lo () =
+    if lo >= hi then Seq.Nil
+    else begin
+      let stop = min hi ((lo / entries_per_page + 1) * entries_per_page) in
+      let rec emit = function
+        | [] -> pages stop ()
+        | r :: rest -> Seq.Cons (r, fun () -> emit rest)
+      in
+      emit (chunk t ~lo ~hi:stop)
+    end
+  in
+  pages (max 0 lo)
+
+let truncate t =
+  Bufpool.truncate_file t.pool t.data;
+  Bufpool.truncate_file t.pool t.map;
+  t.next_rowid <- 0;
+  t.live <- 0;
+  t.tail_page <- none32;
+  ignore (Bufpool.allocate t.pool t.map);
+  write_meta t
+
+let sync t = write_meta t
+
+let close t =
+  write_meta t;
+  Bufpool.close_file t.pool t.data;
+  Bufpool.close_file t.pool t.map
+
+let destroy t =
+  Bufpool.remove_file t.pool t.data;
+  Bufpool.remove_file t.pool t.map

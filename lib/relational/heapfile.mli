@@ -1,0 +1,50 @@
+(** Paged heap file: the on-disk row store behind {!Table} in disk mode.
+
+    Two buffer-pool page files per heap — [<base>.heap] holds records
+    appended back to back (with overflow chains for rows bigger than a
+    page) and [<base>.map] is a fixed-width rowid directory plus a meta
+    page (next rowid, live count, append tail). Rowids are assigned
+    sequentially and never reused, and a delete only clears the entry's
+    live flag, so rowid assignment and tombstone behaviour are identical
+    to the in-memory [Vector]-backed table. Page contents are only
+    trusted after a clean shutdown; see {!Storage} for the manifest
+    protocol. *)
+
+type t
+
+val create : Bufpool.t -> base:string -> t
+(** Open (attaching to existing page files, creating them otherwise) the
+    heap stored at [base ^ ".heap"] / [base ^ ".map"]. *)
+
+val next_rowid : t -> int
+(** The rowid the next insert will receive (= slots ever allocated). *)
+
+val live : t -> int
+
+val insert : t -> Value.t array -> int
+val get : t -> int -> Value.t array option
+
+val delete : t -> int -> bool
+(** Clear the live flag; the record location is kept for {!undelete}. *)
+
+val undelete : t -> int -> bool
+(** Restore a tombstoned slot's live flag (rollback of a delete; the
+    stored image is the pre-delete image by construction). *)
+
+val update : t -> int -> Value.t array -> unit
+(** Append the new image and repoint the directory entry. The caller
+    guarantees the slot is live. *)
+
+val scan_range : t -> lo:int -> hi:int -> (int * Value.t array) Seq.t
+(** Live rows with [lo <= rowid < hi] in rowid order, decoded one
+    directory page (1024 slots) at a time through buffer-pool pins. *)
+
+val truncate : t -> unit
+val sync : t -> unit
+(** Write the meta mirror through to its (cached) page. *)
+
+val close : t -> unit
+(** [sync], then write back and close both files. *)
+
+val destroy : t -> unit
+(** Drop cached frames and unlink both files. *)

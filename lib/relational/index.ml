@@ -15,9 +15,13 @@ end
 
 module KeyTbl = Hashtbl.Make (Key)
 
+(* In disk mode both declared kinds are backed by a paged B+tree (the
+   declared kind is kept so planner behaviour — e.g. hash indexes
+   rejecting range scans — is identical across backends). *)
 type impl =
   | Hash_impl of int list KeyTbl.t  (* reversed insertion order *)
   | Btree_impl of int Btree.t
+  | Paged_impl of Btree_paged.t
 
 type t = {
   idx_name : string;
@@ -26,20 +30,31 @@ type t = {
   idx_positions : int list;
   idx_unique : bool;
   idx_kind : kind;
-  impl : impl;
-  mutable distinct : int;
+  mutable impl : impl;
+  mutable distinct : int;   (* mem impls only; paged trees self-count *)
   mutable entries : int;
+  (* Paged only: posting lists memoized by key, so repeated equality
+     probes (disk-mode hash-index lookups are paged-tree descents) hit a
+     flat hashtable instead. Bounded; cleared wholesale when full; the
+     probed key is evicted on any mutation touching it. *)
+  post_cache : int list KeyTbl.t;
 }
 
-let create ~name ~table ~columns ~column_positions ~unique kind =
+let post_cache_cap = 4096
+
+let create ?storage ~name ~table ~columns ~column_positions ~unique kind =
   let impl =
-    match kind with
-    | Hash -> Hash_impl (KeyTbl.create 256)
-    | Btree -> Btree_impl (Btree.create ())
+    match storage with
+    | Some st ->
+      Paged_impl (Btree_paged.create (Storage.pool st) ~path:(Storage.index_path st name))
+    | None ->
+      (match kind with
+       | Hash -> Hash_impl (KeyTbl.create 256)
+       | Btree -> Btree_impl (Btree.create ()))
   in
   { idx_name = name; idx_table = table; idx_columns = columns;
     idx_positions = column_positions; idx_unique = unique; idx_kind = kind;
-    impl; distinct = 0; entries = 0 }
+    impl; distinct = 0; entries = 0; post_cache = KeyTbl.create 64 }
 
 let name t = t.idx_name
 let table t = t.idx_table
@@ -47,6 +62,7 @@ let columns t = t.idx_columns
 let column_positions t = t.idx_positions
 let is_unique t = t.idx_unique
 let kind t = t.idx_kind
+let is_paged t = match t.impl with Paged_impl _ -> true | _ -> false
 
 let key_of_row t row =
   Array.of_list (List.map (fun i -> row.(i)) t.idx_positions)
@@ -55,6 +71,19 @@ let lookup t key =
   match t.impl with
   | Hash_impl tbl -> (match KeyTbl.find_opt tbl key with Some l -> List.rev l | None -> [])
   | Btree_impl bt -> Btree.find bt key
+  | Paged_impl bt ->
+    (match KeyTbl.find_opt t.post_cache key with
+     | Some l -> l
+     | None ->
+       let l = Btree_paged.find bt key in
+       if KeyTbl.length t.post_cache >= post_cache_cap then
+         KeyTbl.reset t.post_cache;
+       KeyTbl.add t.post_cache key l;
+       l)
+
+let unique_violation t key =
+  Printf.sprintf "unique index %S violated by key (%s)" t.idx_name
+    (String.concat ", " (List.map Value.to_literal (Array.to_list key)))
 
 let insert t row rowid =
   let key = key_of_row t row in
@@ -64,12 +93,9 @@ let insert t row rowid =
     match t.impl with
     | Hash_impl tbl -> KeyTbl.mem tbl key
     | Btree_impl bt -> Btree.mem bt key
+    | Paged_impl bt -> Btree_paged.mem bt key
   in
-  if t.idx_unique && key_exists then
-    Error
-      (Printf.sprintf "unique index %S violated by key (%s)" t.idx_name
-         (String.concat ", "
-            (List.map Value.to_literal (Array.to_list key))))
+  if t.idx_unique && key_exists then Error (unique_violation t key)
   else begin
     (match t.impl with
      | Hash_impl tbl ->
@@ -77,11 +103,15 @@ let insert t row rowid =
         | Some l -> KeyTbl.replace tbl key (rowid :: l)
         | None ->
           KeyTbl.add tbl key [ rowid ];
-          t.distinct <- t.distinct + 1)
+          t.distinct <- t.distinct + 1);
+       t.entries <- t.entries + 1
      | Btree_impl bt ->
        if not key_exists then t.distinct <- t.distinct + 1;
-       Btree.insert bt key rowid);
-    t.entries <- t.entries + 1;
+       Btree.insert bt key rowid;
+       t.entries <- t.entries + 1
+     | Paged_impl bt ->
+       KeyTbl.remove t.post_cache key;
+       Btree_paged.insert ~key_exists bt key rowid);
     Ok ()
   end
 
@@ -104,12 +134,62 @@ let remove t row rowid =
     Btree.remove bt key (fun id -> id = rowid);
     t.entries <- t.entries - (before - Btree.entry_count bt);
     t.distinct <- t.distinct - (dbefore - Btree.cardinal bt)
+  | Paged_impl bt ->
+    KeyTbl.remove t.post_cache key;
+    Btree_paged.remove bt key (fun id -> id = rowid)
 
 let range ?lo ?hi t =
-  match t.impl with
-  | Hash_impl _ ->
+  (* SQL comparison semantics: a NULL key component never satisfies a
+     range predicate, but the tree orders Null below everything, so an
+     unbounded low end would sweep the NULL run up. Start one-sided
+     scans just above the all-Null prefix and drop any remaining
+     NULL-bearing keys (composite keys can interleave). *)
+  let lo =
+    match lo with
+    | Some _ -> lo
+    | None -> Some (Array.make (List.length t.idx_positions) Value.Null, false)
+  in
+  let non_null (k, _) = not (Array.exists (fun v -> v = Value.Null) k) in
+  match t.idx_kind, t.impl with
+  | Hash, _ ->
     invalid_arg (Printf.sprintf "index %S is a hash index: no range scans" t.idx_name)
-  | Btree_impl bt -> Seq.map snd (Btree.range ?lo ?hi bt)
+  | Btree, Btree_impl bt -> Seq.map snd (Seq.filter non_null (Btree.range ?lo ?hi bt))
+  | Btree, Paged_impl bt ->
+    Seq.map snd (Seq.filter non_null (Btree_paged.range ?lo ?hi bt))
+  | Btree, Hash_impl _ -> assert false
 
-let cardinality t = t.distinct
-let entry_count t = t.entries
+let cardinality t =
+  match t.impl with Paged_impl bt -> Btree_paged.cardinal bt | _ -> t.distinct
+
+let entry_count t =
+  match t.impl with Paged_impl bt -> Btree_paged.entry_count bt | _ -> t.entries
+
+let clear t =
+  match t.impl with
+  | Hash_impl tbl ->
+    KeyTbl.reset tbl;
+    t.distinct <- 0;
+    t.entries <- 0
+  | Btree_impl _ ->
+    t.impl <- Btree_impl (Btree.create ());
+    t.distinct <- 0;
+    t.entries <- 0
+  | Paged_impl bt ->
+    KeyTbl.reset t.post_cache;
+    Btree_paged.truncate bt
+
+let bulk_load t pairs =
+  match t.impl with
+  | Paged_impl bt ->
+    (try
+       KeyTbl.reset t.post_cache;
+       Btree_paged.bulk_load ~unique:t.idx_unique bt pairs;
+       Ok ()
+     with Btree_paged.Duplicate key -> Error (unique_violation t key))
+  | _ -> invalid_arg "Index.bulk_load: in-memory index"
+
+let close t =
+  match t.impl with Paged_impl bt -> Btree_paged.close bt | _ -> ()
+
+let destroy t =
+  match t.impl with Paged_impl bt -> Btree_paged.destroy bt | _ -> ()

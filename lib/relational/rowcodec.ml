@@ -1,0 +1,76 @@
+(* Binary row-image codec shared by the paged heap, the paged B+tree and
+   the bulk-load machinery. The encoding round-trips every Value.t
+   exactly (floats travel as their IEEE bit pattern), so a row written by
+   the in-memory engine and read back from a page compares byte-identical
+   under Value.compare_total / Value.equal.
+
+   Layout: u16 arity, then per value a tag byte:
+     'N'  Null
+     'I'  Int,   8-byte LE two's complement
+     'F'  Float, 8-byte LE IEEE-754 bit pattern
+     'T'  Text,  u32 LE length + bytes
+     'B'  Bool,  1 byte (0/1) *)
+
+let add_value buf (v : Value.t) =
+  match v with
+  | Value.Null -> Buffer.add_char buf 'N'
+  | Value.Int i ->
+    Buffer.add_char buf 'I';
+    Buffer.add_int64_le buf (Int64.of_int i)
+  | Value.Float f ->
+    Buffer.add_char buf 'F';
+    Buffer.add_int64_le buf (Int64.bits_of_float f)
+  | Value.Text s ->
+    Buffer.add_char buf 'T';
+    Buffer.add_int32_le buf (Int32.of_int (String.length s));
+    Buffer.add_string buf s
+  | Value.Bool b ->
+    Buffer.add_char buf 'B';
+    Buffer.add_char buf (if b then '\001' else '\000')
+
+let encode_to buf (row : Value.t array) =
+  Buffer.add_uint16_le buf (Array.length row);
+  Array.iter (add_value buf) row
+
+let encode row =
+  let buf = Buffer.create 64 in
+  encode_to buf row;
+  Buffer.contents buf
+
+(* [decode b pos] reads one row image starting at [pos]; returns the row
+   and the position just past it. Raises [Failure] on a malformed image
+   (only reachable through on-disk corruption). *)
+let decode (b : bytes) pos : Value.t array * int =
+  let arity = Bytes.get_uint16_le b pos in
+  let pos = ref (pos + 2) in
+  let value () =
+    let tag = Bytes.get b !pos in
+    incr pos;
+    match tag with
+    | 'N' -> Value.Null
+    | 'I' ->
+      let v = Int64.to_int (Bytes.get_int64_le b !pos) in
+      pos := !pos + 8;
+      Value.Int v
+    | 'F' ->
+      let v = Int64.float_of_bits (Bytes.get_int64_le b !pos) in
+      pos := !pos + 8;
+      Value.Float v
+    | 'T' ->
+      let len = Int32.to_int (Bytes.get_int32_le b !pos) in
+      pos := !pos + 4;
+      let s = Bytes.sub_string b !pos len in
+      pos := !pos + len;
+      Value.Text s
+    | 'B' ->
+      let v = Bytes.get b !pos <> '\000' in
+      incr pos;
+      Value.Bool v
+    | c -> failwith (Printf.sprintf "Rowcodec: bad value tag %C" c)
+  in
+  let row = Array.init arity (fun _ -> value ()) in
+  (row, !pos)
+
+let decode_string s =
+  let row, _ = decode (Bytes.unsafe_of_string s) 0 in
+  row

@@ -4,7 +4,13 @@
    the number of distinct values, min/max, and an equi-depth histogram
    (quantile boundaries over the sorted non-null values). The planner
    turns these into selectivity estimates; without statistics it falls
-   back to the textbook constants below (the pre-ANALYZE behaviour). *)
+   back to the textbook constants below (the pre-ANALYZE behaviour).
+
+   Above [sample_target] live rows the scan keeps only every k-th row
+   (systematic sampling in rowid order — deterministic, so the memory
+   and disk backends compute identical statistics) and scales the
+   per-column counts back up; an out-of-core table is never
+   materialised in full. *)
 
 type column_stats = {
   non_null : int;
@@ -31,10 +37,35 @@ let default_range = 0.25
 let default_like = 0.25
 let default_other = 0.5
 
+let sample_target = 50_000
+
 let analyze table =
   let schema = Table.schema table in
-  let rows = List.of_seq (Seq.map snd (Table.scan table)) in
-  let n = List.length rows in
+  let live = Table.row_count table in
+  let step =
+    if live <= sample_target then 1
+    else (live + sample_target - 1) / sample_target
+  in
+  let rows =
+    if step = 1 then List.of_seq (Seq.map snd (Table.scan table))
+    else begin
+      let k = ref 0 in
+      List.of_seq
+        (Seq.filter_map
+           (fun (_, row) ->
+             let keep = !k mod step = 0 in
+             incr k;
+             if keep then Some row else None)
+           (Table.scan table))
+    end
+  in
+  let n = List.length rows in  (* sample size; = live when step = 1 *)
+  (* scale a sample count back to the full table *)
+  let scale c =
+    if step = 1 then c
+    else if n = 0 then 0
+    else min live (int_of_float (float_of_int c *. float_of_int live /. float_of_int n))
+  in
   let column i name =
     let values =
       List.filter_map
@@ -59,15 +90,23 @@ let analyze table =
         Array.init (nb + 1) (fun b -> sorted.(b * (non_null - 1) / nb))
       end
     in
+    (* distinct scaling: a mostly-unique sample suggests a mostly-unique
+       column (scale linearly); a low-cardinality sample has likely seen
+       every value (keep as is) *)
+    let distinct_est =
+      if step = 1 || non_null = 0 then n_distinct
+      else if 2 * n_distinct >= non_null then scale n_distinct
+      else n_distinct
+    in
     ( String.lowercase_ascii name,
-      { non_null;
+      { non_null = scale non_null;
         null_frac = (if n = 0 then 0. else float_of_int (n - non_null) /. float_of_int n);
-        n_distinct;
+        n_distinct = distinct_est;
         min_v = (if non_null = 0 then None else Some sorted.(0));
         max_v = (if non_null = 0 then None else Some sorted.(non_null - 1));
         boundaries } )
   in
-  { st_rows = n;
+  { st_rows = live;
     st_columns = List.mapi column (Schema.column_names schema) }
 
 let find_column ts name =

@@ -1,0 +1,268 @@
+(* Disk-backend context: one buffer pool and one data directory shared
+   by every paged structure of a database, plus the small file formats
+   that tie recovery together.
+
+   Directory layout:
+
+     <dir>/heap/<table>.{heap,map}   paged heaps (Heapfile)
+     <dir>/idx/<index>.bt            paged B+trees (Btree_paged)
+     <dir>/spool/...                 bulk-load spools + sort runs
+     <dir>/MANIFEST                  clean-shutdown marker
+
+   Page files carry no per-page LSNs, so their contents are only trusted
+   after a clean shutdown. The manifest — written atomically at
+   checkpoint/close, deleted first thing at open — records the WAL line
+   count the pages reflect plus the DDL needed to re-attach (final-state
+   CREATE TABLE / CREATE INDEX statements and which tables have stats).
+   On open: manifest present and its line count equals the (torn-tail
+   trimmed) WAL's → attach to the page files as-is; otherwise wipe the
+   page directory and rebuild from the committed WAL. Replaying the
+   final-state DDL rather than the WAL's DDL history is what makes
+   attach safe: a replayed [DROP TABLE] would otherwise unlink the very
+   page files we are attaching to. *)
+
+type t = {
+  pool : Bufpool.t;
+  dir : string;
+}
+
+type manifest = {
+  wal_lines : int;
+  ddls : string list;        (* final-state DDL, creation order *)
+  analyzed : string list;    (* tables with statistics at shutdown *)
+}
+
+let ensure_dir d =
+  if not (Sys.file_exists d) then
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+let create ?pool ~dir () =
+  let pool = match pool with Some p -> p | None -> Bufpool.create () in
+  ensure_dir dir;
+  ensure_dir (Filename.concat dir "heap");
+  ensure_dir (Filename.concat dir "idx");
+  ensure_dir (Filename.concat dir "spool");
+  { pool; dir }
+
+let pool t = t.pool
+let dir t = t.dir
+
+let heap_base t table = Filename.concat (Filename.concat t.dir "heap") table
+let index_path t index = Filename.concat (Filename.concat t.dir "idx") (index ^ ".bt")
+let spool_path t name = Filename.concat (Filename.concat t.dir "spool") name
+
+let manifest_path t = Filename.concat t.dir "MANIFEST"
+
+(* Remove every page file (not the spools: committed Load records
+   reference them during WAL replay). *)
+let wipe_pages t =
+  List.iter
+    (fun sub ->
+      let d = Filename.concat t.dir sub in
+      if Sys.file_exists d then
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+          (Sys.readdir d))
+    [ "heap"; "idx" ]
+
+let drop_manifest t =
+  try Sys.remove (manifest_path t) with Sys_error _ -> ()
+
+let write_manifest t m =
+  let tmp = manifest_path t ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc "xomatiq-manifest|1\n";
+  Printf.fprintf oc "wal|%d\n" m.wal_lines;
+  List.iter (fun d -> Printf.fprintf oc "ddl|%s\n" d) m.ddls;
+  List.iter (fun tname -> Printf.fprintf oc "analyze|%s\n" tname) m.analyzed;
+  close_out oc;
+  Sys.rename tmp (manifest_path t)
+
+let read_manifest t =
+  let p = manifest_path t in
+  if not (Sys.file_exists p) then None
+  else
+    let ic = open_in p in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    match input_line ic with
+    | exception End_of_file -> None
+    | header when header <> "xomatiq-manifest|1" -> None
+    | _ ->
+      let wal_lines = ref (-1) and ddls = ref [] and analyzed = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.index_opt line '|' with
+           | None -> ()
+           | Some i ->
+             let tag = String.sub line 0 i in
+             let rest = String.sub line (i + 1) (String.length line - i - 1) in
+             (match tag with
+              | "wal" -> wal_lines := (match int_of_string_opt rest with Some n -> n | None -> -1)
+              | "ddl" -> ddls := rest :: !ddls
+              | "analyze" -> analyzed := rest :: !analyzed
+              | _ -> ())
+         done
+       with End_of_file -> ());
+      if !wal_lines < 0 then None
+      else
+        Some { wal_lines = !wal_lines; ddls = List.rev !ddls; analyzed = List.rev !analyzed }
+
+(* ---- spool files ----
+
+   A spool is the row payload of one bulk load: length-prefixed
+   Rowcodec images, [u32 LE len | image] back to back. Spools are
+   referenced by WAL Load records, so they must survive as long as the
+   log does; Database garbage-collects them at checkpoint. *)
+
+type spool_writer = {
+  oc : out_channel;
+  sbuf : Buffer.t;
+  mutable rows : int;
+  spath : string;
+}
+
+let spool_create path =
+  { oc = open_out_bin path; sbuf = Buffer.create 256; rows = 0; spath = path }
+
+let spool_add w row =
+  Buffer.clear w.sbuf;
+  Rowcodec.encode_to w.sbuf row;
+  let len = Buffer.length w.sbuf in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_le hdr 0 (Int32.of_int len);
+  output_bytes w.oc hdr;
+  Buffer.output_buffer w.oc w.sbuf;
+  w.rows <- w.rows + 1
+
+let spool_finish w =
+  flush w.oc;
+  (try Unix.fsync (Unix.descr_of_out_channel w.oc) with Unix.Unix_error _ -> ());
+  close_out w.oc;
+  w.rows
+
+let spool_rows w = w.rows
+let spool_writer_path w = w.spath
+
+let spool_iter path f =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let hdr = Bytes.create 4 in
+  let rec go () =
+    match really_input ic hdr 0 4 with
+    | exception End_of_file -> ()
+    | () ->
+      let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+      let body = Bytes.create len in
+      really_input ic body 0 len;
+      f (fst (Rowcodec.decode body 0));
+      go ()
+  in
+  go ()
+
+let spool_remove path = try Sys.remove path with Sys_error _ -> ()
+
+(* ---- external sort ----
+
+   Sort (encoded key, rowid) pairs by (Btree.compare_key on the decoded
+   key, rowid) for bottom-up index builds. Runs of [run_size] pairs are
+   sorted in memory; if the input exhausts within one run nothing
+   touches disk, otherwise runs spill to [<prefix>.runN] files and a
+   k-way merge streams them back. Decoded keys are cached per pair so
+   each key is decoded once per phase. *)
+
+let run_size = 100_000
+
+type sort_entry = { enc : string; dec : Value.t array; srow : int }
+
+let entry_cmp a b =
+  let c = Btree.compare_key a.dec b.dec in
+  if c <> 0 then c else compare a.srow b.srow
+
+let write_run path (entries : sort_entry array) =
+  let oc = open_out_bin path in
+  let hdr = Bytes.create 12 in
+  Array.iter
+    (fun e ->
+      Bytes.set_int32_le hdr 0 (Int32.of_int (String.length e.enc));
+      Bytes.set_int64_le hdr 4 (Int64.of_int e.srow);
+      output_bytes oc hdr;
+      output_string oc e.enc)
+    entries;
+  close_out oc
+
+type run_reader = { ric : in_channel; rpath : string; mutable cur : sort_entry option }
+
+let run_advance r =
+  let hdr = Bytes.create 12 in
+  match really_input r.ric hdr 0 12 with
+  | exception End_of_file ->
+    r.cur <- None;
+    close_in_noerr r.ric;
+    (try Sys.remove r.rpath with Sys_error _ -> ())
+  | () ->
+    let klen = Int32.to_int (Bytes.get_int32_le hdr 0) in
+    let srow = Int64.to_int (Bytes.get_int64_le hdr 4) in
+    let kb = Bytes.create klen in
+    really_input r.ric kb 0 klen;
+    let enc = Bytes.unsafe_to_string kb in
+    r.cur <- Some { enc; dec = Rowcodec.decode_string enc; srow }
+
+let external_sort t ~name (pairs : (string * int) Seq.t) : (string * int) Seq.t =
+  let runs = ref [] in
+  let buf = Array.make run_size None in
+  let n = ref 0 in
+  let flush_run () =
+    if !n > 0 then begin
+      let arr = Array.init !n (fun i -> Option.get buf.(i)) in
+      Array.sort entry_cmp arr;
+      let path = spool_path t (Printf.sprintf "%s.run%d" name (List.length !runs)) in
+      write_run path arr;
+      runs := path :: !runs;
+      n := 0
+    end
+  in
+  let finish_in_memory () =
+    let arr = Array.init !n (fun i -> Option.get buf.(i)) in
+    Array.sort entry_cmp arr;
+    Array.to_seq (Array.map (fun e -> (e.enc, e.srow)) arr)
+  in
+  Seq.iter
+    (fun (enc, srow) ->
+      if !n = run_size then flush_run ();
+      buf.(!n) <- Some { enc; dec = Rowcodec.decode_string enc; srow };
+      incr n)
+    pairs;
+  if !runs = [] then finish_in_memory ()
+  else begin
+    flush_run ();
+    let readers =
+      List.map
+        (fun rpath ->
+          let r = { ric = open_in_bin rpath; rpath; cur = None } in
+          run_advance r;
+          r)
+        (List.rev !runs)
+    in
+    let rec merged () =
+      let best =
+        List.fold_left
+          (fun acc r ->
+            match r.cur, acc with
+            | None, _ -> acc
+            | Some _, None -> Some r
+            | Some e, Some b ->
+              (match b.cur with
+               | Some be when entry_cmp e be < 0 -> Some r
+               | _ -> acc))
+          None readers
+      in
+      match best with
+      | None -> Seq.Nil
+      | Some r ->
+        let e = Option.get r.cur in
+        run_advance r;
+        Seq.Cons ((e.enc, e.srow), merged)
+    in
+    merged
+  end

@@ -1,0 +1,67 @@
+(** Disk-backend context: the buffer pool and data directory shared by a
+    database's paged heaps and B+trees, plus the recovery manifest,
+    bulk-load spool files, and the external sorter for bottom-up index
+    builds.
+
+    Recovery model: page files carry no per-page LSNs, so they are only
+    trusted after a clean shutdown. The manifest (written atomically at
+    checkpoint/close, deleted at open) pins the WAL line count the pages
+    reflect and the final-state DDL to re-attach with; any mismatch
+    wipes the page directory and rebuilds from the committed WAL. *)
+
+type t
+
+type manifest = {
+  wal_lines : int;        (** WAL lines reflected by the page files *)
+  ddls : string list;     (** final-state CREATE statements, creation order *)
+  analyzed : string list; (** tables holding statistics at shutdown *)
+}
+
+val create : ?pool:Bufpool.t -> dir:string -> unit -> t
+(** Open (creating the [heap]/[idx]/[spool] subdirectories as needed)
+    the data directory. A fresh pool is created unless one is passed. *)
+
+val pool : t -> Bufpool.t
+val dir : t -> string
+
+val heap_base : t -> string -> string
+(** [heap_base t table] — base path handed to {!Heapfile.create}. *)
+
+val index_path : t -> string -> string
+val spool_path : t -> string -> string
+
+val wipe_pages : t -> unit
+(** Delete every heap and index page file (spools stay: committed WAL
+    Load records reference them during replay). *)
+
+val drop_manifest : t -> unit
+val write_manifest : t -> manifest -> unit
+(** Atomic (tmp + rename). *)
+
+val read_manifest : t -> manifest option
+
+(** {2 Spool files}
+
+    A spool is the row payload of one bulk load: length-prefixed
+    Rowcodec images back to back, referenced by the WAL's Load record
+    and therefore kept until a checkpoint proves the pages durable. *)
+
+type spool_writer
+
+val spool_create : string -> spool_writer
+val spool_add : spool_writer -> Value.t array -> unit
+val spool_finish : spool_writer -> int
+(** Flush + fsync + close; returns the row count. *)
+
+val spool_rows : spool_writer -> int
+val spool_writer_path : spool_writer -> string
+val spool_iter : string -> (Value.t array -> unit) -> unit
+val spool_remove : string -> unit
+
+val external_sort :
+  t -> name:string -> (string * int) Seq.t -> (string * int) Seq.t
+(** Sort (encoded key, rowid) pairs by (decoded {!Btree.compare_key},
+    rowid). In-memory for up to 100k pairs, then sorted runs spilled
+    under [spool/] and k-way merged; run files delete themselves as they
+    drain. The result must be consumed before calling again with the
+    same [name]. *)

@@ -1,33 +1,80 @@
+(* Heap tables behind one of two row stores: the in-memory vector
+   (tombstones as [None] slots) or a paged heap file on disk. Rowid
+   discipline is identical in both — sequential assignment, never
+   reused — so the two backends are row-for-row interchangeable. *)
+
+type store =
+  | Mem of Value.t array option Vector.t
+  | Disk of Heapfile.t
+
 type t = {
   schema : Schema.t;
-  rows : Value.t array option Vector.t;
-  mutable live : int;
+  store : store;
+  mutable live : int; (* Mem only; the heap file tracks its own count *)
   mutable indexes : Index.t list;
+  (* Disk only: decoded rows memoized by rowid, so repeated point
+     fetches (index-driven plans re-reading a hot working set) skip the
+     page pin + Rowcodec decode. Capacity is tied to the buffer pool's
+     frame budget, keeping total memory proportional to the pool; any
+     mutation of a rowid evicts it. Cleared wholesale when full —
+     amortized O(1), no LRU bookkeeping on the hit path. *)
+  row_cache : (int, Value.t array) Hashtbl.t;
+  row_cache_cap : int;
 }
 
-let pkey_index (schema : Schema.t) =
+let pkey_index ?storage (schema : Schema.t) =
   match schema.primary_key with
   | [] -> None
   | keys ->
     let positions = List.map (Schema.column_index schema) keys in
     Some
-      (Index.create
+      (Index.create ?storage
          ~name:(schema.table_name ^ "_pkey")
          ~table:schema.table_name ~columns:keys ~column_positions:positions
          ~unique:true Index.Btree)
 
-let create schema =
-  let indexes = match pkey_index schema with Some i -> [ i ] | None -> [] in
-  { schema; rows = Vector.create (); live = 0; indexes }
+let create ?storage schema =
+  let indexes = match pkey_index ?storage schema with Some i -> [ i ] | None -> [] in
+  let store, cache_cap =
+    match storage with
+    | None -> (Mem (Vector.create ()), 0)
+    | Some st ->
+      ( Disk
+          (Heapfile.create (Storage.pool st)
+             ~base:(Storage.heap_base st schema.Schema.table_name)),
+        8 * Bufpool.frames (Storage.pool st) )
+  in
+  { schema; store; live = 0; indexes;
+    row_cache = Hashtbl.create 64; row_cache_cap = cache_cap }
 
 let schema t = t.schema
-let row_count t = t.live
+
+let row_count t =
+  match t.store with Mem _ -> t.live | Disk h -> Heapfile.live h
+
+let next_rowid t =
+  match t.store with Mem v -> Vector.length v | Disk h -> Heapfile.next_rowid h
+
+let get t rowid =
+  match t.store with
+  | Mem v -> if rowid < 0 || rowid >= Vector.length v then None else Vector.get v rowid
+  | Disk h ->
+    (match Hashtbl.find_opt t.row_cache rowid with
+     | Some row -> Some row
+     | None ->
+       (match Heapfile.get h rowid with
+        | Some row as r ->
+          if Hashtbl.length t.row_cache >= t.row_cache_cap then
+            Hashtbl.reset t.row_cache;
+          Hashtbl.add t.row_cache rowid row;
+          r
+        | None -> None))
 
 let insert t row =
   match Schema.check_row t.schema row with
   | Error _ as e -> e
   | Ok () ->
-    let rowid = Vector.length t.rows in
+    let rowid = next_rowid t in
     (* Try all indexes; roll back the ones already updated on failure. *)
     let rec add_all done_ = function
       | [] -> Ok ()
@@ -41,38 +88,63 @@ let insert t row =
     (match add_all [] t.indexes with
      | Error _ as e -> e
      | Ok () ->
-       ignore (Vector.push t.rows (Some row));
-       t.live <- t.live + 1;
+       (match t.store with
+        | Mem v ->
+          ignore (Vector.push v (Some row));
+          t.live <- t.live + 1
+        | Disk h -> ignore (Heapfile.insert h row));
        Ok rowid)
 
-let get t rowid =
-  if rowid < 0 || rowid >= Vector.length t.rows then None
-  else Vector.get t.rows rowid
+(* Append without touching the indexes: the bulk-load path builds or
+   patches them separately (bottom-up for empty paged trees). Schema
+   validation still applies. *)
+let append_bulk t row =
+  match Schema.check_row t.schema row with
+  | Error _ as e -> e
+  | Ok () ->
+    let rowid = next_rowid t in
+    (match t.store with
+     | Mem v ->
+       ignore (Vector.push v (Some row));
+       t.live <- t.live + 1
+     | Disk h -> ignore (Heapfile.insert h row));
+    Ok rowid
 
 let delete t rowid =
   match get t rowid with
   | None -> false
   | Some row ->
     List.iter (fun idx -> Index.remove idx row rowid) t.indexes;
-    Vector.set t.rows rowid None;
-    t.live <- t.live - 1;
+    (match t.store with
+     | Mem v ->
+       Vector.set v rowid None;
+       t.live <- t.live - 1
+     | Disk h ->
+       Hashtbl.remove t.row_cache rowid;
+       ignore (Heapfile.delete h rowid));
     true
 
 let undelete t rowid row =
-  if rowid < 0 || rowid >= Vector.length t.rows then false
-  else
-    match Vector.get t.rows rowid with
-    | Some _ -> false
-    | None ->
-      List.iter
-        (fun idx ->
-          match Index.insert idx row rowid with
-          | Ok () -> ()
-          | Error _ -> assert false (* the pre-delete state was consistent *))
-        t.indexes;
-      Vector.set t.rows rowid (Some row);
-      t.live <- t.live + 1;
-      true
+  let restored =
+    match t.store with
+    | Mem v ->
+      rowid >= 0 && rowid < Vector.length v
+      && (match Vector.get v rowid with
+          | Some _ -> false
+          | None ->
+            Vector.set v rowid (Some row);
+            t.live <- t.live + 1;
+            true)
+    | Disk h -> Heapfile.undelete h rowid
+  in
+  if restored then
+    List.iter
+      (fun idx ->
+        match Index.insert idx row rowid with
+        | Ok () -> ()
+        | Error _ -> assert false (* the pre-delete state was consistent *))
+      t.indexes;
+  restored
 
 let update t rowid new_row =
   match get t rowid with
@@ -101,26 +173,34 @@ let update t rowid new_row =
        (match add_all [] t.indexes with
         | Error _ as e -> e
         | Ok () ->
-          Vector.set t.rows rowid (Some new_row);
+          (match t.store with
+           | Mem v -> Vector.set v rowid (Some new_row)
+           | Disk h ->
+             Hashtbl.remove t.row_cache rowid;
+             Heapfile.update h rowid new_row);
           Ok ()))
 
 let scan_range t ~lo ~hi =
-  let rec go i () =
-    if i >= hi then Seq.Nil
-    else
-      match Vector.get t.rows i with
-      | Some row -> Seq.Cons ((i, row), go (i + 1))
-      | None -> go (i + 1) ()
-  in
-  go (max 0 lo)
+  match t.store with
+  | Mem v ->
+    let hi = min hi (Vector.length v) in
+    let rec go i () =
+      if i >= hi then Seq.Nil
+      else
+        match Vector.get v i with
+        | Some row -> Seq.Cons ((i, row), go (i + 1))
+        | None -> go (i + 1) ()
+    in
+    go (max 0 lo)
+  | Disk h -> Heapfile.scan_range h ~lo ~hi
 
-let scan t = fun () -> scan_range t ~lo:0 ~hi:(Vector.length t.rows) ()
+let scan t = fun () -> scan_range t ~lo:0 ~hi:(next_rowid t) ()
 
 let scan_part t ~index ~parts =
   fun () ->
     (* bounds resolved at pull time: cached plans keep covering the whole
        table as it grows *)
-    let n = Vector.length t.rows in
+    let n = next_rowid t in
     let parts = max 1 parts in
     let i = max 0 (min index (parts - 1)) in
     scan_range t ~lo:(i * n / parts) ~hi:((i + 1) * n / parts) ()
@@ -140,6 +220,10 @@ let add_index t idx =
     Ok ()
   | exception Violation m -> Error m
 
+(* Attach an already-populated index (clean-shutdown re-open of a paged
+   index) without re-scanning the table. *)
+let attach_index t idx = t.indexes <- t.indexes @ [ idx ]
+
 let drop_index t name =
   let before = List.length t.indexes in
   t.indexes <- List.filter (fun i -> Index.name i <> name) t.indexes;
@@ -150,15 +234,18 @@ let indexes t = t.indexes
 let find_index t name = List.find_opt (fun i -> Index.name i = name) t.indexes
 
 let truncate t =
-  Vector.clear t.rows;
-  t.live <- 0;
-  let defs =
-    List.map
-      (fun i ->
-        Index.create ~name:(Index.name i) ~table:(Index.table i)
-          ~columns:(Index.columns i)
-          ~column_positions:(Index.column_positions i)
-          ~unique:(Index.is_unique i) (Index.kind i))
-      t.indexes
-  in
-  t.indexes <- defs
+  Hashtbl.reset t.row_cache;
+  (match t.store with
+   | Mem v ->
+     Vector.clear v;
+     t.live <- 0
+   | Disk h -> Heapfile.truncate h);
+  List.iter Index.clear t.indexes
+
+let close t =
+  (match t.store with Mem _ -> () | Disk h -> Heapfile.close h);
+  List.iter Index.close t.indexes
+
+let destroy t =
+  (match t.store with Mem _ -> () | Disk h -> Heapfile.destroy h);
+  List.iter Index.destroy t.indexes

@@ -1,20 +1,32 @@
-(** Heap tables: append-only row vectors with tombstone deletion and
+(** Heap tables: append-only row stores with tombstone deletion and
     attached secondary indexes. Row ids are stable for the lifetime of a
-    row and never reused. *)
+    row and never reused.
+
+    Two interchangeable backends share the rowid discipline: the
+    in-memory vector, and (given a [storage] context) a paged heap file
+    read through the buffer pool. *)
 
 type t
 
-val create : Schema.t -> t
+val create : ?storage:Storage.t -> Schema.t -> t
 (** A declared primary key materialises as an implicit unique index named
-    ["<table>_pkey"] (B+tree). *)
+    ["<table>_pkey"] (B+tree). With [storage] the rows live in a paged
+    heap file (attached if its files already exist). *)
 
 val schema : t -> Schema.t
 val row_count : t -> int
 (** Live rows. *)
 
+val next_rowid : t -> int
+(** The rowid the next insert will receive (= slots ever allocated). *)
+
 val insert : t -> Value.t array -> (int, string) result
 (** Validates against the schema and all unique indexes; returns the new
     row id. On error nothing is modified. *)
+
+val append_bulk : t -> Value.t array -> (int, string) result
+(** Append without maintaining indexes (the bulk-load path builds them
+    separately). Schema validation still applies. *)
 
 val delete : t -> int -> bool
 (** [delete t rowid] tombstones a row; false if already dead or out of
@@ -34,6 +46,9 @@ val get : t -> int -> Value.t array option
 val scan : t -> (int * Value.t array) Seq.t
 (** Live rows in row-id order. *)
 
+val scan_range : t -> lo:int -> hi:int -> (int * Value.t array) Seq.t
+(** Live rows with [lo <= rowid < hi] in row-id order. *)
+
 val scan_part : t -> index:int -> parts:int -> (int * Value.t array) Seq.t
 (** Live rows of the [index]-th of [parts] contiguous rowid chunks, in
     row-id order. Chunk bounds split the rowid space evenly and are
@@ -44,6 +59,10 @@ val add_index : t -> Index.t -> (unit, string) result
 (** Builds the index over existing rows; fails (leaving the table
     unchanged) if a unique constraint is violated by current data. *)
 
+val attach_index : t -> Index.t -> unit
+(** Register an already-populated index without building it (attach of a
+    paged index after a clean shutdown). *)
+
 val drop_index : t -> string -> bool
 
 val indexes : t -> Index.t list
@@ -51,3 +70,9 @@ val find_index : t -> string -> Index.t option
 
 val truncate : t -> unit
 (** Remove all rows (indexes are emptied, row ids restart at 0). *)
+
+val close : t -> unit
+(** Write back and close the backing page files (no-op in memory). *)
+
+val destroy : t -> unit
+(** Delete the backing page files (no-op in memory). *)

@@ -6,6 +6,7 @@ type op =
   | Commit of int
   | Rollback of int
   | Ddl of string
+  | Load of { txid : int; table : string; spool : string; rows : int }
 
 type t = {
   file_path : string;
@@ -96,6 +97,8 @@ let encode op =
     | Commit txid -> Printf.sprintf "COM|%d" txid
     | Rollback txid -> Printf.sprintf "RBK|%d" txid
     | Ddl sql -> Printf.sprintf "DDL|%s" (escape sql)
+    | Load { txid; table; spool; rows } ->
+      Printf.sprintf "LOD|%d|%s|%s|%d" txid (escape table) (escape spool) rows
   in
   body ^ "|."
 
@@ -125,6 +128,9 @@ let decode line =
           | "UPD" :: txid :: table :: rowid :: row ->
             Some (Update { txid = int_of_string txid; table = unescape table;
                            rowid = int_of_string rowid; row = decode_row row })
+          | [ "LOD"; txid; table; spool; rows ] ->
+            Some (Load { txid = int_of_string txid; table = unescape table;
+                         spool = unescape spool; rows = int_of_string rows })
           | _ -> None
         with Failure _ -> None)
      | _ -> None (* torn record: sentinel missing *))
@@ -199,6 +205,23 @@ let committed_ops ops =
     (function
       | Ddl _ -> true
       | Begin txid | Commit txid | Rollback txid -> Hashtbl.mem committed txid
-      | Insert { txid; _ } | Delete { txid; _ } | Update { txid; _ } ->
+      | Insert { txid; _ } | Delete { txid; _ } | Update { txid; _ }
+      | Load { txid; _ } ->
         Hashtbl.mem committed txid)
     ops
+
+(* Number of complete records currently in a log file (used by the disk
+   backend's manifest: pages are only trusted when their recorded line
+   count matches). [trim_torn_tail] must run first so every line is one
+   record. *)
+let line_count file_path =
+  if not (Sys.file_exists file_path) then 0
+  else begin
+    let ic = open_in_bin file_path in
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    let count = ref 0 in
+    String.iter (fun c -> if c = '\n' then incr count) content;
+    !count
+  end

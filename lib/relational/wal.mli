@@ -19,6 +19,10 @@ type op =
   | Commit of int
   | Rollback of int
   | Ddl of string  (* SQL text of a CREATE/DROP statement *)
+  | Load of { txid : int; table : string; spool : string; rows : int }
+      (* one bulk load: [rows] rows appended to [table], payload in the
+         spool file at [spool] (length-prefixed Rowcodec images). The
+         spool must outlive the log records that reference it. *)
 
 type t
 
@@ -52,3 +56,7 @@ val encode : op -> string
 
 val decode : string -> op option
 (** Inverse of {!encode}; [None] for torn/garbage lines. *)
+
+val line_count : string -> int
+(** Complete records in the log file (one per line once
+    {!trim_torn_tail} has run); 0 when the file does not exist. *)

@@ -11,14 +11,13 @@ type config = {
   idle_timeout_s : float option;
   write_timeout_s : float;
   max_frame : int;
-  threaded : bool;
   pipeline_window : int;
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 7788; max_clients = 32; queue_depth = 16;
     query_timeout_s = None; idle_timeout_s = None; write_timeout_s = 10.;
-    max_frame = P.max_frame_default; threaded = false; pipeline_window = 32 }
+    max_frame = P.max_frame_default; pipeline_window = 32 }
 
 (* ------------------------------------------------------------------ *)
 (* Server-wide metrics                                                 *)
@@ -61,17 +60,6 @@ let () =
 (* Server state                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Thread-per-connection state, kept one release as the [--threaded]
-   fallback while the reactor is the default connection model. *)
-type threaded_state = {
-  lock : Mutex.t;
-  slot_cond : Condition.t;
-  mutable active : int;
-  mutable waiting : int;
-  mutable handlers : Thread.t list;
-  mutable accept_thread : Thread.t option;
-}
-
 type reactor_state = {
   reactor : R.t;
   mutable rthread : Thread.t option;
@@ -82,8 +70,6 @@ type reactor_state = {
   r_conns : int Atomic.t;
 }
 
-type mode_state = Threaded of threaded_state | Reactor of reactor_state
-
 type t = {
   cfg : config;
   wh : Datahounds.Warehouse.t;
@@ -91,31 +77,24 @@ type t = {
   bound_port : int;
   stop : bool Atomic.t;
   mutable next_id : int;
-  mode : mode_state;
+  rs : reactor_state;
 }
 
 let port t = t.bound_port
 
-(* Begin a drain: raise the flag, then wake whichever machinery is
-   parked — the threaded model's admission waiters (without the
-   broadcast they would sleep until some unrelated [release_slot]
-   signal), or the reactor's poll. Signal handlers must NOT call this
-   (the handler can run on a thread that already holds the admission
-   lock); they set the atomic flag only and lean on the 0.25 s loop
-   slices, which notice it promptly. *)
+(* Begin a drain: raise the flag, then wake the reactor's poll. Signal
+   handlers must NOT call this (posting writes to the wake pipe and a
+   handler can preempt a thread mid-critical-section); they set the
+   atomic flag only and lean on the 0.25 s loop slices, which notice it
+   promptly. *)
 let request_stop t =
   Atomic.set t.stop true;
-  match t.mode with
-  | Threaded th ->
-    Mutex.lock th.lock;
-    Condition.broadcast th.slot_cond;
-    Mutex.unlock th.lock
-  | Reactor rs -> R.post rs.reactor (fun () -> ())
+  R.post t.rs.reactor (fun () -> ())
 
 let stopping t = Atomic.get t.stop
 
 (* ------------------------------------------------------------------ *)
-(* Query execution (shared by both connection models)                  *)
+(* Query execution                                                     *)
 (* ------------------------------------------------------------------ *)
 
 let values_to_table columns rows =
@@ -180,8 +159,6 @@ let render_request t sess token kind text =
     | exception (Xomatiq.Parser.Parse_error _ as e) ->
       raise (Xomatiq.Engine.Query_error (Xomatiq.Parser.error_to_string e))
   end
-
-exception Session_over
 
 (* Chunked result streaming: 64 KiB R frames, then the D trailer. *)
 let chunk_size = 64 * 1024
@@ -305,336 +282,6 @@ let fire_wallclock_timeout t token =
   Rdb.Cancel.cancel ~code:Rdb.Cancel.timeout_code token
     (Printf.sprintf "query exceeded the %.3fs wall-clock budget"
        (Option.get t.cfg.query_timeout_s))
-
-(* ================================================================== *)
-(* Thread-per-connection model ([--threaded] fallback)                 *)
-(* ================================================================== *)
-
-(* Admission control: a slot per admitted session, a bounded wait line
-   behind it. Waiters re-check the stop flag after every wakeup so a
-   drain can turn the whole line away. *)
-let acquire_slot t th =
-  Mutex.lock th.lock;
-  let rec try_slot () =
-    if Atomic.get t.stop then `Shutdown
-    else if th.active < t.cfg.max_clients then begin
-      th.active <- th.active + 1;
-      `Admitted
-    end
-    else if th.waiting >= t.cfg.queue_depth then `Busy
-    else begin
-      th.waiting <- th.waiting + 1;
-      Condition.wait th.slot_cond th.lock;
-      th.waiting <- th.waiting - 1;
-      try_slot ()
-    end
-  in
-  let outcome = try_slot () in
-  Mutex.unlock th.lock;
-  outcome
-
-let release_slot th =
-  Mutex.lock th.lock;
-  th.active <- th.active - 1;
-  Condition.signal th.slot_cond;
-  Mutex.unlock th.lock
-
-let send t sess fd tag payload =
-  let deadline = Obs.now_s () +. t.cfg.write_timeout_s in
-  P.write_frame ~deadline fd tag payload;
-  let n = P.frame_bytes payload in
-  sess.Session.bytes_out <- sess.Session.bytes_out + n;
-  Obs.Counter.incr ~by:n m_bytes_out
-
-let stream_result t sess fd body summary =
-  let len = String.length body in
-  let rec chunks off =
-    if off < len then begin
-      let n = min chunk_size (len - off) in
-      send t sess fd P.tag_rows (String.sub body off n);
-      chunks (off + n)
-    end
-  in
-  chunks 0;
-  send t sess fd P.tag_done (P.done_payload summary)
-
-(* Run one query under a fresh cancel token. Dispatched work runs off
-   the session thread (a plain thread under the adaptive scheduler, the
-   worker-domain pool in static mode) while the session thread keeps
-   watching its own socket: a CANCEL frame, a BYE, a protocol violation
-   or the peer vanishing all fire the token, and the executor aborts at
-   the next operator boundary. Inline work (cheap queries under the
-   adaptive scheduler, or any query at jobs = 1 in static mode, where
-   the pool runs tasks inline at submit time) leaves the socket
-   unwatched for the duration — the deadline still fires because the
-   token carries it into the executor's own checks. *)
-let execute_query t sess fd kind text =
-  apply_session_jobs sess;
-  let token = Rdb.Cancel.create ~deadline:(timeout_deadline t) () in
-  let lost = ref false in
-  let pending_bye = ref false in
-  let outcome =
-    match plan_work t sess token kind text with
-    | exception e -> Error e
-    | job, false ->
-      Obs.Counter.incr m_sched_inline;
-      (match job () with v -> Ok v | exception e -> Error e)
-    | job, true ->
-      Obs.Counter.incr m_sched_dispatched;
-      (* Static mode dispatches to the worker-domain pool (the
-         pre-adaptive behavior). Adaptive mode runs the job on a plain
-         thread instead: the session thread watches the socket exactly
-         the same, but no worker domains are forced into existence —
-         resident idle domains tax every inline query on a host without
-         spare cores through the stop-the-world GC rendezvous. *)
-      let poll, finish =
-        match Conc.Sched.mode () with
-        | Conc.Sched.Static ->
-          let fut = Conc.Pool.submit (Conc.Pool.get ()) job in
-          ( (fun () -> Conc.Pool.poll fut),
-            fun () ->
-              match Conc.Pool.await_blocking fut with
-              | v -> Ok v
-              | exception e -> Error e )
-        | Conc.Sched.Adaptive ->
-          let cell = Atomic.make None in
-          let th =
-            Thread.create
-              (fun () ->
-                Atomic.set cell
-                  (Some (match job () with v -> Ok v | exception e -> Error e)))
-              ()
-          in
-          ( (fun () -> Atomic.get cell <> None),
-            fun () ->
-              Thread.join th;
-              match Atomic.get cell with Some r -> r | None -> assert false )
-      in
-      let watching = ref true in
-      (* Exponential poll backoff: fast queries are noticed within a
-         couple of milliseconds, long ones cost one socket select per
-         50 ms. *)
-      let rec monitor slice =
-        if not (poll ()) then begin
-          (if t.cfg.query_timeout_s <> None
-              && Rdb.Cancel.deadline_passed token
-           then fire_wallclock_timeout t token);
-          if !watching then begin
-            if P.wait_readable fd ~deadline:(Obs.now_s () +. slice) then
-              match
-                P.read_frame ~deadline:(Obs.now_s () +. 1.0)
-                  ~max_frame:t.cfg.max_frame fd
-              with
-              | tag, _ when tag = P.tag_cancel ->
-                Rdb.Cancel.cancel token "canceled by client"
-              | tag, _ when tag = P.tag_bye ->
-                pending_bye := true;
-                Rdb.Cancel.cancel token "connection closing"
-              | _ ->
-                watching := false;
-                lost := true;
-                Rdb.Cancel.cancel token "protocol violation mid-query"
-              | exception
-                  (P.Closed | P.Proto_error _ | P.Io_timeout
-                  | Unix.Unix_error _) ->
-                watching := false;
-                lost := true;
-                Rdb.Cancel.cancel token "client went away mid-query"
-          end
-          else Thread.delay slice;
-          monitor (Float.min 0.05 (slice *. 2.))
-        end
-      in
-      monitor 0.001;
-      finish ()
-  in
-  (match outcome with
-   | Ok (body, summary, exec_s) ->
-     if !lost then raise Session_over;
-     sess.Session.queries <- sess.Session.queries + 1;
-     Obs.Counter.incr m_queries;
-     Obs.Histogram.observe m_latency exec_s;
-     stream_result t sess fd body summary
-   | Error (Rdb.Cancel.Canceled (code, msg)) ->
-     if code = Rdb.Cancel.timeout_code then Obs.Counter.incr m_timeouts
-     else Obs.Counter.incr m_canceled;
-     if not !lost then send t sess fd P.tag_error (P.error_payload ~code msg)
-     else raise Session_over
-   | Error (Xomatiq.Engine.Query_error m) ->
-     Obs.Counter.incr m_query_errors;
-     if !lost then raise Session_over;
-     send t sess fd P.tag_error (P.error_payload ~code:P.err_query m)
-   | Error e ->
-     Obs.Counter.incr m_query_errors;
-     if !lost then raise Session_over;
-     send t sess fd P.tag_error
-       (P.error_payload ~code:P.err_internal (Printexc.to_string e)));
-  if !pending_bye then begin
-    (try send t sess fd P.tag_ok "bye" with _ -> ());
-    raise Session_over
-  end
-
-let handle_request t sess fd = function
-  | P.Ping payload -> send t sess fd P.tag_ok payload
-  | P.Metrics -> send t sess fd P.tag_metrics_reply (metrics_payload sess)
-  | P.Cancel -> send t sess fd P.tag_ok "nothing to cancel"
-  | P.Set (name, value) -> begin
-    match Session.set_option sess ~name ~value with
-    | Ok ack -> send t sess fd P.tag_ok ack
-    | Error m -> send t sess fd P.tag_error (P.error_payload ~code:P.err_query m)
-  end
-  | P.Bye ->
-    (try send t sess fd P.tag_ok "bye" with _ -> ());
-    raise Session_over
-  | P.Hello _ ->
-    raise (P.Proto_error "unexpected second handshake")
-  | P.Query text -> execute_query t sess fd `Query text
-  | P.Sql text -> execute_query t sess fd `Sql text
-  | P.Explain text -> execute_query t sess fd `Explain text
-  | P.Analyze text -> execute_query t sess fd `Analyze text
-
-(* Wait for the next request frame in quarter-second slices so the
-   session notices a drain or its idle deadline without dedicated
-   machinery. *)
-let wait_request t fd =
-  let idle_deadline =
-    match t.cfg.idle_timeout_s with
-    | Some s -> Obs.now_s () +. s
-    | None -> infinity
-  in
-  let rec slice () =
-    if Atomic.get t.stop then `Drain
-    else if Obs.now_s () > idle_deadline then
-      (* Last-instant check: a request that raced the deadline (bytes
-         already readable when the timer expired — e.g. sent while the
-         previous slow query held the thread) is served, not reaped. *)
-      if P.wait_readable fd ~deadline:(Obs.now_s ()) then `Ready else `Idle
-    else begin
-      let d = min (Obs.now_s () +. 0.25) idle_deadline in
-      if P.wait_readable fd ~deadline:d then `Ready else slice ()
-    end
-  in
-  slice ()
-
-let recv t sess fd ~deadline =
-  let tag, payload = P.read_frame ~deadline ~max_frame:t.cfg.max_frame fd in
-  let n = P.frame_bytes payload in
-  sess.Session.bytes_in <- sess.Session.bytes_in + n;
-  Obs.Counter.incr ~by:n m_bytes_in;
-  (tag, payload)
-
-let handshake t sess fd =
-  let deadline = Obs.now_s () +. 5.0 in
-  match recv t sess fd ~deadline with
-  | tag, payload when tag = P.tag_hello ->
-    if payload <> P.version then begin
-      (try
-         send t sess fd P.tag_error
-           (P.error_payload ~code:P.err_proto
-              (Printf.sprintf "unsupported protocol version %S (server speaks %s)"
-                 payload P.version))
-       with _ -> ());
-      raise Session_over
-    end;
-    send t sess fd P.tag_welcome P.version
-  | _ -> raise (P.Proto_error "expected HELLO as the first frame")
-
-let session_loop t sess fd =
-  handshake t sess fd;
-  let rec loop () =
-    match wait_request t fd with
-    | `Drain ->
-      (try
-         send t sess fd P.tag_error
-           (P.error_payload ~code:P.err_shutdown "server is draining")
-       with _ -> ());
-      raise Session_over
-    | `Idle ->
-      Obs.Counter.incr m_reaped_idle;
-      (try
-         send t sess fd P.tag_error
-           (P.error_payload ~code:P.err_idle "idle connection reaped")
-       with _ -> ());
-      raise Session_over
-    | `Ready ->
-      let frame = recv t sess fd ~deadline:(Obs.now_s () +. 5.0) in
-      (match P.request_of_frame frame with
-       | Ok req -> handle_request t sess fd req
-       | Error m -> raise (P.Proto_error m));
-      loop ()
-  in
-  loop ()
-
-let handle_conn t th id fd =
-  Unix.set_nonblock fd;
-  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-  let close () = try Unix.close fd with Unix.Unix_error _ -> () in
-  let sess = Session.create ~id in
-  let best_effort_error code msg =
-    try send t sess fd P.tag_error (P.error_payload ~code msg)
-    with _ -> ()
-  in
-  match acquire_slot t th with
-  | `Busy ->
-    Obs.Counter.incr m_shed;
-    best_effort_error P.err_busy
-      (Printf.sprintf "%d active and %d waiting clients; try again later"
-         t.cfg.max_clients t.cfg.queue_depth);
-    close ()
-  | `Shutdown ->
-    best_effort_error P.err_shutdown "server is draining";
-    close ()
-  | `Admitted ->
-    Fun.protect
-      ~finally:(fun () ->
-        close ();
-        release_slot th)
-      (fun () ->
-        try session_loop t sess fd with
-        | Session_over | P.Closed -> ()
-        | P.Proto_error m ->
-          Obs.Counter.incr m_proto_errors;
-          best_effort_error P.err_proto m
-        | P.Io_timeout ->
-          (* a response write could not finish: slow-client drop *)
-          Obs.Counter.incr m_slow_client_drops
-        | Unix.Unix_error _ -> ()
-        | e ->
-          best_effort_error P.err_internal (Printexc.to_string e))
-
-let accept_loop t th =
-  let rec loop () =
-    if not (Atomic.get t.stop) then begin
-      (match R.wait_fd t.listen_fd ~read:true ~write:false ~timeout_s:0.25 with
-       | None -> ()
-       | Some _ -> begin
-         match Unix.accept t.listen_fd with
-         | fd, _ ->
-           Obs.Counter.incr m_accepted;
-           (match
-              Mutex.lock th.lock;
-              let id = t.next_id in
-              t.next_id <- id + 1;
-              let thread = Thread.create (fun () -> handle_conn t th id fd) () in
-              th.handlers <- thread :: th.handlers;
-              Mutex.unlock th.lock
-            with
-            | () -> ()
-            | exception e ->
-              (* never leak the accepted descriptor, whatever failed *)
-              (try Mutex.unlock th.lock with _ -> ());
-              (try Unix.close fd with Unix.Unix_error _ -> ());
-              raise e)
-         | exception
-             Unix.Unix_error
-               (( Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
-                | Unix.ECONNABORTED ), _, _) ->
-           ()
-       end);
-      loop ()
-    end
-  in
-  loop ()
 
 (* ================================================================== *)
 (* Event-driven reactor model (default)                                *)
@@ -782,8 +429,8 @@ let emit_result rl conn body summary =
   emit rl conn P.tag_done (P.done_payload summary)
 
 (* Report one query outcome. Counters are updated even when the
-   connection is already gone (the threaded model does the same); frames
-   are only queued for live connections. *)
+   connection is already gone; frames are only queued for live
+   connections. *)
 let emit_outcome rl conn outcome =
   let live = (not conn.closed) && conn.phase <> Closing in
   match outcome with
@@ -1262,75 +909,39 @@ let start cfg wh =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> cfg.port
   in
-  if cfg.threaded then begin
-    let th =
-      { lock = Mutex.create (); slot_cond = Condition.create (); active = 0;
-        waiting = 0; handlers = []; accept_thread = None }
-    in
-    let t =
-      { cfg; wh; listen_fd; bound_port; stop = Atomic.make false; next_id = 1;
-        mode = Threaded th }
-    in
-    Obs.register_gauge "server.active" (fun () ->
-        Mutex.lock th.lock;
-        let n = th.active in
-        Mutex.unlock th.lock;
-        n);
-    Obs.register_gauge "server.waiting" (fun () ->
-        Mutex.lock th.lock;
-        let n = th.waiting in
-        Mutex.unlock th.lock;
-        n);
-    th.accept_thread <- Some (Thread.create (fun () -> accept_loop t th) ());
-    t
-  end
-  else begin
-    let rs =
-      { reactor = R.create (); rthread = None; r_active = Atomic.make 0;
-        r_waiting = Atomic.make 0; r_conns = Atomic.make 0 }
-    in
-    let t =
-      { cfg; wh; listen_fd; bound_port; stop = Atomic.make false; next_id = 1;
-        mode = Reactor rs }
-    in
-    Obs.register_gauge "server.active" (fun () -> Atomic.get rs.r_active);
-    Obs.register_gauge "server.waiting" (fun () -> Atomic.get rs.r_waiting);
-    Obs.register_gauge "server.connections" (fun () ->
-        Atomic.get rs.r_conns);
-    rs.rthread <- Some (Thread.create (fun () -> reactor_loop t rs) ());
-    t
-  end
+  let rs =
+    { reactor = R.create (); rthread = None; r_active = Atomic.make 0;
+      r_waiting = Atomic.make 0; r_conns = Atomic.make 0 }
+  in
+  let t =
+    { cfg; wh; listen_fd; bound_port; stop = Atomic.make false; next_id = 1;
+      rs }
+  in
+  Obs.register_gauge "server.active" (fun () -> Atomic.get rs.r_active);
+  Obs.register_gauge "server.waiting" (fun () -> Atomic.get rs.r_waiting);
+  Obs.register_gauge "server.connections" (fun () ->
+      Atomic.get rs.r_conns);
+  rs.rthread <- Some (Thread.create (fun () -> reactor_loop t rs) ());
+  t
 
-let wait t =
-  (match t.mode with
-   | Threaded th ->
-     Option.iter Thread.join th.accept_thread;
-     (* After the accept thread is gone no new handlers appear; wake every
-        admission waiter (under the same lock as Condition.wait, so none
-        misses the stop flag) and join the lot. *)
-     Mutex.lock th.lock;
-     Condition.broadcast th.slot_cond;
-     let handlers = th.handlers in
-     Mutex.unlock th.lock;
-     List.iter Thread.join handlers
-   | Reactor rs -> Option.iter Thread.join rs.rthread);
+let wait (t : t) =
+  Option.iter Thread.join t.rs.rthread;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
 
 let run cfg wh =
   let t = start cfg wh in
   (* Signal handlers set the flag only: [request_stop] may take locks or
      write to the reactor's wake pipe, and a handler can preempt a thread
-     mid-critical-section. Both connection models poll the flag within a
+     mid-critical-section. The reactor polls the flag within a
      quarter-second slice. *)
   let stop _ = Atomic.set t.stop true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   Printf.printf
-    "xomatiq server listening on %s:%d (%s, max-clients=%d queue-depth=%d \
-     window=%d jobs=%d)\n%!"
+    "xomatiq server listening on %s:%d (event-driven, max-clients=%d \
+     queue-depth=%d window=%d jobs=%d)\n%!"
     cfg.host (port t)
-    (if cfg.threaded then "thread-per-connection" else "event-driven")
     cfg.max_clients cfg.queue_depth cfg.pipeline_window (Conc.Pool.jobs ());
   wait t;
   Printf.printf "xomatiq server drained\n%!"

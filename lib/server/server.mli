@@ -1,17 +1,16 @@
 (** The gRNA query server: a concurrent TCP front end over one warehouse.
 
-    {b Connection models.} The default is an event-driven reactor: one
-    thread owns every socket through {!Conc.Reactor} (poll(2)-based
-    readiness), each connection is an explicit state machine
-    (handshake, ready, closing) with an incremental frame decoder on the
-    read side and a coalescing write buffer on the out side. An idle
-    connection costs a pollfd entry and ~12 KiB of buffers — no thread,
-    no stack — so thousands of idle clients leave the active ones'
-    throughput untouched. [threaded = true] selects the previous
-    thread-per-connection model (kept one release as a fallback; the
-    differential suite asserts byte-identical results across both).
+    {b Connection model.} An event-driven reactor: one thread owns
+    every socket through {!Conc.Reactor} (poll(2)-based readiness),
+    each connection is an explicit state machine (handshake, ready,
+    closing) with an incremental frame decoder on the read side and a
+    coalescing write buffer on the out side. An idle connection costs a
+    pollfd entry and ~12 KiB of buffers — no thread, no stack — so
+    thousands of idle clients leave the active ones' throughput
+    untouched. (The earlier thread-per-connection fallback has been
+    removed.)
 
-    {b Pipelining (reactor only).} A client may send up to
+    {b Pipelining.} A client may send up to
     [pipeline_window] request frames without waiting for responses.
     Requests execute strictly in order per connection and responses come
     back in request order, with ROWS/DONE frames of adjacent responses
@@ -42,7 +41,7 @@
 
     {b Drain.} {!request_stop} begins a graceful drain. The signal
     handlers installed by {!run} only flip an atomic — safe from a
-    handler context — and both connection models notice within a quarter
+    handler context — and the reactor notices within a quarter
     second: no new connections, waiting connections are turned away with
     [SHUTTING_DOWN], in-flight queries finish and their responses are
     flushed (queued-but-unexecuted pipelined requests are dropped and the
@@ -59,19 +58,18 @@ type config = {
   idle_timeout_s : float option;   (** reap sessions idle this long *)
   write_timeout_s : float; (** slow-client disconnect threshold *)
   max_frame : int;         (** largest request payload accepted *)
-  threaded : bool;         (** thread-per-connection fallback model *)
   pipeline_window : int;   (** max queued requests per connection *)
 }
 
 val default_config : config
 (** 127.0.0.1:7788, 32 clients, queue depth 16, no query or idle
-    timeout, 10 s write timeout, {!Protocol.max_frame_default}, reactor
-    model, pipeline window 32. *)
+    timeout, 10 s write timeout, {!Protocol.max_frame_default},
+    pipeline window 32. *)
 
 type t
 
 val start : config -> Datahounds.Warehouse.t -> t
-(** Bind, listen, and spawn the reactor (or accept) thread. The
+(** Bind, listen, and spawn the reactor thread. The
     warehouse must stay open until {!wait} has returned.
     @raise Unix.Unix_error when the address cannot be bound. *)
 
@@ -86,7 +84,7 @@ val request_stop : t -> unit
 val stopping : t -> bool
 
 val wait : t -> unit
-(** Block until the server has drained: reactor (or accept + session)
+(** Block until the server has drained: reactor
     thread joined, listening socket closed. Call after {!request_stop}
     (or let a signal handler trigger it). *)
 

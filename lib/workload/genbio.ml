@@ -260,7 +260,7 @@ let mutate_enzymes ~seed ~fraction enzymes =
       else e)
     enzymes
 
-let load_universe wh u =
+let load_universe ?analyze wh u =
   let sources_and_text =
     [ (Datahounds.Warehouse.enzyme_source, enzyme_flat u);
       (Datahounds.Warehouse.embl_source ~division:"inv", embl_flat u);
@@ -272,7 +272,7 @@ let load_universe wh u =
     | [] -> Ok ()
     | (src, text) :: rest ->
       Datahounds.Warehouse.register_source wh src;
-      (match Datahounds.Warehouse.harvest wh src text with
+      (match Datahounds.Warehouse.harvest ?analyze wh src text with
        | Ok _ -> go rest
        | Error _ as e -> e)
   in

@@ -59,6 +59,8 @@ val mutate_enzymes :
     description (simulating a source update for sync experiments). *)
 
 val load_universe :
-  Datahounds.Warehouse.t -> universe -> (unit, string) result
+  ?analyze:bool -> Datahounds.Warehouse.t -> universe -> (unit, string) result
 (** Register the three sources and harvest all flat files into the
-    warehouse (EMBL entries go to their division's collection). *)
+    warehouse (EMBL entries go to their division's collection).
+    [analyze] is {!Datahounds.Warehouse.harvest}'s: by default each
+    harvest leaves fresh table statistics behind. *)

@@ -823,11 +823,10 @@ let test_idle_connection_soak () =
    to the sequential in-process rendering computed up front. Runs under
    both scheduler modes: adaptive (inline cheap queries, session-memoized
    preparations) and static (everything dispatched to the pool) must be
-   indistinguishable on the wire — and likewise under both connection
-   models ([threaded] selects the fallback) and with xomatiq/1
+   indistinguishable on the wire — and likewise with xomatiq/1
    pipelining ([pipelined] sends each session's mix W=8 at a time). *)
 let run_concurrent_differential ?(sched = Conc.Sched.Adaptive)
-    ?(threaded = false) ?(pipelined = false) seed () =
+    ?(pipelined = false) seed () =
   Conc.Sched.with_mode sched @@ fun () ->
   with_warehouse seed @@ fun wh u ->
   let mix = Workload.Query_mix.mixed ~seed ~universe:u ~per_class:2 in
@@ -845,8 +844,7 @@ let run_concurrent_differential ?(sched = Conc.Sched.Adaptive)
             mix ))
       strategies
   in
-  with_server ~cfg:{ Xserver.Server.default_config with threaded } wh
-  @@ fun _t port ->
+  with_server wh @@ fun _t port ->
   let n_clients = 8 in
   let failures = Array.make n_clients None in
   let worker i () =
@@ -956,10 +954,6 @@ let () =
             (run_concurrent_differential ~sched:Conc.Sched.Static 11);
           Alcotest.test_case "8 clients, seed 47 (static)" `Quick
             (run_concurrent_differential ~sched:Conc.Sched.Static 47);
-          Alcotest.test_case "8 clients, seed 11 (threaded)" `Quick
-            (run_concurrent_differential ~threaded:true 11);
-          Alcotest.test_case "8 clients, seed 23 (threaded)" `Quick
-            (run_concurrent_differential ~threaded:true 23);
           Alcotest.test_case "8 clients, seed 23 (pipelined W=8)" `Quick
             (run_concurrent_differential ~pipelined:true 23);
           Alcotest.test_case "8 clients, seed 47 (pipelined W=8)" `Quick
