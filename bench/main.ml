@@ -33,6 +33,17 @@ open Toolkit
 
 let scale = try int_of_string (Sys.getenv "XOMATIQ_BENCH_SCALE") with Not_found -> 150
 
+(* Scaling experiments (E6-scaling, E8-throughput, E11-replication) need
+   real cores to separate their cells; say so instead of silently
+   printing a flat table on a 1-core host. *)
+let warn_if_single_core name =
+  if Domain.recommended_domain_count () = 1 then
+    Printf.printf
+      "  warning: %s is a scaling benchmark but this host exposes only 1 \
+       core; its cells cannot separate and scaling floors are not meaningful \
+       here\n%!"
+      name
+
 let universe_of n =
   Workload.Genbio.generate
     { Workload.Genbio.seed = 42; n_enzymes = n; n_embl = n; n_sprot = n;
@@ -513,6 +524,7 @@ let print_e6_scaling () =
     "E6-scaling: harvest + Fig. 8/9/11 mix across domain counts (scale=%d, host cores=%d)\n"
     scale
     (Domain.recommended_domain_count ());
+  warn_if_single_core "E6-scaling";
   Printf.printf
     "  planner goes parallel for scans of >= %s rows (XOMATIQ_PAR_THRESHOLD)\n"
     (match Sys.getenv_opt "XOMATIQ_PAR_THRESHOLD" with
@@ -761,11 +773,13 @@ let print_e7_structural () =
       "{\n\
       \  \"experiment\": \"E7-structural\",\n\
       \  \"generated_by\": \"bench/main.ml\",\n\
+      \  \"host_cores\": %d,\n\
       \  \"baseline\": \"XOMATIQ_STRUCTURAL_JOIN=0 (hash join on doc_id + containment filter)\",\n\
       \  \"scale_kind\": \"region_density (catalytic_activity elements per enzyme doc)\",\n\
       \  \"documents\": %d,\n\
       \  \"scales\": [%s],\n\
       \  \"queries\": [\n%s\n  ]\n}\n"
+      (Domain.recommended_domain_count ())
       e7_docs
       (String.concat ", " (List.map string_of_int scales))
       (String.concat ",\n"
@@ -891,6 +905,7 @@ let print_e9_vectorized () =
       "{\n\
       \  \"experiment\": \"E9-vectorized\",\n\
       \  \"generated_by\": \"bench/main.ml\",\n\
+      \  \"host_cores\": %d,\n\
       \  \"baseline\": \"XOMATIQ_VEC=0 (row-at-a-time iterator executor)\",\n\
       \  \"jobs\": 1,\n\
       \  \"documents\": %d,\n\
@@ -903,6 +918,7 @@ let print_e9_vectorized () =
       \  },\n\
       \  \"mix_scale\": %d,\n\
       \  \"mix\": [\n%s\n  ]\n}\n"
+      (Domain.recommended_domain_count ())
       e7_docs
       (String.concat ", " (List.map string_of_int scales))
       (series (fun i _ -> i))
@@ -1175,6 +1191,7 @@ let print_e8_throughput () =
   Printf.printf
     "E8-throughput: concurrent TCP query service, closed-loop clients (%.1fs per cell)\n"
     e8t_duration;
+  warn_if_single_core "E8-throughput";
   Printf.printf "%-6s %-8s %9s %9s %10s %10s %10s\n" "jobs" "clients"
     "requests" "QPS" "p50 (ms)" "p95 (ms)" "p99 (ms)";
   Printf.printf "%s\n" (String.make 68 '-');
@@ -1249,6 +1266,7 @@ let print_e8_throughput () =
       \  \"experiment\": \"E8-throughput\",\n\
       \  \"generated_by\": \"bench/main.ml\",\n\
       \  \"scale\": %d,\n\
+      \  \"host_cores\": %d,\n\
       \  \"duration_seconds\": %.2f,\n\
       \  \"workload\": [%s],\n\
       \  \"pipeline_workload\": [\"SELECT 1\", \"SELECT path FROM xml_path \
@@ -1256,7 +1274,9 @@ let print_e8_throughput () =
       \  \"cells\": [\n%s\n  ],\n\
       \  \"idle_cells\": [\n%s\n  ],\n\
       \  \"pipeline_cells\": [\n%s\n  ]\n}\n"
-      scale e8t_duration
+      scale
+      (Domain.recommended_domain_count ())
+      e8t_duration
       (String.concat ", "
          (List.map (fun (n, _) -> Printf.sprintf "%S" n) queries))
       (String.concat ",\n" (List.map cell_json cells))
@@ -1455,6 +1475,7 @@ let print_e10_outofcore () =
       \  \"experiment\": \"E10-outofcore\",\n\
       \  \"generated_by\": \"bench/main.ml\",\n\
       \  \"scale\": %d,\n\
+      \  \"host_cores\": %d,\n\
       \  \"page_size\": %d,\n\
       \  \"load\": {\n\
       \    \"documents\": %d,\n\
@@ -1473,7 +1494,9 @@ let print_e10_outofcore () =
       \    \"mix\": {%s}\n\
       \  },\n\
       \  \"pool_fits\": [\n%s\n  ]\n}\n"
-      scale Rdb.Bufpool.page_size docs bulk_install_s perrow_install_s
+      scale
+      (Domain.recommended_domain_count ())
+      Rdb.Bufpool.page_size docs bulk_install_s perrow_install_s
       (perrow_install_s /. bulk_install_s)
       tiny_pool_pages ooc_data_bytes
       (float_of_int ooc_data_bytes /. float_of_int pool_bytes)
@@ -1501,6 +1524,361 @@ let print_e10_outofcore () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* E11-replication: WAL-shipped read replicas                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Three claims about the replication subsystem (lib/replication):
+
+     read scale-out  routing reads through two replicas must beat the
+                     primary-only closed-loop read QPS by >= 1.5x. Each
+                     serve is its own OS process: OCaml 5 systhreads
+                     share one domain's runtime lock, so in-process
+                     "replicas" cannot add read capacity — the bench
+                     spawns the CLI binary (XOMATIQ_BIN overrides the
+                     default dune path).
+     bounded lag     a replica streaming behind a sustained write load
+                     catches up to the primary's final position within
+                     seconds of the writes stopping.
+     flat WAL        periodic checkpoints truncate the replica-acked
+                     prefix, so insert/delete churn cycles do not grow
+                     the primary's on-disk WAL without bound. *)
+
+let e11_duration =
+  match Sys.getenv_opt "XOMATIQ_BENCH_E11_SECS" with
+  | Some s -> (try float_of_string s with Failure _ -> 2.0)
+  | None -> if Sys.getenv_opt "XOMATIQ_BENCH_SMOKE" <> None then 0.6 else 2.0
+
+(* pull ["field": N] out of a METRICS JSON payload — the server renders
+   integers with at most spaces after the colon (same trick the routed
+   client uses for its read-your-writes probes) *)
+let e11_json_int payload field =
+  let needle = Printf.sprintf "\"%s\":" field in
+  let plen = String.length payload and nlen = String.length needle in
+  let rec find i =
+    if i + nlen > plen then None
+    else if String.sub payload i nlen = needle then begin
+      let j = ref (i + nlen) in
+      while !j < plen && payload.[!j] = ' ' do incr j done;
+      let k = ref !j in
+      while
+        !k < plen
+        && (match payload.[!k] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr k
+      done;
+      if !k > !j then int_of_string_opt (String.sub payload !j (!k - !j))
+      else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let e11_spawn ~log bin args =
+  let fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  Unix.create_process bin (Array.of_list (bin :: args)) Unix.stdin fd fd
+
+let e11_stop pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec reap () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if Unix.gettimeofday () > deadline then begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid)
+      end
+      else begin
+        Thread.delay 0.05;
+        reap ()
+      end
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  in
+  reap ()
+
+let print_e11_replication () =
+  print_newline ();
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "E11-replication: WAL-shipped read replicas across serve processes \
+     (scale=%d, host cores=%d, %.1fs per read cell)\n"
+    scale cores e11_duration;
+  warn_if_single_core "E11-replication";
+  let bin =
+    match Sys.getenv_opt "XOMATIQ_BIN" with
+    | Some p when String.trim p <> "" -> p
+    | _ -> "./_build/default/bin/xomatiq_cli.exe"
+  in
+  if not (Sys.file_exists bin) then
+    failwith
+      (Printf.sprintf
+         "E11-replication: CLI binary %s not built — run 'dune build bin' \
+          first or point XOMATIQ_BIN at it"
+         bin);
+  with_fresh_dir @@ fun dir ->
+  let path name = Filename.concat dir name in
+  let primary_wal = path "primary.wal" in
+  (* serve prints no bound port, so pick a pid-derived block of fixed
+     ports to keep concurrent bench runs off each other's toes *)
+  let base = 18200 + (4 * (Unix.getpid () mod 2000)) in
+  let p_port = base and p_repl = base + 1 in
+  let r_ports = [ base + 2; base + 3 ] in
+  let serve_common =
+    [ "serve"; "--host"; "127.0.0.1"; "--max-clients"; "64";
+      "--queue-depth"; "32" ]
+  in
+  let pids = ref [] in
+  let spawn ~log args =
+    let pid = e11_spawn ~log bin args in
+    pids := pid :: !pids;
+    pid
+  in
+  Fun.protect ~finally:(fun () -> List.iter e11_stop !pids) @@ fun () ->
+  ignore
+    (spawn ~log:(path "primary.log")
+       (serve_common
+        @ [ "--db"; primary_wal; "--storage"; "disk";
+            "--data-dir"; path "primary.pages";
+            "--port"; string_of_int p_port;
+            "--repl-port"; string_of_int p_repl;
+            "--checkpoint-every"; "0.5" ]));
+  let pc = Xserver.Client.connect ~retry_for_s:20. ~port:p_port () in
+  ignore
+    (Xserver.Client.sql pc
+       "CREATE TABLE e11 (id INTEGER PRIMARY KEY, grp INTEGER NOT NULL, \
+        val INTEGER NOT NULL)");
+  List.iteri
+    (fun i port ->
+      ignore
+        (spawn ~log:(path (Printf.sprintf "replica%d.log" i))
+           (serve_common
+            @ [ "--db"; path (Printf.sprintf "replica%d.wal" i);
+                "--port"; string_of_int port;
+                "--replicate-from"; Printf.sprintf "127.0.0.1:%d" p_repl ])))
+    r_ports;
+  let rcs =
+    List.map (fun port -> Xserver.Client.connect ~retry_for_s:20. ~port ()) r_ports
+  in
+  let primary_pos () =
+    Option.value ~default:0 (e11_json_int (Xserver.Client.metrics pc) "position")
+  in
+  let applied c =
+    Option.value ~default:(-1) (e11_json_int (Xserver.Client.metrics c) "applied")
+  in
+  let wait_caught_up ~timeout_s what =
+    let target = primary_pos () in
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec go () =
+      if List.for_all (fun c -> applied c >= target) rcs then ()
+      else if Unix.gettimeofday () > deadline then
+        failwith
+          (Printf.sprintf
+             "E11-replication: replicas still behind position %d after \
+              %.0fs (%s); see %s/replica*.log"
+             target timeout_s what dir)
+      else begin
+        Thread.delay 0.05;
+        go ()
+      end
+    in
+    go ()
+  in
+  (* -------- seed through the wire, replicas backfill from pos 0 ---- *)
+  let rows = max 200 (min (scale * 10) 2000) in
+  let insert id grp v =
+    Printf.sprintf "INSERT INTO e11 (id, grp, val) VALUES (%d, %d, %d)" id grp v
+  in
+  List.iter
+    (function
+      | Ok _ -> ()
+      | Error (code, m) ->
+        failwith (Printf.sprintf "E11 seed failed: [%s] %s" code m))
+    (Xserver.Client.query_pipelined ~sql:true ~window:32 pc
+       (List.init rows (fun i -> insert i (i mod 97) (i * 7 mod 1000))));
+  wait_caught_up ~timeout_s:30. "initial backfill";
+  (* -------- read scale-out: primary-only vs routed to 2 replicas --- *)
+  let read_query = "SELECT SUM(val) FROM e11 WHERE grp < 40" in
+  let expected_body = fst (Xserver.Client.sql pc read_query) in
+  let clients = 4 in
+  let mismatch = Atomic.make None in
+  let read_phase ~replicas =
+    let counts = Array.make clients 0 in
+    let via_replicas = ref 0 in
+    let mu = Mutex.create () in
+    let threads =
+      Array.init clients (fun i ->
+          Thread.create
+            (fun () ->
+              let r =
+                Xserver.Client.Routed.connect ~retry_for_s:10. ~replicas
+                  ~port:p_port ()
+              in
+              Fun.protect
+                ~finally:(fun () -> Xserver.Client.Routed.close r)
+              @@ fun () ->
+              let stop_at = Unix.gettimeofday () +. e11_duration in
+              let n = ref 0 in
+              while Unix.gettimeofday () < stop_at do
+                let body, _ = Xserver.Client.Routed.sql r read_query in
+                if body <> expected_body then
+                  Atomic.set mismatch (Some (expected_body, body));
+                incr n
+              done;
+              counts.(i) <- !n;
+              Mutex.lock mu;
+              via_replicas := !via_replicas + Xserver.Client.Routed.replica_reads r;
+              Mutex.unlock mu)
+            ())
+    in
+    Array.iter Thread.join threads;
+    let total = Array.fold_left ( + ) 0 counts in
+    (float_of_int total /. e11_duration, total, !via_replicas)
+  in
+  let qps_primary, req_primary, _ = read_phase ~replicas:[] in
+  let qps_repl, req_repl, via_replicas =
+    read_phase
+      ~replicas:(List.map (fun port -> ("127.0.0.1", port)) r_ports)
+  in
+  (match Atomic.get mismatch with
+   | Some (want, got) ->
+     failwith
+       (Printf.sprintf
+          "E11-replication: replica read diverged from the primary: \
+           expected %S, got %S"
+          want got)
+   | None -> ());
+  if via_replicas = 0 then
+    failwith
+      "E11-replication: routed phase never read from a replica — routing \
+       is broken or the replicas never reported caught-up";
+  let scaleout = qps_repl /. qps_primary in
+  Printf.printf
+    "  reads: primary-only %9.1f QPS (%d reqs)   2 replicas %9.1f QPS \
+     (%d reqs, %d via replicas)   scale-out %.2fx\n%!"
+    qps_primary req_primary qps_repl req_repl via_replicas scaleout;
+  (* the floor needs a core each for the client and the two replica
+     processes; below that the cells time-slice one another and the
+     ratio measures the scheduler, not the subsystem *)
+  let floor_enforced = cores >= 4 in
+  if floor_enforced && scaleout < 1.5 then
+    failwith
+      (Printf.sprintf
+         "E11-replication regression: 2 replicas reach only %.2fx of the \
+          primary-only read QPS (%.1f vs %.1f), below the 1.5x floor"
+         scaleout qps_repl qps_primary);
+  if not floor_enforced then
+    Printf.printf
+      "  (1.5x scale-out floor not enforced: %d host core(s) < 4)\n%!" cores;
+  (* -------- bounded lag under a sustained write stream ------------- *)
+  let writes = if e11_duration < 1.0 then 300 else 800 in
+  let max_lag = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to writes - 1 do
+    ignore (Xserver.Client.sql pc (insert (100_000 + i) (i mod 97) 1));
+    if i mod 50 = 49 then begin
+      let lag = primary_pos () - applied (List.hd rcs) in
+      if lag > !max_lag then max_lag := lag
+    end
+  done;
+  let write_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  wait_caught_up ~timeout_s:20. "catch-up after sustained writes";
+  let catchup_s = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "  lag: %d writes in %.2fs, max observed lag %d records, caught up \
+     %.2fs after the stream stopped\n%!"
+    writes write_s !max_lag catchup_s;
+  (* -------- flat WAL across churn cycles --------------------------- *)
+  let wal_size () = (Unix.stat primary_wal).Unix.st_size in
+  (* a cycle's records are truncatable once both replicas acked them;
+     stable-for-1.5s covers three 0.5s checkpoint periods, so a size
+     that stops moving really is the post-truncation floor *)
+  let stabilized_wal_size () =
+    let deadline = Unix.gettimeofday () +. 15. in
+    let rec go last same_for =
+      Thread.delay 0.25;
+      let s = wal_size () in
+      if Unix.gettimeofday () > deadline then s
+      else if s <> last then go s 0.
+      else if same_for >= 1.5 then s
+      else go s (same_for +. 0.25)
+    in
+    go (wal_size ()) 0.
+  in
+  let churn_rows = 300 in
+  let cycles = 4 in
+  let wal_sizes =
+    List.init cycles (fun cycle ->
+        List.iter
+          (function
+            | Ok _ -> ()
+            | Error (code, m) ->
+              failwith (Printf.sprintf "E11 churn failed: [%s] %s" code m))
+          (Xserver.Client.query_pipelined ~sql:true ~window:32 pc
+             (List.init churn_rows (fun i ->
+                  insert (200_000 + i) (i mod 97) cycle)));
+        ignore (Xserver.Client.sql pc "DELETE FROM e11 WHERE id >= 200000");
+        wait_caught_up ~timeout_s:20.
+          (Printf.sprintf "churn cycle %d" (cycle + 1));
+        let s = stabilized_wal_size () in
+        Printf.printf "  churn cycle %d: WAL %d bytes after checkpoint\n%!"
+          (cycle + 1) s;
+        s)
+  in
+  let first_wal = List.hd wal_sizes in
+  let last_wal = List.nth wal_sizes (cycles - 1) in
+  if float_of_int last_wal > (1.5 *. float_of_int first_wal) +. 65536. then
+    failwith
+      (Printf.sprintf
+         "E11-replication regression: WAL grew across churn cycles \
+          (%d -> %d bytes) — checkpoints are not truncating the acked \
+          prefix"
+         first_wal last_wal);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"E11-replication\",\n\
+      \  \"generated_by\": \"bench/main.ml\",\n\
+      \  \"scale\": %d,\n\
+      \  \"host_cores\": %d,\n\
+      \  \"duration_seconds\": %.2f,\n\
+      \  \"rows\": %d,\n\
+      \  \"read_query\": %S,\n\
+      \  \"reads\": {\n\
+      \    \"clients\": %d,\n\
+      \    \"primary_only_qps\": %.2f,\n\
+      \    \"two_replica_qps\": %.2f,\n\
+      \    \"replica_served_requests\": %d,\n\
+      \    \"scaleout\": %.3f,\n\
+      \    \"floor_enforced\": %b\n\
+      \  },\n\
+      \  \"lag\": {\n\
+      \    \"writes\": %d,\n\
+      \    \"write_seconds\": %.3f,\n\
+      \    \"max_lag_records\": %d,\n\
+      \    \"catchup_seconds\": %.3f\n\
+      \  },\n\
+      \  \"wal\": {\n\
+      \    \"churn_rows_per_cycle\": %d,\n\
+      \    \"cycle_bytes\": [%s]\n\
+      \  }\n}\n"
+      scale cores e11_duration rows read_query clients qps_primary qps_repl
+      via_replicas scaleout floor_enforced writes write_s !max_lag catchup_s
+      churn_rows
+      (String.concat ", " (List.map string_of_int wal_sizes))
+  in
+  let out =
+    match Sys.getenv_opt "XOMATIQ_BENCH_E11_JSON" with
+    | Some p when String.trim p <> "" -> p
+    | _ -> "BENCH_E11.json"
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 (* CI smoke mode: skip bechamel and the large sweeps, run the E5 family
    once at whatever (small) scale the environment sets. *)
 let smoke = Sys.getenv_opt "XOMATIQ_BENCH_SMOKE" <> None
@@ -1519,6 +1897,7 @@ let () =
      | "e9" -> print_e9 ()
      | "e9-vectorized" -> print_e9_vectorized ()
      | "e10-outofcore" -> print_e10_outofcore ()
+     | "e11-replication" -> print_e11_replication ()
      | other -> failwith ("unknown XOMATIQ_BENCH_ONLY experiment: " ^ other))
   | None ->
   if smoke then begin
@@ -1554,6 +1933,7 @@ let () =
     print_e9 ();
     print_e9_vectorized ();
     print_e10_outofcore ();
+    print_e11_replication ();
     print_newline ();
     print_endline "Done. See EXPERIMENTS.md for the experiment index and expected shapes."
   end

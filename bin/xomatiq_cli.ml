@@ -110,13 +110,48 @@ let metrics_json_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics-json" ] ~docv:"FILE" ~doc)
 
-let dump_metrics_json = function
+(* The snapshot keeps the flat metric names at the top level (CI greps
+   them) and splices the same [storage] / [replication] objects METRICS
+   replies carry into the closing brace. *)
+let dump_metrics_json ?wh ?repl_json = function
   | None -> ()
   | Some path ->
+    let base = Rdb.Obs.dump_json () in
+    let extra =
+      (match wh with
+       | Some wh ->
+         Printf.sprintf ", \"storage\": %s" (Xserver.Server.storage_json wh)
+       | None -> "")
+      ^ Printf.sprintf ", \"replication\": %s"
+          (Option.value repl_json ~default:"{\"role\": \"standalone\"}")
+    in
+    let json =
+      let n = String.length base in
+      if n > 0 && base.[n - 1] = '}' then
+        String.sub base 0 (n - 1) ^ extra ^ "}"
+      else base
+    in
     let oc = open_out_bin path in
-    output_string oc (Rdb.Obs.dump_json ());
+    output_string oc json;
     output_char oc '\n';
     close_out oc
+
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | Some i when i > 0 && i < String.length s - 1 -> (
+    let host = String.sub s 0 i
+    and port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 -> Ok (host, p)
+    | _ -> Error (Printf.sprintf "bad port in %S" s))
+  | _ -> Error (Printf.sprintf "%S is not HOST:PORT" s)
+
+let hostport_conv =
+  let parse s =
+    match parse_hostport s with Ok v -> Ok v | Error m -> Error (`Msg m)
+  in
+  let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+  Arg.conv (parse, print)
 
 (* ---------------- commands ---------------- *)
 
@@ -280,10 +315,10 @@ let query_cmd =
           let hits, misses = Xomatiq.Engine.cache_stats () in
           Printf.printf "plan cache: %d hit(s), %d miss(es)\n" hits misses
         end;
-        dump_metrics_json metrics_json;
+        dump_metrics_json ~wh metrics_json;
         `Ok ()
       | exception Xomatiq.Engine.Query_error m ->
-        dump_metrics_json metrics_json;
+        dump_metrics_json ~wh metrics_json;
         `Error (false, m)
   in
   let format_arg =
@@ -672,7 +707,8 @@ let port_arg ~default ~doc =
 
 let serve_cmd =
   let run db host port max_clients queue_depth query_timeout idle_timeout
-      write_timeout pipeline_window jobs metrics_json =
+      write_timeout pipeline_window repl_port replicate_from
+      checkpoint_every jobs metrics_json =
     apply_jobs jobs;
     if max_clients < 1 then `Error (true, "--max-clients must be >= 1")
     else if queue_depth < 0 then `Error (true, "--queue-depth must be >= 0")
@@ -680,17 +716,81 @@ let serve_cmd =
       `Error (true, "--pipeline-window must be >= 1")
     else begin
       with_warehouse db @@ fun wh ->
+      let database = Datahounds.Warehouse.db wh in
+      (* every serve has a WAL (--db is required), so DONE trailers
+         always carry a real replication position *)
+      let primary =
+        match repl_port with
+        | None -> None
+        | Some p ->
+          Some (Replication.Primary.start ~host ~port:p database)
+      in
+      let replica =
+        match replicate_from with
+        | None -> None
+        | Some (rhost, rport) ->
+          Some (Replication.Replica.start ~host:rhost ~port:rport database)
+      in
+      let done_seq, repl_status =
+        match replica with
+        | Some rep ->
+          ( (fun () -> Replication.Replica.applied rep),
+            fun () -> Replication.Replica.status_json rep )
+        | None -> (
+          (fun () -> Rdb.Database.wal_position database),
+          match primary with
+          | Some prim -> fun () -> Replication.Primary.status_json prim
+          | None -> fun () -> "{\"role\": \"standalone\"}")
+      in
       let cfg =
         { Xserver.Server.default_config with
           host; port; max_clients; queue_depth;
           query_timeout_s = query_timeout; idle_timeout_s = idle_timeout;
-          write_timeout_s = write_timeout; pipeline_window }
+          write_timeout_s = write_timeout; pipeline_window;
+          read_only = replica <> None;
+          done_seq = Some done_seq; repl_status = Some repl_status }
+      in
+      let ckpt_stop = Atomic.make false in
+      let ckpt_thread =
+        match primary, checkpoint_every with
+        | Some prim, Some every when every > 0. ->
+          Some
+            (Thread.create
+               (fun () ->
+                 (* sleep in half-second slices so shutdown stays prompt
+                    however long the period is *)
+                 let rec sleep left =
+                   if left > 0. && not (Atomic.get ckpt_stop) then begin
+                     Thread.delay (Float.min left 0.5);
+                     sleep (left -. 0.5)
+                   end
+                 in
+                 let rec go () =
+                   if not (Atomic.get ckpt_stop) then begin
+                     sleep every;
+                     if not (Atomic.get ckpt_stop) then
+                       (try Replication.Primary.checkpoint prim
+                        with _ -> ());
+                     go ()
+                   end
+                 in
+                 go ())
+               ())
+        | _ -> None
+      in
+      let finish () =
+        Atomic.set ckpt_stop true;
+        Option.iter Thread.join ckpt_thread;
+        Option.iter Replication.Replica.stop replica;
+        Option.iter Replication.Primary.stop primary
       in
       (match Xserver.Server.run cfg wh with
        | () ->
-         dump_metrics_json metrics_json;
+         finish ();
+         dump_metrics_json ~wh ~repl_json:(repl_status ()) metrics_json;
          `Ok ()
        | exception Unix.Unix_error (e, _, _) ->
+         finish ();
          `Error (false, Printf.sprintf "cannot serve on %s:%d: %s" host port
                    (Unix.error_message e)))
     end
@@ -724,6 +824,28 @@ let serve_cmd =
            ~doc:"Requests a client may pipeline per connection before the \
                  server stops reading it.")
   in
+  let repl_port_arg =
+    Arg.(value & opt (some int) None & info [ "repl-port" ] ~docv:"PORT"
+           ~doc:"Also listen for read replicas on $(docv): committed WAL \
+                 records stream to every connected replica \
+                 (xomatiq-repl/1), and METRICS reports per-replica lag.")
+  in
+  let replicate_from_arg =
+    Arg.(value & opt (some hostport_conv) None
+         & info [ "replicate-from" ] ~docv:"HOST:PORT"
+             ~doc:"Run as a read-only replica of the primary whose \
+                   $(b,--repl-port) listens at $(docv). Writes are \
+                   rejected with a typed READ_ONLY error; the local WAL \
+                   and pages mirror the primary's stream.")
+  in
+  let checkpoint_every_arg =
+    Arg.(value & opt (some float) None
+         & info [ "checkpoint-every" ] ~docv:"SECONDS"
+             ~doc:"With $(b,--repl-port): checkpoint periodically and \
+                   truncate the WAL prefix every connected replica has \
+                   acknowledged, keeping the log flat under sustained \
+                   writes.")
+  in
   let doc =
     "Serve the warehouse over TCP (queries, SQL, EXPLAIN, metrics) with \
      admission control, per-query timeouts and graceful SIGTERM drain."
@@ -733,7 +855,8 @@ let serve_cmd =
                $ port_arg ~default:7788 ~doc:"Port to listen on (0 = ephemeral)."
                $ max_clients_arg $ queue_depth_arg $ query_timeout_arg
                $ idle_timeout_arg $ write_timeout_arg
-               $ pipeline_window_arg $ jobs_arg $ metrics_json_arg))
+               $ pipeline_window_arg $ repl_port_arg $ replicate_from_arg
+               $ checkpoint_every_arg $ jobs_arg $ metrics_json_arg))
 
 (* Crude but dependency-free: pull one "name": <int> out of a metrics
    JSON snapshot (names are unique — Obs renders a flat object per kind). *)
@@ -757,14 +880,18 @@ let metric_of_json json name =
   find 0
 
 let connect_cmd =
-  let run host port window =
-    match Xserver.Client.connect ~host ~busy_retry_for_s:5. ~port () with
+  let run host port window replicas =
+    match
+      Xserver.Client.Routed.connect ~host ~busy_retry_for_s:5. ~replicas
+        ~port ()
+    with
     | exception Unix.Unix_error (e, _, _) ->
       `Error (false, Printf.sprintf "cannot connect to %s:%d: %s" host port
                 (Unix.error_message e))
     | exception Xserver.Client.Server_error (code, m) ->
       `Error (false, Printf.sprintf "[%s] %s" code m)
-    | c ->
+    | routed ->
+      let c = Xserver.Client.Routed.primary routed in
       let had_error = ref false in
       let report_error m =
         had_error := true;
@@ -825,13 +952,14 @@ let connect_cmd =
         end
         else
           guard (fun () ->
-              let body, s = Xserver.Client.query c text in
+              let body, s = Xserver.Client.Routed.query routed text in
               print_string body;
               print_summary s)
       in
       let run_sql text =
         flush_batch ();
-        guard (fun () -> print_string (fst (Xserver.Client.sql c text)))
+        guard (fun () ->
+            print_string (fst (Xserver.Client.Routed.sql routed text)))
       in
       let run_explain ~analyze text =
         flush_batch ();
@@ -908,7 +1036,7 @@ let connect_cmd =
         | exception Xserver.Protocol.Proto_error m ->
           `Error (false, "protocol error: " ^ m)
       in
-      Xserver.Client.close c;
+      Xserver.Client.Routed.close routed;
       match outcome with
       | `Ok () when !had_error && not (Unix.isatty Unix.stdin) ->
         `Error (false, "one or more statements failed")
@@ -918,13 +1046,22 @@ let connect_cmd =
     Arg.(value & opt int 1 & info [ "window" ] ~docv:"W"
            ~doc:"Pipeline plain queries W at a time (xomatiq/1 pipelining; \
                  batch scripts on stdin benefit most). 1 = one request per \
-                 round-trip.")
+                 round-trip. Pipelined batches always go to the primary.")
+  in
+  let replica_arg =
+    Arg.(value & opt_all hostport_conv []
+         & info [ "replica" ] ~docv:"HOST:PORT"
+             ~doc:"A read replica to load-balance reads across \
+                   (repeatable). Writes always go to the primary, and a \
+                   session's reads return there until every write it made \
+                   is visible on a replica (read-your-writes via the \
+                   seq= trailer).")
   in
   let doc = "Interactive remote shell against a running $(b,xomatiq serve)." in
   Cmd.v (Cmd.info "connect" ~doc)
     Term.(ret (const run $ host_arg
                $ port_arg ~default:7788 ~doc:"Server port to connect to."
-               $ window_arg))
+               $ window_arg $ replica_arg))
 
 let () =
   let doc = "warehouse and query biological data the XomatiQ way" in

@@ -8,6 +8,10 @@ type undo =
 type txn = {
   txn_id : int;
   mutable undo_ops : undo list;  (* most recent first *)
+  mutable touched : Table.t list;  (* tables with MVCC stashes to seal *)
+  mutable t_snap : Table.snap option;
+      (* snapshot pinned at the transaction's first read: repeatable
+         reads, and the baseline for first-updater-wins conflicts *)
 }
 
 type t = {
@@ -24,6 +28,16 @@ type t = {
          files: CREATE INDEX attaches instead of building *)
   mutable temp_storage : bool;  (* data dir is ours to delete at close *)
   mutable analyzed : string list;  (* tables with stats, for the manifest *)
+  (* MVCC commit clock. Process-local (starts at 0 every open, never
+     persisted): snapshots only ever compare against commits of the same
+     process, and cross-node positions use WAL record positions instead.
+     [reg_mutex] orders snapshot registration against commit sealing and
+     guards the registry + clock; lock order is reg_mutex before any
+     table's version mutex, never the reverse. *)
+  mutable csn : int;
+  reg_mutex : Mutex.t;
+  mutable active_snaps : int list;  (* CSNs of in-flight snapshots *)
+  mutable versioned : Table.t list;  (* tables holding sealed history *)
 }
 
 (* A session is one client connection: it owns at most one open
@@ -69,6 +83,84 @@ let log t op =
 let log_flush t =
   if not t.replaying then Option.iter Wal.flush t.wal
 
+(* ---------------- MVCC snapshots ---------------- *)
+
+exception Mvcc_conflict of string
+
+(* Open a snapshot at the current clock. Registered under [reg_mutex] so
+   no commit can seal "between" reading the clock and registering — a
+   sealed version either predates the snapshot (invisible) or was sealed
+   at a CSN the snapshot will correctly skip. *)
+let snap_register t ~self =
+  Mutex.lock t.reg_mutex;
+  let at = t.csn in
+  t.active_snaps <- at :: t.active_snaps;
+  Mutex.unlock t.reg_mutex;
+  { Table.at; self }
+
+(* Close a snapshot and reclaim version history nothing can reach. *)
+let snap_release t (snap : Table.snap) =
+  Mutex.lock t.reg_mutex;
+  let rec drop_one = function
+    | [] -> []
+    | x :: rest -> if x = snap.at then rest else x :: drop_one rest
+  in
+  t.active_snaps <- drop_one t.active_snaps;
+  let min_active =
+    match t.active_snaps with
+    | [] -> None
+    | l -> Some (List.fold_left min max_int l)
+  in
+  t.versioned <-
+    List.filter (fun tbl -> Table.gc_versions tbl ~min_active > 0) t.versioned;
+  Mutex.unlock t.reg_mutex
+
+(* Commit [txid]'s stashes and advance the clock. Sealing happens before
+   the new CSN is published, so no snapshot can be positioned after a
+   commit whose versions it cannot see. With no snapshot in flight the
+   pre-images go straight to the floor. *)
+let advance_clock t ~txid ~touched =
+  Mutex.lock t.reg_mutex;
+  let c = t.csn + 1 in
+  let keep = t.active_snaps <> [] in
+  List.iter
+    (fun tbl ->
+      if keep then begin
+        Table.seal_versions tbl ~txid ~csn:c;
+        if not (List.memq tbl t.versioned) then
+          t.versioned <- tbl :: t.versioned
+      end
+      else Table.discard_versions tbl ~txid)
+    touched;
+  t.csn <- c;
+  Mutex.unlock t.reg_mutex
+
+let touch txn tbl =
+  if not (List.memq tbl txn.touched) then txn.touched <- tbl :: txn.touched
+
+(* Pre-image stash before a row mutation. When the transaction pinned a
+   snapshot (it read before writing), a row committed over since then is
+   a lost-update hazard: first-updater-wins, the statement aborts the
+   whole transaction. *)
+let stash_write t txn tbl rowid =
+  if not t.replaying then begin
+    touch txn tbl;
+    let since = Option.map (fun (v : Table.snap) -> v.at) txn.t_snap in
+    if not (Table.stash_row tbl ~txid:txn.txn_id ?since rowid) then
+      raise
+        (Mvcc_conflict
+           (Printf.sprintf
+              "serialization failure: concurrent update to table %S, \
+               transaction rolled back"
+              (Table.schema tbl).Schema.table_name))
+  end
+
+let stash_append t txn tbl =
+  if not t.replaying then begin
+    touch txn tbl;
+    Table.stash_len tbl ~txid:txn.txn_id
+  end
+
 (* Obtain the transaction to charge an operation to: the session's open
    one, or a fresh single-statement transaction (auto-commit). Returns
    the txn and whether it must be committed at statement end. *)
@@ -77,7 +169,9 @@ let charge s =
   match s.s_txn with
   | Some txn -> (txn, false)
   | None ->
-    let txn = { txn_id = t.next_txid; undo_ops = [] } in
+    let txn =
+      { txn_id = t.next_txid; undo_ops = []; touched = []; t_snap = None }
+    in
     t.next_txid <- t.next_txid + 1;
     log t (Wal.Begin txn.txn_id);
     (txn, true)
@@ -85,6 +179,14 @@ let charge s =
 let commit_txn t txn =
   log t (Wal.Commit txn.txn_id);
   log_flush t;
+  (* the pinned snapshot dies with its transaction; then seal the
+     pre-image stashes at the next CSN *)
+  Option.iter
+    (fun v ->
+      snap_release t v;
+      txn.t_snap <- None)
+    txn.t_snap;
+  advance_clock t ~txid:txn.txn_id ~touched:txn.touched;
   (* strict 2PL: locks are held to commit *)
   Lock_manager.release_all t.locks ~owner:txn.txn_id
 
@@ -116,8 +218,21 @@ let rollback_txn _t txn =
     txn.undo_ops
 
 let abort t txn =
+  (* raw undo first: a pending pre-image keeps concurrent snapshot
+     readers consistent through the window where the store still shows
+     the aborted writes; only then are those stashes discarded *)
   rollback_txn t txn;
+  List.iter (fun tbl -> Table.discard_versions tbl ~txid:txn.txn_id) txn.touched;
+  Option.iter
+    (fun v ->
+      snap_release t v;
+      txn.t_snap <- None)
+    txn.t_snap;
   log t (Wal.Rollback txn.txn_id);
+  (* flushed like a commit: the replication sender reads the file, and an
+     unflushed rollback would leave the on-disk log permanently short of
+     [wal_position] — no replica could ever catch up past it *)
+  log_flush t;
   Lock_manager.release_all t.locks ~owner:txn.txn_id
 
 (* ---------------- locking ---------------- *)
@@ -140,16 +255,6 @@ let lock_table s txn mode table =
       abort t txn;
       s.s_txn <- None;
       error "deadlock detected: transaction %d rolled back" txn.txn_id
-
-let base_tables plan =
-  List.sort_uniq String.compare
-    (List.filter_map
-       (function
-         | Plan.Seq_scan { table; _ }
-         | Plan.Index_lookup { table; _ }
-         | Plan.Index_range { table; _ } -> Some table
-         | _ -> None)
-       (Plan.descendants plan))
 
 (* ---------------- statement execution ---------------- *)
 
@@ -178,6 +283,7 @@ let do_insert t txn ~table ~columns ~rows =
         cols
   in
   let count = ref 0 in
+  stash_append t txn tbl;
   List.iter
     (fun value_exprs ->
       if List.length value_exprs <> List.length positions then
@@ -189,7 +295,9 @@ let do_insert t txn ~table ~columns ~rows =
       match Table.insert tbl row with
       | Ok rowid ->
         txn.undo_ops <- Undo_insert { table = tbl; rowid } :: txn.undo_ops;
-        log t (Wal.Insert { txid = txn.txn_id; table = Catalog.normalize table; row });
+        log t
+          (Wal.Insert
+             { txid = txn.txn_id; table = Catalog.normalize table; row; rowid });
         incr count
       | Error m -> error "%s" m)
     rows;
@@ -255,6 +363,7 @@ let do_delete t txn ~table ~where =
   let victims = matching_rowids t tbl where in
   List.iter
     (fun (rowid, row) ->
+      stash_write t txn tbl rowid;
       if Table.delete tbl rowid then begin
         txn.undo_ops <- Undo_delete { table = tbl; rowid; row } :: txn.undo_ops;
         log t (Wal.Delete { txid = txn.txn_id; table = Catalog.normalize table; rowid })
@@ -276,6 +385,7 @@ let do_update t txn ~table ~assignments ~where =
   let victims = matching_rowids t tbl where in
   List.iter
     (fun (rowid, old_row) ->
+      stash_write t txn tbl rowid;
       let new_row = Array.copy old_row in
       List.iter
         (fun (i, ce) -> new_row.(i) <- Executor.eval_expr t.cat old_row ce)
@@ -349,6 +459,10 @@ let do_create_index t ~ddl_sql ~name ~table ~columns ~unique ~kind =
       ~columns:(List.map String.lowercase_ascii columns)
       ~column_positions:positions ~unique ikind
   in
+  (* WAL replay over surviving page files (recovery past a truncated
+     prefix): a torn post-checkpoint build may have flushed partial index
+     pages — the build below must start from empty *)
+  if t.replaying && not t.attaching then Index.clear idx;
   match Catalog.add_index ~attach:t.attaching t.cat ~table idx with
   | Ok () ->
     Catalog.bump_version t.cat;
@@ -398,13 +512,28 @@ let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
       | Query_stmt q -> Planner.plan_query t.cat q
       | _ -> assert false
     in
-    (* inside an explicit transaction, reads take shared table locks *)
+    (* MVCC: reads take no table locks — they run against a registered
+       snapshot, neither blocking writers nor waiting for them. A
+       standalone statement reads at the current CSN; a transaction pins
+       its snapshot at first read (repeatable reads, own writes
+       visible). *)
     (match s.s_txn with
      | Some txn ->
-       List.iter (lock_table s txn Lock_manager.Shared) (base_tables planned.plan)
-     | None -> ());
-    let rows = List.of_seq (Executor.run t.cat planned.plan) in
-    Rows { columns = planned.column_names; rows }
+       let view =
+         match txn.t_snap with
+         | Some v -> v
+         | None ->
+           let v = snap_register t ~self:txn.txn_id in
+           txn.t_snap <- Some v;
+           v
+       in
+       let rows = List.of_seq (Executor.run t.cat ~view planned.plan) in
+       Rows { columns = planned.column_names; rows }
+     | None ->
+       let view = snap_register t ~self:(-1) in
+       Fun.protect ~finally:(fun () -> snap_release t view) @@ fun () ->
+       let rows = List.of_seq (Executor.run t.cat ~view planned.plan) in
+       Rows { columns = planned.column_names; rows })
   | Insert { table; columns; rows } ->
     let txn, auto = charge s in
     (try
@@ -424,7 +553,12 @@ let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
        Catalog.bump_version t.cat;
        if auto then commit_txn t txn;
        Affected n
-     with e ->
+     with
+     | Mvcc_conflict m ->
+       abort t txn;
+       s.s_txn <- None;
+       error "%s" m
+     | e ->
        if auto then abort t txn;
        raise e)
   | Update { table; assignments; where } ->
@@ -435,7 +569,12 @@ let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
        Catalog.bump_version t.cat;
        if auto then commit_txn t txn;
        Affected n
-     with e ->
+     with
+     | Mvcc_conflict m ->
+       abort t txn;
+       s.s_txn <- None;
+       error "%s" m
+     | e ->
        if auto then abort t txn;
        raise e)
   | Create_table _ as ct ->
@@ -476,7 +615,9 @@ let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
     do_analyze t stmt target
   | Begin_txn ->
     if s.s_txn <> None then error "already in a transaction";
-    let txn = { txn_id = t.next_txid; undo_ops = [] } in
+    let txn =
+      { txn_id = t.next_txid; undo_ops = []; touched = []; t_snap = None }
+    in
     t.next_txid <- t.next_txid + 1;
     log t (Wal.Begin txn.txn_id);
     s.s_txn <- Some txn;
@@ -528,7 +669,14 @@ let rec execute_in (s : session) (stmt : Sql_ast.stmt) : result =
        Bufpool.pool_writebacks ())
     in
     let t0 = Obs.now_s () in
-    let rows = List.of_seq (Executor.run t.cat ~obs planned.plan) in
+    let view =
+      snap_register t
+        ~self:(match s.s_txn with Some txn -> txn.txn_id | None -> -1)
+    in
+    let rows =
+      Fun.protect ~finally:(fun () -> snap_release t view) @@ fun () ->
+      List.of_seq (Executor.run t.cat ~obs ~view planned.plan)
+    in
     let elapsed_ms = (Obs.now_s () -. t0) *. 1000. in
     let vec = Rewrite.enabled () in
     (* estimate-vs-actual, side by side on every node *)
@@ -573,11 +721,21 @@ and replay t ops =
         (match Sql_parser.parse sql with
          | stmt -> ignore (execute t stmt)
          | exception e -> failwith ("recovery: bad DDL in WAL: " ^ Printexc.to_string e))
-      | Wal.Insert { table; row; _ } ->
+      | Wal.Insert { table; row; rowid; _ } ->
+        (* idempotent: the record names its rowid, and rowids are
+           sequential appends never reused — the table having grown past
+           [rowid] means this record is already applied (suffix replay
+           over checkpointed pages, or a re-shipped stream) *)
         let tbl = find_table t table in
-        (match Table.insert tbl row with
-         | Ok _ -> ()
-         | Error m -> failwith ("recovery: " ^ m))
+        if Table.next_rowid tbl <= rowid then (
+          match Table.insert tbl row with
+          | Ok r ->
+            if r <> rowid then
+              failwith
+                (Printf.sprintf
+                   "recovery: %s replayed rowid %d where WAL says %d" table r
+                   rowid)
+          | Error m -> failwith ("recovery: " ^ m))
       | Wal.Delete { table; rowid; _ } ->
         let tbl = find_table t table in
         ignore (Table.delete tbl rowid)
@@ -586,23 +744,31 @@ and replay t ops =
         (match Table.update tbl rowid row with
          | Ok () -> ()
          | Error m -> failwith ("recovery: " ^ m))
-      | Wal.Load { table; spool; rows; _ } ->
+      | Wal.Load { table; spool; rows; first; _ } ->
         (* a committed bulk load: stream the spooled rows back in. The
            row-by-row path (index maintenance included) is fine here —
-           recovery is not the hot path the spool optimised. *)
+           recovery is not the hot path the spool optimised. Idempotent
+           like Insert: rows below the table's high-water mark are
+           already applied, so replay resumes mid-spool. *)
         let tbl = find_table t table in
-        if not (Sys.file_exists spool) then
-          failwith
-            (Printf.sprintf "recovery: bulk-load spool %s is missing" spool);
-        let n = ref 0 in
-        Storage.spool_iter spool (fun row ->
-            match Table.insert tbl row with
-            | Ok _ -> incr n
-            | Error m -> failwith ("recovery: " ^ m));
-        if !n <> rows then
-          failwith
-            (Printf.sprintf "recovery: spool %s holds %d rows, WAL says %d"
-               spool !n rows)
+        let have = max 0 (min rows (Table.next_rowid tbl - first)) in
+        if have < rows then begin
+          if not (Sys.file_exists spool) then
+            failwith
+              (Printf.sprintf "recovery: bulk-load spool %s is missing" spool);
+          let n = ref 0 in
+          Storage.spool_iter spool (fun row ->
+              if !n >= have then begin
+                match Table.insert tbl row with
+                | Ok _ -> ()
+                | Error m -> failwith ("recovery: " ^ m)
+              end;
+              incr n);
+          if !n <> rows then
+            failwith
+              (Printf.sprintf "recovery: spool %s holds %d rows, WAL says %d"
+                 spool !n rows)
+        end
       | Wal.Begin txid | Wal.Commit txid | Wal.Rollback txid ->
         if txid >= t.next_txid then t.next_txid <- txid + 1)
     ops
@@ -611,7 +777,8 @@ let mk_db ?storage () =
   { db_id = Atomic.fetch_and_add next_db_id 1;
     cat = Catalog.create (); wal = None; locks = Lock_manager.create ();
     next_txid = 1; replaying = false; default_session = None;
-    storage; attaching = false; temp_storage = false; analyzed = [] }
+    storage; attaching = false; temp_storage = false; analyzed = [];
+    csn = 0; reg_mutex = Mutex.create (); active_snaps = []; versioned = [] }
 
 (* Advance past every txid in the log, including uncommitted (torn)
    transactions: reusing such an id would let a later commit record
@@ -626,6 +793,37 @@ let advance_txids t ops =
         if txid >= t.next_txid then t.next_txid <- txid + 1
       | Wal.Ddl _ -> ())
     ops
+
+(* Rebuild every index from its table's heap. Recovery over a truncated
+   WAL cannot trust post-checkpoint index pages (a crash may have
+   flushed them torn or half-built); the heap — checkpointed prefix
+   plus idempotent suffix replay — is the authority. *)
+let rebuild_indexes t =
+  List.iter
+    (fun n ->
+      match Catalog.find_table t.cat n with
+      | None -> ()
+      | Some tbl ->
+        let idxs = Table.indexes tbl in
+        List.iter Index.clear idxs;
+        Seq.iter
+          (fun (rowid, row) ->
+            List.iter
+              (fun idx ->
+                match Index.insert idx row rowid with
+                | Ok () -> ()
+                | Error m -> failwith ("recovery: index rebuild: " ^ m))
+              idxs)
+          (Table.scan tbl))
+    (Catalog.table_names t.cat)
+
+let clear_indexes t =
+  List.iter
+    (fun n ->
+      match Catalog.find_table t.cat n with
+      | None -> ()
+      | Some tbl -> List.iter Index.clear (Table.indexes tbl))
+    (Catalog.table_names t.cat)
 
 (* XOMATIQ_STORAGE=disk flips the default open paths onto the paged
    backend without touching call sites. *)
@@ -675,22 +873,50 @@ let open_disk_at ~dir ~wal_path ~temp =
   Storage.drop_manifest st;
   Option.iter Wal.trim_torn_tail wal_path;
   let wal_lines = match wal_path with Some p -> Wal.line_count p | None -> 0 in
+  let wal_base = match wal_path with Some p -> Wal.read_base p | None -> 0 in
   let all_ops = match wal_path with Some p -> Wal.read_ops p | None -> [] in
+  let attach_ddls ddls =
+    t.attaching <- true;
+    Fun.protect ~finally:(fun () -> t.attaching <- false) @@ fun () ->
+    List.iter
+      (fun ddl ->
+        match Sql_parser.parse ddl with
+        | stmt -> ignore (execute t stmt)
+        | exception e ->
+          failwith ("attach: bad DDL in manifest: " ^ Printexc.to_string e))
+      ddls
+  in
+  (* statistics are not persisted; recompute them (sampled) *)
+  let reanalyze names =
+    List.iter (fun tbl -> ignore (execute t (Sql_ast.Analyze (Some tbl)))) names
+  in
   (match manifest with
    | Some m when m.wal_lines = wal_lines ->
-     t.attaching <- true;
-     Fun.protect ~finally:(fun () -> t.attaching <- false) @@ fun () ->
-     List.iter
-       (fun ddl ->
-         match Sql_parser.parse ddl with
-         | stmt -> ignore (execute t stmt)
-         | exception e ->
-           failwith ("attach: bad DDL in manifest: " ^ Printexc.to_string e))
-       m.ddls;
-     (* statistics are not persisted; recompute them (sampled) *)
-     List.iter
-       (fun tbl -> ignore (execute t (Sql_ast.Analyze (Some tbl))))
-       m.analyzed
+     attach_ddls m.ddls;
+     reanalyze m.analyzed
+   | Some m when wal_base > 0 && m.wal_lines >= wal_base
+              && m.wal_lines <= wal_lines ->
+     (* torn checkpoint over a truncated log. The dropped prefix is
+        durable in the checkpointed pages (truncation never passes the
+        manifest it was taken under — see [checkpoint]): attach the
+        manifest's final state and replay the committed suffix past it.
+        The replayed records are idempotent (each carries its rowid),
+        but index pages written after the checkpoint are not trusted:
+        they are cleared up front — so replay's unique checks see only
+        what this pass inserted — and every index is rebuilt from the
+        recovered heaps at the end. *)
+     attach_ddls m.ddls;
+     clear_indexes t;
+     (match wal_path with
+      | Some p -> replay t (Wal.committed_ops (Wal.ops_from p ~pos:m.wal_lines))
+      | None -> ());
+     rebuild_indexes t;
+     reanalyze
+       (List.sort_uniq String.compare (m.analyzed @ t.analyzed))
+   | _ when wal_base > 0 ->
+     failwith
+       "recovery: the WAL prefix was truncated and no manifest covers it; \
+        restore the data directory or re-seed from the primary"
    | _ ->
      Storage.wipe_pages st;
      replay t (Wal.committed_ops all_ops));
@@ -714,6 +940,10 @@ let open_with_wal path =
     open_disk_at ~dir:(path ^ ".pages") ~wal_path:(Some path) ~temp:false
   else begin
     Wal.trim_torn_tail path;
+    if Wal.read_base path > 0 then
+      failwith
+        "recovery: the WAL prefix was truncated, but the in-memory backend \
+         has no checkpointed pages to recover it from";
     let all_ops = Wal.read_ops path in
     let t = mk_db () in
     replay t (Wal.committed_ops all_ops);
@@ -753,7 +983,7 @@ let manifest_ddls t =
              (Table.indexes tbl))
     (Catalog.table_names t.cat)
 
-let checkpoint t =
+let checkpoint ?truncate_upto t =
   match t.storage with
   | None -> ()
   | Some st ->
@@ -764,7 +994,18 @@ let checkpoint t =
       match t.wal with Some w -> Wal.line_count (Wal.path w) | None -> 0
     in
     Storage.write_manifest st
-      { Storage.wal_lines; ddls = manifest_ddls t; analyzed = t.analyzed }
+      { Storage.wal_lines; ddls = manifest_ddls t; analyzed = t.analyzed };
+    (* the manifest pins everything below [wal_lines]; a WAL prefix
+       below the caller's bound (the slowest connected replica's
+       acknowledged position, typically) is dead weight. Only called at
+       statement boundaries: truncating inside an open transaction
+       would orphan its commit/rollback record past its operations. *)
+    match truncate_upto, t.wal with
+    | Some upto, Some w ->
+      let upto = min upto wal_lines in
+      let spools = Wal.truncate_prefix w ~upto in
+      List.iter (fun sp -> try Sys.remove sp with Sys_error _ -> ()) spools
+    | _ -> ()
 
 let close t =
   let s = default t in
@@ -826,13 +1067,17 @@ let insert_rows t ~table rows =
     let txn, auto = charge s in
     (try
        lock_table s txn Lock_manager.Exclusive table;
+       stash_append t txn tbl;
        let count = ref 0 in
        List.iter
          (fun row ->
            match Table.insert tbl row with
            | Ok rowid ->
              txn.undo_ops <- Undo_insert { table = tbl; rowid } :: txn.undo_ops;
-             log t (Wal.Insert { txid = txn.txn_id; table = Catalog.normalize table; row });
+             log t
+               (Wal.Insert
+                  { txid = txn.txn_id; table = Catalog.normalize table; row;
+                    rowid });
              incr count
            | Error m -> error "%s" m)
          rows;
@@ -861,10 +1106,12 @@ let bulk_load t ~table ~spool ~rows =
     let txn, auto = charge s in
     (try
        lock_table s txn Lock_manager.Exclusive table;
+       stash_append t txn tbl;
        let first = Table.next_rowid tbl in
        log t
          (Wal.Load
-            { txid = txn.txn_id; table = Catalog.normalize table; spool; rows });
+            { txid = txn.txn_id; table = Catalog.normalize table; spool; rows;
+              first });
        (* undo first: a failure mid-append must still tombstone the rows
           already in (deleting past the end is a no-op) *)
        txn.undo_ops <- Undo_bulk { table = tbl; first; count = rows } :: txn.undo_ops;
@@ -946,5 +1193,118 @@ let explain_analyze t sql =
 let plan_select t sel = Planner.plan_select t.cat sel
 
 let run_planned t ?obs ?cancel (planned : Planner.planned) =
+  let view = snap_register t ~self:(-1) in
+  Fun.protect ~finally:(fun () -> snap_release t view) @@ fun () ->
   (planned.column_names,
-   List.of_seq (Executor.run t.cat ?obs ?cancel planned.plan))
+   List.of_seq (Executor.run t.cat ?obs ?cancel ~view planned.plan))
+
+(* ---------------- replication hooks ----------------
+
+   The primary ships raw WAL lines; a replica appends them to its own
+   log verbatim — so the replica's WAL is line-for-line the primary's
+   stream and logical record positions agree across nodes by
+   construction — then applies committed transactions through the MVCC
+   machinery so replica reads stay snapshot-consistent mid-apply. *)
+
+let wal_position t = match t.wal with Some w -> Wal.position w | None -> 0
+let wal_base t = match t.wal with Some w -> Wal.base w | None -> 0
+let wal_file t = Option.map Wal.path t.wal
+
+let repl_append_lines t lines =
+  match t.wal with
+  | None -> ()
+  | Some w ->
+    List.iter (Wal.append_line w) lines;
+    Wal.flush w
+
+(* Apply one shipped committed transaction (its data operations, in
+   stream order; control records are ignored). Same idempotent logic as
+   recovery replay — a replica restarting mid-stream re-receives records
+   it already applied — wrapped in stash/seal so concurrent snapshot
+   readers on this replica never observe a half-applied transaction's
+   rows torn against each other within one table. *)
+let repl_apply_txn t (ops : Wal.op list) =
+  let txid =
+    match
+      List.find_map
+        (fun (op : Wal.op) ->
+          match op with
+          | Wal.Insert { txid; _ } | Wal.Delete { txid; _ }
+          | Wal.Update { txid; _ } | Wal.Load { txid; _ } -> Some txid
+          | _ -> None)
+        ops
+    with
+    | Some txid -> txid
+    | None -> t.next_txid
+  in
+  if txid >= t.next_txid then t.next_txid <- txid + 1;
+  let touched = ref [] in
+  let touch_tbl tbl =
+    if not (List.memq tbl !touched) then touched := tbl :: !touched
+  in
+  let stash_mut tbl rowid =
+    touch_tbl tbl;
+    ignore (Table.stash_row tbl ~txid rowid)
+  in
+  let stash_app tbl =
+    touch_tbl tbl;
+    Table.stash_len tbl ~txid
+  in
+  List.iter
+    (fun (op : Wal.op) ->
+      match op with
+      | Wal.Insert { table; row; rowid; _ } ->
+        let tbl = find_table t table in
+        if Table.next_rowid tbl <= rowid then begin
+          stash_app tbl;
+          match Table.insert tbl row with
+          | Ok r ->
+            if r <> rowid then
+              failwith
+                (Printf.sprintf
+                   "replication: %s applied rowid %d where the stream says %d"
+                   table r rowid)
+          | Error m -> failwith ("replication: " ^ m)
+        end
+      | Wal.Delete { table; rowid; _ } ->
+        let tbl = find_table t table in
+        stash_mut tbl rowid;
+        ignore (Table.delete tbl rowid)
+      | Wal.Update { table; rowid; row; _ } ->
+        let tbl = find_table t table in
+        stash_mut tbl rowid;
+        (match Table.update tbl rowid row with
+         | Ok () -> ()
+         | Error m -> failwith ("replication: " ^ m))
+      | Wal.Load { table; spool; rows; first; _ } ->
+        let tbl = find_table t table in
+        let have = max 0 (min rows (Table.next_rowid tbl - first)) in
+        if have < rows then begin
+          stash_app tbl;
+          if not (Sys.file_exists spool) then
+            failwith
+              (Printf.sprintf "replication: bulk-load spool %s is missing"
+                 spool);
+          let n = ref 0 in
+          Storage.spool_iter spool (fun row ->
+              (if !n >= have then
+                 match Table.insert tbl row with
+                 | Ok _ -> ()
+                 | Error m -> failwith ("replication: " ^ m));
+              incr n)
+        end
+      | Wal.Ddl _ | Wal.Begin _ | Wal.Commit _ | Wal.Rollback _ -> ())
+    ops;
+  advance_clock t ~txid ~touched:!touched;
+  Catalog.bump_version t.cat
+
+(* Apply a shipped DDL statement. [replaying] suppresses re-logging (the
+   raw line was already appended by the shipper) and lock acquisition;
+   the DDL handlers bump the catalog version themselves, which is what
+   invalidates the replica's plan cache. *)
+let repl_apply_ddl t sql =
+  t.replaying <- true;
+  Fun.protect ~finally:(fun () -> t.replaying <- false) @@ fun () ->
+  match Sql_parser.parse sql with
+  | stmt -> ignore (execute t stmt)
+  | exception e -> failwith ("replication: bad DDL: " ^ Printexc.to_string e)

@@ -43,9 +43,18 @@ val close : t -> unit
     final {!checkpoint} and closes every page file; a database closed
     this way re-opens by attach, not replay. *)
 
-val checkpoint : t -> unit
+val checkpoint : ?truncate_upto:int -> t -> unit
 (** Disk backend: flush the WAL, write back every dirty page (fsync) and
-    write the manifest blessing the page files. No-op in memory. *)
+    write the manifest blessing the page files. No-op in memory.
+    [truncate_upto] additionally drops the WAL prefix below that logical
+    record position (clamped to the manifest's position, which the pages
+    just written fully cover) and deletes the bulk-load spool files only
+    that prefix referenced. A primary passes the slowest connected
+    replica's acknowledged position so no replica is ever cut off. Call
+    at a statement boundary: truncating inside an open transaction would
+    orphan its commit record. A database whose WAL lost a prefix
+    re-opens by attaching the checkpointed pages and replaying only the
+    surviving suffix (idempotently — records carry their rowids). *)
 
 val storage : t -> Storage.t option
 val is_disk : t -> bool
@@ -105,12 +114,18 @@ val in_transaction : t -> bool
 type session
 (** One client connection with its own transaction state, sharing the
     database's catalog, WAL and lock manager. The [t]-level API is the
-    default session; extra sessions make concurrent lock schedules
-    scriptable (strict two-phase locking, see {!Lock_manager}): DML takes
-    an exclusive table lock, reads inside an explicit transaction take
-    shared locks, and everything is released at COMMIT/ROLLBACK. A
-    [Would_block] conflict fails only the statement (retryable); a
-    [Deadlock] rolls the requesting transaction back. *)
+    default session; extra sessions make concurrent schedules
+    scriptable. Writers use strict two-phase locking (see
+    {!Lock_manager}): DML takes an exclusive table lock released at
+    COMMIT/ROLLBACK; a [Would_block] conflict fails only the statement
+    (retryable); a [Deadlock] rolls the requesting transaction back.
+    Reads take no locks at all — they run against an MVCC snapshot (see
+    {!Table.snap}): a standalone SELECT reads the latest committed
+    state at statement start; inside an explicit transaction the first
+    read pins the snapshot for the transaction's lifetime (repeatable
+    reads, own writes visible), and a later UPDATE/DELETE of a row some
+    concurrent transaction committed over since that snapshot aborts
+    with a serialization failure (first-updater-wins). *)
 
 val session : t -> session
 val session_exec : session -> string -> (result, string) Stdlib.result
@@ -126,5 +141,41 @@ val run_planned :
     collects per-operator statistics during execution. [cancel] aborts
     execution cooperatively at the next operator boundary once fired
     (see {!Cancel}); the query server uses it for per-query wall-clock
-    timeouts and client CANCEL requests.
+    timeouts and client CANCEL requests. Runs against an MVCC snapshot
+    of the latest committed state: never blocks on concurrent writers.
     @raise Cancel.Canceled when [cancel] fires mid-execution. *)
+
+(** {2 Replication hooks}
+
+    WAL shipping (see {!Replication}): the primary streams raw WAL
+    lines; a replica appends them to its own log verbatim — its WAL is
+    line-for-line the primary's, so logical record positions agree
+    across nodes by construction — and applies committed transactions
+    through the MVCC machinery, so replica reads stay
+    snapshot-consistent while the stream applies. *)
+
+val wal_position : t -> int
+(** Logical WAL record position: records ever written, including a
+    truncated prefix. 0 without a WAL. *)
+
+val wal_base : t -> int
+(** Records dropped from the front of the WAL by truncation. *)
+
+val wal_file : t -> string option
+
+val repl_append_lines : t -> string list -> unit
+(** Replica side: append shipped raw WAL lines verbatim and flush.
+    Append-before-apply — a crash between the two re-applies the records
+    from the local log on restart (they are idempotent). *)
+
+val repl_apply_txn : t -> Wal.op list -> unit
+(** Replica side: apply one shipped committed transaction (its data
+    operations in stream order; control records are ignored).
+    Idempotent, like recovery replay. Bumps the catalog version so
+    cached plans re-validate.
+    @raise Failure when the stream contradicts local state. *)
+
+val repl_apply_ddl : t -> string -> unit
+(** Replica side: apply one shipped DDL statement (without re-logging
+    it). Bumps the catalog version.
+    @raise Failure on a malformed statement. *)

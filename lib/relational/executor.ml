@@ -7,6 +7,7 @@ type ctx = {
   params : Value.t array;
   obs : Obs.profile option;   (* per-operator stats, when profiling *)
   cancel : Cancel.t option;   (* cooperative per-query cancellation *)
+  view : Table.snap option;   (* MVCC snapshot all table access reads at *)
 }
 
 module Key = struct
@@ -861,9 +862,12 @@ and run_plan_raw ctx st (plan : Plan.t) : Value.t array Seq.t =
   | Seq_scan { table; filter; part } ->
     let t = scan_table ctx table in
     let rows =
-      match part with
-      | None -> Seq.map snd (Table.scan t)
-      | Some (i, n) -> Seq.map snd (Table.scan_part t ~index:i ~parts:n)
+      match ctx.view, part with
+      | None, None -> Seq.map snd (Table.scan t)
+      | None, Some (i, n) -> Seq.map snd (Table.scan_part t ~index:i ~parts:n)
+      | Some snap, None -> Seq.map snd (Table.scan_at t snap)
+      | Some snap, Some (i, n) ->
+        Seq.map snd (Table.scan_part_at t snap ~index:i ~parts:n)
     in
     (match filter with
      | None -> rows
@@ -878,14 +882,19 @@ and run_plan_raw ctx st (plan : Plan.t) : Value.t array Seq.t =
     fun () ->
       let keyv = Array.map (eval ctx [||]) key in
       probe st;
-      let ids = Index.lookup idx keyv in
       let rows =
-        List.filter_map
-          (fun id ->
-            match Table.get t id with
-            | Some row when truthy ctx row filter -> Some row
-            | _ -> None)
-          ids
+        match ctx.view with
+        | None ->
+          List.filter_map
+            (fun id ->
+              match Table.get t id with
+              | Some row when truthy ctx row filter -> Some row
+              | _ -> None)
+            (Index.lookup idx keyv)
+        | Some snap ->
+          List.filter
+            (fun row -> truthy ctx row filter)
+            (Table.lookup_at t snap idx keyv)
       in
       (List.to_seq rows) ()
   | Index_range { table; index; lo; hi; filter } ->
@@ -898,14 +907,22 @@ and run_plan_raw ctx st (plan : Plan.t) : Value.t array Seq.t =
     fun () ->
       let bound = Option.map (fun (k, incl) -> (Array.map (eval ctx [||]) k, incl)) in
       probe st;
-      let ids = Index.range ?lo:(bound lo) ?hi:(bound hi) idx in
-      (Seq.filter_map
-         (fun id ->
-           match Table.get t id with
-           | Some row when truthy ctx row filter -> Some row
-           | _ -> None)
-         ids)
-        ()
+      (match ctx.view with
+       | None ->
+         let ids = Index.range ?lo:(bound lo) ?hi:(bound hi) idx in
+         (Seq.filter_map
+            (fun id ->
+              match Table.get t id with
+              | Some row when truthy ctx row filter -> Some row
+              | _ -> None)
+            ids)
+           ()
+       | Some snap ->
+         (List.to_seq
+            (List.filter
+               (fun row -> truthy ctx row filter)
+               (Table.range_at t snap idx ?lo:(bound lo) ?hi:(bound hi) ())))
+           ())
   | Filter (f, input) ->
     Seq.filter (fun row -> Value.is_truthy (eval ctx row f)) (run_plan ctx input)
   | Project (exprs, input) ->
@@ -1451,9 +1468,12 @@ and run_batches_raw ctx st (plan : Plan.t) : Batch.t Seq.t =
   | Seq_scan { table; filter; part } ->
     let t = scan_table ctx table in
     let rows =
-      match part with
-      | None -> Seq.map snd (Table.scan t)
-      | Some (i, n) -> Seq.map snd (Table.scan_part t ~index:i ~parts:n)
+      match ctx.view, part with
+      | None, None -> Seq.map snd (Table.scan t)
+      | None, Some (i, n) -> Seq.map snd (Table.scan_part t ~index:i ~parts:n)
+      | Some snap, None -> Seq.map snd (Table.scan_at t snap)
+      | Some snap, Some (i, n) ->
+        Seq.map snd (Table.scan_part_at t snap ~index:i ~parts:n)
     in
     let bs = batches_of_rows ~arity:(Schema.arity (Table.schema t)) rows in
     (match filter with None -> bs | Some f -> apply_filter ctx f bs)
@@ -1468,14 +1488,19 @@ and run_batches_raw ctx st (plan : Plan.t) : Batch.t Seq.t =
     fun () ->
       let keyv = Array.map (eval ctx [||]) key in
       probe st;
-      let ids = Index.lookup idx keyv in
       let rows =
-        List.filter_map
-          (fun id ->
-            match Table.get t id with
-            | Some row when truthy ctx row filter -> Some row
-            | _ -> None)
-          ids
+        match ctx.view with
+        | None ->
+          List.filter_map
+            (fun id ->
+              match Table.get t id with
+              | Some row when truthy ctx row filter -> Some row
+              | _ -> None)
+            (Index.lookup idx keyv)
+        | Some snap ->
+          List.filter
+            (fun row -> truthy ctx row filter)
+            (Table.lookup_at t snap idx keyv)
       in
       (* the lookup result is already fully materialised, so it ships as
          one dense batch: downstream consolidation (structural join,
@@ -1497,15 +1522,22 @@ and run_batches_raw ctx st (plan : Plan.t) : Batch.t Seq.t =
         Option.map (fun (k, incl) -> (Array.map (eval ctx [||]) k, incl))
       in
       probe st;
-      let ids = Index.range ?lo:(bound lo) ?hi:(bound hi) idx in
-      (batches_of_rows ~arity
-         (Seq.filter_map
+      let rows =
+        match ctx.view with
+        | None ->
+          Seq.filter_map
             (fun id ->
               match Table.get t id with
               | Some row when truthy ctx row filter -> Some row
               | _ -> None)
-            ids))
-        ()
+            (Index.range ?lo:(bound lo) ?hi:(bound hi) idx)
+        | Some snap ->
+          List.to_seq
+            (List.filter
+               (fun row -> truthy ctx row filter)
+               (Table.range_at t snap idx ?lo:(bound lo) ?hi:(bound hi) ()))
+      in
+      (batches_of_rows ~arity rows) ()
   | Filter (f, input) -> apply_filter ctx f (run_batches ctx input)
   | Project
       ( exprs,
@@ -2076,10 +2108,10 @@ and batch_sj_pairs ctx st ~left ~right ~interval_on_left ~left_doc
    the row-at-a-time iterator as the reference implementation. Both are
    driven through the same [eval], planner and Obs plumbing, and the
    differential suite holds their outputs byte-identical. *)
-let run catalog ?(params = [||]) ?obs ?cancel plan =
-  let ctx = { catalog; params; obs; cancel } in
+let run catalog ?(params = [||]) ?obs ?cancel ?view plan =
+  let ctx = { catalog; params; obs; cancel; view } in
   if Rewrite.enabled () then Batch.to_row_seq (run_batches ctx plan)
   else run_plan ctx plan
 
 let eval_expr catalog ?(params = [||]) row e =
-  eval { catalog; params; obs = None; cancel = None } row e
+  eval { catalog; params; obs = None; cancel = None; view = None } row e

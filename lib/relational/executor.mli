@@ -8,7 +8,7 @@ exception Runtime_error of string
 
 val run :
   Catalog.t -> ?params:Value.t array -> ?obs:Obs.profile ->
-  ?cancel:Cancel.t -> Plan.t -> Value.t array Seq.t
+  ?cancel:Cancel.t -> ?view:Table.snap -> Plan.t -> Value.t array Seq.t
 (** Evaluate a plan. [params] fills [CParam] slots of correlated
     subplans (the top level normally passes none). [obs], built with
     {!Obs.create} from the same physical plan, charges each operator
@@ -16,7 +16,10 @@ val run :
     consumed. [cancel] is consulted at every operator boundary: once the
     token fires (timeout or explicit cancel) the next row pull raises
     {!Cancel.Canceled}, including inside [Exchange] partitions running
-    on other domains.
+    on other domains. [view] pins every table access (scans and index
+    probes, on every Exchange worker) to one MVCC snapshot
+    ({!Table.snap}); without it the executor reads the raw current
+    state.
     @raise Runtime_error on evaluation failures (unknown table at run
     time, bad function arity, etc.).
     @raise Cancel.Canceled when [cancel] fires mid-execution. *)

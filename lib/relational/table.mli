@@ -71,6 +71,80 @@ val find_index : t -> string -> Index.t option
 val truncate : t -> unit
 (** Remove all rows (indexes are emptied, row ids restart at 0). *)
 
+(** {2 MVCC snapshot reads}
+
+    Copy-on-write row visibility keyed by commit sequence number. A
+    writer stashes a row's pre-image before its first modification and
+    the table length before its first append; commit seals the stashes
+    at the new CSN, rollback discards them. A snapshot [{at; self}]
+    reads the image each row had at CSN [at] — plus the uncommitted
+    writes of transaction [self], its own — without taking any lock the
+    writer could block on. Table-level exclusive write locks mean at
+    most one writer is ever in flight per table, which keeps version
+    chains single-pending and lets readers run entirely lock-free
+    (amortised one mutex acquisition per scanned chunk) when no
+    version history exists. *)
+
+type snap = { at : int; self : int }
+(** [at]: the CSN this read is positioned at. [self]: the reader's own
+    transaction id ([-1] when not in a transaction) — a transaction
+    sees its own uncommitted writes. *)
+
+val stash_row : t -> txid:int -> ?since:int -> int -> bool
+(** [stash_row t ~txid ?since rowid] records the row's pre-image before
+    [txid]'s first modification of it (idempotent per transaction).
+    MUST be called before mutating the row. With [since] (the writer's
+    pinned snapshot), returns [false] — and stashes nothing — when the
+    row was committed over since that snapshot: first-updater-wins, the
+    caller must abort the transaction. *)
+
+val stash_len : t -> txid:int -> unit
+(** Record the table length before [txid]'s first append (idempotent
+    per transaction). MUST be called before the append. *)
+
+val seal_versions : t -> txid:int -> csn:int -> unit
+(** Commit [txid]'s stashes as history valid until [csn]. Call before
+    publishing [csn] as the current clock. *)
+
+val discard_versions : t -> txid:int -> unit
+(** Drop [txid]'s pending stashes: rollback (after the raw store has
+    been restored), or a commit no active snapshot needs to remember. *)
+
+val gc_versions : t -> min_active:int option -> int
+(** Reclaim sealed versions no active snapshot can reach ([None]: no
+    snapshot is active, reclaim all sealed history). Returns the
+    remaining version count. *)
+
+val visible_len : t -> snap -> int
+(** Rowids at or past this bound do not exist for the snapshot. *)
+
+val get_at : t -> snap -> int -> Value.t array option
+(** {!get} as of the snapshot. *)
+
+val scan_at : t -> snap -> (int * Value.t array) Seq.t
+(** {!scan} as of the snapshot: rows visible at [snap.at] (plus
+    [snap.self]'s own writes) in rowid order. Never blocks on writers;
+    a chunked re-validation protocol keeps it raw-speed when no version
+    history exists. *)
+
+val scan_part_at : t -> snap -> index:int -> parts:int -> (int * Value.t array) Seq.t
+(** {!scan_part} as of the snapshot; concatenating all parts equals
+    {!scan_at}. *)
+
+val lookup_at : t -> snap -> Index.t -> Value.t array -> Value.t array list
+(** Index equality probe as of the snapshot: the rows whose snapshot
+    image carries exactly this key. When version history exists the
+    current index may disagree with the snapshot, so candidates are
+    re-validated against their resolved images and emitted in rowid
+    order; otherwise this is exactly the raw probe. *)
+
+val range_at :
+  t -> snap -> Index.t ->
+  ?lo:Value.t array * bool -> ?hi:Value.t array * bool -> unit ->
+  Value.t array list
+(** Index range probe as of the snapshot, emitted in (key, rowid)
+    order. Btree indexes only, same NULL semantics as {!Index.range}. *)
+
 val close : t -> unit
 (** Write back and close the backing page files (no-op in memory). *)
 

@@ -1,17 +1,26 @@
 type op =
   | Begin of int
-  | Insert of { txid : int; table : string; row : Value.t array }
+  | Insert of { txid : int; table : string; row : Value.t array; rowid : int }
   | Delete of { txid : int; table : string; rowid : int }
   | Update of { txid : int; table : string; rowid : int; row : Value.t array }
   | Commit of int
   | Rollback of int
   | Ddl of string
-  | Load of { txid : int; table : string; spool : string; rows : int }
+  | Load of { txid : int; table : string; spool : string; rows : int; first : int }
 
 type t = {
   file_path : string;
-  oc : out_channel;
+  mutable oc : out_channel;
+  mutable base : int;     (* logical index of the file's first data record *)
+  mutable records : int;  (* complete data records currently in the file *)
+  mu : Mutex.t;
+  (* guards the live appender: sessions append concurrently, and a
+     periodic checkpoint swaps [oc] underneath them in [truncate_prefix] *)
 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 (* Field encoding: '|' separates fields; '%', '|' and newlines are
    percent-escaped so any SQL text or string value round-trips. *)
@@ -83,13 +92,16 @@ let decode_row fields =
     Array.of_list (List.map decode_value cells)
 
 (* Every record ends with a '.' sentinel field so a torn tail (missing
-   sentinel) is detectable. *)
+   sentinel) is detectable. Insert carries the rowid it was assigned and
+   Load the first rowid of its appended range, so replaying a record
+   whose rows are already present is detectable (idempotent replay — the
+   foundation WAL shipping and checkpoint-truncated recovery stand on). *)
 let encode op =
   let body =
     match op with
     | Begin txid -> Printf.sprintf "BEG|%d" txid
-    | Insert { txid; table; row } ->
-      Printf.sprintf "INS|%d|%s|%s" txid (escape table) (encode_row row)
+    | Insert { txid; table; row; rowid } ->
+      Printf.sprintf "INS|%d|%s|%d|%s" txid (escape table) rowid (encode_row row)
     | Delete { txid; table; rowid } ->
       Printf.sprintf "DEL|%d|%s|%d" txid (escape table) rowid
     | Update { txid; table; rowid; row } ->
@@ -97,8 +109,9 @@ let encode op =
     | Commit txid -> Printf.sprintf "COM|%d" txid
     | Rollback txid -> Printf.sprintf "RBK|%d" txid
     | Ddl sql -> Printf.sprintf "DDL|%s" (escape sql)
-    | Load { txid; table; spool; rows } ->
-      Printf.sprintf "LOD|%d|%s|%s|%d" txid (escape table) (escape spool) rows
+    | Load { txid; table; spool; rows; first } ->
+      Printf.sprintf "LOD|%d|%s|%s|%d|%d" txid (escape table) (escape spool)
+        rows first
   in
   body ^ "|."
 
@@ -119,37 +132,93 @@ let decode line =
           | [ "COM"; txid ] -> Some (Commit (int_of_string txid))
           | [ "RBK"; txid ] -> Some (Rollback (int_of_string txid))
           | [ "DDL"; sql ] -> Some (Ddl (unescape sql))
-          | "INS" :: txid :: table :: row ->
+          | "INS" :: txid :: table :: rowid :: row ->
             Some (Insert { txid = int_of_string txid; table = unescape table;
-                           row = decode_row row })
+                           rowid = int_of_string rowid; row = decode_row row })
           | [ "DEL"; txid; table; rowid ] ->
             Some (Delete { txid = int_of_string txid; table = unescape table;
                            rowid = int_of_string rowid })
           | "UPD" :: txid :: table :: rowid :: row ->
             Some (Update { txid = int_of_string txid; table = unescape table;
                            rowid = int_of_string rowid; row = decode_row row })
-          | [ "LOD"; txid; table; spool; rows ] ->
+          | [ "LOD"; txid; table; spool; rows; first ] ->
             Some (Load { txid = int_of_string txid; table = unescape table;
-                         spool = unescape spool; rows = int_of_string rows })
+                         spool = unescape spool; rows = int_of_string rows;
+                         first = int_of_string first })
           | _ -> None
         with Failure _ -> None)
      | _ -> None (* torn record: sentinel missing *))
 
+(* The base header: a checkpoint-truncated log starts with "BAS|<n>|."
+   declaring the logical index of the first data record that follows. A
+   log that was never truncated has no header and base 0. The header is
+   not an [op] — every file-level reader skips it. *)
+let encode_base n = Printf.sprintf "BAS|%d|." n
+
+let is_base_line line =
+  String.length line >= 4 && String.sub line 0 4 = "BAS|"
+
+let decode_base line =
+  match String.split_on_char '|' line with
+  | [ "BAS"; n; "." ] -> int_of_string_opt n
+  | _ -> None
+
+(* Complete lines of a log file, split into (base, data lines, torn tail
+   present). Only the final line may be unterminated. *)
+let read_lines file_path =
+  if not (Sys.file_exists file_path) then (0, [])
+  else begin
+    let ic = open_in_bin file_path in
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    let complete =
+      match String.rindex_opt content '\n' with
+      | Some i -> String.sub content 0 i
+      | None -> ""
+    in
+    let lines =
+      if complete = "" then [] else String.split_on_char '\n' complete
+    in
+    match lines with
+    | first :: rest when is_base_line first ->
+      (match decode_base first with
+       | Some b -> (b, rest)
+       | None -> failwith "WAL: corrupt base header")
+    | lines -> (0, lines)
+  end
+
+let read_base file_path = fst (read_lines file_path)
+
 let open_log file_path =
+  let base, lines = read_lines file_path in
   let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 file_path in
-  { file_path; oc }
+  { file_path; oc; base; records = List.length lines; mu = Mutex.create () }
 
 let append t op =
+  locked t @@ fun () ->
   output_string t.oc (encode op);
-  output_char t.oc '\n'
+  output_char t.oc '\n';
+  t.records <- t.records + 1
 
-let flush t = Stdlib.flush t.oc
+let append_line t line =
+  locked t @@ fun () ->
+  output_string t.oc line;
+  output_char t.oc '\n';
+  t.records <- t.records + 1
+
+let flush t = locked t @@ fun () -> Stdlib.flush t.oc
 
 let close t =
+  locked t @@ fun () ->
   Stdlib.flush t.oc;
   close_out t.oc
 
 let path t = t.file_path
+
+let base t = locked t @@ fun () -> t.base
+
+let position t = locked t @@ fun () -> t.base + t.records
 
 (* A record is torn only as an unterminated final chunk: '\n' is the last
    byte of every append and never occurs inside a record (escaped). Cut
@@ -172,29 +241,17 @@ let trim_torn_tail file_path =
   end
 
 let read_ops file_path =
-  if not (Sys.file_exists file_path) then []
-  else begin
-    let ic = open_in_bin file_path in
-    let lines = ref [] in
-    (try
-       while true do
-         lines := input_line ic :: !lines
-       done
-     with End_of_file -> ());
-    close_in ic;
-    let lines = List.rev !lines in
-    let n = List.length lines in
-    (* Only the final line may be torn; a bad interior line is corruption. *)
-    List.concat
-      (List.mapi
-         (fun i line ->
-           match decode line with
-           | Some op -> [ op ]
-           | None ->
-             if i = n - 1 then []
-             else failwith (Printf.sprintf "WAL: corrupt record at line %d" (i + 1)))
-         lines)
-  end
+  let _, lines = read_lines file_path in
+  let n = List.length lines in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         match decode line with
+         | Some op -> [ op ]
+         | None ->
+           if i = n - 1 then []
+           else failwith (Printf.sprintf "WAL: corrupt record at line %d" (i + 1)))
+       lines)
 
 let committed_ops ops =
   let committed = Hashtbl.create 16 in
@@ -210,18 +267,74 @@ let committed_ops ops =
         Hashtbl.mem committed txid)
     ops
 
-(* Number of complete records currently in a log file (used by the disk
-   backend's manifest: pages are only trusted when their recorded line
-   count matches). [trim_torn_tail] must run first so every line is one
-   record. *)
+(* Logical record count (base + complete data records). The disk
+   backend's manifest compares against this, so positions stay stable
+   across prefix truncation. [trim_torn_tail] must run first so every
+   line is one record. *)
 let line_count file_path =
-  if not (Sys.file_exists file_path) then 0
+  let base, lines = read_lines file_path in
+  base + List.length lines
+
+(* Complete data records with logical index >= [pos] (the replication
+   sender's tail read). [`Truncated base] when [pos] predates the
+   file's base — the requested history was dropped by a checkpoint. *)
+let tail_from file_path ~pos =
+  let b, lines = read_lines file_path in
+  if pos < b then `Truncated b
+  else
+    `Ok
+      (List.filteri (fun i _ -> b + i >= pos) lines)
+
+(* Ops with logical index >= [pos]; Failure when [pos] predates the
+   base (the pages ahead of a truncated log cannot be rebuilt). *)
+let ops_from file_path ~pos =
+  match tail_from file_path ~pos with
+  | `Truncated b ->
+    failwith
+      (Printf.sprintf
+         "WAL: records before logical position %d were truncated (need %d)" b
+         pos)
+  | `Ok lines ->
+    List.filter_map decode lines
+
+(* Drop every record with logical index < [upto], atomically (write a
+   tmp beside the log, rename over it) and re-point the live appender at
+   the new file. Returns the spool paths referenced by dropped Load
+   records so the caller can delete them — they can never be replayed
+   again. Clamped to [position t]; a no-op when [upto <= base t]. *)
+let truncate_prefix t ~upto =
+  locked t @@ fun () ->
+  let upto = min upto (t.base + t.records) in
+  if upto <= t.base then []
   else begin
-    let ic = open_in_bin file_path in
-    let n = in_channel_length ic in
-    let content = really_input_string ic n in
-    close_in ic;
-    let count = ref 0 in
-    String.iter (fun c -> if c = '\n' then incr count) content;
-    !count
+    Stdlib.flush t.oc;
+    let b, lines = read_lines t.file_path in
+    let dropped, kept =
+      List.partition (fun (i, _) -> b + i < upto)
+        (List.mapi (fun i l -> (i, l)) lines)
+    in
+    let spools =
+      List.filter_map
+        (fun (_, l) ->
+          match decode l with
+          | Some (Load { spool; _ }) -> Some spool
+          | _ -> None)
+        dropped
+    in
+    let tmp = t.file_path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc (encode_base upto);
+    output_char oc '\n';
+    List.iter
+      (fun (_, l) ->
+        output_string oc l;
+        output_char oc '\n')
+      kept;
+    close_out oc;
+    close_out t.oc;
+    Sys.rename tmp t.file_path;
+    t.oc <- open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.file_path;
+    t.base <- upto;
+    t.records <- List.length kept;
+    spools
   end

@@ -1,4 +1,4 @@
-(** Write-ahead logging and crash recovery.
+(** Write-ahead logging, crash recovery, and log shipping.
 
     The paper justifies the relational substrate partly by "the concurrency
     access and crash recovery features of an RDBMS" (Section 2.2). This WAL
@@ -9,27 +9,48 @@
     unsealed tail) leaves no partial effects.
 
     DDL records are logged as SQL text and replayed unconditionally in
-    order (DDL auto-commits). *)
+    order (DDL auto-commits).
+
+    Records are {e idempotent}: [Insert] carries the rowid it was assigned
+    and [Load] the first rowid of its appended range, so replaying a record
+    whose effects are already present is detectable and skippable. That
+    property is what WAL shipping (replicas apply the same stream the
+    primary logged) and checkpoint truncation (recovery replays a suffix
+    over already-persisted pages) are built on.
+
+    Positions are {e logical record indexes}: record [i] is the (i+1)-th
+    record ever appended to this log, stable across prefix truncation. A
+    truncated log starts with a ["BAS|<n>|."] header declaring the logical
+    index of its first remaining record. *)
 
 type op =
   | Begin of int
-  | Insert of { txid : int; table : string; row : Value.t array }
+  | Insert of { txid : int; table : string; row : Value.t array; rowid : int }
+      (* [rowid] is the slot the row was appended at; replay skips the
+         record when the table has already grown past it. *)
   | Delete of { txid : int; table : string; rowid : int }
   | Update of { txid : int; table : string; rowid : int; row : Value.t array }
   | Commit of int
   | Rollback of int
   | Ddl of string  (* SQL text of a CREATE/DROP statement *)
-  | Load of { txid : int; table : string; spool : string; rows : int }
-      (* one bulk load: [rows] rows appended to [table], payload in the
-         spool file at [spool] (length-prefixed Rowcodec images). The
-         spool must outlive the log records that reference it. *)
+  | Load of { txid : int; table : string; spool : string; rows : int; first : int }
+      (* one bulk load: [rows] rows appended to [table] starting at rowid
+         [first], payload in the spool file at [spool] (length-prefixed
+         Rowcodec images). The spool must outlive the log records that
+         reference it. *)
 
 type t
 
 val open_log : string -> t
-(** Open (creating if needed) the log file at [path] for appending. *)
+(** Open (creating if needed) the log file at [path] for appending.
+    Reads the base header and record count so {!position} is exact. *)
 
 val append : t -> op -> unit
+
+val append_line : t -> string -> unit
+(** Append one already-encoded record line verbatim (no trailing newline
+    in [line]). The replica's apply path uses this so its local log stays
+    line-for-line identical to the primary's shipped stream. *)
 
 val flush : t -> unit
 (** fsync-equivalent barrier (flushes OCaml buffers to the OS). *)
@@ -37,6 +58,14 @@ val flush : t -> unit
 val close : t -> unit
 
 val path : t -> string
+
+val base : t -> int
+(** Logical index of the first record still present in the file; 0 for a
+    log that was never truncated. *)
+
+val position : t -> int
+(** Logical index one past the last appended record = total records ever
+    appended ([base] + records in file). *)
 
 val trim_torn_tail : string -> unit
 (** Physically truncate an unterminated final record (crash during write)
@@ -55,8 +84,32 @@ val encode : op -> string
 (** One-line encoding (no trailing newline); exposed for tests. *)
 
 val decode : string -> op option
-(** Inverse of {!encode}; [None] for torn/garbage lines. *)
+(** Inverse of {!encode}; [None] for torn/garbage lines (and for the
+    ["BAS|…"] base header, which is not an [op]). *)
 
 val line_count : string -> int
-(** Complete records in the log file (one per line once
-    {!trim_torn_tail} has run); 0 when the file does not exist. *)
+(** Logical record count of the log file: base + complete records (one
+    per line once {!trim_torn_tail} has run); 0 when the file does not
+    exist. Stable across prefix truncation, so manifest comparisons keep
+    working on truncated logs. *)
+
+val read_base : string -> int
+(** Base of a log file without opening it for append; 0 when the file
+    does not exist or was never truncated. *)
+
+val tail_from : string -> pos:int -> [ `Ok of string list | `Truncated of int ]
+(** Complete record lines with logical index >= [pos], in order — the
+    replication sender's poll read. [`Truncated base] when [pos] predates
+    the file's base (the history was dropped by a checkpoint; the
+    subscriber must re-seed). *)
+
+val ops_from : string -> pos:int -> op list
+(** Decoded records with logical index >= [pos]. Raises [Failure] when
+    [pos] predates the base. *)
+
+val truncate_prefix : t -> upto:int -> string list
+(** Drop every record with logical index < [upto] from the live log,
+    atomically (tmp file + rename), and return the spool paths referenced
+    by dropped [Load] records so the caller can delete them. [upto] is
+    clamped to {!position}; a no-op (returning []) when [upto <= base t].
+    Only call at a quiescent point (no concurrent appends). *)

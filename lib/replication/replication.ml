@@ -1,0 +1,601 @@
+(* WAL shipping: xomatiq-repl/1.
+
+   The primary streams its WAL — the raw record lines, verbatim — to
+   any number of read replicas over the same length-prefixed framing the
+   query protocol uses (see {!Xserver.Protocol}). A replica appends the
+   shipped lines to its own WAL before applying them, so its log is
+   line-for-line the primary's stream and the logical record position
+   (Wal.position) means the same thing on every node: the handshake,
+   acknowledgements, lag accounting and the primary's truncation gate
+   all speak positions.
+
+   Frames (tag, payload):
+     'h' HELLO    replica -> primary   "xomatiq-repl/1 pos=<n>"
+     'w' WELCOME  primary -> replica   "xomatiq-repl/1 pos=<n>"
+     'f' SPOOL    primary -> replica   "<name>\n<bytes>" — a bulk-load
+         spool file, shipped before the first RECORDS batch whose Load
+         record references it
+     'r' RECORDS  primary -> replica   "<start_pos>\n<line>\n<line>..."
+     'a' ACK      replica -> primary   "pos=<n>" — applied through
+     'X' ERROR    primary -> replica   "<CODE> <message>"
+
+   Error codes: POS_TRUNCATED (the replica asks for records below the
+   primary's retained WAL base — it must re-seed), PROTO_ERROR. *)
+
+module P = Xserver.Protocol
+
+let version = "xomatiq-repl/1"
+
+let tag_hello = 'h'
+let tag_welcome = 'w'
+let tag_spool = 'f'
+let tag_records = 'r'
+let tag_ack = 'a'
+let tag_error = 'X'
+
+let err_pos_truncated = "POS_TRUNCATED"
+let err_proto = "PROTO_ERROR"
+
+(* Spool files ride in one frame; harvest-sized spools are tens of MB. *)
+let max_frame = 256 * 1024 * 1024
+
+(* Records per RECORDS frame: bounds frame size without a length scan. *)
+let batch_lines = 512
+
+let hello_payload ~pos = Printf.sprintf "%s pos=%d" version pos
+let welcome_payload ~pos = Printf.sprintf "%s pos=%d" version pos
+let ack_payload ~pos = Printf.sprintf "pos=%d" pos
+
+let parse_pos_payload payload =
+  let ver, rest = P.split_first_space payload in
+  match String.index_opt rest '=' with
+  | Some i when String.sub rest 0 i = "pos" ->
+    Option.map
+      (fun pos -> (ver, pos))
+      (int_of_string_opt
+         (String.sub rest (i + 1) (String.length rest - i - 1)))
+  | _ -> None
+
+let parse_ack payload =
+  match String.index_opt payload '=' with
+  | Some i when String.sub payload 0 i = "pos" ->
+    int_of_string_opt (String.sub payload (i + 1) (String.length payload - i - 1))
+  | _ -> None
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let debug fmt =
+  if Sys.getenv_opt "XOMATIQ_REPL_DEBUG" <> None then
+    Printf.eprintf ("[repl debug] " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+(* ================================================================== *)
+(* Primary                                                             *)
+(* ================================================================== *)
+
+module Primary = struct
+  type replica_conn = {
+    rc_fd : Unix.file_descr;
+    rc_peer : string;
+    mutable rc_sent : int;   (* next record position to ship *)
+    mutable rc_acked : int;  (* replica's applied-through position *)
+    rc_spools : (string, unit) Hashtbl.t;  (* shipped this connection *)
+    mutable rc_alive : bool;
+  }
+
+  type t = {
+    db : Rdb.Database.t;
+    listen_fd : Unix.file_descr;
+    bound_port : int;
+    stop : bool Atomic.t;
+    mutex : Mutex.t;
+    mutable replicas : replica_conn list;
+    mutable accept_thread : Thread.t option;
+    mutable serve_threads : Thread.t list;
+  }
+
+  let port t = t.bound_port
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  (* Applied positions of live replicas; [None] with none connected. *)
+  let min_acked t =
+    locked t @@ fun () ->
+    List.fold_left
+      (fun acc rc ->
+        if not rc.rc_alive then acc
+        else
+          match acc with
+          | None -> Some rc.rc_acked
+          | Some m -> Some (min m rc.rc_acked))
+      None t.replicas
+
+  let replica_lags t =
+    let pos = Rdb.Database.wal_position t.db in
+    locked t @@ fun () ->
+    List.filter_map
+      (fun rc ->
+        if rc.rc_alive then
+          Some (rc.rc_peer, rc.rc_acked, max 0 (pos - rc.rc_acked))
+        else None)
+      t.replicas
+
+  let status_json t =
+    let lags = replica_lags t in
+    Printf.sprintf "{\"role\": \"primary\", \"position\": %d, \"replicas\": [%s]}"
+      (Rdb.Database.wal_position t.db)
+      (String.concat ", "
+         (List.map
+            (fun (peer, acked, lag) ->
+              Printf.sprintf
+                "{\"peer\": \"%s\", \"acked\": %d, \"lag\": %d}" peer acked
+                lag)
+            lags))
+
+  (* Checkpoint with WAL truncation, gated so no connected replica is
+     ever cut off: the prefix dropped stops at the slowest acknowledged
+     position (and [Database.checkpoint] further clamps it to the
+     manifest). With no replica connected the whole checkpointed prefix
+     goes. *)
+  let checkpoint t =
+    let upto = match min_acked t with Some m -> m | None -> max_int in
+    Rdb.Database.checkpoint ~truncate_upto:upto t.db
+
+  (* Drain whatever ACK bytes have arrived; never blocks. *)
+  let drain_acks rc dec rdbuf =
+    let rec read_avail () =
+      match Unix.read rc.rc_fd rdbuf 0 (Bytes.length rdbuf) with
+      | 0 -> raise P.Closed
+      | n ->
+        P.Decoder.feed dec rdbuf 0 n;
+        read_avail ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_avail ()
+    in
+    read_avail ();
+    let rec frames () =
+      match P.Decoder.next dec with
+      | Some (tag, payload) when tag = tag_ack ->
+        (match parse_ack payload with
+         | Some pos when pos > rc.rc_acked -> rc.rc_acked <- pos
+         | _ -> ());
+        frames ()
+      | Some _ -> frames ()  (* unknown frames are ignored, not fatal *)
+      | None -> ()
+    in
+    frames ()
+
+  (* Ship the spool files referenced by this batch's Load records, each
+     once per connection: the file must be on the replica's disk before
+     it appends (and possibly applies) the record that reads it. *)
+  let ship_spools rc deadline lines =
+    List.iter
+      (fun line ->
+        match Rdb.Wal.decode line with
+        | Some (Rdb.Wal.Load { spool; _ })
+          when not (Hashtbl.mem rc.rc_spools spool) ->
+          Hashtbl.replace rc.rc_spools spool ();
+          let bytes =
+            let ic = open_in_bin spool in
+            Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+            really_input_string ic (in_channel_length ic)
+          in
+          P.write_frame ~deadline rc.rc_fd tag_spool
+            (Filename.basename spool ^ "\n" ^ bytes)
+        | _ -> ())
+      lines
+
+  let rec batches = function
+    | [] -> []
+    | lines ->
+      let rec take n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | l :: rest -> take (n - 1) (l :: acc) rest
+      in
+      let batch, rest = take batch_lines [] lines in
+      batch :: batches rest
+
+  let write_deadline () = Rdb.Obs.now_s () +. 30.
+
+  let serve_replica t rc =
+    let dec = P.Decoder.create ~max_frame () in
+    let rdbuf = Bytes.create 4096 in
+    let wal_file =
+      match Rdb.Database.wal_file t.db with Some p -> p | None -> assert false
+    in
+    let rec loop () =
+      if Atomic.get t.stop || not rc.rc_alive then ()
+      else begin
+        drain_acks rc dec rdbuf;
+        (match Rdb.Wal.tail_from wal_file ~pos:rc.rc_sent with
+         | `Truncated base ->
+           P.write_frame ~deadline:(write_deadline ()) rc.rc_fd tag_error
+             (P.error_payload ~code:err_pos_truncated
+                (Printf.sprintf "oldest retained record is %d" base));
+           raise P.Closed
+         | `Ok [] ->
+           (* idle: park on the socket so an ACK wakes us early *)
+           ignore
+             (P.wait_readable rc.rc_fd
+                ~deadline:(Rdb.Obs.now_s () +. 0.02))
+         | `Ok lines ->
+           List.iter
+             (fun batch ->
+               ship_spools rc (write_deadline ()) batch;
+               let payload =
+                 string_of_int rc.rc_sent ^ "\n" ^ String.concat "\n" batch
+               in
+               P.write_frame ~deadline:(write_deadline ()) rc.rc_fd
+                 tag_records payload;
+               debug "primary: shipped %d records from %d" (List.length batch)
+                 rc.rc_sent;
+               rc.rc_sent <- rc.rc_sent + List.length batch)
+             (batches lines));
+        loop ()
+      end
+    in
+    (try loop () with
+     | P.Closed | P.Proto_error _ | P.Io_timeout | End_of_file
+     | Unix.Unix_error _ | Sys_error _ -> ());
+    rc.rc_alive <- false;
+    close_quietly rc.rc_fd;
+    locked t (fun () ->
+        t.replicas <- List.filter (fun r -> r != rc) t.replicas)
+
+  let handshake t fd peer =
+    let deadline = Rdb.Obs.now_s () +. 10. in
+    let tag, payload = P.read_frame ~deadline ~max_frame fd in
+    if tag <> tag_hello then begin
+      P.write_frame ~deadline fd tag_error
+        (P.error_payload ~code:err_proto "expected HELLO");
+      raise P.Closed
+    end;
+    match parse_pos_payload payload with
+    | Some (ver, pos) when ver = version ->
+      let base = Rdb.Database.wal_base t.db in
+      let cur = Rdb.Database.wal_position t.db in
+      if pos < base then begin
+        P.write_frame ~deadline fd tag_error
+          (P.error_payload ~code:err_pos_truncated
+             (Printf.sprintf
+                "requested position %d but the oldest retained record is %d; \
+                 re-seed from the primary's data directory"
+                pos base));
+        raise P.Closed
+      end;
+      if pos > cur then begin
+        P.write_frame ~deadline fd tag_error
+          (P.error_payload ~code:err_proto
+             (Printf.sprintf
+                "requested position %d is beyond the primary's %d" pos cur));
+        raise P.Closed
+      end;
+      P.write_frame ~deadline fd tag_welcome (welcome_payload ~pos:cur);
+      { rc_fd = fd; rc_peer = peer; rc_sent = pos; rc_acked = pos;
+        rc_spools = Hashtbl.create 8; rc_alive = true }
+    | _ ->
+      P.write_frame ~deadline fd tag_error
+        (P.error_payload ~code:err_proto
+           (Printf.sprintf "unsupported replication handshake %S" payload));
+      raise P.Closed
+
+  (* The listen socket is non-blocking and polled with a short deadline:
+     on Linux, close() does not wake a thread parked in a blocking
+     accept(), so [stop] could never join this thread otherwise. *)
+  let accept_loop t =
+    while not (Atomic.get t.stop) do
+      if
+        (not (P.wait_readable t.listen_fd ~deadline:(Rdb.Obs.now_s () +. 0.25)))
+        || Atomic.get t.stop
+      then ()
+      else
+      match Unix.accept t.listen_fd with
+      | fd, addr ->
+        let peer =
+          match addr with
+          | Unix.ADDR_INET (a, p) ->
+            Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+          | _ -> "?"
+        in
+        (try
+           Unix.set_nonblock fd;
+           (try Unix.setsockopt fd Unix.TCP_NODELAY true
+            with Unix.Unix_error _ -> ());
+           let rc = handshake t fd peer in
+           debug "primary: accepted %s at pos=%d" peer rc.rc_sent;
+           locked t (fun () -> t.replicas <- rc :: t.replicas);
+           let th = Thread.create (fun () -> serve_replica t rc) () in
+           locked t (fun () -> t.serve_threads <- th :: t.serve_threads)
+         with
+         | P.Closed | P.Proto_error _ | P.Io_timeout | End_of_file
+         | Unix.Unix_error _ ->
+           close_quietly fd)
+      | exception
+          Unix.Unix_error
+            ( ( Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN
+              | Unix.EWOULDBLOCK ),
+              _, _ ) ->
+        ()
+      | exception Unix.Unix_error _ -> if not (Atomic.get t.stop) then Thread.delay 0.05
+    done
+
+  let start ?(host = "127.0.0.1") ~port db =
+    if Rdb.Database.wal_file db = None then
+      invalid_arg "Replication.Primary.start: the primary needs a WAL";
+    let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+    (try
+       Unix.bind listen_fd
+         (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+     with e ->
+       close_quietly listen_fd;
+       raise e);
+    Unix.listen listen_fd 16;
+    Unix.set_nonblock listen_fd;
+    let bound_port =
+      match Unix.getsockname listen_fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    let t =
+      { db; listen_fd; bound_port; stop = Atomic.make false;
+        mutex = Mutex.create (); replicas = []; accept_thread = None;
+        serve_threads = [] }
+    in
+    t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+    t
+
+  let stop t =
+    Atomic.set t.stop true;
+    locked t (fun () ->
+        List.iter (fun rc -> rc.rc_alive <- false) t.replicas);
+    Option.iter Thread.join t.accept_thread;
+    (* only after the join: a recycled descriptor must not be accepted *)
+    close_quietly t.listen_fd;
+    let threads = locked t (fun () -> t.serve_threads) in
+    List.iter Thread.join threads
+end
+
+(* ================================================================== *)
+(* Replica                                                             *)
+(* ================================================================== *)
+
+module Replica = struct
+  type t = {
+    db : Rdb.Database.t;
+    primary_host : string;
+    primary_port : int;
+    spool_dir : string;
+    stop : bool Atomic.t;
+    mutex : Mutex.t;
+    mutable applied : int;       (* WAL position applied through *)
+    mutable connected : bool;
+    mutable last_error : string option;
+    (* Uncommitted transactions mid-stream: data ops buffered (newest
+       first) until their Commit record arrives. Survives reconnects;
+       rebuilt from the local WAL tail after a restart. *)
+    pending : (int, Rdb.Wal.op list) Hashtbl.t;
+    mutable thread : Thread.t option;
+  }
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let applied t = locked t (fun () -> t.applied)
+  let connected t = locked t (fun () -> t.connected)
+
+  let status_json t =
+    locked t @@ fun () ->
+    Printf.sprintf
+      "{\"role\": \"replica\", \"primary\": \"%s:%d\", \"connected\": %b, \
+       \"applied\": %d}"
+      t.primary_host t.primary_port t.connected t.applied
+
+  (* Rebuild the mid-stream transaction buffers from the local WAL:
+     records of transactions whose Commit had not arrived before a
+     restart are already on disk (append-before-apply) and must not be
+     lost when it does arrive. *)
+  let preload_pending t =
+    match Rdb.Database.wal_file t.db with
+    | None -> ()
+    | Some path ->
+      List.iter
+        (fun (op : Rdb.Wal.op) ->
+          match op with
+          | Rdb.Wal.Begin txid -> Hashtbl.replace t.pending txid []
+          | Rdb.Wal.Commit txid | Rdb.Wal.Rollback txid ->
+            Hashtbl.remove t.pending txid
+          | Rdb.Wal.Insert { txid; _ } | Rdb.Wal.Delete { txid; _ }
+          | Rdb.Wal.Update { txid; _ } | Rdb.Wal.Load { txid; _ } ->
+            (match Hashtbl.find_opt t.pending txid with
+             | Some ops -> Hashtbl.replace t.pending txid (op :: ops)
+             | None -> ())
+          | Rdb.Wal.Ddl _ -> ())
+        (Rdb.Wal.ops_from path ~pos:(Rdb.Wal.read_base path))
+
+  (* Rewrite a Load record's spool path to this replica's spool
+     directory before it reaches the local WAL: the shipped SPOOL frame
+     landed there under the primary path's basename. *)
+  let localize_line t line =
+    match Rdb.Wal.decode line with
+    | Some (Rdb.Wal.Load l) ->
+      Rdb.Wal.encode
+        (Rdb.Wal.Load
+           { l with
+             spool = Filename.concat t.spool_dir (Filename.basename l.spool)
+           })
+    | _ -> line
+
+  let apply_op t (op : Rdb.Wal.op) =
+    match op with
+    | Rdb.Wal.Begin txid -> Hashtbl.replace t.pending txid []
+    | Rdb.Wal.Insert { txid; _ } | Rdb.Wal.Delete { txid; _ }
+    | Rdb.Wal.Update { txid; _ } | Rdb.Wal.Load { txid; _ } ->
+      (match Hashtbl.find_opt t.pending txid with
+       | Some ops -> Hashtbl.replace t.pending txid (op :: ops)
+       | None -> Hashtbl.replace t.pending txid [ op ])
+    | Rdb.Wal.Commit txid ->
+      (match Hashtbl.find_opt t.pending txid with
+       | Some ops ->
+         Hashtbl.remove t.pending txid;
+         Rdb.Database.repl_apply_txn t.db (List.rev ops)
+       | None -> ())
+    | Rdb.Wal.Rollback txid -> Hashtbl.remove t.pending txid
+    | Rdb.Wal.Ddl sql -> Rdb.Database.repl_apply_ddl t.db sql
+
+  let handle_spool t payload =
+    match String.index_opt payload '\n' with
+    | None -> failwith "replication: malformed SPOOL frame"
+    | Some i ->
+      let name = Filename.basename (String.sub payload 0 i) in
+      let dest = Filename.concat t.spool_dir name in
+      let oc = open_out_bin dest in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+      output_substring oc payload (i + 1) (String.length payload - i - 1)
+
+  let handle_records t fd payload =
+    let start, body =
+      match String.index_opt payload '\n' with
+      | None -> (int_of_string payload, "")
+      | Some i ->
+        ( int_of_string (String.sub payload 0 i),
+          String.sub payload (i + 1) (String.length payload - i - 1) )
+    in
+    let lines = if body = "" then [] else String.split_on_char '\n' body in
+    let cur = locked t (fun () -> t.applied) in
+    if start <> cur then
+      failwith
+        (Printf.sprintf
+           "replication: stream position %d does not match applied %d" start
+           cur);
+    let lines = List.map (localize_line t) lines in
+    (* append-before-apply: once the lines are on disk, a crash replays
+       them from the local WAL instead of needing a resend *)
+    Rdb.Database.repl_append_lines t.db lines;
+    List.iter
+      (fun line ->
+        match Rdb.Wal.decode line with
+        | Some op -> apply_op t op
+        | None -> failwith "replication: undecodable record in stream")
+      lines;
+    let pos = cur + List.length lines in
+    debug "replica: applied %d records through %d" (List.length lines) pos;
+    locked t (fun () -> t.applied <- pos);
+    P.write_frame ~deadline:(Rdb.Obs.now_s () +. 30.) fd tag_ack
+      (ack_payload ~pos)
+
+  let session t =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        close_quietly fd;
+        locked t (fun () -> t.connected <- false))
+    @@ fun () ->
+    let addr =
+      try Unix.inet_addr_of_string t.primary_host
+      with Failure _ ->
+        (Unix.gethostbyname t.primary_host).Unix.h_addr_list.(0)
+    in
+    Unix.connect fd (Unix.ADDR_INET (addr, t.primary_port));
+    Unix.set_nonblock fd;
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ());
+    let deadline = Rdb.Obs.now_s () +. 10. in
+    P.write_frame ~deadline fd tag_hello
+      (hello_payload ~pos:(locked t (fun () -> t.applied)));
+    (let tag, payload = P.read_frame ~deadline ~max_frame fd in
+     if tag = tag_error then begin
+       let code, msg = P.parse_error_payload payload in
+       failwith (Printf.sprintf "replication: %s %s" code msg)
+     end
+     else if tag <> tag_welcome then
+       failwith "replication: expected WELCOME");
+    locked t (fun () ->
+        t.connected <- true;
+        t.last_error <- None);
+    debug "replica: connected, applied=%d" (locked t (fun () -> t.applied));
+    (* Incremental frame loop: partial frames survive across short poll
+       rounds (a fixed-deadline read_frame would drop mid-frame bytes on
+       timeout and desynchronize the stream), and the stop flag is
+       checked every round. *)
+    let dec = P.Decoder.create ~max_frame () in
+    let rdbuf = Bytes.create 65536 in
+    while not (Atomic.get t.stop) do
+      match P.Decoder.next dec with
+      | Some (tag, payload) when tag = tag_spool -> handle_spool t payload
+      | Some (tag, payload) when tag = tag_records ->
+        handle_records t fd payload
+      | Some (tag, payload) when tag = tag_error ->
+        let code, msg = P.parse_error_payload payload in
+        failwith (Printf.sprintf "replication: %s %s" code msg)
+      | Some _ -> failwith "replication: unexpected frame from primary"
+      | None -> (
+        match Unix.read fd rdbuf 0 (Bytes.length rdbuf) with
+        | 0 -> raise P.Closed
+        | n -> P.Decoder.feed dec rdbuf 0 n
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          ignore (P.wait_readable fd ~deadline:(Rdb.Obs.now_s () +. 0.25))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    done
+
+  let rec run t =
+    if not (Atomic.get t.stop) then begin
+      (try session t with
+       | P.Closed | End_of_file -> locked t (fun () -> t.last_error <- Some "connection closed")
+       | P.Proto_error m -> locked t (fun () -> t.last_error <- Some m)
+       | Unix.Unix_error (e, _, _) ->
+         locked t (fun () -> t.last_error <- Some (Unix.error_message e))
+       | Failure m -> locked t (fun () -> t.last_error <- Some m));
+      (match locked t (fun () -> t.last_error) with
+       | Some m ->
+         debug "replica: session ended: %s (applied=%d)" m
+           (locked t (fun () -> t.applied))
+       | None -> ());
+      if not (Atomic.get t.stop) then begin
+        Thread.delay 0.1;
+        run t
+      end
+    end
+
+  let start ~host ~port db =
+    let wal =
+      match Rdb.Database.wal_file db with
+      | Some p -> p
+      | None -> invalid_arg "Replication.Replica.start: the replica needs a WAL"
+    in
+    let spool_dir = wal ^ ".spools" in
+    if not (Sys.file_exists spool_dir) then Unix.mkdir spool_dir 0o755;
+    let t =
+      { db; primary_host = host; primary_port = port; spool_dir;
+        stop = Atomic.make false; mutex = Mutex.create ();
+        applied = Rdb.Database.wal_position db; connected = false;
+        last_error = None; pending = Hashtbl.create 8; thread = None }
+    in
+    preload_pending t;
+    t.thread <- Some (Thread.create (fun () -> run t) ());
+    t
+
+  let stop t =
+    Atomic.set t.stop true;
+    Option.iter Thread.join t.thread
+
+  (* Block until the replica has applied through [pos] (for tests and
+     orchestration); false on timeout. *)
+  let wait_for t ~pos ~timeout_s =
+    let give_up = Rdb.Obs.now_s () +. timeout_s in
+    let rec go () =
+      if applied t >= pos then true
+      else if Rdb.Obs.now_s () > give_up then false
+      else begin
+        Thread.delay 0.01;
+        go ()
+      end
+    in
+    go ()
+end

@@ -1,0 +1,80 @@
+(** WAL shipping: [xomatiq-repl/1] read replicas.
+
+    The primary streams committed WAL records — the raw log lines,
+    verbatim — to any number of replicas over the same length-prefixed
+    framing as the query protocol; bulk-load spool files referenced by
+    Load records are shipped before the batch that names them. A replica
+    appends the lines to its own WAL {e before} applying them
+    (append-before-apply: a crash replays from the local log, no resend
+    needed), so its log is line-for-line the primary's stream and the
+    logical record position means the same thing on every node. Replicas
+    apply through the database's MVCC machinery and report their applied
+    position; the primary tracks per-replica acknowledgements for lag
+    accounting and as the WAL-truncation gate. Replay is idempotent:
+    re-shipping records a replica already holds (restart mid-stream) is
+    harmless. The normative frame grammar lives in PROTOCOL.md. *)
+
+val version : string
+(** ["xomatiq-repl/1"]. *)
+
+val err_pos_truncated : string
+(** The replica asked for records below the primary's retained WAL base;
+    it must re-seed from the primary's data directory. *)
+
+val err_proto : string
+
+module Primary : sig
+  type t
+
+  val start : ?host:string -> port:int -> Rdb.Database.t -> t
+  (** Listen for replicas ([port] 0 picks a free port; see {!port}).
+      The database must have a WAL.
+      @raise Invalid_argument without one. *)
+
+  val port : t -> int
+
+  val min_acked : t -> int option
+  (** Slowest connected replica's applied position; [None] with no
+      replica connected. *)
+
+  val replica_lags : t -> (string * int * int) list
+  (** Per connected replica: (peer address, acked position, lag in
+      records behind the primary's WAL position). *)
+
+  val status_json : t -> string
+  (** The metrics [replication] object:
+      [{"role": "primary", "position": …, "replicas": […]}]. *)
+
+  val checkpoint : t -> unit
+  (** {!Rdb.Database.checkpoint} with WAL truncation gated at
+      {!min_acked}, so no connected replica is ever cut off; with none
+      connected the whole checkpointed prefix is dropped. Keeps the WAL
+      flat across sustained write load. *)
+
+  val stop : t -> unit
+end
+
+module Replica : sig
+  type t
+
+  val start : host:string -> port:int -> Rdb.Database.t -> t
+  (** Connect to the primary at [host:port] and stream from this
+      database's current WAL position, retrying with backoff on
+      connection loss. The database must have a WAL (spool files land
+      beside it in [<wal>.spools/]).
+      @raise Invalid_argument without one. *)
+
+  val applied : t -> int
+  (** WAL record position applied through (the position reported in
+      ACK frames and DONE [seq=] trailers). *)
+
+  val connected : t -> bool
+
+  val status_json : t -> string
+  (** The metrics [replication] object: [{"role": "replica", …}]. *)
+
+  val wait_for : t -> pos:int -> timeout_s:float -> bool
+  (** Block until {!applied} reaches [pos]; [false] on timeout. *)
+
+  val stop : t -> unit
+end

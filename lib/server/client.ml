@@ -232,3 +232,185 @@ let close t =
      with _ -> ());
     try Unix.close t.sock with Unix.Unix_error _ -> ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Replica-aware routing                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Routed = struct
+  let base_connect = connect
+  let base_close = close
+
+  type node = {
+    n_host : string;
+    n_port : int;
+    mutable n_conn : t option;
+    (* highest replication position this replica is known to have
+       applied — from DONE [seq=] trailers and METRICS probes; the
+       read-your-writes gate compares it against [last_write_seq] *)
+    mutable n_seq : int;
+    (* a connect/IO failure benches the replica briefly instead of
+       paying a reconnect attempt on every read *)
+    mutable n_down_until : float;
+  }
+
+  type r = {
+    primary : t;
+    replicas : node array;
+    timeout_s : float;
+    mutable last_write_seq : int;
+    mutable rr : int;  (* round-robin cursor over [replicas] *)
+    mutable n_replica_reads : int;
+    mutable n_primary_reads : int;
+  }
+
+  let connect ?(host = "127.0.0.1") ?(timeout_s = 10.) ?retry_for_s
+      ?busy_retry_for_s ?(replicas = []) ~port () =
+    let primary =
+      base_connect ~host ~timeout_s ?retry_for_s ?busy_retry_for_s ~port ()
+    in
+    let replicas =
+      Array.of_list
+        (List.map
+           (fun (h, p) ->
+             { n_host = h; n_port = p; n_conn = None; n_seq = 0;
+               n_down_until = 0. })
+           replicas)
+    in
+    { primary; replicas; timeout_s; last_write_seq = 0; rr = 0;
+      n_replica_reads = 0; n_primary_reads = 0 }
+
+  let bench node =
+    (match node.n_conn with
+     | Some c -> (try base_close c with _ -> ())
+     | None -> ());
+    node.n_conn <- None;
+    node.n_down_until <- Rdb.Obs.now_s () +. 1.0
+
+  let node_conn r node =
+    match node.n_conn with
+    | Some c -> Some c
+    | None ->
+      if Rdb.Obs.now_s () < node.n_down_until then None
+      else (
+        match
+          base_connect ~host:node.n_host ~timeout_s:r.timeout_s
+            ~port:node.n_port ()
+        with
+        | c ->
+          node.n_conn <- Some c;
+          Some c
+        | exception _ ->
+          node.n_down_until <- Rdb.Obs.now_s () +. 1.0;
+          None)
+
+  (* Pull an integer field out of a METRICS JSON payload without a JSON
+     parser: the server renders ["field": N] with at most spaces between
+     the colon and the digits. *)
+  let scan_int_field payload field =
+    let needle = Printf.sprintf "\"%s\":" field in
+    let plen = String.length payload and nlen = String.length needle in
+    let rec find i =
+      if i + nlen > plen then None
+      else if String.sub payload i nlen = needle then begin
+        let j = ref (i + nlen) in
+        while !j < plen && payload.[!j] = ' ' do incr j done;
+        let k = ref !j in
+        while
+          !k < plen
+          && (match payload.[!k] with '0' .. '9' | '-' -> true | _ -> false)
+        do
+          incr k
+        done;
+        if !k > !j then int_of_string_opt (String.sub payload !j (!k - !j))
+        else None
+      end
+      else find (i + 1)
+    in
+    find 0
+
+  (* A replica whose last-known position trails the session's write
+     fence may simply not have answered anything lately: one METRICS
+     round-trip refreshes its applied position before the gate gives up
+     on it. *)
+  let refresh_seq node c =
+    match metrics c with
+    | payload -> (
+      match scan_int_field payload "applied" with
+      | Some n -> node.n_seq <- max node.n_seq n
+      | None -> ())
+    | exception _ -> bench node
+
+  (* Errors that indict the statement travel up unchanged — the primary
+     would reject it identically, so failing over only duplicates work.
+     Everything else indicts the replica (gone, draining, confused) and
+     fails over. *)
+  let statement_error code =
+    code = P.err_query || code = P.err_timeout || code = P.err_canceled
+
+  let try_replica r node tag text =
+    match node_conn r node with
+    | None -> None
+    | Some c ->
+      if node.n_seq < r.last_write_seq then refresh_seq node c;
+      if node.n_seq < r.last_write_seq then None
+      else (
+        match run_streaming c tag text with
+        | body, s ->
+          node.n_seq <- max node.n_seq s.P.sum_seq;
+          Some (body, s)
+        | exception Server_error (code, msg) when statement_error code ->
+          raise (Server_error (code, msg))
+        | exception _ ->
+          bench node;
+          None)
+
+  let read r tag text =
+    let n = Array.length r.replicas in
+    let rec pick i =
+      if i >= n then None
+      else
+        let node = r.replicas.((r.rr + i) mod n) in
+        match try_replica r node tag text with
+        | Some res ->
+          r.rr <- (r.rr + i + 1) mod n;
+          Some res
+        | None -> pick (i + 1)
+    in
+    match if n = 0 then None else pick 0 with
+    | Some res ->
+      r.n_replica_reads <- r.n_replica_reads + 1;
+      res
+    | None ->
+      r.n_primary_reads <- r.n_primary_reads + 1;
+      run_streaming r.primary tag text
+
+  let write r tag text =
+    let body, s = run_streaming r.primary tag text in
+    if s.P.sum_seq > r.last_write_seq then r.last_write_seq <- s.P.sum_seq;
+    (body, s)
+
+  (* FLWR queries never write; SQL is classified by the shared
+     read/write rule. *)
+  let query r text = read r P.tag_query text
+
+  let sql r text =
+    if P.sql_is_read text then read r P.tag_sql text
+    else write r P.tag_sql text
+
+  let primary r = r.primary
+  let last_write_seq r = r.last_write_seq
+  let replica_reads r = r.n_replica_reads
+  let primary_reads r = r.n_primary_reads
+
+  let close r =
+    Array.iter
+      (fun node ->
+        match node.n_conn with
+        | Some c ->
+          node.n_conn <- None;
+          (try base_close c with _ -> ())
+        | None -> ())
+      r.replicas;
+    base_close r.primary
+end

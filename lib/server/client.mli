@@ -75,6 +75,47 @@ val jittered_delay : rand:float -> float -> float
 val close : t -> unit
 (** Orderly BYE (best effort) + socket close. Idempotent. *)
 
+(** Replica-aware routing: one primary plus any number of read
+    replicas. Writes (DML/DDL/transaction control, classified by
+    {!Protocol.sql_is_read}) always go to the primary; reads
+    round-robin across replicas that have caught up past the session's
+    last write (read-your-writes: every write's DONE trailer carries
+    the primary's new replication position, and a replica is eligible
+    only once its applied position — from its own DONE trailers, or a
+    METRICS probe when the cached value trails — has reached it),
+    falling back to the primary when no replica qualifies. A replica
+    that fails mid-read is benched for a second and the read retried
+    elsewhere; errors that indict the statement itself ([QUERY_ERROR],
+    [TIMEOUT], [CANCELED]) propagate unchanged. Not thread-safe, like
+    [t]. *)
+module Routed : sig
+  type r
+
+  val connect :
+    ?host:string -> ?timeout_s:float -> ?retry_for_s:float ->
+    ?busy_retry_for_s:float -> ?replicas:(string * int) list ->
+    port:int -> unit -> r
+  (** Connect to the primary at [host:port] eagerly (retry options as in
+      {!val:connect}); replicas connect lazily on first eligible read. *)
+
+  val query : r -> string -> string * Protocol.summary
+  val sql : r -> string -> string * Protocol.summary
+
+  val primary : r -> t
+  (** The primary connection, for requests that must not be routed
+      (EXPLAIN with session state, SET, METRICS). *)
+
+  val last_write_seq : r -> int
+  (** The session's read-your-writes fence: the highest replication
+      position a write has returned. *)
+
+  val replica_reads : r -> int
+  val primary_reads : r -> int
+  (** How many reads each side served (tests pin routing behaviour). *)
+
+  val close : r -> unit
+end
+
 (** {2 Raw frame access}
 
     For tests that need to step outside the request/response discipline

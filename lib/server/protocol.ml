@@ -26,6 +26,7 @@ let err_proto = "PROTO_ERROR"
 let err_shutdown = "SHUTTING_DOWN"
 let err_idle = "IDLE_TIMEOUT"
 let err_internal = "INTERNAL_ERROR"
+let err_read_only = "READ_ONLY"
 
 let error_payload ~code message = code ^ " " ^ message
 
@@ -41,14 +42,19 @@ type summary = {
   sum_rows : int;
   sum_exec_ms : float;
   sum_cached : bool;
+  sum_seq : int;
 }
 
 let done_payload s =
-  Printf.sprintf "rows=%d exec_ms=%.3f cache_hit=%d" s.sum_rows s.sum_exec_ms
+  Printf.sprintf "rows=%d exec_ms=%.3f cache_hit=%d seq=%d" s.sum_rows
+    s.sum_exec_ms
     (if s.sum_cached then 1 else 0)
+    s.sum_seq
 
 let parse_done_payload payload =
-  let s = ref { sum_rows = 0; sum_exec_ms = 0.; sum_cached = false } in
+  let s =
+    ref { sum_rows = 0; sum_exec_ms = 0.; sum_cached = false; sum_seq = 0 }
+  in
   List.iter
     (fun kv ->
       match String.index_opt kv '=' with
@@ -64,6 +70,9 @@ let parse_done_payload payload =
            Option.iter (fun f -> s := { !s with sum_exec_ms = f })
              (float_of_string_opt v)
          | "cache_hit" -> s := { !s with sum_cached = v = "1" }
+         | "seq" ->
+           Option.iter (fun n -> s := { !s with sum_seq = n })
+             (int_of_string_opt v)
          | _ -> ()))
     (String.split_on_char ' ' payload);
   !s
@@ -96,6 +105,26 @@ let request_of_frame (tag, payload) =
     else Ok (Set (name, value))
   end
   else Error (Printf.sprintf "unknown request tag %C" tag)
+
+(* Read/write classification shared by the read-only server gate and the
+   routed client's replica/primary routing. EXPLAIN only plans (never
+   executes), so it is a read whatever it wraps; EXPLAIN ANALYZE
+   executes what it wraps. Unparseable text counts as a write: the
+   primary renders the authoritative parse error either way, and a
+   routed client must not ship statements it cannot classify to a
+   replica. *)
+let rec stmt_is_read (s : Rdb.Sql_ast.stmt) =
+  match s with
+  | Rdb.Sql_ast.Select_stmt _ | Rdb.Sql_ast.Query_stmt _
+  | Rdb.Sql_ast.Explain _ ->
+    true
+  | Rdb.Sql_ast.Explain_analyze inner -> stmt_is_read inner
+  | _ -> false
+
+let sql_is_read text =
+  match Rdb.Sql_parser.parse text with
+  | s -> stmt_is_read s
+  | exception _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Frame I/O                                                           *)

@@ -74,6 +74,10 @@ val err_idle : string       (** idle connection reaped *)
 
 val err_internal : string   (** unexpected server-side failure *)
 
+val err_read_only : string
+(** a write (DML/DDL/transaction control) was sent to a read-only
+    server — a replica; the client should route it to the primary *)
+
 val error_payload : code:string -> string -> string
 val parse_error_payload : string -> string * string
 (** [code ^ " " ^ message] and its inverse (missing message tolerated). *)
@@ -84,12 +88,22 @@ type summary = {
   sum_rows : int;       (** distinct result rows *)
   sum_exec_ms : float;  (** server-side execution wall time *)
   sum_cached : bool;    (** served from the translated-plan cache *)
+  sum_seq : int;
+  (** replication position: on a primary, its WAL record position after
+      the statement; on a replica, the position applied through. A
+      routed client tracks the highest [seq] its writes returned and
+      reads from a replica only once it has caught up past it
+      (read-your-writes). 0 when the server has no WAL. *)
 }
 
 val done_payload : summary -> string
 val parse_done_payload : string -> summary
-(** [rows=N exec_ms=F cache_hit=0|1]; unknown keys are ignored so the
-    trailer can grow compatibly. *)
+(** [rows=N exec_ms=F cache_hit=0|1 seq=N]; unknown keys are ignored so
+    the trailer can grow compatibly. *)
+
+val split_first_space : string -> string * string
+(** [(before, after)] of the first space; [(s, "")] without one. Shared
+    by the [xomatiq-repl/1] payload grammar (see {!Replication}). *)
 
 (** {2 Requests (server-side view)} *)
 
@@ -107,6 +121,14 @@ type request =
 
 val request_of_frame : char * string -> (request, string) result
 (** [Error] describes the unknown tag or malformed payload. *)
+
+val stmt_is_read : Rdb.Sql_ast.stmt -> bool
+val sql_is_read : string -> bool
+(** Whether the statement only reads: SELECT, query expressions and
+    EXPLAIN (which plans without executing; EXPLAIN ANALYZE classifies
+    as what it wraps). The read-only server gate and the routed
+    client's replica routing share this classification; unparseable
+    text counts as a write so it reaches the primary's parser. *)
 
 (** {2 Frame I/O}
 

@@ -12,12 +12,21 @@ type config = {
   write_timeout_s : float;
   max_frame : int;
   pipeline_window : int;
+  read_only : bool;
+  done_seq : (unit -> int) option;
+  repl_status : (unit -> string) option;
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 7788; max_clients = 32; queue_depth = 16;
     query_timeout_s = None; idle_timeout_s = None; write_timeout_s = 10.;
-    max_frame = P.max_frame_default; pipeline_window = 32 }
+    max_frame = P.max_frame_default; pipeline_window = 32; read_only = false;
+    done_seq = None; repl_status = None }
+
+(* A write reached a read-only server (a replica); mapped to the
+   [READ_ONLY] error code so a routed client can fail over to the
+   primary instead of treating it as a query error. *)
+exception Read_only_violation
 
 (* ------------------------------------------------------------------ *)
 (* Server-wide metrics                                                 *)
@@ -133,9 +142,11 @@ let render_request t sess token kind text =
       let planned = Rdb.Planner.plan_query (Rdb.Database.catalog db) q in
       let columns, rows = Rdb.Database.run_planned db ~cancel:token planned in
       (values_to_table columns rows, List.length rows, false)
-    | _ -> begin
+    | stmt -> begin
       (* DML / DDL / EXPLAIN run on the warehouse's default session;
          statement-level locking inside the database serializes writers. *)
+      if t.cfg.read_only && not (P.stmt_is_read stmt) then
+        raise Read_only_violation;
       match Rdb.Database.exec_exn db text with
       | Rdb.Database.Rows { columns; rows } ->
         (values_to_table columns rows, List.length rows, false)
@@ -179,9 +190,10 @@ let chunk_size = 64 * 1024
 let plan_work t sess token kind text =
   let finish ~t0 body rows cached =
     let exec_s = Obs.now_s () -. t0 in
+    let seq = match t.cfg.done_seq with Some f -> f () | None -> 0 in
     ( body,
       { P.sum_rows = rows; sum_exec_ms = exec_s *. 1000.;
-        sum_cached = cached },
+        sum_cached = cached; sum_seq = seq },
       exec_s )
   in
   let render_job kind =
@@ -262,10 +274,34 @@ let plan_work t sess token kind text =
     (* executes the query with unknown-ahead cost: keep it cancelable *)
     | `Analyze -> (render_job `Analyze, true)
 
-let metrics_payload sess =
+let storage_json wh =
+  let db = Datahounds.Warehouse.db wh in
+  let backend = if Rdb.Database.is_disk db then "disk" else "mem" in
+  let dir =
+    match Rdb.Database.data_dir db with
+    | Some d -> Printf.sprintf ", \"data_dir\": %S" d
+    | None -> ""
+  in
+  let pool =
+    match Rdb.Database.storage db with
+    | Some st ->
+      Printf.sprintf ", \"pool_frames\": %d"
+        (Rdb.Bufpool.frames (Rdb.Storage.pool st))
+    | None -> ""
+  in
+  Printf.sprintf "{\"backend\": %S%s%s}" backend dir pool
+
+let replication_json t =
+  match t.cfg.repl_status with
+  | Some f -> f ()
+  | None -> "{\"role\": \"standalone\"}"
+
+let metrics_payload t sess =
   "{\"metrics\": " ^ Obs.dump_json ()
   ^ Printf.sprintf ", \"sched\": {\"mode\": \"%s\", \"cost_threshold\": %g}"
       (Conc.Sched.mode_tag ()) (Conc.Sched.cost_threshold ())
+  ^ ", \"storage\": " ^ storage_json t.wh
+  ^ ", \"replication\": " ^ replication_json t
   ^ ", \"session\": " ^ Session.info_json sess ^ "}"
 
 let apply_session_jobs sess =
@@ -446,6 +482,12 @@ let emit_outcome rl conn outcome =
   | Error (Xomatiq.Engine.Query_error m) ->
     Obs.Counter.incr m_query_errors;
     if live then emit rl conn P.tag_error (P.error_payload ~code:P.err_query m)
+  | Error Read_only_violation ->
+    Obs.Counter.incr m_query_errors;
+    if live then
+      emit rl conn P.tag_error
+        (P.error_payload ~code:P.err_read_only
+           "this server is a read-only replica; send writes to the primary")
   | Error e ->
     Obs.Counter.incr m_query_errors;
     if live then
@@ -498,7 +540,7 @@ let rec pump rl conn =
          emit rl conn P.tag_ok payload;
          pump rl conn
        | P.Metrics ->
-         emit rl conn P.tag_metrics_reply (metrics_payload conn.c_sess);
+         emit rl conn P.tag_metrics_reply (metrics_payload rl.srv conn.c_sess);
          pump rl conn
        | P.Set (name, value) ->
          (match Session.set_option conn.c_sess ~name ~value with

@@ -59,14 +59,31 @@ type config = {
   write_timeout_s : float; (** slow-client disconnect threshold *)
   max_frame : int;         (** largest request payload accepted *)
   pipeline_window : int;   (** max queued requests per connection *)
+  read_only : bool;
+  (** reject DML/DDL/transaction control with a typed [READ_ONLY] error
+      — the mode a replica serves under *)
+  done_seq : (unit -> int) option;
+  (** replication position stamped into every DONE trailer as [seq=N]
+      (a primary wires its WAL position, a replica its applied
+      position); [None] stamps 0 *)
+  repl_status : (unit -> string) option;
+  (** the [replication] JSON object for METRICS replies, wired by
+      whoever owns the {!Replication} endpoint (the server cannot
+      depend on that library); [None] reports
+      [{"role": "standalone"}] *)
 }
 
 val default_config : config
 (** 127.0.0.1:7788, 32 clients, queue depth 16, no query or idle
     timeout, 10 s write timeout, {!Protocol.max_frame_default},
-    pipeline window 32. *)
+    pipeline window 32, writable, no replication wiring. *)
 
 type t
+
+val storage_json : Datahounds.Warehouse.t -> string
+(** The [storage] JSON object METRICS replies carry — backend kind,
+    data directory, buffer-pool budget in frames. Exposed so the CLI's
+    [--metrics-json] snapshot can report the same object. *)
 
 val start : config -> Datahounds.Warehouse.t -> t
 (** Bind, listen, and spawn the reactor thread. The

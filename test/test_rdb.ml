@@ -498,9 +498,9 @@ let test_wal_codec_roundtrip =
                | Some (false, s) -> Rdb.Value.Int (Hashtbl.hash s))
              cells)
       in
-      let op = Rdb.Wal.Insert { txid = 42; table; row } in
+      let op = Rdb.Wal.Insert { txid = 42; table; row; rowid = 7 } in
       match Rdb.Wal.decode (Rdb.Wal.encode op) with
-      | Some (Rdb.Wal.Insert { txid = 42; table = t'; row = r' }) ->
+      | Some (Rdb.Wal.Insert { txid = 42; table = t'; row = r'; rowid = 7 }) ->
         t' = table && r' = row
       | _ -> false)
 

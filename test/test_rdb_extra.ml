@@ -357,7 +357,9 @@ let test_update_indexes_maintained () =
 let test_wal_all_ops_roundtrip () =
   let ops =
     [ Rdb.Wal.Begin 3;
-      Rdb.Wal.Insert { txid = 3; table = "t"; row = [| Rdb.Value.Int 1; Text "a|b%c\nd" |] };
+      Rdb.Wal.Insert
+        { txid = 3; table = "t"; row = [| Rdb.Value.Int 1; Text "a|b%c\nd" |];
+          rowid = 5 };
       Rdb.Wal.Update { txid = 3; table = "t"; rowid = 0; row = [| Rdb.Value.Null |] };
       Rdb.Wal.Delete { txid = 3; table = "t"; rowid = 0 };
       Rdb.Wal.Commit 3;
@@ -374,9 +376,9 @@ let test_wal_all_ops_roundtrip () =
   let stream =
     [ Rdb.Wal.Ddl "CREATE TABLE t (a INTEGER)";
       Rdb.Wal.Begin 1;
-      Rdb.Wal.Insert { txid = 1; table = "t"; row = [| Rdb.Value.Int 1 |] };
+      Rdb.Wal.Insert { txid = 1; table = "t"; row = [| Rdb.Value.Int 1 |]; rowid = 0 };
       Rdb.Wal.Begin 2;
-      Rdb.Wal.Insert { txid = 2; table = "t"; row = [| Rdb.Value.Int 2 |] };
+      Rdb.Wal.Insert { txid = 2; table = "t"; row = [| Rdb.Value.Int 2 |]; rowid = 0 };
       Rdb.Wal.Commit 2 ]
   in
   let kept = Rdb.Wal.committed_ops stream in

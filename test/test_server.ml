@@ -123,9 +123,11 @@ let test_summary_roundtrip () =
       let s' = P.parse_done_payload (P.done_payload s) in
       check Alcotest.int "rows" s.P.sum_rows s'.P.sum_rows;
       check Alcotest.bool "cached" s.P.sum_cached s'.P.sum_cached;
-      check (Alcotest.float 0.001) "exec_ms" s.P.sum_exec_ms s'.P.sum_exec_ms)
-    [ { P.sum_rows = 0; sum_exec_ms = 0.; sum_cached = false };
-      { P.sum_rows = 12345; sum_exec_ms = 17.25; sum_cached = true } ];
+      check (Alcotest.float 0.001) "exec_ms" s.P.sum_exec_ms s'.P.sum_exec_ms;
+      check Alcotest.int "seq" s.P.sum_seq s'.P.sum_seq)
+    [ { P.sum_rows = 0; sum_exec_ms = 0.; sum_cached = false; sum_seq = 0 };
+      { P.sum_rows = 12345; sum_exec_ms = 17.25; sum_cached = true;
+        sum_seq = 42 } ];
   let code, msg = P.parse_error_payload (P.error_payload ~code:"TIMEOUT" "too slow") in
   check Alcotest.string "error code" "TIMEOUT" code;
   check Alcotest.string "error message" "too slow" msg
